@@ -1,0 +1,86 @@
+// Figure 3: RDMA_WRITE throughput vs IO size (inbound and outbound of one
+// NIC). Paper: > 50 Mops up to 128 B, then bandwidth-bound (100 Gbps).
+#include <memory>
+#include <vector>
+
+#include "common.h"
+#include "rdma/fabric.h"
+
+using namespace sherman;
+using namespace sherman::bench;
+
+namespace {
+
+struct Ctx {
+  bool stop = false;
+  uint64_t msgs = 0;
+};
+
+sim::Task<void> Writer(rdma::Fabric* fabric, int cs, int ms, uint32_t size,
+                       uint64_t slot, Ctx* ctx) {
+  std::vector<uint8_t> payload(size, 0xcd);
+  const rdma::GlobalAddress addr(static_cast<uint16_t>(ms),
+                                 kChunkAreaOffset + slot * 8192);
+  // Keep the pipe full like a real saturation benchmark: post a doorbell
+  // batch of unsignaled writes per completion.
+  constexpr int kBatch = 8;
+  while (!ctx->stop) {
+    std::vector<rdma::WorkRequest> batch;
+    batch.reserve(kBatch);
+    for (int i = 0; i < kBatch; i++) {
+      batch.push_back(rdma::WorkRequest::Write(addr, payload.data(), size));
+    }
+    co_await fabric->qp(cs, ms).PostBatch(std::move(batch));
+    ctx->msgs += kBatch;
+  }
+}
+
+// Inbound: all CSs write to one MS (its NIC receives). Outbound: one CS
+// writes to all MSs (its NIC sends).
+double Measure(bool inbound, uint32_t size, sim::SimTime window) {
+  rdma::FabricConfig fcfg;
+  fcfg.num_memory_servers = 8;
+  fcfg.num_compute_servers = 8;
+  fcfg.ms_memory_bytes = 64ull << 20;
+  rdma::Fabric fabric(fcfg);
+  Ctx ctx;
+  uint64_t slot = 0;
+  const int threads = 22;
+  if (inbound) {
+    for (int cs = 0; cs < 8; cs++) {
+      for (int t = 0; t < threads; t++) {
+        sim::Spawn(Writer(&fabric, cs, 0, size, slot++, &ctx));
+      }
+    }
+  } else {
+    for (int ms = 0; ms < 8; ms++) {
+      for (int t = 0; t < threads; t++) {
+        sim::Spawn(Writer(&fabric, 0, ms, size, slot++, &ctx));
+      }
+    }
+  }
+  fabric.simulator().At(window, [&] { ctx.stop = true; });
+  fabric.simulator().Run();
+  return static_cast<double>(ctx.msgs) * 1000.0 /
+         static_cast<double>(window);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const sim::SimTime window = args.Has("quick") ? 2'000'000 : 5'000'000;
+
+  Table table("Figure 3: RDMA_WRITE throughput vs IO size (Mops)");
+  table.SetColumns({"io size (B)", "inbound", "outbound", "paper shape"});
+  for (uint32_t size : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const double in = Measure(true, size, window);
+    const double out = Measure(false, size, window);
+    table.AddRow({std::to_string(size), Fmt(in), Fmt(out),
+                  size <= 128 ? ">50 Mops" : "bandwidth-bound"});
+    std::fprintf(stderr, "[fig3] size=%u done (in=%.1f out=%.1f)\n", size, in,
+                 out);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "alloc/chunk_manager.h"
+
+#include "util/logging.h"
+
+namespace sherman {
+
+ChunkManager::ChunkManager(rdma::MemoryServer* ms) : ms_(ms) {
+  const uint64_t size = ms->host().size();
+  SHERMAN_CHECK_MSG(size > kChunkAreaOffset + kChunkSize,
+                    "MS memory too small for chunk area");
+  next_fresh_ = kChunkAreaOffset;
+  end_ = size - (size - kChunkAreaOffset) % kChunkSize;
+  total_chunks_ = (end_ - kChunkAreaOffset) / kChunkSize;
+
+  ms->set_rpc_handler([this](uint64_t opcode, uint64_t arg, uint64_t, uint16_t) {
+    switch (opcode) {
+      case kRpcAllocChunk:
+        return AllocChunk();
+      case kRpcFreeChunk:
+        FreeChunk(arg);
+        return uint64_t{0};
+      default:
+        SHERMAN_CHECK_MSG(false, "unknown RPC opcode %llu",
+                          static_cast<unsigned long long>(opcode));
+        return uint64_t{0};
+    }
+  });
+}
+
+uint64_t ChunkManager::AllocChunk() {
+  uint64_t offset = 0;
+  if (!free_list_.empty()) {
+    offset = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_fresh_ + kChunkSize <= end_) {
+    offset = next_fresh_;
+    next_fresh_ += kChunkSize;
+  } else {
+    return 0;  // exhausted
+  }
+  allocated_++;
+  return offset;
+}
+
+void ChunkManager::FreeChunk(uint64_t offset) {
+  SHERMAN_CHECK(offset >= kChunkAreaOffset && offset < end_);
+  SHERMAN_CHECK((offset - kChunkAreaOffset) % kChunkSize == 0);
+  SHERMAN_CHECK(allocated_ > 0);
+  allocated_--;
+  free_list_.push_back(offset);
+}
+
+}  // namespace sherman

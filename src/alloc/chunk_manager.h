@@ -1,0 +1,41 @@
+// ChunkManager: the memory-server side of the two-stage allocation scheme
+// (§4.2.4). The MS's wimpy memory thread hands out fixed 8 MB chunks over
+// RPC; all fine-grained allocation happens at compute servers.
+#ifndef SHERMAN_ALLOC_CHUNK_MANAGER_H_
+#define SHERMAN_ALLOC_CHUNK_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/layout.h"
+#include "rdma/memory_server.h"
+
+namespace sherman {
+
+class ChunkManager {
+ public:
+  // Manages the chunk area of `ms` and installs itself as the RPC handler
+  // for kRpcAllocChunk / kRpcFreeChunk.
+  explicit ChunkManager(rdma::MemoryServer* ms);
+
+  // Returns the host-memory offset of a fresh chunk, or 0 if exhausted.
+  uint64_t AllocChunk();
+  // Returns a chunk to the free list. `offset` must have come from
+  // AllocChunk.
+  void FreeChunk(uint64_t offset);
+
+  uint64_t total_chunks() const { return total_chunks_; }
+  uint64_t allocated_chunks() const { return allocated_; }
+
+ private:
+  rdma::MemoryServer* ms_;
+  uint64_t next_fresh_;       // bump pointer over never-used chunks
+  uint64_t end_;              // end of the chunk area
+  uint64_t total_chunks_;
+  uint64_t allocated_ = 0;
+  std::vector<uint64_t> free_list_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_ALLOC_CHUNK_MANAGER_H_

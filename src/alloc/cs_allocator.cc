@@ -1,0 +1,57 @@
+#include "alloc/cs_allocator.h"
+
+#include "util/logging.h"
+
+namespace sherman {
+
+CsAllocator::CsAllocator(rdma::Fabric* fabric, int cs_id)
+    : fabric_(fabric), cs_id_(cs_id) {
+  next_ms_ = cs_id % fabric->num_memory_servers();  // stagger CSs
+}
+
+sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
+  SHERMAN_CHECK(size > 0 && size <= kChunkSize);
+  // Reuse freed memory of the same size first.
+  for (auto& bin : free_bins_) {
+    if (bin.size == size && !bin.entries.empty()) {
+      rdma::GlobalAddress addr = bin.entries.back();
+      bin.entries.pop_back();
+      co_return addr;
+    }
+  }
+  // Fast path: bump-allocate in the current chunk. The loop handles the
+  // case where another coroutine of this CS replaced the chunk while we
+  // were awaiting the RPC.
+  for (int attempts = 0;
+       attempts <= 2 * fabric_->num_memory_servers(); attempts++) {
+    if (!chunk_base_.is_null() && chunk_used_ + size <= kChunkSize) {
+      rdma::GlobalAddress addr = chunk_base_.Plus(chunk_used_);
+      chunk_used_ += size;
+      co_return addr;
+    }
+    // Slow path: RPC the next MS's memory thread for a fresh chunk.
+    const int ms = next_ms_;
+    next_ms_ = (next_ms_ + 1) % fabric_->num_memory_servers();
+    chunk_rpcs_++;
+    const uint64_t offset =
+        co_await fabric_->qp(cs_id_, ms).Rpc(kRpcAllocChunk, 0);
+    if (offset != 0) {
+      chunk_base_ = rdma::GlobalAddress(static_cast<uint16_t>(ms), offset);
+      chunk_used_ = 0;
+    }
+  }
+  co_return rdma::kNullAddress;  // all memory servers exhausted
+}
+
+void CsAllocator::Free(rdma::GlobalAddress addr, uint32_t size) {
+  SHERMAN_CHECK(!addr.is_null());
+  for (auto& bin : free_bins_) {
+    if (bin.size == size) {
+      bin.entries.push_back(addr);
+      return;
+    }
+  }
+  free_bins_.push_back(FreeBin{size, {addr}});
+}
+
+}  // namespace sherman

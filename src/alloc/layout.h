@@ -1,0 +1,42 @@
+// Memory layout of a memory server.
+//
+// Host DRAM:
+//   [0, kMetaBytes)                     meta region (root pointer on MS 0)
+//   [kMetaBytes, +kHostGltBytes)        global lock table when HOCL runs in
+//                                       host-memory mode (FG baseline /
+//                                       ablation without on-chip locks)
+//   [kChunkAreaOffset, ...)             8 MB chunks handed to compute servers
+//
+// NIC on-chip device memory:
+//   [0, kHostGltBytes)                  global lock table in on-chip mode
+#ifndef SHERMAN_ALLOC_LAYOUT_H_
+#define SHERMAN_ALLOC_LAYOUT_H_
+
+#include <cstdint>
+
+namespace sherman {
+
+// Locks per memory server: 131072 16-bit locks fill the 256 KB of on-chip
+// memory exposed by ConnectX-5 (§4.3).
+inline constexpr uint32_t kLocksPerMs = 131072;
+inline constexpr uint64_t kLockBytes = 2;  // masked CAS on a 16-bit lane
+
+inline constexpr uint64_t kMetaBytes = 4096;
+inline constexpr uint64_t kHostGltOffset = kMetaBytes;
+inline constexpr uint64_t kHostGltBytes = kLocksPerMs * kLockBytes;  // 256 KB
+inline constexpr uint64_t kChunkAreaOffset = kHostGltOffset + kHostGltBytes;
+
+// Chunk granularity of the two-stage allocator (§4.2.4).
+inline constexpr uint64_t kChunkSize = 8ull << 20;
+
+// Location of the 8-byte root pointer (packed GlobalAddress) and the 8-byte
+// tree level word in MS 0's meta region.
+inline constexpr uint64_t kRootPointerOffset = 64;
+
+// RPC opcodes served by the memory thread.
+inline constexpr uint64_t kRpcAllocChunk = 1;
+inline constexpr uint64_t kRpcFreeChunk = 2;
+
+}  // namespace sherman
+
+#endif  // SHERMAN_ALLOC_LAYOUT_H_

@@ -1,0 +1,93 @@
+#include "bench/report.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sherman::bench {
+
+void Table::Print(FILE* out) const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); c++) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  std::fprintf(out, "\n=== %s ===\n", title_.c_str());
+  for (size_t c = 0; c < columns_.size(); c++) {
+    std::fprintf(out, "%-*s ", static_cast<int>(widths[c] + 2),
+                 columns_[c].c_str());
+  }
+  std::fprintf(out, "\n");
+  for (size_t i = 0; i < total; i++) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      const int w = c < widths.size() ? static_cast<int>(widths[c] + 2) : 10;
+      std::fprintf(out, "%-*s ", w, row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fflush(out);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtUs(uint64_t ns, int precision) {
+  return Fmt(static_cast<double>(ns) / 1000.0, precision);
+}
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      kv_.emplace_back(arg, argv[i + 1]);
+      i++;
+    } else {
+      kv_.emplace_back(arg, "");
+    }
+  }
+}
+
+const std::string* Args::FindValue(const std::string& name) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool Args::Has(const std::string& name) const {
+  return FindValue(name) != nullptr;
+}
+
+int64_t Args::GetInt(const std::string& name, int64_t def) const {
+  const std::string* v = FindValue(name);
+  return (v == nullptr || v->empty()) ? def : std::stoll(*v);
+}
+
+double Args::GetDouble(const std::string& name, double def) const {
+  const std::string* v = FindValue(name);
+  return (v == nullptr || v->empty()) ? def : std::stod(*v);
+}
+
+std::string Args::GetString(const std::string& name,
+                            const std::string& def) const {
+  const std::string* v = FindValue(name);
+  return (v == nullptr || v->empty()) ? def : *v;
+}
+
+}  // namespace sherman::bench

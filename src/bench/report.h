@@ -1,0 +1,53 @@
+// Plain-text table reporting for the bench binaries, plus a tiny argv
+// parser shared by them.
+#ifndef SHERMAN_BENCH_REPORT_H_
+#define SHERMAN_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sherman::bench {
+
+// Aligned-column table, printed like the paper's tables.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetColumns(std::vector<std::string> columns) {
+    columns_ = std::move(columns);
+  }
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+  void Print(FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Fmt(double v, int precision = 2);
+std::string FmtUs(uint64_t ns, int precision = 1);  // ns -> "x.y"
+
+// Minimal flag parser: --name=value or --name value or bare --flag.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+ private:
+  const std::string* FindValue(const std::string& name) const;
+
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+}  // namespace sherman::bench
+
+#endif  // SHERMAN_BENCH_REPORT_H_

@@ -1,0 +1,149 @@
+#include "bench/runner.h"
+
+#include <memory>
+
+#include "sim/task.h"
+#include "util/logging.h"
+
+namespace sherman::bench {
+
+namespace {
+
+struct RunContext {
+  bool measuring = false;
+  bool stop = false;
+  sim::SimTime measure_start = 0;
+  sim::SimTime measure_end = 0;
+  RunStats stats;
+  uint64_t live_clients = 0;
+};
+
+sim::Task<void> ClientLoop(ShermanSystem* system, int cs_id,
+                           WorkloadGenerator gen, RunContext* ctx) {
+  TreeClient& client = system->client(cs_id);
+  sim::Simulator& sim = system->simulator();
+  std::vector<std::pair<Key, uint64_t>> range_buf;
+
+  while (!ctx->stop) {
+    const Op op = gen.Next();
+    OpStats op_stats;
+    const sim::SimTime start = sim.now();
+    bool is_write = false;
+    bool is_read = false;
+    switch (op.type) {
+      case OpType::kInsert: {
+        is_write = true;
+        Status st = co_await client.Insert(op.key, op.value, &op_stats);
+        SHERMAN_CHECK_MSG(st.ok(), "insert failed: %s",
+                          st.ToString().c_str());
+        break;
+      }
+      case OpType::kLookup: {
+        is_read = true;
+        uint64_t value = 0;
+        Status st = co_await client.Lookup(op.key, &value, &op_stats);
+        SHERMAN_CHECK_MSG(st.ok() || st.IsNotFound(), "lookup failed: %s",
+                          st.ToString().c_str());
+        break;
+      }
+      case OpType::kRangeQuery: {
+        Status st = co_await client.RangeQuery(op.key, op.range_size,
+                                               &range_buf, &op_stats);
+        SHERMAN_CHECK_MSG(st.ok(), "range failed: %s", st.ToString().c_str());
+        break;
+      }
+      case OpType::kDelete: {
+        is_write = true;
+        Status st = co_await client.Delete(op.key, &op_stats);
+        SHERMAN_CHECK_MSG(st.ok() || st.IsNotFound(), "delete failed: %s",
+                          st.ToString().c_str());
+        break;
+      }
+    }
+    if (ctx->measuring) {
+      AccumulateOp(&ctx->stats, op_stats, sim.now() - start, is_write,
+                   is_read);
+    }
+  }
+  ctx->live_clients--;
+}
+
+}  // namespace
+
+std::vector<std::pair<Key, uint64_t>> MakeLoadKvs(uint64_t n) {
+  std::vector<std::pair<Key, uint64_t>> kvs;
+  kvs.reserve(n);
+  for (uint64_t r = 0; r < n; r++) {
+    const Key k = WorkloadGenerator::LoadedKeyFor(r);
+    kvs.emplace_back(k, k * 31 + 7);
+  }
+  return kvs;
+}
+
+RunResult RunWorkload(ShermanSystem* system, const RunnerOptions& options) {
+  sim::Simulator& sim = system->simulator();
+  auto ctx = std::make_unique<RunContext>();
+
+  // Snapshot per-client counters so repeated runs report deltas.
+  uint64_t handovers_before = 0;
+  uint64_t cas_fail_before = 0;
+  uint64_t cache_hits_before = 0, cache_misses_before = 0;
+  for (int cs = 0; cs < system->num_clients(); cs++) {
+    handovers_before += system->client(cs).hocl().handovers();
+    cas_fail_before += system->client(cs).hocl().global_cas_failures();
+    cache_hits_before += system->client(cs).cache().stats().hits;
+    cache_misses_before += system->client(cs).cache().stats().misses;
+  }
+
+  for (int cs = 0; cs < system->num_clients(); cs++) {
+    for (int t = 0; t < options.threads_per_cs; t++) {
+      const uint64_t seed =
+          options.seed * 0x9e3779b9u + static_cast<uint64_t>(cs) * 1000 + t;
+      ctx->live_clients++;
+      sim::Spawn(ClientLoop(system, cs, WorkloadGenerator(options.workload, seed),
+                            ctx.get()));
+    }
+  }
+
+  const sim::SimTime t0 = sim.now();
+  sim.At(t0 + options.warmup_ns, [&ctx, &sim] {
+    ctx->measuring = true;
+    ctx->measure_start = sim.now();
+  });
+  sim.At(t0 + options.warmup_ns + options.measure_ns, [&ctx, &sim] {
+    ctx->measuring = false;
+    ctx->measure_end = sim.now();
+    ctx->stop = true;
+  });
+
+  sim.Run();  // drains: clients exit after their in-flight op finishes
+  SHERMAN_CHECK(ctx->live_clients == 0);
+
+  RunResult result;
+  result.measured_ns = ctx->measure_end - ctx->measure_start;
+  result.stats = std::move(ctx->stats);
+  result.mops = result.measured_ns == 0
+                    ? 0
+                    : static_cast<double>(result.stats.ops) * 1000.0 /
+                          static_cast<double>(result.measured_ns);
+
+  uint64_t hits = 0, misses = 0;
+  for (int cs = 0; cs < system->num_clients(); cs++) {
+    result.handovers += system->client(cs).hocl().handovers();
+    result.lock_cas_failures +=
+        system->client(cs).hocl().global_cas_failures();
+    hits += system->client(cs).cache().stats().hits;
+    misses += system->client(cs).cache().stats().misses;
+  }
+  result.handovers -= handovers_before;
+  result.lock_cas_failures -= cas_fail_before;
+  hits -= cache_hits_before;
+  misses -= cache_misses_before;
+  result.cache_hit_ratio =
+      (hits + misses) == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(hits + misses);
+  return result;
+}
+
+}  // namespace sherman::bench

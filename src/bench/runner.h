@@ -1,0 +1,50 @@
+// Bench runner: spawns client coroutines across compute servers, runs a
+// warmup window then a measurement window in *simulated* time, and reports
+// throughput, latency percentiles, and the paper's internal metrics.
+#ifndef SHERMAN_BENCH_RUNNER_H_
+#define SHERMAN_BENCH_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/btree.h"
+#include "core/stats.h"
+#include "workload/workload.h"
+
+namespace sherman::bench {
+
+struct RunnerOptions {
+  // Client threads (coroutines) per compute server; the paper's default
+  // cluster runs 22 per CS, 176 total (§5.1.3).
+  int threads_per_cs = 22;
+  WorkloadOptions workload;
+  sim::SimTime warmup_ns = 2'000'000;    // 2 ms simulated warmup
+  sim::SimTime measure_ns = 20'000'000;  // 20 ms simulated measurement
+  uint64_t seed = 42;
+};
+
+struct RunResult {
+  double mops = 0;                // measured throughput, Mops
+  sim::SimTime measured_ns = 0;   // actual window length
+  RunStats stats;                 // latency + internal metrics
+  double cache_hit_ratio = 0;     // aggregated over all clients
+  uint64_t handovers = 0;         // HOCL lock handovers
+  uint64_t lock_cas_failures = 0; // failed global CAS attempts
+
+  double P50Us() const { return stats.latency_ns.P50() / 1000.0; }
+  double P90Us() const { return stats.latency_ns.P90() / 1000.0; }
+  double P99Us() const { return stats.latency_ns.P99() / 1000.0; }
+};
+
+// Runs the workload on an already-bulkloaded system. Drains the simulator
+// before returning; the system can be reused for further runs (state
+// persists, counters are reset per run).
+RunResult RunWorkload(ShermanSystem* system, const RunnerOptions& options);
+
+// Convenience: the bulkload key/value vector for `n` loaded keys (the even
+// keys the workload generator targets), values derived from keys.
+std::vector<std::pair<Key, uint64_t>> MakeLoadKvs(uint64_t n);
+
+}  // namespace sherman::bench
+
+#endif  // SHERMAN_BENCH_RUNNER_H_

@@ -1,0 +1,130 @@
+#include "cache/index_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sherman {
+
+IndexCache::IndexCache(uint64_t capacity_bytes, uint32_t node_bytes,
+                       uint64_t seed)
+    : capacity_bytes_(capacity_bytes), node_bytes_(node_bytes), rng_(seed) {}
+
+IndexCache::~IndexCache() = default;
+
+const ParsedInternal* IndexCache::LookupLevel1(Key key) {
+  uint64_t found_lo = 0;
+  std::unique_ptr<Entry>* slot = level1_.FindLessOrEqual(key, &found_lo);
+  if (slot != nullptr) {
+    Entry* e = slot->get();
+    if (key >= e->node.lo && key < e->node.hi) {
+      e->last_used = ++tick_;
+      stats_.hits++;
+      return &e->node;
+    }
+  }
+  stats_.misses++;
+  return nullptr;
+}
+
+void IndexCache::Insert(const ParsedInternal& node) {
+  if (node.level != 1) {
+    upper_[node.level][node.lo] = node;
+    return;
+  }
+  uint64_t found_lo = 0;
+  std::unique_ptr<Entry>* slot = level1_.FindLessOrEqual(node.lo, &found_lo);
+  if (slot != nullptr && found_lo == node.lo) {
+    // Refresh in place.
+    (*slot)->node = node;
+    (*slot)->last_used = ++tick_;
+    return;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->node = node;
+  entry->last_used = ++tick_;
+  entry->pool_index = pool_.size();
+  pool_.push_back(entry.get());
+  level1_.Insert(node.lo, std::move(entry));
+  bytes_used_ += node_bytes_;
+  EvictIfNeeded();
+}
+
+const ParsedInternal* IndexCache::LookupUpper(Key key) {
+  // Deepest (smallest level) upper node covering key.
+  for (auto& [level, nodes] : upper_) {
+    auto it = nodes.upper_bound(key);
+    if (it == nodes.begin()) continue;
+    --it;
+    ParsedInternal& node = it->second;
+    if (key >= node.lo && key < node.hi) return &node;
+  }
+  return nullptr;
+}
+
+void IndexCache::Invalidate(Key key, rdma::GlobalAddress addr) {
+  uint64_t found_lo = 0;
+  std::unique_ptr<Entry>* slot = level1_.FindLessOrEqual(key, &found_lo);
+  if (slot != nullptr) {
+    Entry* e = slot->get();
+    if (e->node.self == addr && key >= e->node.lo && key < e->node.hi) {
+      stats_.invalidations++;
+      RemoveEntry(e);
+      return;
+    }
+  }
+  for (auto& [level, nodes] : upper_) {
+    auto it = nodes.upper_bound(key);
+    if (it == nodes.begin()) continue;
+    --it;
+    if (it->second.self == addr && key >= it->second.lo &&
+        key < it->second.hi) {
+      stats_.invalidations++;
+      nodes.erase(it);
+      return;
+    }
+  }
+}
+
+void IndexCache::InvalidateLevel1Covering(Key key) {
+  uint64_t found_lo = 0;
+  std::unique_ptr<Entry>* slot = level1_.FindLessOrEqual(key, &found_lo);
+  if (slot != nullptr) {
+    Entry* e = slot->get();
+    if (key >= e->node.lo && key < e->node.hi) {
+      stats_.invalidations++;
+      RemoveEntry(e);
+    }
+  }
+}
+
+void IndexCache::Clear() {
+  while (!pool_.empty()) RemoveEntry(pool_.back());
+  upper_.clear();
+}
+
+void IndexCache::RemoveEntry(Entry* entry) {
+  // Swap-remove from the sampling pool, then drop from the skiplist.
+  const size_t idx = entry->pool_index;
+  SHERMAN_CHECK(idx < pool_.size() && pool_[idx] == entry);
+  pool_[idx] = pool_.back();
+  pool_[idx]->pool_index = idx;
+  pool_.pop_back();
+  const Key lo = entry->node.lo;
+  SHERMAN_CHECK(level1_.Erase(lo));
+  bytes_used_ -= node_bytes_;
+}
+
+void IndexCache::EvictIfNeeded() {
+  // Power-of-two-choices (§4.2.3): sample two cached nodes, evict the one
+  // least recently used.
+  while (bytes_used_ > capacity_bytes_ && pool_.size() > 1) {
+    Entry* a = pool_[rng_.Uniform(pool_.size())];
+    Entry* b = pool_[rng_.Uniform(pool_.size())];
+    Entry* victim = (a->last_used <= b->last_used) ? a : b;
+    stats_.evictions++;
+    RemoveEntry(victim);
+  }
+}
+
+}  // namespace sherman

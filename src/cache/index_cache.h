@@ -1,0 +1,108 @@
+// IndexCache: the compute-server-side cache of internal tree nodes
+// (§4.2.3).
+//
+// Type ① — level-1 nodes (parents of leaves) — are cached in a skiplist
+// keyed by lower fence key, bounded by a byte capacity, and evicted with
+// power-of-two-choices: sample two random cached nodes and drop the least
+// recently used. A hit resolves a key directly to a leaf address (one
+// RDMA_READ per operation in the ideal case).
+//
+// Type ② — the highest two levels (including the root) — are always cached
+// (they are refreshed during traversals and never count against capacity;
+// there are only a handful of such nodes).
+//
+// The cache never causes consistency issues: fetched nodes carry fence keys
+// and level, which the tree validates; on violation the tree calls
+// Invalidate() and retries (the paper's lazy invalidation).
+#ifndef SHERMAN_CACHE_INDEX_CACHE_H_
+#define SHERMAN_CACHE_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/skiplist.h"
+#include "core/node_layout.h"
+#include "rdma/global_address.h"
+#include "util/random.h"
+
+namespace sherman {
+
+struct IndexCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+
+  double HitRatio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class IndexCache {
+ public:
+  IndexCache(uint64_t capacity_bytes, uint32_t node_bytes, uint64_t seed);
+  ~IndexCache();
+
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  // Type-① lookup: if a cached level-1 node covers `key`, returns it (its
+  // ChildFor(key) is the target leaf). Counts a hit/miss.
+  const ParsedInternal* LookupLevel1(Key key);
+
+  // Caches a node: level-1 nodes go to the bounded type-① structure;
+  // levels >= 2 go to the unbounded type-② top cache.
+  void Insert(const ParsedInternal& node);
+
+  // Type-② lookup: deepest cached upper-level node covering `key` (never
+  // level 1). Returns nullptr if none (caller starts at the root).
+  const ParsedInternal* LookupUpper(Key key);
+
+  // Drops the cached node (any type) whose range covers `key` at address
+  // `addr` — called when a fetched child contradicts the cached pointer.
+  void Invalidate(Key key, rdma::GlobalAddress addr);
+
+  // Drops the type-① entry covering `key` regardless of address — called
+  // when the leaf it steered to failed its fence check (lazy invalidation,
+  // §4.2.3).
+  void InvalidateLevel1Covering(Key key);
+
+  // Drops everything (used when the root moves).
+  void Clear();
+
+  const IndexCacheStats& stats() const { return stats_; }
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t level1_nodes() const { return pool_.size(); }
+
+ private:
+  struct Entry {
+    ParsedInternal node;
+    uint64_t last_used = 0;
+    size_t pool_index = 0;  // position in pool_ for O(1) random sampling
+  };
+
+  void EvictIfNeeded();
+  void RemoveEntry(Entry* entry);
+
+  uint64_t capacity_bytes_;
+  uint32_t node_bytes_;
+  Random rng_;
+  uint64_t tick_ = 0;
+  uint64_t bytes_used_ = 0;
+
+  SkipList<std::unique_ptr<Entry>> level1_;  // keyed by lo fence
+  std::vector<Entry*> pool_;                 // random-sampling mirror
+
+  // Type-② top cache: level -> (lo fence -> node).
+  std::map<uint8_t, std::map<Key, ParsedInternal>> upper_;
+
+  IndexCacheStats stats_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CACHE_INDEX_CACHE_H_

@@ -1,0 +1,131 @@
+// A deterministic skiplist map from uint64 keys to values, used by the
+// index cache (the paper structures the type-① cache as a skiplist, §4.2.3).
+// Single-threaded by construction: in the discrete-event simulation, client
+// coroutines of one compute server never interleave inside a call.
+#ifndef SHERMAN_CACHE_SKIPLIST_H_
+#define SHERMAN_CACHE_SKIPLIST_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sherman {
+
+template <typename V>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 16;
+
+  explicit SkipList(uint64_t seed = 1)
+      : rng_(seed), head_(new Node(0, V(), kMaxHeight)) {}
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts or overwrites.
+  void Insert(uint64_t key, V value) {
+    Node* prev[kMaxHeight];
+    Node* found = FindGreaterOrEqual(key, prev);
+    if (found != nullptr && found->key == key) {
+      found->value = std::move(value);
+      return;
+    }
+    const int height = RandomHeight();
+    Node* node = new Node(key, std::move(value), height);
+    for (int i = 0; i < height; i++) {
+      node->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = node;
+    }
+    size_++;
+  }
+
+  // Removes `key`; returns false if absent.
+  bool Erase(uint64_t key) {
+    Node* prev[kMaxHeight];
+    Node* found = FindGreaterOrEqual(key, prev);
+    if (found == nullptr || found->key != key) return false;
+    for (int i = 0; i < found->height; i++) {
+      if (prev[i]->next[i] == found) prev[i]->next[i] = found->next[i];
+    }
+    delete found;
+    size_--;
+    return true;
+  }
+
+  // Pointer to the value at `key`, or nullptr.
+  V* Find(uint64_t key) {
+    Node* prev[kMaxHeight];
+    Node* found = FindGreaterOrEqual(key, prev);
+    return (found != nullptr && found->key == key) ? &found->value : nullptr;
+  }
+
+  // Greatest entry with key <= `key` (nullptr if none). Sets *found_key.
+  V* FindLessOrEqual(uint64_t key, uint64_t* found_key) {
+    Node* prev[kMaxHeight];
+    Node* ge = FindGreaterOrEqual(key, prev);
+    if (ge != nullptr && ge->key == key) {
+      *found_key = ge->key;
+      return &ge->value;
+    }
+    if (prev[0] == head_) return nullptr;
+    *found_key = prev[0]->key;
+    return &prev[0]->value;
+  }
+
+  // In-order traversal helper for tests and iteration.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      fn(n->key, n->value);
+    }
+  }
+
+ private:
+  struct Node {
+    uint64_t key;
+    V value;
+    int height;
+    std::array<Node*, kMaxHeight> next{};
+
+    Node(uint64_t k, V v, int h) : key(k), value(std::move(v)), height(h) {}
+  };
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && (rng_.Next() & 3) == 0) h++;  // p = 1/4
+    return h;
+  }
+
+  // First node with node->key >= key; fills prev[] at every height.
+  Node* FindGreaterOrEqual(uint64_t key, Node** prev) {
+    Node* x = head_;
+    for (int i = kMaxHeight - 1; i >= 0; i--) {
+      while (x->next[i] != nullptr && x->next[i]->key < key) x = x->next[i];
+      prev[i] = x;
+    }
+    return x->next[0];
+  }
+
+  Random rng_;
+  Node* head_;
+  size_t size_ = 0;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CACHE_SKIPLIST_H_

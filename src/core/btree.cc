@@ -1,0 +1,874 @@
+#include "core/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace sherman {
+
+namespace {
+constexpr int kMaxSiblingChase = 64;
+}  // namespace
+
+void TreeOptions::Validate() const {
+  SHERMAN_CHECK(shape.node_size >= 128);
+  SHERMAN_CHECK(shape.key_size >= 8);
+  SHERMAN_CHECK(shape.value_size >= 8);
+  SHERMAN_CHECK_MSG(shape.leaf_capacity() >= 2, "node too small for leaves");
+  SHERMAN_CHECK_MSG(shape.internal_capacity() >= 3,
+                    "node too small for internal fanout");
+  if (two_level_versions) {
+    SHERMAN_CHECK_MSG(consistency == Consistency::kVersions,
+                      "two-level versions require version-based checks");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeClient
+// ---------------------------------------------------------------------------
+
+TreeClient::TreeClient(ShermanSystem* system, int cs_id)
+    : system_(system),
+      cs_id_(cs_id),
+      hocl_(&system->fabric(), cs_id, system->options().lock),
+      allocator_(&system->fabric(), cs_id),
+      cache_(system->options().enable_cache ? system->options().cache_bytes : 0,
+             system->options().shape.node_size,
+             /*seed=*/0x5eed0000 + static_cast<uint64_t>(cs_id)) {}
+
+const TreeOptions& TreeClient::opt() const { return system_->options_; }
+
+rdma::Qp& TreeClient::QpFor(rdma::GlobalAddress addr) {
+  return system_->fabric_.qp(cs_id_, addr.node);
+}
+
+sim::Task<Status> TreeClient::ReadRaw(rdma::GlobalAddress addr, uint8_t* buf,
+                                      uint32_t len, OpStats* stats) {
+  rdma::RdmaResult r =
+      co_await QpFor(addr).Post(rdma::WorkRequest::Read(addr, buf, len));
+  if (stats != nullptr) stats->round_trips++;
+  co_return r.status;
+}
+
+bool TreeClient::NodeConsistent(const uint8_t* buf) const {
+  NodeView view(const_cast<uint8_t*>(buf), &opt().shape);
+  if (opt().consistency == TreeOptions::Consistency::kChecksum) {
+    return view.VerifyChecksum();
+  }
+  return view.NodeVersionsMatch();
+}
+
+void TreeClient::SealNode(NodeView& view, bool /*structural_change*/) const {
+  if (opt().consistency == TreeOptions::Consistency::kChecksum) {
+    view.UpdateChecksum();
+  } else {
+    view.BumpNodeVersions();
+  }
+}
+
+sim::Task<Status> TreeClient::ReadNodeChecked(rdma::GlobalAddress addr,
+                                              uint8_t* buf, OpStats* stats) {
+  const TreeOptions& o = opt();
+  sim::Simulator& sim = system_->fabric_.simulator();
+  // Wraparound guard threshold: a 4-bit version can only wrap after 16
+  // writes, and every write of this node is lock-protected — at minimum a
+  // lock CAS round trip plus a full node read before the write-back. A
+  // read can therefore never legitimately be slower than 16 such cycles,
+  // no matter how congested the fabric (congestion slows the writers at
+  // least as much). The paper's 8 us constant is the idle-fabric floor.
+  // Each write cycle includes a node-sized READ from the same MS, so
+  // congestion inflates the writers at least as much as this reader; the
+  // 4x margin covers reader-side-only queueing asymmetry.
+  const rdma::FabricConfig& fcfg = system_->fabric_.config();
+  const sim::SimTime rtt = 2 * fcfg.wire_latency_ns + 600;
+  const sim::SimTime node_wire = static_cast<sim::SimTime>(
+      node_size() / fcfg.link_bytes_per_ns);
+  const sim::SimTime min_write_cycle = 2 * rtt + 2 * node_wire;
+  const sim::SimTime wrap_guard = std::max<sim::SimTime>(
+      o.version_wrap_retry_ns, 16 * 4 * min_write_cycle);
+  constexpr uint32_t kMaxWrapRetries = 16;
+  uint32_t wrap_retries = 0;
+  for (uint32_t i = 0; i < o.max_read_retries; i++) {
+    const sim::SimTime start = sim.now();
+    Status st = co_await ReadRaw(addr, buf, node_size(), stats);
+    if (!st.ok()) co_return st;
+    const sim::SimTime duration = sim.now() - start;
+    if (!NodeConsistent(buf)) {
+      if (stats != nullptr) stats->read_retries++;
+      continue;
+    }
+    // 4-bit wraparound guard (§4.4): a read long enough to span a full
+    // version cycle is retried even with matching versions. Re-reads are
+    // bounded: a sustained slow-read condition (congestion) cannot hide a
+    // wrap anyway — 16 lock-protected writes of one node take far longer
+    // than any transient queueing spike — and unbounded retries here would
+    // feed a metastable retry storm.
+    if (o.consistency == TreeOptions::Consistency::kVersions &&
+        duration > wrap_guard && wrap_retries < kMaxWrapRetries) {
+      wrap_retries++;
+      if (stats != nullptr) stats->read_retries++;
+      continue;
+    }
+    co_return Status::OK();
+  }
+  co_return Status::TimedOut("node read retries exhausted");
+}
+
+sim::Task<Status> TreeClient::LoadRoot(OpStats* stats) {
+  uint8_t ptr_buf[8];
+  Status st = co_await ReadRaw(rdma::GlobalAddress(0, kRootPointerOffset),
+                               ptr_buf, sizeof(ptr_buf), stats);
+  if (!st.ok()) co_return st;
+  uint64_t packed;
+  std::memcpy(&packed, ptr_buf, 8);
+  const rdma::GlobalAddress root = rdma::GlobalAddress::FromU64(packed);
+  SHERMAN_CHECK_MSG(!root.is_null(), "no root installed (bulk load missing?)");
+
+  std::vector<uint8_t> buf(node_size());
+  st = co_await ReadNodeChecked(root, buf.data(), stats);
+  if (!st.ok()) co_return st;
+  NodeView view(buf.data(), &opt().shape);
+  root_addr_ = root;
+  root_level_ = view.level();
+  root_known_ = true;
+  if (view.level() > 0 && opt().enable_cache) {
+    ParsedInternal parsed;
+    if (ParseInternal(buf.data(), opt().shape, root, &parsed).ok()) {
+      cache_.Insert(parsed);
+    }
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeClient::ReadInternalContaining(rdma::GlobalAddress addr,
+                                                     Key key,
+                                                     ParsedInternal* out,
+                                                     OpStats* stats) {
+  std::vector<uint8_t> buf(node_size());
+  uint32_t rereads = 0;
+  for (int chase = 0; chase < kMaxSiblingChase; chase++) {
+    Status st = co_await ReadNodeChecked(addr, buf.data(), stats);
+    if (!st.ok()) co_return st;
+    ParsedInternal parsed;
+    st = ParseInternal(buf.data(), opt().shape, addr, &parsed);
+    if (!st.ok()) {
+      // Torn read (Retry) or stale pointer landing on garbage (Corruption):
+      // re-read a few times, then hand the restart decision to the caller.
+      if (stats != nullptr) stats->read_retries++;
+      if (++rereads > 8) co_return Status::Retry("unparseable internal node");
+      chase--;
+      continue;
+    }
+    if (key < parsed.lo) co_return Status::Retry("fell left of node");
+    if (key >= parsed.hi) {
+      if (parsed.sibling.is_null()) {
+        co_return Status::Retry("missing sibling during chase");
+      }
+      addr = parsed.sibling;
+      continue;
+    }
+    *out = std::move(parsed);
+    co_return Status::OK();
+  }
+  co_return Status::Retry("sibling chase bound exceeded");
+}
+
+sim::Task<StatusOr<rdma::GlobalAddress>> TreeClient::FindNodeAddr(
+    Key key, uint8_t target_level, OpStats* stats) {
+  const TreeOptions& o = opt();
+  for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    rdma::GlobalAddress addr;
+    bool have_start = false;
+    if (o.enable_cache) {
+      const ParsedInternal* p = cache_.LookupUpper(key);
+      if (p != nullptr && p->level > target_level) {
+        if (p->level == target_level + 1) co_return p->ChildFor(key);
+        addr = p->ChildFor(key);
+        have_start = true;
+      }
+    }
+    if (!have_start) {
+      if (!root_known_) {
+        Status st = co_await LoadRoot(stats);
+        if (!st.ok()) co_return st;
+      }
+      if (root_level_ < target_level) {
+        co_return Status::Internal("target level above root");
+      }
+      if (root_level_ == target_level) co_return root_addr_;
+      addr = root_addr_;
+    }
+
+    bool restart = false;
+    while (!restart) {
+      ParsedInternal parsed;
+      Status st = co_await ReadInternalContaining(addr, key, &parsed, stats);
+      if (st.IsRetry()) {
+        cache_.Invalidate(key, addr);
+        // Refresh the root only when it is implicated or restarts repeat:
+        // a stale root stays correct via sibling chases, and re-reading it
+        // from every client on every invalidation would hammer its MS.
+        if (addr == root_addr_ || attempt >= 2) root_known_ = false;
+        restart = true;
+        break;
+      }
+      if (!st.ok()) co_return st;
+      if (o.enable_cache) cache_.Insert(parsed);
+      if (parsed.level <= target_level) {
+        // Stale starting point steered us too deep; restart from the root.
+        cache_.Invalidate(key, parsed.self);
+        if (attempt >= 2) root_known_ = false;
+        restart = true;
+        break;
+      }
+      if (parsed.level == target_level + 1) co_return parsed.ChildFor(key);
+      addr = parsed.ChildFor(key);
+    }
+  }
+  co_return Status::Internal("traversal restarts exhausted");
+}
+
+sim::Task<StatusOr<TreeClient::LeafRef>> TreeClient::FindLeafAddr(
+    Key key, OpStats* stats) {
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  co_await system_->fabric_.simulator().Delay(f.cpu_cache_lookup_ns);
+  if (opt().enable_cache) {
+    const ParsedInternal* p = cache_.LookupLevel1(key);
+    if (p != nullptr) {
+      if (stats != nullptr) stats->cache_hits++;
+      co_return LeafRef{p->ChildFor(key), true};
+    }
+    if (stats != nullptr) stats->cache_misses++;
+  }
+  StatusOr<rdma::GlobalAddress> r = co_await FindNodeAddr(key, 0, stats);
+  if (!r.ok()) co_return r.status();
+  co_return LeafRef{*r, false};
+}
+
+sim::Task<StatusOr<TreeClient::Locked>> TreeClient::LockAndRead(
+    rdma::GlobalAddress addr, Key key, uint8_t* buf, OpStats* stats) {
+  const TreeOptions& o = opt();
+  for (int chase = 0; chase < kMaxSiblingChase; chase++) {
+    LockGuard guard = co_await hocl_.Lock(addr, stats);
+    Status st = co_await ReadRaw(addr, buf, node_size(), stats);
+    SHERMAN_CHECK(st.ok());
+    NodeView view(buf, &o.shape);
+    if (!view.is_free() && view.InFence(key)) {
+      co_return Locked{addr, guard};
+    }
+    const rdma::GlobalAddress next = (!view.is_free() && key >= view.hi_fence())
+                                         ? view.sibling()
+                                         : rdma::kNullAddress;
+    co_await hocl_.Unlock(guard, {}, o.combine_commands, stats);
+    cache_.InvalidateLevel1Covering(key);
+    if (next.is_null()) co_return Status::Retry("locked node unusable");
+    addr = next;
+  }
+  co_return Status::Retry("locked sibling chase bound");
+}
+
+// --- Insert ---------------------------------------------------------------
+
+sim::Task<Status> TreeClient::Insert(Key key, uint64_t value, OpStats* stats) {
+  SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
+
+  for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
+    if (!leaf_r.ok()) co_return leaf_r.status();
+
+    std::vector<uint8_t> buf(node_size());
+    StatusOr<Locked> locked_r =
+        co_await LockAndRead(leaf_r->addr, key, buf.data(), stats);
+    if (!locked_r.ok()) {
+      if (locked_r.status().IsRetry()) continue;
+      co_return locked_r.status();
+    }
+    Locked locked = *locked_r;
+    NodeView view(buf.data(), &o.shape);
+
+    if (o.two_level_versions) {
+      // Unsorted leaf: update in place or fill an empty slot; only the
+      // touched entry is written back (Figure 7, lines 11-17).
+      co_await system_->fabric_.simulator().Delay(f.cpu_leaf_scan_ns);
+      NodeView::SlotResult slot = view.FindLeafSlot(key);
+      const uint32_t i = slot.match != UINT32_MAX ? slot.match : slot.empty;
+      if (i != UINT32_MAX) {
+        view.SetLeafEntry(i, key, value);
+        const uint32_t off = view.LeafEntryOffset(i);
+        const uint32_t entry_size = o.shape.leaf_entry_size();
+        if (stats != nullptr) stats->bytes_written += entry_size;
+        std::vector<rdma::WorkRequest> wrs;
+        wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(off),
+                                               buf.data() + off, entry_size));
+        co_await hocl_.Unlock(locked.guard, std::move(wrs),
+                              o.combine_commands, stats);
+        co_return Status::OK();
+      }
+    } else {
+      // Sorted leaf (FG): shift-insert locally, write back the whole node.
+      co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+      if (view.SortedLeafInsert(key, value)) {
+        SealNode(view, /*structural_change=*/false);
+        if (stats != nullptr) stats->bytes_written += node_size();
+        std::vector<rdma::WorkRequest> wrs;
+        wrs.push_back(
+            rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+        co_await hocl_.Unlock(locked.guard, std::move(wrs),
+                              o.combine_commands, stats);
+        co_return Status::OK();
+      }
+    }
+    co_return co_await SplitLeafAndUnlock(locked, std::move(buf), key, value,
+                                          stats);
+  }
+  co_return Status::Internal("insert restarts exhausted");
+}
+
+sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
+                                                 std::vector<uint8_t> buf,
+                                                 Key key, uint64_t value,
+                                                 OpStats* stats) {
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  NodeView view(buf.data(), &o.shape);
+  co_await system_->fabric_.simulator().Delay(f.cpu_node_sort_ns);
+
+  // Collect live entries (+ the new pair), sorted (Figure 7, line 21).
+  std::vector<std::pair<Key, uint64_t>> entries;
+  if (o.two_level_versions) {
+    const uint32_t cap = o.shape.leaf_capacity();
+    for (uint32_t i = 0; i < cap; i++) {
+      const Key k = view.LeafKey(i);
+      if (k != kNullKey) entries.emplace_back(k, view.LeafValue(i));
+    }
+  } else {
+    const uint32_t n = view.count();
+    for (uint32_t i = 0; i < n; i++) {
+      entries.emplace_back(view.LeafKey(i), view.LeafValue(i));
+    }
+  }
+  bool replaced = false;
+  for (auto& e : entries) {
+    if (e.first == key) {
+      e.second = value;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries.emplace_back(key, value);
+  std::sort(entries.begin(), entries.end());
+
+  // Allocate the sibling (may RPC a memory thread; Figure 7, line 20).
+  const rdma::GlobalAddress sib_addr =
+      co_await allocator_.Alloc(node_size());
+  if (sib_addr.is_null()) {
+    co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+    co_return Status::OutOfMemory("disaggregated memory exhausted");
+  }
+
+  const size_t mid = entries.size() / 2;
+  const Key split_key = entries[mid].first;
+  const Key old_lo = view.lo_fence();
+  const Key old_hi = view.hi_fence();
+  const rdma::GlobalAddress old_sibling = view.sibling();
+  const uint8_t new_version = (view.front_version() + 1) & 0xf;
+
+  // Build the sibling: upper half, fences [split_key, old_hi).
+  std::vector<uint8_t> sib_buf(node_size());
+  NodeView sib(sib_buf.data(), &o.shape);
+  sib.InitLeaf(split_key, old_hi, old_sibling);
+  for (size_t j = mid; j < entries.size(); j++) {
+    sib.SetLeafEntryRaw(static_cast<uint32_t>(j - mid), entries[j].first,
+                        entries[j].second);
+  }
+  if (!o.two_level_versions) {
+    sib.set_count(static_cast<uint16_t>(entries.size() - mid));
+  }
+  if (o.consistency == TreeOptions::Consistency::kChecksum) {
+    sib.UpdateChecksum();
+  }
+
+  // Rebuild this node: lower half, fences [old_lo, split_key), sibling ->
+  // the new node; node-level versions bump (Figure 7, lines 26-28).
+  view.InitLeaf(old_lo, split_key, sib_addr);
+  for (size_t j = 0; j < mid; j++) {
+    view.SetLeafEntryRaw(static_cast<uint32_t>(j), entries[j].first,
+                         entries[j].second);
+  }
+  if (!o.two_level_versions) view.set_count(static_cast<uint16_t>(mid));
+  buf[kOffFnv] = new_version;
+  buf[o.shape.node_size - 1] = new_version;
+  if (o.consistency == TreeOptions::Consistency::kChecksum) {
+    view.UpdateChecksum();
+  }
+  if (stats != nullptr) stats->bytes_written += 2ull * node_size();
+
+  // Write back. If the sibling landed on the same MS the three commands
+  // (sibling, node, lock release) combine into one doorbell batch (§4.5).
+  std::vector<rdma::WorkRequest> wrs;
+  if (sib_addr.node == locked.addr.node) {
+    wrs.push_back(
+        rdma::WorkRequest::Write(sib_addr, sib_buf.data(), node_size()));
+  } else {
+    rdma::RdmaResult r = co_await QpFor(sib_addr).Post(
+        rdma::WorkRequest::Write(sib_addr, sib_buf.data(), node_size()));
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+  }
+  wrs.push_back(rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+  co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                        stats);
+
+  // Ascend: insert the separator into the parent level (Figure 7, line 39).
+  co_return co_await InsertInternal(split_key, sib_addr,
+                                    static_cast<uint8_t>(view.level() + 1),
+                                    stats);
+}
+
+sim::Task<Status> TreeClient::InsertInternal(Key sep,
+                                             rdma::GlobalAddress child,
+                                             uint8_t level, OpStats* stats) {
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+
+  for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    if (!root_known_) {
+      Status st = co_await LoadRoot(stats);
+      if (!st.ok()) co_return st;
+    }
+    if (root_level_ < level) {
+      Status st = co_await MakeNewRoot(sep, child, level, stats);
+      if (st.IsRetry()) continue;  // lost the root CAS; root refreshed
+      co_return st;
+    }
+
+    StatusOr<rdma::GlobalAddress> addr_r =
+        co_await FindNodeAddr(sep, level, stats);
+    if (!addr_r.ok()) co_return addr_r.status();
+
+    std::vector<uint8_t> buf(node_size());
+    StatusOr<Locked> locked_r =
+        co_await LockAndRead(*addr_r, sep, buf.data(), stats);
+    if (!locked_r.ok()) {
+      if (locked_r.status().IsRetry()) continue;
+      co_return locked_r.status();
+    }
+    Locked locked = *locked_r;
+    NodeView view(buf.data(), &o.shape);
+    SHERMAN_CHECK_MSG(view.level() == level, "locked level %u, wanted %u",
+                      view.level(), level);
+
+    co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+    if (view.InternalInsert(sep, child)) {
+      SealNode(view, /*structural_change=*/true);
+      if (stats != nullptr) stats->bytes_written += node_size();
+      std::vector<rdma::WorkRequest> wrs;
+      wrs.push_back(
+          rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+      co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                            stats);
+      co_return Status::OK();
+    }
+
+    // Internal split: promote the middle separator (it moves up, unlike a
+    // leaf split).
+    co_await system_->fabric_.simulator().Delay(f.cpu_node_sort_ns);
+    std::vector<std::pair<Key, rdma::GlobalAddress>> ents;
+    const uint32_t n = view.count();
+    ents.reserve(n + 1);
+    for (uint32_t i = 0; i < n; i++) {
+      ents.emplace_back(view.InternalKey(i), view.InternalChild(i));
+    }
+    ents.emplace_back(sep, child);
+    std::sort(ents.begin(), ents.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    const rdma::GlobalAddress right_addr =
+        co_await allocator_.Alloc(node_size());
+    if (right_addr.is_null()) {
+      co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+      co_return Status::OutOfMemory("disaggregated memory exhausted");
+    }
+
+    const size_t mid = ents.size() / 2;
+    const Key promote = ents[mid].first;
+    const Key old_lo = view.lo_fence();
+    const Key old_hi = view.hi_fence();
+    const rdma::GlobalAddress old_sibling = view.sibling();
+    const rdma::GlobalAddress old_leftmost = view.leftmost_child();
+    const uint8_t new_version = (view.front_version() + 1) & 0xf;
+
+    std::vector<uint8_t> right_buf(node_size());
+    NodeView right(right_buf.data(), &o.shape);
+    right.InitInternal(level, promote, old_hi, old_sibling,
+                       /*leftmost=*/ents[mid].second);
+    for (size_t j = mid + 1; j < ents.size(); j++) {
+      right.SetInternalEntry(static_cast<uint32_t>(j - mid - 1),
+                             ents[j].first, ents[j].second);
+    }
+    right.set_count(static_cast<uint16_t>(ents.size() - mid - 1));
+    if (o.consistency == TreeOptions::Consistency::kChecksum) {
+      right.UpdateChecksum();
+    }
+
+    view.InitInternal(level, old_lo, promote, right_addr, old_leftmost);
+    for (size_t j = 0; j < mid; j++) {
+      view.SetInternalEntry(static_cast<uint32_t>(j), ents[j].first,
+                            ents[j].second);
+    }
+    view.set_count(static_cast<uint16_t>(mid));
+    buf[kOffFnv] = new_version;
+    buf[o.shape.node_size - 1] = new_version;
+    if (o.consistency == TreeOptions::Consistency::kChecksum) {
+      view.UpdateChecksum();
+    }
+    if (stats != nullptr) stats->bytes_written += 2ull * node_size();
+
+    std::vector<rdma::WorkRequest> wrs;
+    if (right_addr.node == locked.addr.node) {
+      wrs.push_back(
+          rdma::WorkRequest::Write(right_addr, right_buf.data(), node_size()));
+    } else {
+      rdma::RdmaResult r = co_await QpFor(right_addr).Post(
+          rdma::WorkRequest::Write(right_addr, right_buf.data(), node_size()));
+      if (stats != nullptr) stats->round_trips++;
+      SHERMAN_CHECK(r.status.ok());
+    }
+    wrs.push_back(
+        rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+    co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                          stats);
+
+    co_return co_await InsertInternal(promote, right_addr,
+                                      static_cast<uint8_t>(level + 1), stats);
+  }
+  co_return Status::Internal("internal insert restarts exhausted");
+}
+
+sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
+                                          uint8_t level, OpStats* stats) {
+  const TreeOptions& o = opt();
+  const rdma::GlobalAddress old_root = root_addr_;
+
+  const rdma::GlobalAddress addr = co_await allocator_.Alloc(node_size());
+  if (addr.is_null()) co_return Status::OutOfMemory();
+
+  std::vector<uint8_t> buf(node_size());
+  NodeView view(buf.data(), &o.shape);
+  view.InitInternal(level, 0, kMaxKey, rdma::kNullAddress,
+                    /*leftmost=*/old_root);
+  SHERMAN_CHECK(view.InternalInsert(sep, child));
+  if (o.consistency == TreeOptions::Consistency::kChecksum) {
+    view.UpdateChecksum();
+  }
+
+  rdma::RdmaResult w = co_await QpFor(addr).Post(
+      rdma::WorkRequest::Write(addr, buf.data(), node_size()));
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(w.status.ok());
+
+  // Publish via CAS on the meta root pointer.
+  uint64_t fetched = 0;
+  rdma::RdmaResult c = co_await system_->fabric_.qp(cs_id_, 0).Post(
+      rdma::WorkRequest::Cas(rdma::GlobalAddress(0, kRootPointerOffset),
+                             old_root.ToU64(), addr.ToU64(), &fetched));
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(c.status.ok());
+  if (!c.cas_success) {
+    allocator_.Free(addr, node_size());
+    root_known_ = false;  // someone else grew the tree
+    co_return Status::Retry("root CAS lost");
+  }
+  root_addr_ = addr;
+  root_level_ = level;
+  root_known_ = true;
+  if (o.enable_cache) {
+    ParsedInternal parsed;
+    if (ParseInternal(buf.data(), o.shape, addr, &parsed).ok()) {
+      cache_.Insert(parsed);
+    }
+  }
+  co_return Status::OK();
+}
+
+// --- Lookup ----------------------------------------------------------------
+
+sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
+                                     OpStats* stats) {
+  SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
+
+  std::vector<uint8_t> buf(node_size());
+  for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
+    if (!leaf_r.ok()) co_return leaf_r.status();
+    rdma::GlobalAddress addr = leaf_r->addr;
+
+    bool restart = false;
+    uint32_t entry_retries = 0;
+    for (int chase = 0; chase < kMaxSiblingChase && !restart; chase++) {
+      Status st = co_await ReadNodeChecked(addr, buf.data(), stats);
+      if (!st.ok()) co_return st;
+      NodeView view(buf.data(), &o.shape);
+      if (view.is_free() || !view.is_leaf() || key < view.lo_fence()) {
+        cache_.InvalidateLevel1Covering(key);
+        restart = true;
+        break;
+      }
+      if (key >= view.hi_fence()) {
+        cache_.InvalidateLevel1Covering(key);
+        if (view.sibling().is_null()) {
+          restart = true;
+          break;
+        }
+        addr = view.sibling();
+        continue;
+      }
+      if (o.two_level_versions) {
+        // Unsorted leaf: full scan, then the entry-level check (Figure 9).
+        co_await system_->fabric_.simulator().Delay(f.cpu_leaf_scan_ns);
+        NodeView::SlotResult slot = view.FindLeafSlot(key);
+        if (slot.match == UINT32_MAX) co_return Status::NotFound();
+        if (!view.LeafEntryVersionsMatch(slot.match)) {
+          if (stats != nullptr) stats->read_retries++;
+          if (++entry_retries > o.max_read_retries) {
+            co_return Status::TimedOut("entry version retries exhausted");
+          }
+          chase--;  // re-read the same leaf
+          continue;
+        }
+        *value = view.LeafValue(slot.match);
+        co_return Status::OK();
+      }
+      co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+      const uint32_t i = view.SortedLeafFind(key);
+      if (i == UINT32_MAX) co_return Status::NotFound();
+      *value = view.LeafValue(i);
+      co_return Status::OK();
+    }
+    if (!restart) co_return Status::Internal("lookup chase bound");
+  }
+  co_return Status::Internal("lookup restarts exhausted");
+}
+
+// --- Delete ----------------------------------------------------------------
+
+sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
+  SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
+
+  for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
+    if (!leaf_r.ok()) co_return leaf_r.status();
+
+    std::vector<uint8_t> buf(node_size());
+    StatusOr<Locked> locked_r =
+        co_await LockAndRead(leaf_r->addr, key, buf.data(), stats);
+    if (!locked_r.ok()) {
+      if (locked_r.status().IsRetry()) continue;
+      co_return locked_r.status();
+    }
+    Locked locked = *locked_r;
+    NodeView view(buf.data(), &o.shape);
+
+    if (o.two_level_versions) {
+      // Clear the entry (key = null) and bump its versions (§4.4,
+      // "Delete operation"); only the entry is written back.
+      co_await system_->fabric_.simulator().Delay(f.cpu_leaf_scan_ns);
+      NodeView::SlotResult slot = view.FindLeafSlot(key);
+      if (slot.match == UINT32_MAX) {
+        co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+        co_return Status::NotFound();
+      }
+      view.SetLeafEntry(slot.match, kNullKey, 0);
+      const uint32_t off = view.LeafEntryOffset(slot.match);
+      const uint32_t entry_size = o.shape.leaf_entry_size();
+      if (stats != nullptr) stats->bytes_written += entry_size;
+      std::vector<rdma::WorkRequest> wrs;
+      wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(off),
+                                             buf.data() + off, entry_size));
+      co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                            stats);
+      co_return Status::OK();
+    }
+
+    co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+    if (!view.SortedLeafRemove(key)) {
+      co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+      co_return Status::NotFound();
+    }
+    SealNode(view, /*structural_change=*/false);
+    if (stats != nullptr) stats->bytes_written += node_size();
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(
+        rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+    co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                          stats);
+    co_return Status::OK();
+  }
+  co_return Status::Internal("delete restarts exhausted");
+}
+
+// --- Range query -----------------------------------------------------------
+
+sim::Task<void> TreeClient::ReadInto(rdma::GlobalAddress addr, uint8_t* buf,
+                                     uint32_t len,
+                                     sim::CountdownLatch* latch) {
+  co_await QpFor(addr).Post(rdma::WorkRequest::Read(addr, buf, len));
+  latch->Arrive();
+}
+
+sim::Task<Status> TreeClient::RangeQuery(
+    Key from, uint32_t count, std::vector<std::pair<Key, uint64_t>>* out,
+    OpStats* stats) {
+  SHERMAN_CHECK(from != kNullKey && from != kMaxKey);
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  out->clear();
+  if (count == 0) co_return Status::OK();
+  co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
+
+  Key cursor = from;
+  const uint32_t per_leaf_estimate = std::max(1u, o.shape.leaf_capacity() / 2);
+  std::vector<std::vector<uint8_t>> bufs;
+
+  for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    // Plan a batch of target leaves from the cached level-1 node, falling
+    // back to a single traversal; fetch them with parallel RDMA_READs
+    // (§4.4, "Range query").
+    std::vector<rdma::GlobalAddress> leaves;
+    const uint32_t still_needed =
+        count - static_cast<uint32_t>(out->size());
+    uint32_t want =
+        std::min(16u, (still_needed + per_leaf_estimate - 1) / per_leaf_estimate);
+    if (want == 0) want = 1;
+    if (o.enable_cache) {
+      const ParsedInternal* p = cache_.LookupLevel1(cursor);
+      if (p != nullptr) {
+        for (uint32_t j = 0; j < want; j++) {
+          const rdma::GlobalAddress a = p->ChildAfter(cursor, j);
+          if (a.is_null()) break;
+          leaves.push_back(a);
+        }
+      }
+    }
+    if (leaves.empty()) {
+      StatusOr<LeafRef> r = co_await FindLeafAddr(cursor, stats);
+      if (!r.ok()) co_return r.status();
+      leaves.push_back(r->addr);
+    }
+
+    bufs.assign(leaves.size(), std::vector<uint8_t>(node_size()));
+    sim::CountdownLatch latch(leaves.size());
+    for (size_t i = 0; i < leaves.size(); i++) {
+      sim::Spawn(ReadInto(leaves[i], bufs[i].data(), node_size(), &latch));
+    }
+    co_await latch.Wait();
+    if (stats != nullptr) {
+      stats->round_trips += static_cast<uint32_t>(leaves.size());
+    }
+
+    bool restart = false;
+    bool done = false;
+    for (size_t i = 0; i < leaves.size() && !restart && !done; i++) {
+      uint32_t rereads = 0;
+      while (true) {
+        if (rereads > o.max_read_retries) {
+          co_return Status::TimedOut("range leaf retries exhausted");
+        }
+        NodeView view(bufs[i].data(), &o.shape);
+        bool reread_needed = !NodeConsistent(bufs[i].data());
+        if (!reread_needed) {
+          if (view.is_free() || !view.is_leaf() || cursor < view.lo_fence() ||
+              cursor >= view.hi_fence()) {
+            cache_.InvalidateLevel1Covering(cursor);
+            restart = true;
+            break;
+          }
+          // Collect entries >= from; a torn entry forces a leaf re-read.
+          co_await system_->fabric_.simulator().Delay(
+              o.two_level_versions ? f.cpu_leaf_scan_ns
+                                   : f.cpu_node_search_ns);
+          std::vector<std::pair<Key, uint64_t>> got;
+          if (o.two_level_versions) {
+            const uint32_t cap = o.shape.leaf_capacity();
+            for (uint32_t s = 0; s < cap; s++) {
+              const Key k = view.LeafKey(s);
+              if (k == kNullKey) continue;
+              if (!view.LeafEntryVersionsMatch(s)) {
+                reread_needed = true;
+                break;
+              }
+              if (k >= from) got.emplace_back(k, view.LeafValue(s));
+            }
+          } else {
+            const uint32_t n = view.count();
+            for (uint32_t s = 0; s < n; s++) {
+              const Key k = view.LeafKey(s);
+              if (k >= from) got.emplace_back(k, view.LeafValue(s));
+            }
+          }
+          if (!reread_needed) {
+            std::sort(got.begin(), got.end());
+            for (const auto& kv : got) {
+              if (out->size() >= count) break;
+              out->push_back(kv);
+            }
+            cursor = view.hi_fence();
+            if (out->size() >= count || cursor == kMaxKey) done = true;
+            break;
+          }
+        }
+        // Re-read this leaf.
+        if (stats != nullptr) stats->read_retries++;
+        rereads++;
+        Status st = co_await ReadRaw(leaves[i], bufs[i].data(), node_size(),
+                                     stats);
+        if (!st.ok()) co_return st;
+      }
+    }
+    if (done) co_return Status::OK();
+  }
+  co_return Status::Internal("range restarts exhausted");
+}
+
+// ---------------------------------------------------------------------------
+// ShermanSystem
+// ---------------------------------------------------------------------------
+
+ShermanSystem::ShermanSystem(rdma::FabricConfig fabric_config,
+                             TreeOptions tree_options)
+    : options_(tree_options), fabric_(fabric_config) {
+  options_.Validate();
+  for (int i = 0; i < fabric_.num_memory_servers(); i++) {
+    chunks_.push_back(std::make_unique<ChunkManager>(&fabric_.ms(i)));
+  }
+  for (int i = 0; i < fabric_.num_compute_servers(); i++) {
+    clients_.push_back(std::make_unique<TreeClient>(this, i));
+  }
+}
+
+rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {
+  auto* self = const_cast<ShermanSystem*>(this);
+  const uint8_t* p = self->fabric_.ms(0).host().raw(kRootPointerOffset);
+  uint64_t packed;
+  std::memcpy(&packed, p, 8);
+  return rdma::GlobalAddress::FromU64(packed);
+}
+
+uint32_t ShermanSystem::DebugHeight() const {
+  auto* self = const_cast<ShermanSystem*>(this);
+  const rdma::GlobalAddress root = DebugRootAddr();
+  NodeView view(self->fabric_.HostRaw(root), &options_.shape);
+  return view.level() + 1u;
+}
+
+}  // namespace sherman

@@ -1,0 +1,248 @@
+// Sherman: a write-optimized distributed B+Tree on disaggregated memory.
+//
+// The tree is a B-link tree (§4.2.1): every node carries fence keys, its
+// level, and a sibling pointer, so traversals remain correct under
+// concurrent splits by chasing siblings. Values live in leaves; internal
+// nodes are sorted; leaves are unsorted with per-entry version pairs in
+// Sherman mode (§4.4) or sorted with a checksum in FG mode (§3.1.1).
+//
+// Concurrency control (§4.2.2): exclusive per-node HOCL locks resolve
+// write-write conflicts; lock-free reads with (two-level) version or
+// checksum validation resolve read-write conflicts.
+//
+// Every paper technique is a TreeOptions toggle, so the FG+ baseline and
+// each ablation stage of Figures 10/11/16 are ordinary configurations (see
+// core/presets.h).
+//
+// Usage (see examples/quickstart.cc):
+//   rdma::FabricConfig fcfg;            // topology + NIC model
+//   TreeOptions topts = ShermanOptions();
+//   ShermanSystem system(fcfg, topts);
+//   system.BulkLoad(sorted_kvs, 0.8);
+//   TreeClient& client = system.client(/*cs_id=*/0);
+//   sim::Spawn(RunMyWorkload(&client));  // coroutines issue Insert/Lookup/...
+//   system.fabric().simulator().Run();
+#ifndef SHERMAN_CORE_BTREE_H_
+#define SHERMAN_CORE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "alloc/chunk_manager.h"
+#include "alloc/cs_allocator.h"
+#include "cache/index_cache.h"
+#include "core/node_layout.h"
+#include "core/stats.h"
+#include "lock/hocl.h"
+#include "rdma/fabric.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace sherman {
+
+struct TreeOptions {
+  TreeShape shape;
+
+  // Command combination (§4.5): doorbell-batch dependent writes (write-back
+  // + lock release) instead of awaiting each round trip.
+  bool combine_commands = true;
+
+  // Two-level versions (§4.4): unsorted leaves with per-entry version
+  // pairs; plain insert/delete writes back only the touched entry. When
+  // false, leaves are sorted and whole nodes are written back (FG).
+  bool two_level_versions = true;
+
+  // How lock-free readers validate a fetched node.
+  enum class Consistency { kVersions, kChecksum };
+  Consistency consistency = Consistency::kVersions;
+
+  // HOCL configuration (§4.3) — on-chip / hierarchical / wait-queue /
+  // handover toggles.
+  HoclOptions lock;
+
+  // Index cache (§4.2.3).
+  bool enable_cache = true;
+  uint64_t cache_bytes = 4ull << 20;
+
+  // 4-bit version wraparound guard (§4.4): re-read when a READ took longer
+  // than this.
+  sim::SimTime version_wrap_retry_ns = 8000;
+
+  // Safety caps (simulation hygiene; generously above anything the paper's
+  // workloads produce).
+  uint32_t max_read_retries = 4096;
+  uint32_t max_restarts = 256;
+
+  void Validate() const;
+};
+
+class ShermanSystem;
+
+// Per-compute-server tree handle, shared by that CS's client threads
+// (coroutines). All operations are coroutines driven by the fabric's
+// simulator.
+class TreeClient {
+ public:
+  TreeClient(ShermanSystem* system, int cs_id);
+
+  TreeClient(const TreeClient&) = delete;
+  TreeClient& operator=(const TreeClient&) = delete;
+
+  // Inserts or updates (the paper folds updates into inserts).
+  sim::Task<Status> Insert(Key key, uint64_t value, OpStats* stats = nullptr);
+
+  // Point lookup. Returns NotFound if absent.
+  sim::Task<Status> Lookup(Key key, uint64_t* value, OpStats* stats = nullptr);
+
+  // Deletes `key` (clears the entry; leaves are not merged, matching the
+  // released Sherman artifact). Returns NotFound if absent.
+  sim::Task<Status> Delete(Key key, OpStats* stats = nullptr);
+
+  // Returns up to `count` key-ordered pairs with key >= from. Not atomic
+  // with concurrent writes (§4.4, "Range query").
+  sim::Task<Status> RangeQuery(Key from, uint32_t count,
+                               std::vector<std::pair<Key, uint64_t>>* out,
+                               OpStats* stats = nullptr);
+
+  int cs_id() const { return cs_id_; }
+  IndexCache& cache() { return cache_; }
+  HoclClient& hocl() { return hocl_; }
+  CsAllocator& allocator() { return allocator_; }
+
+ private:
+  friend class ShermanSystem;
+
+  struct LeafRef {
+    rdma::GlobalAddress addr;
+    bool via_cache = false;
+  };
+  struct Locked {
+    rdma::GlobalAddress addr;
+    LockGuard guard;
+  };
+
+  const TreeOptions& opt() const;
+  rdma::Qp& QpFor(rdma::GlobalAddress addr);
+  uint32_t node_size() const { return opt().shape.node_size; }
+
+  // One RDMA_READ of `len` bytes; counts a round trip.
+  sim::Task<Status> ReadRaw(rdma::GlobalAddress addr, uint8_t* buf,
+                            uint32_t len, OpStats* stats);
+  // Lock-free node read with consistency validation + wraparound guard;
+  // retries internally (bounded by max_read_retries).
+  sim::Task<Status> ReadNodeChecked(rdma::GlobalAddress addr, uint8_t* buf,
+                                    OpStats* stats);
+  bool NodeConsistent(const uint8_t* buf) const;
+  // Marks a locally staged node consistent for write-back: bumps node
+  // versions (kVersions) or recomputes the checksum (kChecksum).
+  void SealNode(NodeView& view, bool structural_change) const;
+
+  // Root discovery: reads the root pointer from MS 0's meta region and the
+  // root node itself.
+  sim::Task<Status> LoadRoot(OpStats* stats);
+
+  // Reads+parses the internal node at `addr` expected to (transitively)
+  // cover `key`: retries torn reads, chases siblings when key >= hi fence.
+  // Returns Retry when the caller must restart from the root (key fell
+  // left of the node or the node was freed).
+  sim::Task<Status> ReadInternalContaining(rdma::GlobalAddress addr, Key key,
+                                           ParsedInternal* out,
+                                           OpStats* stats);
+
+  // Address of the node at `target_level` covering `key` (level 0 = leaf).
+  // Requires target_level <= current root level.
+  sim::Task<StatusOr<rdma::GlobalAddress>> FindNodeAddr(Key key,
+                                                        uint8_t target_level,
+                                                        OpStats* stats);
+  // Leaf address via the index cache, falling back to traversal.
+  sim::Task<StatusOr<LeafRef>> FindLeafAddr(Key key, OpStats* stats);
+
+  // Locks `addr`, reads it into `buf`, and chases siblings until the node's
+  // fence interval contains `key`. Returns Retry if traversal must restart.
+  sim::Task<StatusOr<Locked>> LockAndRead(rdma::GlobalAddress addr, Key key,
+                                          uint8_t* buf, OpStats* stats);
+
+  // Leaf split under lock (Figure 7, lines 18-35): allocates the sibling,
+  // distributes entries, writes both nodes (+combined release), then
+  // ascends.
+  sim::Task<Status> SplitLeafAndUnlock(Locked locked, std::vector<uint8_t> buf,
+                                       Key key, uint64_t value,
+                                       OpStats* stats);
+
+  // Inserts (sep -> child) into the internal level `level`, splitting and
+  // recursing upward as needed.
+  sim::Task<Status> InsertInternal(Key sep, rdma::GlobalAddress child,
+                                   uint8_t level, OpStats* stats);
+
+  // Installs a new root (level `level`) pointing at [old_root | sep ->
+  // child] via CAS on the meta root pointer.
+  sim::Task<Status> MakeNewRoot(Key sep, rdma::GlobalAddress child,
+                                uint8_t level, OpStats* stats);
+
+  // Parallel leaf fetch used by range queries.
+  sim::Task<void> ReadInto(rdma::GlobalAddress addr, uint8_t* buf,
+                           uint32_t len, sim::CountdownLatch* latch);
+
+  ShermanSystem* system_;
+  int cs_id_;
+  HoclClient hocl_;
+  CsAllocator allocator_;
+  IndexCache cache_;
+
+  bool root_known_ = false;
+  rdma::GlobalAddress root_addr_;
+  uint8_t root_level_ = 0;
+};
+
+// The whole deployment: fabric + per-MS chunk managers + per-CS clients.
+class ShermanSystem {
+ public:
+  ShermanSystem(rdma::FabricConfig fabric_config, TreeOptions tree_options);
+
+  ShermanSystem(const ShermanSystem&) = delete;
+  ShermanSystem& operator=(const ShermanSystem&) = delete;
+
+  rdma::Fabric& fabric() { return fabric_; }
+  sim::Simulator& simulator() { return fabric_.simulator(); }
+  const TreeOptions& options() const { return options_; }
+
+  TreeClient& client(int cs_id) { return *clients_[cs_id]; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  ChunkManager& chunk_manager(int ms_id) { return *chunks_[ms_id]; }
+
+  // Builds the tree directly in MS memory (no simulated traffic) from
+  // sorted, unique-key pairs; leaves are `fill` full. Installs the root
+  // pointer. Call once, before running clients.
+  void BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs, double fill);
+
+  // --- test/debug helpers (direct memory, not simulated) ---
+  rdma::GlobalAddress DebugRootAddr() const;
+  uint32_t DebugHeight() const;
+  // All live entries in key order, by walking the leaf sibling chain.
+  std::vector<std::pair<Key, uint64_t>> DebugScanLeaves() const;
+  // Structural invariant checks (fence continuity, sorted internals, level
+  // consistency). Aborts on violation.
+  void DebugCheckInvariants() const;
+
+ private:
+  friend class TreeClient;
+
+  rdma::GlobalAddress AllocBulk(uint32_t size);
+
+  TreeOptions options_;
+  rdma::Fabric fabric_;
+  std::vector<std::unique_ptr<ChunkManager>> chunks_;
+  std::vector<std::unique_ptr<TreeClient>> clients_;
+
+  // Bulk-load cursors: nodes are spread round-robin over MSs (§4.2), each
+  // MS filling 8 MB chunks obtained from its ChunkManager.
+  int bulk_next_ms_ = 0;
+  std::vector<rdma::GlobalAddress> bulk_chunk_;
+  std::vector<uint64_t> bulk_used_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CORE_BTREE_H_

@@ -1,0 +1,246 @@
+// Bulk loading and offline verification for ShermanSystem. These write MS
+// memory directly (no simulated traffic): the paper bulkloads the tree
+// before measuring, and tests use the scans to verify invariants.
+#include <algorithm>
+#include <cstring>
+
+#include "core/btree.h"
+#include "util/logging.h"
+
+namespace sherman {
+
+rdma::GlobalAddress ShermanSystem::AllocBulk(uint32_t size) {
+  const int num_ms = fabric_.num_memory_servers();
+  if (bulk_chunk_.empty()) {
+    bulk_chunk_.assign(num_ms, rdma::kNullAddress);
+    bulk_used_.assign(num_ms, 0);
+  }
+  // Spread nodes round-robin across memory servers (§4.2: "Sherman spreads
+  // B+Tree nodes across a set of memory servers").
+  for (int tries = 0; tries < num_ms; tries++) {
+    const int ms = bulk_next_ms_;
+    bulk_next_ms_ = (bulk_next_ms_ + 1) % num_ms;
+    if (bulk_chunk_[ms].is_null() || bulk_used_[ms] + size > kChunkSize) {
+      const uint64_t off = chunks_[ms]->AllocChunk();
+      if (off == 0) continue;  // this MS is full
+      bulk_chunk_[ms] = rdma::GlobalAddress(static_cast<uint16_t>(ms), off);
+      bulk_used_[ms] = 0;
+    }
+    const rdma::GlobalAddress addr = bulk_chunk_[ms].Plus(bulk_used_[ms]);
+    bulk_used_[ms] += size;
+    return addr;
+  }
+  SHERMAN_CHECK_MSG(false, "bulk load exhausted disaggregated memory");
+  return rdma::kNullAddress;
+}
+
+void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
+                             double fill) {
+  SHERMAN_CHECK(fill > 0 && fill <= 1.0);
+  const TreeShape& shape = options_.shape;
+  const bool sorted_mode = !options_.two_level_versions;
+  const bool checksum_mode =
+      options_.consistency == TreeOptions::Consistency::kChecksum;
+
+  for (size_t i = 0; i < kvs.size(); i++) {
+    SHERMAN_CHECK(kvs[i].first != kNullKey && kvs[i].first != kMaxKey);
+    if (i > 0) SHERMAN_CHECK_MSG(kvs[i - 1].first < kvs[i].first,
+                                 "bulk load keys must be sorted and unique");
+  }
+
+  struct ChildRec {
+    rdma::GlobalAddress addr;
+    Key lo;
+  };
+
+  // --- Leaves ---
+  const uint32_t per_leaf = std::max<uint32_t>(
+      1, std::min<uint32_t>(shape.leaf_capacity(),
+                            static_cast<uint32_t>(shape.leaf_capacity() * fill)));
+  const size_t num_leaves =
+      kvs.empty() ? 1 : (kvs.size() + per_leaf - 1) / per_leaf;
+
+  std::vector<ChildRec> level_nodes;
+  level_nodes.reserve(num_leaves);
+  std::vector<rdma::GlobalAddress> addrs(num_leaves);
+  for (size_t i = 0; i < num_leaves; i++) addrs[i] = AllocBulk(shape.node_size);
+
+  for (size_t i = 0; i < num_leaves; i++) {
+    const size_t begin = i * per_leaf;
+    const size_t end = std::min(kvs.size(), begin + per_leaf);
+    const Key lo = (i == 0) ? 0 : kvs[begin].first;
+    const Key hi = (i + 1 == num_leaves) ? kMaxKey : kvs[end].first;
+    const rdma::GlobalAddress sibling =
+        (i + 1 == num_leaves) ? rdma::kNullAddress : addrs[i + 1];
+
+    NodeView view(fabric_.HostRaw(addrs[i]), &shape);
+    view.InitLeaf(lo, hi, sibling);
+    for (size_t j = begin; j < end; j++) {
+      view.SetLeafEntryRaw(static_cast<uint32_t>(j - begin), kvs[j].first,
+                           kvs[j].second);
+    }
+    if (sorted_mode) view.set_count(static_cast<uint16_t>(end - begin));
+    if (checksum_mode) view.UpdateChecksum();
+    level_nodes.push_back(ChildRec{addrs[i], lo});
+  }
+
+  // --- Internal levels, bottom-up ---
+  const uint32_t per_internal = std::max<uint32_t>(
+      2, std::min<uint32_t>(
+             shape.internal_capacity(),
+             static_cast<uint32_t>(shape.internal_capacity() * fill)));
+  uint8_t level = 1;
+  while (level_nodes.size() > 1) {
+    // Each node takes one leftmost child plus up to per_internal keyed
+    // children.
+    const size_t group = static_cast<size_t>(per_internal) + 1;
+    const size_t num_nodes = (level_nodes.size() + group - 1) / group;
+    std::vector<rdma::GlobalAddress> naddrs(num_nodes);
+    for (size_t i = 0; i < num_nodes; i++) {
+      naddrs[i] = AllocBulk(shape.node_size);
+    }
+    std::vector<ChildRec> next;
+    next.reserve(num_nodes);
+    for (size_t i = 0; i < num_nodes; i++) {
+      const size_t begin = i * group;
+      const size_t end = std::min(level_nodes.size(), begin + group);
+      const Key lo = (i == 0) ? 0 : level_nodes[begin].lo;
+      const Key hi =
+          (i + 1 == num_nodes) ? kMaxKey : level_nodes[end].lo;
+      const rdma::GlobalAddress sibling =
+          (i + 1 == num_nodes) ? rdma::kNullAddress : naddrs[i + 1];
+
+      NodeView view(fabric_.HostRaw(naddrs[i]), &shape);
+      view.InitInternal(level, lo, hi, sibling,
+                        /*leftmost=*/level_nodes[begin].addr);
+      uint16_t count = 0;
+      for (size_t j = begin + 1; j < end; j++) {
+        view.SetInternalEntry(count, level_nodes[j].lo, level_nodes[j].addr);
+        count++;
+      }
+      view.set_count(count);
+      if (checksum_mode) view.UpdateChecksum();
+      next.push_back(ChildRec{naddrs[i], lo});
+    }
+    level_nodes = std::move(next);
+    level++;
+  }
+
+  // --- Publish the root pointer in MS 0's meta region ---
+  const uint64_t packed = level_nodes[0].addr.ToU64();
+  std::memcpy(fabric_.ms(0).host().raw(kRootPointerOffset), &packed, 8);
+}
+
+std::vector<std::pair<Key, uint64_t>> ShermanSystem::DebugScanLeaves() const {
+  auto* self = const_cast<ShermanSystem*>(this);
+  const TreeShape& shape = options_.shape;
+
+  // Descend leftmost pointers to the leftmost leaf.
+  rdma::GlobalAddress addr = DebugRootAddr();
+  while (true) {
+    NodeView view(self->fabric_.HostRaw(addr), &shape);
+    if (view.is_leaf()) break;
+    addr = view.leftmost_child();
+  }
+
+  std::vector<std::pair<Key, uint64_t>> out;
+  while (!addr.is_null()) {
+    NodeView view(self->fabric_.HostRaw(addr), &shape);
+    SHERMAN_CHECK(view.is_leaf());
+    std::vector<std::pair<Key, uint64_t>> leaf_entries;
+    if (options_.two_level_versions) {
+      for (uint32_t i = 0; i < shape.leaf_capacity(); i++) {
+        const Key k = view.LeafKey(i);
+        if (k != kNullKey) leaf_entries.emplace_back(k, view.LeafValue(i));
+      }
+      std::sort(leaf_entries.begin(), leaf_entries.end());
+    } else {
+      for (uint32_t i = 0; i < view.count(); i++) {
+        leaf_entries.emplace_back(view.LeafKey(i), view.LeafValue(i));
+      }
+    }
+    for (const auto& kv : leaf_entries) out.push_back(kv);
+    addr = view.sibling();
+  }
+  return out;
+}
+
+void ShermanSystem::DebugCheckInvariants() const {
+  auto* self = const_cast<ShermanSystem*>(this);
+  const TreeShape& shape = options_.shape;
+  const rdma::GlobalAddress root = DebugRootAddr();
+  NodeView root_view(self->fabric_.HostRaw(root), &shape);
+  const uint8_t root_level = root_view.level();
+  SHERMAN_CHECK(root_view.lo_fence() == 0);
+  SHERMAN_CHECK(root_view.hi_fence() == kMaxKey);
+
+  // Walk every level left-to-right; verify fences tile the key space, keys
+  // stay inside fences and sorted, and levels/flags are coherent.
+  rdma::GlobalAddress level_start = root;
+  for (int level = root_level; level >= 0; level--) {
+    rdma::GlobalAddress addr = level_start;
+    Key expected_lo = 0;
+    rdma::GlobalAddress next_level_start;
+    while (!addr.is_null()) {
+      NodeView view(self->fabric_.HostRaw(addr), &shape);
+      SHERMAN_CHECK_MSG(view.level() == level, "level mismatch at %s",
+                        addr.ToString().c_str());
+      SHERMAN_CHECK(view.is_leaf() == (level == 0));
+      SHERMAN_CHECK(!view.is_free());
+      SHERMAN_CHECK_MSG(view.lo_fence() == expected_lo,
+                        "fence gap at level %d: lo=%llu expected=%llu", level,
+                        (unsigned long long)view.lo_fence(),
+                        (unsigned long long)expected_lo);
+      SHERMAN_CHECK(view.lo_fence() < view.hi_fence());
+      SHERMAN_CHECK(view.NodeVersionsMatch());
+      if (level == 0) {
+        if (options_.two_level_versions) {
+          for (uint32_t i = 0; i < shape.leaf_capacity(); i++) {
+            const Key k = view.LeafKey(i);
+            if (k == kNullKey) continue;
+            SHERMAN_CHECK(view.InFence(k));
+            SHERMAN_CHECK(view.LeafEntryVersionsMatch(i));
+          }
+        } else {
+          Key prev = 0;
+          for (uint32_t i = 0; i < view.count(); i++) {
+            const Key k = view.LeafKey(i);
+            SHERMAN_CHECK(view.InFence(k));
+            SHERMAN_CHECK(i == 0 || k > prev);
+            prev = k;
+          }
+        }
+      } else {
+        if (next_level_start.is_null()) {
+          next_level_start = view.leftmost_child();
+        }
+        Key prev = view.lo_fence();
+        for (uint32_t i = 0; i < view.count(); i++) {
+          const Key k = view.InternalKey(i);
+          SHERMAN_CHECK(k > prev || (i == 0 && k >= prev));
+          SHERMAN_CHECK(k >= view.lo_fence() && k < view.hi_fence());
+          prev = k;
+          // Each child's lo fence equals its separator.
+          const rdma::GlobalAddress child = view.InternalChild(i);
+          NodeView cv(self->fabric_.HostRaw(child), &shape);
+          SHERMAN_CHECK_MSG(cv.lo_fence() == k,
+                            "child lo %llu != separator %llu",
+                            (unsigned long long)cv.lo_fence(),
+                            (unsigned long long)k);
+          SHERMAN_CHECK(cv.level() == level - 1);
+        }
+        // Leftmost child starts at this node's lo fence.
+        NodeView lm(self->fabric_.HostRaw(view.leftmost_child()), &shape);
+        SHERMAN_CHECK(lm.lo_fence() == view.lo_fence());
+        SHERMAN_CHECK(lm.level() == level - 1);
+      }
+      expected_lo = view.hi_fence();
+      addr = view.sibling();
+    }
+    SHERMAN_CHECK_MSG(expected_lo == kMaxKey,
+                      "level %d does not tile the key space", level);
+    if (level > 0) level_start = next_level_start;
+  }
+}
+
+}  // namespace sherman

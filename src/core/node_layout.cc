@@ -1,0 +1,284 @@
+#include "core/node_layout.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace sherman {
+
+uint32_t TreeShape::leaf_capacity() const {
+  return (node_size - kHeaderSize - 1) / leaf_entry_size();
+}
+
+uint32_t TreeShape::internal_capacity() const {
+  return (node_size - kOffLeftmostChild - 8 - 1) / internal_entry_size();
+}
+
+uint64_t NodeView::Load64(uint32_t off) const {
+  uint64_t v;
+  std::memcpy(&v, data_ + off, 8);
+  return v;
+}
+
+void NodeView::Store64(uint32_t off, uint64_t v) {
+  std::memcpy(data_ + off, &v, 8);
+}
+
+void NodeView::BumpNodeVersions() {
+  data_[kOffFnv] = (front_version() + 1) & 0xf;
+  data_[shape_->node_size - 1] = (rear_version() + 1) & 0xf;
+}
+
+void NodeView::set_free(bool free) {
+  if (free) {
+    data_[kOffFlags] |= kFlagFree;
+  } else {
+    data_[kOffFlags] &= static_cast<uint8_t>(~kFlagFree);
+  }
+}
+
+uint16_t NodeView::count() const {
+  uint16_t c;
+  std::memcpy(&c, data_ + kOffCount, 2);
+  return c;
+}
+
+void NodeView::set_count(uint16_t c) { std::memcpy(data_ + kOffCount, &c, 2); }
+
+uint32_t NodeView::stored_checksum() const {
+  uint32_t c;
+  std::memcpy(&c, data_ + kOffChecksum, 4);
+  return c;
+}
+
+uint32_t NodeView::ComputeChecksum() const {
+  // Everything before and after the 4-byte checksum field.
+  uint32_t crc = Crc32c(data_, kOffChecksum);
+  crc = Crc32c(data_ + kOffChecksum + 4, shape_->node_size - kOffChecksum - 4,
+               crc);
+  return crc;
+}
+
+void NodeView::UpdateChecksum() {
+  const uint32_t crc = ComputeChecksum();
+  std::memcpy(data_ + kOffChecksum, &crc, 4);
+}
+
+void NodeView::SetLeafEntryRaw(uint32_t i, Key key, uint64_t value) {
+  const uint32_t off = LeafEntryOffset(i);
+  Store64(off + 1, key);
+  // Zero-pad wide keys so serialized bytes are deterministic.
+  if (shape_->key_size > 8) {
+    std::memset(data_ + off + 1 + 8, 0, shape_->key_size - 8);
+  }
+  Store64(off + 1 + shape_->key_size, value);
+  if (shape_->value_size > 8) {
+    std::memset(data_ + off + 1 + shape_->key_size + 8, 0,
+                shape_->value_size - 8);
+  }
+}
+
+void NodeView::SetLeafEntry(uint32_t i, Key key, uint64_t value) {
+  SetLeafEntryRaw(i, key, value);
+  const uint32_t off = LeafEntryOffset(i);
+  data_[off] = (data_[off] + 1) & 0xf;  // FEV
+  const uint32_t rear = off + shape_->leaf_entry_size() - 1;
+  data_[rear] = (data_[rear] + 1) & 0xf;  // REV
+}
+
+NodeView::SlotResult NodeView::FindLeafSlot(Key key) const {
+  SlotResult r;
+  const uint32_t cap = shape_->leaf_capacity();
+  for (uint32_t i = 0; i < cap; i++) {
+    const Key k = LeafKey(i);
+    if (k == key) {
+      r.match = i;
+      return r;
+    }
+    if (k == kNullKey && r.empty == UINT32_MAX) r.empty = i;
+  }
+  return r;
+}
+
+uint32_t NodeView::SortedLeafFind(Key key) const {
+  uint32_t lo = 0, hi = count();
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    const Key k = LeafKey(mid);
+    if (k == key) return mid;
+    if (k < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return UINT32_MAX;
+}
+
+bool NodeView::SortedLeafInsert(Key key, uint64_t value) {
+  const uint32_t n = count();
+  // Update in place if present.
+  const uint32_t found = SortedLeafFind(key);
+  if (found != UINT32_MAX) {
+    SetLeafEntryRaw(found, key, value);
+    return true;
+  }
+  if (n >= shape_->leaf_capacity()) return false;
+  // Find insertion point and shift the tail right by one entry.
+  uint32_t pos = 0;
+  while (pos < n && LeafKey(pos) < key) pos++;
+  const uint32_t esz = shape_->leaf_entry_size();
+  std::memmove(data_ + LeafEntryOffset(pos + 1), data_ + LeafEntryOffset(pos),
+               static_cast<size_t>(n - pos) * esz);
+  SetLeafEntryRaw(pos, key, value);
+  data_[LeafEntryOffset(pos)] = 0;  // fresh entry versions
+  data_[LeafEntryOffset(pos) + esz - 1] = 0;
+  set_count(static_cast<uint16_t>(n + 1));
+  return true;
+}
+
+bool NodeView::SortedLeafRemove(Key key) {
+  const uint32_t found = SortedLeafFind(key);
+  if (found == UINT32_MAX) return false;
+  const uint32_t n = count();
+  const uint32_t esz = shape_->leaf_entry_size();
+  std::memmove(data_ + LeafEntryOffset(found),
+               data_ + LeafEntryOffset(found + 1),
+               static_cast<size_t>(n - found - 1) * esz);
+  set_count(static_cast<uint16_t>(n - 1));
+  return true;
+}
+
+void NodeView::SetInternalEntry(uint32_t i, Key key,
+                                rdma::GlobalAddress child) {
+  const uint32_t off = InternalEntryOffset(i);
+  Store64(off, key);
+  if (shape_->key_size > 8) {
+    std::memset(data_ + off + 8, 0, shape_->key_size - 8);
+  }
+  Store64(off + shape_->key_size, child.ToU64());
+}
+
+rdma::GlobalAddress NodeView::InternalChildFor(Key key) const {
+  // Largest entry key <= key; below all entry keys -> leftmost child.
+  const uint32_t n = count();
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (InternalKey(mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? leftmost_child() : InternalChild(lo - 1);
+}
+
+bool NodeView::InternalInsert(Key key, rdma::GlobalAddress child) {
+  const uint32_t n = count();
+  uint32_t pos = 0;
+  while (pos < n && InternalKey(pos) < key) pos++;
+  if (pos < n && InternalKey(pos) == key) {
+    SetInternalEntry(pos, key, child);  // idempotent re-insert after retry
+    return true;
+  }
+  if (n >= shape_->internal_capacity()) return false;
+  const uint32_t esz = shape_->internal_entry_size();
+  std::memmove(data_ + InternalEntryOffset(pos + 1),
+               data_ + InternalEntryOffset(pos),
+               static_cast<size_t>(n - pos) * esz);
+  SetInternalEntry(pos, key, child);
+  set_count(static_cast<uint16_t>(n + 1));
+  return true;
+}
+
+void NodeView::InitLeaf(Key lo, Key hi, rdma::GlobalAddress sibling) {
+  std::memset(data_, 0, shape_->node_size);
+  data_[kOffFlags] = kFlagLeaf;
+  set_level(0);
+  set_lo_fence(lo);
+  set_hi_fence(hi);
+  set_sibling(sibling);
+}
+
+void NodeView::InitInternal(uint8_t level, Key lo, Key hi,
+                            rdma::GlobalAddress sibling,
+                            rdma::GlobalAddress leftmost) {
+  std::memset(data_, 0, shape_->node_size);
+  set_level(level);
+  set_lo_fence(lo);
+  set_hi_fence(hi);
+  set_sibling(sibling);
+  set_leftmost_child(leftmost);
+}
+
+rdma::GlobalAddress ParsedInternal::ChildFor(Key key) const {
+  // Largest entry key <= key, else leftmost.
+  uint32_t lo_i = 0, hi_i = static_cast<uint32_t>(entries.size());
+  while (lo_i < hi_i) {
+    const uint32_t mid = (lo_i + hi_i) / 2;
+    if (entries[mid].first <= key) {
+      lo_i = mid + 1;
+    } else {
+      hi_i = mid;
+    }
+  }
+  return lo_i == 0 ? leftmost : entries[lo_i - 1].second;
+}
+
+rdma::GlobalAddress ParsedInternal::ChildAfter(Key key, uint32_t skip) const {
+  // Index of the child covering `key`: 0 = leftmost, i+1 = entries[i].
+  uint32_t lo_i = 0, hi_i = static_cast<uint32_t>(entries.size());
+  while (lo_i < hi_i) {
+    const uint32_t mid = (lo_i + hi_i) / 2;
+    if (entries[mid].first <= key) {
+      lo_i = mid + 1;
+    } else {
+      hi_i = mid;
+    }
+  }
+  const uint64_t idx = lo_i + skip;  // children are [leftmost, entries...]
+  if (idx == 0) return leftmost;
+  if (idx <= entries.size()) return entries[idx - 1].second;
+  return rdma::kNullAddress;
+}
+
+Status ParseInternal(const uint8_t* buf, const TreeShape& shape,
+                     rdma::GlobalAddress self, ParsedInternal* out) {
+  NodeView view(const_cast<uint8_t*>(buf), &shape);
+  if (!view.NodeVersionsMatch()) {
+    return Status::Retry("internal node version mismatch");
+  }
+  if (view.is_leaf()) {
+    return Status::Corruption("expected internal node, found leaf");
+  }
+  if (view.is_free()) {
+    return Status::Retry("internal node freed");
+  }
+  const uint32_t n = view.count();
+  if (n > shape.internal_capacity()) {
+    return Status::Corruption("internal count out of range");
+  }
+  out->self = self;
+  out->level = view.level();
+  out->lo = view.lo_fence();
+  out->hi = view.hi_fence();
+  out->sibling = view.sibling();
+  out->leftmost = view.leftmost_child();
+  out->entries.clear();
+  out->entries.reserve(n);
+  Key prev = 0;
+  for (uint32_t i = 0; i < n; i++) {
+    const Key k = view.InternalKey(i);
+    if (i > 0 && k <= prev) {
+      return Status::Retry("internal keys out of order (torn read)");
+    }
+    prev = k;
+    out->entries.emplace_back(k, view.InternalChild(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace sherman

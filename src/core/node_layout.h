@@ -1,0 +1,215 @@
+// On-disaggregated-memory node formats (Figure 8).
+//
+// Common 48-byte header + a trailing rear-node-version byte:
+//   [0]      front node version FNV (4 bits used)
+//   [1]      level (leaf = 0)
+//   [2]      flags: bit0 is_leaf, bit1 free
+//   [3]      reserved
+//   [4,8)    checksum (CRC32-C; used by the FG checksum mode, else 0)
+//   [8,16)   lo fence key (inclusive)
+//   [16,24)  hi fence key (exclusive; kMaxKey = +inf)
+//   [24,32)  sibling pointer (packed GlobalAddress)
+//   [32,34)  entry count (sorted layouts only)
+//   [34,48)  reserved
+//   ...      entries
+//   [size-1] rear node version RNV
+//
+// Leaf entries (entry size = 2 + key_size + value_size):
+//   [FEV(1)] [key bytes] [value bytes] [REV(1)]
+// In Sherman mode leaves are UNSORTED and only the touched entry is written
+// back (two-level versions, §4.4). In FG mode leaves are sorted, `count` is
+// maintained, and whole nodes are written back.
+//
+// Internal nodes are always sorted:
+//   [48,56)  leftmost child
+//   then `count` entries of [key bytes][child(8)]
+// Child i covers keys in [key_i, key_{i+1}); leftmost covers [lo, key_0).
+//
+// Keys are logical uint64 values serialized into the first 8 bytes of the
+// key field; key_size > 8 pads with zeros (only the moved bytes matter for
+// the Figure 15 key-size sensitivity study). Key 0 (kNullKey) marks an
+// empty leaf slot; kMaxKey is reserved as +infinity.
+#ifndef SHERMAN_CORE_NODE_LAYOUT_H_
+#define SHERMAN_CORE_NODE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdma/global_address.h"
+#include "util/status.h"
+
+namespace sherman {
+
+using Key = uint64_t;
+inline constexpr Key kNullKey = 0;
+inline constexpr Key kMaxKey = ~0ull;
+
+struct TreeShape {
+  uint32_t node_size = 1024;
+  uint32_t key_size = 8;    // serialized bytes per key (>= 8)
+  uint32_t value_size = 8;  // serialized bytes per value (>= 8)
+
+  uint32_t leaf_entry_size() const { return 2 + key_size + value_size; }
+  uint32_t internal_entry_size() const { return key_size + 8; }
+  uint32_t leaf_capacity() const;
+  uint32_t internal_capacity() const;
+};
+
+// Header field offsets.
+inline constexpr uint32_t kOffFnv = 0;
+inline constexpr uint32_t kOffLevel = 1;
+inline constexpr uint32_t kOffFlags = 2;
+inline constexpr uint32_t kOffChecksum = 4;
+inline constexpr uint32_t kOffLoFence = 8;
+inline constexpr uint32_t kOffHiFence = 16;
+inline constexpr uint32_t kOffSibling = 24;
+inline constexpr uint32_t kOffCount = 32;
+inline constexpr uint32_t kHeaderSize = 48;
+inline constexpr uint32_t kOffLeftmostChild = kHeaderSize;  // internal only
+
+inline constexpr uint8_t kFlagLeaf = 0x1;
+inline constexpr uint8_t kFlagFree = 0x2;
+
+// A typed view over a node buffer (a local staging copy or raw MS memory).
+// The view does not own the buffer.
+class NodeView {
+ public:
+  NodeView(uint8_t* data, const TreeShape* shape)
+      : data_(data), shape_(shape) {}
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  const TreeShape& shape() const { return *shape_; }
+
+  // --- node-level versions (4-bit pairs, §4.4) ---
+  uint8_t front_version() const { return data_[kOffFnv] & 0xf; }
+  uint8_t rear_version() const { return data_[shape_->node_size - 1] & 0xf; }
+  void BumpNodeVersions();
+  bool NodeVersionsMatch() const { return front_version() == rear_version(); }
+
+  // --- header fields ---
+  uint8_t level() const { return data_[kOffLevel]; }
+  void set_level(uint8_t level) { data_[kOffLevel] = level; }
+  bool is_leaf() const { return data_[kOffFlags] & kFlagLeaf; }
+  bool is_free() const { return data_[kOffFlags] & kFlagFree; }
+  void set_free(bool free);
+  Key lo_fence() const { return Load64(kOffLoFence); }
+  Key hi_fence() const { return Load64(kOffHiFence); }
+  void set_lo_fence(Key k) { Store64(kOffLoFence, k); }
+  void set_hi_fence(Key k) { Store64(kOffHiFence, k); }
+  rdma::GlobalAddress sibling() const {
+    return rdma::GlobalAddress::FromU64(Load64(kOffSibling));
+  }
+  void set_sibling(rdma::GlobalAddress a) { Store64(kOffSibling, a.ToU64()); }
+  uint16_t count() const;
+  void set_count(uint16_t c);
+
+  // --- checksum consistency check (FG mode, Figure 4a) ---
+  uint32_t stored_checksum() const;
+  uint32_t ComputeChecksum() const;  // over the node minus the crc field
+  void UpdateChecksum();
+  bool VerifyChecksum() const { return stored_checksum() == ComputeChecksum(); }
+
+  // Does `key` fall within this node's fence interval [lo, hi)?
+  bool InFence(Key key) const { return key >= lo_fence() && key < hi_fence(); }
+
+  // --- leaf entries ---
+  uint32_t LeafEntryOffset(uint32_t i) const {
+    return kHeaderSize + i * shape_->leaf_entry_size();
+  }
+  Key LeafKey(uint32_t i) const {
+    return Load64(LeafEntryOffset(i) + 1);
+  }
+  uint64_t LeafValue(uint32_t i) const {
+    return Load64(LeafEntryOffset(i) + 1 + shape_->key_size);
+  }
+  uint8_t LeafFrontVersion(uint32_t i) const {
+    return data_[LeafEntryOffset(i)] & 0xf;
+  }
+  uint8_t LeafRearVersion(uint32_t i) const {
+    return data_[LeafEntryOffset(i) + shape_->leaf_entry_size() - 1] & 0xf;
+  }
+  bool LeafEntryVersionsMatch(uint32_t i) const {
+    return LeafFrontVersion(i) == LeafRearVersion(i);
+  }
+  // Sets key/value and increments both entry versions (lines 13-15 of
+  // Figure 7).
+  void SetLeafEntry(uint32_t i, Key key, uint64_t value);
+  // Writes key/value without touching versions (bulk load / sorted mode).
+  void SetLeafEntryRaw(uint32_t i, Key key, uint64_t value);
+
+  // Unsorted-leaf helpers. Returns the entry count scanned (capacity).
+  // Finds the entry holding `key`, else an empty slot, else capacity.
+  struct SlotResult {
+    uint32_t match = UINT32_MAX;  // index holding key, or UINT32_MAX
+    uint32_t empty = UINT32_MAX;  // first empty slot, or UINT32_MAX
+  };
+  SlotResult FindLeafSlot(Key key) const;
+
+  // Sorted-leaf helpers (FG mode): entries [0, count) sorted by key.
+  // Returns the index of `key` or UINT32_MAX.
+  uint32_t SortedLeafFind(Key key) const;
+  // Inserts/updates keeping order; returns false if full (split needed).
+  bool SortedLeafInsert(Key key, uint64_t value);
+  // Removes `key` (shifting); returns false if absent.
+  bool SortedLeafRemove(Key key);
+
+  // --- internal entries ---
+  rdma::GlobalAddress leftmost_child() const {
+    return rdma::GlobalAddress::FromU64(Load64(kOffLeftmostChild));
+  }
+  void set_leftmost_child(rdma::GlobalAddress a) {
+    Store64(kOffLeftmostChild, a.ToU64());
+  }
+  uint32_t InternalEntryOffset(uint32_t i) const {
+    return kOffLeftmostChild + 8 + i * shape_->internal_entry_size();
+  }
+  Key InternalKey(uint32_t i) const { return Load64(InternalEntryOffset(i)); }
+  rdma::GlobalAddress InternalChild(uint32_t i) const {
+    return rdma::GlobalAddress::FromU64(
+        Load64(InternalEntryOffset(i) + shape_->key_size));
+  }
+  void SetInternalEntry(uint32_t i, Key key, rdma::GlobalAddress child);
+  // Child covering `key` per the fence discipline above.
+  rdma::GlobalAddress InternalChildFor(Key key) const;
+  // Sorted insert with shift; returns false if full.
+  bool InternalInsert(Key key, rdma::GlobalAddress child);
+
+  // --- init ---
+  void InitLeaf(Key lo, Key hi, rdma::GlobalAddress sibling);
+  void InitInternal(uint8_t level, Key lo, Key hi, rdma::GlobalAddress sibling,
+                    rdma::GlobalAddress leftmost);
+
+ private:
+  uint64_t Load64(uint32_t off) const;
+  void Store64(uint32_t off, uint64_t v);
+
+  uint8_t* data_;
+  const TreeShape* shape_;
+};
+
+// A parsed internal node: the form cached by the index cache and used
+// during traversal.
+struct ParsedInternal {
+  rdma::GlobalAddress self;
+  uint8_t level = 0;
+  Key lo = 0;
+  Key hi = 0;
+  rdma::GlobalAddress sibling;
+  rdma::GlobalAddress leftmost;
+  std::vector<std::pair<Key, rdma::GlobalAddress>> entries;  // sorted
+
+  rdma::GlobalAddress ChildFor(Key key) const;
+  // The child after the one covering `key`, for prefetching subsequent
+  // leaves in range queries (null if none).
+  rdma::GlobalAddress ChildAfter(Key key, uint32_t skip) const;
+};
+
+// Parses an internal node buffer. Fails with Status::Retry on version
+// mismatch (torn read) and Status::Corruption on malformed structure.
+Status ParseInternal(const uint8_t* buf, const TreeShape& shape,
+                     rdma::GlobalAddress self, ParsedInternal* out);
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CORE_NODE_LAYOUT_H_

@@ -1,0 +1,82 @@
+#include "core/presets.h"
+
+namespace sherman {
+
+TreeOptions FgOptions() {
+  TreeOptions o;
+  o.combine_commands = false;
+  o.two_level_versions = false;
+  o.consistency = TreeOptions::Consistency::kChecksum;
+  o.lock.onchip = false;
+  o.lock.hierarchical = false;
+  o.lock.wait_queue = false;
+  o.lock.handover = false;
+  o.lock.release_with_faa = true;
+  o.enable_cache = false;
+  return o;
+}
+
+TreeOptions FgPlusOptions() {
+  TreeOptions o = FgOptions();
+  o.enable_cache = true;             // optimization (i) of §5.1.2
+  o.lock.release_with_faa = false;   // optimization (ii): release via WRITE
+  return o;
+}
+
+TreeOptions PlusCombineOptions() {
+  TreeOptions o = FgPlusOptions();
+  o.combine_commands = true;
+  return o;
+}
+
+TreeOptions PlusOnChipOptions() {
+  TreeOptions o = PlusCombineOptions();
+  o.lock.onchip = true;
+  return o;
+}
+
+TreeOptions PlusHierarchicalOptions() {
+  TreeOptions o = PlusOnChipOptions();
+  o.lock.hierarchical = true;
+  o.lock.wait_queue = true;
+  o.lock.handover = true;
+  return o;
+}
+
+TreeOptions ShermanOptions() {
+  TreeOptions o = PlusHierarchicalOptions();
+  o.two_level_versions = true;
+  o.consistency = TreeOptions::Consistency::kVersions;
+  return o;
+}
+
+std::vector<NamedPreset> AblationStages() {
+  return {
+      {"FG+", FgPlusOptions()},
+      {"+Combine", PlusCombineOptions()},
+      {"+On-Chip", PlusOnChipOptions()},
+      {"+Hierarchical", PlusHierarchicalOptions()},
+      {"+2-Level Ver", ShermanOptions()},
+  };
+}
+
+bool PresetByName(const std::string& name, TreeOptions* out) {
+  if (name == "fg") {
+    *out = FgOptions();
+  } else if (name == "fg+") {
+    *out = FgPlusOptions();
+  } else if (name == "+combine") {
+    *out = PlusCombineOptions();
+  } else if (name == "+on-chip") {
+    *out = PlusOnChipOptions();
+  } else if (name == "+hierarchical") {
+    *out = PlusHierarchicalOptions();
+  } else if (name == "sherman") {
+    *out = ShermanOptions();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sherman

@@ -1,0 +1,47 @@
+// Named tree configurations matching the systems and ablation stages the
+// paper evaluates (§5.1.2, §5.2):
+//
+//   FG            — Ziegler et al.'s one-sided B-link tree as published:
+//                   sorted leaves, checksum consistency, host-memory spin
+//                   locks acquired with RDMA_CAS and released with RDMA_FAA,
+//                   no index cache, no command combination.
+//   FG+           — the paper's strengthened baseline: FG plus an index
+//                   cache and WRITE-based lock release.
+//   +Combine      — FG+ plus command combination (§4.5).
+//   +On-Chip      — previous plus the global lock table in NIC on-chip
+//                   memory (§4.3).
+//   +Hierarchical — previous plus local lock tables with FIFO wait queues
+//                   and handover (§4.3).
+//   +2-Level Ver  — previous plus unsorted leaves with entry-level versions
+//                   (§4.4). This is full Sherman.
+#ifndef SHERMAN_CORE_PRESETS_H_
+#define SHERMAN_CORE_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/btree.h"
+
+namespace sherman {
+
+TreeOptions FgOptions();
+TreeOptions FgPlusOptions();
+TreeOptions PlusCombineOptions();
+TreeOptions PlusOnChipOptions();
+TreeOptions PlusHierarchicalOptions();
+TreeOptions ShermanOptions();
+
+// The five ablation stages of Figures 10/11, in order, with display names.
+struct NamedPreset {
+  std::string name;
+  TreeOptions options;
+};
+std::vector<NamedPreset> AblationStages();
+
+// Lookup by name: "fg", "fg+", "+combine", "+on-chip", "+hierarchical",
+// "sherman". Returns false if unknown.
+bool PresetByName(const std::string& name, TreeOptions* out);
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CORE_PRESETS_H_

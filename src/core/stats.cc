@@ -1,0 +1,22 @@
+#include "core/stats.h"
+
+namespace sherman {
+
+void AccumulateOp(RunStats* run, const OpStats& op, uint64_t latency_ns,
+                  bool is_write, bool is_read) {
+  run->ops++;
+  run->latency_ns.Add(latency_ns);
+  if (is_write) {
+    run->round_trips.Add(op.round_trips);
+    run->write_bytes.Add(op.bytes_written);
+  }
+  if (is_read) {
+    run->read_retries.Add(op.read_retries);
+  }
+  run->lock_retries += op.lock_retries;
+  if (op.used_handover) run->handovers++;
+  run->cache_hits += op.cache_hits;
+  run->cache_misses += op.cache_misses;
+}
+
+}  // namespace sherman

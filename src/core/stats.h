@@ -1,0 +1,59 @@
+// Per-operation and per-run internal metrics, matching the quantities the
+// paper analyzes in §5.5 (retry counts, round trips, write sizes).
+#ifndef SHERMAN_CORE_STATS_H_
+#define SHERMAN_CORE_STATS_H_
+
+#include <cstdint>
+
+#include "util/histogram.h"
+
+namespace sherman {
+
+// Reset at the start of each index operation; filled in by the tree, the
+// lock client, and the cache as the operation executes.
+struct OpStats {
+  uint32_t round_trips = 0;   // completed network round trips (batches+RPCs)
+  uint32_t read_retries = 0;  // re-reads due to version/checksum mismatch
+  uint32_t lock_retries = 0;  // failed global lock CAS attempts
+  uint64_t bytes_written = 0; // payload bytes written back by this op
+  bool used_handover = false; // lock obtained via HOCL handover
+  uint32_t cache_hits = 0;
+  uint32_t cache_misses = 0;
+
+  void Reset() { *this = OpStats(); }
+};
+
+// Aggregated over a measurement window by the bench runner.
+struct RunStats {
+  uint64_t ops = 0;
+  Histogram latency_ns;       // per-op simulated latency
+  Histogram round_trips;      // per *write* op (Figure 14b)
+  Histogram read_retries;     // per *read* op (Figure 14a)
+  Histogram write_bytes;      // per write op (Figure 14c)
+  uint64_t lock_retries = 0;
+  uint64_t handovers = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  void Merge(const RunStats& other) {
+    ops += other.ops;
+    latency_ns.Merge(other.latency_ns);
+    round_trips.Merge(other.round_trips);
+    read_retries.Merge(other.read_retries);
+    write_bytes.Merge(other.write_bytes);
+    lock_retries += other.lock_retries;
+    handovers += other.handovers;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+  }
+};
+
+// Folds one finished operation into a run aggregate. Round trips and write
+// sizes are recorded for write ops (Figure 14b/c); read retries for read
+// ops (Figure 14a).
+void AccumulateOp(RunStats* run, const OpStats& op, uint64_t latency_ns,
+                  bool is_write, bool is_read);
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CORE_STATS_H_

@@ -1,0 +1,111 @@
+// HoclHashTable: a distributed bucket hash table on disaggregated memory,
+// built from the same ingredients as the tree — an instantiation of the
+// paper's generality claim (§4.6): "any lock-based index (e.g., bucket
+// hash table) can use HOCL and command combination ... if an index follows
+// lock-free search, the two-level version mechanism is a good choice".
+//
+// Layout: `num_buckets` fixed-size buckets spread round-robin across
+// memory servers. A bucket holds `slots` entries of
+//   [FEV(1)] [key(8)] [value(8)] [REV(1)]
+// (two-level versions at entry granularity; there is no node-level version
+// because buckets never change shape). Collisions overflow into the next
+// buckets, bounded by `max_probe` (linear probing at bucket granularity).
+//
+// Concurrency mirrors the tree: writes take the HOCL lock of the bucket,
+// write back only the touched entry, and combine the write with the lock
+// release; reads are lock-free with per-entry version validation.
+#ifndef SHERMAN_EXT_HASH_TABLE_H_
+#define SHERMAN_EXT_HASH_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/stats.h"
+#include "lock/hocl.h"
+#include "rdma/fabric.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace sherman::ext {
+
+struct HashTableOptions {
+  uint64_t num_buckets = 1 << 16;
+  uint32_t slots_per_bucket = 8;
+  uint32_t max_probe = 4;     // buckets examined before "table full"
+  bool combine_commands = true;
+  HoclOptions lock;           // defaults: full HOCL
+
+  uint32_t entry_size() const { return 1 + 8 + 8 + 1; }
+  uint32_t bucket_bytes() const { return slots_per_bucket * entry_size(); }
+};
+
+// The table itself: owns the placement plan and writes the (empty) buckets
+// directly into MS memory. Create one per deployment, then one
+// HashTableClient per compute server.
+class HoclHashTable {
+ public:
+  HoclHashTable(rdma::Fabric* fabric, HashTableOptions options);
+
+  const HashTableOptions& options() const { return options_; }
+  rdma::Fabric* fabric() { return fabric_; }
+
+  // Address of bucket i.
+  rdma::GlobalAddress BucketAddress(uint64_t index) const;
+  // Home bucket of a key.
+  uint64_t BucketFor(uint64_t key) const;
+
+  // Test/debug: total live entries, by direct memory scan.
+  uint64_t DebugCount() const;
+
+ private:
+  rdma::Fabric* fabric_;
+  HashTableOptions options_;
+  // Per-MS base offset of this table's bucket array.
+  std::vector<uint64_t> base_offsets_;
+};
+
+// Per-compute-server client (client threads of that CS share it).
+class HashTableClient {
+ public:
+  HashTableClient(HoclHashTable* table, int cs_id);
+
+  HashTableClient(const HashTableClient&) = delete;
+  HashTableClient& operator=(const HashTableClient&) = delete;
+
+  // Inserts or updates. Fails with OutOfMemory when every bucket within
+  // the probe window is full.
+  sim::Task<Status> Put(uint64_t key, uint64_t value,
+                        OpStats* stats = nullptr);
+
+  // Lock-free read. NotFound if absent.
+  sim::Task<Status> Get(uint64_t key, uint64_t* value,
+                        OpStats* stats = nullptr);
+
+  // Clears the entry. NotFound if absent.
+  sim::Task<Status> Delete(uint64_t key, OpStats* stats = nullptr);
+
+  HoclClient& hocl() { return hocl_; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint8_t fev = 0, rev = 0;
+  };
+
+  // Decodes slot i from a bucket buffer.
+  Slot DecodeSlot(const uint8_t* bucket, uint32_t i) const;
+  // Encodes key/value into slot i, bumping both entry versions.
+  void EncodeSlot(uint8_t* bucket, uint32_t i, uint64_t key, uint64_t value);
+
+  sim::Task<Status> ReadBucket(uint64_t index, uint8_t* buf, OpStats* stats);
+
+  HoclHashTable* table_;
+  int cs_id_;
+  HoclClient hocl_;
+};
+
+}  // namespace sherman::ext
+
+#endif  // SHERMAN_EXT_HASH_TABLE_H_

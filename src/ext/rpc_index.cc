@@ -1,0 +1,91 @@
+#include "ext/rpc_index.h"
+
+#include "util/logging.h"
+
+namespace sherman::ext {
+
+namespace {
+uint64_t MixKey(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+RpcIndex::RpcIndex(rdma::Fabric* fabric) : fabric_(fabric) {
+  const int num_ms = fabric->num_memory_servers();
+  shards_.resize(num_ms);
+  for (int ms = 0; ms < num_ms; ms++) {
+    fabric->ms(ms).set_rpc_handler(
+        [this, ms](uint64_t opcode, uint64_t arg, uint64_t arg2, uint16_t) {
+          return HandleRpc(ms, opcode, arg, arg2);
+        });
+  }
+}
+
+int RpcIndex::ShardFor(uint64_t key) const {
+  return static_cast<int>(MixKey(key) % shards_.size());
+}
+
+void RpcIndex::BulkLoad(
+    const std::vector<std::pair<uint64_t, uint64_t>>& kvs) {
+  for (const auto& [k, v] : kvs) shards_[ShardFor(k)][k] = v;
+}
+
+uint64_t RpcIndex::DebugCount() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s.size();
+  return n;
+}
+
+uint64_t RpcIndex::HandleRpc(int ms, uint64_t opcode, uint64_t key,
+                             uint64_t value) {
+  std::map<uint64_t, uint64_t>& shard = shards_[ms];
+  switch (opcode) {
+    case kOpPut:
+      shard[key] = value;
+      return 1;
+    case kOpGet: {
+      auto it = shard.find(key);
+      // Encode found/value: callers reserve value 0 as "absent".
+      return it == shard.end() ? 0 : it->second;
+    }
+    case kOpDelete:
+      return shard.erase(key);
+    default:
+      SHERMAN_CHECK_MSG(false, "unknown RpcIndex opcode %llu",
+                        static_cast<unsigned long long>(opcode));
+      return 0;
+  }
+}
+
+sim::Task<Status> RpcIndexClient::Put(uint64_t key, uint64_t value,
+                                      OpStats* stats) {
+  SHERMAN_CHECK(value != 0);  // 0 is the "absent" sentinel
+  const int ms = index_->ShardFor(key);
+  co_await index_->fabric()->qp(cs_id_, ms).Rpc(RpcIndex::kOpPut, key, value);
+  if (stats != nullptr) stats->round_trips++;
+  co_return Status::OK();
+}
+
+sim::Task<Status> RpcIndexClient::Get(uint64_t key, uint64_t* value,
+                                      OpStats* stats) {
+  const int ms = index_->ShardFor(key);
+  const uint64_t r =
+      co_await index_->fabric()->qp(cs_id_, ms).Rpc(RpcIndex::kOpGet, key);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == 0) co_return Status::NotFound();
+  *value = r;
+  co_return Status::OK();
+}
+
+sim::Task<Status> RpcIndexClient::Delete(uint64_t key, OpStats* stats) {
+  const int ms = index_->ShardFor(key);
+  const uint64_t r =
+      co_await index_->fabric()->qp(cs_id_, ms).Rpc(RpcIndex::kOpDelete, key);
+  if (stats != nullptr) stats->round_trips++;
+  co_return r ? Status::OK() : Status::NotFound();
+}
+
+}  // namespace sherman::ext

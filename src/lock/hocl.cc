@@ -1,0 +1,158 @@
+#include "lock/hocl.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sherman {
+
+HoclClient::HoclClient(rdma::Fabric* fabric, int cs_id, HoclOptions options)
+    : fabric_(fabric), cs_id_(cs_id), options_(options) {}
+
+sim::Task<void> HoclClient::AcquireGlobal(const GlobalLockRef& ref,
+                                          OpStats* stats) {
+  rdma::Qp& qp = fabric_->qp(cs_id_, ref.ms);
+  const int shift = ref.lane_shift();
+  while (true) {
+    uint64_t fetched = 0;
+    global_cas_attempts_++;
+    auto wr = rdma::WorkRequest::MaskedCas(ref.word_address(), 0,
+                                           OwnerTag() << shift, ref.lane_mask(),
+                                           &fetched, ref.space);
+    rdma::RdmaResult r = co_await qp.Post(wr);
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+    if (r.cas_success) co_return;
+    global_cas_failures_++;
+    if (stats != nullptr) stats->lock_retries++;
+  }
+}
+
+sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
+                                      OpStats* stats) {
+  LockGuard guard;
+  guard.ref = LockFor(node_addr, options_.onchip);
+
+  if (!options_.hierarchical) {
+    // FG-style: hammer the remote lock directly.
+    co_await AcquireGlobal(guard.ref, stats);
+    co_return guard;
+  }
+
+  // Hierarchical path: serialize conflicting threads of this CS locally
+  // before touching the network (lines 6-16 of Figure 6).
+  LocalLockTable::LocalLock& local = llt_.Get(guard.ref.ms, guard.ref.index);
+  if (!local.held) {
+    local.held = true;
+  } else if (options_.wait_queue) {
+    LocalLockTable::Waiter waiter;
+    local.wait_queue.push_back(&waiter);
+    co_await waiter.signal;  // woken by Unlock, already holding the local lock
+    if (waiter.handover) {
+      guard.via_handover = true;
+      handovers_++;
+      if (stats != nullptr) stats->used_handover = true;
+      co_return guard;  // global lock inherited: no remote access needed
+    }
+  } else {
+    // No wait queue: unfair local spinning.
+    while (local.held) {
+      co_await fabric_->simulator().Delay(options_.local_spin_ns);
+    }
+    local.held = true;
+  }
+
+  co_await AcquireGlobal(guard.ref, stats);
+  co_return guard;
+}
+
+sim::Task<void> HoclClient::Unlock(LockGuard guard,
+                                   std::vector<rdma::WorkRequest> write_backs,
+                                   bool combine, OpStats* stats) {
+  const GlobalLockRef& ref = guard.ref;
+  rdma::Qp& qp = fabric_->qp(cs_id_, ref.ms);
+
+  LocalLockTable::LocalLock* local = nullptr;
+  LocalLockTable::Waiter* next = nullptr;
+  if (options_.hierarchical) {
+    local = &llt_.Get(ref.ms, ref.index);
+    SHERMAN_CHECK(local->held);
+    if (options_.wait_queue && !local->wait_queue.empty()) {
+      next = local->wait_queue.front();
+    }
+  }
+
+  const bool hand_over = options_.handover && next != nullptr &&
+                         local->handover_depth < options_.max_handover_depth;
+
+  // Build the release write: zero the 16-bit lane (or FAA back, for the
+  // original FG configuration).
+  static const uint16_t kZero = 0;
+  rdma::WorkRequest release =
+      options_.release_with_faa
+          ? rdma::WorkRequest::Faa(ref.word_address(),
+                                   static_cast<uint64_t>(-(OwnerTag()))
+                                       << ref.lane_shift(),
+                                   nullptr, ref.space)
+          : rdma::WorkRequest::Write(ref.lane_address(), &kZero,
+                                     sizeof(kZero), ref.space);
+
+  if (hand_over) {
+    // Keep the global lock; flush pending write-backs, then wake the next
+    // local waiter with the lock in hand. Posting before waking keeps QP
+    // order: the successor's reads execute after these writes.
+    local->handover_depth++;
+    if (!write_backs.empty()) {
+      if (combine) {
+        rdma::RdmaResult r = co_await qp.PostBatch(std::move(write_backs));
+        if (stats != nullptr) stats->round_trips++;
+        SHERMAN_CHECK(r.status.ok());
+      } else {
+        for (auto& wr : write_backs) {
+          rdma::RdmaResult r = co_await qp.Post(wr);
+          if (stats != nullptr) stats->round_trips++;
+          SHERMAN_CHECK(r.status.ok());
+        }
+      }
+    }
+    LocalLockTable::Waiter* w = local->wait_queue.front();
+    local->wait_queue.pop_front();
+    w->handover = true;
+    w->signal.Fire();
+    co_return;
+  }
+
+  // Full release: write-backs followed by the global release, combined into
+  // one doorbell batch when command combination is on (§4.5).
+  if (combine) {
+    write_backs.push_back(release);
+    rdma::RdmaResult r = co_await qp.PostBatch(std::move(write_backs));
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+  } else {
+    for (auto& wr : write_backs) {
+      rdma::RdmaResult r = co_await qp.Post(wr);
+      if (stats != nullptr) stats->round_trips++;
+      SHERMAN_CHECK(r.status.ok());
+    }
+    rdma::RdmaResult r = co_await qp.Post(release);
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+  }
+
+  if (options_.hierarchical) {
+    local->handover_depth = 0;
+    local->held = false;
+    if (options_.wait_queue && !local->wait_queue.empty()) {
+      // Wake the successor; it re-acquires local + global itself.
+      LocalLockTable::Waiter* w = local->wait_queue.front();
+      local->wait_queue.pop_front();
+      local->held = true;  // transfer local ownership FIFO
+      w->handover = false;
+      w->signal.Fire();
+    }
+  }
+  co_return;
+}
+
+}  // namespace sherman

@@ -1,0 +1,88 @@
+// HoclClient: the hierarchical on-chip lock (§4.3), one instance per
+// compute server, shared by its client threads.
+//
+// Every stage of the design is independently toggleable so the ablations of
+// Figures 10, 11 and 16 are real configurations:
+//   onchip        — global lock table in NIC on-chip memory vs. host DRAM
+//   hierarchical  — acquire a CS-local lock before the remote CAS
+//   wait_queue    — FIFO wait queue on local locks vs. local spinning
+//   handover      — pass the held global lock to the next local waiter
+//                   (bounded by max_handover_depth, default 4)
+//
+// Unlock() takes the operation's pending write-backs: with command
+// combination (§4.5) they are doorbell-batched together with the lock-
+// release write (one round trip); without it, each write is issued and
+// awaited separately, then the release follows — the behaviour of FG.
+#ifndef SHERMAN_LOCK_HOCL_H_
+#define SHERMAN_LOCK_HOCL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.h"
+#include "lock/local_lock_table.h"
+#include "lock/lock_table.h"
+#include "rdma/fabric.h"
+#include "sim/task.h"
+
+namespace sherman {
+
+struct HoclOptions {
+  bool onchip = true;
+  bool hierarchical = true;
+  bool wait_queue = true;
+  bool handover = true;
+  uint32_t max_handover_depth = 4;  // MAX_DEPTH in Figure 6
+  // Original FG releases with RDMA_FAA; FG+ and Sherman use RDMA_WRITE.
+  bool release_with_faa = false;
+  // Local spin interval when hierarchical && !wait_queue.
+  sim::SimTime local_spin_ns = 500;
+};
+
+// Returned by Lock(); pass back to Unlock().
+struct LockGuard {
+  GlobalLockRef ref;
+  bool via_handover = false;
+};
+
+class HoclClient {
+ public:
+  HoclClient(rdma::Fabric* fabric, int cs_id, HoclOptions options);
+
+  HoclClient(const HoclClient&) = delete;
+  HoclClient& operator=(const HoclClient&) = delete;
+
+  // Acquires the exclusive lock guarding `node_addr` (Figure 6, HOCL_Lock).
+  sim::Task<LockGuard> Lock(rdma::GlobalAddress node_addr, OpStats* stats);
+
+  // Releases the lock (Figure 6, HOCL_Unlock), first applying `write_backs`
+  // (all must target the lock's MS if `combine` is set — command
+  // combination rides the in-order QP).
+  sim::Task<void> Unlock(LockGuard guard,
+                         std::vector<rdma::WorkRequest> write_backs,
+                         bool combine, OpStats* stats);
+
+  const HoclOptions& options() const { return options_; }
+  uint64_t handovers() const { return handovers_; }
+  uint64_t global_cas_attempts() const { return global_cas_attempts_; }
+  uint64_t global_cas_failures() const { return global_cas_failures_; }
+
+ private:
+  // Remote acquisition loop on the GLT (lines 17-19 of Figure 6).
+  sim::Task<void> AcquireGlobal(const GlobalLockRef& ref, OpStats* stats);
+
+  // The 16-bit value this CS writes into a lock it owns.
+  uint64_t OwnerTag() const { return static_cast<uint64_t>(cs_id_) + 1; }
+
+  rdma::Fabric* fabric_;
+  int cs_id_;
+  HoclOptions options_;
+  LocalLockTable llt_;
+  uint64_t handovers_ = 0;
+  uint64_t global_cas_attempts_ = 0;
+  uint64_t global_cas_failures_ = 0;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_LOCK_HOCL_H_

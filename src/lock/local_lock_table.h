@@ -1,0 +1,53 @@
+// Local lock table (LLT): the compute-server half of HOCL (§4.3).
+//
+// Each CS keeps one local lock per (MS, GLT index). A thread must hold the
+// local lock before issuing the remote CAS for the global lock, so
+// conflicting threads of the same CS queue locally instead of burning
+// remote retries. Each local lock carries a FIFO wait queue (first-come-
+// first-served fairness) and a handover depth counter (Figure 6).
+#ifndef SHERMAN_LOCK_LOCAL_LOCK_TABLE_H_
+#define SHERMAN_LOCK_LOCAL_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/task.h"
+
+namespace sherman {
+
+class LocalLockTable {
+ public:
+  // A parked waiter. `handover == true` when woken means the global lock
+  // was handed over and must not be re-acquired remotely.
+  struct Waiter {
+    bool handover = false;
+    sim::OneShot signal;
+  };
+
+  struct LocalLock {
+    bool held = false;
+    uint32_t handover_depth = 0;
+    std::deque<Waiter*> wait_queue;
+  };
+
+  // The local lock for GLT slot `index` on memory server `ms`. Lazily
+  // created: the paper's flat n-MB array is modeled sparsely since only
+  // touched locks matter.
+  LocalLock& Get(uint16_t ms, uint32_t index) {
+    return locks_[Key(ms, index)];
+  }
+
+  size_t touched() const { return locks_.size(); }
+
+ private:
+  static uint64_t Key(uint16_t ms, uint32_t index) {
+    return (static_cast<uint64_t>(ms) << 32) | index;
+  }
+
+  std::unordered_map<uint64_t, LocalLock> locks_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_LOCK_LOCAL_LOCK_TABLE_H_

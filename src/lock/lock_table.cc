@@ -1,0 +1,22 @@
+#include "lock/lock_table.h"
+
+namespace sherman {
+
+uint32_t LockIndexFor(rdma::GlobalAddress node_addr) {
+  // SplitMix64 finalizer: cheap and well-distributed.
+  uint64_t z = node_addr.offset + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return static_cast<uint32_t>(z % kLocksPerMs);
+}
+
+GlobalLockRef LockFor(rdma::GlobalAddress node_addr, bool onchip) {
+  GlobalLockRef ref;
+  ref.ms = node_addr.node;
+  ref.index = LockIndexFor(node_addr);
+  ref.space = onchip ? rdma::MemorySpace::kDevice : rdma::MemorySpace::kHost;
+  return ref;
+}
+
+}  // namespace sherman

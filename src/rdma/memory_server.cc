@@ -1,0 +1,23 @@
+#include "rdma/memory_server.h"
+
+#include <algorithm>
+
+namespace sherman::rdma {
+
+MemoryServer::MemoryServer(uint16_t id, sim::Simulator* sim,
+                           const FabricConfig* cfg)
+    : id_(id),
+      sim_(sim),
+      cfg_(cfg),
+      host_(cfg->ms_memory_bytes),
+      device_(cfg->onchip_bytes),
+      nic_(cfg) {}
+
+sim::SimTime MemoryServer::ReserveMemoryThread(sim::SimTime earliest) {
+  const sim::SimTime start = std::max(earliest, mem_thread_free_);
+  mem_thread_free_ = start + cfg_->rpc_service_ns;
+  rpcs_served_++;
+  return mem_thread_free_;
+}
+
+}  // namespace sherman::rdma

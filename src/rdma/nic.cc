@@ -1,0 +1,46 @@
+#include "rdma/nic.h"
+
+#include <algorithm>
+
+namespace sherman::rdma {
+
+Nic::Nic(const FabricConfig* cfg)
+    : cfg_(cfg), bucket_free_(cfg->atomic_buckets(), 0) {}
+
+sim::SimTime Nic::MessageCost(uint32_t payload_bytes,
+                              sim::SimTime per_msg) const {
+  const double wire_bytes =
+      static_cast<double>(payload_bytes) + cfg_->wire_header_bytes;
+  const auto serialize =
+      static_cast<sim::SimTime>(wire_bytes / cfg_->link_bytes_per_ns);
+  return std::max(per_msg, serialize);
+}
+
+sim::SimTime Nic::ReserveTx(sim::SimTime earliest, uint32_t payload_bytes) {
+  const sim::SimTime start = std::max(earliest, tx_free_);
+  tx_free_ = start + MessageCost(payload_bytes, cfg_->nic_tx_ns);
+  counters_.tx_msgs++;
+  counters_.tx_bytes += payload_bytes;
+  return tx_free_;
+}
+
+sim::SimTime Nic::ReserveRx(sim::SimTime earliest, uint32_t payload_bytes) {
+  const sim::SimTime start = std::max(earliest, rx_free_);
+  rx_free_ = start + MessageCost(payload_bytes, cfg_->nic_rx_ns);
+  counters_.rx_msgs++;
+  counters_.rx_bytes += payload_bytes;
+  return rx_free_;
+}
+
+sim::SimTime Nic::ReserveAtomicBucket(uint64_t offset, sim::SimTime earliest,
+                                      sim::SimTime hold_ns) {
+  const uint64_t bucket = offset & (cfg_->atomic_buckets() - 1);
+  sim::SimTime& free_at = bucket_free_[bucket];
+  const sim::SimTime start = std::max(earliest, free_at);
+  counters_.atomics++;
+  counters_.atomic_stall_ns += start - earliest;
+  free_at = start + hold_ns;
+  return start;
+}
+
+}  // namespace sherman::rdma

@@ -1,0 +1,69 @@
+// Nic: the timing model of one RDMA NIC.
+//
+// Three kinds of resources are modeled, each as a FIFO server with a
+// "free-at" timestamp:
+//  - a TX engine (outbound work requests / responses),
+//  - an RX engine (inbound requests / completions),
+//  - 4096 atomic buckets implementing the NIC-internal concurrency control
+//    for RDMA atomics (§3.2.2): atomics whose destination addresses share
+//    their 12 LSBs serialize; a host-memory atomic holds its bucket for two
+//    PCIe transactions, while a device-memory (on-chip) atomic holds it for
+//    ~9 ns — the root of the HOCL on-chip speedup.
+//
+// Message costs are max(per-message engine cost, bytes / link bandwidth),
+// which yields the Figure 3 IOPS-vs-bandwidth knee.
+#ifndef SHERMAN_RDMA_NIC_H_
+#define SHERMAN_RDMA_NIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdma/config.h"
+#include "sim/event_queue.h"
+
+namespace sherman::rdma {
+
+struct NicCounters {
+  uint64_t tx_msgs = 0;
+  uint64_t rx_msgs = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t atomics = 0;
+  uint64_t atomic_stall_ns = 0;  // total time atomics waited on busy buckets
+};
+
+class Nic {
+ public:
+  explicit Nic(const FabricConfig* cfg);
+
+  // Reserves the TX engine for a message with `payload_bytes` of payload,
+  // requested at time `earliest`. Returns the time the message has fully
+  // left the NIC.
+  sim::SimTime ReserveTx(sim::SimTime earliest, uint32_t payload_bytes);
+
+  // Same for the RX engine; returns the time the NIC has fully processed the
+  // inbound message.
+  sim::SimTime ReserveRx(sim::SimTime earliest, uint32_t payload_bytes);
+
+  // Reserves the atomic bucket for `offset` starting no earlier than
+  // `earliest`, holding it for `hold_ns`. Returns the hold start time.
+  sim::SimTime ReserveAtomicBucket(uint64_t offset, sim::SimTime earliest,
+                                   sim::SimTime hold_ns);
+
+  const NicCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = NicCounters(); }
+
+  // Wire occupancy of a message (headers + payload), for tests.
+  sim::SimTime MessageCost(uint32_t payload_bytes, sim::SimTime per_msg) const;
+
+ private:
+  const FabricConfig* cfg_;
+  sim::SimTime tx_free_ = 0;
+  sim::SimTime rx_free_ = 0;
+  std::vector<sim::SimTime> bucket_free_;
+  NicCounters counters_;
+};
+
+}  // namespace sherman::rdma
+
+#endif  // SHERMAN_RDMA_NIC_H_

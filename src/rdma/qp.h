@@ -1,0 +1,85 @@
+// Qp: a reliable-connected queue pair between one compute server and one
+// memory server.
+//
+// Two hardware properties that Sherman exploits are modeled explicitly:
+//  - in-order delivery/execution of the WRs inside one doorbell batch
+//    (command combination, §4.5), plus the NIC/PCIe rule that reads and
+//    atomics never pass previously posted writes at the same MS (the
+//    paper's §5.5.1) — together these give Sherman its ordering guarantees
+//    without extra round trips;
+//  - doorbell batching: PostBatch() posts a linked list of WRs in one call;
+//    only the last WR is signaled, so the whole batch costs one completed
+//    round trip.
+//
+// One Qp object serves all client threads of a CS toward one MS. In the
+// real system each thread owns a QP; accordingly, independent batches are
+// NOT ordered against each other.
+#ifndef SHERMAN_RDMA_QP_H_
+#define SHERMAN_RDMA_QP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdma/config.h"
+#include "rdma/verbs.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace sherman::rdma {
+
+class ComputeServer;
+class MemoryServer;
+
+struct QpCounters {
+  uint64_t batches = 0;     // doorbell rings == round trips on this QP
+  uint64_t wrs = 0;         // individual work requests
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t atomics = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t rpcs = 0;
+};
+
+class Qp {
+ public:
+  Qp(ComputeServer* cs, MemoryServer* ms, sim::Simulator* sim,
+     const FabricConfig* cfg);
+
+  Qp(const Qp&) = delete;
+  Qp& operator=(const Qp&) = delete;
+
+  uint16_t remote_id() const;
+
+  // Posts a single signaled work request; resumes when its completion entry
+  // would be polled from the CQ.
+  sim::Task<RdmaResult> Post(WorkRequest wr);
+
+  // Posts a doorbell-batched list; WRs execute in order at the target NIC;
+  // a single completion (for the last WR) ends the call. READ or atomic WRs
+  // may only appear in the last position (earlier ones would need their own
+  // response; Sherman never batches them).
+  sim::Task<RdmaResult> PostBatch(std::vector<WorkRequest> wrs);
+
+  // Two-sided RPC to the memory server's memory thread (§4.2.4). Returns the
+  // handler's response word.
+  sim::Task<uint64_t> Rpc(uint64_t opcode, uint64_t arg, uint64_t arg2 = 0);
+
+  const QpCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = QpCounters(); }
+
+ private:
+  // Payload bytes carried by the request / response message of a WR.
+  static uint32_t RequestPayload(const WorkRequest& wr);
+  static uint32_t ResponsePayload(const WorkRequest& wr);
+
+  ComputeServer* cs_;
+  MemoryServer* ms_;
+  sim::Simulator* sim_;
+  const FabricConfig* cfg_;
+  QpCounters counters_;
+};
+
+}  // namespace sherman::rdma
+
+#endif  // SHERMAN_RDMA_QP_H_

@@ -1,0 +1,19 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace sherman::sim {
+
+void EventQueue::Push(SimTime time, Callback fn) {
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+EventQueue::Callback EventQueue::Pop() {
+  // priority_queue::top() returns a const ref; fn is marked mutable so we can
+  // move the callback out before popping (callbacks are move-only in spirit).
+  Callback fn = std::move(heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace sherman::sim

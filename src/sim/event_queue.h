@@ -1,0 +1,50 @@
+// A time-ordered event queue for the discrete-event simulator. Events with
+// equal timestamps fire in insertion order (stable), which keeps every
+// simulation run deterministic.
+#ifndef SHERMAN_SIM_EVENT_QUEUE_H_
+#define SHERMAN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sherman::sim {
+
+// Simulated time in nanoseconds.
+using SimTime = uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void Push(SimTime time, Callback fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const { return heap_.top().time; }
+
+  // Removes and returns the earliest event's callback. Requires !empty().
+  Callback Pop();
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: insertion order
+    mutable Callback fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sherman::sim
+
+#endif  // SHERMAN_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,33 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace sherman::sim {
+
+void Simulator::At(SimTime t, EventQueue::Callback fn) {
+  SHERMAN_CHECK_MSG(t >= now_, "scheduling into the past: t=%llu now=%llu",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(now_));
+  queue_.Push(t, std::move(fn));
+}
+
+bool Simulator::RunOne() {
+  if (queue_.empty()) return false;
+  now_ = queue_.NextTime();
+  auto fn = queue_.Pop();
+  steps_++;
+  fn();
+  return true;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t processed = 0;
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    RunOne();
+    processed++;
+  }
+  if (!queue_.empty() && now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace sherman::sim

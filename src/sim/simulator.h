@@ -1,0 +1,66 @@
+// The discrete-event simulator driving the whole RDMA fabric. All "client
+// threads" are coroutines resumed by events from this queue; simulated time
+// only advances between events, so a run is fully deterministic.
+#ifndef SHERMAN_SIM_SIMULATOR_H_
+#define SHERMAN_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+
+namespace sherman::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t steps() const { return steps_; }
+  bool idle() const { return queue_.empty(); }
+
+  // Schedules fn at absolute time t (>= now).
+  void At(SimTime t, EventQueue::Callback fn);
+
+  // Schedules fn `delay` nanoseconds from now.
+  void After(SimTime delay, EventQueue::Callback fn) {
+    At(now_ + delay, std::move(fn));
+  }
+
+  // Processes the earliest event. Returns false if the queue is empty.
+  bool RunOne();
+
+  // Processes events until the queue drains. Returns events processed.
+  uint64_t Run() { return RunUntil(std::numeric_limits<SimTime>::max()); }
+
+  // Processes events with time <= deadline; afterwards now() == deadline if
+  // any later events remain, else the time of the last event processed.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Awaitable: suspend the calling coroutine for `delay` simulated ns.
+  // A zero delay still round-trips through the event queue, preserving a
+  // consistent interleaving model (yield point).
+  struct DelayAwaiter {
+    Simulator* sim;
+    SimTime delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->After(delay, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter Delay(SimTime delay) { return DelayAwaiter{this, delay}; }
+
+ private:
+  SimTime now_ = 0;
+  uint64_t steps_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace sherman::sim
+
+#endif  // SHERMAN_SIM_SIMULATOR_H_

@@ -1,0 +1,19 @@
+#include "sim/sync.h"
+
+namespace sherman::sim {
+
+bool CoroQueue::WakeOne() {
+  if (waiters_.empty()) return false;
+  auto h = waiters_.front();
+  waiters_.pop_front();
+  h.resume();
+  return true;
+}
+
+size_t CoroQueue::WakeAll() {
+  size_t n = 0;
+  while (WakeOne()) n++;
+  return n;
+}
+
+}  // namespace sherman::sim

@@ -1,0 +1,177 @@
+// Coroutine task types for the simulator.
+//
+// Task<T> is a lazy coroutine: it starts when first awaited and resumes its
+// awaiter (via symmetric transfer) when it finishes. A parent coroutine owns
+// the child Task object, whose destructor destroys the child frame. Detached
+// top-level coroutines are started with Spawn(), which wraps the task in a
+// self-destroying driver.
+//
+// The library is exception-free (database-engine style); an exception
+// escaping a coroutine aborts the process.
+#ifndef SHERMAN_SIM_TASK_H_
+#define SHERMAN_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace sherman::sim {
+
+namespace internal {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { std::abort(); }
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaiter interface: starts the child and resumes the parent on finish.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace internal {
+
+// Self-destroying driver for detached coroutines.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::abort(); }
+  };
+};
+
+}  // namespace internal
+
+// Starts `task` immediately (runs until its first suspension point) and lets
+// it run to completion driven by simulator events. The task frame is
+// destroyed when it finishes.
+inline void Spawn(Task<void> task) {
+  [](Task<void> t) -> internal::Detached { co_await std::move(t); }(
+      std::move(task));
+}
+
+// OneShot: a single-fire signal connecting event callbacks to coroutines.
+// One coroutine may await it; Fire() resumes the waiter inline (within the
+// current event).
+class OneShot {
+ public:
+  OneShot() = default;
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  bool fired() const { return fired_; }
+
+  void Fire() {
+    fired_ = true;
+    if (waiter_) {
+      auto h = std::exchange(waiter_, nullptr);
+      h.resume();
+    }
+  }
+
+  bool await_ready() const noexcept { return fired_; }
+  void await_suspend(std::coroutine_handle<> h) { waiter_ = h; }
+  void await_resume() const noexcept {}
+
+ private:
+  bool fired_ = false;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+}  // namespace sherman::sim
+
+#endif  // SHERMAN_SIM_TASK_H_

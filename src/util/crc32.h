@@ -1,0 +1,16 @@
+// Software CRC32 (Castagnoli polynomial), used by the FG baseline's
+// checksum-based node consistency check (§3.2.3, Figure 4a).
+#ifndef SHERMAN_UTIL_CRC32_H_
+#define SHERMAN_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sherman {
+
+// CRC32-C of [data, data+n). `init` allows incremental computation.
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace sherman
+
+#endif  // SHERMAN_UTIL_CRC32_H_

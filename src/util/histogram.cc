@@ -1,0 +1,100 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace sherman {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 8) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int sub = static_cast<int>((value >> (msb - 3)) & 7);
+  int idx = (msb << 3) | sub;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+uint64_t Histogram::BucketLower(int bucket) {
+  if (bucket < 8) return static_cast<uint64_t>(bucket);
+  const int msb = bucket >> 3;
+  const int sub = bucket & 7;
+  return (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - 3));
+}
+
+uint64_t Histogram::BucketUpper(int bucket) {
+  if (bucket < 8) return static_cast<uint64_t>(bucket) + 1;
+  const int msb = bucket >> 3;
+  return BucketLower(bucket) + (1ULL << (msb - 3));
+}
+
+void Histogram::Add(uint64_t value) {
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  assert(p >= 0 && p <= 100);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket.
+      const uint64_t lo = std::max(BucketLower(i), min_);
+      const uint64_t hi = std::min(BucketUpper(i), max_ + 1);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      const uint64_t v =
+          lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      return std::min(std::max(v, min_), max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f min=%llu p50=%llu p90=%llu p99=%llu "
+                "max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P90()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace sherman

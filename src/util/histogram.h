@@ -1,0 +1,54 @@
+// Log-bucketed histogram for latency recording, with percentile queries.
+// Buckets grow geometrically so that nanosecond-scale and millisecond-scale
+// latencies are both representable with bounded error (< ~2% per bucket).
+#ifndef SHERMAN_UTIL_HISTOGRAM_H_
+#define SHERMAN_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sherman {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Value at percentile p in [0, 100]. Interpolates within a bucket.
+  uint64_t Percentile(double p) const;
+
+  uint64_t P50() const { return Percentile(50); }
+  uint64_t P90() const { return Percentile(90); }
+  uint64_t P99() const { return Percentile(99); }
+
+  std::string ToString() const;
+
+  // Number of buckets; exposed for tests.
+  static constexpr int kNumBuckets = 256;
+
+ private:
+  // Bucket index for a value; buckets are [2^(i/8), 2^((i+1)/8)) roughly
+  // (8 sub-buckets per power of two).
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLower(int bucket);
+  static uint64_t BucketUpper(int bucket);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_UTIL_HISTOGRAM_H_

@@ -1,0 +1,36 @@
+// Minimal logging / assertion macros for the library.
+#ifndef SHERMAN_UTIL_LOGGING_H_
+#define SHERMAN_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// SHERMAN_CHECK(cond): fatal invariant check, enabled in all build types.
+#define SHERMAN_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SHERMAN_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SHERMAN_CHECK_MSG(cond, ...)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SHERMAN_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SHERMAN_LOG(...)                       \
+  do {                                         \
+    std::fprintf(stderr, "[sherman] ");        \
+    std::fprintf(stderr, __VA_ARGS__);         \
+    std::fprintf(stderr, "\n");                \
+  } while (0)
+
+#endif  // SHERMAN_UTIL_LOGGING_H_

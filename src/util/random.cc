@@ -1,0 +1,94 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sherman {
+
+namespace {
+// SplitMix64 to expand a user seed into engine state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t x = seed;
+  s0_ = SplitMix64(x);
+  s1_ = SplitMix64(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be non-zero
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  assert(n > 0);
+  // Rejection-free modulo is fine here: n is tiny relative to 2^64 in all of
+  // our uses, so the bias is negligible for benchmarking purposes.
+  return Next() % n;
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0 && theta < 1);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Random& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n, double theta)
+    : zipf_(n, theta), n_(n) {}
+
+uint64_t ScrambledZipfianGenerator::FnvHash(uint64_t v) {
+  // FNV-1a over the 8 bytes of v (as in YCSB's FNVhash64).
+  const uint64_t kPrime = 1099511628211ULL;
+  uint64_t hash = 14695981039346656037ULL;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (v >> (i * 8)) & 0xff;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+uint64_t ScrambledZipfianGenerator::Next(Random& rng) {
+  return FnvHash(zipf_.Next(rng)) % n_;
+}
+
+}  // namespace sherman

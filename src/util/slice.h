@@ -1,0 +1,59 @@
+// Slice: a non-owning view over a byte range, in the style of RocksDB.
+#ifndef SHERMAN_UTIL_SLICE_H_
+#define SHERMAN_UTIL_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace sherman {
+
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+
+  // Three-way comparison: <0, ==0, >0 like memcmp.
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = std::memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace sherman
+
+#endif  // SHERMAN_UTIL_SLICE_H_

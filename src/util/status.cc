@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace sherman {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kOutOfMemory:
+      return "OutOfMemory";
+    case Status::Code::kRetry:
+      return "Retry";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace sherman

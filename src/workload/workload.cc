@@ -1,0 +1,70 @@
+#include "workload/workload.h"
+
+#include "util/logging.h"
+
+namespace sherman {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options,
+                                     uint64_t seed)
+    : options_(options), rng_(seed), value_counter_(seed << 20) {
+  SHERMAN_CHECK(options.loaded_keys > 0);
+  const double total = options.mix.insert + options.mix.lookup +
+                       options.mix.range + options.mix.del;
+  SHERMAN_CHECK_MSG(total > 0.999 && total < 1.001,
+                    "workload mix must sum to 1 (got %.3f)", total);
+  if (options.zipf_theta > 0) {
+    zipf_ = std::make_unique<ScrambledZipfianGenerator>(options.loaded_keys,
+                                                        options.zipf_theta);
+  }
+}
+
+uint64_t WorkloadGenerator::NextRank() {
+  if (zipf_ != nullptr) return zipf_->Next(rng_);
+  return rng_.Uniform(options_.loaded_keys);
+}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  const double dice = rng_.NextDouble();
+  const WorkloadMix& mix = options_.mix;
+  const uint64_t rank = NextRank();
+  const uint64_t even_key = LoadedKeyFor(rank);
+
+  if (dice < mix.insert) {
+    op.type = OpType::kInsert;
+    // ~2/3 of inserts update existing keys (§5.1.3); the rest insert the
+    // adjacent odd key.
+    op.key = rng_.Bernoulli(options_.update_fraction) ? even_key : even_key + 1;
+    op.value = ++value_counter_;
+  } else if (dice < mix.insert + mix.lookup) {
+    op.type = OpType::kLookup;
+    op.key = even_key;
+  } else if (dice < mix.insert + mix.lookup + mix.range) {
+    op.type = OpType::kRangeQuery;
+    op.key = even_key;
+    op.range_size = options_.range_size;
+  } else {
+    op.type = OpType::kDelete;
+    op.key = even_key;
+  }
+  return op;
+}
+
+bool ParseMix(const std::string& name, WorkloadMix* mix) {
+  if (name == "write-only") {
+    *mix = WorkloadMix::WriteOnly();
+  } else if (name == "write-intensive") {
+    *mix = WorkloadMix::WriteIntensive();
+  } else if (name == "read-intensive") {
+    *mix = WorkloadMix::ReadIntensive();
+  } else if (name == "range-only") {
+    *mix = WorkloadMix::RangeOnly();
+  } else if (name == "range-write") {
+    *mix = WorkloadMix::RangeWrite();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sherman

@@ -1,0 +1,79 @@
+// YCSB-style workload generation (§5.1.3, Table 3).
+//
+// Key universe: the tree is bulkloaded with the even keys 2, 4, ..., 2N
+// (logical ranks 0..N-1). Insert operations draw a rank from the popularity
+// distribution; with probability `update_fraction` (the paper's ~2/3) the
+// op targets the existing even key (an update), otherwise the adjacent odd
+// key (a fresh insert). This keeps fresh inserts spatially spread instead
+// of hammering the rightmost leaf.
+#ifndef SHERMAN_WORKLOAD_WORKLOAD_H_
+#define SHERMAN_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace sherman {
+
+enum class OpType : uint8_t { kInsert, kLookup, kRangeQuery, kDelete };
+
+struct WorkloadMix {
+  double insert = 0;
+  double lookup = 0;
+  double range = 0;
+  double del = 0;
+
+  // The paper's five mixes (Table 3).
+  static WorkloadMix WriteOnly() { return {1.0, 0.0, 0.0, 0.0}; }
+  static WorkloadMix WriteIntensive() { return {0.5, 0.5, 0.0, 0.0}; }
+  static WorkloadMix ReadIntensive() { return {0.05, 0.95, 0.0, 0.0}; }
+  static WorkloadMix RangeOnly() { return {0.0, 0.0, 1.0, 0.0}; }
+  static WorkloadMix RangeWrite() { return {0.5, 0.0, 0.5, 0.0}; }
+};
+
+struct WorkloadOptions {
+  WorkloadMix mix = WorkloadMix::WriteIntensive();
+  uint64_t loaded_keys = 1'000'000;  // N entries bulkloaded
+  // 0 => uniform popularity; otherwise Zipfian skewness (0.99 = YCSB default).
+  double zipf_theta = 0;
+  uint32_t range_size = 100;
+  double update_fraction = 2.0 / 3.0;
+};
+
+struct Op {
+  OpType type = OpType::kLookup;
+  uint64_t key = 0;
+  uint64_t value = 0;      // for inserts
+  uint32_t range_size = 0; // for range queries
+};
+
+// Deterministic per-client stream of operations.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadOptions& options, uint64_t seed);
+
+  Op Next();
+
+  // The even tree key for popularity rank r.
+  static uint64_t LoadedKeyFor(uint64_t rank) { return 2 * (rank + 1); }
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  uint64_t NextRank();
+
+  WorkloadOptions options_;
+  Random rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;  // null => uniform
+  uint64_t value_counter_;
+};
+
+// Parses the mix names used by bench binaries ("write-only",
+// "write-intensive", "read-intensive", "range-only", "range-write").
+bool ParseMix(const std::string& name, WorkloadMix* mix);
+
+}  // namespace sherman
+
+#endif  // SHERMAN_WORKLOAD_WORKLOAD_H_

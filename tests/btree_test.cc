@@ -1,0 +1,379 @@
+// Single-client tree correctness: random operation sequences verified
+// against std::map, bulkload shapes, split cascades, root growth, deletes,
+// range queries, and key-size sweeps — parameterized over every preset.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/runner.h"
+#include "core/btree.h"
+#include "core/presets.h"
+#include "util/random.h"
+
+namespace sherman {
+namespace {
+
+rdma::FabricConfig SmallFabric(int ms = 2, int cs = 1) {
+  rdma::FabricConfig f;
+  f.num_memory_servers = ms;
+  f.num_compute_servers = cs;
+  f.ms_memory_bytes = 32ull << 20;
+  return f;
+}
+
+// Drives a single-coroutine random op sequence mirrored into std::map.
+sim::Task<void> RandomOps(TreeClient* client, uint64_t seed, int ops,
+                          uint64_t key_space, bool with_deletes,
+                          std::map<Key, uint64_t>* model, bool* done) {
+  Random rng(seed);
+  for (int i = 0; i < ops; i++) {
+    const Key key = 1 + rng.Uniform(key_space);
+    const int action = static_cast<int>(rng.Uniform(with_deletes ? 4 : 3));
+    if (action == 0 || action == 2) {
+      const uint64_t value = rng.Next();
+      Status st = co_await client->Insert(key, value);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      (*model)[key] = value;
+    } else if (action == 1) {
+      uint64_t value = 0;
+      Status st = co_await client->Lookup(key, &value);
+      auto it = model->find(key);
+      if (it == model->end()) {
+        EXPECT_TRUE(st.IsNotFound()) << "key " << key << ": " << st.ToString();
+      } else {
+        EXPECT_TRUE(st.ok()) << st.ToString();
+        EXPECT_EQ(value, it->second) << "key " << key;
+      }
+    } else {
+      Status st = co_await client->Delete(key);
+      if (model->erase(key) > 0) {
+        EXPECT_TRUE(st.ok()) << st.ToString();
+      } else {
+        EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+      }
+    }
+  }
+  *done = true;
+}
+
+class PresetTreeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  TreeOptions Options() {
+    TreeOptions t;
+    EXPECT_TRUE(PresetByName(GetParam(), &t));
+    return t;
+  }
+};
+
+TEST_P(PresetTreeTest, RandomOpsMatchStdMap) {
+  TreeOptions topt = Options();
+  topt.shape.node_size = 256;  // small nodes force frequent splits
+  ShermanSystem system(SmallFabric(), topt);
+  system.BulkLoad({}, 0.8);  // start empty: exercises root growth from leaf
+
+  std::map<Key, uint64_t> model;
+  bool done = false;
+  sim::Spawn(RandomOps(&system.client(0), 99, 3000, 500, true, &model, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+
+  system.DebugCheckInvariants();
+  const auto scan = system.DebugScanLeaves();
+  ASSERT_EQ(scan.size(), model.size());
+  auto it = model.begin();
+  for (size_t i = 0; i < scan.size(); i++, ++it) {
+    EXPECT_EQ(scan[i].first, it->first);
+    EXPECT_EQ(scan[i].second, it->second);
+  }
+}
+
+TEST_P(PresetTreeTest, SequentialInsertsCascadeSplitsToDeepTree) {
+  TreeOptions topt = Options();
+  topt.shape.node_size = 256;
+  ShermanSystem system(SmallFabric(), topt);
+  system.BulkLoad({}, 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    for (Key k = 1; k <= 2000; k++) {
+      Status st = co_await c->Insert(k, k * 2);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    // Everything must be found.
+    for (Key k = 1; k <= 2000; k++) {
+      uint64_t v = 0;
+      Status st = co_await c->Lookup(k, &v);
+      EXPECT_TRUE(st.ok()) << "key " << k << ": " << st.ToString();
+      EXPECT_EQ(v, k * 2);
+    }
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_GE(system.DebugHeight(), 3u) << "splits should have grown the tree";
+  system.DebugCheckInvariants();
+}
+
+TEST_P(PresetTreeTest, RangeQueryAgainstModel) {
+  TreeOptions topt = Options();
+  ShermanSystem system(SmallFabric(), topt);
+  const uint64_t n = 5'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    Random rng(5);
+    std::vector<std::pair<Key, uint64_t>> out;
+    for (int trial = 0; trial < 30; trial++) {
+      const Key from = 1 + rng.Uniform(2 * n_keys);
+      const uint32_t count = 1 + static_cast<uint32_t>(rng.Uniform(200));
+      Status st = co_await c->RangeQuery(from, count, &out);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      // Expected: even keys in [from, ...), up to count of them.
+      Key expect = from + (from % 2);
+      if (expect < 2) expect = 2;
+      for (const auto& [k, v] : out) {
+        EXPECT_EQ(k, expect);
+        EXPECT_EQ(v, k * 31 + 7);
+        expect = k + 2;
+      }
+      const uint64_t max_key = 2 * n_keys;
+      const Key first = from + (from % 2);
+      const uint64_t available =
+          first > max_key ? 0 : (max_key - first) / 2 + 1;
+      EXPECT_EQ(out.size(), std::min<uint64_t>(count, available));
+    }
+    *flag = true;
+  }(&system.client(0), n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTreeTest,
+                         ::testing::Values("fg", "fg+", "+combine", "+on-chip",
+                                           "+hierarchical", "sherman"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return n;
+                         });
+
+// --- bulkload shapes ---
+
+TEST(BulkLoadTest, EmptyTreeIsSingleLeafRoot) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  system.BulkLoad({}, 0.8);
+  EXPECT_EQ(system.DebugHeight(), 1u);
+  EXPECT_TRUE(system.DebugScanLeaves().empty());
+  system.DebugCheckInvariants();
+}
+
+TEST(BulkLoadTest, SingleKey) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  system.BulkLoad({{42, 420}}, 0.8);
+  const auto scan = system.DebugScanLeaves();
+  ASSERT_EQ(scan.size(), 1u);
+  EXPECT_EQ(scan[0].first, 42u);
+  system.DebugCheckInvariants();
+}
+
+TEST(BulkLoadTest, LargeLoadRoundTripsAndHeight) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  const uint64_t n = 100'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+  system.DebugCheckInvariants();
+  const auto scan = system.DebugScanLeaves();
+  ASSERT_EQ(scan.size(), n);
+  EXPECT_GE(system.DebugHeight(), 3u);
+  // Lookup through the simulated path too.
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    uint64_t v = 0;
+    for (Key k : {2ull, 100'000ull, 200'000ull}) {
+      Status st = co_await c->Lookup(k, &v);
+      EXPECT_TRUE(st.ok()) << "key " << k;
+      EXPECT_EQ(v, k * 31 + 7);
+    }
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(BulkLoadTest, FillFactorControlsLeafCount) {
+  const uint64_t n = 10'000;
+  auto height_leaves = [&](double fill) {
+    ShermanSystem system(SmallFabric(), ShermanOptions());
+    system.BulkLoad(bench::MakeLoadKvs(n), fill);
+    return system.DebugScanLeaves().size();
+  };
+  // Same data regardless of fill; invariants checked inside scans.
+  EXPECT_EQ(height_leaves(0.5), n);
+  EXPECT_EQ(height_leaves(1.0), n);
+}
+
+// --- key/value size sweep (Figure 15 geometry) ---
+
+class KeySizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KeySizeTest, OperationsWorkWithWideKeys) {
+  TreeOptions topt = ShermanOptions();
+  topt.shape.key_size = GetParam();
+  // Figure 15 fixes 32 entries per leaf by growing the node.
+  topt.shape.node_size = 64 + 32 * topt.shape.leaf_entry_size();
+  // Round up to something sane.
+  topt.shape.node_size = std::max(topt.shape.node_size, 256u);
+  ShermanSystem system(SmallFabric(), topt);
+  const auto loaded = bench::MakeLoadKvs(2'000);
+  system.BulkLoad(loaded, 0.8);
+
+  std::map<Key, uint64_t> model(loaded.begin(), loaded.end());
+  bool done = false;
+  sim::Spawn(RandomOps(&system.client(0), 7, 500, 5'000, false, &model, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KeySizeTest,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512, 1024),
+                         [](const auto& info) {
+                           return "key" + std::to_string(info.param);
+                         });
+
+// --- misc behaviours ---
+
+TEST(BTreeTest, UpdateOverwritesInPlaceWithSmallWrite) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    OpStats stats;
+    Status st = co_await c->Insert(2, 12345, &stats);
+    EXPECT_TRUE(st.ok());
+    // Two-level versions: only the 18-byte entry is written back.
+    EXPECT_EQ(stats.bytes_written, 18u);
+    uint64_t v = 0;
+    st = co_await c->Lookup(2, &v);
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(v, 12345u);
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(BTreeTest, FgWritesWholeNodes) {
+  ShermanSystem system(SmallFabric(), FgPlusOptions());
+  system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+  bool done = false;
+  sim::Spawn([](TreeClient* c, uint32_t node_size, bool* flag)
+                 -> sim::Task<void> {
+    OpStats stats;
+    Status st = co_await c->Insert(2, 12345, &stats);
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(stats.bytes_written, node_size);
+    *flag = true;
+  }(&system.client(0), system.options().shape.node_size, &done));
+  system.simulator().Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(BTreeTest, CombinedInsertTakesFewerRoundTripsThanFgPlus) {
+  auto round_trips = [&](TreeOptions topt) {
+    ShermanSystem system(SmallFabric(), topt);
+    system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+    uint32_t rts = 0;
+    sim::Spawn([](TreeClient* c, uint32_t* out) -> sim::Task<void> {
+      // Warm the cache so both configs start from a level-1 hit.
+      uint64_t v;
+      co_await c->Lookup(2, &v);
+      OpStats stats;
+      Status st = co_await c->Insert(4, 1, &stats);
+      EXPECT_TRUE(st.ok());
+      *out = stats.round_trips;
+    }(&system.client(0), &rts));
+    system.simulator().Run();
+    return rts;
+  };
+  const uint32_t fg_rts = round_trips(FgPlusOptions());
+  const uint32_t sherman_rts = round_trips(ShermanOptions());
+  // Paper Figure 14b: FG+ needs 4 round trips, Sherman 3 (no handover).
+  EXPECT_EQ(fg_rts, 4u);
+  EXPECT_EQ(sherman_rts, 3u);
+}
+
+TEST(BTreeTest, DeleteFreesSlotForReuse) {
+  TreeOptions topt = ShermanOptions();
+  topt.shape.node_size = 256;
+  ShermanSystem system(SmallFabric(), topt);
+  system.BulkLoad({}, 0.8);
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    // Fill a leaf, delete everything, refill: no unnecessary splits.
+    for (Key k = 1; k <= 10; k++) co_await c->Insert(k, k);
+    for (Key k = 1; k <= 10; k++) {
+      Status st = co_await c->Delete(k);
+      EXPECT_TRUE(st.ok());
+    }
+    for (Key k = 11; k <= 20; k++) co_await c->Insert(k, k);
+    for (Key k = 1; k <= 10; k++) {
+      uint64_t v;
+      EXPECT_TRUE((co_await c->Lookup(k, &v)).IsNotFound());
+    }
+    for (Key k = 11; k <= 20; k++) {
+      uint64_t v = 0;
+      EXPECT_TRUE((co_await c->Lookup(k, &v)).ok());
+      EXPECT_EQ(v, k);
+    }
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(system.DebugScanLeaves().size(), 10u);
+}
+
+TEST(BTreeTest, CacheDisabledStillCorrect) {
+  TreeOptions topt = ShermanOptions();
+  topt.enable_cache = false;
+  ShermanSystem system(SmallFabric(), topt);
+  system.BulkLoad(bench::MakeLoadKvs(5'000), 0.8);
+  std::map<Key, uint64_t> model;
+  for (const auto& kv : bench::MakeLoadKvs(5'000)) model.insert(kv);
+  bool done = false;
+  sim::Spawn(RandomOps(&system.client(0), 17, 500, 12'000, false, &model,
+                       &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+}
+
+TEST(BTreeTest, TinyCacheEvictsButStaysCorrect) {
+  TreeOptions topt = ShermanOptions();
+  topt.cache_bytes = 4 * 1024;  // room for ~4 level-1 nodes
+  ShermanSystem system(SmallFabric(), topt);
+  system.BulkLoad(bench::MakeLoadKvs(50'000), 0.8);
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    Random rng(3);
+    for (int i = 0; i < 500; i++) {
+      const Key k = 2 * (1 + rng.Uniform(50'000));
+      uint64_t v = 0;
+      Status st = co_await c->Lookup(k, &v);
+      EXPECT_TRUE(st.ok()) << "key " << k;
+      EXPECT_EQ(v, k * 31 + 7);
+    }
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(system.client(0).cache().stats().evictions, 0u);
+  EXPECT_LE(system.client(0).cache().bytes_used(), 4u * 1024);
+}
+
+}  // namespace
+}  // namespace sherman

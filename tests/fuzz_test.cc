@@ -1,0 +1,181 @@
+// Differential fuzzing: seeded random concurrent workloads over random
+// fabric/tree geometries, checked against per-key write-set oracles.
+//
+// Oracle rules (concurrent setting):
+//  - every key present in the final scan was bulkloaded or inserted;
+//  - a key whose writes all happened-before the check holds one of the
+//    values written to it;
+//  - keys written by exactly one thread and never deleted hold that
+//    thread's last value (no lost updates);
+//  - structural invariants (fence tiling, sorted internals, version
+//    coherence) hold at quiescence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "bench/runner.h"
+#include "core/btree.h"
+#include "core/presets.h"
+#include "util/random.h"
+
+namespace sherman {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  const char* preset;
+};
+
+class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
+  const FuzzCase& fc = GetParam();
+  Random meta_rng(fc.seed);
+
+  TreeOptions topt;
+  ASSERT_TRUE(PresetByName(fc.preset, &topt));
+  // Random geometry.
+  const uint32_t node_sizes[] = {256, 512, 1024};
+  topt.shape.node_size = node_sizes[meta_rng.Uniform(3)];
+  topt.cache_bytes = (64 << 10) << meta_rng.Uniform(4);
+
+  rdma::FabricConfig fcfg;
+  fcfg.num_memory_servers = 1 + static_cast<int>(meta_rng.Uniform(4));
+  fcfg.num_compute_servers = 1 + static_cast<int>(meta_rng.Uniform(4));
+  fcfg.ms_memory_bytes = 32ull << 20;
+
+  ShermanSystem system(fcfg, topt);
+  const uint64_t loaded = 200 + meta_rng.Uniform(3'000);
+  system.BulkLoad(bench::MakeLoadKvs(loaded), 0.7 + meta_rng.NextDouble() * 0.3);
+
+  const int threads = 2 + static_cast<int>(meta_rng.Uniform(14));
+  const int ops_per_thread = 100 + static_cast<int>(meta_rng.Uniform(200));
+  const uint64_t key_space = 2 * loaded + 100;
+
+  // Oracle state: per-key set of candidate values + writer sets. Values
+  // recorded before the op is issued (so a torn-read check is sound).
+  struct KeyOracle {
+    std::set<uint64_t> written_values;
+    std::set<int> writers;
+    bool deleted = false;  // any delete ever issued
+  };
+  std::map<Key, KeyOracle> oracle;
+  std::map<Key, uint64_t> last_value_by_thread[16];
+  for (const auto& [k, v] : bench::MakeLoadKvs(loaded)) {
+    oracle[k].written_values.insert(v);
+    oracle[k].writers.insert(-1);
+  }
+
+  int done = 0;
+  for (int t = 0; t < threads; t++) {
+    sim::Spawn([](ShermanSystem* sys, int tid, uint64_t seed, int n_ops,
+                  uint64_t space, std::map<Key, KeyOracle>* orc,
+                  std::map<Key, uint64_t>* my_last,
+                  int* d) -> sim::Task<void> {
+      TreeClient& client = sys->client(tid % sys->num_clients());
+      Random rng(seed);
+      for (int i = 0; i < n_ops; i++) {
+        const Key key = 1 + rng.Uniform(space);
+        const uint64_t dice = rng.Uniform(10);
+        if (dice < 5) {
+          const uint64_t value =
+              (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
+          (*orc)[key].written_values.insert(value);
+          (*orc)[key].writers.insert(tid);
+          (*my_last)[key] = value;
+          Status st = co_await client.Insert(key, value);
+          if (st.IsOutOfMemory()) {
+            // Tiny fabrics can legitimately run out of chunks mid-fuzz;
+            // exempt the key from the lost-update oracle and carry on.
+            (*orc)[key].deleted = true;
+            my_last->erase(key);
+            continue;
+          }
+          EXPECT_TRUE(st.ok()) << st.ToString();
+        } else if (dice < 8) {
+          uint64_t v = 0;
+          Status st = co_await client.Lookup(key, &v);
+          auto it = orc->find(key);
+          if (st.ok()) {
+            // Whatever we read must be some value someone wrote.
+            EXPECT_NE(it, orc->end()) << "phantom key " << key;
+            EXPECT_TRUE(it->second.written_values.count(v))
+                << "torn value " << v << " for key " << key;
+          } else {
+            EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+          }
+        } else if (dice < 9) {
+          auto it = orc->find(key);
+          if (it != orc->end()) it->second.deleted = true;
+          Status st = co_await client.Delete(key);
+          EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+        } else {
+          std::vector<std::pair<Key, uint64_t>> out;
+          Status st = co_await client.RangeQuery(
+              key, 1 + static_cast<uint32_t>(rng.Uniform(60)), &out);
+          EXPECT_TRUE(st.ok()) << st.ToString();
+          for (size_t j = 1; j < out.size(); j++) {
+            EXPECT_LT(out[j - 1].first, out[j].first);
+          }
+          for (const auto& [k2, v2] : out) {
+            auto it = orc->find(k2);
+            EXPECT_NE(it, orc->end()) << "phantom key " << k2;
+            EXPECT_TRUE(it->second.written_values.count(v2))
+                << "torn value in range for key " << k2;
+          }
+        }
+      }
+      (*d)++;
+    }(&system, t, fc.seed * 97 + t, ops_per_thread, key_space, &oracle,
+      &last_value_by_thread[t], &done));
+  }
+  system.simulator().Run();
+  ASSERT_EQ(done, threads);
+
+  system.DebugCheckInvariants();
+  const auto scan = system.DebugScanLeaves();
+  std::map<Key, uint64_t> final_map(scan.begin(), scan.end());
+  for (const auto& [k, v] : final_map) {
+    auto it = oracle.find(k);
+    ASSERT_NE(it, oracle.end()) << "scan surfaced unwritten key " << k;
+    EXPECT_TRUE(it->second.written_values.count(v))
+        << "final value " << v << " for key " << k << " was never written";
+  }
+  // Single-writer, never-deleted keys must hold that writer's last value.
+  for (int t = 0; t < threads; t++) {
+    for (const auto& [k, v] : last_value_by_thread[t]) {
+      const KeyOracle& o = oracle[k];
+      if (o.deleted) continue;
+      std::set<int> real_writers = o.writers;
+      real_writers.erase(-1);  // bulkload
+      if (real_writers.size() != 1) continue;
+      auto it = final_map.find(k);
+      ASSERT_NE(it, final_map.end()) << "lost key " << k;
+      EXPECT_EQ(it->second, v) << "lost update on key " << k;
+    }
+  }
+}
+
+std::vector<FuzzCase> MakeCases() {
+  std::vector<FuzzCase> cases;
+  const char* presets[] = {"sherman", "fg+", "+on-chip"};
+  for (uint64_t seed = 1; seed <= 12; seed++) {
+    cases.push_back(FuzzCase{seed, presets[seed % 3]});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::ValuesIn(MakeCases()),
+                         [](const auto& info) {
+                           std::string p = info.param.preset;
+                           for (char& c : p) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_" + p;
+                         });
+
+}  // namespace
+}  // namespace sherman

@@ -1,0 +1,317 @@
+// Unit and property tests for the hierarchical on-chip lock (HOCL, §4.3).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lock/hocl.h"
+#include "lock/lock_table.h"
+#include "rdma/fabric.h"
+#include "sim/task.h"
+
+namespace sherman {
+namespace {
+
+rdma::FabricConfig SmallConfig(int ms = 1, int cs = 2) {
+  rdma::FabricConfig f;
+  f.num_memory_servers = ms;
+  f.num_compute_servers = cs;
+  f.ms_memory_bytes = 16ull << 20;
+  return f;
+}
+
+// --- lock table addressing ---
+
+TEST(LockTableTest, IndexIsDeterministicAndInRange) {
+  const rdma::GlobalAddress a(0, 123456);
+  EXPECT_EQ(LockIndexFor(a), LockIndexFor(a));
+  for (uint64_t off = 64; off < 64 + 100 * 1024; off += 1024) {
+    EXPECT_LT(LockIndexFor(rdma::GlobalAddress(0, off)), kLocksPerMs);
+  }
+}
+
+TEST(LockTableTest, IndexSpreadsAcrossTable) {
+  // 10k distinct node offsets should hit thousands of distinct locks.
+  std::set<uint32_t> seen;
+  for (uint64_t i = 0; i < 10'000; i++) {
+    seen.insert(LockIndexFor(rdma::GlobalAddress(0, 4096 + i * 1024)));
+  }
+  EXPECT_GT(seen.size(), 9'000u);
+}
+
+TEST(LockTableTest, LaneGeometry) {
+  for (uint32_t idx : {0u, 1u, 2u, 3u, 4u, 131071u}) {
+    GlobalLockRef ref;
+    ref.ms = 0;
+    ref.index = idx;
+    ref.space = rdma::MemorySpace::kDevice;
+    EXPECT_EQ(ref.lane_offset(), idx * 2u);
+    EXPECT_EQ(ref.word_offset() % 8, 0u);
+    EXPECT_EQ(ref.lane_shift(), static_cast<int>((idx * 2 % 8) * 8));
+    EXPECT_EQ(ref.lane_mask(), 0xffffull << ref.lane_shift());
+    EXPECT_LE(ref.word_offset() + 8, kHostGltBytes);
+  }
+}
+
+TEST(LockTableTest, HostSpaceOffsetsShifted) {
+  const GlobalLockRef dev = LockFor(rdma::GlobalAddress(0, 777 * 1024), true);
+  const GlobalLockRef host = LockFor(rdma::GlobalAddress(0, 777 * 1024), false);
+  EXPECT_EQ(dev.index, host.index);
+  EXPECT_EQ(dev.space, rdma::MemorySpace::kDevice);
+  EXPECT_EQ(host.space, rdma::MemorySpace::kHost);
+  EXPECT_EQ(host.lane_offset(), dev.lane_offset() + kHostGltOffset);
+}
+
+TEST(LockTableTest, LockColocatedWithNode) {
+  const rdma::GlobalAddress node(5, 999 * 1024);
+  EXPECT_EQ(LockFor(node, true).ms, 5);
+}
+
+// --- HOCL behaviour, parameterized over configurations ---
+
+struct LockConfig {
+  std::string name;
+  HoclOptions options;
+};
+
+std::vector<LockConfig> AllLockConfigs() {
+  HoclOptions fg;  // host memory, flat, CAS+retry
+  fg.onchip = false;
+  fg.hierarchical = false;
+  fg.wait_queue = false;
+  fg.handover = false;
+
+  HoclOptions onchip = fg;
+  onchip.onchip = true;
+
+  HoclOptions hier = onchip;
+  hier.hierarchical = true;
+
+  HoclOptions wq = hier;
+  wq.wait_queue = true;
+
+  HoclOptions full = wq;
+  full.handover = true;
+
+  HoclOptions faa = fg;
+  faa.release_with_faa = true;
+
+  return {{"flat_host", fg},     {"flat_onchip", onchip},
+          {"hier_spin", hier},   {"hier_waitqueue", wq},
+          {"hier_handover", full}, {"flat_host_faa", faa}};
+}
+
+class HoclConfigTest : public ::testing::TestWithParam<LockConfig> {};
+
+// The fundamental property: mutual exclusion of the critical section, for
+// every configuration, with contenders on multiple compute servers.
+TEST_P(HoclConfigTest, MutualExclusion) {
+  rdma::Fabric fabric(SmallConfig(1, 2));
+  HoclClient hocl0(&fabric, 0, GetParam().options);
+  HoclClient hocl1(&fabric, 1, GetParam().options);
+  HoclClient* hocls[2] = {&hocl0, &hocl1};
+
+  const rdma::GlobalAddress node(0, 2 << 20);
+  struct Shared {
+    int in_critical = 0;
+    int max_in_critical = 0;
+    int completed = 0;
+  } shared;
+
+  for (int t = 0; t < 8; t++) {
+    sim::Spawn([](rdma::Fabric* f, HoclClient* hocl, rdma::GlobalAddress addr,
+                  Shared* s, bool combine) -> sim::Task<void> {
+      for (int i = 0; i < 5; i++) {
+        OpStats stats;
+        LockGuard g = co_await hocl->Lock(addr, &stats);
+        s->in_critical++;
+        s->max_in_critical = std::max(s->max_in_critical, s->in_critical);
+        co_await f->simulator().Delay(500);  // critical section work
+        s->in_critical--;
+        co_await hocl->Unlock(g, {}, combine, &stats);
+      }
+      s->completed++;
+    }(&fabric, hocls[t % 2], node, &shared, true));
+  }
+  fabric.simulator().Run();
+  EXPECT_EQ(shared.completed, 8);
+  EXPECT_EQ(shared.max_in_critical, 1) << "mutual exclusion violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, HoclConfigTest,
+                         ::testing::ValuesIn(AllLockConfigs()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(HoclTest, ReleaseClearsLaneInDeviceMemory) {
+  rdma::Fabric fabric(SmallConfig());
+  HoclOptions opt;  // full Sherman config
+  HoclClient hocl(&fabric, 0, opt);
+  const rdma::GlobalAddress node(0, 3 << 20);
+  const GlobalLockRef ref = LockFor(node, true);
+
+  sim::Spawn([](rdma::Fabric* f, HoclClient* h, rdma::GlobalAddress addr,
+                GlobalLockRef r) -> sim::Task<void> {
+    LockGuard g = co_await h->Lock(addr, nullptr);
+    // Lock word holds the owner tag while held.
+    const uint64_t word = f->ms(0).device().Read64(r.word_offset());
+    EXPECT_EQ((word & r.lane_mask()) >> r.lane_shift(), 1u);  // cs_id 0 -> tag 1
+    co_await h->Unlock(g, {}, true, nullptr);
+  }(&fabric, &hocl, node, ref));
+  fabric.simulator().Run();
+  const uint64_t word = fabric.ms(0).device().Read64(ref.word_offset());
+  EXPECT_EQ(word & ref.lane_mask(), 0u);
+}
+
+TEST(HoclTest, FaaReleaseRestoresZero) {
+  rdma::Fabric fabric(SmallConfig());
+  HoclOptions opt;
+  opt.onchip = false;
+  opt.hierarchical = false;
+  opt.wait_queue = false;
+  opt.handover = false;
+  opt.release_with_faa = true;
+  HoclClient hocl(&fabric, 0, opt);
+  const rdma::GlobalAddress node(0, 4 << 20);
+  const GlobalLockRef ref = LockFor(node, false);
+
+  sim::Spawn([](HoclClient* h, rdma::GlobalAddress addr) -> sim::Task<void> {
+    LockGuard g = co_await h->Lock(addr, nullptr);
+    co_await h->Unlock(g, {}, false, nullptr);
+    // Acquire again: must succeed (lane back to zero).
+    LockGuard g2 = co_await h->Lock(addr, nullptr);
+    co_await h->Unlock(g2, {}, false, nullptr);
+  }(&hocl, node));
+  fabric.simulator().Run();
+  EXPECT_EQ(fabric.ms(0).host().Read64(ref.word_offset()) & ref.lane_mask(),
+            0u);
+}
+
+TEST(HoclTest, HandoverBoundedByMaxDepth) {
+  rdma::Fabric fabric(SmallConfig(1, 1));
+  HoclOptions opt;  // full hierarchy with handover, depth 4
+  HoclClient hocl(&fabric, 0, opt);
+  const rdma::GlobalAddress node(0, 5 << 20);
+
+  int completed = 0;
+  // 16 same-CS contenders: handovers happen but must break every 4.
+  for (int t = 0; t < 16; t++) {
+    sim::Spawn([](rdma::Fabric* f, HoclClient* h, rdma::GlobalAddress addr,
+                  int* done) -> sim::Task<void> {
+      OpStats stats;
+      LockGuard g = co_await h->Lock(addr, &stats);
+      co_await f->simulator().Delay(200);
+      co_await h->Unlock(g, {}, true, &stats);
+      (*done)++;
+    }(&fabric, &hocl, node, &completed));
+  }
+  fabric.simulator().Run();
+  EXPECT_EQ(completed, 16);
+  EXPECT_GT(hocl.handovers(), 0u);
+  // With MAX_DEPTH=4, at most 4 of every 5 acquisitions can be handovers.
+  EXPECT_LE(hocl.handovers(), 16u * 4 / 5 + 1);
+}
+
+TEST(HoclTest, HandoverDisabledMeansNoHandovers) {
+  rdma::Fabric fabric(SmallConfig(1, 1));
+  HoclOptions opt;
+  opt.handover = false;
+  HoclClient hocl(&fabric, 0, opt);
+  const rdma::GlobalAddress node(0, 5 << 20);
+  for (int t = 0; t < 8; t++) {
+    sim::Spawn([](HoclClient* h, rdma::GlobalAddress addr) -> sim::Task<void> {
+      LockGuard g = co_await h->Lock(addr, nullptr);
+      co_await h->Unlock(g, {}, true, nullptr);
+    }(&hocl, node));
+  }
+  fabric.simulator().Run();
+  EXPECT_EQ(hocl.handovers(), 0u);
+}
+
+TEST(HoclTest, WaitQueueIsFifoWithinCs) {
+  rdma::Fabric fabric(SmallConfig(1, 1));
+  HoclOptions opt;
+  opt.handover = false;  // isolate queue ordering
+  HoclClient hocl(&fabric, 0, opt);
+  const rdma::GlobalAddress node(0, 6 << 20);
+
+  std::vector<int> order;
+  for (int t = 0; t < 6; t++) {
+    sim::Spawn([](rdma::Fabric* f, HoclClient* h, rdma::GlobalAddress addr,
+                  std::vector<int>* ord, int id) -> sim::Task<void> {
+      // Stagger arrival so the queue order is well-defined.
+      co_await f->simulator().Delay(static_cast<sim::SimTime>(id) * 10);
+      LockGuard g = co_await h->Lock(addr, nullptr);
+      ord->push_back(id);
+      co_await f->simulator().Delay(3000);
+      co_await h->Unlock(g, {}, true, nullptr);
+    }(&fabric, &hocl, node, &order, t));
+  }
+  fabric.simulator().Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(HoclTest, HierarchicalReducesRemoteCasUnderLocalContention) {
+  const rdma::GlobalAddress node(0, 7 << 20);
+  auto run = [&](HoclOptions opt) -> uint64_t {
+    rdma::Fabric fabric(SmallConfig(1, 1));
+    auto hocl = std::make_unique<HoclClient>(&fabric, 0, opt);
+    for (int t = 0; t < 20; t++) {
+      sim::Spawn([](rdma::Fabric* f, HoclClient* h,
+                    rdma::GlobalAddress addr) -> sim::Task<void> {
+        for (int i = 0; i < 5; i++) {
+          LockGuard g = co_await h->Lock(addr, nullptr);
+          co_await f->simulator().Delay(1000);
+          co_await h->Unlock(g, {}, true, nullptr);
+        }
+      }(&fabric, hocl.get(), node));
+    }
+    fabric.simulator().Run();
+    return hocl->global_cas_attempts();
+  };
+  HoclOptions flat;
+  flat.hierarchical = false;
+  flat.wait_queue = false;
+  flat.handover = false;
+  HoclOptions hier;  // defaults: full hierarchy
+  const uint64_t flat_cas = run(flat);
+  const uint64_t hier_cas = run(hier);
+  EXPECT_LT(hier_cas, flat_cas / 2)
+      << "local queueing should eliminate most remote CAS retries";
+}
+
+TEST(HoclTest, CombinedUnlockOrdersWriteBeforeRelease) {
+  // A successor that acquires the lock after a combined [write, release]
+  // batch must observe the write.
+  rdma::Fabric fabric(SmallConfig(1, 2));
+  HoclOptions opt;
+  opt.hierarchical = false;  // force both CSs through the global lock
+  opt.wait_queue = false;
+  opt.handover = false;
+  HoclClient h0(&fabric, 0, opt);
+  HoclClient h1(&fabric, 1, opt);
+  const rdma::GlobalAddress node(0, 8 << 20);
+
+  uint64_t observed = 0;
+  sim::Spawn([](rdma::Fabric* f, HoclClient* h,
+                rdma::GlobalAddress addr) -> sim::Task<void> {
+    LockGuard g = co_await h->Lock(addr, nullptr);
+    static const uint64_t kPayload = 0xfeedface;
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(rdma::WorkRequest::Write(addr, &kPayload, 8));
+    co_await h->Unlock(g, std::move(wrs), /*combine=*/true, nullptr);
+  }(&fabric, &h0, node));
+  sim::Spawn([](rdma::Fabric* f, HoclClient* h, rdma::GlobalAddress addr,
+                uint64_t* out) -> sim::Task<void> {
+    co_await f->simulator().Delay(100);  // let the other thread win the lock
+    LockGuard g = co_await h->Lock(addr, nullptr);
+    uint64_t v = 0;
+    co_await f->qp(1, 0).Post(rdma::WorkRequest::Read(addr, &v, 8));
+    *out = v;
+    co_await h->Unlock(g, {}, true, nullptr);
+  }(&fabric, &h1, node, &observed));
+  fabric.simulator().Run();
+  EXPECT_EQ(observed, 0xfeedfaceull);
+}
+
+}  // namespace
+}  // namespace sherman

@@ -1,0 +1,382 @@
+// Unit tests for the node formats of Figure 8: headers, version pairs,
+// checksums, sorted/unsorted leaves, internal nodes, parsing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/node_layout.h"
+
+namespace sherman {
+namespace {
+
+TreeShape DefaultShape() { return TreeShape{1024, 8, 8}; }
+
+std::vector<uint8_t> Buf(const TreeShape& s) {
+  return std::vector<uint8_t>(s.node_size, 0);
+}
+
+TEST(TreeShapeTest, CapacitiesMatchPaperScale) {
+  const TreeShape s = DefaultShape();
+  EXPECT_EQ(s.leaf_entry_size(), 18u);  // 1 + 8 + 8 + 1 (paper packs 17)
+  // 1 KB node, 8/8 keys: dozens of entries per node.
+  EXPECT_GE(s.leaf_capacity(), 50u);
+  EXPECT_GE(s.internal_capacity(), 55u);
+}
+
+TEST(TreeShapeTest, WideKeysShrinkCapacity) {
+  TreeShape s{1024, 128, 8};
+  EXPECT_LT(s.leaf_capacity(), 8u);
+  EXPECT_GE(s.leaf_capacity(), 2u);
+}
+
+TEST(NodeViewTest, HeaderRoundTrip) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(100, 200, rdma::GlobalAddress(3, 4096));
+  EXPECT_TRUE(v.is_leaf());
+  EXPECT_FALSE(v.is_free());
+  EXPECT_EQ(v.level(), 0);
+  EXPECT_EQ(v.lo_fence(), 100u);
+  EXPECT_EQ(v.hi_fence(), 200u);
+  EXPECT_EQ(v.sibling(), rdma::GlobalAddress(3, 4096));
+  EXPECT_TRUE(v.InFence(100));
+  EXPECT_TRUE(v.InFence(199));
+  EXPECT_FALSE(v.InFence(200));
+  EXPECT_FALSE(v.InFence(99));
+  v.set_free(true);
+  EXPECT_TRUE(v.is_free());
+  v.set_free(false);
+  EXPECT_FALSE(v.is_free());
+}
+
+TEST(NodeViewTest, NodeVersionsBumpTogetherAndWrap) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  EXPECT_TRUE(v.NodeVersionsMatch());
+  for (int i = 0; i < 20; i++) {
+    v.BumpNodeVersions();
+    EXPECT_TRUE(v.NodeVersionsMatch());
+    EXPECT_EQ(v.front_version(), (i + 1) & 0xf) << "4-bit wraparound";
+  }
+  // A torn state (only front bumped) must be detectable.
+  buf[kOffFnv] = (v.front_version() + 1) & 0xf;
+  EXPECT_FALSE(v.NodeVersionsMatch());
+}
+
+TEST(NodeViewTest, ChecksumDetectsCorruption) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  v.SetLeafEntryRaw(0, 42, 4242);
+  v.UpdateChecksum();
+  EXPECT_TRUE(v.VerifyChecksum());
+  buf[500] ^= 0xff;
+  EXPECT_FALSE(v.VerifyChecksum());
+  buf[500] ^= 0xff;
+  EXPECT_TRUE(v.VerifyChecksum());
+}
+
+TEST(NodeViewTest, LeafEntryVersionsBumpOnSet) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  EXPECT_TRUE(v.LeafEntryVersionsMatch(3));
+  v.SetLeafEntry(3, 77, 770);
+  EXPECT_EQ(v.LeafKey(3), 77u);
+  EXPECT_EQ(v.LeafValue(3), 770u);
+  EXPECT_EQ(v.LeafFrontVersion(3), 1);
+  EXPECT_EQ(v.LeafRearVersion(3), 1);
+  EXPECT_TRUE(v.LeafEntryVersionsMatch(3));
+  // Raw set does not touch versions (bulk load).
+  v.SetLeafEntryRaw(4, 88, 880);
+  EXPECT_EQ(v.LeafFrontVersion(4), 0);
+}
+
+TEST(NodeViewTest, TornEntryDetectable) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  v.SetLeafEntry(0, 1, 10);
+  // Simulate a torn write: front version advanced, rear still old.
+  buf[v.LeafEntryOffset(0)] = 2;
+  EXPECT_FALSE(v.LeafEntryVersionsMatch(0));
+}
+
+TEST(NodeViewTest, FindLeafSlotMatchEmptyFull) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  // Empty leaf: no match, slot 0 empty.
+  auto r = v.FindLeafSlot(5);
+  EXPECT_EQ(r.match, UINT32_MAX);
+  EXPECT_EQ(r.empty, 0u);
+  // Fill slots 0..2; key 6 in slot 1.
+  v.SetLeafEntry(0, 4, 40);
+  v.SetLeafEntry(1, 6, 60);
+  v.SetLeafEntry(2, 8, 80);
+  r = v.FindLeafSlot(6);
+  EXPECT_EQ(r.match, 1u);
+  r = v.FindLeafSlot(5);
+  EXPECT_EQ(r.match, UINT32_MAX);
+  EXPECT_EQ(r.empty, 3u);
+  // Full leaf: neither match nor empty.
+  for (uint32_t i = 0; i < s.leaf_capacity(); i++) {
+    v.SetLeafEntry(i, 1000 + i, i);
+  }
+  r = v.FindLeafSlot(5);
+  EXPECT_EQ(r.match, UINT32_MAX);
+  EXPECT_EQ(r.empty, UINT32_MAX);
+}
+
+TEST(NodeViewTest, DeletedSlotIsReusable) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  v.SetLeafEntry(0, 10, 1);
+  v.SetLeafEntry(1, 20, 2);
+  v.SetLeafEntry(1, kNullKey, 0);  // delete clears the key
+  auto r = v.FindLeafSlot(30);
+  EXPECT_EQ(r.empty, 1u);
+}
+
+TEST(NodeViewTest, SortedLeafInsertKeepsOrderAndShifts) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  EXPECT_TRUE(v.SortedLeafInsert(20, 200));
+  EXPECT_TRUE(v.SortedLeafInsert(10, 100));
+  EXPECT_TRUE(v.SortedLeafInsert(30, 300));
+  EXPECT_TRUE(v.SortedLeafInsert(15, 150));
+  EXPECT_EQ(v.count(), 4u);
+  const Key expect[] = {10, 15, 20, 30};
+  for (int i = 0; i < 4; i++) EXPECT_EQ(v.LeafKey(i), expect[i]);
+  // Update in place.
+  EXPECT_TRUE(v.SortedLeafInsert(15, 155));
+  EXPECT_EQ(v.count(), 4u);
+  EXPECT_EQ(v.LeafValue(1), 155u);
+}
+
+TEST(NodeViewTest, SortedLeafInsertFullFails) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  for (uint32_t i = 0; i < s.leaf_capacity(); i++) {
+    ASSERT_TRUE(v.SortedLeafInsert(10 + i * 2, i));
+  }
+  EXPECT_FALSE(v.SortedLeafInsert(11, 0));
+  EXPECT_TRUE(v.SortedLeafInsert(10, 999));  // updates still fine
+}
+
+TEST(NodeViewTest, SortedLeafFindAndRemove) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  for (Key k : {10, 20, 30, 40}) v.SortedLeafInsert(k, k * 10);
+  EXPECT_EQ(v.SortedLeafFind(30), 2u);
+  EXPECT_EQ(v.SortedLeafFind(31), UINT32_MAX);
+  EXPECT_TRUE(v.SortedLeafRemove(20));
+  EXPECT_FALSE(v.SortedLeafRemove(20));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.LeafKey(1), 30u);
+  EXPECT_EQ(v.LeafValue(1), 300u);
+}
+
+TEST(NodeViewTest, InternalChildForRouting) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  const rdma::GlobalAddress lm(1, 4096), c1(1, 8192), c2(1, 12288);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, lm);
+  EXPECT_TRUE(v.InternalInsert(100, c1));
+  EXPECT_TRUE(v.InternalInsert(200, c2));
+  EXPECT_EQ(v.InternalChildFor(50), lm);
+  EXPECT_EQ(v.InternalChildFor(100), c1);
+  EXPECT_EQ(v.InternalChildFor(150), c1);
+  EXPECT_EQ(v.InternalChildFor(200), c2);
+  EXPECT_EQ(v.InternalChildFor(1'000'000), c2);
+}
+
+TEST(NodeViewTest, InternalInsertSortedWithShift) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  EXPECT_TRUE(v.InternalInsert(30, rdma::GlobalAddress(0, 3000)));
+  EXPECT_TRUE(v.InternalInsert(10, rdma::GlobalAddress(0, 1000)));
+  EXPECT_TRUE(v.InternalInsert(20, rdma::GlobalAddress(0, 2000)));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.InternalKey(0), 10u);
+  EXPECT_EQ(v.InternalKey(1), 20u);
+  EXPECT_EQ(v.InternalKey(2), 30u);
+  EXPECT_EQ(v.InternalChild(1), rdma::GlobalAddress(0, 2000));
+  // Duplicate separator: idempotent overwrite.
+  EXPECT_TRUE(v.InternalInsert(20, rdma::GlobalAddress(0, 2222)));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.InternalChild(1), rdma::GlobalAddress(0, 2222));
+}
+
+TEST(NodeViewTest, InternalInsertFullFails) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  for (uint32_t i = 0; i < s.internal_capacity(); i++) {
+    ASSERT_TRUE(v.InternalInsert(10 + i, rdma::GlobalAddress(0, 4096 + i)));
+  }
+  EXPECT_FALSE(v.InternalInsert(5, rdma::GlobalAddress(0, 99)));
+}
+
+// --- ParsedInternal / ParseInternal ---
+
+TEST(ParseInternalTest, RoundTrip) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  const rdma::GlobalAddress self(2, 4096);
+  v.InitInternal(2, 100, 900, rdma::GlobalAddress(2, 8192),
+                 rdma::GlobalAddress(0, 64));
+  v.InternalInsert(300, rdma::GlobalAddress(0, 3000));
+  v.InternalInsert(600, rdma::GlobalAddress(0, 6000));
+  ParsedInternal p;
+  ASSERT_TRUE(ParseInternal(buf.data(), s, self, &p).ok());
+  EXPECT_EQ(p.self, self);
+  EXPECT_EQ(p.level, 2);
+  EXPECT_EQ(p.lo, 100u);
+  EXPECT_EQ(p.hi, 900u);
+  EXPECT_EQ(p.entries.size(), 2u);
+  EXPECT_EQ(p.ChildFor(150), p.leftmost);
+  EXPECT_EQ(p.ChildFor(450), rdma::GlobalAddress(0, 3000));
+  EXPECT_EQ(p.ChildFor(600), rdma::GlobalAddress(0, 6000));
+}
+
+TEST(ParseInternalTest, ChildAfterForPrefetch) {
+  ParsedInternal p;
+  p.lo = 0;
+  p.hi = kMaxKey;
+  p.leftmost = rdma::GlobalAddress(0, 100);
+  p.entries = {{10, rdma::GlobalAddress(0, 200)},
+               {20, rdma::GlobalAddress(0, 300)}};
+  EXPECT_EQ(p.ChildAfter(5, 0), rdma::GlobalAddress(0, 100));
+  EXPECT_EQ(p.ChildAfter(5, 1), rdma::GlobalAddress(0, 200));
+  EXPECT_EQ(p.ChildAfter(5, 2), rdma::GlobalAddress(0, 300));
+  EXPECT_EQ(p.ChildAfter(5, 3), rdma::kNullAddress);
+  EXPECT_EQ(p.ChildAfter(15, 0), rdma::GlobalAddress(0, 200));
+  EXPECT_EQ(p.ChildAfter(15, 1), rdma::GlobalAddress(0, 300));
+}
+
+TEST(ParseInternalTest, RejectsTornNode) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  buf[kOffFnv] = 3;  // front != rear
+  ParsedInternal p;
+  EXPECT_TRUE(ParseInternal(buf.data(), s, {}, &p).IsRetry());
+}
+
+TEST(ParseInternalTest, RejectsLeaf) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  ParsedInternal p;
+  EXPECT_TRUE(ParseInternal(buf.data(), s, {}, &p).IsCorruption());
+}
+
+TEST(ParseInternalTest, RejectsFreedNode) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  v.set_free(true);
+  ParsedInternal p;
+  EXPECT_TRUE(ParseInternal(buf.data(), s, {}, &p).IsRetry());
+}
+
+TEST(ParseInternalTest, RejectsGarbageCount) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  v.set_count(60'000);
+  ParsedInternal p;
+  EXPECT_TRUE(ParseInternal(buf.data(), s, {}, &p).IsCorruption());
+}
+
+TEST(ParseInternalTest, RejectsUnorderedKeys) {
+  const TreeShape s = DefaultShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  v.SetInternalEntry(0, 50, rdma::GlobalAddress(0, 1));
+  v.SetInternalEntry(1, 20, rdma::GlobalAddress(0, 2));  // out of order
+  v.set_count(2);
+  ParsedInternal p;
+  EXPECT_TRUE(ParseInternal(buf.data(), s, {}, &p).IsRetry());
+}
+
+// Parameterized sweep: layouts behave across node geometries.
+struct ShapeParam {
+  uint32_t node_size;
+  uint32_t key_size;
+};
+
+class ShapeSweepTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(ShapeSweepTest, LeafEntriesRoundTripAtEveryIndex) {
+  const TreeShape s{GetParam().node_size, GetParam().key_size, 8};
+  ASSERT_GE(s.leaf_capacity(), 2u);
+  std::vector<uint8_t> buf(s.node_size, 0);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  for (uint32_t i = 0; i < s.leaf_capacity(); i++) {
+    v.SetLeafEntry(i, 1'000'000 + i, 7'000'000 + i);
+  }
+  for (uint32_t i = 0; i < s.leaf_capacity(); i++) {
+    EXPECT_EQ(v.LeafKey(i), 1'000'000 + i);
+    EXPECT_EQ(v.LeafValue(i), 7'000'000 + i);
+    EXPECT_TRUE(v.LeafEntryVersionsMatch(i));
+  }
+  // Entries stay inside the node (rear version byte untouched).
+  EXPECT_LE(v.LeafEntryOffset(s.leaf_capacity() - 1) + s.leaf_entry_size(),
+            s.node_size - 1);
+}
+
+TEST_P(ShapeSweepTest, InternalEntriesStayInBounds) {
+  const TreeShape s{GetParam().node_size, GetParam().key_size, 8};
+  ASSERT_GE(s.internal_capacity(), 3u);
+  std::vector<uint8_t> buf(s.node_size, 0);
+  NodeView v(buf.data(), &s);
+  v.InitInternal(1, 0, kMaxKey, rdma::kNullAddress, rdma::GlobalAddress(0, 64));
+  for (uint32_t i = 0; i < s.internal_capacity(); i++) {
+    ASSERT_TRUE(v.InternalInsert(100 + i, rdma::GlobalAddress(0, 4096 + i)));
+  }
+  EXPECT_LE(v.InternalEntryOffset(s.internal_capacity() - 1) +
+                s.internal_entry_size(),
+            s.node_size - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ShapeSweepTest,
+    ::testing::Values(ShapeParam{256, 8}, ShapeParam{512, 8},
+                      ShapeParam{1024, 8}, ShapeParam{4096, 8},
+                      ShapeParam{1024, 16}, ShapeParam{1024, 32},
+                      ShapeParam{2048, 64}, ShapeParam{4096, 128}),
+    [](const auto& info) {
+      return "node" + std::to_string(info.param.node_size) + "_key" +
+             std::to_string(info.param.key_size);
+    });
+
+}  // namespace
+}  // namespace sherman

@@ -1,0 +1,201 @@
+// Unit tests for the discrete-event simulation engine: event queue,
+// simulator, coroutine tasks, and synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace sherman::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop()();
+  for (int i = 0; i < 10; i++) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, AdvancesTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.After(100, [&] { seen = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.After(10, [&] {
+    times.push_back(sim.now());
+    sim.After(15, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 25}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(10, [&] { fired++; });
+  sim.After(20, [&] { fired++; });
+  sim.After(30, [&] { fired++; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunOneReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.RunOne());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, StepsCounted) {
+  Simulator sim;
+  for (int i = 0; i < 5; i++) sim.After(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.steps(), 5u);
+}
+
+// --- coroutine tasks ---
+
+Task<int> Answer() { co_return 42; }
+
+Task<int> Sum(Simulator* sim) {
+  int a = co_await Answer();
+  co_await sim->Delay(10);
+  int b = co_await Answer();
+  co_return a + b;
+}
+
+TEST(TaskTest, NestedAwaitsAndReturnValues) {
+  Simulator sim;
+  int result = 0;
+  Spawn([](Simulator* s, int* out) -> Task<void> {
+    *out = co_await Sum(s);
+  }(&sim, &result));
+  sim.Run();
+  EXPECT_EQ(result, 84);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(TaskTest, DelaySequencing) {
+  Simulator sim;
+  std::vector<SimTime> stamps;
+  Spawn([](Simulator* s, std::vector<SimTime>* v) -> Task<void> {
+    for (int i = 0; i < 3; i++) {
+      co_await s->Delay(7);
+      v->push_back(s->now());
+    }
+  }(&sim, &stamps));
+  sim.Run();
+  EXPECT_EQ(stamps, (std::vector<SimTime>{7, 14, 21}));
+}
+
+TEST(TaskTest, ManyConcurrentCoroutinesInterleave) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; i++) {
+    Spawn([](Simulator* s, std::vector<int>* v, int id) -> Task<void> {
+      co_await s->Delay(static_cast<SimTime>(10 * (id + 1)));
+      v->push_back(id);
+    }(&sim, &order, i));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(OneShotTest, AwaitThenFire) {
+  Simulator sim;
+  OneShot shot;
+  bool resumed = false;
+  Spawn([](OneShot* s, bool* r) -> Task<void> {
+    co_await *s;
+    *r = true;
+  }(&shot, &resumed));
+  EXPECT_FALSE(resumed);
+  shot.Fire();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(OneShotTest, FireBeforeAwaitIsReady) {
+  OneShot shot;
+  shot.Fire();
+  bool resumed = false;
+  Spawn([](OneShot* s, bool* r) -> Task<void> {
+    co_await *s;  // already fired: no suspension
+    *r = true;
+  }(&shot, &resumed));
+  EXPECT_TRUE(resumed);
+}
+
+// --- CoroQueue / CountdownLatch ---
+
+TEST(CoroQueueTest, FifoWakeOrder) {
+  Simulator sim;
+  CoroQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; i++) {
+    Spawn([](CoroQueue* cq, std::vector<int>* v, int id) -> Task<void> {
+      co_await cq->Wait();
+      v->push_back(id);
+    }(&q, &order, i));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.WakeOne());
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(q.WakeAll(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(q.WakeOne());
+}
+
+TEST(CountdownLatchTest, ReleasesWaiterAtZero) {
+  Simulator sim;
+  CountdownLatch latch(3);
+  bool released = false;
+  Spawn([](CountdownLatch* l, bool* r) -> Task<void> {
+    co_await l->Wait();
+    *r = true;
+  }(&latch, &released));
+  latch.Arrive();
+  latch.Arrive();
+  EXPECT_FALSE(released);
+  latch.Arrive();
+  EXPECT_TRUE(released);
+  EXPECT_TRUE(latch.done());
+}
+
+TEST(CountdownLatchTest, WaitAfterDoneIsImmediate) {
+  CountdownLatch latch(1);
+  latch.Arrive();
+  bool released = false;
+  Spawn([](CountdownLatch* l, bool* r) -> Task<void> {
+    co_await l->Wait();
+    *r = true;
+  }(&latch, &released));
+  EXPECT_TRUE(released);
+}
+
+}  // namespace
+}  // namespace sherman::sim

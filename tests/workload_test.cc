@@ -1,0 +1,123 @@
+// Unit tests for the YCSB-style workload generator (§5.1.3, Table 3).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.h"
+
+namespace sherman {
+namespace {
+
+WorkloadOptions Opt(WorkloadMix mix, double theta = 0) {
+  WorkloadOptions o;
+  o.mix = mix;
+  o.loaded_keys = 10'000;
+  o.zipf_theta = theta;
+  return o;
+}
+
+TEST(WorkloadTest, MixProportionsApproximatelyRespected) {
+  WorkloadGenerator gen(Opt(WorkloadMix::WriteIntensive()), 1);
+  std::map<OpType, int> counts;
+  for (int i = 0; i < 100'000; i++) counts[gen.Next().type]++;
+  EXPECT_NEAR(counts[OpType::kInsert], 50'000, 2'000);
+  EXPECT_NEAR(counts[OpType::kLookup], 50'000, 2'000);
+  EXPECT_EQ(counts[OpType::kRangeQuery], 0);
+}
+
+TEST(WorkloadTest, ReadIntensiveIsMostlyLookups) {
+  WorkloadGenerator gen(Opt(WorkloadMix::ReadIntensive()), 2);
+  std::map<OpType, int> counts;
+  for (int i = 0; i < 100'000; i++) counts[gen.Next().type]++;
+  EXPECT_NEAR(counts[OpType::kInsert], 5'000, 700);
+  EXPECT_NEAR(counts[OpType::kLookup], 95'000, 700);
+}
+
+TEST(WorkloadTest, RangeWorkloadsCarryRangeSize) {
+  WorkloadOptions o = Opt(WorkloadMix::RangeOnly());
+  o.range_size = 321;
+  WorkloadGenerator gen(o, 3);
+  const Op op = gen.Next();
+  EXPECT_EQ(op.type, OpType::kRangeQuery);
+  EXPECT_EQ(op.range_size, 321u);
+}
+
+TEST(WorkloadTest, UpdateFractionSplitsEvenOdd) {
+  // ~2/3 of inserts target existing (even) keys.
+  WorkloadOptions o = Opt(WorkloadMix::WriteOnly());
+  WorkloadGenerator gen(o, 4);
+  int even = 0, odd = 0;
+  for (int i = 0; i < 30'000; i++) {
+    const Op op = gen.Next();
+    ASSERT_EQ(op.type, OpType::kInsert);
+    (op.key % 2 == 0 ? even : odd)++;
+  }
+  EXPECT_NEAR(static_cast<double>(even) / (even + odd), 2.0 / 3.0, 0.02);
+}
+
+TEST(WorkloadTest, KeysStayInLoadedUniverse) {
+  WorkloadGenerator gen(Opt(WorkloadMix::WriteIntensive(), 0.99), 5);
+  for (int i = 0; i < 10'000; i++) {
+    const Op op = gen.Next();
+    EXPECT_GE(op.key, 2u);
+    EXPECT_LE(op.key, 2 * 10'000 + 1);
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  WorkloadGenerator a(Opt(WorkloadMix::WriteIntensive(), 0.99), 7);
+  WorkloadGenerator b(Opt(WorkloadMix::WriteIntensive(), 0.99), 7);
+  WorkloadGenerator c(Opt(WorkloadMix::WriteIntensive(), 0.99), 8);
+  bool any_diff = false;
+  for (int i = 0; i < 100; i++) {
+    const Op oa = a.Next(), ob = b.Next(), oc = c.Next();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+    if (oa.key != oc.key) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, SkewConcentratesTraffic) {
+  auto top_key_share = [](double theta) {
+    WorkloadGenerator gen(Opt(WorkloadMix::WriteOnly(), theta), 9);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 50'000; i++) counts[gen.Next().key]++;
+    int max_count = 0;
+    for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+    return max_count;
+  };
+  EXPECT_GT(top_key_share(0.99), 5 * top_key_share(0.0));
+}
+
+TEST(WorkloadTest, InsertValuesAreUnique) {
+  WorkloadGenerator gen(Opt(WorkloadMix::WriteOnly()), 10);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 1'000; i++) {
+    EXPECT_TRUE(values.insert(gen.Next().value).second);
+  }
+}
+
+TEST(WorkloadTest, LoadedKeyForIsEvenAndDense) {
+  EXPECT_EQ(WorkloadGenerator::LoadedKeyFor(0), 2u);
+  EXPECT_EQ(WorkloadGenerator::LoadedKeyFor(1), 4u);
+  EXPECT_EQ(WorkloadGenerator::LoadedKeyFor(99), 200u);
+}
+
+TEST(WorkloadTest, ParseMixNames) {
+  WorkloadMix m;
+  EXPECT_TRUE(ParseMix("write-only", &m));
+  EXPECT_DOUBLE_EQ(m.insert, 1.0);
+  EXPECT_TRUE(ParseMix("write-intensive", &m));
+  EXPECT_DOUBLE_EQ(m.insert, 0.5);
+  EXPECT_TRUE(ParseMix("read-intensive", &m));
+  EXPECT_DOUBLE_EQ(m.lookup, 0.95);
+  EXPECT_TRUE(ParseMix("range-only", &m));
+  EXPECT_DOUBLE_EQ(m.range, 1.0);
+  EXPECT_TRUE(ParseMix("range-write", &m));
+  EXPECT_DOUBLE_EQ(m.range, 0.5);
+  EXPECT_FALSE(ParseMix("nonsense", &m));
+}
+
+}  // namespace
+}  // namespace sherman
