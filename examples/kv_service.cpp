@@ -1,18 +1,21 @@
-// kv_service: a multi-tenant key-value service on disaggregated memory.
+// kv_service: a multi-tenant key-value service on disaggregated memory,
+// running on the adaptive hybrid system (core/hybrid_system.h).
 //
 // Three tenants share one Sherman tree over disjoint key ranges, each with
 // its own workload profile (the scenarios from the paper's introduction):
 //   - "session"  : write-heavy session store (graph/param-server style),
 //   - "catalog"  : read-heavy product catalog,
 //   - "feed"     : skewed mixed traffic with a hot working set.
-// Each tenant runs client threads on its own compute servers; the demo
-// prints per-tenant throughput and tail latency, showing how write-
-// optimized indexing keeps the write-heavy tenant's tail in check.
+// Each tenant runs client threads on its own compute servers. Because the
+// tenants map to disjoint logical shards, the router steers them
+// independently: the write-heavy and hot tenants stay on Sherman's
+// one-sided path while cold catalog shards offload to the memory servers.
+// The demo prints per-tenant throughput/tails plus the routing summary.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "core/btree.h"
+#include "core/hybrid_system.h"
 #include "core/presets.h"
 #include "util/histogram.h"
 #include "util/random.h"
@@ -37,9 +40,9 @@ struct Control {
   bool stop = false;
 };
 
-sim::Task<void> TenantWorker(ShermanSystem* system, Tenant* tenant, int cs,
+sim::Task<void> TenantWorker(HybridSystem* system, Tenant* tenant, int cs,
                              uint64_t seed, Control* control) {
-  TreeClient& client = system->client(cs);
+  route::HybridClient& client = system->client(cs);
   Random rng(seed);
   std::unique_ptr<ScrambledZipfianGenerator> zipf;
   if (tenant->zipf_theta > 0) {
@@ -71,7 +74,16 @@ int main() {
   fabric.num_compute_servers = 6;
   fabric.ms_memory_bytes = 128ull << 20;
 
-  ShermanSystem system(fabric, ShermanOptions());
+  HybridOptions options;
+  options.tree = ShermanOptions();
+  // Memory-constrained compute servers: no index cache at all (FlexKV's
+  // motivating regime). Every one-sided lookup walks the full descent, so
+  // the router compensates by offloading cold shards to the memory
+  // servers, while hot/write-heavy shards stay one-sided.
+  options.tree.enable_cache = false;
+  options.router.num_shards = 96;
+  options.router.epoch_ns = 1'000'000;
+  HybridSystem system(fabric, options);
 
   Tenant tenants[] = {
       {"session(write-heavy)", 1ull << 32, 200'000, 0.9, 0.0, 0, 2},
@@ -88,10 +100,10 @@ int main() {
   }
   system.BulkLoad(kvs, 0.8);
   std::printf("bulkloaded %zu keys across %d tenants; tree height %u\n",
-              kvs.size(), 3, system.DebugHeight());
+              kvs.size(), 3, system.sherman().DebugHeight());
 
   Control control;
-  constexpr int kThreadsPerCs = 16;
+  constexpr int kThreadsPerCs = 8;
   for (Tenant& t : tenants) {
     for (int cs = t.cs_first; cs < t.cs_first + t.cs_count; cs++) {
       for (int i = 0; i < kThreadsPerCs; i++) {
@@ -103,7 +115,11 @@ int main() {
   }
 
   constexpr sim::SimTime kRunNs = 20'000'000;  // 20 ms simulated
-  system.simulator().At(kRunNs, [&control] { control.stop = true; });
+  system.router().Start();
+  system.simulator().At(kRunNs, [&control, &system] {
+    control.stop = true;
+    system.router().Stop();
+  });
   system.simulator().Run();
 
   std::printf("\n%-22s %10s %10s %10s %10s\n", "tenant", "Mops", "p50(us)",
@@ -114,5 +130,20 @@ int main() {
                 t.latency.P50() / 1000.0, t.latency.P99() / 1000.0,
                 static_cast<unsigned long long>(t.ops));
   }
+
+  const RouteStats rs = system.router().stats();
+  int shards_rpc = 0;
+  for (route::Path p : system.router().assignment()) {
+    if (p == route::Path::kRpc) shards_rpc++;
+  }
+  std::printf(
+      "\nrouting: %.1f%% of ops offloaded to MS-side RPC "
+      "(avg %.1f us vs %.1f us one-sided), %d/%d shards on RPC at end, "
+      "%llu epochs, %llu shard flips, %llu fallbacks\n",
+      100.0 * rs.RpcShare(), rs.AvgRpcUs(), rs.AvgOneSidedUs(), shards_rpc,
+      system.router().num_shards(),
+      static_cast<unsigned long long>(rs.epochs),
+      static_cast<unsigned long long>(rs.shard_flips),
+      static_cast<unsigned long long>(rs.rpc_fallbacks));
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "bench/runner.h"
 
+#include <functional>
 #include <memory>
 
+#include "core/hybrid_system.h"
 #include "sim/task.h"
 #include "util/logging.h"
 
@@ -18,22 +20,23 @@ struct RunContext {
   uint64_t live_clients = 0;
 };
 
-sim::Task<void> ClientLoop(ShermanSystem* system, int cs_id,
+// Works over any client exposing the IndexBackend op signatures
+// (TreeClient, route::HybridClient, ...).
+template <typename Client>
+sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
                            WorkloadGenerator gen, RunContext* ctx) {
-  TreeClient& client = system->client(cs_id);
-  sim::Simulator& sim = system->simulator();
   std::vector<std::pair<Key, uint64_t>> range_buf;
 
   while (!ctx->stop) {
     const Op op = gen.Next();
     OpStats op_stats;
-    const sim::SimTime start = sim.now();
+    const sim::SimTime start = sim->now();
     bool is_write = false;
     bool is_read = false;
     switch (op.type) {
       case OpType::kInsert: {
         is_write = true;
-        Status st = co_await client.Insert(op.key, op.value, &op_stats);
+        Status st = co_await client->Insert(op.key, op.value, &op_stats);
         SHERMAN_CHECK_MSG(st.ok(), "insert failed: %s",
                           st.ToString().c_str());
         break;
@@ -41,31 +44,107 @@ sim::Task<void> ClientLoop(ShermanSystem* system, int cs_id,
       case OpType::kLookup: {
         is_read = true;
         uint64_t value = 0;
-        Status st = co_await client.Lookup(op.key, &value, &op_stats);
+        Status st = co_await client->Lookup(op.key, &value, &op_stats);
         SHERMAN_CHECK_MSG(st.ok() || st.IsNotFound(), "lookup failed: %s",
                           st.ToString().c_str());
         break;
       }
       case OpType::kRangeQuery: {
-        Status st = co_await client.RangeQuery(op.key, op.range_size,
-                                               &range_buf, &op_stats);
+        Status st = co_await client->RangeQuery(op.key, op.range_size,
+                                                &range_buf, &op_stats);
         SHERMAN_CHECK_MSG(st.ok(), "range failed: %s", st.ToString().c_str());
         break;
       }
       case OpType::kDelete: {
         is_write = true;
-        Status st = co_await client.Delete(op.key, &op_stats);
+        Status st = co_await client->Delete(op.key, &op_stats);
         SHERMAN_CHECK_MSG(st.ok() || st.IsNotFound(), "delete failed: %s",
                           st.ToString().c_str());
         break;
       }
     }
     if (ctx->measuring) {
-      AccumulateOp(&ctx->stats, op_stats, sim.now() - start, is_write,
+      AccumulateOp(&ctx->stats, op_stats, sim->now() - start, is_write,
                    is_read);
     }
   }
   ctx->live_clients--;
+}
+
+// GetClient: int cs_id -> Client*. `sherman` supplies the per-client
+// HOCL/cache counters both system flavors share.
+template <typename GetClient>
+RunResult RunWorkloadImpl(ShermanSystem* sherman, GetClient get_client,
+                          const RunnerOptions& options,
+                          std::function<void()> at_measure_start,
+                          std::function<void()> at_measure_end) {
+  sim::Simulator& sim = sherman->simulator();
+  auto ctx = std::make_unique<RunContext>();
+
+  // Snapshot per-client counters so repeated runs report deltas.
+  uint64_t handovers_before = 0;
+  uint64_t cas_fail_before = 0;
+  uint64_t cache_hits_before = 0, cache_misses_before = 0;
+  for (int cs = 0; cs < sherman->num_clients(); cs++) {
+    handovers_before += sherman->client(cs).hocl().handovers();
+    cas_fail_before += sherman->client(cs).hocl().global_cas_failures();
+    cache_hits_before += sherman->client(cs).cache().stats().hits;
+    cache_misses_before += sherman->client(cs).cache().stats().misses;
+  }
+
+  for (int cs = 0; cs < sherman->num_clients(); cs++) {
+    for (int t = 0; t < options.threads_per_cs; t++) {
+      const uint64_t seed =
+          options.seed * 0x9e3779b9u + static_cast<uint64_t>(cs) * 1000 + t;
+      ctx->live_clients++;
+      sim::Spawn(ClientLoop(get_client(cs), &sim,
+                            WorkloadGenerator(options.workload, seed),
+                            ctx.get()));
+    }
+  }
+
+  const sim::SimTime t0 = sim.now();
+  sim.At(t0 + options.warmup_ns, [&ctx, &sim, &at_measure_start] {
+    ctx->measuring = true;
+    ctx->measure_start = sim.now();
+    if (at_measure_start) at_measure_start();
+  });
+  sim.At(t0 + options.warmup_ns + options.measure_ns,
+         [&ctx, &sim, &at_measure_end] {
+           ctx->measuring = false;
+           ctx->measure_end = sim.now();
+           ctx->stop = true;
+           if (at_measure_end) at_measure_end();
+         });
+
+  sim.Run();  // drains: clients exit after their in-flight op finishes
+  SHERMAN_CHECK(ctx->live_clients == 0);
+
+  RunResult result;
+  result.measured_ns = ctx->measure_end - ctx->measure_start;
+  result.stats = std::move(ctx->stats);
+  result.mops = result.measured_ns == 0
+                    ? 0
+                    : static_cast<double>(result.stats.ops) * 1000.0 /
+                          static_cast<double>(result.measured_ns);
+
+  uint64_t hits = 0, misses = 0;
+  for (int cs = 0; cs < sherman->num_clients(); cs++) {
+    result.handovers += sherman->client(cs).hocl().handovers();
+    result.lock_cas_failures +=
+        sherman->client(cs).hocl().global_cas_failures();
+    hits += sherman->client(cs).cache().stats().hits;
+    misses += sherman->client(cs).cache().stats().misses;
+  }
+  result.handovers -= handovers_before;
+  result.lock_cas_failures -= cas_fail_before;
+  hits -= cache_hits_before;
+  misses -= cache_misses_before;
+  result.cache_hit_ratio =
+      (hits + misses) == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(hits + misses);
+  return result;
 }
 
 }  // namespace
@@ -81,68 +160,25 @@ std::vector<std::pair<Key, uint64_t>> MakeLoadKvs(uint64_t n) {
 }
 
 RunResult RunWorkload(ShermanSystem* system, const RunnerOptions& options) {
-  sim::Simulator& sim = system->simulator();
-  auto ctx = std::make_unique<RunContext>();
+  return RunWorkloadImpl(
+      system, [system](int cs) { return &system->client(cs); }, options,
+      nullptr, nullptr);
+}
 
-  // Snapshot per-client counters so repeated runs report deltas.
-  uint64_t handovers_before = 0;
-  uint64_t cas_fail_before = 0;
-  uint64_t cache_hits_before = 0, cache_misses_before = 0;
-  for (int cs = 0; cs < system->num_clients(); cs++) {
-    handovers_before += system->client(cs).hocl().handovers();
-    cas_fail_before += system->client(cs).hocl().global_cas_failures();
-    cache_hits_before += system->client(cs).cache().stats().hits;
-    cache_misses_before += system->client(cs).cache().stats().misses;
-  }
-
-  for (int cs = 0; cs < system->num_clients(); cs++) {
-    for (int t = 0; t < options.threads_per_cs; t++) {
-      const uint64_t seed =
-          options.seed * 0x9e3779b9u + static_cast<uint64_t>(cs) * 1000 + t;
-      ctx->live_clients++;
-      sim::Spawn(ClientLoop(system, cs, WorkloadGenerator(options.workload, seed),
-                            ctx.get()));
-    }
-  }
-
-  const sim::SimTime t0 = sim.now();
-  sim.At(t0 + options.warmup_ns, [&ctx, &sim] {
-    ctx->measuring = true;
-    ctx->measure_start = sim.now();
-  });
-  sim.At(t0 + options.warmup_ns + options.measure_ns, [&ctx, &sim] {
-    ctx->measuring = false;
-    ctx->measure_end = sim.now();
-    ctx->stop = true;
-  });
-
-  sim.Run();  // drains: clients exit after their in-flight op finishes
-  SHERMAN_CHECK(ctx->live_clients == 0);
-
-  RunResult result;
-  result.measured_ns = ctx->measure_end - ctx->measure_start;
-  result.stats = std::move(ctx->stats);
-  result.mops = result.measured_ns == 0
-                    ? 0
-                    : static_cast<double>(result.stats.ops) * 1000.0 /
-                          static_cast<double>(result.measured_ns);
-
-  uint64_t hits = 0, misses = 0;
-  for (int cs = 0; cs < system->num_clients(); cs++) {
-    result.handovers += system->client(cs).hocl().handovers();
-    result.lock_cas_failures +=
-        system->client(cs).hocl().global_cas_failures();
-    hits += system->client(cs).cache().stats().hits;
-    misses += system->client(cs).cache().stats().misses;
-  }
-  result.handovers -= handovers_before;
-  result.lock_cas_failures -= cas_fail_before;
-  hits -= cache_hits_before;
-  misses -= cache_misses_before;
-  result.cache_hit_ratio =
-      (hits + misses) == 0 ? 0.0
-                           : static_cast<double>(hits) /
-                                 static_cast<double>(hits + misses);
+RunResult RunWorkload(HybridSystem* system, const RunnerOptions& options) {
+  // Route counters are snapshotted at the measurement-window edges so the
+  // reported rpc-share / per-path latencies describe the same ops as the
+  // throughput and latency columns (warmup and drain excluded).
+  RouteStats before, after;
+  system->router().Start();
+  RunResult result = RunWorkloadImpl(
+      &system->sherman(), [system](int cs) { return &system->client(cs); },
+      options, [system, &before] { before = system->router().stats(); },
+      [system, &after] {
+        after = system->router().stats();
+        system->router().Stop();
+      });
+  result.route = after.Since(before);
   return result;
 }
 

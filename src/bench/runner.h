@@ -11,6 +11,10 @@
 #include "core/stats.h"
 #include "workload/workload.h"
 
+namespace sherman {
+class HybridSystem;
+}
+
 namespace sherman::bench {
 
 struct RunnerOptions {
@@ -30,6 +34,7 @@ struct RunResult {
   double cache_hit_ratio = 0;     // aggregated over all clients
   uint64_t handovers = 0;         // HOCL lock handovers
   uint64_t lock_cas_failures = 0; // failed global CAS attempts
+  RouteStats route;               // hybrid runs only: path split + epochs
 
   double P50Us() const { return stats.latency_ns.P50() / 1000.0; }
   double P90Us() const { return stats.latency_ns.P90() / 1000.0; }
@@ -40,6 +45,11 @@ struct RunResult {
 // before returning; the system can be reused for further runs (state
 // persists, counters are reset per run).
 RunResult RunWorkload(ShermanSystem* system, const RunnerOptions& options);
+
+// Same measurement harness over a hybrid system: ops go through each CS's
+// HybridClient, the adaptive router's epoch timer runs for the duration of
+// the workload, and the result carries the routing counters.
+RunResult RunWorkload(HybridSystem* system, const RunnerOptions& options);
 
 // Convenience: the bulkload key/value vector for `n` loaded keys (the even
 // keys the workload generator targets), values derived from keys.

@@ -1,0 +1,66 @@
+// HybridSystem: the whole adaptive hybrid deployment — a ShermanSystem
+// (one-sided B-link tree) plus the route/ subsystem (MS-side tree executor,
+// per-shard hotness tracking, epoch-based adaptive router) behind one
+// facade. Both paths operate on the SAME tree in MS memory, so shard
+// re-assignment is a control-plane flip with no data migration.
+//
+// Usage (see bench/bench_hybrid.cc):
+//   HybridOptions opts;                  // tree + router configuration
+//   HybridSystem system(fabric_cfg, opts);
+//   system.BulkLoad(sorted_kvs, 0.8);    // also sizes the shard universe
+//   route::HybridClient& c = system.client(0);
+//   sim::Spawn(MyWorkload(&c));          // Insert/Lookup/RangeQuery/Delete
+//   system.router().Start();             // begin epoch re-planning
+//   system.simulator().RunUntil(...);
+//   system.router().Stop();
+#ifndef SHERMAN_CORE_HYBRID_SYSTEM_H_
+#define SHERMAN_CORE_HYBRID_SYSTEM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/btree.h"
+#include "route/hybrid_client.h"
+#include "route/router.h"
+#include "route/tree_rpc.h"
+
+namespace sherman {
+
+struct HybridOptions {
+  TreeOptions tree;
+  route::RouterOptions router;
+};
+
+class HybridSystem {
+ public:
+  HybridSystem(rdma::FabricConfig fabric_config, HybridOptions options);
+
+  HybridSystem(const HybridSystem&) = delete;
+  HybridSystem& operator=(const HybridSystem&) = delete;
+
+  // Bulkloads the tree and sizes the router's shard universe to cover the
+  // loaded keys (plus the adjacent odd insert keys the workloads target).
+  void BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs, double fill);
+
+  route::HybridClient& client(int cs_id) { return *clients_[cs_id]; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  ShermanSystem& sherman() { return sherman_; }
+  rdma::Fabric& fabric() { return sherman_.fabric(); }
+  sim::Simulator& simulator() { return sherman_.simulator(); }
+  route::AdaptiveRouter& router() { return *router_; }
+  route::HotnessTracker& tracker() { return tracker_; }
+  route::TreeRpcService& rpc_service() { return rpc_service_; }
+
+ private:
+  ShermanSystem sherman_;
+  route::HotnessTracker tracker_;
+  route::TreeRpcService rpc_service_;
+  std::unique_ptr<route::AdaptiveRouter> router_;
+  std::vector<std::unique_ptr<route::HybridClient>> clients_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_CORE_HYBRID_SYSTEM_H_

@@ -54,6 +54,46 @@ struct RunStats {
 void AccumulateOp(RunStats* run, const OpStats& op, uint64_t latency_ns,
                   bool is_write, bool is_read);
 
+// Counters produced by the adaptive hybrid router (route/router.h): how
+// traffic split across the one-sided and MS-side RPC paths, and how often
+// the routing changed. Reported alongside RunStats by the bench runner.
+struct RouteStats {
+  uint64_t ops_one_sided = 0;
+  uint64_t ops_rpc = 0;
+  uint64_t rpc_fallbacks = 0;  // MS declined (locked leaf / split needed)
+  uint64_t epochs = 0;
+  uint64_t shard_flips = 0;    // shard reassignments across all epochs
+  uint64_t lat_one_sided_ns = 0;  // summed per-op latency by serving path
+  uint64_t lat_rpc_ns = 0;
+
+  double RpcShare() const {
+    const uint64_t total = ops_one_sided + ops_rpc;
+    return total == 0 ? 0.0 : static_cast<double>(ops_rpc) / total;
+  }
+  double AvgOneSidedUs() const {
+    return ops_one_sided == 0 ? 0.0
+                              : static_cast<double>(lat_one_sided_ns) /
+                                    static_cast<double>(ops_one_sided) / 1000.0;
+  }
+  double AvgRpcUs() const {
+    return ops_rpc == 0 ? 0.0
+                        : static_cast<double>(lat_rpc_ns) /
+                              static_cast<double>(ops_rpc) / 1000.0;
+  }
+
+  RouteStats Since(const RouteStats& baseline) const {
+    RouteStats d;
+    d.ops_one_sided = ops_one_sided - baseline.ops_one_sided;
+    d.ops_rpc = ops_rpc - baseline.ops_rpc;
+    d.rpc_fallbacks = rpc_fallbacks - baseline.rpc_fallbacks;
+    d.epochs = epochs - baseline.epochs;
+    d.shard_flips = shard_flips - baseline.shard_flips;
+    d.lat_one_sided_ns = lat_one_sided_ns - baseline.lat_one_sided_ns;
+    d.lat_rpc_ns = lat_rpc_ns - baseline.lat_rpc_ns;
+    return d;
+  }
+};
+
 }  // namespace sherman
 
 #endif  // SHERMAN_CORE_STATS_H_

@@ -1,5 +1,8 @@
 #include "ext/rpc_index.h"
 
+#include <algorithm>
+
+#include "sim/sync.h"
 #include "util/logging.h"
 
 namespace sherman::ext {
@@ -17,7 +20,11 @@ RpcIndex::RpcIndex(rdma::Fabric* fabric) : fabric_(fabric) {
   const int num_ms = fabric->num_memory_servers();
   shards_.resize(num_ms);
   for (int ms = 0; ms < num_ms; ms++) {
-    fabric->ms(ms).set_rpc_handler(
+    // Chain onto any handler already installed (e.g. a ChunkManager's
+    // allocation RPCs) so the index can coexist with a ShermanSystem on
+    // the same fabric.
+    fabric->ms(ms).ChainRpcHandler(
+        kOpPut, kOpScan,
         [this, ms](uint64_t opcode, uint64_t arg, uint64_t arg2, uint16_t) {
           return HandleRpc(ms, opcode, arg, arg2);
         });
@@ -53,6 +60,20 @@ uint64_t RpcIndex::HandleRpc(int ms, uint64_t opcode, uint64_t key,
     }
     case kOpDelete:
       return shard.erase(key);
+    case kOpScan: {
+      // key = from; value packs (token << 16 | count). The memory thread
+      // collects this shard's first `count` pairs >= from; the client
+      // merges across shards.
+      const uint64_t token = value >> 16;
+      const uint32_t count = static_cast<uint32_t>(value & 0xffff);
+      std::vector<std::pair<uint64_t, uint64_t>>& out = scan_out_[token];
+      uint32_t got = 0;
+      for (auto it = shard.lower_bound(key);
+           it != shard.end() && got < count; ++it, ++got) {
+        out.emplace_back(it->first, it->second);
+      }
+      return got;
+    }
     default:
       SHERMAN_CHECK_MSG(false, "unknown RpcIndex opcode %llu",
                         static_cast<unsigned long long>(opcode));
@@ -86,6 +107,44 @@ sim::Task<Status> RpcIndexClient::Delete(uint64_t key, OpStats* stats) {
       co_await index_->fabric()->qp(cs_id_, ms).Rpc(RpcIndex::kOpDelete, key);
   if (stats != nullptr) stats->round_trips++;
   co_return r ? Status::OK() : Status::NotFound();
+}
+
+namespace {
+sim::Task<void> ScanShard(rdma::Qp* qp, uint64_t opcode, uint64_t from,
+                          uint64_t packed, sim::CountdownLatch* latch) {
+  co_await qp->Rpc(opcode, from, packed);
+  latch->Arrive();
+}
+}  // namespace
+
+sim::Task<Status> RpcIndexClient::Scan(
+    uint64_t from, uint32_t count,
+    std::vector<std::pair<uint64_t, uint64_t>>* out, OpStats* stats) {
+  out->clear();
+  if (count == 0) co_return Status::OK();
+  if (count >= (1u << 16)) {  // count rides in 16 bits of the RPC payload
+    co_return Status::InvalidArgument("scan count exceeds 65535");
+  }
+  const uint64_t token = index_->NewScanToken();
+  const uint64_t packed = (token << 16) | count;
+  const int num_ms = index_->fabric()->num_memory_servers();
+  // Keys are hash-sharded, so every MS holds part of the range; ask them
+  // all concurrently (a real client posts the SENDs back to back).
+  sim::CountdownLatch latch(num_ms);
+  for (int ms = 0; ms < num_ms; ms++) {
+    sim::Spawn(ScanShard(&index_->fabric()->qp(cs_id_, ms), RpcIndex::kOpScan,
+                         from, packed, &latch));
+    if (stats != nullptr) stats->round_trips++;
+  }
+  co_await latch.Wait();
+  auto it = index_->scan_out_.find(token);
+  if (it != index_->scan_out_.end()) {
+    *out = std::move(it->second);
+    index_->scan_out_.erase(it);
+    std::sort(out->begin(), out->end());
+    if (out->size() > count) out->resize(count);
+  }
+  co_return Status::OK();
 }
 
 }  // namespace sherman::ext

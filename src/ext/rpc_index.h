@@ -52,9 +52,17 @@ class RpcIndex {
   static constexpr uint64_t kOpPut = 100;
   static constexpr uint64_t kOpGet = 101;
   static constexpr uint64_t kOpDelete = 102;
+  static constexpr uint64_t kOpScan = 103;
+
+  uint64_t NewScanToken() { return next_scan_token_++; }
 
   rdma::Fabric* fabric_;
   std::vector<std::map<uint64_t, uint64_t>> shards_;  // one per MS
+  // Scan results staged MS-side, keyed by the caller-supplied token (the
+  // sim models the response as one RPC per shard; payload bytes are not
+  // charged, matching the fixed-size RPC model in rdma::Qp).
+  std::map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>> scan_out_;
+  uint64_t next_scan_token_ = 1;
   uint64_t HandleRpc(int ms, uint64_t opcode, uint64_t key, uint64_t value);
 };
 
@@ -67,6 +75,12 @@ class RpcIndexClient {
   sim::Task<Status> Get(uint64_t key, uint64_t* value,
                         OpStats* stats = nullptr);
   sim::Task<Status> Delete(uint64_t key, OpStats* stats = nullptr);
+  // Returns up to `count` key-ordered pairs with key >= from. Keys are
+  // hash-sharded, so every MS must be asked — one RPC per MS, the
+  // structural weakness of an RPC hash index on range workloads.
+  sim::Task<Status> Scan(uint64_t from, uint32_t count,
+                         std::vector<std::pair<uint64_t, uint64_t>>* out,
+                         OpStats* stats = nullptr);
 
  private:
   RpcIndex* index_;

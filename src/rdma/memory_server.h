@@ -39,6 +39,20 @@ class MemoryServer {
   // `earliest`; returns the service completion time.
   sim::SimTime ReserveMemoryThread(sim::SimTime earliest);
 
+  // Extends the memory thread's busy period by `extra` ns without counting
+  // an RPC — used by handlers whose work exceeds one service slot (e.g. an
+  // MS-side range scan walking several leaves).
+  void ChargeMemoryThread(sim::SimTime extra) {
+    if (mem_thread_free_ < sim_->now()) mem_thread_free_ = sim_->now();
+    mem_thread_free_ += extra;
+  }
+
+  // Outstanding work queued on the memory thread as of `now` — the FIFO
+  // depth signal (in ns of backlog) the adaptive router feeds on.
+  sim::SimTime MemoryThreadBacklog(sim::SimTime now) const {
+    return mem_thread_free_ > now ? mem_thread_free_ - now : 0;
+  }
+
   // PCIe/NIC ordering (§5.5.1 of the paper: "a PCIe read transaction is
   // strictly ordered after prior PCIe write transactions"): DMA reads and
   // atomics issued by the NIC may not begin before previously issued
@@ -53,6 +67,13 @@ class MemoryServer {
   }
 
   uint64_t rpcs_served() const { return rpcs_served_; }
+
+  // Installs `fn` as this MS's handler for opcodes in [lo, hi], forwarding
+  // any other opcode to the previously installed handler (aborts if a
+  // foreign opcode arrives with no previous handler). Lets several RPC
+  // services (chunk manager, RpcIndex, TreeRpcService) share one memory
+  // thread.
+  void ChainRpcHandler(uint64_t lo, uint64_t hi, RpcHandler fn);
 
  private:
   uint16_t id_;

@@ -246,20 +246,27 @@ sim::Task<uint64_t> Qp::Rpc(uint64_t opcode, uint64_t arg, uint64_t arg2) {
   const sim::SimTime svc_done = ms_->ReserveMemoryThread(rx_done);
   uint64_t response = 0;
   MemoryServer* ms = ms_;
+  ComputeServer* cs = cs_;
   const uint16_t from = cs_->id();
-  sim->At(svc_done, [ms, opcode, arg, arg2, from, &response] {
+  sim::OneShot done;
+
+  // The response's NIC/wire legs are reserved at service-completion time,
+  // not issue time: the NIC FIFO clocks advance in reservation order, so
+  // reserving the TX engine for a far-future svc_done (a deep memory-thread
+  // queue) would stall every later message on this MS — including one-sided
+  // READ responses — behind a slot that is not actually occupied yet.
+  sim->At(svc_done, [ms, cs, cfg, sim, opcode, arg, arg2, from, &response,
+                     &done] {
     SHERMAN_CHECK_MSG(ms->rpc_handler() != nullptr,
                       "RPC to MS %u with no handler installed", ms->id());
     response = ms->rpc_handler()(opcode, arg, arg2, from);
+
+    // Response: SEND back to the CS.
+    const sim::SimTime resp_tx = ms->nic().ReserveTx(sim->now(), kRpcBytes);
+    const sim::SimTime resp_arrive = resp_tx + cfg->wire_latency_ns;
+    const sim::SimTime resp_done = cs->nic().ReserveRx(resp_arrive, kRpcBytes);
+    sim->At(resp_done + cfg->cq_poll_ns, [&done] { done.Fire(); });
   });
-
-  // Response: SEND back to the CS.
-  const sim::SimTime resp_tx = ms_->nic().ReserveTx(svc_done, kRpcBytes);
-  const sim::SimTime resp_arrive = resp_tx + cfg->wire_latency_ns;
-  const sim::SimTime resp_done = cs_->nic().ReserveRx(resp_arrive, kRpcBytes);
-
-  sim::OneShot done;
-  sim->At(resp_done + cfg->cq_poll_ns, [&done] { done.Fire(); });
   co_await done;
   co_return response;
 }

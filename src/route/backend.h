@@ -1,0 +1,102 @@
+// IndexBackend: one coroutine interface over every way this repo can serve
+// an ordered index on disaggregated memory — Sherman's one-sided path
+// (TreeClient), the Cell-style MS-side RPC index (ext::RpcIndexClient), and
+// the hybrid's near-memory tree executor (route::TreeRpcClient).
+//
+// The adaptive router (route/router.h) steers each logical shard of the key
+// universe to whichever backend is currently cheaper, following FlexKV's
+// observation that *flexible* index offloading beats either extreme and
+// DEX's observation that logical key-range partitions are the right
+// granularity for the decision.
+#ifndef SHERMAN_ROUTE_BACKEND_H_
+#define SHERMAN_ROUTE_BACKEND_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/btree.h"
+#include "core/stats.h"
+#include "ext/rpc_index.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace sherman::route {
+
+class IndexBackend {
+ public:
+  virtual ~IndexBackend() = default;
+
+  // Inserts or updates.
+  virtual sim::Task<Status> Insert(Key key, uint64_t value,
+                                   OpStats* stats = nullptr) = 0;
+  // Point lookup; NotFound if absent.
+  virtual sim::Task<Status> Lookup(Key key, uint64_t* value,
+                                   OpStats* stats = nullptr) = 0;
+  // Deletes `key`; NotFound if absent.
+  virtual sim::Task<Status> Delete(Key key, OpStats* stats = nullptr) = 0;
+  // Up to `count` key-ordered pairs with key >= from.
+  virtual sim::Task<Status> RangeQuery(
+      Key from, uint32_t count, std::vector<std::pair<Key, uint64_t>>* out,
+      OpStats* stats = nullptr) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Sherman's one-sided path: all index logic at the compute server, the MS
+// touched only through READ/WRITE/CAS.
+class TreeBackend final : public IndexBackend {
+ public:
+  explicit TreeBackend(TreeClient* client) : client_(client) {}
+
+  sim::Task<Status> Insert(Key key, uint64_t value, OpStats* stats) override {
+    return client_->Insert(key, value, stats);
+  }
+  sim::Task<Status> Lookup(Key key, uint64_t* value, OpStats* stats) override {
+    return client_->Lookup(key, value, stats);
+  }
+  sim::Task<Status> Delete(Key key, OpStats* stats) override {
+    return client_->Delete(key, stats);
+  }
+  sim::Task<Status> RangeQuery(Key from, uint32_t count,
+                               std::vector<std::pair<Key, uint64_t>>* out,
+                               OpStats* stats) override {
+    return client_->RangeQuery(from, count, out, stats);
+  }
+  const char* name() const override { return "one-sided"; }
+
+  TreeClient* client() { return client_; }
+
+ private:
+  TreeClient* client_;
+};
+
+// The MS-side RPC index the paper argues against (§3.1): every operation is
+// one RPC (per shard, for scans) bounded by the wimpy memory thread.
+class RpcIndexBackend final : public IndexBackend {
+ public:
+  RpcIndexBackend(ext::RpcIndex* index, int cs_id) : client_(index, cs_id) {}
+
+  sim::Task<Status> Insert(Key key, uint64_t value, OpStats* stats) override {
+    return client_.Put(key, value, stats);
+  }
+  sim::Task<Status> Lookup(Key key, uint64_t* value, OpStats* stats) override {
+    return client_.Get(key, value, stats);
+  }
+  sim::Task<Status> Delete(Key key, OpStats* stats) override {
+    return client_.Delete(key, stats);
+  }
+  sim::Task<Status> RangeQuery(Key from, uint32_t count,
+                               std::vector<std::pair<Key, uint64_t>>* out,
+                               OpStats* stats) override {
+    return client_.Scan(from, count, out, stats);
+  }
+  const char* name() const override { return "rpc-index"; }
+
+ private:
+  ext::RpcIndexClient client_;
+};
+
+}  // namespace sherman::route
+
+#endif  // SHERMAN_ROUTE_BACKEND_H_

@@ -1,0 +1,64 @@
+#include "route/hybrid_client.h"
+
+namespace sherman::route {
+
+void HybridClient::Finish(int shard, Path path, bool is_write,
+                          const OpStats& local, bool fallback,
+                          sim::SimTime start, OpStats* stats) {
+  tracker_->Record(shard, path, is_write, local, fallback,
+                   sim_->now() - start);
+  if (stats != nullptr) {
+    stats->round_trips += local.round_trips;
+    stats->read_retries += local.read_retries;
+    stats->lock_retries += local.lock_retries;
+    stats->bytes_written += local.bytes_written;
+    stats->used_handover |= local.used_handover;
+    stats->cache_hits += local.cache_hits;
+    stats->cache_misses += local.cache_misses;
+  }
+}
+
+sim::Task<Status> HybridClient::Insert(Key key, uint64_t value,
+                                       OpStats* stats) {
+  return Dispatch(
+      key, /*is_write=*/true,
+      [this, key, value](uint16_t ms, OpStats* s) {
+        return rpc_.Insert(ms, key, value, s);
+      },
+      [this, key, value](OpStats* s) { return tree_.Insert(key, value, s); },
+      stats);
+}
+
+sim::Task<Status> HybridClient::Lookup(Key key, uint64_t* value,
+                                       OpStats* stats) {
+  return Dispatch(
+      key, /*is_write=*/false,
+      [this, key, value](uint16_t ms, OpStats* s) {
+        return rpc_.Lookup(ms, key, value, s);
+      },
+      [this, key, value](OpStats* s) { return tree_.Lookup(key, value, s); },
+      stats);
+}
+
+sim::Task<Status> HybridClient::Delete(Key key, OpStats* stats) {
+  return Dispatch(
+      key, /*is_write=*/true,
+      [this, key](uint16_t ms, OpStats* s) { return rpc_.Delete(ms, key, s); },
+      [this, key](OpStats* s) { return tree_.Delete(key, s); }, stats);
+}
+
+sim::Task<Status> HybridClient::RangeQuery(
+    Key from, uint32_t count, std::vector<std::pair<Key, uint64_t>>* out,
+    OpStats* stats) {
+  return Dispatch(
+      from, /*is_write=*/false,
+      [this, from, count, out](uint16_t ms, OpStats* s) {
+        return rpc_.RangeQuery(ms, from, count, out, s);
+      },
+      [this, from, count, out](OpStats* s) {
+        return tree_.RangeQuery(from, count, out, s);
+      },
+      stats);
+}
+
+}  // namespace sherman::route

@@ -1,0 +1,88 @@
+// HybridClient: the per-compute-server entry point of the hybrid system.
+// Each operation is mapped to its logical shard, dispatched to the path the
+// AdaptiveRouter currently assigns that shard, and its OpStats folded into
+// the HotnessTracker so the next epoch can re-plan. When the MS-side
+// executor declines an op (locked leaf, split needed, structural anomaly),
+// the client transparently retries it on the one-sided path.
+#ifndef SHERMAN_ROUTE_HYBRID_CLIENT_H_
+#define SHERMAN_ROUTE_HYBRID_CLIENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "route/backend.h"
+#include "route/hotness.h"
+#include "route/router.h"
+#include "route/tree_rpc.h"
+
+namespace sherman::route {
+
+class HybridClient final : public IndexBackend {
+ public:
+  HybridClient(ShermanSystem* sherman, TreeRpcService* service,
+               AdaptiveRouter* router, HotnessTracker* tracker, int cs_id)
+      : tree_(&sherman->client(cs_id)),
+        rpc_(service, cs_id),
+        router_(router),
+        tracker_(tracker),
+        sim_(&sherman->simulator()),
+        cs_id_(cs_id) {}
+
+  sim::Task<Status> Insert(Key key, uint64_t value,
+                           OpStats* stats = nullptr) override;
+  sim::Task<Status> Lookup(Key key, uint64_t* value,
+                           OpStats* stats = nullptr) override;
+  sim::Task<Status> Delete(Key key, OpStats* stats = nullptr) override;
+  sim::Task<Status> RangeQuery(Key from, uint32_t count,
+                               std::vector<std::pair<Key, uint64_t>>* out,
+                               OpStats* stats = nullptr) override;
+  const char* name() const override { return "hybrid"; }
+
+  int cs_id() const { return cs_id_; }
+  TreeClient& tree_client() { return *tree_.client(); }
+
+ private:
+  void Finish(int shard, Path path, bool is_write, const OpStats& local,
+              bool fallback, sim::SimTime start, OpStats* stats);
+
+  // The one dispatch skeleton all four ops share: map the key to its
+  // shard, take the assigned path, fall back one-sided when the MS
+  // declines, and fold the op into the tracker. `rpc` is invoked as
+  // rpc(home_ms, &local_stats), `tree` as tree(&local_stats); both must
+  // capture their operands by value (the caller's frame is gone by the
+  // time this coroutine runs).
+  template <typename RpcFn, typename TreeFn>
+  sim::Task<Status> Dispatch(Key routing_key, bool is_write, RpcFn rpc,
+                             TreeFn tree, OpStats* stats) {
+    const int shard = router_->ShardFor(routing_key);
+    const Path path = router_->PathOfShard(shard);
+    const sim::SimTime start = sim_->now();
+    OpStats local;
+    bool fallback = false;
+    Status st;
+    if (path == Path::kRpc) {
+      st = co_await rpc(router_->HomeMsFor(shard), &local);
+      if (st.IsRetry()) {
+        fallback = true;
+        st = co_await tree(&local);
+      }
+    } else {
+      st = co_await tree(&local);
+    }
+    // Stats are attributed to the path that actually served the op.
+    const Path served = fallback ? Path::kOneSided : path;
+    Finish(shard, served, is_write, local, fallback, start, stats);
+    co_return st;
+  }
+
+  TreeBackend tree_;
+  TreeRpcClient rpc_;
+  AdaptiveRouter* router_;
+  HotnessTracker* tracker_;
+  sim::Simulator* sim_;
+  int cs_id_;
+};
+
+}  // namespace sherman::route
+
+#endif  // SHERMAN_ROUTE_HYBRID_CLIENT_H_

@@ -1,0 +1,186 @@
+// AdaptiveRouter: epoch-based steering of logical key-range shards between
+// Sherman's one-sided path and MS-side RPC execution.
+//
+// The key universe is range-partitioned into `num_shards` equal logical
+// shards (DEX-style); each shard is pinned to a home MS (shard % num_ms)
+// and carries a path assignment. Every epoch the router drains the
+// HotnessTracker window, smooths it into per-shard estimates, samples each
+// MS's memory-thread FIFO backlog, and re-plans:
+//
+//   one-sided cost/op ~ round trips scaled by the shard's index-cache miss
+//     ratio (misses re-walk the upper levels) and, for writes, lock CAS
+//     retries net of HOCL handovers;
+//   RPC cost/op       ~ one wire round trip + the wimpy core's service
+//     time + a queueing term that grows as the home MS's planned
+//     utilization rises.
+//
+// Shards are offloaded greedily, best savings first, until the marginal
+// queueing delay erases the margin or the utilization cap is reached —
+// so write-hot / contended shards stay one-sided (Sherman's strength)
+// while cold / read-mostly / cache-missing shards move to RPC (FlexKV's
+// insight), and the memory threads can never be driven past saturation.
+// Hysteresis margins keep borderline shards from oscillating.
+#ifndef SHERMAN_ROUTE_ROUTER_H_
+#define SHERMAN_ROUTE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/node_layout.h"
+#include "core/stats.h"
+#include "rdma/fabric.h"
+#include "route/hotness.h"
+#include "sim/simulator.h"
+
+namespace sherman::route {
+
+struct RouterOptions {
+  enum class Policy { kAdaptive, kAllOneSided, kAllRpc };
+  Policy policy = Policy::kAdaptive;
+
+  int num_shards = 64;
+  sim::SimTime epoch_ns = 2'000'000;  // re-plan every 2 ms of simulated time
+
+  // Planner knobs.
+  double rpc_util_cap = 0.60;   // max planned memory-thread utilization
+  double offload_margin = 1.25; // offload when os_cost > margin * rpc_cost
+  double return_margin = 0.90;  // pull back when os_cost < margin * rpc_cost
+  double prune_margin = 1.05;   // evict an admitted shard when its os_cost
+                                // falls below this at the final planned load
+  // An offloaded shard's measured one-sided cost goes stale (it only runs
+  // RPC); every N epochs it runs one epoch one-sided to refresh the signal
+  // (0 = never probe). Warmup-cold costs otherwise pin shards to RPC after
+  // the caches warm.
+  uint64_t probe_epochs = 4;
+  double ewma_alpha = 0.5;      // window smoothing
+  double cold_miss_default = 0.7;  // assumed miss ratio with no cache signal
+
+  // Key universe [lo, hi) covered by the shards when no explicit shard
+  // boundaries are installed; hi == 0 means "set at BulkLoad from the
+  // loaded keys". HybridSystem::BulkLoad installs quantile boundaries
+  // instead (see AdaptiveRouter::SetBoundaries), which keeps shards
+  // load-balanced even over sparse / multi-tenant key spaces.
+  Key universe_lo = 1;
+  Key universe_hi = 0;
+};
+
+// Fabric-derived constants for the planner's cost model.
+struct RouterModel {
+  double rtt_ns = 1800;       // one-sided small-op round trip
+  double rpc_wire_ns = 1300;  // RPC wire+NIC+poll cost excluding service
+  double rpc_service_ns = 3000;
+  double tree_height = 3;     // levels walked on a full (cache-miss) descent
+  bool cache_enabled = true;
+  int num_ms = 1;
+  // Client-side CPU charges (one-sided ops search nodes locally).
+  double cpu_op_ns = 100;
+  double cpu_search_ns = 200;
+  double cpu_leaf_ns = 300;
+  // Closed-loop clients arrive in bursts, not as a smooth Poisson stream;
+  // scale the util/(1-util) queueing term accordingly.
+  double queue_burst = 2.0;
+};
+RouterModel ModelFromFabric(const rdma::FabricConfig& cfg, bool cache_enabled);
+
+// Smoothed per-shard estimates the planner consumes.
+struct ShardEstimate {
+  double ops = 0;                 // expected ops next epoch
+  double write_frac = 0;
+  double miss_ratio = 0.7;        // index-cache miss ratio when one-sided
+  double cas_fails_per_write = 0; // failed lock CAS per write
+  double handover_rate = 0;       // fraction of writes locked via handover
+  double os_ns = 0;               // measured one-sided ns/op (0 = no signal;
+                                  // preferred over the model when present)
+  bool warm = false;              // has the shard seen traffic yet?
+};
+
+// Cost model (exposed for tests). Estimates are ns/op.
+double EstimateOneSidedNs(const ShardEstimate& e, const RouterModel& m);
+double EstimateRpcNs(double planned_busy_ns, double epoch_ns,
+                     const RouterModel& m);
+
+// Pure planning function: given per-shard estimates, the previous
+// assignment, and each MS's current FIFO backlog (ns), returns the next
+// assignment. Deterministic; unit-tested directly.
+std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
+                                 const std::vector<Path>& prev,
+                                 const std::vector<double>& ms_backlog_ns,
+                                 const RouterModel& model,
+                                 const RouterOptions& opt);
+
+// One row of the router's epoch log (surfaced by bench reports).
+struct EpochRecord {
+  uint64_t epoch = 0;
+  sim::SimTime at_ns = 0;
+  int shards_one_sided = 0;
+  int shards_rpc = 0;
+  int flips = 0;           // shards whose path changed this epoch
+  double window_rpc_share = 0;  // fraction of last window's ops served RPC
+  double max_ms_backlog_us = 0; // deepest memory-thread FIFO seen (us)
+};
+
+class AdaptiveRouter {
+ public:
+  AdaptiveRouter(RouterOptions options, RouterModel model,
+                 HotnessTracker* tracker, rdma::Fabric* fabric);
+
+  AdaptiveRouter(const AdaptiveRouter&) = delete;
+  AdaptiveRouter& operator=(const AdaptiveRouter&) = delete;
+
+  int num_shards() const { return options_.num_shards; }
+  const RouterOptions& options() const { return options_; }
+
+  // Key -> logical shard (range partition), and the shard's home MS.
+  int ShardFor(Key key) const;
+  uint16_t HomeMsFor(int shard) const {
+    return static_cast<uint16_t>(shard % model_.num_ms);
+  }
+  Path PathOfShard(int shard) const { return assignment_[shard]; }
+
+  // Universe/height are learned at BulkLoad time.
+  void SetUniverse(Key lo, Key hi);
+  // Installs explicit shard cut points (num_shards - 1 ascending keys;
+  // shard i covers [cuts[i-1], cuts[i])). Takes precedence over the
+  // equal-width universe split — this is what keeps shards balanced when
+  // the loaded keys are a sparse subset of the key universe.
+  void SetBoundaries(std::vector<Key> cuts);
+  void SetTreeHeight(double height) { model_.tree_height = height; }
+
+  // Starts/stops the epoch timer on the fabric's simulator. While running,
+  // the router keeps one pending event alive; Stop() lets the sim drain.
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  // Runs one epoch boundary immediately (also used by tests).
+  void EndEpochNow();
+
+  const std::vector<Path>& assignment() const { return assignment_; }
+  void ForceAssignment(std::vector<Path> a);  // tests / forced policies
+  const std::vector<EpochRecord>& epoch_log() const { return epoch_log_; }
+
+  // Path split from the tracker plus this router's epoch/flip counters.
+  RouteStats stats() const;
+
+ private:
+  void Tick(uint64_t gen);
+
+  RouterOptions options_;
+  RouterModel model_;
+  HotnessTracker* tracker_;
+  rdma::Fabric* fabric_;
+
+  std::vector<Path> assignment_;
+  std::vector<Key> boundaries_;  // empty => equal-width universe split
+  std::vector<ShardEstimate> smoothed_;
+  std::vector<uint64_t> last_os_epoch_;
+  std::vector<EpochRecord> epoch_log_;
+  uint64_t epochs_ = 0;
+  uint64_t flips_ = 0;
+  uint64_t timer_gen_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace sherman::route
+
+#endif  // SHERMAN_ROUTE_ROUTER_H_

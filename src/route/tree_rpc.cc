@@ -1,0 +1,323 @@
+#include "route/tree_rpc.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "alloc/layout.h"
+#include "lock/lock_table.h"
+#include "util/logging.h"
+
+namespace sherman::route {
+
+namespace {
+// Bound on sibling chases / levels during a direct walk; anything deeper is
+// a structural anomaly and the op declines to the one-sided path.
+constexpr int kMaxHops = 64;
+// Leaves an MS-side scan may walk before declining the remainder.
+constexpr uint32_t kMaxScanLeaves = 64;
+}  // namespace
+
+TreeRpcService::TreeRpcService(ShermanSystem* system) : system_(system) {
+  rdma::Fabric& fabric = system->fabric();
+  const int num_ms = fabric.num_memory_servers();
+  for (int ms = 0; ms < num_ms; ms++) {
+    fabric.ms(ms).ChainRpcHandler(
+        kOpInsert, kOpScan,
+        [this, ms](uint64_t opcode, uint64_t a, uint64_t b, uint16_t) {
+          return Handle(ms, opcode, a, b);
+        });
+  }
+}
+
+uint64_t TreeRpcService::Handle(int ms, uint64_t opcode, uint64_t a,
+                                uint64_t b) {
+  switch (opcode) {
+    case kOpInsert:
+      return DoInsert(a, b);
+    case kOpLookup:
+      return DoLookup(a, b);
+    case kOpDelete:
+      return DoDelete(a);
+    case kOpScan:
+      return DoScan(ms, a, static_cast<uint32_t>(b & 0xffff), b >> 16);
+    default:
+      SHERMAN_CHECK(false);
+      return 0;
+  }
+}
+
+rdma::GlobalAddress TreeRpcService::FindLeaf(Key key) const {
+  rdma::Fabric& fabric = system_->fabric();
+  const TreeShape& shape = system_->options().shape;
+
+  uint64_t packed = 0;
+  std::memcpy(&packed, fabric.ms(0).host().raw(kRootPointerOffset), 8);
+  rdma::GlobalAddress addr = rdma::GlobalAddress::FromU64(packed);
+  if (addr.is_null()) return rdma::kNullAddress;
+
+  for (int hop = 0; hop < kMaxHops; hop++) {
+    NodeView view(fabric.HostRaw(addr), &shape);
+    if (view.is_free() || key < view.lo_fence()) return rdma::kNullAddress;
+    if (key >= view.hi_fence()) {
+      addr = view.sibling();
+      if (addr.is_null()) return rdma::kNullAddress;
+      continue;
+    }
+    if (view.is_leaf()) return addr;
+    addr = view.InternalChildFor(key);
+    if (addr.is_null()) return rdma::kNullAddress;
+  }
+  return rdma::kNullAddress;
+}
+
+bool TreeRpcService::NodeLocked(rdma::GlobalAddress addr) const {
+  const bool onchip = system_->options().lock.onchip;
+  const GlobalLockRef ref = LockFor(addr, onchip);
+  rdma::MemoryServer& ms = system_->fabric().ms(ref.ms);
+  rdma::MemoryRegion& region =
+      ref.space == rdma::MemorySpace::kDevice ? ms.device() : ms.host();
+  uint16_t lane = 0;
+  std::memcpy(&lane, region.raw(ref.lane_offset()), sizeof(lane));
+  return lane != 0;
+}
+
+uint64_t TreeRpcService::DoInsert(Key key, uint64_t value) {
+  const rdma::GlobalAddress leaf = FindLeaf(key);
+  if (leaf.is_null() || NodeLocked(leaf)) {
+    declined_++;
+    return kAckDeclined;
+  }
+  const TreeOptions& o = system_->options();
+  NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+
+  if (o.two_level_versions) {
+    const NodeView::SlotResult slot = view.FindLeafSlot(key);
+    const uint32_t i = slot.match != UINT32_MAX ? slot.match : slot.empty;
+    if (i == UINT32_MAX) {  // leaf full: split must go one-sided
+      declined_++;
+      return kAckDeclined;
+    }
+    view.SetLeafEntry(i, key, value);
+  } else {
+    if (!view.SortedLeafInsert(key, value)) {
+      declined_++;
+      return kAckDeclined;
+    }
+    if (o.consistency == TreeOptions::Consistency::kChecksum) {
+      view.UpdateChecksum();
+    } else {
+      view.BumpNodeVersions();
+    }
+  }
+  served_++;
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoLookup(Key key, uint64_t token) {
+  const rdma::GlobalAddress leaf = FindLeaf(key);
+  if (leaf.is_null()) {
+    declined_++;
+    return kAckDeclined;
+  }
+  const TreeOptions& o = system_->options();
+  NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+  served_++;
+
+  uint32_t i = UINT32_MAX;
+  if (o.two_level_versions) {
+    i = view.FindLeafSlot(key).match;
+  } else {
+    i = view.SortedLeafFind(key);
+  }
+  if (i == UINT32_MAX) return kAckNotFound;
+  lookup_out_[token] = view.LeafValue(i);
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoDelete(Key key) {
+  const rdma::GlobalAddress leaf = FindLeaf(key);
+  if (leaf.is_null() || NodeLocked(leaf)) {
+    declined_++;
+    return kAckDeclined;
+  }
+  const TreeOptions& o = system_->options();
+  NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+
+  if (o.two_level_versions) {
+    const NodeView::SlotResult slot = view.FindLeafSlot(key);
+    if (slot.match == UINT32_MAX) {
+      served_++;
+      return kAckNotFound;
+    }
+    view.SetLeafEntry(slot.match, kNullKey, 0);
+  } else {
+    if (!view.SortedLeafRemove(key)) {
+      served_++;
+      return kAckNotFound;
+    }
+    if (o.consistency == TreeOptions::Consistency::kChecksum) {
+      view.UpdateChecksum();
+    } else {
+      view.BumpNodeVersions();
+    }
+  }
+  served_++;
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoScan(int ms, Key from, uint32_t count,
+                                uint64_t token) {
+  rdma::GlobalAddress addr = FindLeaf(from);
+  if (addr.is_null() || count == 0) {
+    declined_++;
+    return kAckDeclined;
+  }
+  const TreeOptions& o = system_->options();
+  rdma::Fabric& fabric = system_->fabric();
+  std::vector<std::pair<Key, uint64_t>>& out = scan_out_[token];
+  out.clear();
+
+  uint32_t leaves = 0;
+  bool end_of_tree = false;
+  bool anomaly = false;
+  while (!addr.is_null() && out.size() < count && leaves < kMaxScanLeaves) {
+    NodeView view(fabric.HostRaw(addr), &o.shape);
+    if (view.is_free() || !view.is_leaf()) {
+      anomaly = true;
+      break;
+    }
+    leaves++;
+    std::vector<std::pair<Key, uint64_t>> got;
+    if (o.two_level_versions) {
+      const uint32_t cap = o.shape.leaf_capacity();
+      for (uint32_t i = 0; i < cap; i++) {
+        const Key k = view.LeafKey(i);
+        if (k != kNullKey && k >= from) got.emplace_back(k, view.LeafValue(i));
+      }
+    } else {
+      const uint32_t n = view.count();
+      for (uint32_t i = 0; i < n; i++) {
+        const Key k = view.LeafKey(i);
+        if (k >= from) got.emplace_back(k, view.LeafValue(i));
+      }
+    }
+    std::sort(got.begin(), got.end());
+    for (const auto& kv : got) {
+      if (out.size() >= count) break;
+      out.push_back(kv);
+    }
+    if (view.hi_fence() == kMaxKey) {
+      end_of_tree = true;
+      break;
+    }
+    addr = view.sibling();
+    if (addr.is_null()) {
+      end_of_tree = true;
+      break;
+    }
+  }
+  if (out.size() > count) out.resize(count);
+
+  // Walking extra leaves costs the wimpy core more than one service slot;
+  // charge half a slot per additional leaf so hot scans show up in the
+  // FIFO backlog the router watches.
+  if (leaves > 1) {
+    fabric.ms(ms).ChargeMemoryThread(
+        (leaves - 1) * fabric.config().rpc_service_ns / 2);
+  }
+
+  // A partial result that is not genuine end-of-data (leaf-budget cap hit,
+  // structural anomaly) must decline so the caller retries one-sided —
+  // otherwise the same query would return different result sets depending
+  // on the router's current assignment.
+  if (out.size() < count && (anomaly || !end_of_tree)) {
+    scan_out_.erase(token);
+    declined_++;
+    return kAckDeclined;
+  }
+  served_++;
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::TakeLookupResult(uint64_t token) {
+  auto it = lookup_out_.find(token);
+  SHERMAN_CHECK(it != lookup_out_.end());
+  const uint64_t v = it->second;
+  lookup_out_.erase(it);
+  return v;
+}
+
+std::vector<std::pair<Key, uint64_t>> TreeRpcService::TakeScanResult(
+    uint64_t token) {
+  std::vector<std::pair<Key, uint64_t>> out;
+  auto it = scan_out_.find(token);
+  if (it != scan_out_.end()) {
+    out = std::move(it->second);
+    scan_out_.erase(it);
+  }
+  return out;
+}
+
+// --- client stub -----------------------------------------------------------
+
+sim::Task<Status> TreeRpcClient::Insert(uint16_t ms, Key key, uint64_t value,
+                                        OpStats* stats) {
+  SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpInsert, key, value);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side insert declined");
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::Lookup(uint16_t ms, Key key, uint64_t* value,
+                                        OpStats* stats) {
+  SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
+  const uint64_t token = service_->NewToken();
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpLookup, key, token);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side lookup declined");
+  }
+  if (r == TreeRpcService::kAckNotFound) co_return Status::NotFound();
+  *value = service_->TakeLookupResult(token);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::Delete(uint16_t ms, Key key, OpStats* stats) {
+  SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpDelete, key, 0);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side delete declined");
+  }
+  co_return r == TreeRpcService::kAckOk ? Status::OK() : Status::NotFound();
+}
+
+sim::Task<Status> TreeRpcClient::RangeQuery(
+    uint16_t ms, Key from, uint32_t count,
+    std::vector<std::pair<Key, uint64_t>>* out, OpStats* stats) {
+  SHERMAN_CHECK(from != kNullKey && from != kMaxKey);
+  out->clear();
+  if (count == 0) co_return Status::OK();
+  if (count >= (1u << 16)) {
+    // The scan RPC packs the count into 16 bits; a scan this large would
+    // blow the MS-side leaf budget anyway. Serve it one-sided.
+    co_return Status::Retry("scan too large for ms-side execution");
+  }
+  const uint64_t token = service_->NewToken();
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpScan, from, (token << 16) | count);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side scan declined");
+  }
+  *out = service_->TakeScanResult(token);
+  co_return Status::OK();
+}
+
+}  // namespace sherman::route

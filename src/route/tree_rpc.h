@@ -1,0 +1,118 @@
+// TreeRpcService: near-memory execution of Sherman tree operations.
+//
+// The hybrid router's offload path does NOT keep a second index: it ships
+// the *operation* to a memory server's wimpy memory thread, which executes
+// it directly against the same B-link tree in MS host memory. One RPC
+// round trip replaces the one-sided path's 2-4 cache-miss round trips — at
+// the price of the memory thread's FIFO service-time ceiling (the trade
+// FlexKV exploits; cold / read-mostly shards win, hot shards lose).
+//
+// Consistency with concurrent one-sided clients:
+//  - The simulator is discrete-event, so a handler executes atomically at
+//    one instant; readers on either path always observe a consistent node.
+//  - One-sided writers hold the HOCL global lock from before they read a
+//    leaf until their write-back is applied. The executor therefore checks
+//    the node's global lock lane before mutating and DECLINES if it is
+//    held; a mutation that lands while the lane is free is ordered either
+//    before the one-sided writer's lock CAS (and thus observed by its
+//    subsequent read) or after its release. Declined ops fall back to the
+//    one-sided path at the caller.
+//  - Structural changes (leaf splits) are never performed MS-side; a full
+//    leaf also DECLINES to the one-sided path.
+//
+// Opcode space 200+ chains on top of whatever handler the MS already has
+// (chunk-allocation RPCs), so the service coexists with ShermanSystem.
+#ifndef SHERMAN_ROUTE_TREE_RPC_H_
+#define SHERMAN_ROUTE_TREE_RPC_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/btree.h"
+#include "core/stats.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace sherman::route {
+
+class TreeRpcService {
+ public:
+  static constexpr uint64_t kOpInsert = 200;
+  static constexpr uint64_t kOpLookup = 201;
+  static constexpr uint64_t kOpDelete = 202;
+  static constexpr uint64_t kOpScan = 203;
+
+  // Response words for write ops; lookups/scans return found counts and
+  // stage values out-of-band under a token (the sim's RPC messages are
+  // fixed-size, matching rdma::Qp).
+  static constexpr uint64_t kAckNotFound = 0;
+  static constexpr uint64_t kAckOk = 1;
+  static constexpr uint64_t kAckDeclined = ~0ull;
+
+  // Installs handlers on every MS of the system's fabric, chaining to the
+  // previously installed handler for foreign opcodes.
+  explicit TreeRpcService(ShermanSystem* system);
+
+  TreeRpcService(const TreeRpcService&) = delete;
+  TreeRpcService& operator=(const TreeRpcService&) = delete;
+
+  ShermanSystem* system() { return system_; }
+
+  uint64_t NewToken() { return next_token_++; }
+  // Fetches and erases the staged result for `token`. Lookup results are
+  // (found, value); scan results are key-ordered pairs.
+  uint64_t TakeLookupResult(uint64_t token);
+  std::vector<std::pair<Key, uint64_t>> TakeScanResult(uint64_t token);
+
+  uint64_t served() const { return served_; }
+  uint64_t declined() const { return declined_; }
+
+ private:
+  uint64_t Handle(int ms, uint64_t opcode, uint64_t a, uint64_t b);
+
+  // Descends from the root to the leaf covering `key` through raw host
+  // memory. Returns null on any structural anomaly (caller declines).
+  rdma::GlobalAddress FindLeaf(Key key) const;
+  // Is the HOCL global lock lane guarding `addr` currently held?
+  bool NodeLocked(rdma::GlobalAddress addr) const;
+
+  uint64_t DoInsert(Key key, uint64_t value);
+  uint64_t DoLookup(Key key, uint64_t token);
+  uint64_t DoDelete(Key key);
+  uint64_t DoScan(int ms, Key from, uint32_t count, uint64_t token);
+
+  ShermanSystem* system_;
+  std::map<uint64_t, uint64_t> lookup_out_;
+  std::map<uint64_t, std::vector<std::pair<Key, uint64_t>>> scan_out_;
+  uint64_t next_token_ = 1;
+  uint64_t served_ = 0;
+  uint64_t declined_ = 0;
+};
+
+// Per-compute-server client stub for TreeRpcService. The caller names the
+// target MS (the shard's home, per the router's DEX-style pinning); a Retry
+// status means the MS declined and the op must be retried one-sided.
+class TreeRpcClient {
+ public:
+  TreeRpcClient(TreeRpcService* service, int cs_id)
+      : service_(service), cs_id_(cs_id) {}
+
+  sim::Task<Status> Insert(uint16_t ms, Key key, uint64_t value,
+                           OpStats* stats);
+  sim::Task<Status> Lookup(uint16_t ms, Key key, uint64_t* value,
+                           OpStats* stats);
+  sim::Task<Status> Delete(uint16_t ms, Key key, OpStats* stats);
+  sim::Task<Status> RangeQuery(uint16_t ms, Key from, uint32_t count,
+                               std::vector<std::pair<Key, uint64_t>>* out,
+                               OpStats* stats);
+
+ private:
+  TreeRpcService* service_;
+  int cs_id_;
+};
+
+}  // namespace sherman::route
+
+#endif  // SHERMAN_ROUTE_TREE_RPC_H_

@@ -1,5 +1,7 @@
 #include "workload/workload.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace sherman {
@@ -19,8 +21,19 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options,
 }
 
 uint64_t WorkloadGenerator::NextRank() {
-  if (zipf_ != nullptr) return zipf_->Next(rng_);
-  return rng_.Uniform(options_.loaded_keys);
+  uint64_t rank =
+      zipf_ != nullptr ? zipf_->Next(rng_) : rng_.Uniform(options_.loaded_keys);
+  if (options_.hotspot_drift_ops > 0) {
+    if (++ops_since_drift_ >= options_.hotspot_drift_ops) {
+      ops_since_drift_ = 0;
+      const uint64_t step = options_.hotspot_drift_step > 0
+                                ? options_.hotspot_drift_step
+                                : std::max<uint64_t>(1, options_.loaded_keys / 8);
+      drift_offset_ = (drift_offset_ + step) % options_.loaded_keys;
+    }
+    rank = (rank + drift_offset_) % options_.loaded_keys;
+  }
+  return rank;
 }
 
 Op WorkloadGenerator::Next() {
@@ -65,6 +78,15 @@ bool ParseMix(const std::string& name, WorkloadMix* mix) {
     return false;
   }
   return true;
+}
+
+bool ParseMix(const std::string& name, WorkloadOptions* options) {
+  if (name == "hotspot-drift") {
+    options->mix = WorkloadMix::WriteIntensive();
+    if (options->hotspot_drift_ops == 0) options->hotspot_drift_ops = 400;
+    return true;
+  }
+  return ParseMix(name, &options->mix);
 }
 
 }  // namespace sherman

@@ -40,6 +40,14 @@ struct WorkloadOptions {
   double zipf_theta = 0;
   uint32_t range_size = 100;
   double update_fraction = 2.0 / 3.0;
+
+  // Hotspot drift: every `hotspot_drift_ops` operations the popularity
+  // mapping rotates by `hotspot_drift_step` ranks, moving the Zipfian hot
+  // set to a different region of the key space (0 = static hot set). This
+  // exercises epoch re-adaptation in the hybrid router: shards that were
+  // hot go cold and vice versa.
+  uint64_t hotspot_drift_ops = 0;
+  uint64_t hotspot_drift_step = 0;  // 0 => loaded_keys / 8
 };
 
 struct Op {
@@ -61,6 +69,9 @@ class WorkloadGenerator {
 
   const WorkloadOptions& options() const { return options_; }
 
+  // Current rotation of the popularity mapping (see hotspot_drift_ops).
+  uint64_t drift_offset() const { return drift_offset_; }
+
  private:
   uint64_t NextRank();
 
@@ -68,11 +79,20 @@ class WorkloadGenerator {
   Random rng_;
   std::unique_ptr<ScrambledZipfianGenerator> zipf_;  // null => uniform
   uint64_t value_counter_;
+  uint64_t drift_offset_ = 0;
+  uint64_t ops_since_drift_ = 0;
 };
 
 // Parses the mix names used by bench binaries ("write-only",
 // "write-intensive", "read-intensive", "range-only", "range-write").
 bool ParseMix(const std::string& name, WorkloadMix* mix);
+
+// Same, writing into full WorkloadOptions; additionally accepts
+// "hotspot-drift" (write-intensive mix with a rotating Zipfian hot set,
+// enabling hotspot_drift_ops if unset). The mix-only overload rejects
+// that name on purpose: a caller that cannot apply the drift options
+// would silently run a mislabeled static workload.
+bool ParseMix(const std::string& name, WorkloadOptions* options);
 
 }  // namespace sherman
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "workload/workload.h"
 
@@ -116,7 +117,57 @@ TEST(WorkloadTest, ParseMixNames) {
   EXPECT_DOUBLE_EQ(m.range, 1.0);
   EXPECT_TRUE(ParseMix("range-write", &m));
   EXPECT_DOUBLE_EQ(m.range, 0.5);
+  // The mix-only overload rejects "hotspot-drift" (it cannot carry the
+  // drift options); the WorkloadOptions overload accepts and enables it.
+  EXPECT_FALSE(ParseMix("hotspot-drift", &m));
+  WorkloadOptions o;
+  EXPECT_TRUE(ParseMix("hotspot-drift", &o));
+  EXPECT_DOUBLE_EQ(o.mix.insert, 0.5);
+  EXPECT_GT(o.hotspot_drift_ops, 0u);
   EXPECT_FALSE(ParseMix("nonsense", &m));
+}
+
+TEST(WorkloadTest, HotspotDriftRotatesTheHotSet) {
+  WorkloadOptions opt = Opt(WorkloadMix::WriteIntensive());
+  opt.loaded_keys = 10'000;
+  opt.zipf_theta = 0.99;
+  opt.hotspot_drift_ops = 1'000;
+  opt.hotspot_drift_step = 2'500;  // quarter-universe rotation
+
+  WorkloadGenerator gen(opt, 7);
+  // The hottest key of each 1000-op window moves as the offset rotates.
+  std::set<uint64_t> window_top_keys;
+  for (int w = 0; w < 4; w++) {
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 1'000; i++) counts[gen.Next().key]++;
+    uint64_t top = 0;
+    int top_count = 0;
+    for (const auto& [k, c] : counts) {
+      if (c > top_count) {
+        top = k;
+        top_count = c;
+      }
+    }
+    window_top_keys.insert(top);
+  }
+  // Four windows, four distinct rotations of the hot set.
+  EXPECT_GE(window_top_keys.size(), 3u);
+
+  // Drift stays within the loaded-rank universe, and the offset advances
+  // by exactly one step per K ops (mid-cycle check: 1500 ops = 1 step).
+  WorkloadGenerator gen2(opt, 8);
+  for (int i = 0; i < 1'500; i++) {
+    const Op op = gen2.Next();
+    EXPECT_LE(op.key, 2 * opt.loaded_keys + 1);
+    EXPECT_GE(op.key, 2u);
+  }
+  EXPECT_EQ(gen2.drift_offset(), 2'500u);
+
+  // Disabled drift is the identity: same seed, same stream.
+  WorkloadOptions no_drift = opt;
+  no_drift.hotspot_drift_ops = 0;
+  WorkloadGenerator a(no_drift, 9), b(no_drift, 9);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next().key, b.Next().key);
 }
 
 }  // namespace
