@@ -24,10 +24,85 @@ struct RunContext {
 // (TreeClient, route::HybridClient, ...).
 template <typename Client>
 sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
-                           WorkloadGenerator gen, RunContext* ctx) {
+                           WorkloadGenerator gen, int pipeline_depth,
+                           RunContext* ctx) {
   std::vector<std::pair<Key, uint64_t>> range_buf;
 
   while (!ctx->stop) {
+    if (pipeline_depth > 1) {
+      // Pipelined wave: draw `depth` ops, batch lookups and inserts, run
+      // the leftovers singleton. Per-op latency = wave elapsed.
+      std::vector<Key> get_keys;
+      std::vector<std::pair<Key, uint64_t>> ins_kvs;
+      std::vector<Op> rest;
+      for (int i = 0; i < pipeline_depth; i++) {
+        const Op op = gen.Next();
+        switch (op.type) {
+          case OpType::kLookup:
+            get_keys.push_back(op.key);
+            break;
+          case OpType::kInsert:
+            ins_kvs.emplace_back(op.key, op.value);
+            break;
+          default:
+            rest.push_back(op);
+            break;
+        }
+      }
+      if (!get_keys.empty()) {
+        OpStats batch_stats;
+        std::vector<MultiGetResult> res;
+        const sim::SimTime start = sim->now();
+        Status st = co_await client->MultiGet(get_keys, &res, &batch_stats);
+        SHERMAN_CHECK_MSG(st.ok(), "multi-get failed: %s",
+                          st.ToString().c_str());
+        if (ctx->measuring) {
+          const sim::SimTime elapsed = sim->now() - start;
+          for (size_t i = 0; i < get_keys.size(); i++) {
+            AccumulateOp(&ctx->stats, i == 0 ? batch_stats : OpStats{},
+                         elapsed, /*is_write=*/false, /*is_read=*/true);
+          }
+        }
+      }
+      if (!ins_kvs.empty()) {
+        OpStats batch_stats;
+        const size_t ins_n = ins_kvs.size();
+        const sim::SimTime start = sim->now();
+        Status st = co_await client->MultiInsert(std::move(ins_kvs),
+                                                 &batch_stats);
+        SHERMAN_CHECK_MSG(st.ok(), "multi-insert failed: %s",
+                          st.ToString().c_str());
+        if (ctx->measuring) {
+          const sim::SimTime elapsed = sim->now() - start;
+          for (size_t i = 0; i < ins_n; i++) {
+            AccumulateOp(&ctx->stats, i == 0 ? batch_stats : OpStats{},
+                         elapsed, /*is_write=*/true, /*is_read=*/false);
+          }
+        }
+      }
+      for (const Op& op : rest) {
+        OpStats op_stats;
+        const sim::SimTime start = sim->now();
+        bool is_write = false;
+        if (op.type == OpType::kRangeQuery) {
+          Status st = co_await client->RangeQuery(op.key, op.range_size,
+                                                  &range_buf, &op_stats);
+          SHERMAN_CHECK_MSG(st.ok(), "range failed: %s",
+                            st.ToString().c_str());
+        } else {
+          is_write = true;
+          Status st = co_await client->Delete(op.key, &op_stats);
+          SHERMAN_CHECK_MSG(st.ok() || st.IsNotFound(), "delete failed: %s",
+                            st.ToString().c_str());
+        }
+        if (ctx->measuring) {
+          AccumulateOp(&ctx->stats, op_stats, sim->now() - start, is_write,
+                       /*is_read=*/false);
+        }
+      }
+      continue;
+    }
+
     const Op op = gen.Next();
     OpStats op_stats;
     const sim::SimTime start = sim->now();
@@ -94,12 +169,11 @@ RunResult RunWorkloadImpl(ShermanSystem* sherman, GetClient get_client,
 
   for (int cs = 0; cs < sherman->num_clients(); cs++) {
     for (int t = 0; t < options.threads_per_cs; t++) {
-      const uint64_t seed =
-          options.seed * 0x9e3779b9u + static_cast<uint64_t>(cs) * 1000 + t;
+      const uint64_t seed = ClientSeed(options.seed, cs, t);
       ctx->live_clients++;
       sim::Spawn(ClientLoop(get_client(cs), &sim,
                             WorkloadGenerator(options.workload, seed),
-                            ctx.get()));
+                            options.pipeline_depth, ctx.get()));
     }
   }
 
@@ -148,6 +222,13 @@ RunResult RunWorkloadImpl(ShermanSystem* sherman, GetClient get_client,
 }
 
 }  // namespace
+
+uint64_t ClientSeed(uint64_t seed, int cs, int t) {
+  uint64_t h = SplitMix64(seed);
+  h = SplitMix64(h ^ static_cast<uint64_t>(cs));
+  h = SplitMix64(h ^ static_cast<uint64_t>(t));
+  return h;
+}
 
 std::vector<std::pair<Key, uint64_t>> MakeLoadKvs(uint64_t n) {
   std::vector<std::pair<Key, uint64_t>> kvs;

@@ -25,6 +25,13 @@ struct RunnerOptions {
   sim::SimTime warmup_ns = 2'000'000;    // 2 ms simulated warmup
   sim::SimTime measure_ns = 20'000'000;  // 20 ms simulated measurement
   uint64_t seed = 42;
+  // Ops each client keeps in flight per wave: 1 = op-at-a-time (the
+  // original closed loop); > 1 draws `pipeline_depth` ops, batches the
+  // lookups into one MultiGet and the inserts into one MultiInsert
+  // (range/delete ops stay singleton), and issues the batches
+  // doorbell-pipelined. Per-op latency is recorded as the wave elapsed
+  // time — what a caller of the batch API actually observes.
+  int pipeline_depth = 1;
 };
 
 struct RunResult {
@@ -54,6 +61,12 @@ RunResult RunWorkload(HybridSystem* system, const RunnerOptions& options);
 // Convenience: the bulkload key/value vector for `n` loaded keys (the even
 // keys the workload generator targets), values derived from keys.
 std::vector<std::pair<Key, uint64_t>> MakeLoadKvs(uint64_t n);
+
+// Per-client workload seed: a SplitMix64 chain over (seed, cs, t). The
+// previous `seed * 0x9e3779b9u + cs * 1000 + t` truncated the multiplier
+// to 32 bits and collided whenever threads_per_cs >= 1000 (cs*1000 + t is
+// not injective), silently running duplicate workload streams at scale.
+uint64_t ClientSeed(uint64_t seed, int cs, int t);
 
 }  // namespace sherman::bench
 

@@ -8,7 +8,17 @@ namespace sherman {
 
 IndexCache::IndexCache(uint64_t capacity_bytes, uint32_t node_bytes,
                        uint64_t seed)
-    : capacity_bytes_(capacity_bytes), node_bytes_(node_bytes), rng_(seed) {}
+    : capacity_bytes_(capacity_bytes),
+      // A healthy tree has few level>=2 nodes, but stale entries pile up
+      // across splits/root moves; give them a bounded side budget instead
+      // of the historical "never charged, never evicted".
+      upper_capacity_bytes_(
+          capacity_bytes == 0
+              ? 0
+              : std::max<uint64_t>(capacity_bytes / 4,
+                                   16ull * node_bytes)),
+      node_bytes_(node_bytes),
+      rng_(seed) {}
 
 IndexCache::~IndexCache() = default;
 
@@ -29,7 +39,15 @@ const ParsedInternal* IndexCache::LookupLevel1(Key key) {
 
 void IndexCache::Insert(const ParsedInternal& node) {
   if (node.level != 1) {
-    upper_[node.level][node.lo] = node;
+    std::map<Key, UpperEntry>& nodes = upper_[node.level];
+    auto [it, inserted] = nodes.try_emplace(node.lo);
+    it->second.node = node;
+    it->second.last_used = ++tick_;
+    if (inserted) {
+      upper_count_++;
+      upper_bytes_ += node_bytes_;
+      EvictUpperIfNeeded();
+    }
     return;
   }
   uint64_t found_lo = 0;
@@ -56,8 +74,11 @@ const ParsedInternal* IndexCache::LookupUpper(Key key) {
     auto it = nodes.upper_bound(key);
     if (it == nodes.begin()) continue;
     --it;
-    ParsedInternal& node = it->second;
-    if (key >= node.lo && key < node.hi) return &node;
+    UpperEntry& e = it->second;
+    if (key >= e.node.lo && key < e.node.hi) {
+      e.last_used = ++tick_;
+      return &e.node;
+    }
   }
   return nullptr;
 }
@@ -77,10 +98,12 @@ void IndexCache::Invalidate(Key key, rdma::GlobalAddress addr) {
     auto it = nodes.upper_bound(key);
     if (it == nodes.begin()) continue;
     --it;
-    if (it->second.self == addr && key >= it->second.lo &&
-        key < it->second.hi) {
+    const ParsedInternal& node = it->second.node;
+    if (node.self == addr && key >= node.lo && key < node.hi) {
       stats_.invalidations++;
       nodes.erase(it);
+      upper_count_--;
+      upper_bytes_ -= node_bytes_;
       return;
     }
   }
@@ -101,6 +124,8 @@ void IndexCache::InvalidateLevel1Covering(Key key) {
 void IndexCache::Clear() {
   while (!pool_.empty()) RemoveEntry(pool_.back());
   upper_.clear();
+  upper_count_ = 0;
+  upper_bytes_ = 0;
 }
 
 void IndexCache::RemoveEntry(Entry* entry) {
@@ -113,6 +138,29 @@ void IndexCache::RemoveEntry(Entry* entry) {
   const Key lo = entry->node.lo;
   SHERMAN_CHECK(level1_.Erase(lo));
   bytes_used_ -= node_bytes_;
+}
+
+void IndexCache::EvictUpperIfNeeded() {
+  // The population is small by construction (bounded by the budget), so a
+  // full LRU scan per eviction is fine.
+  while (upper_bytes_ > upper_capacity_bytes_ && upper_count_ > 1) {
+    uint8_t victim_level = 0;
+    Key victim_lo = 0;
+    uint64_t oldest = ~0ull;
+    for (const auto& [level, nodes] : upper_) {
+      for (const auto& [lo, e] : nodes) {
+        if (e.last_used < oldest) {
+          oldest = e.last_used;
+          victim_level = level;
+          victim_lo = lo;
+        }
+      }
+    }
+    upper_[victim_level].erase(victim_lo);
+    upper_count_--;
+    upper_bytes_ -= node_bytes_;
+    stats_.evictions++;
+  }
 }
 
 void IndexCache::EvictIfNeeded() {

@@ -7,9 +7,12 @@
 // recently used. A hit resolves a key directly to a leaf address (one
 // RDMA_READ per operation in the ideal case).
 //
-// Type ② — the highest two levels (including the root) — are always cached
-// (they are refreshed during traversals and never count against capacity;
-// there are only a handful of such nodes).
+// Type ② — the upper levels (level >= 2, including the root) — are cached
+// in per-level ordered maps under a dedicated byte budget (a quarter of the
+// type-① capacity, floored at 16 nodes). A healthy tree has only a handful
+// of such nodes, but stale entries accumulate across splits and root moves,
+// so they are charged and LRU-evicted like any other cached node instead of
+// growing without bound.
 //
 // The cache never causes consistency issues: fetched nodes carry fence keys
 // and level, which the tree validates; on violation the tree calls
@@ -74,9 +77,12 @@ class IndexCache {
   void Clear();
 
   const IndexCacheStats& stats() const { return stats_; }
-  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t bytes_used() const { return bytes_used_ + upper_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   size_t level1_nodes() const { return pool_.size(); }
+  size_t upper_nodes() const { return upper_count_; }
+  uint64_t upper_bytes_used() const { return upper_bytes_; }
+  uint64_t upper_capacity_bytes() const { return upper_capacity_bytes_; }
 
  private:
   struct Entry {
@@ -84,21 +90,29 @@ class IndexCache {
     uint64_t last_used = 0;
     size_t pool_index = 0;  // position in pool_ for O(1) random sampling
   };
+  struct UpperEntry {
+    ParsedInternal node;
+    uint64_t last_used = 0;
+  };
 
   void EvictIfNeeded();
+  void EvictUpperIfNeeded();
   void RemoveEntry(Entry* entry);
 
   uint64_t capacity_bytes_;
+  uint64_t upper_capacity_bytes_;
   uint32_t node_bytes_;
   Random rng_;
   uint64_t tick_ = 0;
   uint64_t bytes_used_ = 0;
+  uint64_t upper_bytes_ = 0;
+  size_t upper_count_ = 0;
 
   SkipList<std::unique_ptr<Entry>> level1_;  // keyed by lo fence
   std::vector<Entry*> pool_;                 // random-sampling mirror
 
-  // Type-② top cache: level -> (lo fence -> node).
-  std::map<uint8_t, std::map<Key, ParsedInternal>> upper_;
+  // Type-② top cache: level -> (lo fence -> entry).
+  std::map<uint8_t, std::map<Key, UpperEntry>> upper_;
 
   IndexCacheStats stats_;
 };

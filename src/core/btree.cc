@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "util/logging.h"
 
@@ -67,10 +68,7 @@ void TreeClient::SealNode(NodeView& view, bool /*structural_change*/) const {
   }
 }
 
-sim::Task<Status> TreeClient::ReadNodeChecked(rdma::GlobalAddress addr,
-                                              uint8_t* buf, OpStats* stats) {
-  const TreeOptions& o = opt();
-  sim::Simulator& sim = system_->fabric_.simulator();
+sim::SimTime TreeClient::WrapGuardNs() const {
   // Wraparound guard threshold: a 4-bit version can only wrap after 16
   // writes, and every write of this node is lock-protected — at minimum a
   // lock CAS round trip plus a full node read before the write-back. A
@@ -85,8 +83,15 @@ sim::Task<Status> TreeClient::ReadNodeChecked(rdma::GlobalAddress addr,
   const sim::SimTime node_wire = static_cast<sim::SimTime>(
       node_size() / fcfg.link_bytes_per_ns);
   const sim::SimTime min_write_cycle = 2 * rtt + 2 * node_wire;
-  const sim::SimTime wrap_guard = std::max<sim::SimTime>(
-      o.version_wrap_retry_ns, 16 * 4 * min_write_cycle);
+  return std::max<sim::SimTime>(opt().version_wrap_retry_ns,
+                                16 * 4 * min_write_cycle);
+}
+
+sim::Task<Status> TreeClient::ReadNodeChecked(rdma::GlobalAddress addr,
+                                              uint8_t* buf, OpStats* stats) {
+  const TreeOptions& o = opt();
+  sim::Simulator& sim = system_->fabric_.simulator();
+  const sim::SimTime wrap_guard = WrapGuardNs();
   constexpr uint32_t kMaxWrapRetries = 16;
   uint32_t wrap_retries = 0;
   for (uint32_t i = 0; i < o.max_read_retries; i++) {
@@ -838,6 +843,299 @@ sim::Task<Status> TreeClient::RangeQuery(
     if (done) co_return Status::OK();
   }
   co_return Status::Internal("range restarts exhausted");
+}
+
+// --- Batched operations (MultiGet / MultiInsert) ---------------------------
+
+namespace {
+// Cap on READs per doorbell ring (real NIC postlists are bounded); larger
+// per-MS fetch sets split into multiple rings, still pipelined.
+constexpr size_t kMaxReadBatch = 16;
+}  // namespace
+
+sim::Task<void> TreeClient::PlanLeafInto(Key key, LeafRef* ref, Status* st,
+                                         OpStats* stats,
+                                         sim::CountdownLatch* latch) {
+  StatusOr<LeafRef> r = co_await FindLeafAddr(key, stats);
+  if (r.ok()) {
+    *ref = *r;
+  } else {
+    *st = r.status();
+  }
+  latch->Arrive();
+}
+
+sim::Task<void> TreeClient::PostReadsInto(uint16_t ms_node,
+                                          std::vector<rdma::WorkRequest> wrs,
+                                          OpStats* stats,
+                                          sim::CountdownLatch* latch) {
+  rdma::RdmaResult r = co_await system_->fabric_.qp(cs_id_, ms_node)
+                           .PostReadBatch(std::move(wrs));
+  SHERMAN_CHECK(r.status.ok());
+  if (stats != nullptr) stats->round_trips++;
+  latch->Arrive();
+}
+
+sim::Task<Status> TreeClient::MultiGet(std::vector<Key> keys,
+                                       std::vector<MultiGetResult>* out,
+                                       OpStats* stats) {
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  sim::Simulator& sim = system_->fabric_.simulator();
+  out->assign(keys.size(), MultiGetResult{});
+  if (keys.empty()) co_return Status::OK();
+  for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  co_await sim.Delay(f.cpu_op_overhead_ns);
+
+  // Phase 1 — plan: resolve every DISTINCT key to a leaf address (hot
+  // keys repeat in Zipfian batches; one descent serves all copies). Cache
+  // hits are local; misses traverse, and the traversals run concurrently
+  // so their upper-level READs overlap instead of paying a full descent
+  // each.
+  const size_t n = keys.size();
+  std::map<Key, size_t> plan_of;  // key -> plan slot
+  std::vector<Key> uniq;
+  for (Key k : keys) {
+    auto [it, inserted] = plan_of.try_emplace(k, uniq.size());
+    if (inserted) uniq.push_back(k);
+  }
+  std::vector<LeafRef> refs(uniq.size());
+  std::vector<Status> plan_st(uniq.size(), Status::OK());
+  {
+    sim::CountdownLatch latch(uniq.size());
+    for (size_t j = 0; j < uniq.size(); j++) {
+      sim::Spawn(PlanLeafInto(uniq[j], &refs[j], &plan_st[j], stats, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Phase 2 — fetch: one buffer per distinct leaf, one doorbell-batched
+  // READ list per memory server (chunked at the NIC postlist cap).
+  std::map<uint64_t, size_t> buf_of;  // leaf addr -> buffer index
+  std::vector<rdma::GlobalAddress> leaves;
+  std::vector<size_t> key_buf(n, SIZE_MAX);
+  for (size_t i = 0; i < n; i++) {
+    const size_t j = plan_of[keys[i]];
+    if (!plan_st[j].ok()) continue;
+    const rdma::GlobalAddress addr = refs[j].addr;
+    auto [it, inserted] = buf_of.try_emplace(addr.ToU64(), leaves.size());
+    if (inserted) leaves.push_back(addr);
+    key_buf[i] = it->second;
+  }
+  std::vector<std::vector<uint8_t>> bufs(leaves.size(),
+                                         std::vector<uint8_t>(node_size()));
+  std::map<uint16_t, std::vector<rdma::WorkRequest>> per_ms;
+  for (size_t j = 0; j < leaves.size(); j++) {
+    per_ms[leaves[j].node].push_back(
+        rdma::WorkRequest::Read(leaves[j], bufs[j].data(), node_size()));
+  }
+  std::vector<std::pair<uint16_t, std::vector<rdma::WorkRequest>>> rings;
+  for (auto& [ms, wrs] : per_ms) {
+    for (size_t at = 0; at < wrs.size(); at += kMaxReadBatch) {
+      const size_t end = std::min(at + kMaxReadBatch, wrs.size());
+      rings.emplace_back(ms, std::vector<rdma::WorkRequest>(
+                                 wrs.begin() + at, wrs.begin() + end));
+    }
+  }
+  const sim::SimTime fetch_start = sim.now();
+  if (!rings.empty()) {
+    sim::CountdownLatch latch(rings.size());
+    for (auto& [ms, wrs] : rings) {
+      sim::Spawn(PostReadsInto(ms, std::move(wrs), stats, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // 4-bit wraparound guard (§4.4), batch edition: if the whole fetch took
+  // longer than a full version cycle could, don't trust version-matching
+  // leaves — re-serve through the checked singleton path.
+  const bool slow_fetch =
+      o.consistency == TreeOptions::Consistency::kVersions &&
+      sim.now() - fetch_start > WrapGuardNs();
+
+  // Phase 3 — validate locally; anything stale or torn falls back.
+  std::vector<size_t> retry;
+  for (size_t i = 0; i < n; i++) {
+    if (key_buf[i] == SIZE_MAX) {
+      // Planning failed (e.g. restarts exhausted under churn); the
+      // singleton path retries from scratch with its own bounds.
+      retry.push_back(i);
+      continue;
+    }
+    uint8_t* buf = bufs[key_buf[i]].data();
+    NodeView view(buf, &o.shape);
+    if (slow_fetch || !NodeConsistent(buf)) {
+      if (stats != nullptr) stats->read_retries++;
+      retry.push_back(i);
+      continue;
+    }
+    if (view.is_free() || !view.is_leaf() || !view.InFence(keys[i])) {
+      cache_.InvalidateLevel1Covering(keys[i]);
+      retry.push_back(i);
+      continue;
+    }
+    if (o.two_level_versions) {
+      co_await sim.Delay(f.cpu_leaf_scan_ns);
+      NodeView::SlotResult slot = view.FindLeafSlot(keys[i]);
+      if (slot.match == UINT32_MAX) {
+        (*out)[i].status = Status::NotFound();
+        continue;
+      }
+      if (!view.LeafEntryVersionsMatch(slot.match)) {
+        if (stats != nullptr) stats->read_retries++;
+        retry.push_back(i);
+        continue;
+      }
+      (*out)[i].status = Status::OK();
+      (*out)[i].value = view.LeafValue(slot.match);
+    } else {
+      co_await sim.Delay(f.cpu_node_search_ns);
+      const uint32_t at = view.SortedLeafFind(keys[i]);
+      if (at == UINT32_MAX) {
+        (*out)[i].status = Status::NotFound();
+      } else {
+        (*out)[i].status = Status::OK();
+        (*out)[i].value = view.LeafValue(at);
+      }
+    }
+  }
+
+  // Phase 4 — re-serve the stragglers op-at-a-time (handles splits,
+  // sibling chases, and version churn with the full retry machinery).
+  Status overall = Status::OK();
+  for (size_t i : retry) {
+    uint64_t value = 0;
+    Status st = co_await Lookup(keys[i], &value, stats);
+    if (st.ok()) {
+      (*out)[i].status = Status::OK();
+      (*out)[i].value = value;
+    } else {
+      (*out)[i].status = st;
+      if (!st.IsNotFound() && overall.ok()) overall = st;
+    }
+  }
+  co_return overall;
+}
+
+sim::Task<void> TreeClient::ApplyInsertGroup(
+    rdma::GlobalAddress addr, std::vector<size_t> idxs,
+    const std::vector<std::pair<Key, uint64_t>>* kvs,
+    std::vector<uint8_t>* defer, OpStats* stats, sim::CountdownLatch* latch) {
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  std::vector<uint8_t> buf(node_size());
+  const Key first_key = (*kvs)[idxs[0]].first;
+  StatusOr<Locked> locked_r =
+      co_await LockAndRead(addr, first_key, buf.data(), stats);
+  if (!locked_r.ok()) {
+    for (size_t idx : idxs) (*defer)[idx] = 1;
+    latch->Arrive();
+    co_return;
+  }
+  Locked locked = *locked_r;
+  NodeView view(buf.data(), &o.shape);
+
+  std::vector<rdma::WorkRequest> wrs;
+  bool whole_node = false;
+  for (size_t idx : idxs) {
+    const Key key = (*kvs)[idx].first;
+    const uint64_t value = (*kvs)[idx].second;
+    if (!view.InFence(key)) {  // sibling chase moved us off this key
+      (*defer)[idx] = 1;
+      continue;
+    }
+    if (o.two_level_versions) {
+      co_await system_->fabric_.simulator().Delay(f.cpu_leaf_scan_ns);
+      NodeView::SlotResult slot = view.FindLeafSlot(key);
+      const uint32_t i = slot.match != UINT32_MAX ? slot.match : slot.empty;
+      if (i == UINT32_MAX) {  // full: the split goes through Insert()
+        (*defer)[idx] = 1;
+        continue;
+      }
+      view.SetLeafEntry(i, key, value);
+      const uint32_t off = view.LeafEntryOffset(i);
+      const uint32_t entry_size = o.shape.leaf_entry_size();
+      if (stats != nullptr) stats->bytes_written += entry_size;
+      wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(off),
+                                             buf.data() + off, entry_size));
+    } else {
+      co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+      if (!view.SortedLeafInsert(key, value)) {
+        (*defer)[idx] = 1;
+        continue;
+      }
+      whole_node = true;
+    }
+  }
+  if (whole_node) {
+    SealNode(view, /*structural_change=*/false);
+    if (stats != nullptr) stats->bytes_written += node_size();
+    wrs.clear();
+    wrs.push_back(
+        rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+  }
+  co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                        stats);
+  latch->Arrive();
+}
+
+sim::Task<Status> TreeClient::MultiInsert(
+    std::vector<std::pair<Key, uint64_t>> kvs, OpStats* stats) {
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  if (kvs.empty()) co_return Status::OK();
+  for (const auto& [k, v] : kvs) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
+
+  // Phase 1 — plan leaves concurrently, one descent per DISTINCT key
+  // (same as MultiGet).
+  const size_t n = kvs.size();
+  std::map<Key, size_t> plan_of;  // key -> plan slot
+  std::vector<Key> uniq;
+  for (const auto& [k, v] : kvs) {
+    auto [it, inserted] = plan_of.try_emplace(k, uniq.size());
+    if (inserted) uniq.push_back(k);
+  }
+  std::vector<LeafRef> refs(uniq.size());
+  std::vector<Status> plan_st(uniq.size(), Status::OK());
+  {
+    sim::CountdownLatch latch(uniq.size());
+    for (size_t j = 0; j < uniq.size(); j++) {
+      sim::Spawn(PlanLeafInto(uniq[j], &refs[j], &plan_st[j], stats, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Phase 2 — group by target leaf and apply each group under one lock,
+  // groups in parallel. Within a group the entry write-backs and the lock
+  // release combine into a single doorbell batch.
+  std::vector<uint8_t> defer(n, 0);
+  std::map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; i++) {
+    const size_t j = plan_of[kvs[i].first];
+    if (plan_st[j].ok()) {
+      groups[refs[j].addr.ToU64()].push_back(i);
+    } else {
+      defer[i] = 1;
+    }
+  }
+  if (!groups.empty()) {
+    sim::CountdownLatch latch(groups.size());
+    for (auto& [addr_u64, idxs] : groups) {
+      sim::Spawn(ApplyInsertGroup(rdma::GlobalAddress::FromU64(addr_u64),
+                                  std::move(idxs), &kvs, &defer, stats,
+                                  &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Phase 3 — deferred keys (splits, fence moves, plan failures) go
+  // through the full op-at-a-time insert.
+  for (size_t i = 0; i < n; i++) {
+    if (!defer[i]) continue;
+    Status st = co_await Insert(kvs[i].first, kvs[i].second, stats);
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

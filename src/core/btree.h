@@ -106,6 +106,27 @@ class TreeClient {
                                std::vector<std::pair<Key, uint64_t>>* out,
                                OpStats* stats = nullptr);
 
+  // Batched point lookups (doorbell batching §4.5 applied to independent
+  // ops): plans every key to its leaf through the index cache — cache-
+  // missing keys traverse concurrently, overlapping their descents — then
+  // fetches all distinct target leaves with one doorbell-batched READ list
+  // per memory server, validates each leaf locally, and re-serves any key
+  // whose leaf failed validation (stale plan, torn read, concurrent split)
+  // via the op-at-a-time path. out->at(i) answers keys[i]; per-key status
+  // is OK or NotFound. Returns the first hard error, else OK.
+  sim::Task<Status> MultiGet(std::vector<Key> keys,
+                             std::vector<MultiGetResult>* out,
+                             OpStats* stats = nullptr);
+
+  // Batched inserts/updates: plans leaves like MultiGet, groups keys by
+  // target leaf, and applies each group under a single lock acquisition
+  // with the entry write-backs and the lock release combined into one
+  // doorbell batch. Keys the planned leaf cannot serve (split needed,
+  // fence moved) fall back to Insert(). Groups for distinct leaves
+  // proceed concurrently, pipelining their lock/read/write round trips.
+  sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
+                                OpStats* stats = nullptr);
+
   int cs_id() const { return cs_id_; }
   IndexCache& cache() { return cache_; }
   HoclClient& hocl() { return hocl_; }
@@ -134,6 +155,11 @@ class TreeClient {
   // retries internally (bounded by max_read_retries).
   sim::Task<Status> ReadNodeChecked(rdma::GlobalAddress addr, uint8_t* buf,
                                     OpStats* stats);
+  // Threshold for the 4-bit version wraparound guard (§4.4): a read
+  // slower than this could span a full version cycle and must re-read
+  // even with matching versions. Shared by the singleton checked read and
+  // the batched leaf fetch; see the derivation at its definition.
+  sim::SimTime WrapGuardNs() const;
   bool NodeConsistent(const uint8_t* buf) const;
   // Marks a locally staged node consistent for write-back: bumps node
   // versions (kVersions) or recomputes the checksum (kChecksum).
@@ -184,6 +210,24 @@ class TreeClient {
   // Parallel leaf fetch used by range queries.
   sim::Task<void> ReadInto(rdma::GlobalAddress addr, uint8_t* buf,
                            uint32_t len, sim::CountdownLatch* latch);
+
+  // --- batch-op plumbing (MultiGet / MultiInsert) ---
+
+  // Concurrent planning step: resolves `key` to its leaf and stores the
+  // result; always arrives at the latch.
+  sim::Task<void> PlanLeafInto(Key key, LeafRef* ref, Status* st,
+                               OpStats* stats, sim::CountdownLatch* latch);
+  // Posts one doorbell-batched READ list to `ms_node` and arrives.
+  sim::Task<void> PostReadsInto(uint16_t ms_node,
+                                std::vector<rdma::WorkRequest> wrs,
+                                OpStats* stats, sim::CountdownLatch* latch);
+  // Applies one MultiInsert leaf group under a single lock; keys the leaf
+  // cannot serve get their `defer` flag set for the singleton fallback.
+  sim::Task<void> ApplyInsertGroup(rdma::GlobalAddress addr,
+                                   std::vector<size_t> idxs,
+                                   const std::vector<std::pair<Key, uint64_t>>* kvs,
+                                   std::vector<uint8_t>* defer, OpStats* stats,
+                                   sim::CountdownLatch* latch);
 
   ShermanSystem* system_;
   int cs_id_;

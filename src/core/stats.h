@@ -6,8 +6,18 @@
 #include <cstdint>
 
 #include "util/histogram.h"
+#include "util/status.h"
 
 namespace sherman {
+
+// Per-key outcome of a batched MultiGet: OK (value filled), NotFound, or —
+// transiently, inside the batch machinery — Retry for keys that must be
+// re-served elsewhere (stale plan, torn leaf, MS-side decline). Public APIs
+// resolve every Retry before returning.
+struct MultiGetResult {
+  Status status = Status::NotFound();
+  uint64_t value = 0;
+};
 
 // Reset at the start of each index operation; filled in by the tree, the
 // lock client, and the cache as the operation executes.

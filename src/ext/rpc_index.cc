@@ -24,7 +24,7 @@ RpcIndex::RpcIndex(rdma::Fabric* fabric) : fabric_(fabric) {
     // allocation RPCs) so the index can coexist with a ShermanSystem on
     // the same fabric.
     fabric->ms(ms).ChainRpcHandler(
-        kOpPut, kOpScan,
+        kOpPut, kOpMultiPut,
         [this, ms](uint64_t opcode, uint64_t arg, uint64_t arg2, uint16_t) {
           return HandleRpc(ms, opcode, arg, arg2);
         });
@@ -73,6 +73,41 @@ uint64_t RpcIndex::HandleRpc(int ms, uint64_t opcode, uint64_t key,
         out.emplace_back(it->first, it->second);
       }
       return got;
+    }
+    case kOpMultiGet: {
+      // key = token; the caller staged the key list under it. One RPC slot
+      // covers the first key; each additional map probe costs the wimpy
+      // core a quarter slot, charged so batches show up in the FIFO
+      // backlog without erasing the coalescing win.
+      const auto in = mget_in_.find(key);
+      SHERMAN_CHECK(in != mget_in_.end());
+      std::vector<uint64_t>& out = mget_out_[key];
+      uint64_t found = 0;
+      for (uint64_t k : in->second) {
+        auto it = shard.find(k);
+        out.push_back(it == shard.end() ? 0 : it->second);
+        if (it != shard.end()) found++;
+      }
+      if (in->second.size() > 1) {
+        fabric_->ms(ms).ChargeMemoryThread(
+            static_cast<sim::SimTime>(in->second.size() - 1) *
+            fabric_->config().rpc_service_ns / 4);
+      }
+      mget_in_.erase(in);
+      return found;
+    }
+    case kOpMultiPut: {
+      const auto in = mput_in_.find(key);
+      SHERMAN_CHECK(in != mput_in_.end());
+      for (const auto& [k, v] : in->second) shard[k] = v;
+      const uint64_t n = in->second.size();
+      if (n > 1) {
+        fabric_->ms(ms).ChargeMemoryThread(
+            static_cast<sim::SimTime>(n - 1) *
+            fabric_->config().rpc_service_ns / 4);
+      }
+      mput_in_.erase(in);
+      return n;
     }
     default:
       SHERMAN_CHECK_MSG(false, "unknown RpcIndex opcode %llu",
@@ -144,6 +179,79 @@ sim::Task<Status> RpcIndexClient::Scan(
     std::sort(out->begin(), out->end());
     if (out->size() > count) out->resize(count);
   }
+  co_return Status::OK();
+}
+
+sim::Task<void> RpcIndexClient::MultiGetShard(int ms, uint64_t token,
+                                              std::vector<uint64_t> keys,
+                                              std::vector<size_t> idxs,
+                                              std::vector<MultiGetResult>* out,
+                                              OpStats* stats,
+                                              sim::CountdownLatch* latch) {
+  index_->mget_in_[token] = keys;
+  co_await index_->fabric()->qp(cs_id_, ms).Rpc(RpcIndex::kOpMultiGet, token);
+  if (stats != nullptr) stats->round_trips++;
+  auto it = index_->mget_out_.find(token);
+  SHERMAN_CHECK(it != index_->mget_out_.end() &&
+                it->second.size() == idxs.size());
+  for (size_t j = 0; j < idxs.size(); j++) {
+    const uint64_t v = it->second[j];
+    (*out)[idxs[j]].status = v == 0 ? Status::NotFound() : Status::OK();
+    (*out)[idxs[j]].value = v;
+  }
+  index_->mget_out_.erase(it);
+  latch->Arrive();
+}
+
+sim::Task<Status> RpcIndexClient::MultiGet(std::vector<uint64_t> keys,
+                                           std::vector<MultiGetResult>* out,
+                                           OpStats* stats) {
+  out->assign(keys.size(), MultiGetResult{});
+  if (keys.empty()) co_return Status::OK();
+  // One coalesced RPC per shard, all shards asked concurrently.
+  std::map<int, std::pair<std::vector<uint64_t>, std::vector<size_t>>> by_ms;
+  for (size_t i = 0; i < keys.size(); i++) {
+    auto& [ks, idxs] = by_ms[index_->ShardFor(keys[i])];
+    ks.push_back(keys[i]);
+    idxs.push_back(i);
+  }
+  sim::CountdownLatch latch(by_ms.size());
+  for (auto& [ms, group] : by_ms) {
+    sim::Spawn(MultiGetShard(ms, index_->NewScanToken(),
+                             std::move(group.first), std::move(group.second),
+                             out, stats, &latch));
+  }
+  co_await latch.Wait();
+  co_return Status::OK();
+}
+
+sim::Task<void> RpcIndexClient::MultiPutShard(
+    int ms, uint64_t token, std::vector<std::pair<uint64_t, uint64_t>> kvs,
+    OpStats* stats, sim::CountdownLatch* latch) {
+  const uint64_t n = kvs.size();
+  index_->mput_in_[token] = std::move(kvs);
+  const uint64_t r =
+      co_await index_->fabric()->qp(cs_id_, ms).Rpc(RpcIndex::kOpMultiPut,
+                                                    token);
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r == n);
+  latch->Arrive();
+}
+
+sim::Task<Status> RpcIndexClient::MultiPut(
+    std::vector<std::pair<uint64_t, uint64_t>> kvs, OpStats* stats) {
+  if (kvs.empty()) co_return Status::OK();
+  std::map<int, std::vector<std::pair<uint64_t, uint64_t>>> by_ms;
+  for (const auto& [k, v] : kvs) {
+    SHERMAN_CHECK(v != 0);  // 0 is the "absent" sentinel
+    by_ms[index_->ShardFor(k)].emplace_back(k, v);
+  }
+  sim::CountdownLatch latch(by_ms.size());
+  for (auto& [ms, group] : by_ms) {
+    sim::Spawn(MultiPutShard(ms, index_->NewScanToken(), std::move(group),
+                             stats, &latch));
+  }
+  co_await latch.Wait();
   co_return Status::OK();
 }
 

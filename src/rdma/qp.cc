@@ -135,28 +135,7 @@ sim::Task<RdmaResult> Qp::PostBatch(std::vector<WorkRequest> wrs) {
         break;
       }
       case Verb::kRead: {
-        const sim::SimTime dma =
-            wr.space == MemorySpace::kHost
-                ? cfg->pcie_read_ns +
-                      static_cast<sim::SimTime>(wr.length /
-                                                cfg->pcie_bytes_per_ns)
-                : cfg->onchip_access_ns;
-        // PCIe ordering: the read may not pass previously posted writes.
-        const sim::SimTime dma_start =
-            std::max(exec_ready, ms_->LastWriteApply(device_space));
-        exec_done = dma_start + dma;
-        // The DMA occupies [dma_start, exec_done): register an in-flight
-        // read so concurrent writes patch only the unread suffix.
-        auto handle = std::make_shared<uint64_t>(0);
-        uint8_t* dst = static_cast<uint8_t*>(wr.local_buf);
-        const uint64_t off = wr.remote.offset;
-        const uint32_t len = wr.length;
-        const sim::SimTime start = dma_start;
-        const sim::SimTime end = exec_done;
-        sim->At(start, [&region, handle, off, len, dst, start, end] {
-          *handle = region.BeginRead(off, len, dst, start, end);
-        });
-        sim->At(end, [&region, handle] { region.EndRead(*handle); });
+        exec_done = ScheduleReadDma(wr, exec_ready);
         break;
       }
       case Verb::kCas:
@@ -228,6 +207,92 @@ sim::Task<RdmaResult> Qp::PostBatch(std::vector<WorkRequest> wrs) {
   RdmaResult result;
   result.status = Status::OK();
   result.cas_success = cas_success;
+  co_return result;
+}
+
+sim::SimTime Qp::ScheduleReadDma(const WorkRequest& wr,
+                                 sim::SimTime exec_ready) {
+  sim::Simulator* sim = sim_;
+  const FabricConfig* cfg = cfg_;
+  const bool device_space = wr.space == MemorySpace::kDevice;
+  MemoryRegion& region = device_space ? ms_->device() : ms_->host();
+
+  const sim::SimTime dma =
+      wr.space == MemorySpace::kHost
+          ? cfg->pcie_read_ns + static_cast<sim::SimTime>(
+                                    wr.length / cfg->pcie_bytes_per_ns)
+          : cfg->onchip_access_ns;
+  // PCIe ordering: the read may not pass previously posted writes.
+  const sim::SimTime dma_start =
+      std::max(exec_ready, ms_->LastWriteApply(device_space));
+  const sim::SimTime exec_done = dma_start + dma;
+  // The DMA occupies [dma_start, exec_done): register an in-flight
+  // read so concurrent writes patch only the unread suffix.
+  auto handle = std::make_shared<uint64_t>(0);
+  uint8_t* dst = static_cast<uint8_t*>(wr.local_buf);
+  const uint64_t off = wr.remote.offset;
+  const uint32_t len = wr.length;
+  const sim::SimTime start = dma_start;
+  const sim::SimTime end = exec_done;
+  sim->At(start, [&region, handle, off, len, dst, start, end] {
+    *handle = region.BeginRead(off, len, dst, start, end);
+  });
+  sim->At(end, [&region, handle] { region.EndRead(*handle); });
+  return exec_done;
+}
+
+sim::Task<RdmaResult> Qp::PostReadBatch(std::vector<WorkRequest> wrs) {
+  SHERMAN_CHECK(!wrs.empty());
+  counters_.batches++;
+  counters_.wrs += wrs.size();
+
+  sim::Simulator* sim = sim_;
+  const FabricConfig* cfg = cfg_;
+  Nic& cs_nic = cs_->nic();
+  Nic& ms_nic = ms_->nic();
+
+  // Request headers ride the TX engine back to back (one doorbell); each
+  // READ's DMA starts as soon as its own header clears the target RX —
+  // unlike PostBatch there is no execute-after-predecessor chain, the
+  // reads are independent by contract.
+  sim::SimTime tx_prev = sim->now();
+  sim::SimTime resp_prev = 0;
+  sim::SimTime last_resp_done = 0;
+  for (const WorkRequest& wr : wrs) {
+    SHERMAN_CHECK_MSG(wr.verb == Verb::kRead,
+                      "PostReadBatch accepts only READs");
+    SHERMAN_CHECK_MSG(wr.remote.node == ms_->id(),
+                      "WR for MS %u posted on QP to MS %u", wr.remote.node,
+                      ms_->id());
+    counters_.reads++;
+    counters_.read_bytes += wr.length;
+    MemoryRegion& region =
+        wr.space == MemorySpace::kHost ? ms_->host() : ms_->device();
+    SHERMAN_CHECK(wr.remote.offset + wr.length <= region.size());
+
+    const sim::SimTime tx_done = cs_nic.ReserveTx(tx_prev, RequestPayload(wr));
+    tx_prev = tx_done;
+    const sim::SimTime arrive = tx_done + cfg->wire_latency_ns;
+    const sim::SimTime rx_done = ms_nic.ReserveRx(arrive, RequestPayload(wr));
+    const sim::SimTime exec_done = ScheduleReadDma(wr, rx_done);
+
+    // Responses return in posting order on the RC channel.
+    const sim::SimTime resp_ready = std::max(exec_done, resp_prev);
+    const sim::SimTime resp_tx =
+        ms_nic.ReserveTx(resp_ready, ResponsePayload(wr));
+    resp_prev = resp_tx;
+    const sim::SimTime resp_arrive = resp_tx + cfg->wire_latency_ns;
+    last_resp_done = cs_nic.ReserveRx(resp_arrive, ResponsePayload(wr));
+  }
+
+  // One completion, polled after the last response lands.
+  const sim::SimTime completion = last_resp_done + cfg->cq_poll_ns;
+  sim::OneShot done;
+  sim->At(completion, [&done] { done.Fire(); });
+  co_await done;
+
+  RdmaResult result;
+  result.status = Status::OK();
   co_return result;
 }
 

@@ -61,6 +61,15 @@ class Qp {
   // response; Sherman never batches them).
   sim::Task<RdmaResult> PostBatch(std::vector<WorkRequest> wrs);
 
+  // Posts a doorbell-batched list of INDEPENDENT READs (op pipelining):
+  // one doorbell ring, request headers leave the TX engine back to back,
+  // the target executes each READ as soon as its header arrives (no
+  // intra-batch ordering dependency), and the response payloads stream
+  // back in posting order. Only the last WR is signaled, so the whole
+  // batch costs one completed round trip — the wire/DMA legs of all reads
+  // overlap instead of paying a full RTT each.
+  sim::Task<RdmaResult> PostReadBatch(std::vector<WorkRequest> wrs);
+
   // Two-sided RPC to the memory server's memory thread (§4.2.4). Returns the
   // handler's response word.
   sim::Task<uint64_t> Rpc(uint64_t opcode, uint64_t arg, uint64_t arg2 = 0);
@@ -72,6 +81,10 @@ class Qp {
   // Payload bytes carried by the request / response message of a WR.
   static uint32_t RequestPayload(const WorkRequest& wr);
   static uint32_t ResponsePayload(const WorkRequest& wr);
+
+  // Schedules the MS-side DMA of one READ (PCIe ordering vs prior posted
+  // writes, in-flight-read registration) and returns its completion time.
+  sim::SimTime ScheduleReadDma(const WorkRequest& wr, sim::SimTime exec_ready);
 
   ComputeServer* cs_;
   MemoryServer* ms_;

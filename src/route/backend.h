@@ -40,6 +40,34 @@ class IndexBackend {
       Key from, uint32_t count, std::vector<std::pair<Key, uint64_t>>* out,
       OpStats* stats = nullptr) = 0;
 
+  // Batched point lookups; out->at(i) answers keys[i] with OK or NotFound.
+  // The base implementation loops the singleton op; backends with a real
+  // batch path (doorbell-batched leaf fetches, coalesced RPCs) override.
+  virtual sim::Task<Status> MultiGet(std::vector<Key> keys,
+                                     std::vector<MultiGetResult>* out,
+                                     OpStats* stats = nullptr) {
+    out->assign(keys.size(), MultiGetResult{});
+    Status overall = Status::OK();
+    for (size_t i = 0; i < keys.size(); i++) {
+      uint64_t value = 0;
+      Status st = co_await Lookup(keys[i], &value, stats);
+      (*out)[i].status = st;
+      if (st.ok()) (*out)[i].value = value;
+      if (!st.ok() && !st.IsNotFound() && overall.ok()) overall = st;
+    }
+    co_return overall;
+  }
+
+  // Batched inserts/updates; the base implementation loops Insert().
+  virtual sim::Task<Status> MultiInsert(
+      std::vector<std::pair<Key, uint64_t>> kvs, OpStats* stats = nullptr) {
+    for (const auto& [key, value] : kvs) {
+      Status st = co_await Insert(key, value, stats);
+      if (!st.ok()) co_return st;
+    }
+    co_return Status::OK();
+  }
+
   virtual const char* name() const = 0;
 };
 
@@ -62,6 +90,15 @@ class TreeBackend final : public IndexBackend {
                                std::vector<std::pair<Key, uint64_t>>* out,
                                OpStats* stats) override {
     return client_->RangeQuery(from, count, out, stats);
+  }
+  sim::Task<Status> MultiGet(std::vector<Key> keys,
+                             std::vector<MultiGetResult>* out,
+                             OpStats* stats) override {
+    return client_->MultiGet(std::move(keys), out, stats);
+  }
+  sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
+                                OpStats* stats) override {
+    return client_->MultiInsert(std::move(kvs), stats);
   }
   const char* name() const override { return "one-sided"; }
 
@@ -90,6 +127,15 @@ class RpcIndexBackend final : public IndexBackend {
                                std::vector<std::pair<Key, uint64_t>>* out,
                                OpStats* stats) override {
     return client_.Scan(from, count, out, stats);
+  }
+  sim::Task<Status> MultiGet(std::vector<Key> keys,
+                             std::vector<MultiGetResult>* out,
+                             OpStats* stats) override {
+    return client_.MultiGet(std::move(keys), out, stats);
+  }
+  sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
+                                OpStats* stats) override {
+    return client_.MultiPut(std::move(kvs), stats);
   }
   const char* name() const override { return "rpc-index"; }
 

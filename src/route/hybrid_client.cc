@@ -1,21 +1,100 @@
 #include "route/hybrid_client.h"
 
+#include <map>
+
+#include "util/logging.h"
+
 namespace sherman::route {
+
+namespace {
+
+// Detached workers the batch paths fan out to; parameters ride by value in
+// the coroutine frames.
+sim::Task<void> RpcMgetShard(TreeRpcClient* rpc, uint16_t ms,
+                             std::vector<Key> keys,
+                             std::vector<MultiGetResult>* res, OpStats* stats,
+                             sim::CountdownLatch* latch) {
+  Status st = co_await rpc->MultiGet(ms, std::move(keys), res, stats);
+  SHERMAN_CHECK(st.ok());
+  latch->Arrive();
+}
+
+sim::Task<void> OsMget(TreeBackend* tree, std::vector<Key> keys,
+                       std::vector<MultiGetResult>* res, Status* overall,
+                       OpStats* stats, sim::CountdownLatch* latch) {
+  *overall = co_await tree->MultiGet(std::move(keys), res, stats);
+  latch->Arrive();
+}
+
+sim::Task<void> RpcMinsShard(TreeRpcClient* rpc, uint16_t ms,
+                             std::vector<std::pair<Key, uint64_t>> kvs,
+                             std::vector<Status>* per_key, OpStats* stats,
+                             sim::CountdownLatch* latch) {
+  Status st = co_await rpc->MultiInsert(ms, std::move(kvs), per_key, stats);
+  SHERMAN_CHECK(st.ok());
+  latch->Arrive();
+}
+
+sim::Task<void> OsMins(TreeBackend* tree,
+                       std::vector<std::pair<Key, uint64_t>> kvs,
+                       Status* overall, OpStats* stats,
+                       sim::CountdownLatch* latch) {
+  *overall = co_await tree->MultiInsert(std::move(kvs), stats);
+  latch->Arrive();
+}
+
+void FoldStats(const OpStats& local, OpStats* stats) {
+  if (stats == nullptr) return;
+  stats->round_trips += local.round_trips;
+  stats->read_retries += local.read_retries;
+  stats->lock_retries += local.lock_retries;
+  stats->bytes_written += local.bytes_written;
+  stats->used_handover |= local.used_handover;
+  stats->cache_hits += local.cache_hits;
+  stats->cache_misses += local.cache_misses;
+}
+
+}  // namespace
 
 void HybridClient::Finish(int shard, Path path, bool is_write,
                           const OpStats& local, bool fallback,
                           sim::SimTime start, OpStats* stats) {
   tracker_->Record(shard, path, is_write, local, fallback,
                    sim_->now() - start);
-  if (stats != nullptr) {
-    stats->round_trips += local.round_trips;
-    stats->read_retries += local.read_retries;
-    stats->lock_retries += local.lock_retries;
-    stats->bytes_written += local.bytes_written;
-    stats->used_handover |= local.used_handover;
-    stats->cache_hits += local.cache_hits;
-    stats->cache_misses += local.cache_misses;
+  FoldStats(local, stats);
+}
+
+void HybridClient::RecordBatch(const std::vector<SlotView>& slots,
+                               const std::vector<int>& shard_of,
+                               const std::vector<uint8_t>& is_fb,
+                               const std::vector<size_t>& os_idx,
+                               const OpStats& os_local,
+                               const OpStats& fb_local, bool is_write,
+                               uint64_t per_key_ns, OpStats* stats) {
+  bool first_fb = true;
+  for (const SlotView& slot : slots) {
+    bool first = true;
+    for (size_t i : *slot.idxs) {
+      OpStats local;
+      if (first) FoldStats(*slot.local, &local);
+      if (is_fb[i] && first_fb) {
+        FoldStats(fb_local, &local);
+        first_fb = false;
+      }
+      tracker_->Record(shard_of[i], is_fb[i] ? Path::kOneSided : Path::kRpc,
+                       is_write, local, is_fb[i], per_key_ns);
+      first = false;
+    }
+    FoldStats(*slot.local, stats);
   }
+  bool first_os = true;
+  for (size_t i : os_idx) {
+    tracker_->Record(shard_of[i], Path::kOneSided, is_write,
+                     first_os ? os_local : OpStats{}, false, per_key_ns);
+    first_os = false;
+  }
+  FoldStats(os_local, stats);
+  FoldStats(fb_local, stats);
 }
 
 sim::Task<Status> HybridClient::Insert(Key key, uint64_t value,
@@ -59,6 +138,185 @@ sim::Task<Status> HybridClient::RangeQuery(
         return tree_.RangeQuery(from, count, out, s);
       },
       stats);
+}
+
+sim::Task<Status> HybridClient::MultiGet(std::vector<Key> keys,
+                                         std::vector<MultiGetResult>* out,
+                                         OpStats* stats) {
+  const size_t n = keys.size();
+  out->assign(n, MultiGetResult{});
+  if (n == 0) co_return Status::OK();
+  const sim::SimTime start = sim_->now();
+
+  // Split by logical shard; RPC-path shards each get one coalesced
+  // request, one-sided keys pool into a single doorbell-batched MultiGet.
+  std::vector<int> shard_of(n);
+  std::map<int, std::vector<size_t>> rpc_groups;
+  std::vector<size_t> os_idx;
+  for (size_t i = 0; i < n; i++) {
+    shard_of[i] = router_->ShardFor(keys[i]);
+    if (router_->PathOfShard(shard_of[i]) == Path::kRpc) {
+      rpc_groups[shard_of[i]].push_back(i);
+    } else {
+      os_idx.push_back(i);
+    }
+  }
+
+  struct RpcSlot {
+    int shard = 0;
+    std::vector<size_t> idxs;
+    std::vector<MultiGetResult> res;
+    OpStats local;
+  };
+  std::vector<RpcSlot> slots;
+  slots.reserve(rpc_groups.size());
+  for (auto& [shard, idxs] : rpc_groups) {
+    slots.push_back(RpcSlot{shard, std::move(idxs), {}, {}});
+  }
+
+  std::vector<MultiGetResult> os_res;
+  OpStats os_local;
+  Status os_st = Status::OK();
+  {
+    sim::CountdownLatch latch(slots.size() + (os_idx.empty() ? 0 : 1));
+    for (RpcSlot& slot : slots) {
+      std::vector<Key> ks;
+      ks.reserve(slot.idxs.size());
+      for (size_t i : slot.idxs) ks.push_back(keys[i]);
+      sim::Spawn(RpcMgetShard(&rpc_, router_->HomeMsFor(slot.shard),
+                              std::move(ks), &slot.res, &slot.local, &latch));
+    }
+    if (!os_idx.empty()) {
+      std::vector<Key> ks;
+      ks.reserve(os_idx.size());
+      for (size_t i : os_idx) ks.push_back(keys[i]);
+      sim::Spawn(
+          OsMget(&tree_, std::move(ks), &os_res, &os_st, &os_local, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Scatter; MS-declined keys fall back to one more one-sided batch.
+  std::vector<size_t> fb_idx;
+  for (const RpcSlot& slot : slots) {
+    for (size_t j = 0; j < slot.idxs.size(); j++) {
+      if (slot.res[j].status.IsRetry()) {
+        fb_idx.push_back(slot.idxs[j]);
+      } else {
+        (*out)[slot.idxs[j]] = slot.res[j];
+      }
+    }
+  }
+  for (size_t j = 0; j < os_idx.size(); j++) (*out)[os_idx[j]] = os_res[j];
+
+  OpStats fb_local;
+  Status fb_st = Status::OK();
+  std::vector<uint8_t> is_fb(n, 0);
+  if (!fb_idx.empty()) {
+    std::vector<Key> ks;
+    std::vector<MultiGetResult> fb_res;
+    ks.reserve(fb_idx.size());
+    for (size_t i : fb_idx) {
+      ks.push_back(keys[i]);
+      is_fb[i] = 1;
+    }
+    fb_st = co_await tree_.MultiGet(std::move(ks), &fb_res, &fb_local);
+    for (size_t j = 0; j < fb_idx.size(); j++) (*out)[fb_idx[j]] = fb_res[j];
+  }
+
+  std::vector<SlotView> views;
+  views.reserve(slots.size());
+  for (const RpcSlot& s : slots) {
+    views.push_back(SlotView{&s.idxs, &s.local});
+  }
+  RecordBatch(views, shard_of, is_fb, os_idx, os_local, fb_local,
+              /*is_write=*/false, (sim_->now() - start) / n, stats);
+
+  if (!os_st.ok()) co_return os_st;
+  co_return fb_st;
+}
+
+sim::Task<Status> HybridClient::MultiInsert(
+    std::vector<std::pair<Key, uint64_t>> kvs, OpStats* stats) {
+  const size_t n = kvs.size();
+  if (n == 0) co_return Status::OK();
+  const sim::SimTime start = sim_->now();
+
+  std::vector<int> shard_of(n);
+  std::map<int, std::vector<size_t>> rpc_groups;
+  std::vector<size_t> os_idx;
+  for (size_t i = 0; i < n; i++) {
+    shard_of[i] = router_->ShardFor(kvs[i].first);
+    if (router_->PathOfShard(shard_of[i]) == Path::kRpc) {
+      rpc_groups[shard_of[i]].push_back(i);
+    } else {
+      os_idx.push_back(i);
+    }
+  }
+
+  struct RpcSlot {
+    int shard = 0;
+    std::vector<size_t> idxs;
+    std::vector<Status> per_key;
+    OpStats local;
+  };
+  std::vector<RpcSlot> slots;
+  slots.reserve(rpc_groups.size());
+  for (auto& [shard, idxs] : rpc_groups) {
+    slots.push_back(RpcSlot{shard, std::move(idxs), {}, {}});
+  }
+
+  OpStats os_local;
+  Status os_st = Status::OK();
+  {
+    sim::CountdownLatch latch(slots.size() + (os_idx.empty() ? 0 : 1));
+    for (RpcSlot& slot : slots) {
+      std::vector<std::pair<Key, uint64_t>> group;
+      group.reserve(slot.idxs.size());
+      for (size_t i : slot.idxs) group.push_back(kvs[i]);
+      sim::Spawn(RpcMinsShard(&rpc_, router_->HomeMsFor(slot.shard),
+                              std::move(group), &slot.per_key, &slot.local,
+                              &latch));
+    }
+    if (!os_idx.empty()) {
+      std::vector<std::pair<Key, uint64_t>> group;
+      group.reserve(os_idx.size());
+      for (size_t i : os_idx) group.push_back(kvs[i]);
+      sim::Spawn(OsMins(&tree_, std::move(group), &os_st, &os_local, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // MS-declined keys (locked leaf, split needed) fall back one-sided.
+  std::vector<size_t> fb_idx;
+  std::vector<uint8_t> is_fb(n, 0);
+  for (const RpcSlot& slot : slots) {
+    for (size_t j = 0; j < slot.idxs.size(); j++) {
+      if (slot.per_key[j].IsRetry()) {
+        fb_idx.push_back(slot.idxs[j]);
+        is_fb[slot.idxs[j]] = 1;
+      }
+    }
+  }
+  OpStats fb_local;
+  Status fb_st = Status::OK();
+  if (!fb_idx.empty()) {
+    std::vector<std::pair<Key, uint64_t>> group;
+    group.reserve(fb_idx.size());
+    for (size_t i : fb_idx) group.push_back(kvs[i]);
+    fb_st = co_await tree_.MultiInsert(std::move(group), &fb_local);
+  }
+
+  std::vector<SlotView> views;
+  views.reserve(slots.size());
+  for (const RpcSlot& s : slots) {
+    views.push_back(SlotView{&s.idxs, &s.local});
+  }
+  RecordBatch(views, shard_of, is_fb, os_idx, os_local, fb_local,
+              /*is_write=*/true, (sim_->now() - start) / n, stats);
+
+  if (!os_st.ok()) co_return os_st;
+  co_return fb_st;
 }
 
 }  // namespace sherman::route

@@ -36,6 +36,17 @@ class HybridClient final : public IndexBackend {
   sim::Task<Status> RangeQuery(Key from, uint32_t count,
                                std::vector<std::pair<Key, uint64_t>>* out,
                                OpStats* stats = nullptr) override;
+
+  // Batched ops: keys are split by logical shard, the RPC-path sub-batches
+  // coalesce into ONE TreeRpcService request per shard, the one-sided
+  // remainder goes through TreeClient's doorbell-batched path, and both
+  // halves run concurrently. MS-declined keys transparently fall back to
+  // a one-sided batch, like the singleton fallback.
+  sim::Task<Status> MultiGet(std::vector<Key> keys,
+                             std::vector<MultiGetResult>* out,
+                             OpStats* stats = nullptr) override;
+  sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
+                                OpStats* stats = nullptr) override;
   const char* name() const override { return "hybrid"; }
 
   int cs_id() const { return cs_id_; }
@@ -44,6 +55,26 @@ class HybridClient final : public IndexBackend {
  private:
   void Finish(int shard, Path path, bool is_write, const OpStats& local,
               bool fallback, sim::SimTime start, OpStats* stats);
+
+  // One RPC sub-batch's accounting view (its key indices + stats; the
+  // per-key shard comes from shard_of).
+  struct SlotView {
+    const std::vector<size_t>* idxs;
+    const OpStats* local;
+  };
+  // The batch paths' single-pass accounting, shared by MultiGet and
+  // MultiInsert: every key is recorded exactly once — fallback keys with
+  // served = one-sided and the fallback flag, so a fully-declined slot
+  // still charges its wasted RPC attempt. A slot's OpStats ride its first
+  // key, the fallback batch's OpStats the first fallback key, the
+  // one-sided pool's its first key; per-key latency is the batch's
+  // amortized cost (what the router should compare against singletons).
+  void RecordBatch(const std::vector<SlotView>& slots,
+                   const std::vector<int>& shard_of,
+                   const std::vector<uint8_t>& is_fb,
+                   const std::vector<size_t>& os_idx, const OpStats& os_local,
+                   const OpStats& fb_local, bool is_write, uint64_t per_key_ns,
+                   OpStats* stats);
 
   // The one dispatch skeleton all four ops share: map the key to its
   // shard, take the assigned path, fall back one-sided when the MS

@@ -22,7 +22,7 @@ TreeRpcService::TreeRpcService(ShermanSystem* system) : system_(system) {
   const int num_ms = fabric.num_memory_servers();
   for (int ms = 0; ms < num_ms; ms++) {
     fabric.ms(ms).ChainRpcHandler(
-        kOpInsert, kOpScan,
+        kOpInsert, kOpMultiInsert,
         [this, ms](uint64_t opcode, uint64_t a, uint64_t b, uint16_t) {
           return Handle(ms, opcode, a, b);
         });
@@ -40,6 +40,10 @@ uint64_t TreeRpcService::Handle(int ms, uint64_t opcode, uint64_t a,
       return DoDelete(a);
     case kOpScan:
       return DoScan(ms, a, static_cast<uint32_t>(b & 0xffff), b >> 16);
+    case kOpMultiGet:
+      return DoMultiGet(ms, a);
+    case kOpMultiInsert:
+      return DoMultiInsert(ms, a);
     default:
       SHERMAN_CHECK(false);
       return 0;
@@ -239,6 +243,109 @@ uint64_t TreeRpcService::DoScan(int ms, Key from, uint32_t count,
   return kAckOk;
 }
 
+uint64_t TreeRpcService::DoMultiGet(int ms, uint64_t token) {
+  const auto in = mget_in_.find(token);
+  SHERMAN_CHECK(in != mget_in_.end());
+  const TreeOptions& o = system_->options();
+  std::vector<MultiGetResult>& out = mget_out_[token];
+  out.reserve(in->second.size());
+  for (Key key : in->second) {
+    MultiGetResult r;
+    const rdma::GlobalAddress leaf = FindLeaf(key);
+    if (leaf.is_null()) {
+      declined_++;
+      r.status = Status::Retry("ms-side multi-get declined");
+    } else {
+      served_++;
+      NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+      uint32_t i = o.two_level_versions ? view.FindLeafSlot(key).match
+                                        : view.SortedLeafFind(key);
+      if (i == UINT32_MAX) {
+        r.status = Status::NotFound();
+      } else {
+        r.status = Status::OK();
+        r.value = view.LeafValue(i);
+      }
+    }
+    out.push_back(r);
+  }
+  // Each key beyond the first walks root-to-leaf on the wimpy core: half
+  // a service slot apiece (same rate DoScan charges per extra leaf).
+  if (in->second.size() > 1) {
+    system_->fabric().ms(ms).ChargeMemoryThread(
+        static_cast<sim::SimTime>(in->second.size() - 1) *
+        system_->fabric().config().rpc_service_ns / 2);
+  }
+  mget_in_.erase(in);
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoMultiInsert(int ms, uint64_t token) {
+  const auto in = mins_in_.find(token);
+  SHERMAN_CHECK(in != mins_in_.end());
+  const TreeOptions& o = system_->options();
+  std::vector<Status>& out = mins_out_[token];
+  out.reserve(in->second.size());
+  for (const auto& [key, value] : in->second) {
+    const rdma::GlobalAddress leaf = FindLeaf(key);
+    if (leaf.is_null() || NodeLocked(leaf)) {
+      declined_++;
+      out.push_back(Status::Retry("ms-side multi-insert declined"));
+      continue;
+    }
+    NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+    if (o.two_level_versions) {
+      const NodeView::SlotResult slot = view.FindLeafSlot(key);
+      const uint32_t i = slot.match != UINT32_MAX ? slot.match : slot.empty;
+      if (i == UINT32_MAX) {  // leaf full: split must go one-sided
+        declined_++;
+        out.push_back(Status::Retry("ms-side multi-insert: leaf full"));
+        continue;
+      }
+      view.SetLeafEntry(i, key, value);
+    } else {
+      if (!view.SortedLeafInsert(key, value)) {
+        declined_++;
+        out.push_back(Status::Retry("ms-side multi-insert: leaf full"));
+        continue;
+      }
+      if (o.consistency == TreeOptions::Consistency::kChecksum) {
+        view.UpdateChecksum();
+      } else {
+        view.BumpNodeVersions();
+      }
+    }
+    served_++;
+    out.push_back(Status::OK());
+  }
+  if (in->second.size() > 1) {
+    system_->fabric().ms(ms).ChargeMemoryThread(
+        static_cast<sim::SimTime>(in->second.size() - 1) *
+        system_->fabric().config().rpc_service_ns / 2);
+  }
+  mins_in_.erase(in);
+  return kAckOk;
+}
+
+std::vector<MultiGetResult> TreeRpcService::TakeMultiGetResult(
+    uint64_t token) {
+  std::vector<MultiGetResult> out;
+  auto it = mget_out_.find(token);
+  SHERMAN_CHECK(it != mget_out_.end());
+  out = std::move(it->second);
+  mget_out_.erase(it);
+  return out;
+}
+
+std::vector<Status> TreeRpcService::TakeMultiInsertResult(uint64_t token) {
+  std::vector<Status> out;
+  auto it = mins_out_.find(token);
+  SHERMAN_CHECK(it != mins_out_.end());
+  out = std::move(it->second);
+  mins_out_.erase(it);
+  return out;
+}
+
 uint64_t TreeRpcService::TakeLookupResult(uint64_t token) {
   auto it = lookup_out_.find(token);
   SHERMAN_CHECK(it != lookup_out_.end());
@@ -317,6 +424,42 @@ sim::Task<Status> TreeRpcClient::RangeQuery(
     co_return Status::Retry("ms-side scan declined");
   }
   *out = service_->TakeScanResult(token);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::MultiGet(uint16_t ms, std::vector<Key> keys,
+                                          std::vector<MultiGetResult>* out,
+                                          OpStats* stats) {
+  out->assign(keys.size(), MultiGetResult{});
+  if (keys.empty()) co_return Status::OK();
+  for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  const size_t n = keys.size();
+  const uint64_t token = service_->NewToken();
+  service_->StageMultiGet(token, std::move(keys));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpMultiGet, token);
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r == TreeRpcService::kAckOk);
+  *out = service_->TakeMultiGetResult(token);
+  SHERMAN_CHECK(out->size() == n);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::MultiInsert(
+    uint16_t ms, std::vector<std::pair<Key, uint64_t>> kvs,
+    std::vector<Status>* per_key, OpStats* stats) {
+  per_key->assign(kvs.size(), Status::OK());
+  if (kvs.empty()) co_return Status::OK();
+  for (const auto& [k, v] : kvs) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  const size_t n = kvs.size();
+  const uint64_t token = service_->NewToken();
+  service_->StageMultiInsert(token, std::move(kvs));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpMultiInsert, token);
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r == TreeRpcService::kAckOk);
+  *per_key = service_->TakeMultiInsertResult(token);
+  SHERMAN_CHECK(per_key->size() == n);
   co_return Status::OK();
 }
 

@@ -43,6 +43,13 @@ class TreeRpcService {
   static constexpr uint64_t kOpLookup = 201;
   static constexpr uint64_t kOpDelete = 202;
   static constexpr uint64_t kOpScan = 203;
+  // Coalesced batches: one RPC carries a token under which the caller
+  // staged the key/kv list; per-key outcomes are staged back. Each key
+  // beyond the first charges the memory thread half a service slot (a
+  // root-to-leaf walk per key), so batches are cheaper than op-at-a-time
+  // RPCs but still show up in the FIFO backlog the router watches.
+  static constexpr uint64_t kOpMultiGet = 204;
+  static constexpr uint64_t kOpMultiInsert = 205;
 
   // Response words for write ops; lookups/scans return found counts and
   // stage values out-of-band under a token (the sim's RPC messages are
@@ -66,6 +73,19 @@ class TreeRpcService {
   uint64_t TakeLookupResult(uint64_t token);
   std::vector<std::pair<Key, uint64_t>> TakeScanResult(uint64_t token);
 
+  // Multi-op staging (client side of the coalesced RPCs).
+  void StageMultiGet(uint64_t token, std::vector<Key> keys) {
+    mget_in_[token] = std::move(keys);
+  }
+  void StageMultiInsert(uint64_t token,
+                        std::vector<std::pair<Key, uint64_t>> kvs) {
+    mins_in_[token] = std::move(kvs);
+  }
+  // Per-key outcomes; for gets the value rides along. Status is OK,
+  // NotFound, or Retry (declined: locked leaf / full leaf / anomaly).
+  std::vector<MultiGetResult> TakeMultiGetResult(uint64_t token);
+  std::vector<Status> TakeMultiInsertResult(uint64_t token);
+
   uint64_t served() const { return served_; }
   uint64_t declined() const { return declined_; }
 
@@ -82,10 +102,16 @@ class TreeRpcService {
   uint64_t DoLookup(Key key, uint64_t token);
   uint64_t DoDelete(Key key);
   uint64_t DoScan(int ms, Key from, uint32_t count, uint64_t token);
+  uint64_t DoMultiGet(int ms, uint64_t token);
+  uint64_t DoMultiInsert(int ms, uint64_t token);
 
   ShermanSystem* system_;
   std::map<uint64_t, uint64_t> lookup_out_;
   std::map<uint64_t, std::vector<std::pair<Key, uint64_t>>> scan_out_;
+  std::map<uint64_t, std::vector<Key>> mget_in_;
+  std::map<uint64_t, std::vector<MultiGetResult>> mget_out_;
+  std::map<uint64_t, std::vector<std::pair<Key, uint64_t>>> mins_in_;
+  std::map<uint64_t, std::vector<Status>> mins_out_;
   uint64_t next_token_ = 1;
   uint64_t served_ = 0;
   uint64_t declined_ = 0;
@@ -107,6 +133,15 @@ class TreeRpcClient {
   sim::Task<Status> RangeQuery(uint16_t ms, Key from, uint32_t count,
                                std::vector<std::pair<Key, uint64_t>>* out,
                                OpStats* stats);
+
+  // Coalesced batches against one MS (the shard's home): ONE RPC carries
+  // the whole sub-batch. Per-key statuses are OK / NotFound / Retry; a
+  // Retry key was declined MS-side and must fall back one-sided.
+  sim::Task<Status> MultiGet(uint16_t ms, std::vector<Key> keys,
+                             std::vector<MultiGetResult>* out, OpStats* stats);
+  sim::Task<Status> MultiInsert(uint16_t ms,
+                                std::vector<std::pair<Key, uint64_t>> kvs,
+                                std::vector<Status>* per_key, OpStats* stats);
 
  private:
   TreeRpcService* service_;

@@ -1,5 +1,7 @@
 #include "sim/sync.h"
 
+#include <utility>
+
 namespace sherman::sim {
 
 bool CoroQueue::WakeOne() {
@@ -11,9 +13,15 @@ bool CoroQueue::WakeOne() {
 }
 
 size_t CoroQueue::WakeAll() {
-  size_t n = 0;
-  while (WakeOne()) n++;
-  return n;
+  // Detach the waiter list before resuming: a resumed waiter's
+  // continuation chain may run far (symmetric transfer) and destroy the
+  // object owning this queue — e.g. a CountdownLatch living in a coroutine
+  // frame whose awaiter finishes without suspending again. Iterating the
+  // member deque across those resumes would read freed memory.
+  std::deque<std::coroutine_handle<>> woken = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : woken) h.resume();
+  return woken.size();
 }
 
 }  // namespace sherman::sim

@@ -28,15 +28,20 @@ int Histogram::BucketFor(uint64_t value) {
 
 uint64_t Histogram::BucketLower(int bucket) {
   if (bucket < 8) return static_cast<uint64_t>(bucket);
+  // For msb >= 3 this equals (1 << msb) | (sub << (msb - 3)); written as a
+  // single left-then-right shift so buckets 8-23 (msb 1 or 2, which
+  // BucketFor never produces but bounds queries may still visit) stay
+  // defined instead of shifting by a negative amount.
   const int msb = bucket >> 3;
-  const int sub = bucket & 7;
-  return (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - 3));
+  const uint64_t sub = static_cast<uint64_t>(bucket & 7);
+  return ((8 + sub) << msb) >> 3;
 }
 
 uint64_t Histogram::BucketUpper(int bucket) {
   if (bucket < 8) return static_cast<uint64_t>(bucket) + 1;
   const int msb = bucket >> 3;
-  return BucketLower(bucket) + (1ULL << (msb - 3));
+  const uint64_t sub = static_cast<uint64_t>(bucket & 7);
+  return ((9 + sub) << msb) >> 3;
 }
 
 void Histogram::Add(uint64_t value) {

@@ -35,13 +35,15 @@ class Histogram {
   // Number of buckets; exposed for tests.
   static constexpr int kNumBuckets = 256;
 
- private:
   // Bucket index for a value; buckets are [2^(i/8), 2^((i+1)/8)) roughly
-  // (8 sub-buckets per power of two).
+  // (8 sub-buckets per power of two). The bounds are defined for every
+  // index in [0, kNumBuckets), including the low indices BucketFor never
+  // produces; exposed for tests.
   static int BucketFor(uint64_t value);
   static uint64_t BucketLower(int bucket);
   static uint64_t BucketUpper(int bucket);
 
+ private:
   uint64_t count_;
   uint64_t sum_;
   uint64_t min_;

@@ -5,21 +5,16 @@
 
 namespace sherman {
 
-namespace {
-// SplitMix64 to expand a user seed into engine state.
-uint64_t SplitMix64(uint64_t& x) {
+uint64_t SplitMix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
-  uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
-}  // namespace
 
 Random::Random(uint64_t seed) {
-  uint64_t x = seed;
-  s0_ = SplitMix64(x);
-  s1_ = SplitMix64(x);
+  s0_ = SplitMix64(seed);
+  s1_ = SplitMix64(seed + 0x9e3779b97f4a7c15ULL);  // second stream step
   if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be non-zero
 }
 

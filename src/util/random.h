@@ -9,6 +9,11 @@
 
 namespace sherman {
 
+// One SplitMix64 finalization step: a strong 64-bit bijective mixer. Used
+// to expand seeds and to derive independent per-client seed streams
+// (fold fields in with successive SplitMix64(state ^ field) rounds).
+uint64_t SplitMix64(uint64_t x);
+
 // xorshift128+ engine: fast, decent quality, deterministic across platforms.
 class Random {
  public:

@@ -2,12 +2,38 @@
 // rendering, and argv parsing.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "bench/report.h"
 #include "bench/runner.h"
 #include "core/presets.h"
 
 namespace sherman::bench {
 namespace {
+
+TEST(ClientSeedTest, UniqueAcrossClientsEvenAtScale) {
+  // The old derivation (seed * 0x9e3779b9u + cs * 1000 + t) collided as
+  // soon as threads_per_cs reached 1000: (cs=0, t=1000) == (cs=1, t=0).
+  // The SplitMix64 chain must keep every (cs, t) pair distinct, including
+  // across nearby base seeds.
+  std::set<uint64_t> seen;
+  uint64_t n = 0;
+  for (uint64_t seed : {0ull, 1ull, 42ull, 43ull}) {
+    for (int cs = 0; cs < 16; cs++) {
+      for (int t = 0; t < 2048; t++) {
+        seen.insert(ClientSeed(seed, cs, t));
+        n++;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(ClientSeedTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(ClientSeed(42, 3, 7), ClientSeed(42, 3, 7));
+  EXPECT_NE(ClientSeed(42, 3, 7), ClientSeed(43, 3, 7));
+  EXPECT_NE(ClientSeed(42, 3, 7), ClientSeed(42, 7, 3));
+}
 
 TEST(MakeLoadKvsTest, SortedUniqueEvenKeys) {
   const auto kvs = MakeLoadKvs(100);

@@ -372,7 +372,11 @@ TEST(BTreeTest, TinyCacheEvictsButStaysCorrect) {
   system.simulator().Run();
   ASSERT_TRUE(done);
   EXPECT_GT(system.client(0).cache().stats().evictions, 0u);
-  EXPECT_LE(system.client(0).cache().bytes_used(), 4u * 1024);
+  // Both tiers stay within their budgets: level-1 nodes inside
+  // cache_bytes, upper (level >= 2) nodes inside their dedicated bound.
+  const IndexCache& cache = system.client(0).cache();
+  EXPECT_LE(cache.bytes_used() - cache.upper_bytes_used(), 4u * 1024);
+  EXPECT_LE(cache.upper_bytes_used(), cache.upper_capacity_bytes());
 }
 
 }  // namespace

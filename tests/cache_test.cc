@@ -206,6 +206,57 @@ TEST(IndexCacheTest, InvalidateLevel1Covering) {
   cache.InvalidateLevel1Covering(150);
 }
 
+TEST(IndexCacheTest, UpperNodesChargedAndBounded) {
+  // 64 KB type-① capacity => upper budget max(64K/4, 16*1K) = 16 KB = 16
+  // nodes. Insert many distinct level-2 nodes (as stale epochs would) and
+  // the budget must hold instead of growing without bound.
+  IndexCache cache(64 << 10, 1024, 1);
+  for (uint64_t i = 0; i < 200; i++) {
+    cache.Insert(MakeNode(2, i * 100, (i + 1) * 100, i));
+  }
+  EXPECT_LE(cache.upper_bytes_used(), cache.upper_capacity_bytes());
+  EXPECT_LE(cache.upper_nodes(), 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // bytes_used() reports both tiers.
+  EXPECT_EQ(cache.bytes_used(), cache.upper_bytes_used());
+}
+
+TEST(IndexCacheTest, UpperRefreshDoesNotDoubleCharge) {
+  IndexCache cache(1 << 20, 1024, 1);
+  cache.Insert(MakeNode(2, 100, 200, 1));
+  const uint64_t once = cache.upper_bytes_used();
+  cache.Insert(MakeNode(2, 100, 250, 1));  // same level+lo: refresh in place
+  EXPECT_EQ(cache.upper_bytes_used(), once);
+  EXPECT_EQ(cache.upper_nodes(), 1u);
+  const ParsedInternal* got = cache.LookupUpper(220);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->hi, 250u);
+}
+
+TEST(IndexCacheTest, UpperEvictionPrefersLeastRecentlyUsed) {
+  // Budget of 16 nodes; fill it, keep node 0 hot, then overflow: the hot
+  // node must survive LRU eviction.
+  IndexCache cache(64 << 10, 1024, 1);
+  for (uint64_t i = 0; i < 16; i++) {
+    cache.Insert(MakeNode(2, i * 100, (i + 1) * 100, i));
+  }
+  for (int i = 0; i < 4; i++) EXPECT_NE(cache.LookupUpper(50), nullptr);
+  for (uint64_t i = 16; i < 24; i++) {
+    cache.Insert(MakeNode(2, i * 100, (i + 1) * 100, i));
+  }
+  EXPECT_NE(cache.LookupUpper(50), nullptr) << "hot upper node was evicted";
+}
+
+TEST(IndexCacheTest, InvalidateUpperReleasesBudget) {
+  IndexCache cache(1 << 20, 1024, 1);
+  ParsedInternal n = MakeNode(2, 0, 5000, 20);
+  cache.Insert(n);
+  EXPECT_EQ(cache.upper_nodes(), 1u);
+  cache.Invalidate(100, n.self);
+  EXPECT_EQ(cache.upper_nodes(), 0u);
+  EXPECT_EQ(cache.upper_bytes_used(), 0u);
+}
+
 TEST(IndexCacheTest, InvalidateUpper) {
   IndexCache cache(1 << 20, 1024, 1);
   ParsedInternal n = MakeNode(2, 0, 5000, 10);

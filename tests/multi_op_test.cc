@@ -1,0 +1,386 @@
+// Tests for the doorbell-batched multi-op path: TreeClient MultiGet /
+// MultiInsert correctness (including under concurrent inserts and splits),
+// HybridClient batches straddling shard and path boundaries with MS-side
+// declines falling back one-sided, the coalesced RpcIndex batch RPCs, and
+// the bench runner's pipeline depth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "bench/runner.h"
+#include "core/hybrid_system.h"
+#include "core/presets.h"
+#include "ext/rpc_index.h"
+#include "route/backend.h"
+#include "util/random.h"
+
+namespace sherman {
+namespace {
+
+using route::Path;
+
+rdma::FabricConfig SmallFabric(int ms = 2, int cs = 2) {
+  rdma::FabricConfig f;
+  f.num_memory_servers = ms;
+  f.num_compute_servers = cs;
+  f.ms_memory_bytes = 32ull << 20;
+  return f;
+}
+
+// --- TreeClient::MultiGet --------------------------------------------------
+
+TEST(MultiGetTest, MatchesSingletonLookups) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  const uint64_t n = 10'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    Random rng(17);
+    // Batches mixing present (even), absent (odd), and duplicate keys.
+    for (int round = 0; round < 20; round++) {
+      std::vector<Key> keys;
+      for (int i = 0; i < 24; i++) {
+        const Key even = 2 * (1 + rng.Uniform(n_keys));
+        keys.push_back(rng.Bernoulli(0.3) ? even + 1 : even);
+      }
+      keys.push_back(keys.front());  // duplicate within the batch
+      std::vector<MultiGetResult> got;
+      Status st = co_await c->MultiGet(keys, &got);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(got.size(), keys.size());
+      for (size_t i = 0; i < keys.size(); i++) {
+        uint64_t want = 0;
+        Status single = co_await c->Lookup(keys[i], &want);
+        EXPECT_EQ(got[i].status, single)
+            << "key " << keys[i] << ": " << got[i].status.ToString();
+        if (single.ok()) EXPECT_EQ(got[i].value, want) << "key " << keys[i];
+      }
+    }
+    *flag = true;
+  }(&system.client(0), n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
+TEST(MultiGetTest, ColdCacheBatchesLeafReadsPerMs) {
+  TreeOptions topt = ShermanOptions();
+  topt.enable_cache = false;  // every key plans via traversal
+  ShermanSystem system(SmallFabric(/*ms=*/4), topt);
+  const uint64_t n = 20'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    // Warm the root pointer so the batch measures steady-state planning
+    // (a fresh client pays LoadRoot once, in any path).
+    uint64_t warm = 0;
+    EXPECT_TRUE((co_await c->Lookup(2, &warm)).ok());
+    std::vector<Key> keys;
+    Random rng(5);
+    for (int i = 0; i < 16; i++) keys.push_back(2 * (1 + rng.Uniform(n_keys)));
+    OpStats stats;
+    std::vector<MultiGetResult> got;
+    Status st = co_await c->MultiGet(keys, &got, &stats);
+    EXPECT_TRUE(st.ok());
+    for (size_t i = 0; i < keys.size(); i++) {
+      EXPECT_TRUE(got[i].status.ok()) << got[i].status.ToString();
+      EXPECT_EQ(got[i].value, keys[i] * 31 + 7);
+    }
+    // 16 distinct leaves over 4 MSs: the leaf fetch phase is at most one
+    // doorbell ring per MS, far fewer round trips than 16 singleton
+    // lookups' leaf reads (planning descents dominate the rest).
+    EXPECT_LT(stats.round_trips, 16u * 3u);
+    *flag = true;
+  }(&system.client(0), n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
+TEST(MultiGetTest, CorrectUnderConcurrentInsertsAndSplits) {
+  TreeOptions topt = ShermanOptions();
+  topt.shape.node_size = 256;  // small nodes: splits come fast
+  ShermanSystem system(SmallFabric(), topt);
+  const uint64_t n = 2'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 1.0);  // full leaves
+
+  // A writer inserts fresh odd keys (forcing splits) while a reader runs
+  // MultiGet batches over the stable even keys; stale cached plans and
+  // mid-split leaves must be retried, never returning wrong data.
+  bool writer_done = false, reader_done = false;
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    Random rng(31);
+    for (int i = 0; i < 600; i++) {
+      const Key odd = 2 * (1 + rng.Uniform(n_keys)) + 1;
+      Status st = co_await c->Insert(odd, odd * 3);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    *flag = true;
+  }(&system.client(0), n, &writer_done));
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    Random rng(32);
+    for (int round = 0; round < 60; round++) {
+      std::vector<Key> keys;
+      for (int i = 0; i < 16; i++) {
+        keys.push_back(2 * (1 + rng.Uniform(n_keys)));
+      }
+      std::vector<MultiGetResult> got;
+      Status st = co_await c->MultiGet(keys, &got);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      for (size_t i = 0; i < keys.size(); i++) {
+        EXPECT_TRUE(got[i].status.ok())
+            << "key " << keys[i] << ": " << got[i].status.ToString();
+        EXPECT_EQ(got[i].value, keys[i] * 31 + 7) << "key " << keys[i];
+      }
+    }
+    *flag = true;
+  }(&system.client(1), n, &reader_done));
+  system.simulator().Run();
+  ASSERT_TRUE(writer_done);
+  ASSERT_TRUE(reader_done);
+  system.DebugCheckInvariants();
+}
+
+// --- TreeClient::MultiInsert -----------------------------------------------
+
+TEST(MultiInsertTest, AppliesUpdatesFreshKeysAndSplits) {
+  TreeOptions topt = ShermanOptions();
+  topt.shape.node_size = 256;
+  ShermanSystem system(SmallFabric(), topt);
+  const uint64_t n = 1'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 1.0);  // full: fresh keys split
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    Random rng(7);
+    std::set<Key> odd_inserted;
+    for (int round = 0; round < 40; round++) {
+      std::vector<std::pair<Key, uint64_t>> kvs;
+      for (int i = 0; i < 12; i++) {
+        const Key even = 2 * (1 + rng.Uniform(n_keys));
+        if (rng.Bernoulli(0.5)) {
+          kvs.emplace_back(even, even * 100 + static_cast<uint64_t>(round));
+        } else {
+          kvs.emplace_back(even + 1, even * 200 + static_cast<uint64_t>(round));
+          odd_inserted.insert(even + 1);
+        }
+      }
+      Status st = co_await c->MultiInsert(kvs, nullptr);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      // Every key in the batch must read back with the batch's value
+      // (later duplicates win, so scan from the back).
+      std::set<Key> checked;
+      for (auto it = kvs.rbegin(); it != kvs.rend(); ++it) {
+        if (!checked.insert(it->first).second) continue;
+        uint64_t v = 0;
+        Status look = co_await c->Lookup(it->first, &v);
+        EXPECT_TRUE(look.ok()) << "key " << it->first;
+        EXPECT_EQ(v, it->second) << "key " << it->first;
+      }
+    }
+    *flag = true;
+  }(&system.client(0), n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+  // The fill-1.0 bulkload guarantees fresh odd keys forced splits.
+  EXPECT_GT(system.DebugHeight(), 1u);
+}
+
+TEST(MultiInsertTest, DuplicateKeysInOneBatchLastWins) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  system.BulkLoad(bench::MakeLoadKvs(100), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    std::vector<std::pair<Key, uint64_t>> kvs = {
+        {10, 111}, {12, 222}, {10, 333}, {10, 444}, {12, 555}};
+    EXPECT_TRUE((co_await c->MultiInsert(kvs, nullptr)).ok());
+    uint64_t v = 0;
+    EXPECT_TRUE((co_await c->Lookup(10, &v)).ok());
+    EXPECT_EQ(v, 444u);
+    EXPECT_TRUE((co_await c->Lookup(12, &v)).ok());
+    EXPECT_EQ(v, 555u);
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
+// --- HybridClient batches across shards ------------------------------------
+
+HybridOptions SmallHybrid(int shards = 8) {
+  HybridOptions o;
+  o.tree = ShermanOptions();
+  o.router.num_shards = shards;
+  return o;
+}
+
+TEST(HybridMultiOpTest, BatchStraddlesShardAndPathBoundaries) {
+  HybridSystem system(SmallFabric(), SmallHybrid(8));
+  const uint64_t n = 8'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  // Alternate paths across shards so every wide batch splits into RPC
+  // sub-batches (one coalesced request per shard) plus a one-sided pool.
+  std::vector<Path> mixed(8);
+  for (int s = 0; s < 8; s++) {
+    mixed[s] = (s % 2 == 0) ? Path::kRpc : Path::kOneSided;
+  }
+  system.router().ForceAssignment(mixed);
+
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, uint64_t n_keys,
+                bool* flag) -> sim::Task<void> {
+    // Keys spread over the whole universe -> all shards touched.
+    std::vector<Key> keys;
+    for (int i = 0; i < 32; i++) {
+      keys.push_back(2 * (1 + (n_keys / 32) * static_cast<uint64_t>(i)));
+    }
+    std::vector<MultiGetResult> got;
+    OpStats stats;
+    Status st = co_await sys->client(0).MultiGet(keys, &got, &stats);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (size_t i = 0; i < keys.size(); i++) {
+      EXPECT_TRUE(got[i].status.ok())
+          << "key " << keys[i] << ": " << got[i].status.ToString();
+      EXPECT_EQ(got[i].value, keys[i] * 31 + 7);
+    }
+    // Writes across the same span, then read back through the other CS.
+    std::vector<std::pair<Key, uint64_t>> kvs;
+    for (Key k : keys) kvs.emplace_back(k, k * 9);
+    EXPECT_TRUE((co_await sys->client(0).MultiInsert(kvs, nullptr)).ok());
+    std::vector<MultiGetResult> after;
+    EXPECT_TRUE(
+        (co_await sys->client(1).MultiGet(keys, &after, nullptr)).ok());
+    for (size_t i = 0; i < keys.size(); i++) {
+      EXPECT_TRUE(after[i].status.ok()) << "key " << keys[i];
+      EXPECT_EQ(after[i].value, keys[i] * 9);
+    }
+    *flag = true;
+  }(&system, n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  // Both paths actually served traffic.
+  EXPECT_GT(system.tracker().totals().ops_rpc, 0u);
+  EXPECT_GT(system.tracker().totals().ops_one_sided, 0u);
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(HybridMultiOpTest, MsDeclinedBatchKeysFallBackOneSided) {
+  HybridOptions opt = SmallHybrid(4);
+  opt.tree.shape.node_size = 256;
+  HybridSystem system(SmallFabric(), opt);
+  const uint64_t n = 400;
+  system.BulkLoad(bench::MakeLoadKvs(n), 1.0);  // full leaves
+
+  system.router().ForceAssignment(
+      std::vector<Path>(system.router().num_shards(), Path::kRpc));
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, uint64_t n_keys,
+                bool* flag) -> sim::Task<void> {
+    // Fresh odd keys into full leaves: the MS-side executor declines each
+    // (split needed) and the batch must complete them one-sided.
+    std::vector<std::pair<Key, uint64_t>> kvs;
+    for (Key k = 3; k <= 41; k += 2) kvs.emplace_back(k, k * 7);
+    EXPECT_TRUE((co_await sys->client(0).MultiInsert(kvs, nullptr)).ok());
+    std::vector<Key> keys;
+    for (const auto& [k, v] : kvs) keys.push_back(k);
+    std::vector<MultiGetResult> got;
+    EXPECT_TRUE((co_await sys->client(1).MultiGet(keys, &got, nullptr)).ok());
+    for (size_t i = 0; i < keys.size(); i++) {
+      EXPECT_TRUE(got[i].status.ok()) << "key " << keys[i];
+      EXPECT_EQ(got[i].value, keys[i] * 7);
+    }
+    (void)n_keys;
+    *flag = true;
+  }(&system, n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(system.tracker().totals().rpc_fallbacks, 0u);
+  system.sherman().DebugCheckInvariants();
+}
+
+// --- coalesced RpcIndex batches --------------------------------------------
+
+TEST(RpcIndexMultiOpTest, OneRequestPerShard) {
+  rdma::Fabric fabric(SmallFabric(/*ms=*/4));
+  ext::RpcIndex index(&fabric);
+  std::vector<std::pair<uint64_t, uint64_t>> kvs;
+  for (uint64_t k = 1; k <= 500; k++) kvs.emplace_back(k, k * 11);
+  index.BulkLoad(kvs);
+
+  ext::RpcIndexClient client(&index, 0);
+  bool done = false;
+  sim::Spawn([](ext::RpcIndexClient* c, bool* flag) -> sim::Task<void> {
+    // 64 keys over 4 hash shards: one coalesced RPC per shard.
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 1; k <= 64; k++) keys.push_back(k);
+    keys.push_back(9'999);  // absent
+    OpStats stats;
+    std::vector<MultiGetResult> got;
+    Status st = co_await c->MultiGet(keys, &got, &stats);
+    EXPECT_TRUE(st.ok());
+    for (size_t i = 0; i + 1 < keys.size(); i++) {
+      EXPECT_TRUE(got[i].status.ok()) << "key " << keys[i];
+      EXPECT_EQ(got[i].value, keys[i] * 11);
+    }
+    EXPECT_TRUE(got.back().status.IsNotFound());
+    EXPECT_LE(stats.round_trips, 4u);
+
+    // Coalesced writes, visible to subsequent gets.
+    std::vector<std::pair<uint64_t, uint64_t>> batch;
+    for (uint64_t k = 1; k <= 32; k++) batch.emplace_back(k, k * 13);
+    EXPECT_TRUE((co_await c->MultiPut(batch, nullptr)).ok());
+    std::vector<uint64_t> back;
+    for (uint64_t k = 1; k <= 32; k++) back.push_back(k);
+    std::vector<MultiGetResult> after;
+    EXPECT_TRUE((co_await c->MultiGet(back, &after, nullptr)).ok());
+    for (size_t i = 0; i < back.size(); i++) {
+      EXPECT_EQ(after[i].value, back[i] * 13);
+    }
+    *flag = true;
+  }(&client, &done));
+  fabric.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
+// --- runner pipeline depth --------------------------------------------------
+
+TEST(PipelineRunnerTest, DepthBatchesAndStillMeasures) {
+  rdma::FabricConfig f = SmallFabric();
+  ShermanSystem system(f, ShermanOptions());
+  system.BulkLoad(bench::MakeLoadKvs(10'000), 0.8);
+
+  bench::RunnerOptions ropt;
+  ropt.threads_per_cs = 2;
+  ropt.workload.loaded_keys = 10'000;
+  ropt.warmup_ns = 500'000;
+  ropt.measure_ns = 2'000'000;
+  ropt.pipeline_depth = 8;
+  const bench::RunResult r = bench::RunWorkload(&system, ropt);
+  EXPECT_GT(r.stats.ops, 0u);
+  EXPECT_GT(r.stats.latency_ns.P50(), 0u);
+  system.DebugCheckInvariants();
+}
+
+TEST(PipelineRunnerTest, HybridSystemTakesDepthToo) {
+  HybridSystem system(SmallFabric(), SmallHybrid(8));
+  system.BulkLoad(bench::MakeLoadKvs(10'000), 0.8);
+
+  bench::RunnerOptions ropt;
+  ropt.threads_per_cs = 2;
+  ropt.workload.loaded_keys = 10'000;
+  ropt.warmup_ns = 500'000;
+  ropt.measure_ns = 2'000'000;
+  ropt.pipeline_depth = 8;
+  const bench::RunResult r = bench::RunWorkload(&system, ropt);
+  EXPECT_GT(r.stats.ops, 0u);
+  EXPECT_GT(r.route.ops_one_sided + r.route.ops_rpc, 0u);
+  system.sherman().DebugCheckInvariants();
+}
+
+}  // namespace
+}  // namespace sherman

@@ -238,6 +238,49 @@ TEST(HistogramTest, ClearResets) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(HistogramTest, BucketBoundsDefinedForEveryBucket) {
+  // Buckets 8-23 decode to msb 1 or 2; the original sub-bucket math
+  // shifted by (msb - 3) < 0 there — UB that a sanitizer build traps.
+  // Evaluating the bounds of EVERY index must be defined; the reachable
+  // buckets (0-7 linear, 24+ logarithmic — BucketFor never produces 8-23)
+  // must additionally have ordered, monotone bounds.
+  auto reachable = [](int b) { return b < 8 || b >= 24; };
+  uint64_t prev_lower = 0;
+  uint64_t prev_upper = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; b++) {
+    const uint64_t lo = Histogram::BucketLower(b);
+    const uint64_t hi = Histogram::BucketUpper(b);
+    EXPECT_LE(lo, hi) << "bucket " << b;
+    if (reachable(b)) {
+      EXPECT_LT(lo, hi) << "bucket " << b;
+      EXPECT_GE(lo, prev_lower) << "bucket " << b;
+      EXPECT_GE(hi, prev_upper) << "bucket " << b;
+      prev_lower = lo;
+      prev_upper = hi;
+    }
+  }
+  // The log range picks up exactly where the linear range ends.
+  EXPECT_EQ(Histogram::BucketLower(24), 8u);
+}
+
+TEST(HistogramTest, BucketForLandsInsideItsBounds) {
+  std::vector<uint64_t> values = {0, 1, 7, 8, 9, 15, 16, 100, 1000, 4095};
+  for (int shift = 12; shift < 40; shift++) {
+    values.push_back((1ull << shift) - 1);
+    values.push_back(1ull << shift);
+    values.push_back((1ull << shift) + (1ull << (shift - 2)));
+  }
+  for (uint64_t v : values) {
+    const int b = Histogram::BucketFor(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    EXPECT_GE(v, Histogram::BucketLower(b)) << "value " << v;
+    if (b < Histogram::kNumBuckets - 1) {  // last bucket clamps
+      EXPECT_LT(v, Histogram::BucketUpper(b)) << "value " << v;
+    }
+  }
+}
+
 TEST(HistogramTest, HugeValuesClampToLastBucket) {
   Histogram h;
   h.Add(~0ull);

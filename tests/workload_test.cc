@@ -127,6 +127,33 @@ TEST(WorkloadTest, ParseMixNames) {
   EXPECT_FALSE(ParseMix("nonsense", &m));
 }
 
+TEST(WorkloadTest, ParseMixOptionsOverload) {
+  // "hotspot-drift" enables drift with a default only when unset...
+  WorkloadOptions o;
+  ASSERT_TRUE(ParseMix("hotspot-drift", &o));
+  EXPECT_DOUBLE_EQ(o.mix.insert, 0.5);
+  EXPECT_DOUBLE_EQ(o.mix.lookup, 0.5);
+  EXPECT_EQ(o.hotspot_drift_ops, 400u);
+  // ...and preserves an explicitly configured cadence.
+  WorkloadOptions pre;
+  pre.hotspot_drift_ops = 7'777;
+  ASSERT_TRUE(ParseMix("hotspot-drift", &pre));
+  EXPECT_EQ(pre.hotspot_drift_ops, 7'777u);
+
+  // Plain mix names route through to the mix field and leave the drift
+  // options untouched.
+  WorkloadOptions plain;
+  ASSERT_TRUE(ParseMix("read-intensive", &plain));
+  EXPECT_DOUBLE_EQ(plain.mix.lookup, 0.95);
+  EXPECT_EQ(plain.hotspot_drift_ops, 0u);
+
+  // Unknown names are rejected without mutating the options.
+  WorkloadOptions untouched;
+  const double before = untouched.mix.insert;
+  EXPECT_FALSE(ParseMix("nonsense", &untouched));
+  EXPECT_DOUBLE_EQ(untouched.mix.insert, before);
+}
+
 TEST(WorkloadTest, HotspotDriftRotatesTheHotSet) {
   WorkloadOptions opt = Opt(WorkloadMix::WriteIntensive());
   opt.loaded_keys = 10'000;
