@@ -121,6 +121,32 @@ void IndexCache::InvalidateLevel1Covering(Key key) {
   }
 }
 
+void IndexCache::InvalidateUpperCovering(Key key, rdma::GlobalAddress child) {
+  for (auto& [level, nodes] : upper_) {
+    auto it = nodes.upper_bound(key);
+    if (it == nodes.begin()) continue;
+    --it;
+    const ParsedInternal& node = it->second.node;
+    if (key >= node.lo && key < node.hi && node.ChildFor(key) == child) {
+      stats_.invalidations++;
+      nodes.erase(it);
+      upper_count_--;
+      upper_bytes_ -= node_bytes_;
+    }
+  }
+}
+
+void IndexCache::InvalidateKeyRange(Key lo, Key hi) {
+  std::vector<Entry*> victims;
+  for (Entry* e : pool_) {
+    if (e->node.lo < hi && e->node.hi > lo) victims.push_back(e);
+  }
+  for (Entry* e : victims) {
+    stats_.invalidations++;
+    RemoveEntry(e);
+  }
+}
+
 void IndexCache::Clear() {
   while (!pool_.empty()) RemoveEntry(pool_.back());
   upper_.clear();

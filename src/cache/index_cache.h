@@ -73,6 +73,18 @@ class IndexCache {
   // §4.2.3).
   void InvalidateLevel1Covering(Key key);
 
+  // Drops type-② entries covering `key` whose child pointer for `key` is
+  // `child` — called when a descent through `child` found a tombstoned
+  // (migrated-away) node: the live parent was flipped in place, so any
+  // cached copy still steering to `child` is stale.
+  void InvalidateUpperCovering(Key key, rdma::GlobalAddress child);
+
+  // Drops every type-① entry whose fence interval intersects [lo, hi) —
+  // the flip-time invalidation broadcast of a shard migration. Cached
+  // leaf translations in the migrated range point at tombstones; dropping
+  // them here saves every client one wasted READ + restart per key.
+  void InvalidateKeyRange(Key lo, Key hi);
+
   // Drops everything (used when the root moves).
   void Clear();
 

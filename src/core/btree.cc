@@ -155,6 +155,15 @@ sim::Task<Status> TreeClient::ReadInternalContaining(rdma::GlobalAddress addr,
   for (int chase = 0; chase < kMaxSiblingChase; chase++) {
     Status st = co_await ReadNodeChecked(addr, buf.data(), stats);
     if (!st.ok()) co_return st;
+    {
+      // A tombstoned internal node (migrated away; content intact, free
+      // flag set) still parses, but following it would keep the caller on
+      // the stale pre-migration path forever. Bounce to the caller so it
+      // invalidates the cached pointer and re-resolves through the flipped
+      // parent.
+      NodeView peek(buf.data(), &opt().shape);
+      if (peek.is_free()) co_return Status::Retry("freed internal node");
+    }
     ParsedInternal parsed;
     st = ParseInternal(buf.data(), opt().shape, addr, &parsed);
     if (!st.ok()) {
@@ -211,6 +220,11 @@ sim::Task<StatusOr<rdma::GlobalAddress>> TreeClient::FindNodeAddr(
       Status st = co_await ReadInternalContaining(addr, key, &parsed, stats);
       if (st.IsRetry()) {
         cache_.Invalidate(key, addr);
+        // Drop any cached upper node that still steers this key to the dead
+        // child: after a migration flip the live parent points at the copy,
+        // but a stale cached parent would re-route us to the tombstone on
+        // every restart.
+        cache_.InvalidateUpperCovering(key, addr);
         // Refresh the root only when it is implicated or restarts repeat:
         // a stale root stays correct via sibling chases, and re-reading it
         // from every client on every invalidation would hammer its MS.
@@ -459,7 +473,13 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
     StatusOr<Locked> locked_r =
         co_await LockAndRead(*addr_r, sep, buf.data(), stats);
     if (!locked_r.ok()) {
-      if (locked_r.status().IsRetry()) continue;
+      if (locked_r.status().IsRetry()) {
+        // The node FindNodeAddr resolved is unusable (tombstoned by a
+        // migration, or a dead-end chase). If a cached upper node supplied
+        // that stale pointer, it must go, or every restart loops back here.
+        cache_.InvalidateUpperCovering(sep, *addr_r);
+        continue;
+      }
       co_return locked_r.status();
     }
     Locked locked = *locked_r;
@@ -1160,6 +1180,12 @@ rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {
   uint64_t packed;
   std::memcpy(&packed, p, 8);
   return rdma::GlobalAddress::FromU64(packed);
+}
+
+int ShermanSystem::AddMemoryServer() {
+  rdma::MemoryServer& ms = fabric_.AddMemoryServer();
+  chunks_.push_back(std::make_unique<ChunkManager>(&ms));
+  return ms.id();
 }
 
 uint32_t ShermanSystem::DebugHeight() const {

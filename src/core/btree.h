@@ -42,6 +42,10 @@
 
 namespace sherman {
 
+namespace migrate {
+class Migrator;  // drives live shard migration through TreeClient internals
+}
+
 struct TreeOptions {
   TreeShape shape;
 
@@ -134,6 +138,9 @@ class TreeClient {
 
  private:
   friend class ShermanSystem;
+  // The migrator reuses the traversal/lock primitives below so its copy
+  // passes pay the same simulated round trips as any other client.
+  friend class migrate::Migrator;
 
   struct LeafRef {
     rdma::GlobalAddress addr;
@@ -260,6 +267,12 @@ class ShermanSystem {
   // sorted, unique-key pairs; leaves are `fill` full. Installs the root
   // pointer. Call once, before running clients.
   void BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs, double fill);
+
+  // Elastic scale-out: brings one more memory server online (QPs from every
+  // CS, chunk manager installed) and returns its id. The new MS serves
+  // allocations immediately; key ranges move to it only via explicit
+  // migration (migrate::Migrator).
+  int AddMemoryServer();
 
   // --- test/debug helpers (direct memory, not simulated) ---
   rdma::GlobalAddress DebugRootAddr() const;

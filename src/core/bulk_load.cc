@@ -11,9 +11,10 @@ namespace sherman {
 
 rdma::GlobalAddress ShermanSystem::AllocBulk(uint32_t size) {
   const int num_ms = fabric_.num_memory_servers();
-  if (bulk_chunk_.empty()) {
-    bulk_chunk_.assign(num_ms, rdma::kNullAddress);
-    bulk_used_.assign(num_ms, 0);
+  if (static_cast<int>(bulk_chunk_.size()) < num_ms) {
+    // First call, or memory servers were added since the last bulk load.
+    bulk_chunk_.resize(num_ms, rdma::kNullAddress);
+    bulk_used_.resize(num_ms, 0);
   }
   // Spread nodes round-robin across memory servers (§4.2: "Sherman spreads
   // B+Tree nodes across a set of memory servers").

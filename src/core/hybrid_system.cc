@@ -8,12 +8,15 @@ HybridSystem::HybridSystem(rdma::FabricConfig fabric_config,
                            HybridOptions options)
     : sherman_(fabric_config, options.tree),
       tracker_(options.router.num_shards),
-      rpc_service_(&sherman_) {
+      rpc_service_(&sherman_),
+      shard_map_(options.router.num_shards,
+                 sherman_.fabric().num_memory_servers()) {
   router_ = std::make_unique<route::AdaptiveRouter>(
       options.router,
       route::ModelFromFabric(sherman_.fabric().config(),
                              options.tree.enable_cache),
       &tracker_, &sherman_.fabric());
+  router_->InstallShardMap(&shard_map_);
   for (int cs = 0; cs < sherman_.fabric().num_compute_servers(); cs++) {
     clients_.push_back(std::make_unique<route::HybridClient>(
         &sherman_, &rpc_service_, router_.get(), &tracker_, cs));
@@ -41,6 +44,12 @@ void HybridSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
                          kvs.back().first + 2);
   }
   router_->SetTreeHeight(static_cast<double>(sherman_.DebugHeight()));
+}
+
+int HybridSystem::AddMemoryServer() {
+  const int id = sherman_.AddMemoryServer();
+  rpc_service_.InstallOn(id);
+  return id;
 }
 
 }  // namespace sherman

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/btree.h"
+#include "migrate/shard_map.h"
 #include "route/hybrid_client.h"
 #include "route/router.h"
 #include "route/tree_rpc.h"
@@ -46,17 +47,25 @@ class HybridSystem {
   route::HybridClient& client(int cs_id) { return *clients_[cs_id]; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
 
+  // Elastic scale-out: brings one more memory server online (QPs, chunk
+  // manager, MS-side tree executor) and returns its id. The shard map is
+  // untouched — shards move to the new MS only when migrate::Migrator
+  // copies their key range and flips their entry.
+  int AddMemoryServer();
+
   ShermanSystem& sherman() { return sherman_; }
   rdma::Fabric& fabric() { return sherman_.fabric(); }
   sim::Simulator& simulator() { return sherman_.simulator(); }
   route::AdaptiveRouter& router() { return *router_; }
   route::HotnessTracker& tracker() { return tracker_; }
   route::TreeRpcService& rpc_service() { return rpc_service_; }
+  migrate::ShardMap& shard_map() { return shard_map_; }
 
  private:
   ShermanSystem sherman_;
   route::HotnessTracker tracker_;
   route::TreeRpcService rpc_service_;
+  migrate::ShardMap shard_map_;
   std::unique_ptr<route::AdaptiveRouter> router_;
   std::vector<std::unique_ptr<route::HybridClient>> clients_;
 };

@@ -64,6 +64,23 @@ struct RunStats {
 void AccumulateOp(RunStats* run, const OpStats& op, uint64_t latency_ns,
                   bool is_write, bool is_read);
 
+// Counters produced by live shard migration (migrate/migrator.h): data
+// volume moved, protocol work per phase, and how much the bounded-pass
+// drain actually converged. Reported by bench_elastic alongside RunStats.
+struct MigrationStats {
+  uint64_t shards_migrated = 0;  // MigrateShard calls that completed
+  uint64_t ranges_migrated = 0;  // MigrateRange calls that completed
+  uint64_t leaves_moved = 0;
+  uint64_t internals_moved = 0;  // level-1 nodes rebuilt on the target
+  uint64_t passes = 0;           // copy passes across all ranges
+  uint64_t bytes_copied = 0;     // node payload written to target MSs
+  uint64_t chunk_rpcs = 0;       // shard-private chunks fetched
+  uint64_t sibling_fixes = 0;    // left-neighbor sibling pointers repaired
+  uint64_t residual_leaves = 0;  // still off-target when passes ran out
+  uint64_t flips = 0;            // shard-map version bumps issued
+  uint64_t busy_ns = 0;          // simulated time spent inside migration
+};
+
 // Counters produced by the adaptive hybrid router (route/router.h): how
 // traffic split across the one-sided and MS-side RPC paths, and how often
 // the routing changed. Reported alongside RunStats by the bench runner.

@@ -1,0 +1,518 @@
+#include "migrate/migrator.h"
+
+#include <utility>
+#include <vector>
+
+#include "alloc/layout.h"
+#include "lock/lock_table.h"
+#include "util/logging.h"
+
+namespace sherman::migrate {
+
+namespace {
+// Sibling chases inside LockSecond (same bound TreeClient uses).
+constexpr int kMaxSiblingChase = 64;
+// Safety bound on the control-plane residual walk.
+constexpr uint64_t kMaxWalkNodes = 1u << 22;
+}  // namespace
+
+Migrator::Migrator(ShermanSystem* system, MigratorOptions options,
+                   ShardMap* map, route::AdaptiveRouter* router)
+    : system_(system), options_(options), map_(map), router_(router) {
+  SHERMAN_CHECK(options_.cs_id >= 0 &&
+                options_.cs_id < system_->num_clients());
+  SHERMAN_CHECK(options_.max_passes > 0 && options_.max_retries > 0);
+}
+
+bool Migrator::SameLane(rdma::GlobalAddress a, rdma::GlobalAddress b) const {
+  const bool onchip = system_->options().lock.onchip;
+  const GlobalLockRef ra = LockFor(a, onchip);
+  const GlobalLockRef rb = LockFor(b, onchip);
+  return ra.ms == rb.ms && ra.index == rb.index && ra.space == rb.space;
+}
+
+sim::Task<rdma::GlobalAddress> Migrator::AllocOnTarget(uint16_t ms,
+                                                       uint32_t size) {
+  SHERMAN_CHECK(size > 0 && size <= kChunkSize);
+  if (chunk_base_.is_null() || chunk_ms_ != ms ||
+      chunk_used_ + size > kChunkSize) {
+    const uint64_t off = co_await system_->fabric()
+                             .qp(options_.cs_id, ms)
+                             .Rpc(kRpcAllocChunk, 0);
+    if (off == 0) co_return rdma::kNullAddress;
+    chunk_ms_ = ms;
+    chunk_base_ = rdma::GlobalAddress(ms, off);
+    chunk_used_ = 0;
+    stats_.chunk_rpcs++;
+  }
+  const rdma::GlobalAddress addr = chunk_base_.Plus(chunk_used_);
+  chunk_used_ += size;
+  co_return addr;
+}
+
+sim::Task<StatusOr<Migrator::LockedNode>> Migrator::LockSecond(
+    rdma::GlobalAddress addr, Key key, rdma::GlobalAddress held, uint8_t* buf,
+    OpStats* stats) {
+  TreeClient& t = tc();
+  const bool combine = system_->options().combine_commands;
+  for (int chase = 0; chase < kMaxSiblingChase; chase++) {
+    const bool shared = SameLane(addr, held);
+    LockGuard guard;
+    if (!shared) guard = co_await t.hocl_.Lock(addr, stats);
+    Status st = co_await t.ReadRaw(addr, buf, node_size(), stats);
+    SHERMAN_CHECK(st.ok());
+    NodeView view(buf, &system_->options().shape);
+    if (!view.is_free() && view.InFence(key)) {
+      co_return LockedNode{addr, guard, !shared};
+    }
+    const rdma::GlobalAddress next =
+        (!view.is_free() && key >= view.hi_fence()) ? view.sibling()
+                                                    : rdma::kNullAddress;
+    if (!shared) co_await t.hocl_.Unlock(guard, {}, combine, stats);
+    if (next.is_null()) co_return Status::Retry("locked node unusable");
+    addr = next;
+  }
+  co_return Status::Retry("locked sibling chase bound");
+}
+
+sim::Task<void> Migrator::UnlockSecond(
+    LockedNode locked, std::vector<rdma::WorkRequest> write_backs,
+    OpStats* stats) {
+  if (locked.owned) {
+    co_await tc().hocl_.Unlock(locked.guard, std::move(write_backs),
+                               system_->options().combine_commands, stats);
+    co_return;
+  }
+  // Lane shared with the primary lock we still hold: the node stays
+  // protected; just apply the write-backs.
+  if (!write_backs.empty()) {
+    rdma::RdmaResult r =
+        co_await system_->fabric()
+            .qp(options_.cs_id, locked.addr.node)
+            .PostBatch(std::move(write_backs));
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+  }
+}
+
+sim::Task<Status> Migrator::ReplaceChild(Key key, uint8_t level,
+                                         rdma::GlobalAddress old_addr,
+                                         rdma::GlobalAddress new_addr,
+                                         rdma::GlobalAddress held,
+                                         OpStats* stats) {
+  TreeClient& t = tc();
+  const TreeShape& shape = system_->options().shape;
+  for (uint32_t attempt = 0; attempt < options_.max_retries; attempt++) {
+    StatusOr<rdma::GlobalAddress> pr =
+        co_await t.FindNodeAddr(key, level, stats);
+    if (!pr.ok()) {
+      if (pr.status().IsRetry()) continue;
+      co_return pr.status();
+    }
+    std::vector<uint8_t> buf(node_size());
+    StatusOr<LockedNode> lr =
+        co_await LockSecond(*pr, key, held, buf.data(), stats);
+    if (!lr.ok()) {
+      if (lr.status().IsRetry()) {
+        t.cache_.InvalidateUpperCovering(key, *pr);
+        continue;
+      }
+      co_return lr.status();
+    }
+    LockedNode locked = *lr;
+    NodeView view(buf.data(), &shape);
+    bool found = false;
+    if (view.level() == level) {
+      if (view.leftmost_child() == old_addr) {
+        view.set_leftmost_child(new_addr);
+        found = true;
+      } else {
+        const uint32_t n = view.count();
+        for (uint32_t i = 0; i < n; i++) {
+          if (view.InternalChild(i) == old_addr) {
+            view.SetInternalEntry(i, view.InternalKey(i), new_addr);
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!found) {  // structure raced between resolve and lock; re-resolve
+      co_await UnlockSecond(locked, {}, stats);
+      continue;
+    }
+    t.SealNode(view, /*structural_change=*/true);
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(
+        rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+    co_await UnlockSecond(locked, std::move(wrs), stats);
+    // Our own cache may still hold the pre-flip parse of this node.
+    t.cache_.Invalidate(key, locked.addr);
+    co_return Status::OK();
+  }
+  co_return Status::TimedOut("replace-child retries exhausted");
+}
+
+sim::Task<Status> Migrator::FixLeftSibling(Key lo, uint8_t level,
+                                           rdma::GlobalAddress old_addr,
+                                           rdma::GlobalAddress new_addr,
+                                           rdma::GlobalAddress hint,
+                                           rdma::GlobalAddress held,
+                                           OpStats* stats) {
+  SHERMAN_CHECK(lo > 0);
+  TreeClient& t = tc();
+  const TreeShape& shape = system_->options().shape;
+  for (uint32_t attempt = 0; attempt < options_.max_retries; attempt++) {
+    rdma::GlobalAddress start = hint;
+    hint = rdma::kNullAddress;  // trust the shortcut only once
+    if (start.is_null()) {
+      if (level == 0) {
+        StatusOr<TreeClient::LeafRef> r =
+            co_await t.FindLeafAddr(lo - 1, stats);
+        if (!r.ok()) {
+          if (r.status().IsRetry()) continue;
+          co_return r.status();
+        }
+        start = r->addr;
+      } else {
+        StatusOr<rdma::GlobalAddress> r =
+            co_await t.FindNodeAddr(lo - 1, level, stats);
+        if (!r.ok()) {
+          if (r.status().IsRetry()) continue;
+          co_return r.status();
+        }
+        start = *r;
+      }
+    }
+    std::vector<uint8_t> buf(node_size());
+    StatusOr<LockedNode> lr =
+        co_await LockSecond(start, lo - 1, held, buf.data(), stats);
+    if (!lr.ok()) {
+      if (lr.status().IsRetry()) continue;
+      co_return lr.status();
+    }
+    LockedNode locked = *lr;
+    NodeView view(buf.data(), &shape);
+    // The locked node covers lo-1; it is the direct left neighbor exactly
+    // when its hi fence is our lo and its sibling is the node being
+    // replaced. Anything else is a transient race — re-resolve.
+    if (view.level() != level || view.hi_fence() != lo ||
+        view.sibling() != old_addr) {
+      co_await UnlockSecond(locked, {}, stats);
+      continue;
+    }
+    view.set_sibling(new_addr);
+    t.SealNode(view, /*structural_change=*/true);
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(
+        rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+    co_await UnlockSecond(locked, std::move(wrs), stats);
+    stats_.sibling_fixes++;
+    co_return Status::OK();
+  }
+  co_return Status::TimedOut("sibling-fix retries exhausted");
+}
+
+sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
+                                           std::vector<uint8_t>* buf,
+                                           uint8_t level, Key cursor,
+                                           uint16_t target,
+                                           rdma::GlobalAddress sibling_hint,
+                                           rdma::GlobalAddress* naddr_out,
+                                           OpStats* stats) {
+  TreeClient& t = tc();
+  const TreeOptions& o = system_->options();
+  const bool combine = o.combine_commands;
+  NodeView view(buf->data(), &o.shape);
+  const Key node_lo = view.lo_fence();
+
+  // Copy the frozen node into a shard-private chunk on the target.
+  const rdma::GlobalAddress naddr = co_await AllocOnTarget(target, node_size());
+  if (naddr.is_null()) {
+    co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
+    co_return Status::OutOfMemory("target MS exhausted during migration");
+  }
+  rdma::RdmaResult w =
+      co_await system_->fabric()
+          .qp(options_.cs_id, target)
+          .Post(rdma::WorkRequest::Write(naddr, buf->data(), node_size()));
+  SHERMAN_CHECK(w.status.ok());
+  stats_.bytes_copied += node_size();
+
+  // Tombstone ordering is level-dependent and safety-critical:
+  //  - LEAVES tombstone BEFORE the flip. Once the free flag lands, every
+  //    lock-free reader holding the old address bounces and re-traverses,
+  //    so nobody can serve the frozen content after a later write lands on
+  //    the live copy (readers spin on restart for the couple of round
+  //    trips until the flip publishes N; writers just block on the lock).
+  //  - INTERNALS tombstone AFTER the flip + sibling repair. Their content
+  //    is routing info only — stale routing is healed by fence checks and
+  //    sibling chases — so there is no stale-read window to close and no
+  //    reason to make readers spin.
+  const bool tombstone_first = level == 0;
+  const auto tombstone_wr = [&](bool free_flag) {
+    view.set_free(free_flag);
+    if (o.consistency == TreeOptions::Consistency::kChecksum) {
+      view.UpdateChecksum();
+    }
+    return rdma::WorkRequest::Write(locked.addr, buf->data(), node_size());
+  };
+  if (tombstone_first) {
+    rdma::RdmaResult tw =
+        co_await t.QpFor(locked.addr).Post(tombstone_wr(true));
+    SHERMAN_CHECK(tw.status.ok());
+  }
+
+  // FLIP: fresh descents now resolve to the copy.
+  Status st = co_await ReplaceChild(cursor, static_cast<uint8_t>(level + 1),
+                                    locked.addr, naddr, locked.addr, stats);
+  if (!st.ok()) {
+    if (tombstone_first) {
+      // Roll the tombstone back before abandoning: the parent still points
+      // at the source, so it must stay live or its keys would vanish.
+      std::vector<rdma::WorkRequest> undo;
+      undo.push_back(tombstone_wr(false));
+      co_await t.hocl_.Unlock(locked.guard, std::move(undo), combine, stats);
+    } else {
+      co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
+    }
+    co_return st;
+  }
+  // Repair the B-link chain so sibling chases skip the tombstone. (On a
+  // sibling-fix failure the flipped parent is authoritative and chain
+  // restarts heal through it, so the node stays in whatever tombstone
+  // state it already reached.)
+  if (node_lo != 0) {
+    st = co_await FixLeftSibling(node_lo, level, locked.addr, naddr,
+                                 sibling_hint, locked.addr, stats);
+    if (!st.ok()) {
+      co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
+      co_return st;
+    }
+  }
+  if (tombstone_first) {
+    co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
+  } else {
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(tombstone_wr(true));
+    co_await t.hocl_.Unlock(locked.guard, std::move(wrs), combine, stats);
+  }
+  *naddr_out = naddr;
+  co_return Status::OK();
+}
+
+sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
+                                     uint64_t* moved) {
+  TreeClient& t = tc();
+  const TreeOptions& o = system_->options();
+  const bool combine = o.combine_commands;
+  Key cursor = lo;
+  rdma::GlobalAddress prev_new = rdma::kNullAddress;
+  Key prev_new_hi = 0;
+  uint32_t stuck = 0;
+
+  while (cursor < hi) {
+    if (++stuck > options_.max_retries) {
+      co_return Status::TimedOut("leaf pass stuck");
+    }
+    OpStats stats;
+    StatusOr<TreeClient::LeafRef> ref = co_await t.FindLeafAddr(cursor, &stats);
+    if (!ref.ok()) {
+      if (ref.status().IsRetry()) continue;
+      co_return ref.status();
+    }
+    std::vector<uint8_t> buf(node_size());
+    if (ref->addr.node == target) {
+      // Already home: validate lock-free and advance without disturbing
+      // writers (re-walk passes over mostly-migrated ranges stay cheap).
+      Status st = co_await t.ReadNodeChecked(ref->addr, buf.data(), &stats);
+      if (!st.ok()) co_return st;
+      NodeView peek(buf.data(), &system_->options().shape);
+      if (!peek.is_free() && peek.is_leaf() && peek.InFence(cursor)) {
+        prev_new = ref->addr;
+        prev_new_hi = peek.hi_fence();
+        cursor = peek.hi_fence();
+        stuck = 0;
+        continue;
+      }
+      t.cache_.InvalidateLevel1Covering(cursor);  // stale plan; retry
+      continue;
+    }
+    StatusOr<TreeClient::Locked> lr =
+        co_await t.LockAndRead(ref->addr, cursor, buf.data(), &stats);
+    if (!lr.ok()) {
+      if (lr.status().IsRetry()) continue;
+      co_return lr.status();
+    }
+    TreeClient::Locked locked = *lr;
+    NodeView view(buf.data(), &o.shape);
+    const Key leaf_lo = view.lo_fence();
+    const Key leaf_hi = view.hi_fence();
+
+    if (locked.addr.node == target) {  // already home (or migrated earlier)
+      co_await t.hocl_.Unlock(locked.guard, {}, combine, &stats);
+      prev_new = locked.addr;
+      prev_new_hi = leaf_hi;
+      cursor = leaf_hi;
+      stuck = 0;
+      continue;
+    }
+
+    const rdma::GlobalAddress hint =
+        prev_new_hi == leaf_lo ? prev_new : rdma::kNullAddress;
+    rdma::GlobalAddress naddr;
+    Status st = co_await MoveLockedNode(locked, &buf, /*level=*/0, cursor,
+                                        target, hint, &naddr, &stats);
+    if (!st.ok()) co_return st;
+
+    (*moved)++;
+    stats_.leaves_moved++;
+    prev_new = naddr;
+    prev_new_hi = leaf_hi;
+    cursor = leaf_hi;
+    stuck = 0;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> Migrator::InternalPass(Key lo, Key hi, uint16_t target) {
+  // With height 2 the only level-1 node is the root, which never moves.
+  if (system_->DebugHeight() < 3) co_return Status::OK();
+  TreeClient& t = tc();
+  const TreeOptions& o = system_->options();
+  const bool combine = o.combine_commands;
+  Key cursor = lo;
+  rdma::GlobalAddress prev_new = rdma::kNullAddress;
+  Key prev_new_hi = 0;
+  uint32_t stuck = 0;
+
+  while (cursor < hi) {
+    if (++stuck > options_.max_retries) {
+      co_return Status::TimedOut("internal pass stuck");
+    }
+    OpStats stats;
+    StatusOr<rdma::GlobalAddress> r = co_await t.FindNodeAddr(cursor, 1, &stats);
+    if (!r.ok()) {
+      if (r.status().IsRetry()) continue;
+      co_return r.status();
+    }
+    std::vector<uint8_t> buf(node_size());
+    StatusOr<TreeClient::Locked> lr =
+        co_await t.LockAndRead(*r, cursor, buf.data(), &stats);
+    if (!lr.ok()) {
+      if (lr.status().IsRetry()) {
+        t.cache_.InvalidateUpperCovering(cursor, *r);
+        continue;
+      }
+      co_return lr.status();
+    }
+    TreeClient::Locked locked = *lr;
+    NodeView view(buf.data(), &o.shape);
+    const Key node_lo = view.lo_fence();
+    const Key node_hi = view.hi_fence();
+    if (view.level() != 1) {  // stale steering landed off-level
+      co_await t.hocl_.Unlock(locked.guard, {}, combine, &stats);
+      continue;
+    }
+    // Only nodes fully contained in the range move (boundary nodes are
+    // shared with neighboring shards); the root never moves.
+    const bool migrate = node_lo >= lo && node_hi <= hi &&
+                         locked.addr.node != target &&
+                         locked.addr != system_->DebugRootAddr();
+    if (!migrate) {
+      co_await t.hocl_.Unlock(locked.guard, {}, combine, &stats);
+      if (locked.addr.node == target) {
+        prev_new = locked.addr;
+        prev_new_hi = node_hi;
+      }
+      cursor = node_hi;
+      stuck = 0;
+      continue;
+    }
+
+    const rdma::GlobalAddress hint =
+        prev_new_hi == node_lo ? prev_new : rdma::kNullAddress;
+    rdma::GlobalAddress naddr;
+    Status st = co_await MoveLockedNode(locked, &buf, /*level=*/1, cursor,
+                                        target, hint, &naddr, &stats);
+    if (!st.ok()) co_return st;
+
+    stats_.internals_moved++;
+    prev_new = naddr;
+    prev_new_hi = node_hi;
+    cursor = node_hi;
+    stuck = 0;
+  }
+  co_return Status::OK();
+}
+
+uint64_t Migrator::CountOffTarget(Key lo, Key hi, uint16_t target) const {
+  const TreeShape& shape = system_->options().shape;
+  rdma::Fabric& fabric = system_->fabric();
+  rdma::GlobalAddress addr = system_->DebugRootAddr();
+  // Descend live pointers to the leaf covering lo.
+  for (uint64_t guard = 0; guard < kMaxWalkNodes; guard++) {
+    NodeView view(fabric.HostRaw(addr), &shape);
+    if (view.is_leaf()) break;
+    addr = view.InternalChildFor(lo);
+  }
+  uint64_t off = 0;
+  for (uint64_t guard = 0; guard < kMaxWalkNodes && !addr.is_null(); guard++) {
+    NodeView view(fabric.HostRaw(addr), &shape);
+    if (view.lo_fence() >= hi) break;
+    if (addr.node != target) off++;
+    addr = view.sibling();
+  }
+  return off;
+}
+
+sim::Task<Status> Migrator::MigrateRange(Key lo, Key hi, uint16_t target_ms) {
+  if (lo < 1) lo = 1;
+  if (hi <= lo) co_return Status::OK();
+  SHERMAN_CHECK(target_ms <
+                static_cast<uint16_t>(system_->fabric().num_memory_servers()));
+  if (system_->DebugHeight() < 2) {
+    co_return Status::InvalidArgument(
+        "tree too shallow to migrate (root is a leaf)");
+  }
+  const sim::SimTime t0 = system_->simulator().now();
+
+  // Bounded copy passes: splits racing ahead of the walk can drop fresh
+  // leaves on other servers; re-walk until a pass moves nothing.
+  bool clean = false;
+  for (uint32_t pass = 0; pass < options_.max_passes && !clean; pass++) {
+    uint64_t moved = 0;
+    Status st = co_await LeafPass(lo, hi, target_ms, &moved);
+    stats_.passes++;
+    if (!st.ok()) co_return st;
+    clean = moved == 0;
+  }
+  Status st = co_await InternalPass(lo, hi, target_ms);
+  if (!st.ok()) co_return st;
+  if (!clean) stats_.residual_leaves += CountOffTarget(lo, hi, target_ms);
+
+  // Flip-time invalidation broadcast: drop every compute server's cached
+  // leaf translations for the moved range (they point at tombstones).
+  for (int cs = 0; cs < system_->num_clients(); cs++) {
+    system_->client(cs).cache().InvalidateKeyRange(lo, hi);
+  }
+
+  stats_.ranges_migrated++;
+  stats_.busy_ns +=
+      static_cast<uint64_t>(system_->simulator().now() - t0);
+  co_return Status::OK();
+}
+
+sim::Task<Status> Migrator::MigrateShard(int shard, uint16_t target_ms) {
+  SHERMAN_CHECK_MSG(map_ != nullptr && router_ != nullptr,
+                    "MigrateShard needs a shard map and a router");
+  const auto [lo, hi] = router_->ShardBounds(shard);
+  Status st = co_await MigrateRange(lo, hi, target_ms);
+  if (!st.ok()) co_return st;
+  map_->Flip(shard, target_ms);
+  stats_.flips++;
+  stats_.shards_migrated++;
+  co_return Status::OK();
+}
+
+}  // namespace sherman::migrate

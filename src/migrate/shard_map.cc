@@ -1,0 +1,25 @@
+#include "migrate/shard_map.h"
+
+#include "util/logging.h"
+
+namespace sherman::migrate {
+
+ShardMap::ShardMap(int num_shards, int founding_ms) {
+  SHERMAN_CHECK(num_shards > 0 && founding_ms > 0);
+  entries_.resize(num_shards);
+  for (int s = 0; s < num_shards; s++) {
+    entries_[s].home = static_cast<uint16_t>(s % founding_ms);
+  }
+}
+
+uint32_t ShardMap::Flip(int shard, uint16_t new_home) {
+  SHERMAN_CHECK(shard >= 0 && shard < num_shards());
+  Entry& e = entries_[shard];
+  e.home = new_home;
+  e.version++;
+  epoch_++;
+  flips_++;
+  return e.version;
+}
+
+}  // namespace sherman::migrate

@@ -1,0 +1,60 @@
+// ShardMap: the versioned control-plane table mapping each logical key-range
+// shard to its home memory server.
+//
+// At construction every shard is homed by the founding static rule
+// (shard % founding_ms), matching the DEX-style pinning the router used
+// before elastic scale-out existed. A live migration ends with Flip(): the
+// shard's home changes, its version bumps, and the map-wide epoch bumps.
+// Clients compare epochs to notice that some shard moved and re-resolve;
+// per-shard versions let them tell exactly which translation went stale.
+//
+// The map itself is a control-plane object (no simulated traffic): in the
+// real system it would live in a metadata service and be pushed to compute
+// servers on change. Data-plane staleness is still detected end-to-end —
+// a one-sided op holding a pre-flip GlobalAddress lands on a tombstoned
+// node, fails the free/fence validation, and re-traverses (see
+// migrate/migrator.h for the protocol).
+#ifndef SHERMAN_MIGRATE_SHARD_MAP_H_
+#define SHERMAN_MIGRATE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sherman::migrate {
+
+class ShardMap {
+ public:
+  ShardMap(int num_shards, int founding_ms);
+
+  ShardMap(const ShardMap&) = delete;
+  ShardMap& operator=(const ShardMap&) = delete;
+
+  int num_shards() const { return static_cast<int>(entries_.size()); }
+
+  uint16_t home(int shard) const { return entries_[shard].home; }
+  uint32_t version(int shard) const { return entries_[shard].version; }
+
+  // Bumped once per Flip(); a cheap "did anything move?" check for clients
+  // that cached translations.
+  uint64_t epoch() const { return epoch_; }
+
+  // Atomically (control-plane) re-homes `shard`. Returns the shard's new
+  // version.
+  uint32_t Flip(int shard, uint16_t new_home);
+
+  uint64_t flips() const { return flips_; }
+
+ private:
+  struct Entry {
+    uint16_t home = 0;
+    uint32_t version = 0;
+  };
+
+  std::vector<Entry> entries_;
+  uint64_t epoch_ = 0;
+  uint64_t flips_ = 0;
+};
+
+}  // namespace sherman::migrate
+
+#endif  // SHERMAN_MIGRATE_SHARD_MAP_H_

@@ -21,6 +21,11 @@ void ComputeServer::ConnectQps(
   }
 }
 
+void ComputeServer::ConnectQp(MemoryServer& ms) {
+  SHERMAN_CHECK(ms.id() == qps_.size());
+  qps_.push_back(std::make_unique<Qp>(this, &ms, sim_, cfg_));
+}
+
 Qp& ComputeServer::qp(uint16_t ms_id) {
   SHERMAN_CHECK(ms_id < qps_.size());
   return *qps_[ms_id];

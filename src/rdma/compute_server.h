@@ -31,6 +31,11 @@ class ComputeServer {
   // Connects one RC QP to each memory server. Called by Fabric.
   void ConnectQps(const std::vector<std::unique_ptr<MemoryServer>>& servers);
 
+  // Connects a QP to one additional memory server (elastic scale-out).
+  // The server's id must equal the current QP count so qp(ms_id) indexing
+  // stays dense.
+  void ConnectQp(MemoryServer& ms);
+
   // The QP connected to memory server `ms_id`.
   Qp& qp(uint16_t ms_id);
 

@@ -21,6 +21,14 @@ Fabric::Fabric(FabricConfig cfg) : cfg_(cfg) {
   }
 }
 
+MemoryServer& Fabric::AddMemoryServer() {
+  const uint16_t id = static_cast<uint16_t>(memory_.size());
+  memory_.push_back(std::make_unique<MemoryServer>(id, &sim_, &cfg_));
+  cfg_.num_memory_servers = static_cast<int>(memory_.size());
+  for (auto& cs : compute_) cs->ConnectQp(*memory_.back());
+  return *memory_.back();
+}
+
 NicCounters Fabric::TotalMsNicCounters() const {
   NicCounters total;
   for (const auto& ms : memory_) {

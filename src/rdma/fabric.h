@@ -34,6 +34,15 @@ class Fabric {
   // The QP from compute server `cs_id` to memory server `ms_id`.
   Qp& qp(int cs_id, int ms_id) { return cs(cs_id).qp(static_cast<uint16_t>(ms_id)); }
 
+  // Elastic scale-out: brings one more memory server online. The MS is
+  // constructed with the fabric's standard geometry, and every compute
+  // server connects a fresh RC QP to it, so one-sided ops and RPCs can
+  // target it immediately. Callers layer the rest of the bring-up on top
+  // (chunk manager, RPC services, shard migration — see ShermanSystem::
+  // AddMemoryServer and migrate/migrator.h). Returns the new server; its
+  // id is the previous num_memory_servers().
+  MemoryServer& AddMemoryServer();
+
   // Direct host-memory access for bulk loading and verification (bypasses
   // the timing model; never use from simulated clients).
   uint8_t* HostRaw(GlobalAddress addr) {

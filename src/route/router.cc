@@ -64,9 +64,14 @@ std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
                                  const std::vector<Path>& prev,
                                  const std::vector<double>& ms_backlog_ns,
                                  const RouterModel& model,
-                                 const RouterOptions& opt) {
+                                 const RouterOptions& opt,
+                                 const std::vector<uint16_t>& homes) {
   const int n = static_cast<int>(shards.size());
   SHERMAN_CHECK(static_cast<int>(prev.size()) == n);
+  SHERMAN_CHECK(homes.empty() || static_cast<int>(homes.size()) == n);
+  const auto home_of = [&](int s) {
+    return homes.empty() ? s % model.num_ms : static_cast<int>(homes[s]);
+  };
 
   if (opt.policy == RouterOptions::Policy::kAllOneSided) {
     return std::vector<Path>(n, Path::kOneSided);
@@ -77,7 +82,11 @@ std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
 
   std::vector<Path> next(n, Path::kOneSided);
   std::vector<double> busy(ms_backlog_ns);
-  busy.resize(model.num_ms, 0.0);
+  size_t num_targets = static_cast<size_t>(model.num_ms);
+  for (int s = 0; s < n; s++) {
+    num_targets = std::max(num_targets, static_cast<size_t>(home_of(s)) + 1);
+  }
+  busy.resize(num_targets, 0.0);
   const double epoch_ns = static_cast<double>(opt.epoch_ns);
 
   // Consider the best per-op savings first, so the cheap queue headroom
@@ -103,7 +112,7 @@ std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
       next[s] = prev[s];
       continue;
     }
-    const int home = s % model.num_ms;
+    const int home = home_of(s);
     const double shard_busy_ns = e.ops * model.rpc_service_ns;
     const double util_after = (busy[home] + shard_busy_ns) / epoch_ns;
     if (util_after > opt.rpc_util_cap) continue;  // stays one-sided
@@ -130,8 +139,7 @@ std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
       if (next[s] != Path::kRpc || !shards[s].warm || shards[s].ops <= 0) {
         continue;
       }
-      const double rpc_cost =
-          EstimateRpcNs(busy[s % model.num_ms], epoch_ns, model);
+      const double rpc_cost = EstimateRpcNs(busy[home_of(s)], epoch_ns, model);
       // A smaller margin than admission: the shard already cleared the
       // offload bar at its own inclusion point; evict only if the final
       // load erases (nearly) all of the predicted benefit.
@@ -145,7 +153,7 @@ std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
     }
     if (worst == -1) break;
     next[worst] = Path::kOneSided;
-    busy[worst % model.num_ms] -= shards[worst].ops * model.rpc_service_ns;
+    busy[home_of(worst)] -= shards[worst].ops * model.rpc_service_ns;
   }
   return next;
 }
@@ -191,6 +199,33 @@ int AdaptiveRouter::ShardFor(Key key) const {
        static_cast<unsigned __int128>(options_.num_shards)) /
       span;
   return static_cast<int>(idx);
+}
+
+std::pair<Key, Key> AdaptiveRouter::ShardBounds(int shard) const {
+  SHERMAN_CHECK(shard >= 0 && shard < options_.num_shards);
+  const int n = options_.num_shards;
+  if (n == 1) return {1, kMaxKey};
+  if (!boundaries_.empty()) {
+    const Key lo = shard == 0 ? 1 : boundaries_[shard - 1];
+    const Key hi = shard == n - 1 ? kMaxKey : boundaries_[shard];
+    return {lo, hi};
+  }
+  const Key ulo = options_.universe_lo;
+  const Key uhi = options_.universe_hi;
+  SHERMAN_CHECK_MSG(uhi > ulo, "router universe not set (call SetUniverse)");
+  const unsigned __int128 span = uhi - ulo;
+  // Exact inverse of ShardFor's floor((k-lo)*n/span): the smallest key
+  // mapping to shard i is lo + ceil(span*i/n). A floor cut here would
+  // misplace the boundary key whenever span % n != 0, and a migration
+  // driven by these bounds would strand it on the old home.
+  const auto cut = [&](int i) {
+    const unsigned __int128 num = span * static_cast<unsigned __int128>(i) +
+                                  static_cast<unsigned __int128>(n - 1);
+    return static_cast<Key>(ulo + num / static_cast<unsigned __int128>(n));
+  };
+  const Key lo = shard == 0 ? 1 : cut(shard);
+  const Key hi = shard == n - 1 ? kMaxKey : cut(shard + 1);
+  return {lo, hi};
 }
 
 void AdaptiveRouter::SetUniverse(Key lo, Key hi) {
@@ -263,17 +298,22 @@ void AdaptiveRouter::EndEpochNow() {
   }
 
   // The queue-depth signal: each memory thread's outstanding FIFO work.
-  std::vector<double> backlog(model_.num_ms, 0.0);
+  // Sized by the fabric's CURRENT server count — elastic scale-out can have
+  // grown it past the founding model_.num_ms.
+  const int num_ms = fabric_->num_memory_servers();
+  std::vector<double> backlog(num_ms, 0.0);
   const sim::SimTime now = fabric_->simulator().now();
   double max_backlog = 0;
-  for (int m = 0; m < model_.num_ms; m++) {
+  for (int m = 0; m < num_ms; m++) {
     backlog[m] =
         static_cast<double>(fabric_->ms(m).MemoryThreadBacklog(now));
     max_backlog = std::max(max_backlog, backlog[m]);
   }
 
-  std::vector<Path> next =
-      PlanAssignment(smoothed_, assignment_, backlog, model_, options_);
+  std::vector<uint16_t> homes(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; s++) homes[s] = HomeMsFor(s);
+  std::vector<Path> next = PlanAssignment(smoothed_, assignment_, backlog,
+                                          model_, options_, homes);
 
   // Probing: an offloaded shard's one-sided cost estimate only refreshes
   // while it runs one-sided. Periodically send a long-offloaded shard back

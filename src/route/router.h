@@ -26,8 +26,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <utility>
+
 #include "core/node_layout.h"
 #include "core/stats.h"
+#include "migrate/shard_map.h"
 #include "rdma/fabric.h"
 #include "route/hotness.h"
 #include "sim/simulator.h"
@@ -101,12 +104,15 @@ double EstimateRpcNs(double planned_busy_ns, double epoch_ns,
 
 // Pure planning function: given per-shard estimates, the previous
 // assignment, and each MS's current FIFO backlog (ns), returns the next
-// assignment. Deterministic; unit-tested directly.
+// assignment. Deterministic; unit-tested directly. `homes` maps each shard
+// to its home MS (elastic clusters re-home shards via the shard map);
+// empty means the founding static rule (shard % num_ms).
 std::vector<Path> PlanAssignment(const std::vector<ShardEstimate>& shards,
                                  const std::vector<Path>& prev,
                                  const std::vector<double>& ms_backlog_ns,
                                  const RouterModel& model,
-                                 const RouterOptions& opt);
+                                 const RouterOptions& opt,
+                                 const std::vector<uint16_t>& homes = {});
 
 // One row of the router's epoch log (surfaced by bench reports).
 struct EpochRecord {
@@ -130,12 +136,28 @@ class AdaptiveRouter {
   int num_shards() const { return options_.num_shards; }
   const RouterOptions& options() const { return options_; }
 
-  // Key -> logical shard (range partition), and the shard's home MS.
+  // Key -> logical shard (range partition), and the shard's home MS. With
+  // a shard map installed (elastic clusters), the map is authoritative:
+  // migrations re-home shards there and the static founding rule no longer
+  // applies — in particular, growing the fabric must NOT remap unmigrated
+  // shards, which `shard % current_num_ms` would.
   int ShardFor(Key key) const;
   uint16_t HomeMsFor(int shard) const {
+    if (shard_map_ != nullptr) return shard_map_->home(shard);
     return static_cast<uint16_t>(shard % model_.num_ms);
   }
   Path PathOfShard(int shard) const { return assignment_[shard]; }
+
+  // The key interval [lo, hi) shard `shard` covers (lo of shard 0 is
+  // clamped to 1, hi of the last shard is kMaxKey — ShardFor maps every
+  // out-of-universe key into those edge shards). This is the unit the
+  // migrator moves.
+  std::pair<Key, Key> ShardBounds(int shard) const;
+
+  // Installs the versioned shard map consulted by HomeMsFor. The map must
+  // outlive the router.
+  void InstallShardMap(const migrate::ShardMap* map) { shard_map_ = map; }
+  const migrate::ShardMap* shard_map() const { return shard_map_; }
 
   // Universe/height are learned at BulkLoad time.
   void SetUniverse(Key lo, Key hi);
@@ -169,6 +191,7 @@ class AdaptiveRouter {
   RouterModel model_;
   HotnessTracker* tracker_;
   rdma::Fabric* fabric_;
+  const migrate::ShardMap* shard_map_ = nullptr;
 
   std::vector<Path> assignment_;
   std::vector<Key> boundaries_;  // empty => equal-width universe split

@@ -18,15 +18,16 @@ constexpr uint32_t kMaxScanLeaves = 64;
 }  // namespace
 
 TreeRpcService::TreeRpcService(ShermanSystem* system) : system_(system) {
-  rdma::Fabric& fabric = system->fabric();
-  const int num_ms = fabric.num_memory_servers();
-  for (int ms = 0; ms < num_ms; ms++) {
-    fabric.ms(ms).ChainRpcHandler(
-        kOpInsert, kOpMultiInsert,
-        [this, ms](uint64_t opcode, uint64_t a, uint64_t b, uint16_t) {
-          return Handle(ms, opcode, a, b);
-        });
-  }
+  const int num_ms = system->fabric().num_memory_servers();
+  for (int ms = 0; ms < num_ms; ms++) InstallOn(ms);
+}
+
+void TreeRpcService::InstallOn(int ms) {
+  system_->fabric().ms(ms).ChainRpcHandler(
+      kOpInsert, kOpMultiInsert,
+      [this, ms](uint64_t opcode, uint64_t a, uint64_t b, uint16_t) {
+        return Handle(ms, opcode, a, b);
+      });
 }
 
 uint64_t TreeRpcService::Handle(int ms, uint64_t opcode, uint64_t a,

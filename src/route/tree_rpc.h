@@ -67,6 +67,12 @@ class TreeRpcService {
 
   ShermanSystem* system() { return system_; }
 
+  // Installs this service's handler on one MS — used when a memory server
+  // joins after construction (elastic scale-out). Must run after the MS's
+  // chunk manager installed its base handler (ChainRpcHandler forwards
+  // foreign opcodes to it).
+  void InstallOn(int ms);
+
   uint64_t NewToken() { return next_token_++; }
   // Fetches and erases the staged result for `token`. Lookup results are
   // (found, value); scan results are key-ordered pairs.

@@ -9,8 +9,18 @@
 //    thread's last value (no lost updates);
 //  - structural invariants (fence tiling, sorted internals, version
 //    coherence) hold at quiescence.
+//
+// The op mix interleaves every mutating path the index exposes: singleton
+// Insert/Lookup/Delete/RangeQuery plus the doorbell-batched MultiGet /
+// MultiInsert. Elastic cases additionally run a mid-fuzz
+// AddMemoryServer + live migration of half the key space concurrently
+// with the op streams.
+//
+// Nightly soak: SHERMAN_LONG_FUZZ=1 widens the seed sweep and lengthens
+// each run (see .github/workflows/nightly.yml); the PR gate stays small.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <vector>
@@ -18,21 +28,122 @@
 #include "bench/runner.h"
 #include "core/btree.h"
 #include "core/presets.h"
+#include "migrate/migrator.h"
+#include "test_oracle.h"
 #include "util/random.h"
 
 namespace sherman {
 namespace {
 
+using testutil::Oracle;
+
 struct FuzzCase {
   uint64_t seed;
   const char* preset;
+  bool elastic = false;  // mid-run AddMemoryServer + migration
 };
 
 class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
 
+// One client thread's op stream: singleton ops plus batched MultiGet /
+// MultiInsert, all recorded against the shared oracle before issue (so a
+// torn-read check is sound).
+sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
+                           int n_ops, uint64_t space, Oracle* orc,
+                           std::map<Key, uint64_t>* my_last, int* d) {
+  TreeClient& client = sys->client(tid % sys->num_clients());
+  Random rng(seed);
+  const auto check_read = [orc](Key key, const Status& st, uint64_t v) {
+    testutil::CheckRead(*orc, key, st, v);
+  };
+  const auto record_write = [&](Key key, uint64_t value) {
+    (*orc)[key].written_values.insert(value);
+    (*orc)[key].writers.insert(tid);
+    (*my_last)[key] = value;
+  };
+  const auto exempt = [&](Key key) {
+    // Tiny fabrics can legitimately run out of chunks mid-fuzz; exempt the
+    // key from the lost-update oracle and carry on.
+    (*orc)[key].deleted = true;
+    my_last->erase(key);
+  };
+
+  for (int i = 0; i < n_ops; i++) {
+    const Key key = 1 + rng.Uniform(space);
+    const uint64_t dice = rng.Uniform(12);
+    if (dice < 3) {  // singleton insert
+      const uint64_t value = (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
+      record_write(key, value);
+      Status st = co_await client.Insert(key, value);
+      if (st.IsOutOfMemory()) {
+        exempt(key);
+        continue;
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    } else if (dice < 5) {  // batched MultiInsert
+      std::vector<std::pair<Key, uint64_t>> kvs;
+      const int batch = 2 + static_cast<int>(rng.Uniform(5));
+      for (int b = 0; b < batch; b++) {
+        const Key k = 1 + rng.Uniform(space);
+        const uint64_t value = (static_cast<uint64_t>(tid + 1) << 32) |
+                               (static_cast<uint64_t>(i + 1) << 8) |
+                               static_cast<uint64_t>(b);
+        record_write(k, value);
+        kvs.emplace_back(k, value);
+      }
+      std::vector<std::pair<Key, uint64_t>> issued = kvs;
+      Status st = co_await client.MultiInsert(std::move(issued));
+      if (st.IsOutOfMemory()) {
+        // Partial application possible; exempt every key of the batch.
+        for (const auto& [k, v] : kvs) exempt(k);
+        continue;
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    } else if (dice < 7) {  // singleton lookup
+      uint64_t v = 0;
+      Status st = co_await client.Lookup(key, &v);
+      check_read(key, st, v);
+    } else if (dice < 9) {  // batched MultiGet
+      std::vector<Key> keys;
+      const int batch = 2 + static_cast<int>(rng.Uniform(7));
+      for (int b = 0; b < batch; b++) keys.push_back(1 + rng.Uniform(space));
+      std::vector<MultiGetResult> got;
+      Status st = co_await client.MultiGet(keys, &got);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(got.size(), keys.size());
+      for (size_t b = 0; b < got.size() && b < keys.size(); b++) {
+        check_read(keys[b], got[b].status, got[b].value);
+      }
+    } else if (dice < 10) {  // delete
+      auto it = orc->find(key);
+      if (it != orc->end()) it->second.deleted = true;
+      my_last->erase(key);
+      Status st = co_await client.Delete(key);
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    } else {  // range query
+      std::vector<std::pair<Key, uint64_t>> out;
+      Status st = co_await client.RangeQuery(
+          key, 1 + static_cast<uint32_t>(rng.Uniform(60)), &out);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      for (size_t j = 1; j < out.size(); j++) {
+        EXPECT_LT(out[j - 1].first, out[j].first);
+      }
+      for (const auto& [k2, v2] : out) check_read(k2, Status::OK(), v2);
+    }
+  }
+  (*d)++;
+}
+
+sim::Task<void> ElasticEvent(migrate::Migrator* mig, Key hi, uint16_t target,
+                             Status* st, bool* done) {
+  *st = co_await mig->MigrateRange(1, hi, target);
+  *done = true;
+}
+
 TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   const FuzzCase& fc = GetParam();
   Random meta_rng(fc.seed);
+  const bool long_fuzz = std::getenv("SHERMAN_LONG_FUZZ") != nullptr;
 
   TreeOptions topt;
   ASSERT_TRUE(PresetByName(fc.preset, &topt));
@@ -51,118 +162,60 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   system.BulkLoad(bench::MakeLoadKvs(loaded), 0.7 + meta_rng.NextDouble() * 0.3);
 
   const int threads = 2 + static_cast<int>(meta_rng.Uniform(14));
-  const int ops_per_thread = 100 + static_cast<int>(meta_rng.Uniform(200));
+  const int ops_per_thread =
+      (100 + static_cast<int>(meta_rng.Uniform(200))) * (long_fuzz ? 4 : 1);
   const uint64_t key_space = 2 * loaded + 100;
 
-  // Oracle state: per-key set of candidate values + writer sets. Values
-  // recorded before the op is issued (so a torn-read check is sound).
-  struct KeyOracle {
-    std::set<uint64_t> written_values;
-    std::set<int> writers;
-    bool deleted = false;  // any delete ever issued
-  };
-  std::map<Key, KeyOracle> oracle;
+  Oracle oracle;
   std::map<Key, uint64_t> last_value_by_thread[16];
-  for (const auto& [k, v] : bench::MakeLoadKvs(loaded)) {
-    oracle[k].written_values.insert(v);
-    oracle[k].writers.insert(-1);
-  }
+  testutil::SeedOracle(&oracle, bench::MakeLoadKvs(loaded));
 
   int done = 0;
   for (int t = 0; t < threads; t++) {
-    sim::Spawn([](ShermanSystem* sys, int tid, uint64_t seed, int n_ops,
-                  uint64_t space, std::map<Key, KeyOracle>* orc,
-                  std::map<Key, uint64_t>* my_last,
-                  int* d) -> sim::Task<void> {
-      TreeClient& client = sys->client(tid % sys->num_clients());
-      Random rng(seed);
-      for (int i = 0; i < n_ops; i++) {
-        const Key key = 1 + rng.Uniform(space);
-        const uint64_t dice = rng.Uniform(10);
-        if (dice < 5) {
-          const uint64_t value =
-              (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
-          (*orc)[key].written_values.insert(value);
-          (*orc)[key].writers.insert(tid);
-          (*my_last)[key] = value;
-          Status st = co_await client.Insert(key, value);
-          if (st.IsOutOfMemory()) {
-            // Tiny fabrics can legitimately run out of chunks mid-fuzz;
-            // exempt the key from the lost-update oracle and carry on.
-            (*orc)[key].deleted = true;
-            my_last->erase(key);
-            continue;
-          }
-          EXPECT_TRUE(st.ok()) << st.ToString();
-        } else if (dice < 8) {
-          uint64_t v = 0;
-          Status st = co_await client.Lookup(key, &v);
-          auto it = orc->find(key);
-          if (st.ok()) {
-            // Whatever we read must be some value someone wrote.
-            EXPECT_NE(it, orc->end()) << "phantom key " << key;
-            EXPECT_TRUE(it->second.written_values.count(v))
-                << "torn value " << v << " for key " << key;
-          } else {
-            EXPECT_TRUE(st.IsNotFound()) << st.ToString();
-          }
-        } else if (dice < 9) {
-          auto it = orc->find(key);
-          if (it != orc->end()) it->second.deleted = true;
-          Status st = co_await client.Delete(key);
-          EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
-        } else {
-          std::vector<std::pair<Key, uint64_t>> out;
-          Status st = co_await client.RangeQuery(
-              key, 1 + static_cast<uint32_t>(rng.Uniform(60)), &out);
-          EXPECT_TRUE(st.ok()) << st.ToString();
-          for (size_t j = 1; j < out.size(); j++) {
-            EXPECT_LT(out[j - 1].first, out[j].first);
-          }
-          for (const auto& [k2, v2] : out) {
-            auto it = orc->find(k2);
-            EXPECT_NE(it, orc->end()) << "phantom key " << k2;
-            EXPECT_TRUE(it->second.written_values.count(v2))
-                << "torn value in range for key " << k2;
-          }
-        }
-      }
-      (*d)++;
-    }(&system, t, fc.seed * 97 + t, ops_per_thread, key_space, &oracle,
-      &last_value_by_thread[t], &done));
+    sim::Spawn(FuzzWorker(&system, t, fc.seed * 97 + t, ops_per_thread,
+                          key_space, &oracle, &last_value_by_thread[t],
+                          &done));
   }
+
+  // Elastic cases: a memory server joins MID-fuzz — the AddMemoryServer
+  // (QP wiring, chunk manager bring-up) and the migration of the lower
+  // half of the key space both happen at a seeded simulated instant while
+  // every op stream has work in flight.
+  migrate::Migrator migrator(&system, {});
+  Status mig_st = Status::OK();
+  bool mig_done = true;
+  if (fc.elastic && system.DebugHeight() >= 2) {
+    mig_done = false;
+    const sim::SimTime grow_at = 50'000 + meta_rng.Uniform(500'000);
+    system.simulator().At(grow_at, [&system, &migrator, key_space, &mig_st,
+                                    &mig_done] {
+      const int target = system.AddMemoryServer();
+      sim::Spawn(ElasticEvent(&migrator, key_space / 2,
+                              static_cast<uint16_t>(target), &mig_st,
+                              &mig_done));
+    });
+  }
+
   system.simulator().Run();
   ASSERT_EQ(done, threads);
+  ASSERT_TRUE(mig_done);
+  EXPECT_TRUE(mig_st.ok()) << mig_st.ToString();
 
-  system.DebugCheckInvariants();
-  const auto scan = system.DebugScanLeaves();
-  std::map<Key, uint64_t> final_map(scan.begin(), scan.end());
-  for (const auto& [k, v] : final_map) {
-    auto it = oracle.find(k);
-    ASSERT_NE(it, oracle.end()) << "scan surfaced unwritten key " << k;
-    EXPECT_TRUE(it->second.written_values.count(v))
-        << "final value " << v << " for key " << k << " was never written";
-  }
-  // Single-writer, never-deleted keys must hold that writer's last value.
-  for (int t = 0; t < threads; t++) {
-    for (const auto& [k, v] : last_value_by_thread[t]) {
-      const KeyOracle& o = oracle[k];
-      if (o.deleted) continue;
-      std::set<int> real_writers = o.writers;
-      real_writers.erase(-1);  // bulkload
-      if (real_writers.size() != 1) continue;
-      auto it = final_map.find(k);
-      ASSERT_NE(it, final_map.end()) << "lost key " << k;
-      EXPECT_EQ(it->second, v) << "lost update on key " << k;
-    }
-  }
+  testutil::CheckOracleAtQuiescence(&system, oracle, last_value_by_thread,
+                                    threads);
 }
 
 std::vector<FuzzCase> MakeCases() {
   std::vector<FuzzCase> cases;
   const char* presets[] = {"sherman", "fg+", "+on-chip"};
-  for (uint64_t seed = 1; seed <= 12; seed++) {
-    cases.push_back(FuzzCase{seed, presets[seed % 3]});
+  const bool long_fuzz = std::getenv("SHERMAN_LONG_FUZZ") != nullptr;
+  const uint64_t plain_seeds = long_fuzz ? 36 : 12;
+  const uint64_t elastic_seeds = long_fuzz ? 12 : 4;
+  for (uint64_t seed = 1; seed <= plain_seeds; seed++) {
+    cases.push_back(FuzzCase{seed, presets[seed % 3], false});
+  }
+  for (uint64_t seed = 1; seed <= elastic_seeds; seed++) {
+    cases.push_back(FuzzCase{1000 + seed, presets[seed % 3], true});
   }
   return cases;
 }
@@ -174,7 +227,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::ValuesIn(MakeCases()),
                              if (!isalnum(static_cast<unsigned char>(c))) c = '_';
                            }
                            return "seed" + std::to_string(info.param.seed) +
-                                  "_" + p;
+                                  "_" + p +
+                                  (info.param.elastic ? "_elastic" : "");
                          });
 
 }  // namespace

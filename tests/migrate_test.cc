@@ -1,0 +1,460 @@
+// Live shard-migration correctness: quiescent range moves are lossless and
+// fully re-homed, migration under concurrent inserts/deletes/scans holds a
+// shadow-map oracle, flip-time linearizability (no lost updates, monotonic
+// reads across the flip), index-cache invalidation after the flip, a
+// migration racing leaf splits, RPC re-routing through the versioned shard
+// map, and the shallow-tree guard.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bench/runner.h"
+#include "core/hybrid_system.h"
+#include "core/presets.h"
+#include "migrate/migrator.h"
+#include "test_oracle.h"
+#include "util/random.h"
+
+namespace sherman {
+namespace {
+
+using testutil::Oracle;
+
+rdma::FabricConfig SmallFabric(int ms = 2, int cs = 2) {
+  rdma::FabricConfig f;
+  f.num_memory_servers = ms;
+  f.num_compute_servers = cs;
+  f.ms_memory_bytes = 32ull << 20;
+  return f;
+}
+
+// Host-memory walk (control plane): addresses of all live leaves whose
+// fence interval intersects [lo, hi).
+std::vector<rdma::GlobalAddress> LiveLeavesInRange(ShermanSystem* sys, Key lo,
+                                                   Key hi) {
+  const TreeShape& shape = sys->options().shape;
+  rdma::GlobalAddress addr = sys->DebugRootAddr();
+  while (true) {
+    NodeView view(sys->fabric().HostRaw(addr), &shape);
+    if (view.is_leaf()) break;
+    addr = view.InternalChildFor(lo);
+  }
+  std::vector<rdma::GlobalAddress> out;
+  while (!addr.is_null()) {
+    NodeView view(sys->fabric().HostRaw(addr), &shape);
+    if (view.lo_fence() >= hi) break;
+    out.push_back(addr);
+    addr = view.sibling();
+  }
+  return out;
+}
+
+sim::Task<void> MigrateRangeTask(migrate::Migrator* mig, Key lo, Key hi,
+                                 uint16_t target, Status* out, bool* done) {
+  *out = co_await mig->MigrateRange(lo, hi, target);
+  *done = true;
+}
+
+// --- shard map --------------------------------------------------------------
+
+TEST(ShardMapTest, FlipBumpsVersionAndEpoch) {
+  migrate::ShardMap map(8, 3);
+  EXPECT_EQ(map.home(0), 0);
+  EXPECT_EQ(map.home(4), 1);
+  EXPECT_EQ(map.home(5), 2);
+  EXPECT_EQ(map.epoch(), 0u);
+  EXPECT_EQ(map.version(5), 0u);
+
+  EXPECT_EQ(map.Flip(5, 3), 1u);
+  EXPECT_EQ(map.home(5), 3);
+  EXPECT_EQ(map.version(5), 1u);
+  EXPECT_EQ(map.epoch(), 1u);
+  EXPECT_EQ(map.version(4), 0u);  // untouched shards keep their version
+
+  EXPECT_EQ(map.Flip(5, 1), 2u);
+  EXPECT_EQ(map.epoch(), 2u);
+  EXPECT_EQ(map.flips(), 2u);
+}
+
+// --- quiescent migration ----------------------------------------------------
+
+class MigrateQuiescentTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MigrateQuiescentTest, RangeMoveIsLosslessAndFullyHomed) {
+  TreeOptions topt;
+  ASSERT_TRUE(PresetByName(GetParam(), &topt));
+  ShermanSystem system(SmallFabric(), topt);
+  const uint64_t n = 20'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+  const auto before = system.DebugScanLeaves();
+
+  const int target = system.AddMemoryServer();
+  ASSERT_EQ(target, 2);
+  const Key hi = WorkloadGenerator::LoadedKeyFor(n / 2);
+
+  migrate::Migrator mig(&system, {});
+  Status st;
+  bool done = false;
+  sim::Spawn(MigrateRangeTask(&mig, 1, hi, static_cast<uint16_t>(target), &st,
+                              &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Lossless: same key/value content, structurally sound.
+  system.DebugCheckInvariants();
+  EXPECT_EQ(system.DebugScanLeaves(), before);
+
+  // Fully homed: every leaf in the range lives on the target MS, and the
+  // covering level-1 nodes contained in the range moved too.
+  EXPECT_GT(mig.stats().leaves_moved, 0u);
+  EXPECT_GT(mig.stats().internals_moved, 0u);
+  EXPECT_EQ(mig.stats().residual_leaves, 0u);
+  for (const rdma::GlobalAddress& a : LiveLeavesInRange(&system, 1, hi)) {
+    EXPECT_EQ(a.node, target) << a.ToString();
+  }
+  // Leaves outside the range stayed put.
+  bool any_off_target = false;
+  for (const rdma::GlobalAddress& a :
+       LiveLeavesInRange(&system, hi, kMaxKey)) {
+    if (a.node != target) any_off_target = true;
+  }
+  EXPECT_TRUE(any_off_target);
+
+  // The tree still serves simulated traffic over the moved range.
+  bool ops_done = false;
+  sim::Spawn([](TreeClient* c, uint64_t keys, Key range_hi,
+                bool* flag) -> sim::Task<void> {
+    Random rng(7);
+    std::set<Key> overwritten;
+    for (int i = 0; i < 200; i++) {
+      const Key key = WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys));
+      uint64_t value = 0;
+      Status lst = co_await c->Lookup(key, &value);
+      EXPECT_TRUE(lst.ok()) << key << ": " << lst.ToString();
+      EXPECT_EQ(value, overwritten.count(key) ? key + 1 : key * 31 + 7);
+      if (key < range_hi) {
+        overwritten.insert(key);
+        Status ist = co_await c->Insert(key, key + 1);
+        EXPECT_TRUE(ist.ok()) << ist.ToString();
+        EXPECT_TRUE((co_await c->Lookup(key, &value)).ok());
+        EXPECT_EQ(value, key + 1);
+      }
+    }
+    *flag = true;
+  }(&system.client(1), n, hi, &ops_done));
+  system.simulator().Run();
+  ASSERT_TRUE(ops_done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, MigrateQuiescentTest,
+                         ::testing::Values("sherman", "fg+"),
+                         [](const auto& info) {
+                           return std::string(info.param) == "fg+" ? "fgplus"
+                                                                   : "sherman";
+                         });
+
+TEST(MigrateTest, ShallowTreeIsRefused) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  system.BulkLoad(bench::MakeLoadKvs(5), 1.0);  // one leaf: root is a leaf
+  ASSERT_EQ(system.DebugHeight(), 1u);
+  const int target = system.AddMemoryServer();
+
+  migrate::Migrator mig(&system, {});
+  Status st;
+  bool done = false;
+  sim::Spawn(MigrateRangeTask(&mig, 1, kMaxKey, static_cast<uint16_t>(target),
+                              &st, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(MigrateTest, CacheInvalidationAfterFlip) {
+  ShermanSystem system(SmallFabric(2, 2), ShermanOptions());
+  const uint64_t n = 20'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+  const Key hi = WorkloadGenerator::LoadedKeyFor(n / 2);
+
+  // Warm client 0's level-1 cache over the soon-to-move range.
+  bool warmed = false;
+  sim::Spawn([](TreeClient* c, uint64_t keys, bool* flag) -> sim::Task<void> {
+    for (uint64_t r = 0; r < keys / 2; r += 25) {
+      uint64_t value = 0;
+      EXPECT_TRUE(
+          (co_await c->Lookup(WorkloadGenerator::LoadedKeyFor(r), &value))
+              .ok());
+    }
+    *flag = true;
+  }(&system.client(0), n, &warmed));
+  system.simulator().Run();
+  ASSERT_TRUE(warmed);
+  const uint64_t invalidations_before =
+      system.client(0).cache().stats().invalidations;
+  ASSERT_GT(system.client(0).cache().level1_nodes(), 0u);
+
+  // Migration driven from CS 1; CS 0 is idle, so every invalidation it
+  // sees comes from the flip-time broadcast, not its own lazy healing.
+  const int target = system.AddMemoryServer();
+  migrate::Migrator mig(&system, {.cs_id = 1});
+  Status st;
+  bool done = false;
+  sim::Spawn(MigrateRangeTask(&mig, 1, hi, static_cast<uint16_t>(target), &st,
+                              &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(system.client(0).cache().stats().invalidations,
+            invalidations_before);
+
+  // Post-flip reads through the cold cache still resolve correctly.
+  bool checked = false;
+  sim::Spawn([](TreeClient* c, uint64_t keys, bool* flag) -> sim::Task<void> {
+    for (uint64_t r = 0; r < keys / 2; r += 500) {
+      const Key key = WorkloadGenerator::LoadedKeyFor(r);
+      uint64_t value = 0;
+      Status lst = co_await c->Lookup(key, &value);
+      EXPECT_TRUE(lst.ok()) << lst.ToString();
+      EXPECT_EQ(value, key * 31 + 7);
+    }
+    *flag = true;
+  }(&system.client(0), n, &checked));
+  system.simulator().Run();
+  ASSERT_TRUE(checked);
+}
+
+// --- migration under concurrent traffic -------------------------------------
+
+class MigrateConcurrencyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MigrateConcurrencyTest, OracleHoldsUnderConcurrentMigration) {
+  TreeOptions topt;
+  ASSERT_TRUE(PresetByName(GetParam(), &topt));
+  ShermanSystem system(SmallFabric(2, 2), topt);
+  const uint64_t n = 10'000;
+  const auto kvs = bench::MakeLoadKvs(n);
+  system.BulkLoad(kvs, 0.8);
+
+  Oracle oracle;
+  testutil::SeedOracle(&oracle, kvs);
+  constexpr int kThreads = 6;
+  std::map<Key, uint64_t> last_by_thread[kThreads];
+  int done = 0;
+  for (int t = 0; t < kThreads; t++) {
+    sim::Spawn(testutil::SingletonMixWorker(
+        &system.client(t % 2), t, 1000 + 31 * t, 250, 2 * n + 100, &oracle,
+        &last_by_thread[t], &done));
+  }
+
+  const int target = system.AddMemoryServer();
+  migrate::Migrator mig(&system, {});
+  Status mig_st;
+  bool mig_done = false;
+  sim::Spawn(MigrateRangeTask(&mig, 1, WorkloadGenerator::LoadedKeyFor(n / 2),
+                              static_cast<uint16_t>(target), &mig_st,
+                              &mig_done));
+  system.simulator().Run();
+  ASSERT_EQ(done, kThreads);
+  ASSERT_TRUE(mig_done);
+  ASSERT_TRUE(mig_st.ok()) << mig_st.ToString();
+  EXPECT_GT(mig.stats().leaves_moved, 0u);
+
+  testutil::CheckOracleAtQuiescence(&system, oracle, last_by_thread,
+                                    kThreads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, MigrateConcurrencyTest,
+                         ::testing::Values("sherman", "fg+", "+on-chip"),
+                         [](const auto& info) {
+                           std::string p = info.param;
+                           for (char& c : p) {
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return p;
+                         });
+
+TEST(MigrateConcurrencyTest, FlipTimeLinearizability) {
+  ShermanSystem system(SmallFabric(2, 2), ShermanOptions());
+  const uint64_t n = 8'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  // 4 writers own disjoint key sets and write strictly increasing values
+  // (above the bulkload value range); 4 readers re-read those keys and
+  // must never observe a value going backwards — not even while the key's
+  // leaf is mid-migration.
+  constexpr int kPairs = 4;
+  constexpr uint64_t kBase = 1ull << 48;
+  int done = 0;
+  for (int w = 0; w < kPairs; w++) {
+    sim::Spawn([](TreeClient* c, int wid, uint64_t keys,
+                  int* d) -> sim::Task<void> {
+      Random rng(77 + wid);
+      std::map<Key, uint64_t> seq;
+      for (int i = 0; i < 300; i++) {
+        const Key key =
+            WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys / kPairs) * kPairs +
+                                            wid);
+        const uint64_t value = kBase + (++seq[key]);
+        Status st = co_await c->Insert(key, value);
+        EXPECT_TRUE(st.ok()) << st.ToString();
+      }
+      (*d)++;
+    }(&system.client(w % 2), w, n, &done));
+    sim::Spawn([](TreeClient* c, int wid, uint64_t keys,
+                  int* d) -> sim::Task<void> {
+      Random rng(177 + wid);
+      std::map<Key, uint64_t> last_seen;
+      for (int i = 0; i < 300; i++) {
+        const Key key =
+            WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys / kPairs) * kPairs +
+                                            wid);
+        uint64_t value = 0;
+        Status st = co_await c->Lookup(key, &value);
+        EXPECT_TRUE(st.ok()) << key << ": " << st.ToString();
+        if (value >= kBase) {
+          auto it = last_seen.find(key);
+          if (it != last_seen.end()) {
+            EXPECT_GE(value, it->second)
+                << "non-monotonic read across flip for key " << key;
+          }
+          last_seen[key] = value;
+        }
+      }
+      (*d)++;
+    }(&system.client((w + 1) % 2), w, n, &done));
+  }
+
+  const int target = system.AddMemoryServer();
+  migrate::Migrator mig(&system, {});
+  Status mig_st;
+  bool mig_done = false;
+  sim::Spawn(MigrateRangeTask(&mig, 1, kMaxKey, static_cast<uint16_t>(target),
+                              &mig_st, &mig_done));
+  system.simulator().Run();
+  ASSERT_EQ(done, 2 * kPairs);
+  ASSERT_TRUE(mig_done);
+  ASSERT_TRUE(mig_st.ok()) << mig_st.ToString();
+  system.DebugCheckInvariants();
+}
+
+TEST(MigrateConcurrencyTest, MigrationRacesLeafSplits) {
+  TreeOptions topt = ShermanOptions();
+  topt.shape.node_size = 256;  // tiny leaves: splits are easy to provoke
+  ShermanSystem system(SmallFabric(2, 2), topt);
+  const uint64_t n = 4'000;
+  const auto kvs = bench::MakeLoadKvs(n);
+  system.BulkLoad(kvs, 0.95);  // nearly-full leaves split on first insert
+
+  Oracle oracle;
+  testutil::SeedOracle(&oracle, kvs);
+  // Writers hammer fresh odd keys inside the migrating range, so splits
+  // land mid-migration (including on already-moved leaves, which the next
+  // copy pass must re-home).
+  constexpr int kThreads = 4;
+  std::map<Key, uint64_t> last_by_thread[kThreads];
+  int done = 0;
+  for (int t = 0; t < kThreads; t++) {
+    sim::Spawn([](TreeClient* c, int tid, uint64_t keys, Oracle* oracle,
+                  std::map<Key, uint64_t>* my_last, int* d) -> sim::Task<void> {
+      Random rng(500 + tid);
+      for (int i = 0; i < 300; i++) {
+        const Key key = 1 + 2 * rng.Uniform(keys / 2);  // odd: fresh inserts
+        const uint64_t value =
+            (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
+        (*oracle)[key].written_values.insert(value);
+        (*oracle)[key].writers.insert(tid);
+        (*my_last)[key] = value;
+        Status st = co_await c->Insert(key, value);
+        EXPECT_TRUE(st.ok()) << st.ToString();
+      }
+      (*d)++;
+    }(&system.client(t % 2), t, n, &oracle, &last_by_thread[t], &done));
+  }
+
+  const int target = system.AddMemoryServer();
+  migrate::Migrator mig(&system, {});
+  Status mig_st;
+  bool mig_done = false;
+  sim::Spawn(MigrateRangeTask(&mig, 1, WorkloadGenerator::LoadedKeyFor(n / 2),
+                              static_cast<uint16_t>(target), &mig_st,
+                              &mig_done));
+  system.simulator().Run();
+  ASSERT_EQ(done, kThreads);
+  ASSERT_TRUE(mig_done);
+  ASSERT_TRUE(mig_st.ok()) << mig_st.ToString();
+  EXPECT_GT(mig.stats().passes, 1u);  // split races force re-walks
+
+  testutil::CheckOracleAtQuiescence(&system, oracle, last_by_thread,
+                                    kThreads);
+}
+
+// --- shard map + router integration -----------------------------------------
+
+TEST(MigrateHybridTest, ShardFlipReroutesRpcPath) {
+  HybridOptions opts;
+  opts.tree = ShermanOptions();
+  opts.router.num_shards = 8;
+  opts.router.policy = route::RouterOptions::Policy::kAllRpc;
+  HybridSystem system(SmallFabric(2, 2), opts);
+  const uint64_t n = 20'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  ASSERT_EQ(system.router().HomeMsFor(0), 0);
+  ASSERT_EQ(system.router().HomeMsFor(1), 1);
+
+  const int target = system.AddMemoryServer();
+  ASSERT_EQ(target, 2);
+  migrate::Migrator mig(&system.sherman(), {}, &system.shard_map(),
+                        &system.router());
+  Status mig_st;
+  bool mig_done = false;
+  sim::Spawn([](migrate::Migrator* m, uint16_t t, Status* out,
+                bool* done) -> sim::Task<void> {
+    *out = co_await m->MigrateShard(0, t);
+    *done = true;
+  }(&mig, static_cast<uint16_t>(target), &mig_st, &mig_done));
+  system.simulator().Run();
+  ASSERT_TRUE(mig_done);
+  ASSERT_TRUE(mig_st.ok()) << mig_st.ToString();
+
+  // The versioned map re-homed shard 0 and ONLY shard 0 — growing the
+  // fabric must not remap unmigrated shards.
+  EXPECT_EQ(system.shard_map().version(0), 1u);
+  EXPECT_EQ(system.shard_map().epoch(), 1u);
+  EXPECT_EQ(system.router().HomeMsFor(0), target);
+  for (int s = 1; s < 8; s++) {
+    EXPECT_EQ(system.router().HomeMsFor(s), s % 2) << "shard " << s;
+  }
+
+  // RPC ops on shard 0 now execute on the new MS.
+  Key shard0_key = 0;
+  for (uint64_t r = 0; r < n; r++) {
+    const Key k = WorkloadGenerator::LoadedKeyFor(r);
+    if (system.router().ShardFor(k) == 0) {
+      shard0_key = k;
+      break;
+    }
+  }
+  ASSERT_NE(shard0_key, 0u);
+  const uint64_t served_before = system.fabric().ms(target).rpcs_served();
+  bool ops_done = false;
+  sim::Spawn([](route::HybridClient* c, Key key, bool* flag) -> sim::Task<void> {
+    for (int i = 0; i < 20; i++) {
+      uint64_t value = 0;
+      Status st = co_await c->Lookup(key, &value);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(value, key * 31 + 7);
+    }
+    *flag = true;
+  }(&system.client(0), shard0_key, &ops_done));
+  system.simulator().Run();
+  ASSERT_TRUE(ops_done);
+  EXPECT_GE(system.fabric().ms(target).rpcs_served(), served_before + 20);
+}
+
+}  // namespace
+}  // namespace sherman

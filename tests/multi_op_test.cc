@@ -303,6 +303,51 @@ TEST(HybridMultiOpTest, MsDeclinedBatchKeysFallBackOneSided) {
   system.sherman().DebugCheckInvariants();
 }
 
+// A hybrid range query whose span crosses both shard boundaries (the scan
+// is routed by its FROM key's shard, then walks into neighboring shards)
+// and memory-server boundaries (leaves round-robin over MSs): the RPC-path
+// MS-side scan and the one-sided scan must return the identical exact
+// result.
+TEST(HybridMultiOpTest, RangeQueryCrossesShardAndMsBoundaries) {
+  HybridSystem system(SmallFabric(/*ms=*/4), SmallHybrid(8));
+  const uint64_t n = 8'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, uint64_t n_keys,
+                bool* flag) -> sim::Task<void> {
+    route::AdaptiveRouter& router = sys->router();
+    const int shards = router.num_shards();
+    for (int round = 0; round < 6; round++) {
+      // Start just below a shard boundary so the walk crosses it.
+      const auto bounds = router.ShardBounds(round % (shards - 1));
+      const Key from = bounds.second - (bounds.second - bounds.first) / 8;
+      EXPECT_TRUE(from != kNullKey && from != kMaxKey);
+      const uint32_t count = 300;
+
+      router.ForceAssignment(std::vector<Path>(shards, Path::kOneSided));
+      std::vector<std::pair<Key, uint64_t>> one_sided;
+      Status st = co_await sys->client(0).RangeQuery(from, count, &one_sided);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+
+      router.ForceAssignment(std::vector<Path>(shards, Path::kRpc));
+      std::vector<std::pair<Key, uint64_t>> rpc;
+      st = co_await sys->client(1).RangeQuery(from, count, &rpc);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+
+      EXPECT_EQ(one_sided.size(), count);
+      EXPECT_EQ(one_sided, rpc) << "paths disagree for from=" << from;
+      EXPECT_GT(router.ShardFor(one_sided.back().first),
+                router.ShardFor(from))
+          << "scan did not cross a shard boundary";
+    }
+    (void)n_keys;
+    *flag = true;
+  }(&system, n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
 // --- coalesced RpcIndex batches --------------------------------------------
 
 TEST(RpcIndexMultiOpTest, OneRequestPerShard) {

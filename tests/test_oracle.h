@@ -1,0 +1,136 @@
+// Shared shadow-map oracle for concurrent differential tests (fuzz_test,
+// migrate_test). The oracle records, per key, every value ever written and
+// by whom — BEFORE the op is issued, so a concurrent torn-read check is
+// sound — and the quiescent check enforces:
+//  - every key in the final scan was bulkloaded or inserted;
+//  - every final value was actually written to that key;
+//  - keys written by exactly one thread and never deleted hold that
+//    thread's last value (no lost updates);
+//  - structural invariants hold (DebugCheckInvariants).
+#ifndef SHERMAN_TESTS_TEST_ORACLE_H_
+#define SHERMAN_TESTS_TEST_ORACLE_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/btree.h"
+#include "util/random.h"
+
+namespace sherman::testutil {
+
+struct KeyOracle {
+  std::set<uint64_t> written_values;
+  std::set<int> writers;  // -1 marks the bulkload
+  bool deleted = false;   // any delete (or oracle exemption) ever issued
+};
+using Oracle = std::map<Key, KeyOracle>;
+
+// Seeds the oracle with the bulkloaded pairs.
+inline void SeedOracle(Oracle* oracle,
+                       const std::vector<std::pair<Key, uint64_t>>& kvs) {
+  for (const auto& [k, v] : kvs) {
+    (*oracle)[k].written_values.insert(v);
+    (*oracle)[k].writers.insert(-1);
+  }
+}
+
+// Concurrent-read check: an OK read must return some written value.
+// Coroutine-safe (EXPECT only, no ASSERT returns).
+inline void CheckRead(const Oracle& oracle, Key key, const Status& st,
+                      uint64_t v) {
+  auto it = oracle.find(key);
+  if (st.ok()) {
+    EXPECT_NE(it, oracle.end()) << "phantom key " << key;
+    if (it != oracle.end()) {
+      EXPECT_TRUE(it->second.written_values.count(v))
+          << "torn value " << v << " for key " << key;
+    }
+  } else {
+    EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  }
+}
+
+// One client thread's singleton-op stream (insert/lookup/delete/range),
+// recorded against the shared oracle before each op is issued. Tiny
+// fabrics can legitimately run out of chunks mid-run; such keys are
+// exempted from the lost-update rule (marked deleted) instead of failing.
+inline sim::Task<void> SingletonMixWorker(TreeClient* client, int tid,
+                                          uint64_t seed, int ops,
+                                          uint64_t key_space, Oracle* oracle,
+                                          std::map<Key, uint64_t>* my_last,
+                                          int* done) {
+  Random rng(seed);
+  for (int i = 0; i < ops; i++) {
+    const Key key = 1 + rng.Uniform(key_space);
+    const uint64_t dice = rng.Uniform(10);
+    if (dice < 5) {
+      const uint64_t value = (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
+      (*oracle)[key].written_values.insert(value);
+      (*oracle)[key].writers.insert(tid);
+      (*my_last)[key] = value;
+      Status st = co_await client->Insert(key, value);
+      if (st.IsOutOfMemory()) {
+        (*oracle)[key].deleted = true;
+        my_last->erase(key);
+        continue;
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    } else if (dice < 8) {
+      uint64_t v = 0;
+      Status st = co_await client->Lookup(key, &v);
+      CheckRead(*oracle, key, st, v);
+    } else if (dice < 9) {
+      auto it = oracle->find(key);
+      if (it != oracle->end()) it->second.deleted = true;
+      my_last->erase(key);
+      Status st = co_await client->Delete(key);
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    } else {
+      std::vector<std::pair<Key, uint64_t>> out;
+      Status st = co_await client->RangeQuery(
+          key, 1 + static_cast<uint32_t>(rng.Uniform(40)), &out);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      for (size_t j = 1; j < out.size(); j++) {
+        EXPECT_LT(out[j - 1].first, out[j].first) << "unsorted range";
+      }
+      for (const auto& [k2, v2] : out) CheckRead(*oracle, k2, Status::OK(), v2);
+    }
+  }
+  (*done)++;
+}
+
+// Quiescent check of the whole tree against the oracle. `last_by_thread[t]`
+// holds thread t's last written value per key (erased on delete/exemption).
+inline void CheckOracleAtQuiescence(
+    ShermanSystem* system, const Oracle& oracle,
+    const std::map<Key, uint64_t> last_by_thread[], int threads) {
+  system->DebugCheckInvariants();
+  const auto scan = system->DebugScanLeaves();
+  std::map<Key, uint64_t> final_map(scan.begin(), scan.end());
+  for (const auto& [k, v] : final_map) {
+    auto it = oracle.find(k);
+    ASSERT_NE(it, oracle.end()) << "scan surfaced unwritten key " << k;
+    EXPECT_TRUE(it->second.written_values.count(v))
+        << "final value " << v << " for key " << k << " was never written";
+  }
+  for (int t = 0; t < threads; t++) {
+    for (const auto& [k, v] : last_by_thread[t]) {
+      const KeyOracle& o = oracle.at(k);
+      if (o.deleted) continue;
+      std::set<int> real_writers = o.writers;
+      real_writers.erase(-1);  // bulkload
+      if (real_writers.size() != 1) continue;
+      auto it = final_map.find(k);
+      ASSERT_NE(it, final_map.end()) << "lost key " << k;
+      EXPECT_EQ(it->second, v) << "lost update on key " << k;
+    }
+  }
+}
+
+}  // namespace sherman::testutil
+
+#endif  // SHERMAN_TESTS_TEST_ORACLE_H_
