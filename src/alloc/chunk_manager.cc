@@ -4,7 +4,8 @@
 
 namespace sherman {
 
-ChunkManager::ChunkManager(rdma::MemoryServer* ms) : ms_(ms) {
+ChunkManager::ChunkManager(rdma::MemoryServer* ms, const ReclaimEpoch* reclaim)
+    : ms_(ms), reclaim_(reclaim) {
   const uint64_t size = ms->host().size();
   SHERMAN_CHECK_MSG(size > kChunkAreaOffset + kChunkSize,
                     "MS memory too small for chunk area");
@@ -12,13 +13,19 @@ ChunkManager::ChunkManager(rdma::MemoryServer* ms) : ms_(ms) {
   end_ = size - (size - kChunkAreaOffset) % kChunkSize;
   total_chunks_ = (end_ - kChunkAreaOffset) / kChunkSize;
 
-  ms->set_rpc_handler([this](uint64_t opcode, uint64_t arg, uint64_t, uint16_t) {
+  ms->set_rpc_handler([this](uint64_t opcode, uint64_t arg, uint64_t arg2,
+                             uint16_t) {
     switch (opcode) {
       case kRpcAllocChunk:
         return AllocChunk();
       case kRpcFreeChunk:
         FreeChunk(arg);
         return uint64_t{0};
+      case kRpcFreeNode:
+        FreeNode(arg, static_cast<uint32_t>(arg2));
+        return uint64_t{0};
+      case kRpcAllocNode:
+        return AllocNode(static_cast<uint32_t>(arg));
       default:
         SHERMAN_CHECK_MSG(false, "unknown RPC opcode %llu",
                           static_cast<unsigned long long>(opcode));
@@ -48,6 +55,35 @@ void ChunkManager::FreeChunk(uint64_t offset) {
   SHERMAN_CHECK(allocated_ > 0);
   allocated_--;
   free_list_.push_back(offset);
+}
+
+void ChunkManager::FreeNode(uint64_t offset, uint32_t size) {
+  SHERMAN_CHECK(offset >= kChunkAreaOffset && offset + size <= end_);
+  SHERMAN_CHECK(size > 0 && size < kChunkSize);
+  grace_.push_back(
+      GraceNode{offset, size, reclaim_ != nullptr ? reclaim_->current() : 0});
+  nodes_freed_++;
+}
+
+void ChunkManager::SweepGraceList() {
+  while (!grace_.empty()) {
+    const GraceNode& n = grace_.front();
+    if (reclaim_ != nullptr && !reclaim_->SafeToRecycle(n.epoch)) break;
+    pool_[n.size].push_back(n.offset);
+    pool_bytes_ += n.size;
+    grace_.pop_front();
+  }
+}
+
+uint64_t ChunkManager::AllocNode(uint32_t size) {
+  SweepGraceList();
+  auto it = pool_.find(size);
+  if (it == pool_.end() || it->second.empty()) return 0;
+  const uint64_t offset = it->second.back();
+  it->second.pop_back();
+  pool_bytes_ -= size;
+  nodes_recycled_++;
+  return offset;
 }
 
 }  // namespace sherman

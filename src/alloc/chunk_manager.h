@@ -1,13 +1,24 @@
 // ChunkManager: the memory-server side of the two-stage allocation scheme
 // (§4.2.4). The MS's wimpy memory thread hands out fixed 8 MB chunks over
 // RPC; all fine-grained allocation happens at compute servers.
+//
+// Reclamation (kRpcFreeNode / kRpcAllocNode): node-sized regions freed by
+// leaf merges and migration tombstone retirement park on a per-MS grace
+// list tagged with the fabric-wide reclamation epoch (alloc/reclaim.h).
+// Once every operation pinned at or before that epoch has retired, the
+// node moves to a size-keyed recycle pool; compute servers drain the pool
+// before requesting fresh chunks, so delete-heavy churn plateaus instead
+// of growing the chunk footprint monotonically.
 #ifndef SHERMAN_ALLOC_CHUNK_MANAGER_H_
 #define SHERMAN_ALLOC_CHUNK_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "alloc/layout.h"
+#include "alloc/reclaim.h"
 #include "rdma/memory_server.h"
 
 namespace sherman {
@@ -15,8 +26,11 @@ namespace sherman {
 class ChunkManager {
  public:
   // Manages the chunk area of `ms` and installs itself as the RPC handler
-  // for kRpcAllocChunk / kRpcFreeChunk.
-  explicit ChunkManager(rdma::MemoryServer* ms);
+  // for kRpcAllocChunk / kRpcFreeChunk / kRpcFreeNode / kRpcAllocNode.
+  // `reclaim` keys the grace list; null means no grace period (frees are
+  // recyclable immediately — unit-test configurations only).
+  explicit ChunkManager(rdma::MemoryServer* ms,
+                        const ReclaimEpoch* reclaim = nullptr);
 
   // Returns the host-memory offset of a fresh chunk, or 0 if exhausted.
   uint64_t AllocChunk();
@@ -24,16 +38,49 @@ class ChunkManager {
   // AllocChunk.
   void FreeChunk(uint64_t offset);
 
+  // Parks a node-sized region on the grace list, tagged with the current
+  // reclamation epoch. The bytes stay untouched (readers bouncing off the
+  // tombstone need them) until the node is recycled via AllocNode.
+  void FreeNode(uint64_t offset, uint32_t size);
+  // Hands out a recycled node of exactly `size` bytes whose grace period
+  // has passed, or 0 if none is ready.
+  uint64_t AllocNode(uint32_t size);
+
   uint64_t total_chunks() const { return total_chunks_; }
   uint64_t allocated_chunks() const { return allocated_; }
+  uint64_t allocated_bytes() const { return allocated_ * kChunkSize; }
+
+  uint64_t nodes_freed() const { return nodes_freed_; }
+  uint64_t nodes_recycled() const { return nodes_recycled_; }
+  // Freed nodes still inside their grace window (not yet poolable).
+  uint64_t grace_pending() const { return grace_.size(); }
+  uint64_t recycle_pool_bytes() const { return pool_bytes_; }
 
  private:
+  struct GraceNode {
+    uint64_t offset;
+    uint32_t size;
+    uint64_t epoch;  // reclamation epoch at free time
+  };
+
+  // Moves grace-list entries whose epoch has been passed into the
+  // size-keyed recycle pools. Grace entries are epoch-ordered (epochs
+  // only grow), so the sweep stops at the first still-protected node.
+  void SweepGraceList();
+
   rdma::MemoryServer* ms_;
+  const ReclaimEpoch* reclaim_;
   uint64_t next_fresh_;       // bump pointer over never-used chunks
   uint64_t end_;              // end of the chunk area
   uint64_t total_chunks_;
   uint64_t allocated_ = 0;
   std::vector<uint64_t> free_list_;
+
+  std::deque<GraceNode> grace_;
+  std::map<uint32_t, std::vector<uint64_t>> pool_;  // size -> offsets
+  uint64_t pool_bytes_ = 0;
+  uint64_t nodes_freed_ = 0;
+  uint64_t nodes_recycled_ = 0;
 };
 
 }  // namespace sherman

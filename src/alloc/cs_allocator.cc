@@ -4,9 +4,21 @@
 
 namespace sherman {
 
+namespace {
+// How many allocations ride the local bump chunk between probes of the
+// MS-side recycle pool. The probe is one RPC; at 1/64 of the (already
+// rare, split-driven) allocation rate its cost is noise, but it bounds
+// how long delete-churn frees can sit unreused while fresh chunk bytes
+// are still being consumed. A successful probe holds the allocator in
+// "drain mode" (probe again next time), so while the pool has nodes the
+// chunk footprint is frozen outright.
+constexpr uint32_t kRecycleProbePeriod = 64;
+}  // namespace
+
 CsAllocator::CsAllocator(rdma::Fabric* fabric, int cs_id)
     : fabric_(fabric), cs_id_(cs_id) {
   next_ms_ = cs_id % fabric->num_memory_servers();  // stagger CSs
+  probe_ms_ = next_ms_;
 }
 
 sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
@@ -19,6 +31,20 @@ sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
       co_return addr;
     }
   }
+  // Periodic probe of the MS-side recycle pools (leaf merges, migration
+  // tombstone retirement park nodes there after their epoch grace).
+  if (++allocs_since_probe_ >= kRecycleProbePeriod) {
+    allocs_since_probe_ = 0;
+    const int ms = probe_ms_;
+    probe_ms_ = (probe_ms_ + 1) % fabric_->num_memory_servers();
+    const uint64_t off = co_await fabric_->qp(cs_id_, ms).Rpc(kRpcAllocNode,
+                                                              size);
+    if (off != 0) {
+      node_recycle_rpcs_++;
+      allocs_since_probe_ = kRecycleProbePeriod;  // drain mode
+      co_return rdma::GlobalAddress(static_cast<uint16_t>(ms), off);
+    }
+  }
   // Fast path: bump-allocate in the current chunk. The loop handles the
   // case where another coroutine of this CS replaced the chunk while we
   // were awaiting the RPC.
@@ -29,9 +55,18 @@ sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
       chunk_used_ += size;
       co_return addr;
     }
-    // Slow path: RPC the next MS's memory thread for a fresh chunk.
+    // Slow path: prefer a recycled node over growing the chunk footprint
+    // (delete-heavy churn feeds this pool; the chunk count plateaus as
+    // long as recycling keeps up with demand), then fall back to a fresh
+    // chunk from the same MS.
     const int ms = next_ms_;
     next_ms_ = (next_ms_ + 1) % fabric_->num_memory_servers();
+    const uint64_t recycled =
+        co_await fabric_->qp(cs_id_, ms).Rpc(kRpcAllocNode, size);
+    if (recycled != 0) {
+      node_recycle_rpcs_++;
+      co_return rdma::GlobalAddress(static_cast<uint16_t>(ms), recycled);
+    }
     chunk_rpcs_++;
     const uint64_t offset =
         co_await fabric_->qp(cs_id_, ms).Rpc(kRpcAllocChunk, 0);

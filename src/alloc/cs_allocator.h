@@ -29,6 +29,7 @@ class CsAllocator {
   void Free(rdma::GlobalAddress addr, uint32_t size);
 
   uint64_t chunk_rpcs() const { return chunk_rpcs_; }
+  uint64_t node_recycle_rpcs() const { return node_recycle_rpcs_; }
 
  private:
   struct FreeBin {
@@ -38,12 +39,15 @@ class CsAllocator {
 
   rdma::Fabric* fabric_;
   int cs_id_;
-  int next_ms_ = 0;  // round-robin cursor
+  int next_ms_ = 0;   // round-robin cursor (fresh chunks)
+  int probe_ms_ = 0;  // round-robin cursor (recycle-pool probes)
+  uint32_t allocs_since_probe_ = 0;
   // Current chunk (single active chunk; a new one is fetched on exhaustion).
   rdma::GlobalAddress chunk_base_ = rdma::kNullAddress;
   uint64_t chunk_used_ = 0;
   std::vector<FreeBin> free_bins_;
   uint64_t chunk_rpcs_ = 0;
+  uint64_t node_recycle_rpcs_ = 0;  // allocations served from recycled nodes
 };
 
 }  // namespace sherman

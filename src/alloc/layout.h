@@ -36,6 +36,11 @@ inline constexpr uint64_t kRootPointerOffset = 64;
 // RPC opcodes served by the memory thread.
 inline constexpr uint64_t kRpcAllocChunk = 1;
 inline constexpr uint64_t kRpcFreeChunk = 2;
+// Node-granularity reclamation (leaf merges, migration tombstones): the
+// freed node parks on the MS's epoch-keyed grace list and is handed back
+// out via kRpcAllocNode only after the reclamation epoch has passed it.
+inline constexpr uint64_t kRpcFreeNode = 3;   // arg = offset, arg2 = size
+inline constexpr uint64_t kRpcAllocNode = 4;  // arg = size; 0 if none ready
 
 }  // namespace sherman
 

@@ -1,0 +1,17 @@
+#include "alloc/reclaim.h"
+
+#include "util/logging.h"
+
+namespace sherman {
+
+void ReclaimEpoch::Exit(uint64_t epoch) {
+  auto it = active_.find(epoch);
+  SHERMAN_CHECK_MSG(it != active_.end() && it->second > 0,
+                    "epoch exit without matching enter");
+  if (--it->second == 0) active_.erase(it);
+  // Advance once the oldest cohort drains: frees tagged up to the old
+  // epoch become recyclable as soon as the remaining (newer) pins exit.
+  if (active_.empty() || active_.begin()->first >= global_) global_++;
+}
+
+}  // namespace sherman

@@ -1,0 +1,101 @@
+// ReclaimEpoch: the fabric-wide grace-period machinery protecting remote
+// memory reclamation against in-flight one-sided readers (DEX-style
+// epoch-based reclamation).
+//
+// The hazard: a client resolves a leaf address (from its index cache or a
+// parent read), then spends several round trips before its RDMA_READ of
+// that address lands. If the node is freed AND recycled in that window,
+// the reader observes a node mid-rewrite by the new owner. Every read
+// path validates (free flag, fence interval, level, versions/checksum),
+// so a recycled node can never produce a wrong answer — but the grace
+// period keeps the tombstoned bytes intact until no in-flight operation
+// can still hold the address, which turns "retry storm on a torn
+// recycled node" into "one clean bounce off a stable tombstone", and is
+// what makes the reclamation protocol auditable: reclaim_test asserts no
+// node is recycled while an older-epoch reader is still pinned.
+//
+// Protocol:
+//  - every index operation pins the current epoch for its duration
+//    (EpochPin RAII in the operation's coroutine frame);
+//  - ChunkManager::FreeNode tags each freed node with the epoch current
+//    at free time;
+//  - a freed node is recycled only when every pinned operation entered
+//    at a LATER epoch (freed_epoch < MinActive());
+//  - the epoch advances when the last operation of the oldest active
+//    epoch retires, so under continuous load the grace window is "all
+//    ops in flight at free time have completed".
+//
+// Single simulator thread; no synchronization needed.
+#ifndef SHERMAN_ALLOC_RECLAIM_H_
+#define SHERMAN_ALLOC_RECLAIM_H_
+
+#include <cstdint>
+#include <map>
+
+namespace sherman {
+
+class ReclaimEpoch {
+ public:
+  ReclaimEpoch() = default;
+
+  ReclaimEpoch(const ReclaimEpoch&) = delete;
+  ReclaimEpoch& operator=(const ReclaimEpoch&) = delete;
+
+  uint64_t current() const { return global_; }
+
+  // Pins the current epoch for one in-flight operation; returns the
+  // epoch to pass back to Exit().
+  uint64_t Enter() {
+    active_[global_]++;
+    return global_;
+  }
+
+  // Retires an operation pinned at `epoch`. When the oldest active epoch
+  // drains, the global epoch advances past it.
+  void Exit(uint64_t epoch);
+
+  // Oldest epoch any in-flight operation is still pinned at (the global
+  // epoch if none). A node freed at epoch E may be recycled only once
+  // MinActive() > E.
+  uint64_t MinActive() const {
+    return active_.empty() ? global_ : active_.begin()->first;
+  }
+
+  bool SafeToRecycle(uint64_t freed_epoch) const {
+    return freed_epoch < MinActive();
+  }
+
+  uint64_t pinned_ops() const {
+    uint64_t n = 0;
+    for (const auto& [e, c] : active_) n += c;
+    return n;
+  }
+
+ private:
+  uint64_t global_ = 1;  // epoch 0 is "freed before any pin existed"
+  std::map<uint64_t, uint64_t> active_;  // epoch -> in-flight op count
+};
+
+// RAII pin for one operation. Safe to construct with a null domain (unit
+// tests drive ChunkManager without a system); coroutine frames destroy
+// locals deterministically at co_return, so the pin spans exactly the
+// operation.
+class EpochPin {
+ public:
+  explicit EpochPin(ReclaimEpoch* domain)
+      : domain_(domain), epoch_(domain != nullptr ? domain->Enter() : 0) {}
+  ~EpochPin() {
+    if (domain_ != nullptr) domain_->Exit(epoch_);
+  }
+
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+ private:
+  ReclaimEpoch* domain_;
+  uint64_t epoch_;
+};
+
+}  // namespace sherman
+
+#endif  // SHERMAN_ALLOC_RECLAIM_H_

@@ -30,10 +30,12 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
 
   while (!ctx->stop) {
     if (pipeline_depth > 1) {
-      // Pipelined wave: draw `depth` ops, batch lookups and inserts, run
-      // the leftovers singleton. Per-op latency = wave elapsed.
+      // Pipelined wave: draw `depth` ops, batch lookups, inserts, and
+      // deletes; range queries stay singleton. Per-op latency = wave
+      // elapsed.
       std::vector<Key> get_keys;
       std::vector<std::pair<Key, uint64_t>> ins_kvs;
+      std::vector<Key> del_keys;
       std::vector<Op> rest;
       for (int i = 0; i < pipeline_depth; i++) {
         const Op op = gen.Next();
@@ -43,6 +45,9 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
             break;
           case OpType::kInsert:
             ins_kvs.emplace_back(op.key, op.value);
+            break;
+          case OpType::kDelete:
+            del_keys.push_back(op.key);
             break;
           default:
             rest.push_back(op);
@@ -80,24 +85,32 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
           }
         }
       }
+      if (!del_keys.empty()) {
+        OpStats batch_stats;
+        const size_t del_n = del_keys.size();
+        std::vector<Status> res;
+        const sim::SimTime start = sim->now();
+        Status st = co_await client->MultiDelete(std::move(del_keys), &res,
+                                                 &batch_stats);
+        SHERMAN_CHECK_MSG(st.ok(), "multi-delete failed: %s",
+                          st.ToString().c_str());
+        if (ctx->measuring) {
+          const sim::SimTime elapsed = sim->now() - start;
+          for (size_t i = 0; i < del_n; i++) {
+            AccumulateOp(&ctx->stats, i == 0 ? batch_stats : OpStats{},
+                         elapsed, /*is_write=*/true, /*is_read=*/false);
+          }
+        }
+      }
       for (const Op& op : rest) {
         OpStats op_stats;
         const sim::SimTime start = sim->now();
-        bool is_write = false;
-        if (op.type == OpType::kRangeQuery) {
-          Status st = co_await client->RangeQuery(op.key, op.range_size,
-                                                  &range_buf, &op_stats);
-          SHERMAN_CHECK_MSG(st.ok(), "range failed: %s",
-                            st.ToString().c_str());
-        } else {
-          is_write = true;
-          Status st = co_await client->Delete(op.key, &op_stats);
-          SHERMAN_CHECK_MSG(st.ok() || st.IsNotFound(), "delete failed: %s",
-                            st.ToString().c_str());
-        }
+        Status st = co_await client->RangeQuery(op.key, op.range_size,
+                                                &range_buf, &op_stats);
+        SHERMAN_CHECK_MSG(st.ok(), "range failed: %s", st.ToString().c_str());
         if (ctx->measuring) {
-          AccumulateOp(&ctx->stats, op_stats, sim->now() - start, is_write,
-                       /*is_read=*/false);
+          AccumulateOp(&ctx->stats, op_stats, sim->now() - start,
+                       /*is_write=*/false, /*is_read=*/false);
         }
       }
       continue;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "lock/lock_table.h"
 #include "util/logging.h"
 
 namespace sherman {
@@ -23,6 +24,8 @@ void TreeOptions::Validate() const {
     SHERMAN_CHECK_MSG(consistency == Consistency::kVersions,
                       "two-level versions require version-based checks");
   }
+  SHERMAN_CHECK_MSG(merge_threshold >= 0 && merge_threshold <= 0.9,
+                    "merge_threshold must be in [0, 0.9]");
 }
 
 // ---------------------------------------------------------------------------
@@ -266,17 +269,19 @@ sim::Task<StatusOr<TreeClient::LeafRef>> TreeClient::FindLeafAddr(
 }
 
 sim::Task<StatusOr<TreeClient::Locked>> TreeClient::LockAndRead(
-    rdma::GlobalAddress addr, Key key, uint8_t* buf, OpStats* stats) {
+    rdma::GlobalAddress addr, Key key, uint8_t* buf, OpStats* stats,
+    uint8_t level) {
   const TreeOptions& o = opt();
   for (int chase = 0; chase < kMaxSiblingChase; chase++) {
     LockGuard guard = co_await hocl_.Lock(addr, stats);
     Status st = co_await ReadRaw(addr, buf, node_size(), stats);
     SHERMAN_CHECK(st.ok());
     NodeView view(buf, &o.shape);
-    if (!view.is_free() && view.InFence(key)) {
+    const bool usable = !view.is_free() && view.level() == level;
+    if (usable && view.InFence(key)) {
       co_return Locked{addr, guard};
     }
-    const rdma::GlobalAddress next = (!view.is_free() && key >= view.hi_fence())
+    const rdma::GlobalAddress next = (usable && key >= view.hi_fence())
                                          ? view.sibling()
                                          : rdma::kNullAddress;
     co_await hocl_.Unlock(guard, {}, o.combine_commands, stats);
@@ -287,12 +292,291 @@ sim::Task<StatusOr<TreeClient::Locked>> TreeClient::LockAndRead(
   co_return Status::Retry("locked sibling chase bound");
 }
 
+// --- Delete-path leaf merging (space reclamation) ---------------------------
+
+bool TreeClient::SameLockLane(rdma::GlobalAddress a,
+                              rdma::GlobalAddress b) const {
+  if (a.is_null() || b.is_null()) return false;
+  const bool onchip = opt().lock.onchip;
+  const GlobalLockRef ra = LockFor(a, onchip);
+  const GlobalLockRef rb = LockFor(b, onchip);
+  return ra.ms == rb.ms && ra.index == rb.index && ra.space == rb.space;
+}
+
+sim::Task<StatusOr<TreeClient::SecondLocked>> TreeClient::LockSecondChasing(
+    rdma::GlobalAddress addr, Key key, rdma::GlobalAddress held1,
+    rdma::GlobalAddress held2, uint8_t* buf, OpStats* stats, uint8_t level) {
+  const TreeOptions& o = opt();
+  // Secondary locks are acquired with a BOUNDED TryLock, never a waiting
+  // Lock: we already hold the leaf's lane (and possibly the sibling's),
+  // and the finite lock table can hash another in-flight merge's held
+  // lane onto the one we want — an unbounded wait there is a cross-agent
+  // deadlock no local lane-ordering can prevent. Running out of attempts
+  // aborts the (opportunistic) merge instead.
+  constexpr uint32_t kTryLockAttempts = 16;
+  for (int chase = 0; chase < kMaxSiblingChase; chase++) {
+    const bool shared = SameLockLane(addr, held1) || SameLockLane(addr, held2);
+    LockGuard guard;
+    if (!shared) {
+      const bool got =
+          co_await hocl_.TryLock(addr, kTryLockAttempts, &guard, stats);
+      if (!got) co_return Status::Retry("secondary lock contended");
+    }
+    Status st = co_await ReadRaw(addr, buf, node_size(), stats);
+    SHERMAN_CHECK(st.ok());
+    NodeView view(buf, &o.shape);
+    const bool usable = !view.is_free() && view.level() == level;
+    if (usable && view.InFence(key)) {
+      co_return SecondLocked{addr, guard, !shared};
+    }
+    const rdma::GlobalAddress next = (usable && key >= view.hi_fence())
+                                         ? view.sibling()
+                                         : rdma::kNullAddress;
+    if (!shared) co_await hocl_.Unlock(guard, {}, o.combine_commands, stats);
+    if (next.is_null()) co_return Status::Retry("locked node unusable");
+    addr = next;
+  }
+  co_return Status::Retry("locked sibling chase bound");
+}
+
+sim::Task<void> TreeClient::UnlockSecond(
+    SecondLocked locked, std::vector<rdma::WorkRequest> write_backs,
+    OpStats* stats) {
+  if (locked.owned) {
+    co_await hocl_.Unlock(locked.guard, std::move(write_backs),
+                          opt().combine_commands, stats);
+    co_return;
+  }
+  // Lane shared with a lock we still hold: the node stays protected; just
+  // apply the write-backs.
+  if (!write_backs.empty()) {
+    rdma::RdmaResult r = co_await system_->fabric_
+                             .qp(cs_id_, locked.addr.node)
+                             .PostBatch(std::move(write_backs));
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+  }
+}
+
+bool TreeClient::MergeCandidate(const NodeView& view, uint32_t live) const {
+  const TreeOptions& o = opt();
+  if (o.merge_threshold <= 0) return false;
+  // The leftmost leaf (lo fence 0) has no left sibling; a root leaf has
+  // lo 0 too. Both are excluded, so merging never shrinks the tree height.
+  if (!view.is_leaf() || view.is_free() || view.lo_fence() == 0) return false;
+  return static_cast<double>(live) <
+         o.merge_threshold * static_cast<double>(o.shape.leaf_capacity());
+}
+
+namespace {
+// Deletes an aborted leaf waits before the next merge attempt, and the
+// backoff map size cap (stale entries for recycled addresses only delay a
+// fresh leaf's first merge by one window).
+constexpr uint64_t kMergeBackoffDeletes = 32;
+constexpr size_t kMergeBackoffCap = 4096;
+}  // namespace
+
+bool TreeClient::MergeBackoffExpired(rdma::GlobalAddress addr) {
+  auto it = merge_backoff_.find(addr.ToU64());
+  if (it == merge_backoff_.end()) return true;
+  if (delete_ops_ < it->second) return false;
+  merge_backoff_.erase(it);
+  return true;
+}
+
+void TreeClient::RecordMergeAbort(rdma::GlobalAddress addr) {
+  reclaim_stats_.merge_aborts++;
+  if (merge_backoff_.size() >= kMergeBackoffCap) merge_backoff_.clear();
+  merge_backoff_[addr.ToU64()] = delete_ops_ + kMergeBackoffDeletes;
+}
+
+// Merge protocol (holding the underflowed leaf L's lock throughout; lock
+// order leaf -> left sibling -> parent. Deadlock safety does NOT rest on
+// that ordering alone — the finite lock table can alias two agents' lock
+// sets onto shared lanes, which no ordering rules out — but on bounded
+// acquisition: both secondary locks are TryLocks that abort the merge
+// when exhausted, so no agent ever waits unboundedly while holding a
+// lane another agent needs):
+//   1. resolve the level-1 parent covering L.lo lock-free and locate the
+//      preceding child S (L must appear as an explicit (L.lo -> L) entry;
+//      a leftmost child's separator lives a level up and is skipped);
+//   2. lock S, verify it is still the direct left neighbor (hi == L.lo,
+//      sibling == L) and that the survivors fit;
+//   3. stage S' = S + survivors, hi fence = L.hi, sibling = L.sibling
+//      (locally — nothing remote changes until every check passed);
+//   4. lock the parent, re-verify the (L.lo -> L) entry, stage its
+//      removal;
+//   5. publish: tombstone L FIRST (readers bounce and re-traverse), then
+//      the parent (fresh descents resolve [L.lo, L.hi) to S's entry),
+//      then S' (the B-link chain absorbs the range) — see the step-5
+//      comment in the body for why this exact order is load-bearing;
+//   6. park L on its MS's epoch-keyed grace list: the bytes stay a stable
+//      tombstone until every op pinned at or before the free retires.
+// Any verification failure releases the secondary locks and reports
+// false with no remote state changed; the caller falls back to the plain
+// entry write-back (the delete itself has already been staged locally).
+sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
+                                               uint8_t* buf, OpStats* stats) {
+  const TreeOptions& o = opt();
+  NodeView view(buf, &o.shape);
+  const Key lo = view.lo_fence();
+  const Key hi = view.hi_fence();
+  SHERMAN_CHECK(lo != 0);
+
+  // 1. Locate parent + left sibling lock-free.
+  StatusOr<rdma::GlobalAddress> pr = co_await FindNodeAddr(lo, 1, stats);
+  if (!pr.ok()) {
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+  ParsedInternal parent;
+  Status st = co_await ReadInternalContaining(*pr, lo, &parent, stats);
+  if (!st.ok() || parent.level != 1) {
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+  size_t ei = SIZE_MAX;
+  for (size_t i = 0; i < parent.entries.size(); i++) {
+    if (parent.entries[i].first == lo &&
+        parent.entries[i].second == locked.addr) {
+      ei = i;
+      break;
+    }
+  }
+  if (ei == SIZE_MAX) {  // leftmost child of its parent, or a stale parse
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+  const rdma::GlobalAddress s_hint =
+      ei == 0 ? parent.leftmost : parent.entries[ei - 1].second;
+  if (s_hint.is_null()) {
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+
+  // 2. Lock the left sibling (chasing splits; lane-aware vs L's lock).
+  std::vector<uint8_t> sbuf(node_size());
+  StatusOr<SecondLocked> sl = co_await LockSecondChasing(
+      s_hint, lo - 1, locked.addr, rdma::kNullAddress, sbuf.data(), stats,
+      /*level=*/0);
+  if (!sl.ok()) {
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+  SecondLocked sib = *sl;
+  NodeView sview(sbuf.data(), &o.shape);
+
+  const uint32_t l_live = view.LiveLeafEntries(o.two_level_versions);
+  bool ok = sview.is_leaf() && !sview.is_free() && sview.hi_fence() == lo &&
+            sview.sibling() == locked.addr;
+  if (ok) {
+    const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
+    // Anti-thrash headroom: a merge whose result is nearly full would be
+    // split right back apart by the next inserts, paying both structural
+    // ops for nothing. Require the merged leaf to keep a quarter of its
+    // capacity free; drained chains (the reclamation target) pass easily.
+    ok = s_live + l_live <= 3 * o.shape.leaf_capacity() / 4;
+  }
+  if (!ok) {
+    co_await UnlockSecond(sib, {}, stats);
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+
+  // 3. Stage the widened sibling.
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  co_await system_->fabric_.simulator().Delay(f.cpu_node_sort_ns);
+  MoveLeafEntries(&sview, view, o.two_level_versions);
+  sview.set_hi_fence(hi);
+  sview.set_sibling(view.sibling());
+  SealNode(sview, /*structural_change=*/true);
+
+  // 4. Lock the parent and re-verify under the lock (it may have split or
+  // been rewritten since the lock-free read).
+  std::vector<uint8_t> pbuf(node_size());
+  StatusOr<SecondLocked> pl = co_await LockSecondChasing(
+      parent.self, lo, locked.addr, sib.addr, pbuf.data(), stats,
+      /*level=*/1);
+  if (!pl.ok()) {
+    co_await UnlockSecond(sib, {}, stats);
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+  SecondLocked par = *pl;
+  NodeView pview(pbuf.data(), &o.shape);
+  if (pview.is_free() || pview.level() != 1 ||
+      !pview.InternalRemove(lo, locked.addr)) {
+    co_await UnlockSecond(par, {}, stats);
+    co_await UnlockSecond(sib, {}, stats);
+    RecordMergeAbort(locked.addr);
+    co_return false;
+  }
+  SealNode(pview, /*structural_change=*/true);
+
+  // 5. Every verification passed; nothing remote has changed yet, and from
+  // here the merge cannot fail. Publish in the migration's safety order:
+  // tombstone L FIRST (readers holding its address bounce and re-traverse
+  // — they spin for the couple of round trips until the repair lands, the
+  // same window MoveLockedNode accepts), then the parent (descents now
+  // bypass L), then the widened sibling (the B-link chain absorbs the
+  // range). Tombstoning before [lo, hi) becomes writable through S'
+  // closes the stale-read window: nobody can serve L's frozen content
+  // after a newer write lands on the live copy. The release order (par,
+  // then sib, then L) keeps every write under a still-held lane even when
+  // the finite lock table aliases two of the three locks onto one lane.
+  // Sequential awaits give the cross-MS ordering; the parent and sibling
+  // writes ride their lock releases.
+  view.set_free(true);
+  if (o.consistency == TreeOptions::Consistency::kChecksum) {
+    view.UpdateChecksum();
+  }
+  {
+    rdma::RdmaResult w = co_await QpFor(locked.addr).Post(
+        rdma::WorkRequest::Write(locked.addr, buf, node_size()));
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(w.status.ok());
+  }
+  {
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(
+        rdma::WorkRequest::Write(par.addr, pbuf.data(), node_size()));
+    co_await UnlockSecond(par, std::move(wrs), stats);
+  }
+  {
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(
+        rdma::WorkRequest::Write(sib.addr, sbuf.data(), node_size()));
+    co_await UnlockSecond(sib, std::move(wrs), stats);
+  }
+  co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+  if (stats != nullptr) stats->bytes_written += 3ull * node_size();
+
+  // 6. Park the leaf on its MS's grace list (recycled only after every
+  // op pinned at or before this free has retired).
+  co_await system_->fabric_.qp(cs_id_, locked.addr.node)
+      .Rpc(kRpcFreeNode, locked.addr.offset, node_size());
+  if (stats != nullptr) stats->round_trips++;
+  reclaim_stats_.nodes_freed++;
+  reclaim_stats_.leaf_merges++;
+
+  // Our cached parse of the parent still routes [lo, hi) to the tombstone.
+  cache_.InvalidateLevel1Covering(lo);
+  if (o.enable_cache) {
+    ParsedInternal fresh;
+    if (ParseInternal(pbuf.data(), o.shape, par.addr, &fresh).ok()) {
+      cache_.Insert(fresh);
+    }
+  }
+  co_return true;
+}
+
 // --- Insert ---------------------------------------------------------------
 
 sim::Task<Status> TreeClient::Insert(Key key, uint64_t value, OpStats* stats) {
   SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
+  EpochPin pin(&system_->reclaim_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
@@ -303,7 +587,14 @@ sim::Task<Status> TreeClient::Insert(Key key, uint64_t value, OpStats* stats) {
     StatusOr<Locked> locked_r =
         co_await LockAndRead(leaf_r->addr, key, buf.data(), stats);
     if (!locked_r.ok()) {
-      if (locked_r.status().IsRetry()) continue;
+      if (locked_r.status().IsRetry()) {
+        // Repeated dead ends mean even a fresh resolution keeps steering
+        // here — the classic case is a cached root that was still a leaf
+        // (or since-merged node) when this client loaded it, which
+        // FindNodeAddr's root shortcut returns forever. Refresh it.
+        if (attempt >= 2) root_known_ = false;
+        continue;
+      }
       co_return locked_r.status();
     }
     Locked locked = *locked_r;
@@ -471,7 +762,7 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
 
     std::vector<uint8_t> buf(node_size());
     StatusOr<Locked> locked_r =
-        co_await LockAndRead(*addr_r, sep, buf.data(), stats);
+        co_await LockAndRead(*addr_r, sep, buf.data(), stats, level);
     if (!locked_r.ok()) {
       if (locked_r.status().IsRetry()) {
         // The node FindNodeAddr resolved is unusable (tombstoned by a
@@ -627,6 +918,7 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
   SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
+  EpochPin pin(&system_->reclaim_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   std::vector<uint8_t> buf(node_size());
@@ -643,6 +935,7 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
       NodeView view(buf.data(), &o.shape);
       if (view.is_free() || !view.is_leaf() || key < view.lo_fence()) {
         cache_.InvalidateLevel1Covering(key);
+        if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         restart = true;
         break;
       }
@@ -677,7 +970,11 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
       *value = view.LeafValue(i);
       co_return Status::OK();
     }
-    if (!restart) co_return Status::Internal("lookup chase bound");
+    // Chase bound exhausted: a stale translation steered us far left of
+    // the key (heavy split/merge churn since it was cached). The chase
+    // already invalidated it, so a restart resolves freshly — failing the
+    // op here would surface a spurious error for a live key.
+    if (!restart && attempt >= 2) root_known_ = false;
   }
   co_return Status::Internal("lookup restarts exhausted");
 }
@@ -688,6 +985,7 @@ sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
   SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
+  EpochPin pin(&system_->reclaim_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
@@ -698,12 +996,18 @@ sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
     StatusOr<Locked> locked_r =
         co_await LockAndRead(leaf_r->addr, key, buf.data(), stats);
     if (!locked_r.ok()) {
-      if (locked_r.status().IsRetry()) continue;
+      if (locked_r.status().IsRetry()) {
+        if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
+        continue;
+      }
       co_return locked_r.status();
     }
     Locked locked = *locked_r;
     NodeView view(buf.data(), &o.shape);
 
+    std::vector<rdma::WorkRequest> wrs;
+    uint64_t write_bytes = 0;
+    uint32_t live = 0;
     if (o.two_level_versions) {
       // Clear the entry (key = null) and bump its versions (§4.4,
       // "Delete operation"); only the entry is written back.
@@ -716,30 +1020,214 @@ sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
       view.SetLeafEntry(slot.match, kNullKey, 0);
       const uint32_t off = view.LeafEntryOffset(slot.match);
       const uint32_t entry_size = o.shape.leaf_entry_size();
-      if (stats != nullptr) stats->bytes_written += entry_size;
-      std::vector<rdma::WorkRequest> wrs;
       wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(off),
                                              buf.data() + off, entry_size));
-      co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
-                            stats);
-      co_return Status::OK();
+      write_bytes = entry_size;
+      if (o.merge_threshold > 0) live = view.LiveLeafEntries(true);
+    } else {
+      // Sorted leaf (FG): shift-remove locally, then write back only what
+      // changed — the header (count, seal) and the left-shifted suffix —
+      // instead of the whole node; remote bytes past the suffix still
+      // equal the local staging copy, so checksum validation stays exact.
+      co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+      const uint32_t n_before = view.count();
+      const uint32_t found = view.SortedLeafFind(key);
+      if (found == UINT32_MAX) {
+        co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+        co_return Status::NotFound();
+      }
+      view.SortedLeafRemoveAt(found);
+      SealNode(view, /*structural_change=*/false);
+      wrs.push_back(
+          rdma::WorkRequest::Write(locked.addr, buf.data(), kHeaderSize));
+      write_bytes = kHeaderSize;
+      const uint32_t suffix_off = view.LeafEntryOffset(found);
+      const uint32_t suffix_len = view.LeafEntryOffset(n_before) - suffix_off;
+      wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(suffix_off),
+                                             buf.data() + suffix_off,
+                                             suffix_len));
+      write_bytes += suffix_len;
+      if (o.consistency == TreeOptions::Consistency::kVersions) {
+        // The rear node version lives in the last byte, outside both
+        // regions above.
+        wrs.push_back(rdma::WorkRequest::Write(
+            locked.addr.Plus(node_size() - 1), buf.data() + node_size() - 1,
+            1));
+        write_bytes += 1;
+      }
+      live = n_before - 1;
     }
 
-    co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
-    if (!view.SortedLeafRemove(key)) {
-      co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
-      co_return Status::NotFound();
+    delete_ops_++;
+    if (MergeCandidate(view, live) && MergeBackoffExpired(locked.addr)) {
+      const bool merged = co_await TryMergeLeafLocked(locked, buf.data(),
+                                                      stats);
+      if (merged) co_return Status::OK();
     }
-    SealNode(view, /*structural_change=*/false);
-    if (stats != nullptr) stats->bytes_written += node_size();
-    std::vector<rdma::WorkRequest> wrs;
-    wrs.push_back(
-        rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+    if (stats != nullptr) stats->bytes_written += write_bytes;
     co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
                           stats);
     co_return Status::OK();
   }
   co_return Status::Internal("delete restarts exhausted");
+}
+
+// --- MultiDelete ------------------------------------------------------------
+
+sim::Task<void> TreeClient::ApplyDeleteGroup(
+    rdma::GlobalAddress addr, std::vector<size_t> idxs,
+    const std::vector<Key>* keys, std::vector<Status>* out,
+    std::vector<uint8_t>* defer, OpStats* stats, sim::CountdownLatch* latch) {
+  const TreeOptions& o = opt();
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  std::vector<uint8_t> buf(node_size());
+  const Key first_key = (*keys)[idxs[0]];
+  StatusOr<Locked> locked_r =
+      co_await LockAndRead(addr, first_key, buf.data(), stats);
+  if (!locked_r.ok()) {
+    for (size_t idx : idxs) (*defer)[idx] = 1;
+    latch->Arrive();
+    co_return;
+  }
+  Locked locked = *locked_r;
+  NodeView view(buf.data(), &o.shape);
+
+  std::vector<rdma::WorkRequest> wrs;
+  uint64_t write_bytes = 0;
+  const uint32_t n_before = o.two_level_versions ? 0 : view.count();
+  uint32_t min_shift = UINT32_MAX;  // sorted mode: leftmost removed slot
+  uint32_t removed = 0;
+  for (size_t idx : idxs) {
+    const Key key = (*keys)[idx];
+    if (!view.InFence(key)) {  // sibling chase moved us off this key
+      (*defer)[idx] = 1;
+      continue;
+    }
+    if (o.two_level_versions) {
+      co_await system_->fabric_.simulator().Delay(f.cpu_leaf_scan_ns);
+      NodeView::SlotResult slot = view.FindLeafSlot(key);
+      if (slot.match == UINT32_MAX) {
+        (*out)[idx] = Status::NotFound();
+        continue;
+      }
+      view.SetLeafEntry(slot.match, kNullKey, 0);
+      const uint32_t off = view.LeafEntryOffset(slot.match);
+      const uint32_t entry_size = o.shape.leaf_entry_size();
+      wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(off),
+                                             buf.data() + off, entry_size));
+      write_bytes += entry_size;
+      (*out)[idx] = Status::OK();
+    } else {
+      co_await system_->fabric_.simulator().Delay(f.cpu_node_search_ns);
+      const uint32_t found = view.SortedLeafFind(key);
+      if (found == UINT32_MAX) {
+        (*out)[idx] = Status::NotFound();
+        continue;
+      }
+      view.SortedLeafRemoveAt(found);
+      min_shift = std::min(min_shift, found);
+      removed++;
+      (*out)[idx] = Status::OK();
+    }
+  }
+  if (!o.two_level_versions && removed > 0) {
+    // One header + one suffix write covering every shifted entry.
+    SealNode(view, /*structural_change=*/false);
+    wrs.push_back(
+        rdma::WorkRequest::Write(locked.addr, buf.data(), kHeaderSize));
+    const uint32_t suffix_off = view.LeafEntryOffset(min_shift);
+    const uint32_t suffix_len = view.LeafEntryOffset(n_before) - suffix_off;
+    wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(suffix_off),
+                                           buf.data() + suffix_off,
+                                           suffix_len));
+    write_bytes += kHeaderSize + suffix_len;
+    if (o.consistency == TreeOptions::Consistency::kVersions) {
+      wrs.push_back(rdma::WorkRequest::Write(locked.addr.Plus(node_size() - 1),
+                                             buf.data() + node_size() - 1, 1));
+      write_bytes += 1;
+    }
+  }
+
+  const uint32_t live =
+      o.merge_threshold > 0 ? view.LiveLeafEntries(o.two_level_versions) : 0;
+  delete_ops_++;
+  if ((write_bytes > 0 || removed > 0) && MergeCandidate(view, live) &&
+      MergeBackoffExpired(locked.addr)) {
+    const bool merged = co_await TryMergeLeafLocked(locked, buf.data(), stats);
+    if (merged) {
+      latch->Arrive();
+      co_return;
+    }
+  }
+  if (stats != nullptr) stats->bytes_written += write_bytes;
+  co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
+                        stats);
+  latch->Arrive();
+}
+
+sim::Task<Status> TreeClient::MultiDelete(std::vector<Key> keys,
+                                          std::vector<Status>* out,
+                                          OpStats* stats) {
+  const rdma::FabricConfig& f = system_->fabric_.config();
+  out->assign(keys.size(), Status::NotFound());
+  if (keys.empty()) co_return Status::OK();
+  for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  EpochPin pin(&system_->reclaim_);
+  co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
+
+  // Phase 1 — plan leaves concurrently, one descent per DISTINCT key
+  // (same as MultiGet/MultiInsert).
+  const size_t n = keys.size();
+  std::map<Key, size_t> plan_of;  // key -> plan slot
+  std::vector<Key> uniq;
+  for (Key k : keys) {
+    auto [it, inserted] = plan_of.try_emplace(k, uniq.size());
+    if (inserted) uniq.push_back(k);
+  }
+  std::vector<LeafRef> refs(uniq.size());
+  std::vector<Status> plan_st(uniq.size(), Status::OK());
+  {
+    sim::CountdownLatch latch(uniq.size());
+    for (size_t j = 0; j < uniq.size(); j++) {
+      sim::Spawn(PlanLeafInto(uniq[j], &refs[j], &plan_st[j], stats, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Phase 2 — group by target leaf; each group clears its entries under
+  // one lock with the writes + release in a single doorbell, groups in
+  // parallel. Duplicate keys within a batch stay in one group (same
+  // planned leaf), so the second clear simply reports NotFound.
+  std::vector<uint8_t> defer(n, 0);
+  std::map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; i++) {
+    const size_t j = plan_of[keys[i]];
+    if (plan_st[j].ok()) {
+      groups[refs[j].addr.ToU64()].push_back(i);
+    } else {
+      defer[i] = 1;
+    }
+  }
+  if (!groups.empty()) {
+    sim::CountdownLatch latch(groups.size());
+    for (auto& [addr_u64, idxs] : groups) {
+      sim::Spawn(ApplyDeleteGroup(rdma::GlobalAddress::FromU64(addr_u64),
+                                  std::move(idxs), &keys, out, &defer, stats,
+                                  &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Phase 3 — deferred keys (fence moves, plan failures) go through the
+  // full op-at-a-time delete.
+  Status overall = Status::OK();
+  for (size_t i = 0; i < n; i++) {
+    if (!defer[i]) continue;
+    Status st = co_await Delete(keys[i], stats);
+    (*out)[i] = st;
+    if (!st.ok() && !st.IsNotFound() && overall.ok()) overall = st;
+  }
+  co_return overall;
 }
 
 // --- Range query -----------------------------------------------------------
@@ -759,6 +1247,7 @@ sim::Task<Status> TreeClient::RangeQuery(
   const rdma::FabricConfig& f = system_->fabric_.config();
   out->clear();
   if (count == 0) co_return Status::OK();
+  EpochPin pin(&system_->reclaim_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   Key cursor = from;
@@ -815,10 +1304,15 @@ sim::Task<Status> TreeClient::RangeQuery(
           if (view.is_free() || !view.is_leaf() || cursor < view.lo_fence() ||
               cursor >= view.hi_fence()) {
             cache_.InvalidateLevel1Covering(cursor);
+            if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
             restart = true;
             break;
           }
-          // Collect entries >= from; a torn entry forces a leaf re-read.
+          // Collect entries >= cursor (NOT >= from: a restart can land on
+          // a leaf whose lo fence moved left of the cursor — a merge
+          // widened it over an already-scanned range — and re-collecting
+          // [lo, cursor) would duplicate keys out of order); a torn entry
+          // forces a leaf re-read.
           co_await system_->fabric_.simulator().Delay(
               o.two_level_versions ? f.cpu_leaf_scan_ns
                                    : f.cpu_node_search_ns);
@@ -832,13 +1326,13 @@ sim::Task<Status> TreeClient::RangeQuery(
                 reread_needed = true;
                 break;
               }
-              if (k >= from) got.emplace_back(k, view.LeafValue(s));
+              if (k >= cursor) got.emplace_back(k, view.LeafValue(s));
             }
           } else {
             const uint32_t n = view.count();
             for (uint32_t s = 0; s < n; s++) {
               const Key k = view.LeafKey(s);
-              if (k >= from) got.emplace_back(k, view.LeafValue(s));
+              if (k >= cursor) got.emplace_back(k, view.LeafValue(s));
             }
           }
           if (!reread_needed) {
@@ -905,6 +1399,7 @@ sim::Task<Status> TreeClient::MultiGet(std::vector<Key> keys,
   out->assign(keys.size(), MultiGetResult{});
   if (keys.empty()) co_return Status::OK();
   for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  EpochPin pin(&system_->reclaim_);
   co_await sim.Delay(f.cpu_op_overhead_ns);
 
   // Phase 1 — plan: resolve every DISTINCT key to a leaf address (hot
@@ -1104,6 +1599,7 @@ sim::Task<Status> TreeClient::MultiInsert(
   const rdma::FabricConfig& f = system_->fabric_.config();
   if (kvs.empty()) co_return Status::OK();
   for (const auto& [k, v] : kvs) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  EpochPin pin(&system_->reclaim_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   // Phase 1 — plan leaves concurrently, one descent per DISTINCT key
@@ -1167,7 +1663,7 @@ ShermanSystem::ShermanSystem(rdma::FabricConfig fabric_config,
     : options_(tree_options), fabric_(fabric_config) {
   options_.Validate();
   for (int i = 0; i < fabric_.num_memory_servers(); i++) {
-    chunks_.push_back(std::make_unique<ChunkManager>(&fabric_.ms(i)));
+    chunks_.push_back(std::make_unique<ChunkManager>(&fabric_.ms(i), &reclaim_));
   }
   for (int i = 0; i < fabric_.num_compute_servers(); i++) {
     clients_.push_back(std::make_unique<TreeClient>(this, i));
@@ -1184,7 +1680,7 @@ rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {
 
 int ShermanSystem::AddMemoryServer() {
   rdma::MemoryServer& ms = fabric_.AddMemoryServer();
-  chunks_.push_back(std::make_unique<ChunkManager>(&ms));
+  chunks_.push_back(std::make_unique<ChunkManager>(&ms, &reclaim_));
   return ms.id();
 }
 

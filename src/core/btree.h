@@ -26,12 +26,14 @@
 #define SHERMAN_CORE_BTREE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "alloc/chunk_manager.h"
 #include "alloc/cs_allocator.h"
+#include "alloc/reclaim.h"
 #include "cache/index_cache.h"
 #include "core/node_layout.h"
 #include "core/stats.h"
@@ -70,6 +72,15 @@ struct TreeOptions {
   bool enable_cache = true;
   uint64_t cache_bytes = 4ull << 20;
 
+  // Space reclamation under delete churn: when a delete leaves a leaf with
+  // fewer than merge_threshold * leaf_capacity live entries, the deleter
+  // merges the survivors into the left sibling (under leaf + sibling +
+  // parent HOCL locks), tombstones the empty leaf, and returns its memory
+  // to the owning MS's epoch-protected grace list (alloc/reclaim.h).
+  // 0 disables merging (the released Sherman artifact's behaviour: deletes
+  // only null the slot and leaves are never reclaimed).
+  double merge_threshold = 0.25;
+
   // 4-bit version wraparound guard (§4.4): re-read when a READ took longer
   // than this.
   sim::SimTime version_wrap_retry_ns = 8000;
@@ -100,8 +111,10 @@ class TreeClient {
   // Point lookup. Returns NotFound if absent.
   sim::Task<Status> Lookup(Key key, uint64_t* value, OpStats* stats = nullptr);
 
-  // Deletes `key` (clears the entry; leaves are not merged, matching the
-  // released Sherman artifact). Returns NotFound if absent.
+  // Deletes `key` (clears the entry). When the leaf drops below the merge
+  // threshold the deleter additionally merges the survivors into the left
+  // sibling and reclaims the leaf (see TreeOptions::merge_threshold).
+  // Returns NotFound if absent.
   sim::Task<Status> Delete(Key key, OpStats* stats = nullptr);
 
   // Returns up to `count` key-ordered pairs with key >= from. Not atomic
@@ -131,6 +144,21 @@ class TreeClient {
   sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
                                 OpStats* stats = nullptr);
 
+  // Batched deletes: plans leaves like MultiInsert, groups keys by target
+  // leaf, and clears each group's entries under a single lock acquisition
+  // with the entry writes and the lock release combined into one doorbell
+  // batch. A group that leaves its leaf under the merge threshold runs the
+  // same merge/reclaim logic as the singleton path. out->at(i) is OK or
+  // NotFound for keys[i]; keys the planned leaf cannot serve fall back to
+  // Delete().
+  sim::Task<Status> MultiDelete(std::vector<Key> keys,
+                                std::vector<Status>* out,
+                                OpStats* stats = nullptr);
+
+  // Per-client reclamation counters (leaf merges, aborted attempts,
+  // freed nodes).
+  const ReclaimStats& reclaim_stats() const { return reclaim_stats_; }
+
   int cs_id() const { return cs_id_; }
   IndexCache& cache() { return cache_; }
   HoclClient& hocl() { return hocl_; }
@@ -149,6 +177,16 @@ class TreeClient {
   struct Locked {
     rdma::GlobalAddress addr;
     LockGuard guard;
+  };
+  // A node locked while other node locks are already held (leaf merging).
+  // HOCL hashes node addresses into a finite lock table, so the second
+  // node can collide onto a lane we already own; in that case it is
+  // already exclusively ours (owned = false) and must not be re-acquired —
+  // waiting on our own lane would self-deadlock.
+  struct SecondLocked {
+    rdma::GlobalAddress addr;
+    LockGuard guard;
+    bool owned = false;
   };
 
   const TreeOptions& opt() const;
@@ -193,9 +231,53 @@ class TreeClient {
   sim::Task<StatusOr<LeafRef>> FindLeafAddr(Key key, OpStats* stats);
 
   // Locks `addr`, reads it into `buf`, and chases siblings until the node's
-  // fence interval contains `key`. Returns Retry if traversal must restart.
+  // fence interval contains `key` AND the node is at the expected `level`
+  // (0 = leaf). Returns Retry if traversal must restart. The level check
+  // is load-bearing under reclamation: a freed node's address can be
+  // recycled into a node of a DIFFERENT role, so a stale cached address
+  // may resolve to an internal node where a leaf once lived (or vice
+  // versa) — fences alone cannot tell them apart.
   sim::Task<StatusOr<Locked>> LockAndRead(rdma::GlobalAddress addr, Key key,
-                                          uint8_t* buf, OpStats* stats);
+                                          uint8_t* buf, OpStats* stats,
+                                          uint8_t level = 0);
+
+  // --- delete-path leaf merging (space reclamation) ---
+
+  // Do `a` and `b` hash onto the same HOCL lock lane?
+  bool SameLockLane(rdma::GlobalAddress a, rdma::GlobalAddress b) const;
+  // LockAndRead with lane-collision handling against up to two locks the
+  // caller already holds (the Migrator's two-lock technique generalized):
+  // a lane shared with `held1`/`held2` is already ours and is not
+  // re-acquired.
+  sim::Task<StatusOr<SecondLocked>> LockSecondChasing(
+      rdma::GlobalAddress addr, Key key, rdma::GlobalAddress held1,
+      rdma::GlobalAddress held2, uint8_t* buf, OpStats* stats,
+      uint8_t level);
+  sim::Task<void> UnlockSecond(SecondLocked locked,
+                               std::vector<rdma::WorkRequest> write_backs,
+                               OpStats* stats);
+
+  // Should the locked leaf in `view` (with `live` remaining entries) be
+  // merged into its left sibling?
+  bool MergeCandidate(const NodeView& view, uint32_t live) const;
+  // Abort throttling: an aborted merge (leftmost child, unfit sibling, a
+  // race) would otherwise re-attempt — and re-abort, at several round
+  // trips a try — on every subsequent delete of the still-underflowed
+  // leaf. After an abort the leaf backs off for a window of deletes.
+  bool MergeBackoffExpired(rdma::GlobalAddress addr);
+  void RecordMergeAbort(rdma::GlobalAddress addr);
+
+  // Attempts to merge the LOCKED underflowed leaf (content staged in
+  // `buf`, deletions already applied locally) into its left sibling:
+  // locks sibling + parent (lane-collision aware), moves survivors, writes
+  // the widened sibling, removes the parent entry, tombstones the leaf,
+  // releases everything, and parks the leaf on the owning MS's grace
+  // list. Returns true on success (the leaf lock is released); on any
+  // race the secondary locks are released, nothing remote has changed,
+  // the leaf stays locked, and the caller falls back to the plain
+  // write-back + unlock.
+  sim::Task<bool> TryMergeLeafLocked(const Locked& locked, uint8_t* buf,
+                                     OpStats* stats);
 
   // Leaf split under lock (Figure 7, lines 18-35): allocates the sibling,
   // distributes entries, writes both nodes (+combined release), then
@@ -235,12 +317,24 @@ class TreeClient {
                                    const std::vector<std::pair<Key, uint64_t>>* kvs,
                                    std::vector<uint8_t>* defer, OpStats* stats,
                                    sim::CountdownLatch* latch);
+  // Clears one MultiDelete leaf group's entries under a single lock (and
+  // runs the merge logic on underflow); unservable keys get `defer` set
+  // for the singleton fallback.
+  sim::Task<void> ApplyDeleteGroup(rdma::GlobalAddress addr,
+                                   std::vector<size_t> idxs,
+                                   const std::vector<Key>* keys,
+                                   std::vector<Status>* out,
+                                   std::vector<uint8_t>* defer, OpStats* stats,
+                                   sim::CountdownLatch* latch);
 
   ShermanSystem* system_;
   int cs_id_;
   HoclClient hocl_;
   CsAllocator allocator_;
   IndexCache cache_;
+  ReclaimStats reclaim_stats_;
+  uint64_t delete_ops_ = 0;  // clock for the merge-abort backoff
+  std::map<uint64_t, uint64_t> merge_backoff_;  // leaf addr -> retry deadline
 
   bool root_known_ = false;
   rdma::GlobalAddress root_addr_;
@@ -262,6 +356,21 @@ class ShermanSystem {
   TreeClient& client(int cs_id) { return *clients_[cs_id]; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
   ChunkManager& chunk_manager(int ms_id) { return *chunks_[ms_id]; }
+  int num_chunk_managers() const { return static_cast<int>(chunks_.size()); }
+
+  // Fabric-wide reclamation epoch: every index operation pins it for its
+  // duration; freed nodes recycle only once every operation pinned at or
+  // before the free has retired.
+  ReclaimEpoch& reclaim_epoch() { return reclaim_; }
+
+  // Sum over all memory servers of chunk bytes handed out — the footprint
+  // metric bench_churn watches for a plateau (node recycling keeps it
+  // flat; chunks are never returned once split into nodes).
+  uint64_t TotalAllocatedBytes() const {
+    uint64_t total = 0;
+    for (const auto& c : chunks_) total += c->allocated_bytes();
+    return total;
+  }
 
   // Builds the tree directly in MS memory (no simulated traffic) from
   // sorted, unique-key pairs; leaves are `fill` full. Installs the root
@@ -279,6 +388,10 @@ class ShermanSystem {
   uint32_t DebugHeight() const;
   // All live entries in key order, by walking the leaf sibling chain.
   std::vector<std::pair<Key, uint64_t>> DebugScanLeaves() const;
+  // Length of the live leaf chain — the node-granular footprint metric
+  // (chunk accounting hides node-level leaks; without reclamation the
+  // chain grows with every delete-churn generation).
+  size_t DebugCountLeaves() const;
   // Structural invariant checks (fence continuity, sorted internals, level
   // consistency). Aborts on violation.
   void DebugCheckInvariants() const;
@@ -290,6 +403,7 @@ class ShermanSystem {
 
   TreeOptions options_;
   rdma::Fabric fabric_;
+  ReclaimEpoch reclaim_;  // before chunks_: managers hold a pointer to it
   std::vector<std::unique_ptr<ChunkManager>> chunks_;
   std::vector<std::unique_ptr<TreeClient>> clients_;
 

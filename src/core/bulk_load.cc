@@ -166,6 +166,24 @@ std::vector<std::pair<Key, uint64_t>> ShermanSystem::DebugScanLeaves() const {
   return out;
 }
 
+size_t ShermanSystem::DebugCountLeaves() const {
+  auto* self = const_cast<ShermanSystem*>(this);
+  const TreeShape& shape = options_.shape;
+  rdma::GlobalAddress addr = DebugRootAddr();
+  while (true) {
+    NodeView view(self->fabric_.HostRaw(addr), &shape);
+    if (view.is_leaf()) break;
+    addr = view.leftmost_child();
+  }
+  size_t n = 0;
+  while (!addr.is_null()) {
+    NodeView view(self->fabric_.HostRaw(addr), &shape);
+    n++;
+    addr = view.sibling();
+  }
+  return n;
+}
+
 void ShermanSystem::DebugCheckInvariants() const {
   auto* self = const_cast<ShermanSystem*>(this);
   const TreeShape& shape = options_.shape;

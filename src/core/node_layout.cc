@@ -142,13 +142,26 @@ bool NodeView::SortedLeafInsert(Key key, uint64_t value) {
 bool NodeView::SortedLeafRemove(Key key) {
   const uint32_t found = SortedLeafFind(key);
   if (found == UINT32_MAX) return false;
+  SortedLeafRemoveAt(found);
+  return true;
+}
+
+void NodeView::SortedLeafRemoveAt(uint32_t i) {
   const uint32_t n = count();
   const uint32_t esz = shape_->leaf_entry_size();
-  std::memmove(data_ + LeafEntryOffset(found),
-               data_ + LeafEntryOffset(found + 1),
-               static_cast<size_t>(n - found - 1) * esz);
+  std::memmove(data_ + LeafEntryOffset(i), data_ + LeafEntryOffset(i + 1),
+               static_cast<size_t>(n - i - 1) * esz);
   set_count(static_cast<uint16_t>(n - 1));
-  return true;
+}
+
+uint32_t NodeView::LiveLeafEntries(bool two_level) const {
+  if (!two_level) return count();
+  uint32_t live = 0;
+  const uint32_t cap = shape_->leaf_capacity();
+  for (uint32_t i = 0; i < cap; i++) {
+    if (LeafKey(i) != kNullKey) live++;
+  }
+  return live;
 }
 
 void NodeView::SetInternalEntry(uint32_t i, Key key,
@@ -194,6 +207,21 @@ bool NodeView::InternalInsert(Key key, rdma::GlobalAddress child) {
   return true;
 }
 
+bool NodeView::InternalRemove(Key key, rdma::GlobalAddress child) {
+  const uint32_t n = count();
+  for (uint32_t i = 0; i < n; i++) {
+    if (InternalKey(i) == key && InternalChild(i) == child) {
+      const uint32_t esz = shape_->internal_entry_size();
+      std::memmove(data_ + InternalEntryOffset(i),
+                   data_ + InternalEntryOffset(i + 1),
+                   static_cast<size_t>(n - i - 1) * esz);
+      set_count(static_cast<uint16_t>(n - 1));
+      return true;
+    }
+  }
+  return false;
+}
+
 void NodeView::InitLeaf(Key lo, Key hi, rdma::GlobalAddress sibling) {
   std::memset(data_, 0, shape_->node_size);
   data_[kOffFlags] = kFlagLeaf;
@@ -212,6 +240,31 @@ void NodeView::InitInternal(uint8_t level, Key lo, Key hi,
   set_hi_fence(hi);
   set_sibling(sibling);
   set_leftmost_child(leftmost);
+}
+
+void MoveLeafEntries(NodeView* dst, const NodeView& src, bool two_level) {
+  const TreeShape& shape = src.shape();
+  if (two_level) {
+    const uint32_t cap = shape.leaf_capacity();
+    uint32_t di = 0;
+    for (uint32_t i = 0; i < cap; i++) {
+      const Key k = src.LeafKey(i);
+      if (k == kNullKey) continue;
+      while (dst->LeafKey(di) != kNullKey) di++;
+      dst->SetLeafEntry(di, k, src.LeafValue(i));
+    }
+  } else {
+    const uint32_t esz = shape.leaf_entry_size();
+    uint32_t n = dst->count();
+    const uint32_t sn = src.count();
+    for (uint32_t i = 0; i < sn; i++) {
+      dst->SetLeafEntryRaw(n, src.LeafKey(i), src.LeafValue(i));
+      dst->data()[dst->LeafEntryOffset(n)] = 0;  // fresh entry versions
+      dst->data()[dst->LeafEntryOffset(n) + esz - 1] = 0;
+      n++;
+    }
+    dst->set_count(static_cast<uint16_t>(n));
+  }
 }
 
 rdma::GlobalAddress ParsedInternal::ChildFor(Key key) const {

@@ -153,6 +153,15 @@ class NodeView {
   bool SortedLeafInsert(Key key, uint64_t value);
   // Removes `key` (shifting); returns false if absent.
   bool SortedLeafRemove(Key key);
+  // Removes the entry at sorted index `i` (shifting) — for callers that
+  // already ran SortedLeafFind and must not pay the search twice.
+  void SortedLeafRemoveAt(uint32_t i);
+
+  // Live entries in this leaf: non-null slots over the capacity in the
+  // unsorted (two-level-versions) layout, `count()` in the sorted one.
+  // The merge-threshold decision on every delete path (client and
+  // MS-side) keys off this.
+  uint32_t LiveLeafEntries(bool two_level) const;
 
   // --- internal entries ---
   rdma::GlobalAddress leftmost_child() const {
@@ -174,6 +183,10 @@ class NodeView {
   rdma::GlobalAddress InternalChildFor(Key key) const;
   // Sorted insert with shift; returns false if full.
   bool InternalInsert(Key key, rdma::GlobalAddress child);
+  // Removes the entry (key -> child), shifting; returns false if no such
+  // entry exists. Used by leaf merging to drop the merged leaf from its
+  // parent (the preceding child then covers the merged range).
+  bool InternalRemove(Key key, rdma::GlobalAddress child);
 
   // --- init ---
   void InitLeaf(Key lo, Key hi, rdma::GlobalAddress sibling);
@@ -187,6 +200,14 @@ class NodeView {
   uint8_t* data_;
   const TreeShape* shape_;
 };
+
+// Moves every live entry of `src` into `dst` (two-level: fills empty
+// slots, bumping entry versions; sorted: appends with fresh entry
+// versions — valid only when every src key exceeds every dst key, i.e.
+// the leaves are adjacent). The caller guarantees capacity. Shared by
+// the client-side and MS-side leaf-merge implementations so their
+// relocation semantics cannot diverge.
+void MoveLeafEntries(NodeView* dst, const NodeView& src, bool two_level);
 
 // A parsed internal node: the form cached by the index cache and used
 // during traversal.

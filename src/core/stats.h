@@ -64,6 +64,22 @@ struct RunStats {
 void AccumulateOp(RunStats* run, const OpStats& op, uint64_t latency_ns,
                   bool is_write, bool is_read);
 
+// Counters produced by the delete-path space reclamation (leaf merging +
+// epoch-protected remote free). Client-side counts live on TreeClient;
+// MS-side executor merges are counted by TreeRpcService; allocator-side
+// recycle counters live on ChunkManager. bench_churn aggregates all three.
+struct ReclaimStats {
+  uint64_t leaf_merges = 0;    // leaves merged into their left sibling
+  uint64_t merge_aborts = 0;   // merge attempts abandoned to a race
+  uint64_t nodes_freed = 0;    // node frees handed to the grace list
+
+  void Merge(const ReclaimStats& other) {
+    leaf_merges += other.leaf_merges;
+    merge_aborts += other.merge_aborts;
+    nodes_freed += other.nodes_freed;
+  }
+};
+
 // Counters produced by live shard migration (migrate/migrator.h): data
 // volume moved, protocol work per phase, and how much the bounded-pass
 // drain actually converged. Reported by bench_elastic alongside RunStats.
@@ -77,6 +93,7 @@ struct MigrationStats {
   uint64_t chunk_rpcs = 0;       // shard-private chunks fetched
   uint64_t sibling_fixes = 0;    // left-neighbor sibling pointers repaired
   uint64_t residual_leaves = 0;  // still off-target when passes ran out
+  uint64_t source_nodes_freed = 0;  // tombstoned sources retired for reuse
   uint64_t flips = 0;            // shard-map version bumps issued
   uint64_t busy_ns = 0;          // simulated time spent inside migration
 };

@@ -66,6 +66,59 @@ sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
   co_return guard;
 }
 
+sim::Task<bool> HoclClient::TryLock(rdma::GlobalAddress node_addr,
+                                    uint32_t max_attempts, LockGuard* guard,
+                                    OpStats* stats) {
+  LockGuard g;
+  g.ref = LockFor(node_addr, options_.onchip);
+
+  LocalLockTable::LocalLock* local = nullptr;
+  if (options_.hierarchical) {
+    local = &llt_.Get(g.ref.ms, g.ref.index);
+    // A local holder/contender means waiting — exactly what a bounded
+    // acquire must not do. The caller's protocol is opportunistic.
+    if (local->held) co_return false;
+    local->held = true;
+  }
+
+  rdma::Qp& qp = fabric_->qp(cs_id_, g.ref.ms);
+  const int shift = g.ref.lane_shift();
+  bool acquired = false;
+  for (uint32_t i = 0; i < max_attempts; i++) {
+    uint64_t fetched = 0;
+    global_cas_attempts_++;
+    auto wr = rdma::WorkRequest::MaskedCas(g.ref.word_address(), 0,
+                                           OwnerTag() << shift,
+                                           g.ref.lane_mask(), &fetched,
+                                           g.ref.space);
+    rdma::RdmaResult r = co_await qp.Post(wr);
+    if (stats != nullptr) stats->round_trips++;
+    SHERMAN_CHECK(r.status.ok());
+    if (r.cas_success) {
+      acquired = true;
+      break;
+    }
+    global_cas_failures_++;
+    if (stats != nullptr) stats->lock_retries++;
+  }
+
+  if (!acquired && local != nullptr) {
+    // Release the local lock the same way Unlock's tail does: waiters may
+    // have queued behind us while we were CASing.
+    local->handover_depth = 0;
+    local->held = false;
+    if (options_.wait_queue && !local->wait_queue.empty()) {
+      LocalLockTable::Waiter* w = local->wait_queue.front();
+      local->wait_queue.pop_front();
+      local->held = true;  // transfer local ownership FIFO
+      w->handover = false;
+      w->signal.Fire();
+    }
+  }
+  if (acquired) *guard = g;
+  co_return acquired;
+}
+
 sim::Task<void> HoclClient::Unlock(LockGuard guard,
                                    std::vector<rdma::WorkRequest> write_backs,
                                    bool combine, OpStats* stats) {

@@ -55,6 +55,19 @@ class HoclClient {
   // Acquires the exclusive lock guarding `node_addr` (Figure 6, HOCL_Lock).
   sim::Task<LockGuard> Lock(rdma::GlobalAddress node_addr, OpStats* stats);
 
+  // Bounded acquisition for multi-lock protocols (leaf merging): fails
+  // immediately if this CS already holds or contends the local lock, and
+  // bounds the global CAS attempts; on failure nothing is held and
+  // `*guard` is untouched. Lock() waits forever, which is fine for a
+  // single lock but can deadlock an agent holding one lane while waiting
+  // on another: the finite lock table hashes distinct nodes onto shared
+  // lanes, so two agents' lock SETS can alias into a waits-for cycle no
+  // local ordering discipline can rule out. Multi-lock holders use
+  // TryLock for every lock after their first and abort their protocol on
+  // failure instead.
+  sim::Task<bool> TryLock(rdma::GlobalAddress node_addr, uint32_t max_attempts,
+                          LockGuard* guard, OpStats* stats);
+
   // Releases the lock (Figure 6, HOCL_Unlock), first applying `write_backs`
   // (all must target the lock's MS if `combine` is set — command
   // combination rides the in-order QP).

@@ -52,7 +52,7 @@ sim::Task<rdma::GlobalAddress> Migrator::AllocOnTarget(uint16_t ms,
 
 sim::Task<StatusOr<Migrator::LockedNode>> Migrator::LockSecond(
     rdma::GlobalAddress addr, Key key, rdma::GlobalAddress held, uint8_t* buf,
-    OpStats* stats) {
+    OpStats* stats, uint8_t level) {
   TreeClient& t = tc();
   const bool combine = system_->options().combine_commands;
   for (int chase = 0; chase < kMaxSiblingChase; chase++) {
@@ -62,12 +62,16 @@ sim::Task<StatusOr<Migrator::LockedNode>> Migrator::LockSecond(
     Status st = co_await t.ReadRaw(addr, buf, node_size(), stats);
     SHERMAN_CHECK(st.ok());
     NodeView view(buf, &system_->options().shape);
-    if (!view.is_free() && view.InFence(key)) {
+    // The level filter is load-bearing under reclamation: a recycled
+    // address can host a node of a different role than the caller
+    // resolved (see TreeClient::LockAndRead).
+    const bool usable = !view.is_free() && view.level() == level;
+    if (usable && view.InFence(key)) {
       co_return LockedNode{addr, guard, !shared};
     }
     const rdma::GlobalAddress next =
-        (!view.is_free() && key >= view.hi_fence()) ? view.sibling()
-                                                    : rdma::kNullAddress;
+        (usable && key >= view.hi_fence()) ? view.sibling()
+                                           : rdma::kNullAddress;
     if (!shared) co_await t.hocl_.Unlock(guard, {}, combine, stats);
     if (next.is_null()) co_return Status::Retry("locked node unusable");
     addr = next;
@@ -111,7 +115,7 @@ sim::Task<Status> Migrator::ReplaceChild(Key key, uint8_t level,
     }
     std::vector<uint8_t> buf(node_size());
     StatusOr<LockedNode> lr =
-        co_await LockSecond(*pr, key, held, buf.data(), stats);
+        co_await LockSecond(*pr, key, held, buf.data(), stats, level);
     if (!lr.ok()) {
       if (lr.status().IsRetry()) {
         t.cache_.InvalidateUpperCovering(key, *pr);
@@ -186,7 +190,7 @@ sim::Task<Status> Migrator::FixLeftSibling(Key lo, uint8_t level,
     }
     std::vector<uint8_t> buf(node_size());
     StatusOr<LockedNode> lr =
-        co_await LockSecond(start, lo - 1, held, buf.data(), stats);
+        co_await LockSecond(start, lo - 1, held, buf.data(), stats, level);
     if (!lr.ok()) {
       if (lr.status().IsRetry()) continue;
       co_return lr.status();
@@ -297,6 +301,15 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
     wrs.push_back(tombstone_wr(true));
     co_await t.hocl_.Unlock(locked.guard, std::move(wrs), combine, stats);
   }
+  // Retire the tombstoned source through the MS's epoch-keyed grace list
+  // instead of leaking it: the bytes stay a stable tombstone until every
+  // operation pinned at or before this instant has retired, then the node
+  // is recycled into fresh allocations.
+  co_await system_->fabric()
+      .qp(options_.cs_id, locked.addr.node)
+      .Rpc(kRpcFreeNode, locked.addr.offset, node_size());
+  if (stats != nullptr) stats->round_trips++;
+  stats_.source_nodes_freed++;
   *naddr_out = naddr;
   co_return Status::OK();
 }
@@ -315,6 +328,10 @@ sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
     if (++stuck > options_.max_retries) {
       co_return Status::TimedOut("leaf pass stuck");
     }
+    // Pin the reclamation epoch per iteration: the resolve -> lock -> move
+    // window holds raw addresses, but a whole-pass pin would stall node
+    // recycling for the full migration.
+    EpochPin pin(&system_->reclaim_epoch());
     OpStats stats;
     StatusOr<TreeClient::LeafRef> ref = co_await t.FindLeafAddr(cursor, &stats);
     if (!ref.ok()) {
@@ -390,6 +407,7 @@ sim::Task<Status> Migrator::InternalPass(Key lo, Key hi, uint16_t target) {
     if (++stuck > options_.max_retries) {
       co_return Status::TimedOut("internal pass stuck");
     }
+    EpochPin pin(&system_->reclaim_epoch());
     OpStats stats;
     StatusOr<rdma::GlobalAddress> r = co_await t.FindNodeAddr(cursor, 1, &stats);
     if (!r.ok()) {
@@ -398,7 +416,7 @@ sim::Task<Status> Migrator::InternalPass(Key lo, Key hi, uint16_t target) {
     }
     std::vector<uint8_t> buf(node_size());
     StatusOr<TreeClient::Locked> lr =
-        co_await t.LockAndRead(*r, cursor, buf.data(), &stats);
+        co_await t.LockAndRead(*r, cursor, buf.data(), &stats, /*level=*/1);
     if (!lr.ok()) {
       if (lr.status().IsRetry()) {
         t.cache_.InvalidateUpperCovering(cursor, *r);

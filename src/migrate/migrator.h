@@ -138,11 +138,13 @@ class Migrator {
                                    rdma::GlobalAddress held, OpStats* stats);
 
   // TreeClient::LockAndRead with lane-collision handling against `held`:
-  // locks the node at `addr` (chasing siblings to the one covering `key`)
-  // unless it shares `held`'s lane, in which case it is already ours.
+  // locks the node at `addr` (chasing siblings to the level-`level` node
+  // covering `key`) unless it shares `held`'s lane, in which case it is
+  // already ours.
   sim::Task<StatusOr<LockedNode>> LockSecond(rdma::GlobalAddress addr, Key key,
                                              rdma::GlobalAddress held,
-                                             uint8_t* buf, OpStats* stats);
+                                             uint8_t* buf, OpStats* stats,
+                                             uint8_t level);
   sim::Task<void> UnlockSecond(LockedNode locked,
                                std::vector<rdma::WorkRequest> write_backs,
                                OpStats* stats);

@@ -68,6 +68,21 @@ class IndexBackend {
     co_return Status::OK();
   }
 
+  // Batched deletes; out->at(i) is OK or NotFound for keys[i]. The base
+  // implementation loops the singleton op.
+  virtual sim::Task<Status> MultiDelete(std::vector<Key> keys,
+                                        std::vector<Status>* out,
+                                        OpStats* stats = nullptr) {
+    out->assign(keys.size(), Status::NotFound());
+    Status overall = Status::OK();
+    for (size_t i = 0; i < keys.size(); i++) {
+      Status st = co_await Delete(keys[i], stats);
+      (*out)[i] = st;
+      if (!st.ok() && !st.IsNotFound() && overall.ok()) overall = st;
+    }
+    co_return overall;
+  }
+
   virtual const char* name() const = 0;
 };
 
@@ -99,6 +114,11 @@ class TreeBackend final : public IndexBackend {
   sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
                                 OpStats* stats) override {
     return client_->MultiInsert(std::move(kvs), stats);
+  }
+  sim::Task<Status> MultiDelete(std::vector<Key> keys,
+                                std::vector<Status>* out,
+                                OpStats* stats) override {
+    return client_->MultiDelete(std::move(keys), out, stats);
   }
   const char* name() const override { return "one-sided"; }
 

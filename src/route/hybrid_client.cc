@@ -43,6 +43,22 @@ sim::Task<void> OsMins(TreeBackend* tree,
   latch->Arrive();
 }
 
+sim::Task<void> RpcMdelShard(TreeRpcClient* rpc, uint16_t ms,
+                             std::vector<Key> keys,
+                             std::vector<Status>* per_key, OpStats* stats,
+                             sim::CountdownLatch* latch) {
+  Status st = co_await rpc->MultiDelete(ms, std::move(keys), per_key, stats);
+  SHERMAN_CHECK(st.ok());
+  latch->Arrive();
+}
+
+sim::Task<void> OsMdel(TreeBackend* tree, std::vector<Key> keys,
+                       std::vector<Status>* per_key, Status* overall,
+                       OpStats* stats, sim::CountdownLatch* latch) {
+  *overall = co_await tree->MultiDelete(std::move(keys), per_key, stats);
+  latch->Arrive();
+}
+
 void FoldStats(const OpStats& local, OpStats* stats) {
   if (stats == nullptr) return;
   stats->round_trips += local.round_trips;
@@ -305,6 +321,103 @@ sim::Task<Status> HybridClient::MultiInsert(
     group.reserve(fb_idx.size());
     for (size_t i : fb_idx) group.push_back(kvs[i]);
     fb_st = co_await tree_.MultiInsert(std::move(group), &fb_local);
+  }
+
+  std::vector<SlotView> views;
+  views.reserve(slots.size());
+  for (const RpcSlot& s : slots) {
+    views.push_back(SlotView{&s.idxs, &s.local});
+  }
+  RecordBatch(views, shard_of, is_fb, os_idx, os_local, fb_local,
+              /*is_write=*/true, (sim_->now() - start) / n, stats);
+
+  if (!os_st.ok()) co_return os_st;
+  co_return fb_st;
+}
+
+sim::Task<Status> HybridClient::MultiDelete(std::vector<Key> keys,
+                                            std::vector<Status>* out,
+                                            OpStats* stats) {
+  const size_t n = keys.size();
+  out->assign(n, Status::NotFound());
+  if (n == 0) co_return Status::OK();
+  const sim::SimTime start = sim_->now();
+
+  // Split by logical shard; RPC-path shards each get one coalesced
+  // request, one-sided keys pool into a single doorbell-batched
+  // MultiDelete — the same shape as MultiGet/MultiInsert (before this,
+  // batched deletes silently fell back to op-at-a-time dispatch).
+  std::vector<int> shard_of(n);
+  std::map<int, std::vector<size_t>> rpc_groups;
+  std::vector<size_t> os_idx;
+  for (size_t i = 0; i < n; i++) {
+    shard_of[i] = router_->ShardFor(keys[i]);
+    if (router_->PathOfShard(shard_of[i]) == Path::kRpc) {
+      rpc_groups[shard_of[i]].push_back(i);
+    } else {
+      os_idx.push_back(i);
+    }
+  }
+
+  struct RpcSlot {
+    int shard = 0;
+    std::vector<size_t> idxs;
+    std::vector<Status> per_key;
+    OpStats local;
+  };
+  std::vector<RpcSlot> slots;
+  slots.reserve(rpc_groups.size());
+  for (auto& [shard, idxs] : rpc_groups) {
+    slots.push_back(RpcSlot{shard, std::move(idxs), {}, {}});
+  }
+
+  std::vector<Status> os_res;
+  OpStats os_local;
+  Status os_st = Status::OK();
+  {
+    sim::CountdownLatch latch(slots.size() + (os_idx.empty() ? 0 : 1));
+    for (RpcSlot& slot : slots) {
+      std::vector<Key> ks;
+      ks.reserve(slot.idxs.size());
+      for (size_t i : slot.idxs) ks.push_back(keys[i]);
+      sim::Spawn(RpcMdelShard(&rpc_, router_->HomeMsFor(slot.shard),
+                              std::move(ks), &slot.per_key, &slot.local,
+                              &latch));
+    }
+    if (!os_idx.empty()) {
+      std::vector<Key> ks;
+      ks.reserve(os_idx.size());
+      for (size_t i : os_idx) ks.push_back(keys[i]);
+      sim::Spawn(
+          OsMdel(&tree_, std::move(ks), &os_res, &os_st, &os_local, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // MS-declined keys (locked leaf) fall back to one one-sided batch.
+  std::vector<size_t> fb_idx;
+  std::vector<uint8_t> is_fb(n, 0);
+  for (const RpcSlot& slot : slots) {
+    for (size_t j = 0; j < slot.idxs.size(); j++) {
+      if (slot.per_key[j].IsRetry()) {
+        fb_idx.push_back(slot.idxs[j]);
+        is_fb[slot.idxs[j]] = 1;
+      } else {
+        (*out)[slot.idxs[j]] = slot.per_key[j];
+      }
+    }
+  }
+  for (size_t j = 0; j < os_idx.size(); j++) (*out)[os_idx[j]] = os_res[j];
+
+  OpStats fb_local;
+  Status fb_st = Status::OK();
+  if (!fb_idx.empty()) {
+    std::vector<Key> ks;
+    std::vector<Status> fb_res;
+    ks.reserve(fb_idx.size());
+    for (size_t i : fb_idx) ks.push_back(keys[i]);
+    fb_st = co_await tree_.MultiDelete(std::move(ks), &fb_res, &fb_local);
+    for (size_t j = 0; j < fb_idx.size(); j++) (*out)[fb_idx[j]] = fb_res[j];
   }
 
   std::vector<SlotView> views;

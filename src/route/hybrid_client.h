@@ -47,6 +47,9 @@ class HybridClient final : public IndexBackend {
                              OpStats* stats = nullptr) override;
   sim::Task<Status> MultiInsert(std::vector<std::pair<Key, uint64_t>> kvs,
                                 OpStats* stats = nullptr) override;
+  sim::Task<Status> MultiDelete(std::vector<Key> keys,
+                                std::vector<Status>* out,
+                                OpStats* stats = nullptr) override;
   const char* name() const override { return "hybrid"; }
 
   int cs_id() const { return cs_id_; }

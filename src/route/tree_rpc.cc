@@ -15,6 +15,16 @@ namespace {
 constexpr int kMaxHops = 64;
 // Leaves an MS-side scan may walk before declining the remainder.
 constexpr uint32_t kMaxScanLeaves = 64;
+
+// Marks a host-side mutated node consistent for lock-free readers — the
+// MS-side executor's counterpart of TreeClient::SealNode.
+void SealHostNode(NodeView* node, const TreeOptions& o) {
+  if (o.consistency == TreeOptions::Consistency::kChecksum) {
+    node->UpdateChecksum();
+  } else {
+    node->BumpNodeVersions();
+  }
+}
 }  // namespace
 
 TreeRpcService::TreeRpcService(ShermanSystem* system) : system_(system) {
@@ -24,7 +34,7 @@ TreeRpcService::TreeRpcService(ShermanSystem* system) : system_(system) {
 
 void TreeRpcService::InstallOn(int ms) {
   system_->fabric().ms(ms).ChainRpcHandler(
-      kOpInsert, kOpMultiInsert,
+      kOpInsert, kOpMultiDelete,
       [this, ms](uint64_t opcode, uint64_t a, uint64_t b, uint16_t) {
         return Handle(ms, opcode, a, b);
       });
@@ -45,13 +55,15 @@ uint64_t TreeRpcService::Handle(int ms, uint64_t opcode, uint64_t a,
       return DoMultiGet(ms, a);
     case kOpMultiInsert:
       return DoMultiInsert(ms, a);
+    case kOpMultiDelete:
+      return DoMultiDelete(ms, a);
     default:
       SHERMAN_CHECK(false);
       return 0;
   }
 }
 
-rdma::GlobalAddress TreeRpcService::FindLeaf(Key key) const {
+rdma::GlobalAddress TreeRpcService::FindNode(Key key, uint8_t level) const {
   rdma::Fabric& fabric = system_->fabric();
   const TreeShape& shape = system_->options().shape;
 
@@ -62,13 +74,15 @@ rdma::GlobalAddress TreeRpcService::FindLeaf(Key key) const {
 
   for (int hop = 0; hop < kMaxHops; hop++) {
     NodeView view(fabric.HostRaw(addr), &shape);
-    if (view.is_free() || key < view.lo_fence()) return rdma::kNullAddress;
+    if (view.is_free() || view.level() < level || key < view.lo_fence()) {
+      return rdma::kNullAddress;
+    }
     if (key >= view.hi_fence()) {
       addr = view.sibling();
       if (addr.is_null()) return rdma::kNullAddress;
       continue;
     }
-    if (view.is_leaf()) return addr;
+    if (view.level() == level) return addr;
     addr = view.InternalChildFor(key);
     if (addr.is_null()) return rdma::kNullAddress;
   }
@@ -108,11 +122,7 @@ uint64_t TreeRpcService::DoInsert(Key key, uint64_t value) {
       declined_++;
       return kAckDeclined;
     }
-    if (o.consistency == TreeOptions::Consistency::kChecksum) {
-      view.UpdateChecksum();
-    } else {
-      view.BumpNodeVersions();
-    }
+    SealHostNode(&view, o);
   }
   served_++;
   return kAckOk;
@@ -160,14 +170,73 @@ uint64_t TreeRpcService::DoDelete(Key key) {
       served_++;
       return kAckNotFound;
     }
-    if (o.consistency == TreeOptions::Consistency::kChecksum) {
-      view.UpdateChecksum();
-    } else {
-      view.BumpNodeVersions();
-    }
+    SealHostNode(&view, o);
   }
   served_++;
+  TryMergeHost(leaf);
   return kAckOk;
+}
+
+void TreeRpcService::TryMergeHost(rdma::GlobalAddress leaf) {
+  const TreeOptions& o = system_->options();
+  if (o.merge_threshold <= 0) return;
+  rdma::Fabric& fabric = system_->fabric();
+  NodeView view(fabric.HostRaw(leaf), &o.shape);
+  if (!view.is_leaf() || view.is_free()) return;
+  const Key lo = view.lo_fence();
+  const Key hi = view.hi_fence();
+  if (lo == 0) return;  // no left sibling (root leaf / leftmost leaf)
+
+  const uint32_t cap = o.shape.leaf_capacity();
+  const uint32_t live = view.LiveLeafEntries(o.two_level_versions);
+  if (static_cast<double>(live) >=
+      o.merge_threshold * static_cast<double>(cap)) {
+    return;
+  }
+
+  // Resolve parent + left sibling through host memory; skip unless the
+  // leaf appears as an explicit (lo -> leaf) entry (a leftmost child's
+  // separator lives a level up).
+  const rdma::GlobalAddress paddr = FindNode(lo, /*level=*/1);
+  if (paddr.is_null()) return;
+  NodeView pview(fabric.HostRaw(paddr), &o.shape);
+  const uint32_t pn = pview.count();
+  uint32_t ei = UINT32_MAX;
+  for (uint32_t i = 0; i < pn; i++) {
+    if (pview.InternalKey(i) == lo && pview.InternalChild(i) == leaf) {
+      ei = i;
+      break;
+    }
+  }
+  if (ei == UINT32_MAX) return;
+  const rdma::GlobalAddress saddr =
+      ei == 0 ? pview.leftmost_child() : pview.InternalChild(ei - 1);
+  if (saddr.is_null()) return;
+  NodeView sview(fabric.HostRaw(saddr), &o.shape);
+  if (!sview.is_leaf() || sview.is_free() || sview.hi_fence() != lo ||
+      sview.sibling() != leaf) {
+    return;
+  }
+  // One-sided writers hold their HOCL lock from read to write-back; a held
+  // lane on any involved node means a mutation is in flight — skip (the
+  // merge is opportunistic; the next underflowing delete retries).
+  if (NodeLocked(leaf) || NodeLocked(saddr) || NodeLocked(paddr)) return;
+
+  const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
+  if (s_live + live > 3 * cap / 4) return;  // anti-thrash headroom
+
+  // Move survivors, widen the sibling, drop the parent entry, tombstone.
+  MoveLeafEntries(&sview, view, o.two_level_versions);
+  sview.set_hi_fence(hi);
+  sview.set_sibling(view.sibling());
+  SealHostNode(&sview, o);
+  SHERMAN_CHECK(pview.InternalRemove(lo, leaf));
+  SealHostNode(&pview, o);
+  view.set_free(true);
+  SealHostNode(&view, o);
+  system_->chunk_manager(leaf.node)
+      .FreeNode(leaf.offset, o.shape.node_size);
+  leaf_merges_++;
 }
 
 uint64_t TreeRpcService::DoScan(int ms, Key from, uint32_t count,
@@ -310,11 +379,7 @@ uint64_t TreeRpcService::DoMultiInsert(int ms, uint64_t token) {
         out.push_back(Status::Retry("ms-side multi-insert: leaf full"));
         continue;
       }
-      if (o.consistency == TreeOptions::Consistency::kChecksum) {
-        view.UpdateChecksum();
-      } else {
-        view.BumpNodeVersions();
-      }
+      SealHostNode(&view, o);
     }
     served_++;
     out.push_back(Status::OK());
@@ -325,6 +390,52 @@ uint64_t TreeRpcService::DoMultiInsert(int ms, uint64_t token) {
         system_->fabric().config().rpc_service_ns / 2);
   }
   mins_in_.erase(in);
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoMultiDelete(int ms, uint64_t token) {
+  const auto in = mdel_in_.find(token);
+  SHERMAN_CHECK(in != mdel_in_.end());
+  const TreeOptions& o = system_->options();
+  std::vector<Status>& out = mdel_out_[token];
+  out.reserve(in->second.size());
+  for (Key key : in->second) {
+    const rdma::GlobalAddress leaf = FindLeaf(key);
+    if (leaf.is_null() || NodeLocked(leaf)) {
+      declined_++;
+      out.push_back(Status::Retry("ms-side multi-delete declined"));
+      continue;
+    }
+    NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+    bool removed = false;
+    if (o.two_level_versions) {
+      const NodeView::SlotResult slot = view.FindLeafSlot(key);
+      if (slot.match != UINT32_MAX) {
+        view.SetLeafEntry(slot.match, kNullKey, 0);
+        removed = true;
+      }
+    } else {
+      removed = view.SortedLeafRemove(key);
+      if (removed) {
+        SealHostNode(&view, o);
+      }
+    }
+    served_++;
+    if (removed) {
+      TryMergeHost(leaf);
+      out.push_back(Status::OK());
+    } else {
+      out.push_back(Status::NotFound());
+    }
+  }
+  // Each key beyond the first walks root-to-leaf on the wimpy core: half
+  // a service slot apiece (same rate as the other coalesced batches).
+  if (in->second.size() > 1) {
+    system_->fabric().ms(ms).ChargeMemoryThread(
+        static_cast<sim::SimTime>(in->second.size() - 1) *
+        system_->fabric().config().rpc_service_ns / 2);
+  }
+  mdel_in_.erase(in);
   return kAckOk;
 }
 
@@ -344,6 +455,15 @@ std::vector<Status> TreeRpcService::TakeMultiInsertResult(uint64_t token) {
   SHERMAN_CHECK(it != mins_out_.end());
   out = std::move(it->second);
   mins_out_.erase(it);
+  return out;
+}
+
+std::vector<Status> TreeRpcService::TakeMultiDeleteResult(uint64_t token) {
+  std::vector<Status> out;
+  auto it = mdel_out_.find(token);
+  SHERMAN_CHECK(it != mdel_out_.end());
+  out = std::move(it->second);
+  mdel_out_.erase(it);
   return out;
 }
 
@@ -460,6 +580,25 @@ sim::Task<Status> TreeRpcClient::MultiInsert(
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(r == TreeRpcService::kAckOk);
   *per_key = service_->TakeMultiInsertResult(token);
+  SHERMAN_CHECK(per_key->size() == n);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::MultiDelete(uint16_t ms,
+                                             std::vector<Key> keys,
+                                             std::vector<Status>* per_key,
+                                             OpStats* stats) {
+  per_key->assign(keys.size(), Status::NotFound());
+  if (keys.empty()) co_return Status::OK();
+  for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
+  const size_t n = keys.size();
+  const uint64_t token = service_->NewToken();
+  service_->StageMultiDelete(token, std::move(keys));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpMultiDelete, token);
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r == TreeRpcService::kAckOk);
+  *per_key = service_->TakeMultiDeleteResult(token);
   SHERMAN_CHECK(per_key->size() == n);
   co_return Status::OK();
 }

@@ -50,6 +50,7 @@ class TreeRpcService {
   // RPCs but still show up in the FIFO backlog the router watches.
   static constexpr uint64_t kOpMultiGet = 204;
   static constexpr uint64_t kOpMultiInsert = 205;
+  static constexpr uint64_t kOpMultiDelete = 206;
 
   // Response words for write ops; lookups/scans return found counts and
   // stage values out-of-band under a token (the sim's RPC messages are
@@ -87,20 +88,29 @@ class TreeRpcService {
                         std::vector<std::pair<Key, uint64_t>> kvs) {
     mins_in_[token] = std::move(kvs);
   }
+  void StageMultiDelete(uint64_t token, std::vector<Key> keys) {
+    mdel_in_[token] = std::move(keys);
+  }
   // Per-key outcomes; for gets the value rides along. Status is OK,
   // NotFound, or Retry (declined: locked leaf / full leaf / anomaly).
   std::vector<MultiGetResult> TakeMultiGetResult(uint64_t token);
   std::vector<Status> TakeMultiInsertResult(uint64_t token);
+  std::vector<Status> TakeMultiDeleteResult(uint64_t token);
 
   uint64_t served() const { return served_; }
   uint64_t declined() const { return declined_; }
+  // Leaves merged + reclaimed by the MS-side delete executor (same merge
+  // logic as the one-sided path; skipped when any involved lock is held).
+  uint64_t leaf_merges() const { return leaf_merges_; }
 
  private:
   uint64_t Handle(int ms, uint64_t opcode, uint64_t a, uint64_t b);
 
-  // Descends from the root to the leaf covering `key` through raw host
-  // memory. Returns null on any structural anomaly (caller declines).
-  rdma::GlobalAddress FindLeaf(Key key) const;
+  // Descends from the root to the level-`level` node covering `key`
+  // through raw host memory. Returns null on any structural anomaly
+  // (caller declines). Height-1 trees have no level-1 node.
+  rdma::GlobalAddress FindNode(Key key, uint8_t level) const;
+  rdma::GlobalAddress FindLeaf(Key key) const { return FindNode(key, 0); }
   // Is the HOCL global lock lane guarding `addr` currently held?
   bool NodeLocked(rdma::GlobalAddress addr) const;
 
@@ -110,6 +120,14 @@ class TreeRpcService {
   uint64_t DoScan(int ms, Key from, uint32_t count, uint64_t token);
   uint64_t DoMultiGet(int ms, uint64_t token);
   uint64_t DoMultiInsert(int ms, uint64_t token);
+  uint64_t DoMultiDelete(int ms, uint64_t token);
+
+  // Opportunistic MS-side mirror of TreeClient::TryMergeLeafLocked: the
+  // handler runs atomically at one simulated instant, so instead of taking
+  // the three locks it simply skips the merge unless the leaf's, the left
+  // sibling's, and the parent's lock lanes are all free. The freed leaf
+  // goes to its MS's epoch-keyed grace list like any client-side merge.
+  void TryMergeHost(rdma::GlobalAddress leaf);
 
   ShermanSystem* system_;
   std::map<uint64_t, uint64_t> lookup_out_;
@@ -118,9 +136,12 @@ class TreeRpcService {
   std::map<uint64_t, std::vector<MultiGetResult>> mget_out_;
   std::map<uint64_t, std::vector<std::pair<Key, uint64_t>>> mins_in_;
   std::map<uint64_t, std::vector<Status>> mins_out_;
+  std::map<uint64_t, std::vector<Key>> mdel_in_;
+  std::map<uint64_t, std::vector<Status>> mdel_out_;
   uint64_t next_token_ = 1;
   uint64_t served_ = 0;
   uint64_t declined_ = 0;
+  uint64_t leaf_merges_ = 0;
 };
 
 // Per-compute-server client stub for TreeRpcService. The caller names the
@@ -147,6 +168,8 @@ class TreeRpcClient {
                              std::vector<MultiGetResult>* out, OpStats* stats);
   sim::Task<Status> MultiInsert(uint16_t ms,
                                 std::vector<std::pair<Key, uint64_t>> kvs,
+                                std::vector<Status>* per_key, OpStats* stats);
+  sim::Task<Status> MultiDelete(uint16_t ms, std::vector<Key> keys,
                                 std::vector<Status>* per_key, OpStats* stats);
 
  private:

@@ -38,6 +38,29 @@ uint64_t WorkloadGenerator::NextRank() {
 
 Op WorkloadGenerator::Next() {
   Op op;
+  if (options_.churn_window > 0) {
+    // Churn mode: fixed live-key count. Delete the oldest inserted key
+    // once the window is full, otherwise insert the next key of this
+    // client's sliding sequence (FIFO expiry is time-correlated, so the
+    // live window sweeps the key space: leaves fully drain behind it —
+    // exercising merge/reclaim — while splits run ahead of it).
+    if (churn_fifo_.size() >= options_.churn_window) {
+      op.type = OpType::kDelete;
+      op.key = churn_fifo_.front();
+      churn_fifo_.pop_front();
+    } else {
+      if (!churn_started_) {
+        churn_cursor_ = NextRank();  // seed-random start per client
+        churn_started_ = true;
+      }
+      op.type = OpType::kInsert;
+      op.key = LoadedKeyFor(churn_cursor_) + 1;
+      churn_cursor_ = (churn_cursor_ + 1) % options_.loaded_keys;
+      op.value = ++value_counter_;
+      churn_fifo_.push_back(op.key);
+    }
+    return op;
+  }
   const double dice = rng_.NextDouble();
   const WorkloadMix& mix = options_.mix;
   const uint64_t rank = NextRank();
@@ -84,6 +107,11 @@ bool ParseMix(const std::string& name, WorkloadOptions* options) {
   if (name == "hotspot-drift") {
     options->mix = WorkloadMix::WriteIntensive();
     if (options->hotspot_drift_ops == 0) options->hotspot_drift_ops = 400;
+    return true;
+  }
+  if (name == "churn") {
+    options->mix = WorkloadMix::WriteOnly();  // informational; churn ignores it
+    if (options->churn_window == 0) options->churn_window = 256;
     return true;
   }
   return ParseMix(name, &options->mix);

@@ -10,6 +10,7 @@
 #define SHERMAN_WORKLOAD_WORKLOAD_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -48,6 +49,20 @@ struct WorkloadOptions {
   // hot go cold and vice versa.
   uint64_t hotspot_drift_ops = 0;
   uint64_t hotspot_drift_step = 0;  // 0 => loaded_keys / 8
+
+  // Churn mode (space-reclamation benchmarking): when churn_window > 0
+  // the generator ignores `mix` and keeps this client's live insert set
+  // at exactly churn_window keys — each op inserts the next odd key of a
+  // sliding sequence (seed-random start, advancing one rank per insert,
+  // wrapping the universe) until the window fills, then alternates
+  // deleting the oldest inserted key with inserting a fresh one. FIFO
+  // expiry is time-correlated, so the live window sweeps the key space:
+  // leaves drain and merge behind it while splits run ahead of it.
+  // Overlapping client windows collide on keys; the loser's later delete
+  // resolves as NotFound, so the aggregate live count stays pinned. This
+  // is the sustained insert+delete-at-fixed-live-count mix bench_churn
+  // uses to prove the allocated-bytes plateau.
+  uint64_t churn_window = 0;
 };
 
 struct Op {
@@ -81,6 +96,9 @@ class WorkloadGenerator {
   uint64_t value_counter_;
   uint64_t drift_offset_ = 0;
   uint64_t ops_since_drift_ = 0;
+  std::deque<uint64_t> churn_fifo_;  // churn mode: this client's live keys
+  uint64_t churn_cursor_ = 0;        // churn mode: next insert rank
+  bool churn_started_ = false;
 };
 
 // Parses the mix names used by bench binaries ("write-only",
@@ -89,9 +107,11 @@ bool ParseMix(const std::string& name, WorkloadMix* mix);
 
 // Same, writing into full WorkloadOptions; additionally accepts
 // "hotspot-drift" (write-intensive mix with a rotating Zipfian hot set,
-// enabling hotspot_drift_ops if unset). The mix-only overload rejects
-// that name on purpose: a caller that cannot apply the drift options
-// would silently run a mislabeled static workload.
+// enabling hotspot_drift_ops if unset) and "churn" (sustained
+// insert+delete at a fixed live-key count, enabling churn_window if
+// unset). The mix-only overload rejects both names on purpose: a caller
+// that cannot apply the extra options would silently run a mislabeled
+// workload.
 bool ParseMix(const std::string& name, WorkloadOptions* options);
 
 }  // namespace sherman

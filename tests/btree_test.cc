@@ -338,6 +338,160 @@ TEST(BTreeTest, DeleteFreesSlotForReuse) {
   EXPECT_EQ(system.DebugScanLeaves().size(), 10u);
 }
 
+// Regression (delete-path sweep): sorted-mode (FG) deletes must write back
+// only the header + the left-shifted suffix, not the whole node — the byte
+// accounting must reflect it exactly.
+TEST(BTreeTest, FgDeleteWritesOnlyShiftedSuffix) {
+  ShermanSystem system(SmallFabric(), FgPlusOptions());
+  const uint64_t n = 1'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+  bool done = false;
+  sim::Spawn([](TreeClient* c, const TreeShape* shape, bool* flag)
+                 -> sim::Task<void> {
+    const uint32_t esz = shape->leaf_entry_size();
+    const uint32_t cap = shape->leaf_capacity();
+    const uint32_t per_leaf = std::min(
+        cap, static_cast<uint32_t>(cap * 0.8));  // bulkload fill
+    // Last key of the first leaf: only that one entry slot shifts.
+    OpStats stats;
+    Status st = co_await c->Delete(
+        WorkloadGenerator::LoadedKeyFor(per_leaf - 1), &stats);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(stats.bytes_written, kHeaderSize + esz);
+    // First key of the first leaf: the whole remaining tail shifts — still
+    // strictly less than a whole-node write.
+    stats.Reset();
+    st = co_await c->Delete(WorkloadGenerator::LoadedKeyFor(0), &stats);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(stats.bytes_written, kHeaderSize + (per_leaf - 1) * esz);
+    EXPECT_LT(stats.bytes_written, shape->node_size);
+    // The leaf still validates and serves correctly.
+    uint64_t v = 0;
+    st = co_await c->Lookup(WorkloadGenerator::LoadedKeyFor(1), &v);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(v, WorkloadGenerator::LoadedKeyFor(1) * 31 + 7);
+    EXPECT_TRUE(
+        (co_await c->Lookup(WorkloadGenerator::LoadedKeyFor(0), &v))
+            .IsNotFound());
+    *flag = true;
+  }(&system.client(0), &system.options().shape, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+}
+
+// Regression (delete-path sweep): range queries and MultiGet over unsorted
+// leaves must skip nulled (deleted) entries — deleted keys neither appear
+// in results nor count toward the requested `count`.
+TEST(RangeBoundaryTest, ScanSkipsDeletedEntriesMidRange) {
+  TreeOptions topt = ShermanOptions();
+  topt.merge_threshold = 0;  // keep leaves in place: nulled slots persist
+  ShermanSystem system(SmallFabric(2, 2), topt);
+  const uint64_t n = 2'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    // Null every odd-ranked key in ranks [300, 700).
+    for (uint64_t r = 300; r < 700; r++) {
+      if (r % 2 == 0) continue;
+      EXPECT_TRUE(
+          (co_await c->Delete(WorkloadGenerator::LoadedKeyFor(r))).ok());
+    }
+    // Scan across the deleted region: exactly the survivors, in order,
+    // with deleted keys not counted toward `count`.
+    const Key from = WorkloadGenerator::LoadedKeyFor(250);
+    std::vector<std::pair<Key, uint64_t>> out;
+    Status st = co_await c->RangeQuery(from, 300, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(out.size(), 300u);
+    uint64_t rank = 250;
+    for (const auto& [k, v] : out) {
+      EXPECT_EQ(k, WorkloadGenerator::LoadedKeyFor(rank)) << "rank " << rank;
+      EXPECT_EQ(v, k * 31 + 7);
+      // Next surviving rank: odd ranks in [300, 700) were deleted.
+      rank++;
+      while (rank >= 300 && rank < 700 && rank % 2 == 1) rank++;
+    }
+    // MultiGet over a deleted/live mix: deleted keys report NotFound.
+    std::vector<Key> keys;
+    for (uint64_t r = 298; r < 312; r++) {
+      keys.push_back(WorkloadGenerator::LoadedKeyFor(r));
+    }
+    std::vector<MultiGetResult> got;
+    st = co_await c->MultiGet(keys, &got);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (size_t i = 0; i < keys.size(); i++) {
+      const uint64_t r = 298 + i;
+      const bool deleted = r >= 300 && r < 700 && r % 2 == 1;
+      if (deleted) {
+        EXPECT_TRUE(got[i].status.IsNotFound()) << "rank " << r;
+      } else {
+        EXPECT_TRUE(got[i].status.ok()) << "rank " << r;
+        EXPECT_EQ(got[i].value, keys[i] * 31 + 7);
+      }
+    }
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+}
+
+// Same, racing: deletes landing inside the scanned range while the scan
+// walks across it. Stable (never-deleted) keys must all appear exactly
+// once and in order; deleted keys never surface after their delete.
+TEST(RangeBoundaryTest, ScanRacesDeletesMidRange) {
+  TreeOptions topt = ShermanOptions();
+  topt.shape.node_size = 256;
+  ShermanSystem system(SmallFabric(2, 2), topt);
+  const uint64_t n = 2'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 1.0);
+
+  int done = 0;
+  sim::Spawn([](TreeClient* c, int* d) -> sim::Task<void> {
+    Random rng(3);
+    // Delete odd-ranked keys in [200, 800) in random order; merges fire
+    // as leaves drain.
+    std::vector<uint64_t> ranks;
+    for (uint64_t r = 200; r < 800; r++) {
+      if (r % 2 == 1) ranks.push_back(r);
+    }
+    for (size_t i = ranks.size(); i > 1; i--) {
+      std::swap(ranks[i - 1], ranks[rng.Uniform(i)]);
+    }
+    for (uint64_t r : ranks) {
+      EXPECT_TRUE(
+          (co_await c->Delete(WorkloadGenerator::LoadedKeyFor(r))).ok());
+    }
+    (*d)++;
+  }(&system.client(0), &done));
+  sim::Spawn([](TreeClient* c, int* d) -> sim::Task<void> {
+    const Key from = WorkloadGenerator::LoadedKeyFor(180);
+    for (int round = 0; round < 25; round++) {
+      std::vector<std::pair<Key, uint64_t>> out;
+      Status st = co_await c->RangeQuery(from, 350, &out);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      Key prev = 0;
+      uint64_t even_rank = 180;
+      for (const auto& [k, v] : out) {
+        EXPECT_GT(k, prev) << "unsorted or duplicated key";
+        prev = k;
+        if ((k / 2 - 1) % 2 == 0) {
+          // Even-ranked keys are stable: none may be skipped.
+          EXPECT_EQ(k, WorkloadGenerator::LoadedKeyFor(even_rank))
+              << "scan skipped a stable key";
+          even_rank += 2;
+        }
+      }
+    }
+    (*d)++;
+  }(&system.client(1), &done));
+  system.simulator().Run();
+  ASSERT_EQ(done, 2);
+  system.DebugCheckInvariants();
+}
+
 TEST(BTreeTest, CacheDisabledStillCorrect) {
   TreeOptions topt = ShermanOptions();
   topt.enable_cache = false;

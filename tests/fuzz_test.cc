@@ -12,9 +12,12 @@
 //
 // The op mix interleaves every mutating path the index exposes: singleton
 // Insert/Lookup/Delete/RangeQuery plus the doorbell-batched MultiGet /
-// MultiInsert. Elastic cases additionally run a mid-fuzz
+// MultiInsert / MultiDelete. Elastic cases additionally run a mid-fuzz
 // AddMemoryServer + live migration of half the key space concurrently
-// with the op streams.
+// with the op streams. Delete-heavy churn cases weight half the dice onto
+// the delete paths so leaf merging and epoch-protected reclamation run
+// constantly under every other op (including, in the combined cases,
+// under live migration).
 //
 // Nightly soak: SHERMAN_LONG_FUZZ=1 widens the seed sweep and lengthens
 // each run (see .github/workflows/nightly.yml); the PR gate stays small.
@@ -40,7 +43,8 @@ using testutil::Oracle;
 struct FuzzCase {
   uint64_t seed;
   const char* preset;
-  bool elastic = false;  // mid-run AddMemoryServer + migration
+  bool elastic = false;       // mid-run AddMemoryServer + migration
+  bool delete_heavy = false;  // churn mix: deletes + MultiDelete dominate
 };
 
 class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
@@ -49,8 +53,9 @@ class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
 // MultiInsert, all recorded against the shared oracle before issue (so a
 // torn-read check is sound).
 sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
-                           int n_ops, uint64_t space, Oracle* orc,
-                           std::map<Key, uint64_t>* my_last, int* d) {
+                           int n_ops, uint64_t space, bool delete_heavy,
+                           Oracle* orc, std::map<Key, uint64_t>* my_last,
+                           int* d) {
   TreeClient& client = sys->client(tid % sys->num_clients());
   Random rng(seed);
   const auto check_read = [orc](Key key, const Status& st, uint64_t v) {
@@ -68,10 +73,20 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
     my_last->erase(key);
   };
 
+  // Standard mix: inserts and reads dominate. Delete-heavy churn: half
+  // the dice land on singleton Delete / batched MultiDelete, so leaf
+  // merging, tombstoning, and epoch-protected recycling run constantly
+  // under every other op (and under migration, in the elastic cases).
+  const uint64_t d_ins = delete_heavy ? 2 : 3;
+  const uint64_t d_mins = delete_heavy ? 3 : 5;
+  const uint64_t d_look = delete_heavy ? 4 : 7;
+  const uint64_t d_mget = delete_heavy ? 5 : 9;
+  const uint64_t d_del = delete_heavy ? 8 : 10;
+  const uint64_t d_mdel = 11;  // both mixes: dice 11 is the range query
   for (int i = 0; i < n_ops; i++) {
     const Key key = 1 + rng.Uniform(space);
     const uint64_t dice = rng.Uniform(12);
-    if (dice < 3) {  // singleton insert
+    if (dice < d_ins) {  // singleton insert
       const uint64_t value = (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
       record_write(key, value);
       Status st = co_await client.Insert(key, value);
@@ -80,7 +95,7 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
         continue;
       }
       EXPECT_TRUE(st.ok()) << st.ToString();
-    } else if (dice < 5) {  // batched MultiInsert
+    } else if (dice < d_mins) {  // batched MultiInsert
       std::vector<std::pair<Key, uint64_t>> kvs;
       const int batch = 2 + static_cast<int>(rng.Uniform(5));
       for (int b = 0; b < batch; b++) {
@@ -99,11 +114,11 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
         continue;
       }
       EXPECT_TRUE(st.ok()) << st.ToString();
-    } else if (dice < 7) {  // singleton lookup
+    } else if (dice < d_look) {  // singleton lookup
       uint64_t v = 0;
       Status st = co_await client.Lookup(key, &v);
       check_read(key, st, v);
-    } else if (dice < 9) {  // batched MultiGet
+    } else if (dice < d_mget) {  // batched MultiGet
       std::vector<Key> keys;
       const int batch = 2 + static_cast<int>(rng.Uniform(7));
       for (int b = 0; b < batch; b++) keys.push_back(1 + rng.Uniform(space));
@@ -114,12 +129,31 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
       for (size_t b = 0; b < got.size() && b < keys.size(); b++) {
         check_read(keys[b], got[b].status, got[b].value);
       }
-    } else if (dice < 10) {  // delete
-      auto it = orc->find(key);
-      if (it != orc->end()) it->second.deleted = true;
+    } else if (dice < d_del) {  // delete
+      // Mark unconditionally — creating the oracle entry if the key does
+      // not exist yet: a concurrent insert may create the key while this
+      // delete is in flight, and the delete then legally linearizes after
+      // it, so no last-value guarantee survives for this key.
+      (*orc)[key].deleted = true;
       my_last->erase(key);
       Status st = co_await client.Delete(key);
       EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    } else if (dice < d_mdel) {  // batched MultiDelete
+      std::vector<Key> keys;
+      const int batch = 2 + static_cast<int>(rng.Uniform(6));
+      for (int b = 0; b < batch; b++) {
+        const Key k = 1 + rng.Uniform(space);
+        (*orc)[k].deleted = true;  // unconditional: see singleton delete
+        my_last->erase(k);
+        keys.push_back(k);
+      }
+      std::vector<Status> res;
+      Status st = co_await client.MultiDelete(keys, &res);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(res.size(), keys.size());
+      for (const Status& s : res) {
+        EXPECT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+      }
     } else {  // range query
       std::vector<std::pair<Key, uint64_t>> out;
       Status st = co_await client.RangeQuery(
@@ -173,8 +207,8 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   int done = 0;
   for (int t = 0; t < threads; t++) {
     sim::Spawn(FuzzWorker(&system, t, fc.seed * 97 + t, ops_per_thread,
-                          key_space, &oracle, &last_value_by_thread[t],
-                          &done));
+                          key_space, fc.delete_heavy, &oracle,
+                          &last_value_by_thread[t], &done));
   }
 
   // Elastic cases: a memory server joins MID-fuzz — the AddMemoryServer
@@ -211,11 +245,21 @@ std::vector<FuzzCase> MakeCases() {
   const bool long_fuzz = std::getenv("SHERMAN_LONG_FUZZ") != nullptr;
   const uint64_t plain_seeds = long_fuzz ? 36 : 12;
   const uint64_t elastic_seeds = long_fuzz ? 12 : 4;
+  const uint64_t churn_seeds = long_fuzz ? 12 : 4;
+  const uint64_t churn_elastic_seeds = long_fuzz ? 12 : 4;
   for (uint64_t seed = 1; seed <= plain_seeds; seed++) {
-    cases.push_back(FuzzCase{seed, presets[seed % 3], false});
+    cases.push_back(FuzzCase{seed, presets[seed % 3], false, false});
   }
   for (uint64_t seed = 1; seed <= elastic_seeds; seed++) {
-    cases.push_back(FuzzCase{1000 + seed, presets[seed % 3], true});
+    cases.push_back(FuzzCase{1000 + seed, presets[seed % 3], true, false});
+  }
+  // Delete-heavy churn: merging + reclamation under every preset, alone
+  // and racing AddMemoryServer + live migration.
+  for (uint64_t seed = 1; seed <= churn_seeds; seed++) {
+    cases.push_back(FuzzCase{2000 + seed, presets[seed % 3], false, true});
+  }
+  for (uint64_t seed = 1; seed <= churn_elastic_seeds; seed++) {
+    cases.push_back(FuzzCase{3000 + seed, presets[seed % 3], true, true});
   }
   return cases;
 }
@@ -228,7 +272,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::ValuesIn(MakeCases()),
                            }
                            return "seed" + std::to_string(info.param.seed) +
                                   "_" + p +
-                                  (info.param.elastic ? "_elastic" : "");
+                                  (info.param.elastic ? "_elastic" : "") +
+                                  (info.param.delete_heavy ? "_churn" : "");
                          });
 
 }  // namespace

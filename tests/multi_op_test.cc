@@ -209,6 +209,98 @@ TEST(MultiInsertTest, DuplicateKeysInOneBatchLastWins) {
   ASSERT_TRUE(done);
 }
 
+// --- TreeClient::MultiDelete -----------------------------------------------
+
+TEST(MultiDeleteTest, MatchesSingletonDeletes) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  const uint64_t n = 5'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, uint64_t n_keys, bool* flag) -> sim::Task<void> {
+    Random rng(19);
+    std::set<Key> deleted;
+    for (int round = 0; round < 20; round++) {
+      // Batches mixing present (even), absent (odd), already-deleted, and
+      // duplicate keys.
+      std::vector<Key> keys;
+      for (int i = 0; i < 16; i++) {
+        const Key even = 2 * (1 + rng.Uniform(n_keys));
+        keys.push_back(rng.Bernoulli(0.3) ? even + 1 : even);
+      }
+      keys.push_back(keys.front());  // duplicate within the batch
+      std::vector<Key> expect_found;
+      std::set<Key> in_batch;
+      for (Key k : keys) {
+        if (k % 2 == 0 && !deleted.count(k) && in_batch.insert(k).second) {
+          expect_found.push_back(k);
+        }
+      }
+      std::vector<Status> res;
+      Status st = co_await c->MultiDelete(keys, &res);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(res.size(), keys.size());
+      // Exactly one OK per first-occurrence live key; everything else
+      // NotFound.
+      size_t ok_count = 0;
+      for (size_t i = 0; i < keys.size(); i++) {
+        EXPECT_TRUE(res[i].ok() || res[i].IsNotFound()) << res[i].ToString();
+        if (res[i].ok()) ok_count++;
+        if (keys[i] % 2 == 0) deleted.insert(keys[i]);
+      }
+      EXPECT_EQ(ok_count, expect_found.size());
+      // Deleted keys must be gone through the read path.
+      std::vector<MultiGetResult> got;
+      EXPECT_TRUE((co_await c->MultiGet(keys, &got)).ok());
+      for (size_t i = 0; i < keys.size(); i++) {
+        EXPECT_TRUE(got[i].status.IsNotFound()) << "key " << keys[i];
+      }
+    }
+    *flag = true;
+  }(&system.client(0), n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+}
+
+TEST(MultiDeleteTest, SameLeafGroupSharesOneDoorbell) {
+  ShermanSystem system(SmallFabric(), ShermanOptions());
+  const uint64_t n = 10'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    // Warm the level-1 cache so planning is local for both measurements.
+    uint64_t v = 0;
+    EXPECT_TRUE((co_await c->Lookup(2, &v)).ok());
+    // Six adjacent keys share the first leaf: one lock acquisition, one
+    // read, and the entry clears + release in ONE doorbell — 3 round
+    // trips, where six singleton deletes pay 3 each.
+    std::vector<Key> keys;
+    for (uint64_t r = 1; r <= 6; r++) {
+      keys.push_back(WorkloadGenerator::LoadedKeyFor(r));
+    }
+    OpStats batch;
+    std::vector<Status> res;
+    Status st = co_await c->MultiDelete(keys, &res, &batch);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (const Status& s : res) EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_LE(batch.round_trips, 4u);
+
+    OpStats singles;
+    for (uint64_t r = 7; r <= 12; r++) {
+      EXPECT_TRUE(
+          (co_await c->Delete(WorkloadGenerator::LoadedKeyFor(r), &singles))
+              .ok());
+    }
+    EXPECT_GE(singles.round_trips, 3u * 6u);
+    EXPECT_LT(batch.round_trips, singles.round_trips / 3);
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
 // --- HybridClient batches across shards ------------------------------------
 
 HybridOptions SmallHybrid(int shards = 8) {
@@ -300,6 +392,51 @@ TEST(HybridMultiOpTest, MsDeclinedBatchKeysFallBackOneSided) {
   system.simulator().Run();
   ASSERT_TRUE(done);
   EXPECT_GT(system.tracker().totals().rpc_fallbacks, 0u);
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(HybridMultiOpTest, MultiDeleteStraddlesShardAndPathBoundaries) {
+  HybridSystem system(SmallFabric(), SmallHybrid(8));
+  const uint64_t n = 8'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  // Alternate paths so every batch splits into per-shard coalesced RPC
+  // requests plus a one-sided doorbell-batched pool (before kOpMultiDelete
+  // the doorbell-batch path silently fell back to op-at-a-time deletes).
+  std::vector<Path> mixed(8);
+  for (int s = 0; s < 8; s++) {
+    mixed[s] = (s % 2 == 0) ? Path::kRpc : Path::kOneSided;
+  }
+  system.router().ForceAssignment(mixed);
+
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, uint64_t n_keys,
+                bool* flag) -> sim::Task<void> {
+    std::vector<Key> keys;
+    for (int i = 0; i < 32; i++) {
+      keys.push_back(2 * (1 + (n_keys / 32) * static_cast<uint64_t>(i)));
+    }
+    std::vector<Status> res;
+    OpStats stats;
+    Status st = co_await sys->client(0).MultiDelete(keys, &res, &stats);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (const Status& s : res) EXPECT_TRUE(s.ok()) << s.ToString();
+    // Gone through the other CS, both read paths.
+    std::vector<MultiGetResult> got;
+    EXPECT_TRUE((co_await sys->client(1).MultiGet(keys, &got)).ok());
+    for (size_t i = 0; i < keys.size(); i++) {
+      EXPECT_TRUE(got[i].status.IsNotFound()) << "key " << keys[i];
+    }
+    // Second round: everything already gone.
+    std::vector<Status> again;
+    EXPECT_TRUE((co_await sys->client(1).MultiDelete(keys, &again)).ok());
+    for (const Status& s : again) EXPECT_TRUE(s.IsNotFound());
+    *flag = true;
+  }(&system, n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(system.tracker().totals().ops_rpc, 0u);
+  EXPECT_GT(system.tracker().totals().ops_one_sided, 0u);
   system.sherman().DebugCheckInvariants();
 }
 

@@ -84,8 +84,11 @@ inline sim::Task<void> SingletonMixWorker(TreeClient* client, int tid,
       Status st = co_await client->Lookup(key, &v);
       CheckRead(*oracle, key, st, v);
     } else if (dice < 9) {
-      auto it = oracle->find(key);
-      if (it != oracle->end()) it->second.deleted = true;
+      // Unconditional (entry-creating) mark: a concurrent insert may
+      // create the key while this delete is in flight, and the delete
+      // then legally linearizes after it — no last-value guarantee
+      // survives for this key.
+      (*oracle)[key].deleted = true;
       my_last->erase(key);
       Status st = co_await client->Delete(key);
       EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
