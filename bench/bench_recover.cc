@@ -1,0 +1,242 @@
+// bench_recover: client-crash fault tolerance under load.
+//
+// N compute servers run a mixed insert/lookup workload; mid-measurement
+// one client is fail-stop killed (every coroutine of that CS freezes at
+// its next doorbell, exactly as the crash-point harness does). A survivor
+// acting as the failure detector recovers the dead client after a
+// detection delay: claims it, sweeps its lock lanes, replays or rolls
+// back its in-doubt intents, and releases its reclamation pins. Survivor
+// workers meanwhile run straight through the crash — writers that hit a
+// dead lane steal the lease organically, readers escape tombstone bounces
+// through the lock probe.
+//
+// Reported: the survivor-throughput interval series (the dip while dead
+// lanes pend and its post-recovery level), per-surviving-worker throughput
+// before/after the kill, the recovery latency (detection delay + repair
+// time), and the recovery action counters (lanes swept, intents
+// replayed/rolled back, orphans freed, lease steals).
+//
+// Exit code enforces: zero failed survivor ops, recovery completed, and —
+// full runs only — post-kill per-worker survivor throughput >= 0.5x
+// pre-kill (--quick relaxes the ratio; short windows are noisy).
+//
+// Flags (beyond bench/common.h): --kill-at-frac-pct=P (kill instant as a
+// percentage of the measure window, default 35), --detect-ms=D (failure-
+// detection delay before explicit recovery, default 1ms). Set
+// SHERMAN_CRASH_AT=<site>:<n> (+ SHERMAN_CRASH_CS) to kill the victim at
+// a named structural crash point instead of the timed fail-stop.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "fault/crash_point.h"
+#include "recover/recoverer.h"
+
+using namespace sherman;
+using namespace sherman::bench;
+
+namespace {
+
+struct WorkerCtx {
+  bool stop = false;
+  std::vector<uint64_t> ops_by_cs;     // completed ops per compute server
+  std::vector<uint64_t> failed_by_cs;  // non-OK/NotFound outcomes
+};
+
+sim::Task<void> MixWorker(TreeClient* client, uint64_t keys, uint64_t seed,
+                          WorkerCtx* ctx) {
+  Random rng(seed);
+  const int cs = client->cs_id();
+  // Updates + lookups over the loaded set, plus fresh-key inserts and
+  // deletes so splits and merges run continuously: the kill then lands on
+  // clients that are genuinely mid-structural-op, exercising the intent
+  // machinery rather than only the lane sweep.
+  uint64_t fresh = 0;
+  while (!ctx->stop) {
+    const uint64_t dice = rng.Uniform(10);
+    Status st;
+    if (dice < 3) {
+      const Key key = WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys));
+      st = co_await client->Insert(key, key * 13 + 1);
+    } else if (dice < 5) {
+      // Odd keys land between the (even) loaded keys and fill leaves.
+      const Key key = 1 + 2 * ((seed + fresh++) % (4 * keys));
+      st = co_await client->Insert(key, key);
+    } else if (dice < 6) {
+      const Key key = 1 + 2 * rng.Uniform(4 * keys);
+      st = co_await client->Delete(key);
+    } else {
+      const Key key = WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys));
+      uint64_t v = 0;
+      st = co_await client->Lookup(key, &v);
+    }
+    if (!st.ok() && !st.IsNotFound()) ctx->failed_by_cs[cs]++;
+    ctx->ops_by_cs[cs]++;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  BenchEnv env = BenchEnv::FromArgs(args);
+  env.num_ms = 4;
+  env.num_cs = 4;
+  if (env.quick) env.threads_per_cs = std::min(env.threads_per_cs, 8);
+  const double kill_frac = args.GetInt("kill-at-frac-pct", 35) / 100.0;
+  const sim::SimTime detect_ns =
+      static_cast<sim::SimTime>(args.GetInt("detect-ms", 1)) * 1'000'000;
+  const int victim_cs = env.num_cs - 1;
+  const uint16_t victim_tag = static_cast<uint16_t>(victim_cs) + 1;
+
+  fault::Injector().Reset();
+  const bool site_kill = fault::Injector().ArmFromEnv();
+
+  TreeOptions topt = ShermanOptions();
+  auto system = env.MakeSystem(topt);
+  sim::Simulator& sim = system->simulator();
+
+  WorkerCtx ctx;
+  ctx.ops_by_cs.assign(env.num_cs, 0);
+  ctx.failed_by_cs.assign(env.num_cs, 0);
+  for (int cs = 0; cs < env.num_cs; cs++) {
+    for (int t = 0; t < env.threads_per_cs; t++) {
+      sim::Spawn(MixWorker(&system->client(cs), env.keys,
+                           ClientSeed(env.seed, cs, t), &ctx));
+    }
+  }
+
+  // Interval series over the measure window (survivor ops only).
+  constexpr int kIntervals = 12;
+  const sim::SimTime t_kill =
+      env.warmup_ns +
+      static_cast<sim::SimTime>(kill_frac * static_cast<double>(env.measure_ns));
+  std::vector<uint64_t> survivor_series(kIntervals + 1, 0);
+  const auto survivor_ops = [&ctx, victim_cs] {
+    uint64_t n = 0;
+    for (size_t cs = 0; cs < ctx.ops_by_cs.size(); cs++) {
+      if (static_cast<int>(cs) != victim_cs) n += ctx.ops_by_cs[cs];
+    }
+    return n;
+  };
+  for (int i = 0; i <= kIntervals; i++) {
+    sim.At(env.warmup_ns + env.measure_ns * i / kIntervals,
+           [&survivor_series, &survivor_ops, i] {
+             survivor_series[i] = survivor_ops();
+           });
+  }
+
+  // The kill. With SHERMAN_CRASH_AT armed the victim dies at its named
+  // crash site; if the workload never reaches that site by the kill
+  // instant (e.g. an update-heavy mix that rarely splits), fall back to
+  // the timed fail-stop so the recovery below never targets a live client.
+  sim.At(t_kill, [victim_cs, site_kill] {
+    if (!site_kill || !fault::Injector().dead(victim_cs)) {
+      fault::Injector().KillClient(victim_cs);
+    }
+  });
+
+  // The failure detector: a survivor recovers the victim after the
+  // detection delay (organic lease steals may already have beaten it).
+  bool recovered = false;
+  sim.At(t_kill + detect_ns, [&system, &recovered, victim_tag] {
+    sim::Spawn([](ShermanSystem* sys, uint16_t tag,
+                  bool* flag) -> sim::Task<void> {
+      co_await sys->client(0).recoverer().RecoverDeadOwner(tag);
+      *flag = true;
+    }(system.get(), victim_tag, &recovered));
+  });
+
+  sim.At(env.warmup_ns + env.measure_ns, [&ctx] { ctx.stop = true; });
+  sim.Run();
+
+  // Aggregate recovery actions over every survivor: an organic lease
+  // steal runs recovery on whichever client observed the expiry first,
+  // not necessarily the designated failure detector.
+  recover::RecoverStats rs;
+  uint64_t survivor_failed = 0, lease_steals = 0;
+  for (int cs = 0; cs < env.num_cs; cs++) {
+    if (cs == victim_cs) continue;
+    survivor_failed += ctx.failed_by_cs[cs];
+    lease_steals += system->client(cs).hocl().lease_steals();
+    const recover::RecoverStats& c = system->client(cs).recoverer().stats();
+    rs.recoveries += c.recoveries;
+    rs.partial_recoveries += c.partial_recoveries;
+    rs.intents_replayed += c.intents_replayed;
+    rs.intents_rolled_back += c.intents_rolled_back;
+    rs.lanes_swept += c.lanes_swept;
+    rs.orphans_freed += c.orphans_freed;
+    rs.last_duration_ns = std::max(rs.last_duration_ns, c.last_duration_ns);
+  }
+  const int survivor_workers = (env.num_cs - 1) * env.threads_per_cs;
+
+  // Per-interval survivor Mops.
+  const double interval_ms =
+      static_cast<double>(env.measure_ns) / kIntervals / 1e6;
+  const int kill_interval = static_cast<int>(kill_frac * kIntervals);
+  double pre = 0, dip = 1e18, post = 0;
+  int pre_n = 0, post_n = 0;
+  std::printf("survivor throughput series (Mops, %d clients x %d threads, "
+              "victim killed in interval %d):\n",
+              env.num_cs, env.threads_per_cs, kill_interval + 1);
+  for (int i = 0; i < kIntervals; i++) {
+    const double mops =
+        static_cast<double>(survivor_series[i + 1] - survivor_series[i]) /
+        (interval_ms * 1e3);
+    std::printf("  [%2d] %.3f\n", i + 1, mops);
+    if (i < kill_interval) {
+      pre += mops;
+      pre_n++;
+    } else if (i > kill_interval) {
+      post += mops;
+      post_n++;
+      dip = std::min(dip, mops);
+    }
+  }
+  pre = pre_n > 0 ? pre / pre_n : 0;
+  post = post_n > 0 ? post / post_n : 0;
+  const double recovery_latency_ms =
+      (static_cast<double>(detect_ns) +
+       static_cast<double>(rs.last_duration_ns)) /
+      1e6;
+
+  std::printf("\nsurvivors: %d workers, failed ops %llu\n", survivor_workers,
+              static_cast<unsigned long long>(survivor_failed));
+  std::printf("pre-kill  %.3f Mops   post-recovery %.3f Mops   ratio %.2f\n",
+              pre, post, pre > 0 ? post / pre : 0);
+  std::printf("dip interval %.3f Mops\n", dip < 1e17 ? dip : 0);
+  std::printf("recovery: latency %.3f ms (detect %.1f ms + repair %.3f ms), "
+              "recoveries %llu (partial %llu)\n",
+              recovery_latency_ms, detect_ns / 1e6,
+              rs.last_duration_ns / 1e6,
+              static_cast<unsigned long long>(rs.recoveries),
+              static_cast<unsigned long long>(rs.partial_recoveries));
+  std::printf("actions: lanes swept %llu, intents replayed %llu / rolled "
+              "back %llu, orphans freed %llu, survivor lease steals %llu\n",
+              static_cast<unsigned long long>(rs.lanes_swept),
+              static_cast<unsigned long long>(rs.intents_replayed),
+              static_cast<unsigned long long>(rs.intents_rolled_back),
+              static_cast<unsigned long long>(rs.orphans_freed),
+              static_cast<unsigned long long>(lease_steals));
+
+  // Gates.
+  bool ok = true;
+  if (survivor_failed != 0) {
+    std::printf("FAIL: %llu survivor ops failed\n",
+                static_cast<unsigned long long>(survivor_failed));
+    ok = false;
+  }
+  if (!recovered || rs.recoveries + rs.partial_recoveries == 0) {
+    std::printf("FAIL: recovery never completed\n");
+    ok = false;
+  }
+  if (!env.quick && pre > 0 && post / pre < 0.5) {
+    std::printf("FAIL: post-recovery survivor throughput %.2fx pre-kill "
+                "(target >= 0.5)\n",
+                post / pre);
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -26,6 +26,8 @@ ChunkManager::ChunkManager(rdma::MemoryServer* ms, const ReclaimEpoch* reclaim)
         return uint64_t{0};
       case kRpcAllocNode:
         return AllocNode(static_cast<uint32_t>(arg));
+      case kRpcSweepLocks:
+        return SweepLocks(static_cast<uint16_t>(arg));
       default:
         SHERMAN_CHECK_MSG(false, "unknown RPC opcode %llu",
                           static_cast<unsigned long long>(opcode));
@@ -60,6 +62,13 @@ void ChunkManager::FreeChunk(uint64_t offset) {
 void ChunkManager::FreeNode(uint64_t offset, uint32_t size) {
   SHERMAN_CHECK(offset >= kChunkAreaOffset && offset + size <= end_);
   SHERMAN_CHECK(size > 0 && size < kChunkSize);
+  // Idempotent: crash recovery re-frees any node whose original free may
+  // or may not have landed before the client died (the intent record is
+  // cleared only after the free). A node already parked stays parked once.
+  if (!parked_.insert(offset).second) {
+    duplicate_frees_++;
+    return;
+  }
   grace_.push_back(
       GraceNode{offset, size, reclaim_ != nullptr ? reclaim_->current() : 0});
   nodes_freed_++;
@@ -83,7 +92,37 @@ uint64_t ChunkManager::AllocNode(uint32_t size) {
   it->second.pop_back();
   pool_bytes_ -= size;
   nodes_recycled_++;
+  parked_.erase(offset);
   return offset;
+}
+
+uint64_t ChunkManager::SweepLocks(uint16_t owner_tag) {
+  SHERMAN_CHECK(owner_tag != 0);
+  // Scan both lock tables (on-chip and the host-memory ablation copy) and
+  // release every lane the dead client still owns, regardless of its
+  // lease stamp. Writes go through MemoryRegion::Write so any in-flight
+  // DMA read of the word observes the release with torn-read fidelity.
+  sim::Simulator* sim = ms_->simulator();
+  uint64_t swept = 0;
+  const uint8_t zero[2] = {0, 0};
+  struct Glt {
+    rdma::MemoryRegion* region;
+    uint64_t base;
+  } tables[2] = {{&ms_->device(), 0}, {&ms_->host(), kHostGltOffset}};
+  for (const Glt& t : tables) {
+    for (uint32_t i = 0; i < kLocksPerMs; i++) {
+      const uint64_t off = t.base + static_cast<uint64_t>(i) * kLockBytes;
+      // Lane low byte = owner tag (lock_table.h encoding).
+      if (t.region->raw(off)[0] == static_cast<uint8_t>(owner_tag)) {
+        t.region->Write(sim->now(), off, zero, sizeof(zero));
+        swept++;
+      }
+    }
+  }
+  // The scan touches 2 x 256 KB of lock words; charge the wimpy memory
+  // thread for the extra work beyond its standard service slot.
+  ms_->ChargeMemoryThread(20'000);
+  return swept;
 }
 
 }  // namespace sherman

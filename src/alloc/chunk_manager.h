@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "alloc/layout.h"
@@ -41,10 +42,17 @@ class ChunkManager {
   // Parks a node-sized region on the grace list, tagged with the current
   // reclamation epoch. The bytes stay untouched (readers bouncing off the
   // tombstone need them) until the node is recycled via AllocNode.
+  // Idempotent: re-freeing an already-parked offset is a counted no-op
+  // (crash recovery re-issues frees whose original may have landed).
   void FreeNode(uint64_t offset, uint32_t size);
   // Hands out a recycled node of exactly `size` bytes whose grace period
   // has passed, or 0 if none is ready.
   uint64_t AllocNode(uint32_t size);
+
+  // Crash recovery (kRpcSweepLocks): clears every lock lane owned by
+  // `owner_tag` in this MS's device and host lock tables. Returns lanes
+  // released.
+  uint64_t SweepLocks(uint16_t owner_tag);
 
   uint64_t total_chunks() const { return total_chunks_; }
   uint64_t allocated_chunks() const { return allocated_; }
@@ -52,6 +60,7 @@ class ChunkManager {
 
   uint64_t nodes_freed() const { return nodes_freed_; }
   uint64_t nodes_recycled() const { return nodes_recycled_; }
+  uint64_t duplicate_frees() const { return duplicate_frees_; }
   // Freed nodes still inside their grace window (not yet poolable).
   uint64_t grace_pending() const { return grace_.size(); }
   uint64_t recycle_pool_bytes() const { return pool_bytes_; }
@@ -78,9 +87,11 @@ class ChunkManager {
 
   std::deque<GraceNode> grace_;
   std::map<uint32_t, std::vector<uint64_t>> pool_;  // size -> offsets
+  std::set<uint64_t> parked_;  // offsets in grace_ or pool_ (dup-free guard)
   uint64_t pool_bytes_ = 0;
   uint64_t nodes_freed_ = 0;
   uint64_t nodes_recycled_ = 0;
+  uint64_t duplicate_frees_ = 0;
 };
 
 }  // namespace sherman

@@ -24,7 +24,32 @@ inline constexpr uint64_t kLockBytes = 2;  // masked CAS on a 16-bit lane
 inline constexpr uint64_t kMetaBytes = 4096;
 inline constexpr uint64_t kHostGltOffset = kMetaBytes;
 inline constexpr uint64_t kHostGltBytes = kLocksPerMs * kLockBytes;  // 256 KB
-inline constexpr uint64_t kChunkAreaOffset = kHostGltOffset + kHostGltBytes;
+
+// Crash-recovery metadata (host DRAM on MS 0; the region is reserved in
+// every MS's layout so chunk-area geometry stays uniform):
+//  - per-client INTENT SLAB: before its first remote write, every
+//    multi-write structural op (split / merge / migration flip) publishes
+//    a 64-byte intent record into a slot of its client's slab and clears
+//    it on completion; a survivor's Recoverer replays or rolls back any
+//    in-doubt record after the client dies (src/recover/).
+//  - per-client RECOVERY CLAIM word: survivors CAS-claim a dead client
+//    before recovering it, so exactly one recoverer acts at a time; the
+//    claim carries a lease stamp so a crashed recoverer's claim can
+//    itself be re-claimed.
+inline constexpr uint64_t kIntentSlotBytes = 64;
+inline constexpr uint32_t kIntentSlotsPerClient = 16;
+// Matches the lock layer's owner-byte capacity (tags 1..255, i.e. cs ids
+// 0..254), so any fleet the locks can serve gets crash tolerance too.
+inline constexpr uint32_t kMaxIntentClients = 255;
+inline constexpr uint64_t kIntentSlabOffset = kHostGltOffset + kHostGltBytes;
+inline constexpr uint64_t kIntentSlabBytes =
+    kIntentSlotBytes * kIntentSlotsPerClient * kMaxIntentClients;  // 64 KB
+inline constexpr uint64_t kRecoveryClaimOffset =
+    kIntentSlabOffset + kIntentSlabBytes;
+inline constexpr uint64_t kRecoveryClaimBytes = 8 * kMaxIntentClients;
+
+inline constexpr uint64_t kChunkAreaOffset =
+    (kRecoveryClaimOffset + kRecoveryClaimBytes + 4095) & ~uint64_t{4095};
 
 // Chunk granularity of the two-stage allocator (§4.2.4).
 inline constexpr uint64_t kChunkSize = 8ull << 20;
@@ -41,6 +66,12 @@ inline constexpr uint64_t kRpcFreeChunk = 2;
 // out via kRpcAllocNode only after the reclamation epoch has passed it.
 inline constexpr uint64_t kRpcFreeNode = 3;   // arg = offset, arg2 = size
 inline constexpr uint64_t kRpcAllocNode = 4;  // arg = size; 0 if none ready
+// Crash recovery: clears every global-lock-table lane (device and host
+// GLT) owned by the dead client's tag. arg = owner tag. Returns the
+// number of lanes released. Issued by a survivor's Recoverer after the
+// dead client's in-doubt intents have been read (the MS-side memory
+// thread scans its on-chip table far cheaper than 131072 remote READs).
+inline constexpr uint64_t kRpcSweepLocks = 5;
 
 }  // namespace sherman
 

@@ -4,14 +4,43 @@
 
 namespace sherman {
 
-void ReclaimEpoch::Exit(uint64_t epoch) {
+void ReclaimEpoch::AdvancePastDrained() {
+  // Advance once the oldest cohort drains: frees tagged up to the old
+  // epoch become recyclable as soon as the remaining (newer) pins exit.
+  if (active_.empty() || active_.begin()->first >= global_) global_++;
+}
+
+void ReclaimEpoch::Exit(uint64_t epoch, int cs) {
+  if (epoch == kDeadEpoch) return;  // pin of an already-dead client
+  if (cs >= 0) {
+    if (dead_.count(cs)) return;  // released wholesale by MarkDead
+    auto cit = by_cs_.find(cs);
+    SHERMAN_CHECK_MSG(cit != by_cs_.end(), "epoch exit for untracked client");
+    auto eit = cit->second.find(epoch);
+    SHERMAN_CHECK(eit != cit->second.end() && eit->second > 0);
+    if (--eit->second == 0) cit->second.erase(eit);
+    if (cit->second.empty()) by_cs_.erase(cit);
+  }
   auto it = active_.find(epoch);
   SHERMAN_CHECK_MSG(it != active_.end() && it->second > 0,
                     "epoch exit without matching enter");
   if (--it->second == 0) active_.erase(it);
-  // Advance once the oldest cohort drains: frees tagged up to the old
-  // epoch become recyclable as soon as the remaining (newer) pins exit.
-  if (active_.empty() || active_.begin()->first >= global_) global_++;
+  AdvancePastDrained();
+}
+
+void ReclaimEpoch::MarkDead(int cs) {
+  if (cs < 0 || dead_.count(cs)) return;
+  dead_.insert(cs);
+  auto cit = by_cs_.find(cs);
+  if (cit == by_cs_.end()) return;
+  for (const auto& [epoch, count] : cit->second) {
+    auto it = active_.find(epoch);
+    SHERMAN_CHECK(it != active_.end() && it->second >= count);
+    it->second -= count;
+    if (it->second == 0) active_.erase(it);
+  }
+  by_cs_.erase(cit);
+  AdvancePastDrained();
 }
 
 }  // namespace sherman

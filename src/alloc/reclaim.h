@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 
 namespace sherman {
 
@@ -44,15 +45,34 @@ class ReclaimEpoch {
   uint64_t current() const { return global_; }
 
   // Pins the current epoch for one in-flight operation; returns the
-  // epoch to pass back to Exit().
-  uint64_t Enter() {
+  // epoch to pass back to Exit(). `cs` attributes the pin to a compute
+  // server (-1 = untracked) so a crashed client's orphaned pins can be
+  // released by recovery — without that, a dead client's in-flight ops
+  // would hold MinActive() down forever and freeze node recycling
+  // fabric-wide.
+  uint64_t Enter(int cs = -1) {
+    if (cs >= 0) {
+      if (dead_.count(cs)) return kDeadEpoch;  // dead clients pin nothing
+      by_cs_[cs][global_]++;
+    }
     active_[global_]++;
     return global_;
   }
 
   // Retires an operation pinned at `epoch`. When the oldest active epoch
-  // drains, the global epoch advances past it.
-  void Exit(uint64_t epoch);
+  // drains, the global epoch advances past it. Pins of a client already
+  // released via MarkDead are ignored (their frames may still unwind
+  // later — e.g. at test teardown — without corrupting the counts).
+  void Exit(uint64_t epoch, int cs = -1);
+
+  // Declares compute server `cs` crashed: releases every pin it holds and
+  // makes its future Enter/Exit calls no-ops. Called by the Recoverer
+  // AFTER the dead client's in-doubt intents are resolved — the dead
+  // client's own pins are exactly what keeps its tombstoned nodes off the
+  // recycle pools while recovery still reads them.
+  void MarkDead(int cs);
+
+  bool IsDead(int cs) const { return dead_.count(cs) != 0; }
 
   // Oldest epoch any in-flight operation is still pinned at (the global
   // epoch if none). A node freed at epoch E may be recycled only once
@@ -72,8 +92,15 @@ class ReclaimEpoch {
   }
 
  private:
+  // Sentinel returned by Enter() for dead clients; Exit ignores it.
+  static constexpr uint64_t kDeadEpoch = ~0ull;
+
+  void AdvancePastDrained();
+
   uint64_t global_ = 1;  // epoch 0 is "freed before any pin existed"
   std::map<uint64_t, uint64_t> active_;  // epoch -> in-flight op count
+  std::map<int, std::map<uint64_t, uint64_t>> by_cs_;  // cs -> epoch -> count
+  std::set<int> dead_;
 };
 
 // RAII pin for one operation. Safe to construct with a null domain (unit
@@ -82,10 +109,12 @@ class ReclaimEpoch {
 // operation.
 class EpochPin {
  public:
-  explicit EpochPin(ReclaimEpoch* domain)
-      : domain_(domain), epoch_(domain != nullptr ? domain->Enter() : 0) {}
+  explicit EpochPin(ReclaimEpoch* domain, int cs = -1)
+      : domain_(domain),
+        cs_(cs),
+        epoch_(domain != nullptr ? domain->Enter(cs) : 0) {}
   ~EpochPin() {
-    if (domain_ != nullptr) domain_->Exit(epoch_);
+    if (domain_ != nullptr) domain_->Exit(epoch_, cs_);
   }
 
   EpochPin(const EpochPin&) = delete;
@@ -93,6 +122,7 @@ class EpochPin {
 
  private:
   ReclaimEpoch* domain_;
+  int cs_;
   uint64_t epoch_;
 };
 

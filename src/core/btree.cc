@@ -4,13 +4,36 @@
 #include <cstring>
 #include <map>
 
+#include "fault/crash_point.h"
 #include "lock/lock_table.h"
+#include "recover/recoverer.h"
 #include "util/logging.h"
 
 namespace sherman {
 
 namespace {
 constexpr int kMaxSiblingChase = 64;
+
+// Named crash sites: one per remote-write milestone of every multi-write
+// structural op in this file (tests/recover_test.cc enumerates the full
+// registry and kills a victim client at each site; SHERMAN_CRASH_AT
+// arms the same sites from the environment). Between two adjacent sites
+// exactly one batch of remote writes lands, so the sweep exercises every
+// crash-reachable remote state.
+const int kCrashSplitIntent = fault::RegisterCrashSite("split.intent");
+const int kCrashSplitSibling = fault::RegisterCrashSite("split.sibling");
+const int kCrashSplitLeaf = fault::RegisterCrashSite("split.leaf");
+const int kCrashSplitLinked = fault::RegisterCrashSite("split.linked");
+const int kCrashIsplitIntent = fault::RegisterCrashSite("isplit.intent");
+const int kCrashIsplitRight = fault::RegisterCrashSite("isplit.right");
+const int kCrashIsplitCommit = fault::RegisterCrashSite("isplit.commit");
+const int kCrashIsplitLinked = fault::RegisterCrashSite("isplit.linked");
+const int kCrashSplitRoot = fault::RegisterCrashSite("split.root");
+const int kCrashMergeIntent = fault::RegisterCrashSite("merge.intent");
+const int kCrashMergeTombstone = fault::RegisterCrashSite("merge.tombstone");
+const int kCrashMergeParent = fault::RegisterCrashSite("merge.parent");
+const int kCrashMergeSibling = fault::RegisterCrashSite("merge.sibling");
+const int kCrashMergeFreed = fault::RegisterCrashSite("merge.freed");
 }  // namespace
 
 void TreeOptions::Validate() const {
@@ -39,7 +62,16 @@ TreeClient::TreeClient(ShermanSystem* system, int cs_id)
       allocator_(&system->fabric(), cs_id),
       cache_(system->options().enable_cache ? system->options().cache_bytes : 0,
              system->options().shape.node_size,
-             /*seed=*/0x5eed0000 + static_cast<uint64_t>(cs_id)) {}
+             /*seed=*/0x5eed0000 + static_cast<uint64_t>(cs_id)),
+      intents_(&system->fabric(), cs_id),
+      recoverer_(std::make_unique<recover::Recoverer>(system, this)) {
+  // A lock waiter that observes an expired lease recovers the dead holder
+  // through this client's Recoverer before re-contending the lane.
+  hocl_.set_recovery_hook(
+      [this](uint16_t dead_tag) { return recoverer_->RecoverDeadOwner(dead_tag); });
+}
+
+TreeClient::~TreeClient() = default;
 
 const TreeOptions& TreeClient::opt() const { return system_->options_; }
 
@@ -318,9 +350,15 @@ sim::Task<StatusOr<TreeClient::SecondLocked>> TreeClient::LockSecondChasing(
     const bool shared = SameLockLane(addr, held1) || SameLockLane(addr, held2);
     LockGuard guard;
     if (!shared) {
-      const bool got =
+      const Status got =
           co_await hocl_.TryLock(addr, kTryLockAttempts, &guard, stats);
-      if (!got) co_return Status::Retry("secondary lock contended");
+      if (got.IsLeaseSteal()) {
+        // The holder is dead (TryLock does not recover inline — we hold
+        // other locks here). Abort the protocol; the dead lane is
+        // recovered by the next unbounded Lock() that lands on it.
+        co_return Status::Retry("secondary lane held by a dead client");
+      }
+      if (!got.ok()) co_return Status::Retry("secondary lock contended");
     }
     Status st = co_await ReadRaw(addr, buf, node_size(), stats);
     SHERMAN_CHECK(st.ok());
@@ -514,18 +552,35 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
   SealNode(pview, /*structural_change=*/true);
 
   // 5. Every verification passed; nothing remote has changed yet, and from
-  // here the merge cannot fail. Publish in the migration's safety order:
-  // tombstone L FIRST (readers holding its address bounce and re-traverse
-  // — they spin for the couple of round trips until the repair lands, the
-  // same window MoveLockedNode accepts), then the parent (descents now
-  // bypass L), then the widened sibling (the B-link chain absorbs the
-  // range). Tombstoning before [lo, hi) becomes writable through S'
-  // closes the stale-read window: nobody can serve L's frozen content
-  // after a newer write lands on the live copy. The release order (par,
-  // then sib, then L) keeps every write under a still-held lane even when
-  // the finite lock table aliases two of the three locks onto one lane.
-  // Sequential awaits give the cross-MS ordering; the parent and sibling
-  // writes ride their lock releases.
+  // here the merge cannot fail. First anchor the op: publish the intent
+  // record (one awaited WRITE to MS 0) so a crash anywhere in the publish
+  // sequence below is recoverable — the tombstone is the commit point a
+  // survivor's Recoverer keys its replay/rollback decision on. Then
+  // publish in the migration's safety order: tombstone L FIRST (readers
+  // holding its address bounce and re-traverse — they spin for the couple
+  // of round trips until the repair lands, the same window MoveLockedNode
+  // accepts), then the parent (descents now bypass L), then the widened
+  // sibling (the B-link chain absorbs the range). Tombstoning before
+  // [lo, hi) becomes writable through S' closes the stale-read window:
+  // nobody can serve L's frozen content after a newer write lands on the
+  // live copy. The release order (par, then sib, then L) keeps every
+  // write under a still-held lane even when the finite lock table aliases
+  // two of the three locks onto one lane. Sequential awaits give the
+  // cross-MS ordering; the parent and sibling writes ride their lock
+  // releases. The free and the intent clear happen BEFORE L's lane is
+  // released, so every crash window leaves either the intent or a held
+  // lane (usually both) for a survivor to find.
+  recover::IntentRecord rec;
+  rec.op = recover::IntentOp::kMerge;
+  rec.level = 0;
+  rec.lo = lo;
+  rec.hi = hi;
+  rec.primary = locked.addr;
+  rec.second = sib.addr;
+  rec.parent = par.addr;
+  const int intent_slot = co_await intents_.Publish(rec, stats);
+  co_await fault::Injector().AtSite(kCrashMergeIntent, cs_id_);
+
   view.set_free(true);
   if (o.consistency == TreeOptions::Consistency::kChecksum) {
     view.UpdateChecksum();
@@ -536,26 +591,32 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(w.status.ok());
   }
+  co_await fault::Injector().AtSite(kCrashMergeTombstone, cs_id_);
   {
     std::vector<rdma::WorkRequest> wrs;
     wrs.push_back(
         rdma::WorkRequest::Write(par.addr, pbuf.data(), node_size()));
     co_await UnlockSecond(par, std::move(wrs), stats);
   }
+  co_await fault::Injector().AtSite(kCrashMergeParent, cs_id_);
   {
     std::vector<rdma::WorkRequest> wrs;
     wrs.push_back(
         rdma::WorkRequest::Write(sib.addr, sbuf.data(), node_size()));
     co_await UnlockSecond(sib, std::move(wrs), stats);
   }
-  co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
+  co_await fault::Injector().AtSite(kCrashMergeSibling, cs_id_);
   if (stats != nullptr) stats->bytes_written += 3ull * node_size();
 
   // 6. Park the leaf on its MS's grace list (recycled only after every
-  // op pinned at or before this free has retired).
+  // op pinned at or before this free has retired), clear the intent, and
+  // only then release L's lane.
   co_await system_->fabric_.qp(cs_id_, locked.addr.node)
       .Rpc(kRpcFreeNode, locked.addr.offset, node_size());
   if (stats != nullptr) stats->round_trips++;
+  co_await fault::Injector().AtSite(kCrashMergeFreed, cs_id_);
+  intents_.ClearAsync(intent_slot);
+  co_await hocl_.Unlock(locked.guard, {}, o.combine_commands, stats);
   reclaim_stats_.nodes_freed++;
   reclaim_stats_.leaf_merges++;
 
@@ -576,7 +637,7 @@ sim::Task<Status> TreeClient::Insert(Key key, uint64_t value, OpStats* stats) {
   SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
@@ -687,6 +748,20 @@ sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
   const rdma::GlobalAddress old_sibling = view.sibling();
   const uint8_t new_version = (view.front_version() + 1) & 0xf;
 
+  // Anchor the split before its first remote write: a crash between the
+  // writes below is replayed (commit batch landed: finish the ascent) or
+  // rolled back (retire the unpublished sibling) from this record.
+  recover::IntentRecord intent;
+  intent.op = recover::IntentOp::kSplit;
+  intent.level = 0;
+  intent.lo = old_lo;
+  intent.hi = old_hi;
+  intent.primary = locked.addr;
+  intent.second = sib_addr;
+  intent.aux = split_key;
+  const int intent_slot = co_await intents_.Publish(intent, stats);
+  co_await fault::Injector().AtSite(kCrashSplitIntent, cs_id_);
+
   // Build the sibling: upper half, fences [split_key, old_hi).
   std::vector<uint8_t> sib_buf(node_size());
   NodeView sib(sib_buf.data(), &o.shape);
@@ -718,7 +793,11 @@ sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
   if (stats != nullptr) stats->bytes_written += 2ull * node_size();
 
   // Write back. If the sibling landed on the same MS the three commands
-  // (sibling, node, lock release) combine into one doorbell batch (§4.5).
+  // (sibling, node, lock release) combine into one doorbell batch (§4.5)
+  // — crash-safe under fail-stop, because a POSTED batch completes at the
+  // NIC whether or not the client survives it, so the remote states are
+  // exactly {nothing, committed}. A cross-MS sibling needs its own
+  // awaited WRITE, adding the sibling-only crash state.
   std::vector<rdma::WorkRequest> wrs;
   if (sib_addr.node == locked.addr.node) {
     wrs.push_back(
@@ -728,15 +807,20 @@ sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
         rdma::WorkRequest::Write(sib_addr, sib_buf.data(), node_size()));
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
+    co_await fault::Injector().AtSite(kCrashSplitSibling, cs_id_);
   }
   wrs.push_back(rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
   co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
                         stats);
+  co_await fault::Injector().AtSite(kCrashSplitLeaf, cs_id_);
 
   // Ascend: insert the separator into the parent level (Figure 7, line 39).
-  co_return co_await InsertInternal(split_key, sib_addr,
-                                    static_cast<uint8_t>(view.level() + 1),
-                                    stats);
+  Status st = co_await InsertInternal(split_key, sib_addr,
+                                      static_cast<uint8_t>(view.level() + 1),
+                                      stats);
+  co_await fault::Injector().AtSite(kCrashSplitLinked, cs_id_);
+  intents_.ClearAsync(intent_slot);
+  co_return st;
 }
 
 sim::Task<Status> TreeClient::InsertInternal(Key sep,
@@ -818,6 +902,21 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
     const rdma::GlobalAddress old_leftmost = view.leftmost_child();
     const uint8_t new_version = (view.front_version() + 1) & 0xf;
 
+    // Internal splits get their own intent (same record shape as a leaf
+    // split; the level disambiguates): a crashed half-split internal is
+    // B-link-legal but its unpublished right node would leak and its
+    // promoted separator would never reach level+1.
+    recover::IntentRecord intent;
+    intent.op = recover::IntentOp::kSplit;
+    intent.level = level;
+    intent.lo = old_lo;
+    intent.hi = old_hi;
+    intent.primary = locked.addr;
+    intent.second = right_addr;
+    intent.aux = promote;
+    const int intent_slot = co_await intents_.Publish(intent, stats);
+    co_await fault::Injector().AtSite(kCrashIsplitIntent, cs_id_);
+
     std::vector<uint8_t> right_buf(node_size());
     NodeView right(right_buf.data(), &o.shape);
     right.InitInternal(level, promote, old_hi, old_sibling,
@@ -844,6 +943,8 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
     }
     if (stats != nullptr) stats->bytes_written += 2ull * node_size();
 
+    // Same-MS right nodes ride the commit batch; cross-MS ones publish
+    // with their own awaited WRITE — see the leaf split's rationale.
     std::vector<rdma::WorkRequest> wrs;
     if (right_addr.node == locked.addr.node) {
       wrs.push_back(
@@ -853,14 +954,20 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
           rdma::WorkRequest::Write(right_addr, right_buf.data(), node_size()));
       if (stats != nullptr) stats->round_trips++;
       SHERMAN_CHECK(r.status.ok());
+      co_await fault::Injector().AtSite(kCrashIsplitRight, cs_id_);
     }
     wrs.push_back(
         rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
     co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
                           stats);
+    co_await fault::Injector().AtSite(kCrashIsplitCommit, cs_id_);
 
-    co_return co_await InsertInternal(promote, right_addr,
-                                      static_cast<uint8_t>(level + 1), stats);
+    Status st = co_await InsertInternal(promote, right_addr,
+                                        static_cast<uint8_t>(level + 1),
+                                        stats);
+    co_await fault::Injector().AtSite(kCrashIsplitLinked, cs_id_);
+    intents_.ClearAsync(intent_slot);
+    co_return st;
   }
   co_return Status::Internal("internal insert restarts exhausted");
 }
@@ -872,6 +979,17 @@ sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
 
   const rdma::GlobalAddress addr = co_await allocator_.Alloc(node_size());
   if (addr.is_null()) co_return Status::OutOfMemory();
+
+  // The root-pointer CAS is the commit point; the intent only tracks the
+  // staged node so a crash before (or a lost race at) the CAS cannot leak
+  // it. Recovery decides by walking the leftmost spine: the staged node
+  // is reachable iff the CAS won.
+  recover::IntentRecord intent;
+  intent.op = recover::IntentOp::kRoot;
+  intent.level = level;
+  intent.hi = kMaxKey;
+  intent.primary = addr;
+  const int intent_slot = co_await intents_.Publish(intent, stats);
 
   std::vector<uint8_t> buf(node_size());
   NodeView view(buf.data(), &o.shape);
@@ -886,6 +1004,7 @@ sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
       rdma::WorkRequest::Write(addr, buf.data(), node_size()));
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(w.status.ok());
+  co_await fault::Injector().AtSite(kCrashSplitRoot, cs_id_);
 
   // Publish via CAS on the meta root pointer.
   uint64_t fetched = 0;
@@ -895,6 +1014,13 @@ sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(c.status.ok());
   if (!c.cas_success) {
+    // Clear the intent BEFORE the local free: the freed address can be
+    // handed to another thread of this client immediately, and a stale
+    // intent naming a reused address would make recovery retire a node
+    // someone else published. ClearAsync posts its WRITE synchronously,
+    // which is ordering enough — posted work completes even if this
+    // client dies before the completion.
+    intents_.ClearAsync(intent_slot);
     allocator_.Free(addr, node_size());
     root_known_ = false;  // someone else grew the tree
     co_return Status::Retry("root CAS lost");
@@ -908,6 +1034,7 @@ sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
       cache_.Insert(parsed);
     }
   }
+  intents_.ClearAsync(intent_slot);
   co_return Status::OK();
 }
 
@@ -918,10 +1045,11 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
   SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   std::vector<uint8_t> buf(node_size());
+  rdma::GlobalAddress probe_addr;  // last tombstone this lookup bounced off
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
     StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
     if (!leaf_r.ok()) co_return leaf_r.status();
@@ -935,6 +1063,7 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
       NodeView view(buf.data(), &o.shape);
       if (view.is_free() || !view.is_leaf() || key < view.lo_fence()) {
         cache_.InvalidateLevel1Covering(key);
+        if (view.is_free()) probe_addr = addr;
         if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         restart = true;
         break;
@@ -975,6 +1104,14 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
     // already invalidated it, so a restart resolves freshly — failing the
     // op here would surface a spurious error for a live key.
     if (!restart && attempt >= 2) root_known_ = false;
+    // Repeated bounces off the same tombstone mean the structural op that
+    // planted it may have died with its client; probe its lock so a dead
+    // holder's lease expiry is noticed and recovered (see
+    // ProbeLockForRecovery).
+    if (!probe_addr.is_null() && (attempt & 7) == 7) {
+      co_await ProbeLockForRecovery(probe_addr, stats);
+      probe_addr = rdma::GlobalAddress();
+    }
   }
   co_return Status::Internal("lookup restarts exhausted");
 }
@@ -985,7 +1122,7 @@ sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
   SHERMAN_CHECK(key != kNullKey && key != kMaxKey);
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
@@ -1172,7 +1309,7 @@ sim::Task<Status> TreeClient::MultiDelete(std::vector<Key> keys,
   out->assign(keys.size(), Status::NotFound());
   if (keys.empty()) co_return Status::OK();
   for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   // Phase 1 — plan leaves concurrently, one descent per DISTINCT key
@@ -1239,6 +1376,13 @@ sim::Task<void> TreeClient::ReadInto(rdma::GlobalAddress addr, uint8_t* buf,
   latch->Arrive();
 }
 
+sim::Task<void> TreeClient::ProbeLockForRecovery(rdma::GlobalAddress addr,
+                                                 OpStats* stats) {
+  if (addr.is_null()) co_return;
+  LockGuard g = co_await hocl_.Lock(addr, stats);
+  co_await hocl_.Unlock(g, {}, opt().combine_commands, stats);
+}
+
 sim::Task<Status> TreeClient::RangeQuery(
     Key from, uint32_t count, std::vector<std::pair<Key, uint64_t>>* out,
     OpStats* stats) {
@@ -1247,14 +1391,21 @@ sim::Task<Status> TreeClient::RangeQuery(
   const rdma::FabricConfig& f = system_->fabric_.config();
   out->clear();
   if (count == 0) co_return Status::OK();
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   Key cursor = from;
   const uint32_t per_leaf_estimate = std::max(1u, o.shape.leaf_capacity() / 2);
   std::vector<std::vector<uint8_t>> bufs;
+  rdma::GlobalAddress probe_addr;  // last tombstone this scan bounced off
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
+    // See Lookup: repeated bounces off one tombstone may mean its writer
+    // died mid-structural-op; probe its lock so recovery triggers.
+    if (!probe_addr.is_null() && attempt > 0 && (attempt & 7) == 0) {
+      co_await ProbeLockForRecovery(probe_addr, stats);
+      probe_addr = rdma::GlobalAddress();
+    }
     // Plan a batch of target leaves from the cached level-1 node, falling
     // back to a single traversal; fetch them with parallel RDMA_READs
     // (§4.4, "Range query").
@@ -1294,6 +1445,7 @@ sim::Task<Status> TreeClient::RangeQuery(
     bool done = false;
     for (size_t i = 0; i < leaves.size() && !restart && !done; i++) {
       uint32_t rereads = 0;
+      int chases = 0;
       while (true) {
         if (rereads > o.max_read_retries) {
           co_return Status::TimedOut("range leaf retries exhausted");
@@ -1301,13 +1453,28 @@ sim::Task<Status> TreeClient::RangeQuery(
         NodeView view(bufs[i].data(), &o.shape);
         bool reread_needed = !NodeConsistent(bufs[i].data());
         if (!reread_needed) {
-          if (view.is_free() || !view.is_leaf() || cursor < view.lo_fence() ||
-              cursor >= view.hi_fence()) {
+          const bool usable = !view.is_free() && view.is_leaf() &&
+                              cursor >= view.lo_fence();
+          if (usable && cursor >= view.hi_fence() &&
+              !view.sibling().is_null() && chases < kMaxSiblingChase) {
+            // B-link sibling chase, mirroring Lookup. Restart-and-
+            // re-resolve is NOT enough here: a crashed client can leave a
+            // committed leaf split whose parent separator is missing until
+            // recovery replays it, and every re-resolution would route the
+            // cursor back to the left half forever. The sibling pointer is
+            // authoritative; follow it.
+            chases++;
+            leaves[i] = view.sibling();
+            reread_needed = true;  // fetch the sibling into this buffer
+          } else if (!usable || cursor >= view.hi_fence()) {
             cache_.InvalidateLevel1Covering(cursor);
+            if (view.is_free()) probe_addr = leaves[i];
             if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
             restart = true;
             break;
           }
+        }
+        if (!reread_needed) {
           // Collect entries >= cursor (NOT >= from: a restart can land on
           // a leaf whose lo fence moved left of the cursor — a merge
           // widened it over an already-scanned range — and re-collecting
@@ -1399,7 +1566,7 @@ sim::Task<Status> TreeClient::MultiGet(std::vector<Key> keys,
   out->assign(keys.size(), MultiGetResult{});
   if (keys.empty()) co_return Status::OK();
   for (Key k : keys) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await sim.Delay(f.cpu_op_overhead_ns);
 
   // Phase 1 — plan: resolve every DISTINCT key to a leaf address (hot
@@ -1599,7 +1766,7 @@ sim::Task<Status> TreeClient::MultiInsert(
   const rdma::FabricConfig& f = system_->fabric_.config();
   if (kvs.empty()) co_return Status::OK();
   for (const auto& [k, v] : kvs) SHERMAN_CHECK(k != kNullKey && k != kMaxKey);
-  EpochPin pin(&system_->reclaim_);
+  EpochPin pin(&system_->reclaim_, cs_id_);
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   // Phase 1 — plan leaves concurrently, one descent per DISTINCT key

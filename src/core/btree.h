@@ -39,6 +39,7 @@
 #include "core/stats.h"
 #include "lock/hocl.h"
 #include "rdma/fabric.h"
+#include "recover/intent.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -46,6 +47,9 @@ namespace sherman {
 
 namespace migrate {
 class Migrator;  // drives live shard migration through TreeClient internals
+}
+namespace recover {
+class Recoverer;  // replays/rolls back in-doubt intents of crashed clients
 }
 
 struct TreeOptions {
@@ -101,6 +105,7 @@ class ShermanSystem;
 class TreeClient {
  public:
   TreeClient(ShermanSystem* system, int cs_id);
+  ~TreeClient();
 
   TreeClient(const TreeClient&) = delete;
   TreeClient& operator=(const TreeClient&) = delete;
@@ -163,12 +168,19 @@ class TreeClient {
   IndexCache& cache() { return cache_; }
   HoclClient& hocl() { return hocl_; }
   CsAllocator& allocator() { return allocator_; }
+  // This client's crash recoverer. Wired as the HOCL recovery hook (lease
+  // steals trigger it); also callable directly by an operator / failure
+  // detector once a client is known dead.
+  recover::Recoverer& recoverer() { return *recoverer_; }
 
  private:
   friend class ShermanSystem;
   // The migrator reuses the traversal/lock primitives below so its copy
   // passes pay the same simulated round trips as any other client.
   friend class migrate::Migrator;
+  // The recoverer replays/rolls back crashed clients' structural ops with
+  // the same primitives (and the same simulated round-trip costs).
+  friend class recover::Recoverer;
 
   struct LeafRef {
     rdma::GlobalAddress addr;
@@ -300,6 +312,19 @@ class TreeClient {
   sim::Task<void> ReadInto(rdma::GlobalAddress addr, uint8_t* buf,
                            uint32_t len, sim::CountdownLatch* latch);
 
+  // Reader escape hatch for crash recovery: lock-free readers never touch
+  // lock lanes, so a reader bouncing off a node torn by a crashed writer
+  // (a tombstoned leaf whose merge/flip never completed) would burn its
+  // whole restart budget without ever triggering the lease machinery.
+  // After repeated dead-end restarts the reader locks-and-releases the
+  // offending node: the acquisition path observes the dead holder's
+  // expired lease and runs recovery, and the next restart resolves
+  // freshly. Against a LIVE structural op the probe merely waits out the
+  // holder's release — a few extra round trips on an already-pathological
+  // path.
+  sim::Task<void> ProbeLockForRecovery(rdma::GlobalAddress addr,
+                                       OpStats* stats);
+
   // --- batch-op plumbing (MultiGet / MultiInsert) ---
 
   // Concurrent planning step: resolves `key` to its leaf and stores the
@@ -332,6 +357,8 @@ class TreeClient {
   HoclClient hocl_;
   CsAllocator allocator_;
   IndexCache cache_;
+  recover::IntentTable intents_;
+  std::unique_ptr<recover::Recoverer> recoverer_;
   ReclaimStats reclaim_stats_;
   uint64_t delete_ops_ = 0;  // clock for the merge-abort backoff
   std::map<uint64_t, uint64_t> merge_backoff_;  // leaf addr -> retry deadline

@@ -7,24 +7,95 @@
 namespace sherman {
 
 HoclClient::HoclClient(rdma::Fabric* fabric, int cs_id, HoclOptions options)
-    : fabric_(fabric), cs_id_(cs_id), options_(options) {}
+    : fabric_(fabric), cs_id_(cs_id), options_(options) {
+  // The lease encoding keeps the owner tag in the lane's low byte.
+  SHERMAN_CHECK_MSG(cs_id_ >= 0 && cs_id_ < 0xff,
+                    "owner tag must fit the lane's owner byte");
+}
+
+uint16_t HoclClient::LeaseStampNow() const {
+  // Quantized clock, folded into 1..255 (0 is the lease-free encoding).
+  const uint64_t period =
+      static_cast<uint64_t>(fabric_->simulator().now()) /
+      static_cast<uint64_t>(options_.lease_period_ns);
+  return static_cast<uint16_t>(period % 255) + 1;
+}
+
+bool HoclClient::LaneExpired(uint16_t lane) const {
+  const uint16_t stamp = LockLaneStamp(lane);
+  if (LockLaneOwner(lane) == 0 || stamp == 0) return false;  // free / no lease
+  const uint16_t now = LeaseStampNow();
+  // Wrap-aware age over the 255-value stamp ring. Ages in the far half are
+  // treated as fresh (alias of a very old stamp only delays detection by a
+  // few periods — the waiter keeps polling and the age keeps growing).
+  const uint16_t age =
+      static_cast<uint16_t>((now - stamp + 255) % 255);
+  return age >= options_.lease_expiry_periods && age <= 127;
+}
+
+uint16_t HoclClient::AcquireLane() const {
+  return MakeLockLane(OwnerTag(), LeasesActive() ? LeaseStampNow() : 0);
+}
 
 sim::Task<void> HoclClient::AcquireGlobal(const GlobalLockRef& ref,
-                                          OpStats* stats) {
+                                          OpStats* stats,
+                                          uint16_t* dead_tag_out) {
   rdma::Qp& qp = fabric_->qp(cs_id_, ref.ms);
   const int shift = ref.lane_shift();
+  if (dead_tag_out != nullptr) *dead_tag_out = 0;
   while (true) {
     uint64_t fetched = 0;
     global_cas_attempts_++;
-    auto wr = rdma::WorkRequest::MaskedCas(ref.word_address(), 0,
-                                           OwnerTag() << shift, ref.lane_mask(),
-                                           &fetched, ref.space);
+    const uint16_t lane_value = AcquireLane();
+    auto wr = rdma::WorkRequest::MaskedCas(
+        ref.word_address(), 0,
+        static_cast<uint64_t>(lane_value) << shift, ref.lane_mask(),
+        &fetched, ref.space);
     rdma::RdmaResult r = co_await qp.Post(wr);
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
-    if (r.cas_success) co_return;
+    if (r.cas_success) {
+      if (options_.hierarchical) {
+        llt_.Get(ref.ms, ref.index).lane_stamp = LockLaneStamp(lane_value);
+      }
+      co_return;
+    }
     global_cas_failures_++;
     if (stats != nullptr) stats->lock_retries++;
+    // Crash detection: a fetched lane whose lease stamp has expired marks
+    // a dead holder. Report it to the caller instead of recovering inline:
+    // Lock() must drop its CS-local lane first, or recovery — which runs
+    // on this same survivor and locks nodes with the ordinary protocol —
+    // could need exactly the local lane this waiter is parked on.
+    const uint16_t lane =
+        static_cast<uint16_t>((fetched & ref.lane_mask()) >> shift);
+    if (dead_tag_out != nullptr && LeasesActive() &&
+        recovery_hook_ != nullptr && LockLaneOwner(lane) != OwnerTag() &&
+        LaneExpired(lane)) {
+      *dead_tag_out = LockLaneOwner(lane);
+      co_return;
+    }
+  }
+}
+
+bool HoclClient::AcquireLocal(LocalLockTable::LocalLock& local) {
+  if (!local.held) {
+    local.held = true;
+    return false;
+  }
+  return true;  // caller must park (wait queue) or spin
+}
+
+void HoclClient::ReleaseLocal(LocalLockTable::LocalLock& local) {
+  // Same discipline as Unlock's tail: waiters may have queued meanwhile.
+  local.handover_depth = 0;
+  local.held = false;
+  if (options_.wait_queue && !local.wait_queue.empty()) {
+    LocalLockTable::Waiter* w = local.wait_queue.front();
+    local.wait_queue.pop_front();
+    local.held = true;  // transfer local ownership FIFO
+    w->handover = false;
+    w->signal.Fire();
   }
 }
 
@@ -34,41 +105,60 @@ sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
   guard.ref = LockFor(node_addr, options_.onchip);
 
   if (!options_.hierarchical) {
-    // FG-style: hammer the remote lock directly.
-    co_await AcquireGlobal(guard.ref, stats);
-    co_return guard;
+    // FG-style: hammer the remote lock directly. A dead holder's expired
+    // lease triggers recovery (nothing local is held here), then the CAS
+    // loop re-enters against the freed lane.
+    while (true) {
+      uint16_t dead_tag = 0;
+      co_await AcquireGlobal(guard.ref, stats, &dead_tag);
+      if (dead_tag == 0) co_return guard;
+      lease_steals_++;
+      co_await recovery_hook_(dead_tag);
+    }
   }
 
   // Hierarchical path: serialize conflicting threads of this CS locally
   // before touching the network (lines 6-16 of Figure 6).
-  LocalLockTable::LocalLock& local = llt_.Get(guard.ref.ms, guard.ref.index);
-  if (!local.held) {
-    local.held = true;
-  } else if (options_.wait_queue) {
-    LocalLockTable::Waiter waiter;
-    local.wait_queue.push_back(&waiter);
-    co_await waiter.signal;  // woken by Unlock, already holding the local lock
-    if (waiter.handover) {
-      guard.via_handover = true;
-      handovers_++;
-      if (stats != nullptr) stats->used_handover = true;
-      co_return guard;  // global lock inherited: no remote access needed
+  while (true) {
+    LocalLockTable::LocalLock& local = llt_.Get(guard.ref.ms, guard.ref.index);
+    if (AcquireLocal(local)) {
+      if (options_.wait_queue) {
+        LocalLockTable::Waiter waiter;
+        local.wait_queue.push_back(&waiter);
+        co_await waiter.signal;  // woken by Unlock, holding the local lock
+        if (waiter.handover) {
+          guard.via_handover = true;
+          handovers_++;
+          if (stats != nullptr) stats->used_handover = true;
+          co_return guard;  // global lock inherited: no remote access needed
+        }
+      } else {
+        // No wait queue: unfair local spinning.
+        while (local.held) {
+          co_await fabric_->simulator().Delay(options_.local_spin_ns);
+        }
+        local.held = true;
+      }
     }
-  } else {
-    // No wait queue: unfair local spinning.
-    while (local.held) {
-      co_await fabric_->simulator().Delay(options_.local_spin_ns);
-    }
-    local.held = true;
-  }
 
-  co_await AcquireGlobal(guard.ref, stats);
-  co_return guard;
+    uint16_t dead_tag = 0;
+    co_await AcquireGlobal(guard.ref, stats, &dead_tag);
+    if (dead_tag == 0) co_return guard;
+
+    // The holder is dead. Drop the local lane BEFORE recovering: recovery
+    // locks the torn nodes with this very protocol, and parking on a
+    // local lane while the recoverer needs it would deadlock this CS
+    // against itself. After recovery the full local+global acquisition
+    // re-runs (another local thread may legitimately have won meanwhile).
+    ReleaseLocal(local);
+    lease_steals_++;
+    co_await recovery_hook_(dead_tag);
+  }
 }
 
-sim::Task<bool> HoclClient::TryLock(rdma::GlobalAddress node_addr,
-                                    uint32_t max_attempts, LockGuard* guard,
-                                    OpStats* stats) {
+sim::Task<Status> HoclClient::TryLock(rdma::GlobalAddress node_addr,
+                                      uint32_t max_attempts, LockGuard* guard,
+                                      OpStats* stats) {
   LockGuard g;
   g.ref = LockFor(node_addr, options_.onchip);
 
@@ -77,46 +167,82 @@ sim::Task<bool> HoclClient::TryLock(rdma::GlobalAddress node_addr,
     local = &llt_.Get(g.ref.ms, g.ref.index);
     // A local holder/contender means waiting — exactly what a bounded
     // acquire must not do. The caller's protocol is opportunistic.
-    if (local->held) co_return false;
+    if (local->held) co_return Status::Retry("local lane contended");
     local->held = true;
   }
 
   rdma::Qp& qp = fabric_->qp(cs_id_, g.ref.ms);
   const int shift = g.ref.lane_shift();
   bool acquired = false;
+  uint16_t expired_lane = 0;  // last fetched lane with a dead holder
   for (uint32_t i = 0; i < max_attempts; i++) {
     uint64_t fetched = 0;
     global_cas_attempts_++;
-    auto wr = rdma::WorkRequest::MaskedCas(g.ref.word_address(), 0,
-                                           OwnerTag() << shift,
-                                           g.ref.lane_mask(), &fetched,
-                                           g.ref.space);
+    const uint16_t lane_value = AcquireLane();
+    auto wr = rdma::WorkRequest::MaskedCas(
+        g.ref.word_address(), 0,
+        static_cast<uint64_t>(lane_value) << shift, g.ref.lane_mask(),
+        &fetched, g.ref.space);
     rdma::RdmaResult r = co_await qp.Post(wr);
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
     if (r.cas_success) {
+      if (local != nullptr) local->lane_stamp = LockLaneStamp(lane_value);
       acquired = true;
       break;
     }
     global_cas_failures_++;
     if (stats != nullptr) stats->lock_retries++;
-  }
-
-  if (!acquired && local != nullptr) {
-    // Release the local lock the same way Unlock's tail does: waiters may
-    // have queued behind us while we were CASing.
-    local->handover_depth = 0;
-    local->held = false;
-    if (options_.wait_queue && !local->wait_queue.empty()) {
-      LocalLockTable::Waiter* w = local->wait_queue.front();
-      local->wait_queue.pop_front();
-      local->held = true;  // transfer local ownership FIFO
-      w->handover = false;
-      w->signal.Fire();
+    const uint16_t lane =
+        static_cast<uint16_t>((fetched & g.ref.lane_mask()) >> shift);
+    if (LeasesActive() && LockLaneOwner(lane) != OwnerTag() &&
+        LaneExpired(lane)) {
+      // The holder is dead: no number of bounded attempts will ever see
+      // this lane released. Stop the retry storm here rather than letting
+      // the caller abort/back-off/re-abort forever.
+      expired_lane = lane;
+      break;
     }
   }
-  if (acquired) *guard = g;
-  co_return acquired;
+
+  if (!acquired && local != nullptr) ReleaseLocal(*local);
+  if (acquired) {
+    *guard = g;
+    co_return Status::OK();
+  }
+  if (expired_lane != 0) {
+    // Surface the dead holder WITHOUT recovering inline (and without
+    // counting a steal — nothing was stolen): TryLock callers are
+    // multi-lock protocols still holding their primary lock, and
+    // recovery (which locks torn nodes with the ordinary protocol) must
+    // never run under a caller-held lock. The caller aborts and releases;
+    // recovery happens when an unbounded Lock() — which holds nothing
+    // while it waits — lands on one of the dead client's lanes, which
+    // any primary op targeting the nodes behind this lane will do.
+    co_return Status::LeaseSteal("bounded acquire found a dead holder");
+  }
+  co_return Status::Retry("global lane contended");
+}
+
+sim::Task<void> HoclClient::RenewLease(const LockGuard& guard, OpStats* stats) {
+  if (!LeasesActive()) co_return;
+  const GlobalLockRef& ref = guard.ref;
+  // The lane is exclusively ours; a plain 2-byte WRITE re-stamps it. The
+  // payload is snapshotted when the WR is posted, so a frame-local is
+  // fine. Skipped when the stamp is still current, so long protocols can
+  // renew at every phase for free except when a period boundary passed.
+  const uint16_t lane = MakeLockLane(OwnerTag(), LeaseStampNow());
+  if (options_.hierarchical) {
+    LocalLockTable::LocalLock& local = llt_.Get(ref.ms, ref.index);
+    if (local.lane_stamp == LockLaneStamp(lane)) co_return;
+    local.lane_stamp = LockLaneStamp(lane);
+  }
+  rdma::RdmaResult r = co_await fabric_->qp(cs_id_, ref.ms)
+                           .Post(rdma::WorkRequest::Write(
+                               ref.lane_address(), &lane, sizeof(lane),
+                               ref.space));
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r.status.ok());
 }
 
 sim::Task<void> HoclClient::Unlock(LockGuard guard,
@@ -127,6 +253,7 @@ sim::Task<void> HoclClient::Unlock(LockGuard guard,
 
   LocalLockTable::LocalLock* local = nullptr;
   LocalLockTable::Waiter* next = nullptr;
+  uint16_t renew_lane = 0;  // frame-local: posted before this frame returns
   if (options_.hierarchical) {
     local = &llt_.Get(ref.ms, ref.index);
     SHERMAN_CHECK(local->held);
@@ -143,10 +270,11 @@ sim::Task<void> HoclClient::Unlock(LockGuard guard,
   static const uint16_t kZero = 0;
   rdma::WorkRequest release =
       options_.release_with_faa
-          ? rdma::WorkRequest::Faa(ref.word_address(),
-                                   static_cast<uint64_t>(-(OwnerTag()))
-                                       << ref.lane_shift(),
-                                   nullptr, ref.space)
+          ? rdma::WorkRequest::Faa(
+                ref.word_address(),
+                static_cast<uint64_t>(-static_cast<uint64_t>(OwnerTag()))
+                    << ref.lane_shift(),
+                nullptr, ref.space)
           : rdma::WorkRequest::Write(ref.lane_address(), &kZero,
                                      sizeof(kZero), ref.space);
 
@@ -155,6 +283,18 @@ sim::Task<void> HoclClient::Unlock(LockGuard guard,
     // local waiter with the lock in hand. Posting before waking keeps QP
     // order: the successor's reads execute after these writes.
     local->handover_depth++;
+    // A handover chain keeps the lane stamped with the FIRST acquirer's
+    // lease. Re-stamp when the stamp has gone stale (crossed a lease
+    // period) so a long chain can never age a LIVE holder's lease into
+    // an expiry — the 2-byte write rides the write-back batch (or is the
+    // batch, at most once per period per lane).
+    if (LeasesActive() && local->lane_stamp != 0 &&
+        local->lane_stamp != LeaseStampNow()) {
+      local->lane_stamp = LeaseStampNow();
+      renew_lane = MakeLockLane(OwnerTag(), local->lane_stamp);
+      write_backs.push_back(rdma::WorkRequest::Write(
+          ref.lane_address(), &renew_lane, sizeof(renew_lane), ref.space));
+    }
     if (!write_backs.empty()) {
       if (combine) {
         rdma::RdmaResult r = co_await qp.PostBatch(std::move(write_backs));

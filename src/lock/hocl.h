@@ -17,6 +17,7 @@
 #define SHERMAN_LOCK_HOCL_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/stats.h"
@@ -37,6 +38,21 @@ struct HoclOptions {
   bool release_with_faa = false;
   // Local spin interval when hierarchical && !wait_queue.
   sim::SimTime local_spin_ns = 500;
+
+  // --- lock leases (crash-fault tolerance) ---
+  // Holders stamp the current fabric-wide lease id (the clock quantized
+  // by lease_period_ns) into the lock lane's high byte on acquisition; a
+  // waiter that fetches a lane whose stamp lags the current lease id by
+  // at least lease_expiry_periods concludes the holder crashed, awaits
+  // the recovery hook (which resolves the dead client's in-doubt intents
+  // and releases its lanes), and then acquires normally. The period must
+  // comfortably exceed the longest lock hold (multi-lock merge / flip
+  // protocols hold for tens of microseconds; ordinary ops for a few);
+  // long holders renew via RenewLease. Disabled automatically under
+  // release_with_faa (the arithmetic release cannot carry a stamp).
+  bool leases = true;
+  sim::SimTime lease_period_ns = 100'000;
+  uint32_t lease_expiry_periods = 4;
 };
 
 // Returned by Lock(); pass back to Unlock().
@@ -47,26 +63,54 @@ struct LockGuard {
 
 class HoclClient {
  public:
+  // Awaited when a lock waiter observes an expired lease: receives the
+  // dead holder's owner tag and must resolve that client's in-doubt
+  // intents and release its lanes before returning (see
+  // recover::Recoverer). Must be re-entrant-safe: several waiters of the
+  // same survivor can observe the same dead tag concurrently.
+  using RecoveryHook = std::function<sim::Task<void>(uint16_t dead_tag)>;
+
   HoclClient(rdma::Fabric* fabric, int cs_id, HoclOptions options);
 
   HoclClient(const HoclClient&) = delete;
   HoclClient& operator=(const HoclClient&) = delete;
 
+  void set_recovery_hook(RecoveryHook hook) { recovery_hook_ = std::move(hook); }
+
   // Acquires the exclusive lock guarding `node_addr` (Figure 6, HOCL_Lock).
   sim::Task<LockGuard> Lock(rdma::GlobalAddress node_addr, OpStats* stats);
 
   // Bounded acquisition for multi-lock protocols (leaf merging): fails
-  // immediately if this CS already holds or contends the local lock, and
-  // bounds the global CAS attempts; on failure nothing is held and
-  // `*guard` is untouched. Lock() waits forever, which is fine for a
-  // single lock but can deadlock an agent holding one lane while waiting
-  // on another: the finite lock table hashes distinct nodes onto shared
-  // lanes, so two agents' lock SETS can alias into a waits-for cycle no
-  // local ordering discipline can rule out. Multi-lock holders use
-  // TryLock for every lock after their first and abort their protocol on
-  // failure instead.
-  sim::Task<bool> TryLock(rdma::GlobalAddress node_addr, uint32_t max_attempts,
-                          LockGuard* guard, OpStats* stats);
+  // with Retry immediately if this CS already holds or contends the
+  // local lock, and bounds the global CAS attempts; on failure nothing
+  // is held and `*guard` is untouched. Lock() waits forever, which is
+  // fine for a single lock but can deadlock an agent holding one lane
+  // while waiting on another: the finite lock table hashes distinct
+  // nodes onto shared lanes, so two agents' lock SETS can alias into a
+  // waits-for cycle no local ordering discipline can rule out.
+  // Multi-lock holders use TryLock for every lock after their first and
+  // abort their protocol on failure instead.
+  //
+  // Returns OK (acquired), Retry (live contention; back off and
+  // re-resolve), or LeaseSteal: an attempt fetched an EXPIRED lease — the
+  // holder is dead and will never release, so the bounded retry loop
+  // stops instead of the old unbounded abort/backoff/retry storm.
+  // TryLock does NOT drive recovery itself: its callers are multi-lock
+  // protocols still holding their primary lock, and recovery must never
+  // run under a caller-held lock (it locks the torn nodes with this very
+  // protocol). The caller aborts its protocol on LeaseSteal; the dead
+  // lane is actually recovered when an unbounded Lock() — which waits
+  // holding nothing — lands on it, which any primary op targeting the
+  // nodes behind the lane eventually does.
+  sim::Task<Status> TryLock(rdma::GlobalAddress node_addr,
+                            uint32_t max_attempts, LockGuard* guard,
+                            OpStats* stats);
+
+  // Re-stamps the held lock's lane with a fresh lease id (one 2-byte
+  // WRITE). Long-running holders (migration passes, recovery itself)
+  // call this between protocol phases so their lease never expires under
+  // a live client.
+  sim::Task<void> RenewLease(const LockGuard& guard, OpStats* stats);
 
   // Releases the lock (Figure 6, HOCL_Unlock), first applying `write_backs`
   // (all must target the lock's MS if `combine` is set — command
@@ -75,25 +119,53 @@ class HoclClient {
                          std::vector<rdma::WorkRequest> write_backs,
                          bool combine, OpStats* stats);
 
+  // The current lease stamp (the quantized clock's low byte, never 0 so a
+  // stamped lane is distinguishable from the lease-free encoding).
+  uint16_t LeaseStampNow() const;
+  // Does `lane` (fetched from the GLT) carry an expired lease?
+  bool LaneExpired(uint16_t lane) const;
+
   const HoclOptions& options() const { return options_; }
   uint64_t handovers() const { return handovers_; }
   uint64_t global_cas_attempts() const { return global_cas_attempts_; }
   uint64_t global_cas_failures() const { return global_cas_failures_; }
+  uint64_t lease_steals() const { return lease_steals_; }
+
+  // The 16-bit owner tag this CS writes into a lock it owns (low byte of
+  // the lane).
+  uint16_t OwnerTag() const { return static_cast<uint16_t>(cs_id_) + 1; }
 
  private:
-  // Remote acquisition loop on the GLT (lines 17-19 of Figure 6).
-  sim::Task<void> AcquireGlobal(const GlobalLockRef& ref, OpStats* stats);
+  // Remote acquisition loop on the GLT (lines 17-19 of Figure 6). With
+  // `dead_tag_out` non-null, an observed expired lease stops the loop and
+  // reports the dead holder instead of acquiring (the caller drops its
+  // local state, drives recovery, and re-enters); with it null the loop
+  // never gives up.
+  sim::Task<void> AcquireGlobal(const GlobalLockRef& ref, OpStats* stats,
+                                uint16_t* dead_tag_out = nullptr);
 
-  // The 16-bit value this CS writes into a lock it owns.
-  uint64_t OwnerTag() const { return static_cast<uint64_t>(cs_id_) + 1; }
+  // Local-lane helpers shared by Lock's acquisition loop and the bounded
+  // TryLock. AcquireLocal returns true when the lane is contended (the
+  // caller parks or spins); ReleaseLocal hands the lane to the next local
+  // waiter FIFO.
+  bool AcquireLocal(LocalLockTable::LocalLock& local);
+  void ReleaseLocal(LocalLockTable::LocalLock& local);
+
+  // The full lane value for a fresh acquisition (owner tag + lease stamp).
+  uint16_t AcquireLane() const;
+  bool LeasesActive() const {
+    return options_.leases && !options_.release_with_faa;
+  }
 
   rdma::Fabric* fabric_;
   int cs_id_;
   HoclOptions options_;
   LocalLockTable llt_;
+  RecoveryHook recovery_hook_;
   uint64_t handovers_ = 0;
   uint64_t global_cas_attempts_ = 0;
   uint64_t global_cas_failures_ = 0;
+  uint64_t lease_steals_ = 0;
 };
 
 }  // namespace sherman

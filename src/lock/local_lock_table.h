@@ -12,6 +12,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "fault/crash_point.h"
 #include "sim/task.h"
 
 namespace sherman {
@@ -25,9 +26,32 @@ class LocalLockTable {
     sim::OneShot signal;
   };
 
+  LocalLockTable() = default;
+  LocalLockTable(const LocalLockTable&) = delete;
+  LocalLockTable& operator=(const LocalLockTable&) = delete;
+
+  // Crash hygiene: a waiter still parked at destruction belongs to a dead
+  // client (its local holder froze and will never wake it). Hand the
+  // parked frames to the fault graveyard so they stay reachable — they
+  // are never resumed, and destroying them here would double-free their
+  // frames through the parents that own them.
+  ~LocalLockTable() {
+    for (auto& [key, lock] : locks_) {
+      for (Waiter* w : lock.wait_queue) {
+        fault::Injector().Bury(w->signal.DetachWaiter());
+      }
+    }
+  }
+
   struct LocalLock {
     bool held = false;
     uint32_t handover_depth = 0;
+    // Lease stamp currently written into the remote lane (leases on): a
+    // handover keeps the global lock without remote traffic, so the
+    // handing-over Unlock re-stamps the lane when this has gone stale —
+    // otherwise a long local handover chain could age the stamp past
+    // expiry and get a LIVE holder's lock stolen.
+    uint16_t lane_stamp = 0;
     std::deque<Waiter*> wait_queue;
   };
 

@@ -44,6 +44,26 @@ struct GlobalLockRef {
   }
 };
 
+// --- lock lane encoding (crash-fault tolerance) ----------------------------
+//
+// A held 16-bit lane carries the owner tag (cs_id + 1, low byte) and a
+// LEASE STAMP (high byte): the fabric-wide lease id, quantized from the
+// (loosely synchronized) clock, at acquisition/renewal time. A waiter that
+// observes a stamp more than lease_expiry_periods behind the current lease
+// id concludes the holder crashed, triggers recovery of the protected
+// node(s), and steals the lane. Stamp 0 with the lease machinery off (or
+// the FG FAA-release configuration, whose arithmetic release cannot carry
+// a stamp) reproduces the original lease-free lock word.
+inline constexpr uint16_t kLockOwnerMask = 0x00ff;
+
+inline constexpr uint16_t LockLaneOwner(uint16_t lane) {
+  return lane & kLockOwnerMask;
+}
+inline constexpr uint16_t LockLaneStamp(uint16_t lane) { return lane >> 8; }
+inline constexpr uint16_t MakeLockLane(uint16_t owner, uint16_t stamp) {
+  return static_cast<uint16_t>((stamp << 8) | (owner & kLockOwnerMask));
+}
+
 // Maps a tree-node address to the lock guarding it (line 5 of Figure 6).
 // Distinct nodes may collide on one lock; that false sharing is inherent to
 // the design and harmless for correctness.

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "alloc/layout.h"
+#include "fault/crash_point.h"
 #include "lock/lock_table.h"
+#include "recover/intent.h"
 #include "util/logging.h"
 
 namespace sherman::migrate {
@@ -14,6 +16,15 @@ namespace {
 constexpr int kMaxSiblingChase = 64;
 // Safety bound on the control-plane residual walk.
 constexpr uint64_t kMaxWalkNodes = 1u << 22;
+
+// Crash sites of the copy-then-flip protocol (see btree.cc for the site
+// discipline; tests/recover_test.cc sweeps these).
+const int kCrashFlipIntent = fault::RegisterCrashSite("flip.intent");
+const int kCrashFlipCopy = fault::RegisterCrashSite("flip.copy");
+const int kCrashFlipTombstone = fault::RegisterCrashSite("flip.tombstone");
+const int kCrashFlipFlipped = fault::RegisterCrashSite("flip.flipped");
+const int kCrashFlipSibfixed = fault::RegisterCrashSite("flip.sibfixed");
+const int kCrashFlipFreed = fault::RegisterCrashSite("flip.freed");
 }  // namespace
 
 Migrator::Migrator(ShermanSystem* system, MigratorOptions options,
@@ -229,6 +240,7 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
   const bool combine = o.combine_commands;
   NodeView view(buf->data(), &o.shape);
   const Key node_lo = view.lo_fence();
+  const int cs = options_.cs_id;
 
   // Copy the frozen node into a shard-private chunk on the target.
   const rdma::GlobalAddress naddr = co_await AllocOnTarget(target, node_size());
@@ -236,12 +248,29 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
     co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
     co_return Status::OutOfMemory("target MS exhausted during migration");
   }
+
+  // Anchor the flip before its first remote write: the parent's
+  // child-pointer swap (ReplaceChild) is the commit point a survivor's
+  // Recoverer keys on — rollback retires the unflipped copy (and revives
+  // a pre-flip leaf tombstone); replay completes the B-link repair and
+  // retires the source.
+  recover::IntentRecord intent;
+  intent.op = recover::IntentOp::kFlip;
+  intent.level = level;
+  intent.lo = node_lo;
+  intent.hi = view.hi_fence();
+  intent.primary = locked.addr;
+  intent.second = naddr;
+  const int intent_slot = co_await t.intents_.Publish(intent, stats);
+  co_await fault::Injector().AtSite(kCrashFlipIntent, cs);
+
   rdma::RdmaResult w =
       co_await system_->fabric()
-          .qp(options_.cs_id, target)
+          .qp(cs, target)
           .Post(rdma::WorkRequest::Write(naddr, buf->data(), node_size()));
   SHERMAN_CHECK(w.status.ok());
   stats_.bytes_copied += node_size();
+  co_await fault::Injector().AtSite(kCrashFlipCopy, cs);
 
   // Tombstone ordering is level-dependent and safety-critical:
   //  - LEAVES tombstone BEFORE the flip. Once the free flag lands, every
@@ -265,9 +294,15 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
     rdma::RdmaResult tw =
         co_await t.QpFor(locked.addr).Post(tombstone_wr(true));
     SHERMAN_CHECK(tw.status.ok());
+    co_await fault::Injector().AtSite(kCrashFlipTombstone, cs);
   }
 
-  // FLIP: fresh descents now resolve to the copy.
+  // FLIP: fresh descents now resolve to the copy. The source's lock is
+  // held across this multi-RTT phase (and the sibling repair below);
+  // renew its lease at each phase boundary — free unless a lease period
+  // passed — so a waiter can never mistake this live protocol for a
+  // crashed holder.
+  co_await t.hocl_.RenewLease(locked.guard, stats);
   Status st = co_await ReplaceChild(cursor, static_cast<uint8_t>(level + 1),
                                     locked.addr, naddr, locked.addr, stats);
   if (!st.ok()) {
@@ -280,35 +315,47 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
     } else {
       co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
     }
+    t.intents_.ClearAsync(intent_slot);
     co_return st;
   }
+  co_await fault::Injector().AtSite(kCrashFlipFlipped, cs);
   // Repair the B-link chain so sibling chases skip the tombstone. (On a
   // sibling-fix failure the flipped parent is authoritative and chain
   // restarts heal through it, so the node stays in whatever tombstone
-  // state it already reached.)
+  // state it already reached — the cleared intent preserves exactly the
+  // pre-crash-tolerance semantics of that abort.)
   if (node_lo != 0) {
+    co_await t.hocl_.RenewLease(locked.guard, stats);
     st = co_await FixLeftSibling(node_lo, level, locked.addr, naddr,
                                  sibling_hint, locked.addr, stats);
     if (!st.ok()) {
       co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
+      t.intents_.ClearAsync(intent_slot);
       co_return st;
     }
   }
-  if (tombstone_first) {
-    co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
-  } else {
-    std::vector<rdma::WorkRequest> wrs;
-    wrs.push_back(tombstone_wr(true));
-    co_await t.hocl_.Unlock(locked.guard, std::move(wrs), combine, stats);
+  co_await fault::Injector().AtSite(kCrashFlipSibfixed, cs);
+  if (!tombstone_first) {
+    // Internal sources tombstone after the flip. The write is posted on
+    // its own (not folded into the unlock batch) so the free below — and
+    // the crash window between them — always sees a tombstoned source.
+    rdma::RdmaResult tw =
+        co_await t.QpFor(locked.addr).Post(tombstone_wr(true));
+    SHERMAN_CHECK(tw.status.ok());
   }
   // Retire the tombstoned source through the MS's epoch-keyed grace list
   // instead of leaking it: the bytes stay a stable tombstone until every
   // operation pinned at or before this instant has retired, then the node
-  // is recycled into fresh allocations.
+  // is recycled into fresh allocations. Free and intent-clear precede the
+  // unlock so every crash window leaves a held lane or an intent (or
+  // both) for a survivor to find.
   co_await system_->fabric()
-      .qp(options_.cs_id, locked.addr.node)
+      .qp(cs, locked.addr.node)
       .Rpc(kRpcFreeNode, locked.addr.offset, node_size());
   if (stats != nullptr) stats->round_trips++;
+  co_await fault::Injector().AtSite(kCrashFlipFreed, cs);
+  t.intents_.ClearAsync(intent_slot);
+  co_await t.hocl_.Unlock(locked.guard, {}, combine, stats);
   stats_.source_nodes_freed++;
   *naddr_out = naddr;
   co_return Status::OK();
@@ -331,7 +378,7 @@ sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
     // Pin the reclamation epoch per iteration: the resolve -> lock -> move
     // window holds raw addresses, but a whole-pass pin would stall node
     // recycling for the full migration.
-    EpochPin pin(&system_->reclaim_epoch());
+    EpochPin pin(&system_->reclaim_epoch(), options_.cs_id);
     OpStats stats;
     StatusOr<TreeClient::LeafRef> ref = co_await t.FindLeafAddr(cursor, &stats);
     if (!ref.ok()) {
@@ -407,7 +454,7 @@ sim::Task<Status> Migrator::InternalPass(Key lo, Key hi, uint16_t target) {
     if (++stuck > options_.max_retries) {
       co_return Status::TimedOut("internal pass stuck");
     }
-    EpochPin pin(&system_->reclaim_epoch());
+    EpochPin pin(&system_->reclaim_epoch(), options_.cs_id);
     OpStats stats;
     StatusOr<rdma::GlobalAddress> r = co_await t.FindNodeAddr(cursor, 1, &stats);
     if (!r.ok()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/crash_point.h"
 #include "rdma/compute_server.h"
 #include "rdma/memory_server.h"
 #include "util/logging.h"
@@ -51,6 +52,9 @@ sim::Task<RdmaResult> Qp::Post(WorkRequest wr) {
 }
 
 sim::Task<RdmaResult> Qp::PostBatch(std::vector<WorkRequest> wrs) {
+  // Crash-fault injection: a dead compute server issues nothing further —
+  // any coroutine of a killed client freezes at its next doorbell.
+  co_await fault::Injector().FreezeIfDead(cs_->id());
   SHERMAN_CHECK(!wrs.empty());
   counters_.batches++;
   counters_.wrs += wrs.size();
@@ -242,6 +246,7 @@ sim::SimTime Qp::ScheduleReadDma(const WorkRequest& wr,
 }
 
 sim::Task<RdmaResult> Qp::PostReadBatch(std::vector<WorkRequest> wrs) {
+  co_await fault::Injector().FreezeIfDead(cs_->id());
   SHERMAN_CHECK(!wrs.empty());
   counters_.batches++;
   counters_.wrs += wrs.size();
@@ -297,6 +302,7 @@ sim::Task<RdmaResult> Qp::PostReadBatch(std::vector<WorkRequest> wrs) {
 }
 
 sim::Task<uint64_t> Qp::Rpc(uint64_t opcode, uint64_t arg, uint64_t arg2) {
+  co_await fault::Injector().FreezeIfDead(cs_->id());
   counters_.rpcs++;
   sim::Simulator* sim = sim_;
   const FabricConfig* cfg = cfg_;

@@ -1,0 +1,586 @@
+#include "recover/recoverer.h"
+
+#include <utility>
+
+#include "lock/lock_table.h"
+#include "util/logging.h"
+
+namespace sherman::recover {
+
+namespace {
+// Bounded retries for live-contention waits inside recovery. Recovery only
+// ever waits on LIVE holders (the dead client's lanes are swept first), so
+// these bounds are generous safety rails, not correctness knobs.
+constexpr uint32_t kResolveAttempts = 64;
+constexpr sim::SimTime kResolveBackoffNs = 2'000;
+constexpr uint32_t kClaimAttempts = 1 << 16;
+}  // namespace
+
+Recoverer::Recoverer(ShermanSystem* system, TreeClient* client)
+    : system_(system), t_(client) {}
+
+uint32_t Recoverer::node_size() const {
+  return system_->options().shape.node_size;
+}
+
+sim::Task<bool> Recoverer::CasClaim(int dead_cs, uint64_t* expected,
+                                    uint64_t desired) {
+  uint64_t fetched = 0;
+  rdma::RdmaResult r =
+      co_await system_->fabric()
+          .qp(t_->cs_id(), 0)
+          .Post(rdma::WorkRequest::Cas(RecoveryClaimAddress(dead_cs),
+                                       *expected, desired, &fetched));
+  SHERMAN_CHECK(r.status.ok());
+  if (r.cas_success) *expected = desired;
+  co_return r.cas_success;
+}
+
+sim::Task<uint64_t> Recoverer::ClaimDeadClient(int dead_cs) {
+  rdma::Qp& qp = system_->fabric().qp(t_->cs_id(), 0);
+  const rdma::GlobalAddress addr = RecoveryClaimAddress(dead_cs);
+  bool observed_busy = false;
+  for (uint32_t i = 0; i < kClaimAttempts; i++) {
+    const uint64_t mine =
+        MakeLockLane(t_->hocl().OwnerTag(), t_->hocl().LeaseStampNow());
+    uint64_t fetched = 0;
+    rdma::RdmaResult r =
+        co_await qp.Post(rdma::WorkRequest::Cas(addr, 0, mine, &fetched));
+    SHERMAN_CHECK(r.status.ok());
+    if (r.cas_success) co_return mine;
+    const uint16_t lane = static_cast<uint16_t>(fetched & 0xffff);
+    if (t_->hocl().LaneExpired(lane)) {
+      // The previous recoverer died mid-recovery; take over (every
+      // recovery step is idempotent, so re-running from the top is safe).
+      rdma::RdmaResult r2 = co_await qp.Post(
+          rdma::WorkRequest::Cas(addr, fetched, mine, &fetched));
+      SHERMAN_CHECK(r2.status.ok());
+      if (r2.cas_success) co_return mine;
+      continue;
+    }
+    // A live survivor is recovering. Wait for it to release the claim —
+    // once the word reads zero again the dead client is fully recovered.
+    observed_busy = true;
+    co_await system_->simulator().Delay(
+        t_->hocl().options().lease_period_ns / 2);
+    uint64_t word = 0;
+    rdma::RdmaResult rr = co_await qp.Post(
+        rdma::WorkRequest::Read(addr, &word, 8));
+    SHERMAN_CHECK(rr.status.ok());
+    if (word == 0 && observed_busy) co_return 0;
+  }
+  SHERMAN_CHECK_MSG(false, "recovery claim starved");
+  co_return 0;
+}
+
+sim::Task<void> Recoverer::SweepLocks(uint16_t dead_tag) {
+  for (int ms = 0; ms < system_->fabric().num_memory_servers(); ms++) {
+    const uint64_t swept = co_await system_->fabric()
+                               .qp(t_->cs_id(), ms)
+                               .Rpc(kRpcSweepLocks, dead_tag);
+    stats_.lanes_swept += swept;
+  }
+}
+
+sim::Task<void> Recoverer::ClearRemoteSlot(int dead_cs, int slot) {
+  static const uint8_t kZeros[kIntentSlotBytes] = {};
+  rdma::RdmaResult r =
+      co_await system_->fabric()
+          .qp(t_->cs_id(), 0)
+          .Post(rdma::WorkRequest::Write(IntentSlotAddress(dead_cs, slot),
+                                         kZeros, kIntentSlotBytes));
+  SHERMAN_CHECK(r.status.ok());
+}
+
+sim::Task<void> Recoverer::FreeNodeRemote(rdma::GlobalAddress addr) {
+  co_await system_->fabric()
+      .qp(t_->cs_id(), addr.node)
+      .Rpc(kRpcFreeNode, addr.offset, node_size());
+  stats_.orphans_freed++;
+}
+
+sim::Task<void> Recoverer::RecoverDeadOwner(uint16_t dead_tag) {
+  SHERMAN_CHECK(dead_tag != 0);
+  const int dead_cs = static_cast<int>(dead_tag) - 1;
+  SHERMAN_CHECK_MSG(dead_cs != t_->cs_id(),
+                    "a client cannot recover itself");
+  if (in_progress_.count(dead_tag) != 0) {
+    // Another coroutine of this survivor is already on it; the caller's
+    // CAS loop keeps polling until the lane frees.
+    co_return;
+  }
+  in_progress_.insert(dead_tag);
+  const sim::SimTime t0 = system_->simulator().now();
+
+  uint64_t claim = co_await ClaimDeadClient(dead_cs);
+  if (claim != 0) {
+    // Read the dead client's whole intent slab in one READ.
+    std::vector<uint8_t> slab(kIntentSlotsPerClient * kIntentSlotBytes);
+    rdma::RdmaResult r =
+        co_await system_->fabric()
+            .qp(t_->cs_id(), 0)
+            .Post(rdma::WorkRequest::Read(IntentSlotAddress(dead_cs, 0),
+                                          slab.data(),
+                                          static_cast<uint32_t>(slab.size())));
+    SHERMAN_CHECK(r.status.ok());
+
+    // Release every lane the dead client holds BEFORE resolving intents:
+    // the resolution below re-acquires what it needs with the ordinary
+    // HOCL protocol, and survivors blocked on dead lanes unwedge
+    // immediately. Torn states stay invisible meanwhile (fence / free-flag
+    // validation bounces readers; writers re-verify under their locks).
+    co_await SweepLocks(dead_tag);
+
+    bool all_resolved = true;
+    bool usurped = false;
+    for (uint32_t slot = 0; slot < kIntentSlotsPerClient && !usurped;
+         slot++) {
+      const IntentRecord rec =
+          IntentRecord::Deserialize(slab.data() + slot * kIntentSlotBytes);
+      if (rec.op == IntentOp::kNone) continue;
+      // Re-stamp the claim BEFORE each resolution — one resolution's
+      // bounded retry loops can outlast a lease period. A failed CAS
+      // means our claim lease expired and another survivor took over:
+      // stop immediately and leave the word alone (every step so far is
+      // idempotent; the usurper finishes the job).
+      if (!co_await CasClaim(dead_cs, &claim,
+                             MakeLockLane(t_->hocl().OwnerTag(),
+                                          t_->hocl().LeaseStampNow()))) {
+        usurped = true;
+        break;
+      }
+      Status st = co_await RecoverIntent(rec);
+      if (!st.ok()) {
+        all_resolved = false;
+        continue;  // intent stays published; a later trigger retries it
+      }
+      co_await ClearRemoteSlot(dead_cs, slot);
+    }
+
+    if (usurped || !all_resolved) {
+      stats_.partial_recoveries++;
+      if (!usurped) co_await CasClaim(dead_cs, &claim, 0);
+    } else {
+      // With every intent resolved, the dead client's reclamation pins
+      // can go: recycling (frozen fabric-wide since the crash) resumes.
+      // An unresolved intent keeps the pins — they are what protects the
+      // tombstoned nodes the retry will still read.
+      system_->reclaim_epoch().MarkDead(dead_cs);
+      stats_.recoveries++;
+      co_await CasClaim(dead_cs, &claim, 0);
+    }
+  }
+
+  stats_.last_duration_ns = system_->simulator().now() - t0;
+  in_progress_.erase(dead_tag);
+}
+
+sim::Task<Status> Recoverer::RecoverIntent(const IntentRecord& rec) {
+  switch (rec.op) {
+    case IntentOp::kRoot:
+      co_return co_await RecoverRoot(rec);
+    case IntentOp::kSplit:
+      co_return co_await RecoverSplit(rec);
+    case IntentOp::kMerge:
+      co_return co_await RecoverMerge(rec);
+    case IntentOp::kFlip:
+      co_return co_await RecoverFlip(rec);
+    case IntentOp::kNone:
+      break;
+  }
+  co_return Status::OK();
+}
+
+// --- new-root install -------------------------------------------------------
+//
+// Commit point: the root-pointer CAS. The staged root node is reachable iff
+// it sits on the leftmost spine under the CURRENT root (later growth can
+// stack more roots above it), so walk the spine rather than compare the
+// pointer alone.
+sim::Task<Status> Recoverer::RecoverRoot(const IntentRecord& rec) {
+  uint8_t ptr_buf[8];
+  Status st = co_await t_->ReadRaw(rdma::GlobalAddress(0, kRootPointerOffset),
+                                   ptr_buf, sizeof(ptr_buf), nullptr);
+  SHERMAN_CHECK(st.ok());
+  uint64_t packed;
+  std::memcpy(&packed, ptr_buf, 8);
+  rdma::GlobalAddress addr = rdma::GlobalAddress::FromU64(packed);
+
+  std::vector<uint8_t> buf(node_size());
+  for (int depth = 0; depth < 64 && !addr.is_null(); depth++) {
+    if (addr == rec.primary) {
+      stats_.intents_replayed++;  // committed; nothing left to do
+      co_return Status::OK();
+    }
+    st = co_await t_->ReadNodeChecked(addr, buf.data(), nullptr);
+    if (!st.ok()) co_return Status::Retry("root spine unreadable");
+    NodeView view(buf.data(), &system_->options().shape);
+    if (view.is_leaf()) break;
+    addr = view.leftmost_child();
+  }
+  // Not reachable: the CAS never happened (or lost). The staged node is an
+  // orphan allocation — retire it.
+  co_await FreeNodeRemote(rec.primary);
+  stats_.intents_rolled_back++;
+  co_return Status::OK();
+}
+
+// --- leaf / internal split --------------------------------------------------
+//
+// Commit point: the doorbell batch that rewrites the split node with its
+// shrunk fence + sibling pointer (and releases its lock). Detection: walk
+// the primary's sibling chain across the original interval — the new
+// sibling appears in the chain iff the commit batch landed. (Survivor
+// activity after the lane sweep can insert more nodes into the chain or
+// even tombstone the primary, but it can neither link the unpublished
+// sibling nor unlink a linked one: unlinking a node requires removing its
+// parent separator, which for the new sibling is exactly what the dead
+// client never got to insert.)
+sim::Task<Status> Recoverer::RecoverSplit(const IntentRecord& rec) {
+  std::vector<uint8_t> buf(node_size());
+  rdma::GlobalAddress addr = rec.primary;
+  bool linked = false;
+  for (int chase = 0; chase < 64 && !addr.is_null(); chase++) {
+    if (addr == rec.second) {
+      linked = true;
+      break;
+    }
+    Status st = co_await t_->ReadNodeChecked(addr, buf.data(), nullptr);
+    if (!st.ok()) co_return Status::Retry("split chain unreadable");
+    NodeView view(buf.data(), &system_->options().shape);
+    if (view.hi_fence() >= rec.hi) break;  // walked past the old interval
+    addr = view.sibling();
+  }
+
+  if (!linked) {
+    // Rolled back: the staged sibling was never published; nothing else
+    // remote changed (the primary still covers the whole interval, or has
+    // since been restructured by survivors — either way consistently).
+    co_await FreeNodeRemote(rec.second);
+    stats_.intents_rolled_back++;
+    co_return Status::OK();
+  }
+
+  // Committed: the B-link chain already serves the new sibling's range;
+  // replay the missing ascent so descents stop paying the sibling chase.
+  // Only the dead client could have inserted this separator, so a plain
+  // presence check is race-free.
+  const Key sep = rec.aux;
+  if (!co_await SeparatorPresent(sep, static_cast<uint8_t>(rec.level + 1))) {
+    Status st = co_await t_->InsertInternal(
+        sep, rec.second, static_cast<uint8_t>(rec.level + 1), nullptr);
+    if (!st.ok()) co_return st;
+  }
+  stats_.intents_replayed++;
+  co_return Status::OK();
+}
+
+sim::Task<bool> Recoverer::SeparatorPresent(Key sep, uint8_t level) {
+  for (uint32_t attempt = 0; attempt < kResolveAttempts; attempt++) {
+    StatusOr<rdma::GlobalAddress> pr =
+        co_await t_->FindNodeAddr(sep, level, nullptr);
+    if (!pr.ok()) {
+      if (pr.status().IsRetry()) continue;
+      co_return false;  // e.g. the tree is not that tall: no parent yet
+    }
+    ParsedInternal parsed;
+    Status st = co_await t_->ReadInternalContaining(*pr, sep, &parsed, nullptr);
+    if (!st.ok()) {
+      if (st.IsRetry()) continue;
+      co_return false;
+    }
+    for (const auto& [k, child] : parsed.entries) {
+      if (k == sep) co_return true;
+    }
+    co_return false;
+  }
+  co_return false;
+}
+
+// --- leaf merge -------------------------------------------------------------
+//
+// Commit point: the tombstone write on the merged leaf L (the FIRST write
+// of the publish sequence). If it never landed nothing remote changed and
+// the intent is simply dropped. If it landed, [lo, hi) is dark until the
+// parent entry is removed and the left sibling widened — replay those
+// under freshly acquired locks, re-verifying the (possibly evolved)
+// neighborhood exactly like the original merge protocol. If survivors
+// have refilled the left sibling so the survivors no longer fit, undo
+// instead: revive L (clear its free flag) and restore its parent link —
+// the B-link chain serves [lo, hi) through the left sibling the moment L
+// is live again.
+sim::Task<Status> Recoverer::RecoverMerge(const IntentRecord& rec) {
+  const TreeOptions& o = system_->options();
+  const bool combine = o.combine_commands;
+  const Key lo = rec.lo;
+  const Key hi = rec.hi;
+  OpStats stats;
+
+  // Hold L's lane for the whole resolution (post-sweep it is free; other
+  // survivors bounce off the tombstone rather than contend).
+  LockGuard lg = co_await t_->hocl_.Lock(rec.primary, &stats);
+  std::vector<uint8_t> buf(node_size());
+  Status st = co_await t_->ReadRaw(rec.primary, buf.data(), node_size(),
+                                   &stats);
+  SHERMAN_CHECK(st.ok());
+  NodeView view(buf.data(), &o.shape);
+
+  if (!view.is_free()) {
+    // Tombstone never landed: the merge published nothing. Drop it.
+    co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+    stats_.intents_rolled_back++;
+    co_return Status::OK();
+  }
+
+  for (uint32_t attempt = 0; attempt < kResolveAttempts; attempt++) {
+    if (attempt > 0) {
+      co_await system_->simulator().Delay(kResolveBackoffNs);
+    }
+    // This loop can outlast a lease period while L's lane stays ours;
+    // keep the lease fresh (no-op unless a period boundary passed) or a
+    // waiter would declare US dead and sweep the lane mid-repair.
+    co_await t_->hocl_.RenewLease(lg, &stats);
+    // Current left neighbor: the node covering lo-1 at leaf level. The
+    // intent's hint is tried first; survivor splits/merges since the
+    // crash are chased like any other fence move.
+    rdma::GlobalAddress start = rec.second;
+    if (attempt > 0 || start.is_null()) {
+      StatusOr<TreeClient::LeafRef> r = co_await t_->FindLeafAddr(lo - 1,
+                                                                  &stats);
+      if (!r.ok()) continue;
+      start = r->addr;
+    }
+    std::vector<uint8_t> sbuf(node_size());
+    StatusOr<TreeClient::SecondLocked> sl = co_await t_->LockSecondChasing(
+        start, lo - 1, rec.primary, rdma::kNullAddress, sbuf.data(), &stats,
+        /*level=*/0);
+    if (!sl.ok()) continue;
+    TreeClient::SecondLocked sib = *sl;
+    NodeView sview(sbuf.data(), &o.shape);
+
+    const bool chain_intact =
+        sview.hi_fence() == lo && sview.sibling() == rec.primary;
+    if (!chain_intact && sview.hi_fence() < hi) {
+      // Transient (e.g. the neighbor is mid-restructure); retry.
+      co_await t_->UnlockSecond(sib, {}, &stats);
+      continue;
+    }
+
+    if (!chain_intact) {
+      // A previous (crashed) recoverer already widened the neighbor over
+      // [lo, hi). Only the tail work can be missing: the parent entry and
+      // the free.
+      co_await t_->UnlockSecond(sib, {}, &stats);
+    } else {
+      const uint32_t l_live = view.LiveLeafEntries(o.two_level_versions);
+      const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
+      if (s_live + l_live > o.shape.leaf_capacity()) {
+        // Undo: survivors refilled the neighbor; the survivors no longer
+        // fit. Revive L — the chain (neighbor.sibling == L) serves
+        // [lo, hi) again the moment the free flag clears — then restore
+        // its parent separator so descents find it directly. (If the
+        // separator insert fails — the only cause is memory exhaustion —
+        // the revived L is still served through the B-link chain, so the
+        // intent is resolved either way.)
+        co_await t_->UnlockSecond(sib, {}, &stats);
+        view.set_free(false);
+        if (o.consistency == TreeOptions::Consistency::kChecksum) {
+          view.UpdateChecksum();
+        }
+        std::vector<rdma::WorkRequest> wrs;
+        wrs.push_back(rdma::WorkRequest::Write(rec.primary, buf.data(),
+                                               node_size()));
+        co_await t_->hocl_.Unlock(lg, std::move(wrs), combine, &stats);
+        if (!co_await SeparatorPresent(lo, 1)) {
+          Status ist = co_await t_->InsertInternal(lo, rec.primary, 1, &stats);
+          (void)ist;
+        }
+        t_->cache_.InvalidateLevel1Covering(lo);
+        stats_.intents_rolled_back++;
+        co_return Status::OK();
+      }
+    }
+
+    // Replay forward: drop the parent separator (if still present), widen
+    // the neighbor, retire L.
+    bool parent_done = false;
+    for (uint32_t pa = 0; pa < kResolveAttempts && !parent_done; pa++) {
+      co_await t_->hocl_.RenewLease(lg, &stats);
+      StatusOr<rdma::GlobalAddress> pr = co_await t_->FindNodeAddr(lo, 1,
+                                                                   &stats);
+      if (!pr.ok()) continue;
+      std::vector<uint8_t> pbuf(node_size());
+      StatusOr<TreeClient::SecondLocked> pl = co_await t_->LockSecondChasing(
+          *pr, lo, rec.primary, chain_intact ? sib.addr : rdma::kNullAddress,
+          pbuf.data(), &stats, /*level=*/1);
+      if (!pl.ok()) continue;
+      TreeClient::SecondLocked par = *pl;
+      NodeView pview(pbuf.data(), &o.shape);
+      if (pview.InternalRemove(lo, rec.primary)) {
+        t_->SealNode(pview, /*structural_change=*/true);
+        std::vector<rdma::WorkRequest> wrs;
+        wrs.push_back(
+            rdma::WorkRequest::Write(par.addr, pbuf.data(), node_size()));
+        co_await t_->UnlockSecond(par, std::move(wrs), &stats);
+      } else {
+        co_await t_->UnlockSecond(par, {}, &stats);
+      }
+      parent_done = true;
+    }
+    if (!parent_done) {
+      // Could not pin the parent down (live contention — possibly a client
+      // parked on this very recovery). Give up; the intent stays and the
+      // next trigger retries without the cycle.
+      if (chain_intact) co_await t_->UnlockSecond(sib, {}, &stats);
+      co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+      co_return Status::Retry("merge replay: parent contended");
+    }
+
+    if (chain_intact) {
+      MoveLeafEntries(&sview, view, o.two_level_versions);
+      sview.set_hi_fence(hi);
+      sview.set_sibling(view.sibling());
+      t_->SealNode(sview, /*structural_change=*/true);
+      std::vector<rdma::WorkRequest> wrs;
+      wrs.push_back(
+          rdma::WorkRequest::Write(sib.addr, sbuf.data(), node_size()));
+      co_await t_->UnlockSecond(sib, std::move(wrs), &stats);
+    }
+
+    co_await FreeNodeRemote(rec.primary);
+    co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+    t_->cache_.InvalidateLevel1Covering(lo);
+    stats_.intents_replayed++;
+    co_return Status::OK();
+  }
+  co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+  co_return Status::Retry("merge recovery: neighborhood contended");
+}
+
+// --- migration flip ---------------------------------------------------------
+//
+// Commit point: the parent's child-pointer swap (ReplaceChild). Detection
+// resolves the LIVE parent for the node's lo key: while uncommitted the
+// child is the source (a tombstoned leaf source freezes its whole range,
+// and a live internal source keeps its fences through survivor edits), so
+// anything else means the swap landed. Replay completes the B-link repair
+// and retires the source; rollback revives a tombstoned leaf source and
+// retires the orphan copy.
+sim::Task<Status> Recoverer::RecoverFlip(const IntentRecord& rec) {
+  const TreeOptions& o = system_->options();
+  const bool combine = o.combine_commands;
+  const Key lo = rec.lo;
+  OpStats stats;
+
+  LockGuard lg = co_await t_->hocl_.Lock(rec.primary, &stats);
+  std::vector<uint8_t> buf(node_size());
+  Status st = co_await t_->ReadRaw(rec.primary, buf.data(), node_size(),
+                                   &stats);
+  SHERMAN_CHECK(st.ok());
+  NodeView view(buf.data(), &o.shape);
+
+  rdma::GlobalAddress child;
+  for (uint32_t attempt = 0; attempt < kResolveAttempts; attempt++) {
+    // See RecoverMerge: the source's lane is held across this loop.
+    co_await t_->hocl_.RenewLease(lg, &stats);
+    StatusOr<rdma::GlobalAddress> pr = co_await t_->FindNodeAddr(
+        lo, static_cast<uint8_t>(rec.level + 1), &stats);
+    if (!pr.ok()) continue;
+    ParsedInternal parsed;
+    st = co_await t_->ReadInternalContaining(*pr, lo, &parsed, &stats);
+    if (!st.ok()) continue;
+    child = parsed.ChildFor(lo);
+    break;
+  }
+  if (child.is_null()) {
+    co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+    co_return Status::Retry("flip recovery: parent unresolvable");
+  }
+
+  if (child == rec.primary) {
+    // Uncommitted: the copy was never published. Revive a tombstoned leaf
+    // source (the pre-flip tombstone landed) and retire the copy.
+    if (view.is_free()) {
+      view.set_free(false);
+      if (o.consistency == TreeOptions::Consistency::kChecksum) {
+        view.UpdateChecksum();
+      }
+      std::vector<rdma::WorkRequest> wrs;
+      wrs.push_back(
+          rdma::WorkRequest::Write(rec.primary, buf.data(), node_size()));
+      co_await t_->hocl_.Unlock(lg, std::move(wrs), combine, &stats);
+    } else {
+      co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+    }
+    co_await FreeNodeRemote(rec.second);
+    t_->cache_.InvalidateKeyRange(rec.lo, rec.hi);
+    stats_.intents_rolled_back++;
+    co_return Status::OK();
+  }
+
+  // Committed: complete the repair. 1) Left-neighbor sibling pointer (the
+  // chain may already be repaired, or re-routed by later survivor
+  // structural ops — only an exact match is rewritten).
+  if (lo != 0) {
+    bool sib_done = false;
+    for (uint32_t attempt = 0; attempt < kResolveAttempts && !sib_done;
+         attempt++) {
+      co_await t_->hocl_.RenewLease(lg, &stats);
+      rdma::GlobalAddress start;
+      if (rec.level == 0) {
+        StatusOr<TreeClient::LeafRef> r =
+            co_await t_->FindLeafAddr(lo - 1, &stats);
+        if (!r.ok()) continue;
+        start = r->addr;
+      } else {
+        StatusOr<rdma::GlobalAddress> r =
+            co_await t_->FindNodeAddr(lo - 1, rec.level, &stats);
+        if (!r.ok()) continue;
+        start = *r;
+      }
+      std::vector<uint8_t> sbuf(node_size());
+      StatusOr<TreeClient::SecondLocked> sl = co_await t_->LockSecondChasing(
+          start, lo - 1, rec.primary, rdma::kNullAddress, sbuf.data(), &stats,
+          rec.level);
+      if (!sl.ok()) continue;
+      TreeClient::SecondLocked sib = *sl;
+      NodeView sview(sbuf.data(), &o.shape);
+      if (sview.hi_fence() == lo && sview.sibling() == rec.primary) {
+        sview.set_sibling(rec.second);
+        t_->SealNode(sview, /*structural_change=*/true);
+        std::vector<rdma::WorkRequest> wrs;
+        wrs.push_back(
+            rdma::WorkRequest::Write(sib.addr, sbuf.data(), node_size()));
+        co_await t_->UnlockSecond(sib, std::move(wrs), &stats);
+      } else {
+        co_await t_->UnlockSecond(sib, {}, &stats);
+      }
+      sib_done = true;
+    }
+    if (!sib_done) {
+      co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+      co_return Status::Retry("flip recovery: left neighbor contended");
+    }
+  }
+
+  // 2) Tombstone the source (internal sources tombstone post-flip; leaf
+  // sources already are) and retire it.
+  if (!view.is_free()) {
+    view.set_free(true);
+    if (o.consistency == TreeOptions::Consistency::kChecksum) {
+      view.UpdateChecksum();
+    }
+    std::vector<rdma::WorkRequest> wrs;
+    wrs.push_back(
+        rdma::WorkRequest::Write(rec.primary, buf.data(), node_size()));
+    co_await t_->hocl_.Unlock(lg, std::move(wrs), combine, &stats);
+  } else {
+    co_await t_->hocl_.Unlock(lg, {}, combine, &stats);
+  }
+  co_await FreeNodeRemote(rec.primary);
+  t_->cache_.InvalidateKeyRange(rec.lo, rec.hi);
+  stats_.intents_replayed++;
+  co_return Status::OK();
+}
+
+}  // namespace sherman::recover

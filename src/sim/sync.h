@@ -5,6 +5,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <utility>
 
 #include "sim/simulator.h"
 
@@ -32,6 +33,13 @@ class CoroQueue {
 
   // Resumes all waiters (in FIFO order). Returns the number woken.
   size_t WakeAll();
+
+  // Removes every parked handle WITHOUT resuming (crash teardown: the
+  // caller hands a dead client's never-to-be-woken waiters to the fault
+  // graveyard; see fault/crash_point.h).
+  std::deque<std::coroutine_handle<>> DetachAll() {
+    return std::exchange(waiters_, {});
+  }
 
  private:
   std::deque<std::coroutine_handle<>> waiters_;

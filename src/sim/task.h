@@ -167,6 +167,14 @@ class OneShot {
   void await_suspend(std::coroutine_handle<> h) { waiter_ = h; }
   void await_resume() const noexcept {}
 
+  // Removes the parked handle WITHOUT resuming it. Crash teardown only: a
+  // dead client's coroutine parked on a signal that will never fire is
+  // handed to the fault graveyard so it stays reachable (never resumed,
+  // never destroyed — see fault/crash_point.h).
+  std::coroutine_handle<> DetachWaiter() {
+    return std::exchange(waiter_, nullptr);
+  }
+
  private:
   bool fired_ = false;
   std::coroutine_handle<> waiter_ = nullptr;

@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "TimedOut";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kLeaseSteal:
+      return "LeaseSteal";
   }
   return "Unknown";
 }

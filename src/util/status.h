@@ -22,6 +22,10 @@ class Status {
     kRetry = 5,       // Transient inconsistency; the caller should retry.
     kTimedOut = 6,
     kInternal = 7,
+    // A bounded lock acquisition observed an expired lease (the holder
+    // crashed) and triggered recovery; the caller must re-resolve the
+    // world before retrying its protocol.
+    kLeaseSteal = 8,
   };
 
   Status() = default;
@@ -48,6 +52,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status LeaseSteal(std::string msg = "") {
+    return Status(Code::kLeaseSteal, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -57,6 +64,7 @@ class Status {
   bool IsRetry() const { return code_ == Code::kRetry; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsLeaseSteal() const { return code_ == Code::kLeaseSteal; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

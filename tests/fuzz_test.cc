@@ -26,12 +26,15 @@
 #include <cstdlib>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "bench/runner.h"
 #include "core/btree.h"
 #include "core/presets.h"
+#include "fault/crash_point.h"
 #include "migrate/migrator.h"
+#include "recover/recoverer.h"
 #include "test_oracle.h"
 #include "util/random.h"
 
@@ -45,6 +48,7 @@ struct FuzzCase {
   const char* preset;
   bool elastic = false;       // mid-run AddMemoryServer + migration
   bool delete_heavy = false;  // churn mix: deletes + MultiDelete dominate
+  bool kill = false;          // a seeded client dies at a random crash point
 };
 
 class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
@@ -178,6 +182,7 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   const FuzzCase& fc = GetParam();
   Random meta_rng(fc.seed);
   const bool long_fuzz = std::getenv("SHERMAN_LONG_FUZZ") != nullptr;
+  fault::Injector().Reset();
 
   TreeOptions topt;
   ASSERT_TRUE(PresetByName(fc.preset, &topt));
@@ -185,10 +190,18 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   const uint32_t node_sizes[] = {256, 512, 1024};
   topt.shape.node_size = node_sizes[meta_rng.Uniform(3)];
   topt.cache_bytes = (64 << 10) << meta_rng.Uniform(4);
+  if (fc.kill) {
+    // Tighten the lease clock so the seeded crash is detected, stolen,
+    // and recovered well inside the run.
+    topt.lock.lease_period_ns = 20'000;
+    topt.lock.lease_expiry_periods = 4;
+  }
 
   rdma::FabricConfig fcfg;
   fcfg.num_memory_servers = 1 + static_cast<int>(meta_rng.Uniform(4));
-  fcfg.num_compute_servers = 1 + static_cast<int>(meta_rng.Uniform(4));
+  fcfg.num_compute_servers = fc.kill
+                                 ? 2 + static_cast<int>(meta_rng.Uniform(3))
+                                 : 1 + static_cast<int>(meta_rng.Uniform(4));
   fcfg.ms_memory_bytes = 32ull << 20;
 
   ShermanSystem system(fcfg, topt);
@@ -203,6 +216,24 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   Oracle oracle;
   std::map<Key, uint64_t> last_value_by_thread[16];
   testutil::SeedOracle(&oracle, bench::MakeLoadKvs(loaded));
+
+  // Seeded random kill: arm a random crash site with a random hit ordinal
+  // against a random victim client (never client 0 — it drives the final
+  // recovery). The victim dies mid-mix while the surviving clients keep
+  // operating through the torn window (lease steals, probes, recovery).
+  int victim_cs = -1;
+  if (fc.kill) {
+    victim_cs = 1 + static_cast<int>(
+                        meta_rng.Uniform(fcfg.num_compute_servers - 1));
+    std::vector<std::string> sites;
+    for (const std::string& s : fault::CrashSiteNames()) {
+      if (s.rfind("flip.", 0) == 0) continue;  // no migration in kill mixes
+      sites.push_back(s);
+    }
+    const std::string site = sites[meta_rng.Uniform(sites.size())];
+    fault::Injector().Arm(site, 1 + static_cast<uint32_t>(meta_rng.Uniform(4)),
+                          victim_cs);
+  }
 
   int done = 0;
   for (int t = 0; t < threads; t++) {
@@ -231,12 +262,45 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   }
 
   system.simulator().Run();
-  ASSERT_EQ(done, threads);
+  if (fc.kill && fault::Injector().fired()) {
+    // The victim's workers died with it. Finish recovery from a survivor
+    // (the failure-detector role; organic steals may already have run it),
+    // then exempt the victim's writes from the lost-update rule — its
+    // in-flight op at death is legitimately either-state.
+    bool recovered = false;
+    sim::Spawn([](ShermanSystem* sys, int victim,
+                  bool* flag) -> sim::Task<void> {
+      co_await sys->simulator().Delay(10 * 20'000);
+      co_await sys->client(0).recoverer().RecoverDeadOwner(
+          static_cast<uint16_t>(victim) + 1);
+      *flag = true;
+    }(&system, victim_cs, &recovered));
+    system.simulator().Run();
+    ASSERT_TRUE(recovered);
+
+    int survivor_workers = 0;
+    for (int t = 0; t < threads; t++) {
+      if (t % fcfg.num_compute_servers == victim_cs) {
+        for (const auto& [k, v] : last_value_by_thread[t]) {
+          oracle[k].deleted = true;  // exempt from the lost-update rule
+        }
+        last_value_by_thread[t].clear();
+      } else {
+        survivor_workers++;
+      }
+    }
+    EXPECT_GE(done, survivor_workers) << "a survivor worker wedged";
+    // Every dead pin was released by recovery; survivors all retired.
+    EXPECT_EQ(system.reclaim_epoch().pinned_ops(), 0u);
+  } else {
+    ASSERT_EQ(done, threads);
+  }
   ASSERT_TRUE(mig_done);
   EXPECT_TRUE(mig_st.ok()) << mig_st.ToString();
 
   testutil::CheckOracleAtQuiescence(&system, oracle, last_value_by_thread,
                                     threads);
+  fault::Injector().Reset();
 }
 
 std::vector<FuzzCase> MakeCases() {
@@ -261,6 +325,20 @@ std::vector<FuzzCase> MakeCases() {
   for (uint64_t seed = 1; seed <= churn_elastic_seeds; seed++) {
     cases.push_back(FuzzCase{3000 + seed, presets[seed % 3], true, true});
   }
+  // Random-kill: a client dies at a seeded crash point mid-mix while the
+  // survivors keep operating; lease steal + recovery must leave an
+  // oracle-consistent tree. Plain and delete-heavy mixes (the churn mixes
+  // hit the merge sites; the insert-heavy ones hit the split sites).
+  const uint64_t kill_seeds = long_fuzz ? 12 : 4;
+  const uint64_t churn_kill_seeds = long_fuzz ? 8 : 3;
+  for (uint64_t seed = 1; seed <= kill_seeds; seed++) {
+    cases.push_back(FuzzCase{4000 + seed, presets[seed % 3], false, false,
+                             /*kill=*/true});
+  }
+  for (uint64_t seed = 1; seed <= churn_kill_seeds; seed++) {
+    cases.push_back(FuzzCase{5000 + seed, presets[seed % 3], false, true,
+                             /*kill=*/true});
+  }
   return cases;
 }
 
@@ -273,7 +351,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::ValuesIn(MakeCases()),
                            return "seed" + std::to_string(info.param.seed) +
                                   "_" + p +
                                   (info.param.elastic ? "_elastic" : "") +
-                                  (info.param.delete_heavy ? "_churn" : "");
+                                  (info.param.delete_heavy ? "_churn" : "") +
+                                  (info.param.kill ? "_kill" : "");
                          });
 
 }  // namespace

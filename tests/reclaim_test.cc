@@ -13,7 +13,9 @@
 #include "core/btree.h"
 #include "core/hybrid_system.h"
 #include "core/presets.h"
+#include "fault/crash_point.h"
 #include "migrate/migrator.h"
+#include "recover/recoverer.h"
 #include "route/backend.h"
 #include "util/random.h"
 
@@ -404,6 +406,134 @@ TEST(ReclaimTest, MergesSurviveConcurrentMigration) {
   system.DebugCheckInvariants();
   EXPECT_GT(migrator.stats().source_nodes_freed, 0u)
       << "migration stopped retiring tombstoned sources";
+}
+
+// --- lease-expiry races against epoch-protected reclamation -----------------
+
+TreeOptions LeaseRaceOptions() {
+  TreeOptions t = ShermanOptions();
+  t.shape.node_size = 256;
+  t.merge_threshold = 0.4;
+  t.lock.lease_period_ns = 20'000;
+  t.lock.lease_expiry_periods = 4;
+  return t;
+}
+
+// A client dies mid-merge AFTER handing the leaf to the grace list but
+// before clearing its intent. The survivor's lease steal re-frees the
+// node during recovery; the grace list must take it exactly once (the
+// duplicate is a counted no-op), and it must stay unrecyclable until the
+// dead client's pins are released — then recycle normally.
+TEST(LeaseRaceTest, StolenLockRacingEpochProtectedFree) {
+  fault::Injector().Reset();
+  ShermanSystem system(SmallFabric(2, 2), LeaseRaceOptions());
+  const uint64_t n = 120;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.9);
+  fault::Injector().Arm("merge.freed", 1, /*victim_cs=*/1);
+
+  bool victim_spawned_done = false;
+  sim::Spawn([](TreeClient* c, uint64_t keys, bool* d) -> sim::Task<void> {
+    for (uint64_t r = 0; r < keys; r++) {
+      Status st = co_await c->Delete(WorkloadGenerator::LoadedKeyFor(r));
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+    *d = true;
+  }(&system.client(1), n, &victim_spawned_done));
+
+  bool done = false;
+  sim::Spawn([](ShermanSystem* sys, bool* flag) -> sim::Task<void> {
+    sim::Simulator& sim = sys->simulator();
+    for (int i = 0; i < 4096 && !fault::Injector().fired(); i++) {
+      co_await sim.Delay(50'000);
+    }
+    EXPECT_TRUE(fault::Injector().fired());
+    if (!fault::Injector().fired()) co_return;
+    co_await sim.Delay(8 * 20'000);
+    // While the dead pins are held, nothing may recycle even though the
+    // leaf was already freed.
+    EXPECT_GT(sys->reclaim_epoch().pinned_ops(), 0u);
+    co_await sys->client(0).recoverer().RecoverDeadOwner(/*tag=*/2);
+    // Keep deleting from the survivor so merges/frees continue against
+    // the recovered state.
+    for (uint64_t r = 0; r < 60; r++) {
+      Status st = co_await sys->client(0).Delete(
+          WorkloadGenerator::LoadedKeyFor(119 - r));
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+    *flag = true;
+  }(&system, &done));
+  system.simulator().Run();
+
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+  uint64_t dups = 0, freed = 0;
+  for (int ms = 0; ms < system.num_chunk_managers(); ms++) {
+    dups += system.chunk_manager(ms).duplicate_frees();
+    freed += system.chunk_manager(ms).nodes_freed();
+  }
+  EXPECT_GT(freed, 0u);
+  // Recovery re-issued the free for the in-doubt leaf; the grace list
+  // absorbed the duplicate exactly once.
+  EXPECT_GE(dups, 1u) << "the crash-window double-free was never exercised";
+  // Dead pins released: nothing blocks the epoch from advancing.
+  EXPECT_EQ(system.reclaim_epoch().pinned_ops(), 0u);
+  fault::Injector().Reset();
+}
+
+// A lease steal racing a survivor's OWN delete/merge stream on the same
+// neighborhood: the stolen lanes and the replayed merge must not break the
+// survivor's merges or leak the reclaimed leaf.
+TEST(LeaseRaceTest, RecoveryReplayRacesSurvivorMerges) {
+  fault::Injector().Reset();
+  ShermanSystem system(SmallFabric(2, 2), LeaseRaceOptions());
+  const uint64_t n = 240;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.9);
+  fault::Injector().Arm("merge.tombstone", 1, /*victim_cs=*/1);
+
+  // Victim drains the lower half (dies mid-merge); survivor concurrently
+  // drains the upper half and then sweeps into the victim's range, so its
+  // merges collide with the torn neighborhood and the recovery writes.
+  bool victim_done = false;
+  sim::Spawn([](TreeClient* c, uint64_t keys, bool* d) -> sim::Task<void> {
+    for (uint64_t r = 0; r < keys / 2; r++) {
+      Status st = co_await c->Delete(WorkloadGenerator::LoadedKeyFor(r));
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+    *d = true;
+  }(&system.client(1), n, &victim_done));
+
+  bool done = false;
+  sim::Spawn([](ShermanSystem* sys, uint64_t keys, bool* flag)
+                 -> sim::Task<void> {
+    TreeClient& c = sys->client(0);
+    for (uint64_t r = keys - 1; r >= keys / 2; r--) {
+      Status st = co_await c.Delete(WorkloadGenerator::LoadedKeyFor(r));
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+    // Sweep into the victim's (torn) half: these deletes contend the dead
+    // lanes, steal the lease organically, and run merges against the
+    // recovered neighborhood.
+    for (uint64_t r = keys / 2 - 1; r + 1 >= 1; r--) {
+      Status st = co_await c.Delete(WorkloadGenerator::LoadedKeyFor(r));
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+      if (r == 0) break;
+    }
+    *flag = true;
+  }(&system, n, &done));
+  system.simulator().Run();
+
+  ASSERT_TRUE(done);
+  if (fault::Injector().fired()) {
+    EXPECT_GE(system.client(0).recoverer().stats().recoveries +
+                  system.client(0).recoverer().stats().partial_recoveries,
+              1u);
+  }
+  system.DebugCheckInvariants();
+  // Everything was deleted by one side or the other.
+  EXPECT_TRUE(system.DebugScanLeaves().empty() ||
+              system.DebugScanLeaves().size() < 8)
+      << "torn-merge recovery lost track of deletions";
+  fault::Injector().Reset();
 }
 
 }  // namespace

@@ -1,0 +1,502 @@
+// Crash-fault tolerance: exhaustive deterministic crash-point sweep.
+//
+// For EVERY named crash site registered by the structural-op code (leaf /
+// internal / root splits in core/btree.cc, leaf merges, migration flips in
+// src/migrate/), a scenario kills a victim client exactly at that site,
+// lets a survivor recover the dead client (lease steal + intent
+// replay/rollback), and verifies:
+//  - the tree equals the shadow oracle: every op the victim COMPLETED is
+//    present, the single in-flight op is atomic (applied in full or not at
+//    all), and nothing else changed;
+//  - structural invariants hold (DebugCheckInvariants);
+//  - every lock lane in the fabric is free, the dead client's intent slab
+//    and recovery claim are clear, and survivor operations proceed
+//    normally afterwards.
+// The sweep also ASSERTS full registry coverage: each registered site must
+// actually fire in its scenario, and no site may exist without a scenario
+// prefix mapping.
+//
+// Separate tests exercise the ORGANIC detection paths (no explicit
+// recovery call): a survivor writer blocks on the dead holder's lane until
+// the lease expires and steals it; a survivor reader escapes its tombstone
+// bounce loop through the lock probe.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/runner.h"
+#include "core/btree.h"
+#include "core/presets.h"
+#include "fault/crash_point.h"
+#include "lock/lock_table.h"
+#include "migrate/migrator.h"
+#include "recover/intent.h"
+#include "recover/recoverer.h"
+
+namespace sherman {
+namespace {
+
+constexpr sim::SimTime kLeasePeriodNs = 20'000;
+constexpr int kVictimCs = 1;
+constexpr uint16_t kVictimTag = kVictimCs + 1;
+
+TreeOptions RecoverOptions(double merge_threshold = 0.4) {
+  TreeOptions t = ShermanOptions();
+  t.shape.node_size = 256;
+  t.merge_threshold = merge_threshold;
+  t.lock.lease_period_ns = kLeasePeriodNs;
+  t.lock.lease_expiry_periods = 4;
+  return t;
+}
+
+rdma::FabricConfig RecoverFabric(int ms = 2, int cs = 2) {
+  rdma::FabricConfig f;
+  f.num_memory_servers = ms;
+  f.num_compute_servers = cs;
+  f.ms_memory_bytes = 32ull << 20;
+  return f;
+}
+
+// Every lock lane on every MS (both address spaces) must be free.
+void ExpectAllLanesFree(ShermanSystem* system, const std::string& ctx) {
+  for (int ms = 0; ms < system->fabric().num_memory_servers(); ms++) {
+    const uint8_t* dev = system->fabric().ms(ms).device().raw(0);
+    const uint8_t* host = system->fabric().ms(ms).host().raw(kHostGltOffset);
+    uint64_t held = 0;
+    for (uint64_t i = 0; i < kLocksPerMs * kLockBytes; i++) {
+      held += dev[i] != 0;
+      held += host[i] != 0;
+    }
+    EXPECT_EQ(held, 0u) << ctx << ": held lanes on MS " << ms;
+  }
+}
+
+// The dead client's intent slab and recovery claim must be clear.
+void ExpectClientClean(ShermanSystem* system, int cs, const std::string& ctx) {
+  for (uint32_t slot = 0; slot < kIntentSlotsPerClient; slot++) {
+    const uint8_t* rec = system->fabric().HostRaw(
+        recover::IntentSlotAddress(cs, static_cast<int>(slot)));
+    EXPECT_EQ(rec[0], 0u) << ctx << ": live intent in slot " << slot;
+  }
+  uint64_t claim;
+  std::memcpy(&claim,
+              system->fabric().HostRaw(recover::RecoveryClaimAddress(cs)), 8);
+  EXPECT_EQ(claim, 0u) << ctx << ": recovery claim still held";
+}
+
+// --- victim op streams ------------------------------------------------------
+
+struct VictimLog {
+  std::map<Key, uint64_t> committed;  // ops the victim saw complete
+  std::set<Key> deleted;              // completed deletes
+  Key inflight = 0;                   // the (single) op that never returned
+  uint64_t inflight_value = 0;
+  bool finished = false;  // ran out of ops without crashing
+};
+
+sim::Task<void> InsertVictim(TreeClient* c, Key start, int count,
+                             VictimLog* log) {
+  for (int i = 0; i < count; i++) {
+    const Key k = start + 2 * static_cast<Key>(i);  // odd: off the bulkload
+    const uint64_t v = 0xdead0000ull + static_cast<uint64_t>(i);
+    log->inflight = k;
+    log->inflight_value = v;
+    Status st = co_await c->Insert(k, v);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    log->committed[k] = v;
+    log->inflight = 0;
+  }
+  log->finished = true;
+}
+
+sim::Task<void> DeleteVictim(TreeClient* c, const std::vector<Key>* keys,
+                             VictimLog* log) {
+  for (Key k : *keys) {
+    log->inflight = k;
+    Status st = co_await c->Delete(k);
+    EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    log->deleted.insert(k);
+    log->inflight = 0;
+  }
+  log->finished = true;
+}
+
+sim::Task<void> MigrateVictim(migrate::Migrator* mig, Key lo, Key hi,
+                              uint16_t target, VictimLog* log) {
+  Status st = co_await mig->MigrateRange(lo, hi, target);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  log->finished = true;
+}
+
+// --- survivor: wait for the crash, recover, verify --------------------------
+
+struct SurvivorResult {
+  bool done = false;
+  bool recovered = false;
+};
+
+sim::Task<void> SurvivorRecoverAndVerify(
+    ShermanSystem* system, const std::map<Key, uint64_t>* expected,
+    const VictimLog* log, SurvivorResult* out) {
+  sim::Simulator& sim = system->simulator();
+  TreeClient& c = system->client(0);
+
+  // Wait for the victim to die (or finish, for coverage-failure reporting).
+  for (int i = 0; i < 4096 && !fault::Injector().fired() && !log->finished;
+       i++) {
+    co_await sim.Delay(50'000);
+  }
+  if (!fault::Injector().fired()) {
+    out->done = true;
+    co_return;
+  }
+  // Let the victim's in-flight completions drain and its lease age out.
+  co_await sim.Delay(8 * kLeasePeriodNs);
+
+  // Operator-initiated recovery (the failure-detector path; organic
+  // lease-steal detection has its own tests below). Idempotent with any
+  // recovery survivor ops may already have triggered.
+  co_await c.recoverer().RecoverDeadOwner(kVictimTag);
+  out->recovered = true;
+
+  // Survivor traffic proceeds: a write into the recovered key space and a
+  // full read-back of the oracle.
+  Status st = co_await c.Insert(1'000'003, 777);
+  EXPECT_TRUE(st.ok()) << "survivor insert after recovery: " << st.ToString();
+  uint64_t v = 0;
+  st = co_await c.Lookup(1'000'003, &v);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(v, 777u);
+
+  for (const auto& [k, want] : *expected) {
+    // `expected` is the pre-victim oracle: skip keys the victim touched
+    // (its committed stream is folded in by the host-side scan check).
+    if (k == log->inflight || log->deleted.count(k) != 0 ||
+        log->committed.count(k) != 0) {
+      continue;
+    }
+    v = 0;
+    st = co_await c.Lookup(k, &v);
+    EXPECT_TRUE(st.ok()) << "lost committed key " << k << ": "
+                         << st.ToString();
+    if (st.ok()) {
+      EXPECT_EQ(v, want) << "wrong value for key " << k;
+    }
+  }
+  out->done = true;
+}
+
+// --- the sweep --------------------------------------------------------------
+
+// Runs the scenario for `site` and returns true if the site fired.
+bool RunSiteScenario(const std::string& site) {
+  fault::CrashInjector& inj = fault::Injector();
+  inj.Reset();
+
+  const bool is_split = site.rfind("split.", 0) == 0;
+  const bool is_isplit = site.rfind("isplit.", 0) == 0;
+  const bool is_merge = site.rfind("merge.", 0) == 0;
+  const bool is_flip = site.rfind("flip.", 0) == 0;
+  const bool is_root = site == "split.root";
+  EXPECT_TRUE(is_split || is_isplit || is_merge || is_flip)
+      << "crash site " << site << " has no scenario mapping — extend "
+      << "recover_test to cover it";
+
+  ShermanSystem system(RecoverFabric(), RecoverOptions());
+  // Shadow oracle: the committed state. Starts as the bulkload.
+  std::map<Key, uint64_t> expected;
+  VictimLog log;
+  migrate::Migrator migrator(
+      &system, migrate::MigratorOptions{.cs_id = kVictimCs});
+
+  uint64_t loaded = 0;
+  if (is_root) {
+    loaded = 0;  // grow from an empty root leaf: MakeNewRoot fires early
+  } else if (is_isplit) {
+    loaded = 240;  // height 3: leaf splits overflow level-1 internals
+  } else {
+    loaded = 120;
+  }
+  const auto kvs = bench::MakeLoadKvs(loaded);
+  system.BulkLoad(kvs, 0.9);
+  for (const auto& [k, v] : kvs) expected[k] = v;
+
+  inj.Arm(site, /*nth=*/1, kVictimCs);
+
+  if (is_merge) {
+    // Drain keys left to right; leaves underflow and merge into their
+    // drained left siblings.
+    static std::vector<Key> doomed;
+    doomed.clear();
+    for (uint64_t i = 0; i < loaded; i++) doomed.push_back(2 * (i + 1));
+    sim::Spawn(DeleteVictim(&system.client(kVictimCs), &doomed, &log));
+  } else if (is_flip) {
+    const int target = system.AddMemoryServer();
+    sim::Spawn(MigrateVictim(&migrator, 1, 2 * loaded + 1,
+                             static_cast<uint16_t>(target), &log));
+  } else {
+    // Dense ascending inserts: leaf splits (and with enough of them,
+    // internal splits and root growth).
+    sim::Spawn(InsertVictim(&system.client(kVictimCs), 101,
+                            is_root ? 60 : 400, &log));
+  }
+
+  SurvivorResult survivor;
+  sim::Spawn(SurvivorRecoverAndVerify(&system, &expected, &log, &survivor));
+  system.simulator().Run();
+
+  EXPECT_TRUE(survivor.done) << site << ": survivor never finished";
+  if (!inj.fired()) return false;
+
+  // Apply the victim's committed ops to the oracle.
+  for (const auto& [k, v] : log.committed) expected[k] = v;
+  for (Key k : log.deleted) expected.erase(k);
+
+  // Quiescent whole-tree comparison. The single in-flight op must be
+  // atomic: fully applied or fully absent.
+  system.DebugCheckInvariants();
+  const auto scan = system.DebugScanLeaves();
+  std::map<Key, uint64_t> final_map(scan.begin(), scan.end());
+  for (const auto& [k, want] : expected) {
+    if (k == log.inflight) continue;
+    auto it = final_map.find(k);
+    EXPECT_NE(it, final_map.end())
+        << site << ": committed key " << k << " lost";
+    if (it != final_map.end()) {
+      EXPECT_EQ(it->second, want) << site << ": wrong value for key " << k;
+    }
+  }
+  for (const auto& [k, v] : final_map) {
+    if (expected.count(k)) continue;
+    if (k == 1'000'003) continue;  // the survivor's probe insert
+    // Only the in-flight op may add a key — with exactly its value.
+    EXPECT_EQ(k, log.inflight) << site << ": phantom key " << k;
+    if (k == log.inflight && log.inflight_value != 0) {
+      EXPECT_EQ(v, log.inflight_value) << site << ": torn in-flight insert";
+    }
+  }
+  if (log.inflight != 0 && expected.count(log.inflight) &&
+      final_map.count(log.inflight)) {
+    // In-flight delete that did not apply: the old value must survive
+    // un-torn; in-flight insert over an existing key: old or new value.
+    const uint64_t got = final_map[log.inflight];
+    EXPECT_TRUE(got == expected[log.inflight] ||
+                (log.inflight_value != 0 && got == log.inflight_value))
+        << site << ": torn in-flight op on key " << log.inflight;
+  }
+
+  ExpectAllLanesFree(&system, site);
+  ExpectClientClean(&system, kVictimCs, site);
+  return true;
+}
+
+TEST(CrashSweepTest, EveryRegisteredCrashPointRecoversToOracle) {
+  const std::vector<std::string> sites = fault::CrashSiteNames();
+  // The registry must contain every structural-op family. If a site is
+  // added without updating this list, the count assertions below fail —
+  // by design: the sweep IS the contract that each site has a scenario.
+  const std::set<std::string> kKnown = {
+      "split.intent",  "split.sibling", "split.leaf",    "split.linked",
+      "split.root",    "isplit.intent", "isplit.right",  "isplit.commit",
+      "isplit.linked", "merge.intent",  "merge.tombstone", "merge.parent",
+      "merge.sibling", "merge.freed",   "flip.intent",   "flip.copy",
+      "flip.tombstone", "flip.flipped", "flip.sibfixed", "flip.freed",
+  };
+  EXPECT_EQ(sites.size(), kKnown.size());
+  for (const std::string& s : sites) {
+    EXPECT_TRUE(kKnown.count(s)) << "unmapped crash site " << s;
+  }
+  for (const std::string& site : sites) {
+    SCOPED_TRACE("crash site: " + site);
+    EXPECT_TRUE(RunSiteScenario(site))
+        << "site " << site << " never fired in its scenario — the sweep "
+        << "does not cover it";
+  }
+  fault::Injector().Reset();
+}
+
+// --- organic detection paths ------------------------------------------------
+
+// A survivor WRITER blocked on the dead holder's lane steals the lease
+// (no explicit recovery call anywhere).
+TEST(CrashRecoveryTest, WriterLeaseStealRecoversTornMerge) {
+  fault::CrashInjector& inj = fault::Injector();
+  inj.Reset();
+  ShermanSystem system(RecoverFabric(), RecoverOptions());
+  const uint64_t loaded = 120;
+  system.BulkLoad(bench::MakeLoadKvs(loaded), 0.9);
+
+  inj.Arm("merge.tombstone", 1, kVictimCs);
+  static std::vector<Key> doomed;
+  doomed.clear();
+  for (uint64_t i = 0; i < loaded; i++) doomed.push_back(2 * (i + 1));
+  VictimLog log;
+  sim::Spawn(DeleteVictim(&system.client(kVictimCs), &doomed, &log));
+
+  bool done = false;
+  sim::Spawn([](ShermanSystem* sys, const VictimLog* vlog,
+                bool* flag) -> sim::Task<void> {
+    sim::Simulator& sim = sys->simulator();
+    for (int i = 0; i < 4096 && !fault::Injector().fired(); i++) {
+      co_await sim.Delay(50'000);
+    }
+    EXPECT_TRUE(fault::Injector().fired());
+    if (!fault::Injector().fired()) co_return;
+    co_await sim.Delay(2 * kLeasePeriodNs);  // completions drain; lease young
+    // Write INTO the torn range: the leaf the victim tombstoned mid-merge.
+    // The insert blocks on the dead lane until the lease expires, steals
+    // it, recovers, and completes.
+    const Key torn = vlog->inflight;
+    EXPECT_NE(torn, 0u);
+    Status st = co_await sys->client(0).Insert(torn, 4242);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    uint64_t v = 0;
+    st = co_await sys->client(0).Lookup(torn, &v);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(v, 4242u);
+    *flag = true;
+  }(&system, &log, &done));
+  system.simulator().Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_GE(system.client(0).hocl().lease_steals(), 1u)
+      << "the writer should have detected the expired lease itself";
+  EXPECT_GE(system.client(0).recoverer().stats().recoveries, 1u);
+  system.DebugCheckInvariants();
+  ExpectAllLanesFree(&system, "writer-steal");
+  ExpectClientClean(&system, kVictimCs, "writer-steal");
+  inj.Reset();
+}
+
+// A survivor READER (lock-free path) escapes its tombstone bounce loop via
+// the lock probe and triggers the same recovery.
+TEST(CrashRecoveryTest, ReaderProbeRecoversTornMerge) {
+  fault::CrashInjector& inj = fault::Injector();
+  inj.Reset();
+  ShermanSystem system(RecoverFabric(), RecoverOptions());
+  const uint64_t loaded = 120;
+  system.BulkLoad(bench::MakeLoadKvs(loaded), 0.9);
+
+  inj.Arm("merge.parent", 1, kVictimCs);
+  static std::vector<Key> doomed;
+  doomed.clear();
+  for (uint64_t i = 0; i < loaded; i++) doomed.push_back(2 * (i + 1));
+  VictimLog log;
+  sim::Spawn(DeleteVictim(&system.client(kVictimCs), &doomed, &log));
+
+  bool done = false;
+  sim::Spawn([](ShermanSystem* sys, const VictimLog* vlog,
+                bool* flag) -> sim::Task<void> {
+    sim::Simulator& sim = sys->simulator();
+    for (int i = 0; i < 4096 && !fault::Injector().fired(); i++) {
+      co_await sim.Delay(50'000);
+    }
+    EXPECT_TRUE(fault::Injector().fired());
+    if (!fault::Injector().fired()) co_return;
+    co_await sim.Delay(8 * kLeasePeriodNs);
+    // Read a key just RIGHT of the tombstoned leaf's range: the merge
+    // died between tombstone and sibling widening, so the reader bounces
+    // until its probe locks the tombstone and recovery completes.
+    const Key probe = vlog->inflight + 2;
+    uint64_t v = 0;
+    Status st = co_await sys->client(0).Lookup(probe, &v);
+    EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    *flag = true;
+  }(&system, &log, &done));
+  system.simulator().Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_GE(system.client(0).recoverer().stats().recoveries, 1u)
+      << "the reader's probe should have driven recovery";
+  system.DebugCheckInvariants();
+  ExpectAllLanesFree(&system, "reader-probe");
+  inj.Reset();
+}
+
+// Fail-stop kill (no crash site): a client dies BETWEEN structural ops,
+// holding ordinary entry-write locks at most. Recovery must simply release
+// its lanes and pins without touching tree content.
+TEST(CrashRecoveryTest, FailStopKillMidTrafficIsRecoverable) {
+  fault::CrashInjector& inj = fault::Injector();
+  inj.Reset();
+  ShermanSystem system(RecoverFabric(), RecoverOptions());
+  const uint64_t loaded = 200;
+  system.BulkLoad(bench::MakeLoadKvs(loaded), 0.8);
+
+  VictimLog log;
+  sim::Spawn(InsertVictim(&system.client(kVictimCs), 101, 2'000, &log));
+  system.simulator().At(300'000, [] {
+    fault::Injector().KillClient(kVictimCs);
+  });
+
+  bool done = false;
+  sim::Spawn([](ShermanSystem* sys, bool* flag) -> sim::Task<void> {
+    co_await sys->simulator().Delay(300'000 + 8 * kLeasePeriodNs);
+    co_await sys->client(0).recoverer().RecoverDeadOwner(kVictimTag);
+    // Every key must be reachable afterwards.
+    for (Key k = 2; k <= 60; k += 2) {
+      uint64_t v = 0;
+      Status st = co_await sys->client(0).Lookup(k, &v);
+      EXPECT_TRUE(st.ok()) << "key " << k << ": " << st.ToString();
+    }
+    *flag = true;
+  }(&system, &done));
+  system.simulator().Run();
+
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+  ExpectAllLanesFree(&system, "fail-stop");
+  ExpectClientClean(&system, kVictimCs, "fail-stop");
+  inj.Reset();
+}
+
+// Orphaned reclamation pins: a dead client's in-flight ops must not freeze
+// node recycling forever — recovery releases them (ReclaimEpoch::MarkDead)
+// and the grace lists drain again.
+TEST(CrashRecoveryTest, RecoveryReleasesDeadClientsEpochPins) {
+  fault::CrashInjector& inj = fault::Injector();
+  inj.Reset();
+  ShermanSystem system(RecoverFabric(), RecoverOptions());
+  system.BulkLoad(bench::MakeLoadKvs(120), 0.9);
+
+  inj.Arm("merge.freed", 1, kVictimCs);
+  static std::vector<Key> doomed;
+  doomed.clear();
+  for (uint64_t i = 0; i < 120; i++) doomed.push_back(2 * (i + 1));
+  VictimLog log;
+  sim::Spawn(DeleteVictim(&system.client(kVictimCs), &doomed, &log));
+
+  bool done = false;
+  sim::Spawn([](ShermanSystem* sys, bool* flag) -> sim::Task<void> {
+    sim::Simulator& sim = sys->simulator();
+    for (int i = 0; i < 4096 && !fault::Injector().fired(); i++) {
+      co_await sim.Delay(50'000);
+    }
+    EXPECT_TRUE(fault::Injector().fired());
+    if (!fault::Injector().fired()) co_return;
+    co_await sim.Delay(8 * kLeasePeriodNs);
+    // The victim died mid-op: its pin holds MinActive down.
+    EXPECT_GT(sys->reclaim_epoch().pinned_ops(), 0u);
+    co_await sys->client(0).recoverer().RecoverDeadOwner(kVictimTag);
+    EXPECT_TRUE(sys->reclaim_epoch().IsDead(kVictimCs));
+    *flag = true;
+  }(&system, &done));
+  system.simulator().Run();
+
+  ASSERT_TRUE(done);
+  // With the dead pins released, the freed node's grace period can pass:
+  // nothing older than the current epoch is pinned anymore.
+  EXPECT_EQ(system.reclaim_epoch().pinned_ops(), 0u);
+  uint64_t freed = 0;
+  for (int ms = 0; ms < system.num_chunk_managers(); ms++) {
+    freed += system.chunk_manager(ms).nodes_freed();
+  }
+  EXPECT_GT(freed, 0u);
+  inj.Reset();
+}
+
+}  // namespace
+}  // namespace sherman
