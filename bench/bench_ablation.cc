@@ -72,6 +72,8 @@ double RunHashBench(const ext::HashTableOptions& topt, double theta,
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("ablation", args);
+  AddEnvConfig(&telemetry, env);
   const sim::SimTime lock_window = env.quick ? 3'000'000 : 8'000'000;
 
   // --- (a) handover depth sweep ---
@@ -86,6 +88,7 @@ int main(int argc, char** argv) {
       opt.lock.max_handover_depth = depth;
       opt.measure_ns = lock_window;
       const LockBenchResult r = RunLockBench(opt);
+      telemetry.Metric("a.mops@depth" + std::to_string(depth), r.mops);
       table.AddRow({std::to_string(depth), Fmt(r.mops),
                     FmtUs(r.latency_ns.P50()), FmtUs(r.latency_ns.P99()),
                     std::to_string(r.handovers)});
@@ -114,10 +117,13 @@ int main(int argc, char** argv) {
           BenchEnv e2 = env;
           e2.keys = env.quick ? 200'000 : 1'000'000;
           auto system = e2.MakeSystem(topt);
-          mops[i++] =
-              RunWorkload(system.get(),
-                          e2.Runner(WorkloadMix::WriteIntensive(), theta))
-                  .mops;
+          const RunResult r = RunWorkload(
+              system.get(), e2.Runner(WorkloadMix::WriteIntensive(), theta));
+          telemetry.AddRun(std::string("b/combine-") + (combine ? "on" : "off") +
+                               "/2lv-" + (two_level ? "on" : "off") +
+                               (theta > 0 ? "/skew" : "/uniform"),
+                           r);
+          mops[i++] = r.mops;
         }
         table.AddRow({combine ? "on" : "off", two_level ? "on" : "off",
                       Fmt(mops[0]), Fmt(mops[1])});
@@ -152,6 +158,7 @@ int main(int argc, char** argv) {
       double p99 = 0;
       const double mops =
           RunHashBench(topt, 0.99, env.quick ? 3'000'000 : 8'000'000, &p99);
+      telemetry.Metric(std::string("c.mops/") + cfg.name, mops);
       table.AddRow({cfg.name, Fmt(mops), Fmt(p99)});
       std::fprintf(stderr, "[ablation-c] %s done (%.2f Mops)\n", cfg.name,
                    mops);
@@ -210,8 +217,15 @@ int main(int argc, char** argv) {
         auto system = e2.MakeSystem(ShermanOptions());
         RunnerOptions ropt = e2.Runner(WorkloadMix::WriteOnly(), 0.0);
         ropt.threads_per_cs = threads_per_cs;
-        sherman_mops = RunWorkload(system.get(), ropt).mops;
+        const RunResult r = RunWorkload(system.get(), ropt);
+        telemetry.AddRun(
+            "d/c" + std::to_string(threads_per_cs * env.num_cs) + "/sherman",
+            r);
+        sherman_mops = r.mops;
       }
+      telemetry.Metric(
+          "d.rpc_mops@c" + std::to_string(threads_per_cs * env.num_cs),
+          rpc_mops);
       table.AddRow({std::to_string(threads_per_cs * env.num_cs),
                     Fmt(rpc_mops), Fmt(sherman_mops)});
       std::fprintf(stderr, "[ablation-d] clients=%d done (rpc %.2f vs %.2f)\n",

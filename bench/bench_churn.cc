@@ -89,6 +89,7 @@ double MeasureLookupMops(ShermanSystem* system, const std::vector<Key>& live,
 
 struct ChurnResult {
   double mops = 0;
+  RunResult run;                    // full runner result (telemetry)
   std::vector<uint64_t> footprint;  // sampled allocated bytes
   ReclaimStats client_reclaim;
   uint64_t ms_nodes_freed = 0;
@@ -117,6 +118,7 @@ ChurnResult RunChurn(ShermanSystem* system, const BenchEnv& env,
     });
   }
   const RunResult res = RunWorkload(system, r);
+  out.run = res;
   out.mops = res.mops;
   for (int cs = 0; cs < system->num_clients(); cs++) {
     out.client_reclaim.Merge(system->client(cs).reclaim_stats());
@@ -135,9 +137,13 @@ ChurnResult RunChurn(ShermanSystem* system, const BenchEnv& env,
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("churn", args);
   const uint64_t window = static_cast<uint64_t>(args.GetInt("window", 192));
   const int samples =
       std::max(2, static_cast<int>(args.GetInt("samples", 12)));
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("window", window);
+  telemetry.Config("samples", samples);
   // Churn owns the whole tree: start empty so the live set (and therefore
   // the steady-state footprint) is exactly what the windows pin.
   TreeOptions topt = ShermanOptions();
@@ -204,6 +210,25 @@ int main(int argc, char** argv) {
   add_row("insert-only", insert_only);
   table.Print();
 
+  telemetry.AddRun("churn", churn.run);
+  telemetry.AddRun("churn-no-reclaim", leaky.run);
+  telemetry.AddRun("insert-only", insert_only.run);
+  const auto footprint_series = [&](const ChurnResult& r) {
+    std::vector<std::pair<uint64_t, uint64_t>> pts;
+    const sim::SimTime total = env.warmup_ns + env.measure_ns;
+    for (size_t i = 0; i < r.footprint.size(); i++) {
+      pts.emplace_back(static_cast<uint64_t>(total * (i + 1) /
+                                             r.footprint.size()),
+                       r.footprint[i]);
+    }
+    return pts;
+  };
+  telemetry.AddSeries("footprint_bytes/churn", footprint_series(churn));
+  telemetry.AddSeries("footprint_bytes/no-reclaim", footprint_series(leaky));
+  telemetry.Metric("churn.leaf_chain", static_cast<double>(churn.leaf_chain));
+  telemetry.Metric("churn.leaked_leaf_chain",
+                   static_cast<double>(leaky.leaf_chain));
+
   std::printf("\nfootprint series, reclaim    (MB):");
   for (uint64_t b : churn.footprint) std::printf(" %s", mb(b).c_str());
   std::printf("\nfootprint series, no-reclaim (MB):");
@@ -219,6 +244,23 @@ int main(int argc, char** argv) {
               leaky.mops > 0 ? churn.mops / leaky.mops : 0.0);
   std::printf("post-churn/fresh lookup throughput: %.2f (target >= 0.90)\n",
               fresh_rd > 0 ? churned_rd / fresh_rd : 0.0);
+
+  telemetry.Gate("no_lookup_failures", lookup_failures == 0,
+                 static_cast<double>(lookup_failures));
+  telemetry.Gate("reclamation_engaged",
+                 churn.client_reclaim.leaf_merges > 0 &&
+                     churn.ms_nodes_freed > 0,
+                 static_cast<double>(churn.client_reclaim.leaf_merges));
+  if (!env.quick) {
+    telemetry.Gate("footprint_plateau",
+                   static_cast<double>(churn.footprint.back()) <=
+                       1.10 * static_cast<double>(
+                                  churn.footprint[churn.footprint.size() / 2]),
+                   static_cast<double>(churn.footprint.back()));
+    telemetry.Gate("chain_le_half_leaked",
+                   churn.leaf_chain * 2 <= leaky.leaf_chain,
+                   static_cast<double>(churn.leaf_chain));
+  }
 
   bool fail = false;
   if (lookup_failures > 0) {

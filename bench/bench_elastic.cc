@@ -128,6 +128,7 @@ double WindowMops(uint64_t ops, sim::SimTime ns) {
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("elastic", args);
   env.num_ms = 2;  // founding cluster; the third MS arrives mid-run
   env.num_cs = 4;
   if (!args.Has("threads")) env.threads_per_cs = 8;
@@ -154,9 +155,16 @@ int main(int argc, char** argv) {
   HybridOptions opts;
   opts.tree = ShermanOptions();
   opts.router.num_shards = num_shards;
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("shards", num_shards);
+  telemetry.Config("post_ns", static_cast<uint64_t>(post_ns));
+  telemetry.Config("interval_ns", static_cast<uint64_t>(interval_ns));
+  telemetry.Config("mix", mix_name.empty() ? "write-intensive" : mix_name);
+  telemetry.Config("zipf_theta", wl.zipf_theta);
 
   // --- elastic run: 2 MSs, grow to 3 mid-run ------------------------------
   HybridSystem system(env.FabricCfg(), opts);
+  telemetry.SetTracer(&system.sherman().tracer());
   system.BulkLoad(MakeLoadKvs(env.keys), 0.8);
   migrate::Migrator migrator(&system.sherman(), {}, &system.shard_map(),
                              &system.router());
@@ -246,11 +254,36 @@ int main(int argc, char** argv) {
     s.Print();
   }
 
+  telemetry.AddRun("native-3ms", native_run);
+  telemetry.MergeMetrics(system.sherman().registry().Snapshot());
+  telemetry.Metric("elastic.pre_mops", pre_mops);
+  telemetry.Metric("elastic.during_mops", during_mops);
+  telemetry.Metric("elastic.post_mops", post_mops);
+  telemetry.Metric("elastic.migration_ns",
+                   static_cast<double>(marks.done - marks.start));
+  {
+    std::vector<std::pair<uint64_t, uint64_t>> pts;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < ctx.interval_ops.size(); i++) {
+      const sim::SimTime at = static_cast<sim::SimTime>(i + 1) * interval_ns;
+      if (at > end_ns + interval_ns) break;
+      cum += ctx.interval_ops[i];
+      pts.emplace_back(static_cast<uint64_t>(at), cum);
+    }
+    telemetry.AddSeries("elastic_ops", std::move(pts));
+  }
+
   const double ratio =
       native_run.mops == 0 ? 0.0 : post_mops / native_run.mops;
   std::printf("\npost/native ratio: %.3f (target >= 0.90), "
               "failed client ops: %llu (target 0)\n",
               ratio, static_cast<unsigned long long>(ctx.failed));
+  telemetry.Gate("no_failed_ops", ctx.failed == 0,
+                 static_cast<double>(ctx.failed));
+  telemetry.Gate("post_vs_native", env.quick || ratio >= 0.90, ratio);
+  // Write while `system` (and its tracer, for --trace-out) is still alive;
+  // the destructor's write would run after the system is gone.
+  telemetry.Write();
   if (ctx.failed != 0) {
     std::fprintf(stderr, "FAIL: %llu client ops failed during the elastic run\n",
                  static_cast<unsigned long long>(ctx.failed));

@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
   const double theta = args.GetDouble("theta", 0.99);
+  BenchTelemetry telemetry("fig10", args);
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("theta", theta);
 
   struct Wl {
     const char* name;
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
     for (const NamedPreset& stage : AblationStages()) {
       auto system = env.MakeSystem(stage.options);
       const RunResult r = RunWorkload(system.get(), env.Runner(wl.mix, theta));
+      telemetry.AddRun(std::string(wl.name) + "/" + stage.name, r);
       std::string ref = "-";
       if (stage.name == "FG+") ref = Fmt(wl.paper_fg_mops) + " Mops";
       if (stage.name == "+2-Level Ver") {

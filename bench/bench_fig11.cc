@@ -12,6 +12,8 @@ using namespace sherman::bench;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("fig11", args);
+  AddEnvConfig(&telemetry, env);
 
   struct Wl {
     const char* name;
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
       auto system = env.MakeSystem(stage.options);
       const RunResult r =
           RunWorkload(system.get(), env.Runner(wl.mix, /*theta=*/0.0));
+      telemetry.AddRun(std::string(wl.name) + "/" + stage.name, r);
       std::string ref = "-";
       if (stage.name == "FG+") ref = Fmt(wl.paper_fg_mops) + " Mops";
       if (stage.name == "+2-Level Ver") {

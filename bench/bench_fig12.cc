@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
   const double theta = args.GetDouble("theta", 0.99);
+  BenchTelemetry telemetry("fig12", args);
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("theta", theta);
 
   struct Cell {
     const char* workload;
@@ -39,6 +42,10 @@ int main(int argc, char** argv) {
       RunnerOptions ropt = env.Runner(c.mix, theta);
       ropt.workload.range_size = c.range;
       const RunResult r = RunWorkload(system.get(), ropt);
+      telemetry.AddRun(std::string(c.workload) + "/range" +
+                           std::to_string(c.range) +
+                           (i == 0 ? "/fg+" : "/sherman"),
+                       r);
       mops[i++] = r.mops;
       std::fprintf(stderr, "[fig12] %s range=%u %s done (%.3f Mops)\n",
                    c.workload, c.range, i == 1 ? "FG+" : "Sherman", r.mops);

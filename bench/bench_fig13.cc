@@ -12,6 +12,8 @@ using namespace sherman::bench;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("fig13", args);
+  AddEnvConfig(&telemetry, env);
 
   const std::vector<int> thread_counts =
       env.quick ? std::vector<int>{44, 176, 528}
@@ -35,17 +37,22 @@ int main(int argc, char** argv) {
     for (int total : thread_counts) {
       const int per_cs = total / env.num_cs;
       double fg_mops = 0, sh_mops = 0, sh_p99 = 0;
+      const std::string cell =
+          std::string(s.name) + "/c" + std::to_string(per_cs * env.num_cs);
       {
         auto system = env.MakeSystem(FgPlusOptions());
         RunnerOptions ropt = env.Runner(WorkloadMix::WriteIntensive(), s.theta);
         ropt.threads_per_cs = per_cs;
-        fg_mops = RunWorkload(system.get(), ropt).mops;
+        const RunResult r = RunWorkload(system.get(), ropt);
+        telemetry.AddRun(cell + "/fg+", r);
+        fg_mops = r.mops;
       }
       {
         auto system = env.MakeSystem(ShermanOptions());
         RunnerOptions ropt = env.Runner(WorkloadMix::WriteIntensive(), s.theta);
         ropt.threads_per_cs = per_cs;
         const RunResult r = RunWorkload(system.get(), ropt);
+        telemetry.AddRun(cell + "/sherman", r);
         sh_mops = r.mops;
         sh_p99 = r.P99Us();
       }

@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
   const double theta = args.GetDouble("theta", 0.99);
+  BenchTelemetry telemetry("fig14", args);
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("theta", theta);
 
   RunResult results[2];
   const char* names[2] = {"FG+", "Sherman"};
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
     auto system = env.MakeSystem(opts[i]);
     results[i] = RunWorkload(system.get(),
                              env.Runner(WorkloadMix::WriteIntensive(), theta));
+    telemetry.AddRun(names[i], results[i]);
     std::fprintf(stderr, "[fig14] %s done (%.2f Mops)\n", names[i],
                  results[i].mops);
   }

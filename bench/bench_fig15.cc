@@ -16,6 +16,8 @@ using namespace sherman::bench;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("fig15", args);
+  AddEnvConfig(&telemetry, env);
 
   // --- (a)+(b): key size sweeps ---
   const uint64_t keys_ab = env.keys / 5;
@@ -42,7 +44,12 @@ int main(int argc, char** argv) {
         auto system = e2.MakeSystem(topt);
         RunnerOptions ropt = e2.Runner(WorkloadMix::WriteIntensive(),
                                        skewed ? 0.99 : 0.0);
-        mops[i++] = RunWorkload(system.get(), ropt).mops;
+        const RunResult r = RunWorkload(system.get(), ropt);
+        telemetry.AddRun(std::string(skewed ? "b" : "a") + "/key" +
+                             std::to_string(key_size) +
+                             (i == 0 ? "/fg+" : "/sherman"),
+                         r);
+        mops[i++] = r.mops;
       }
       const char* paper_ratio =
           skewed ? (key_size >= 1024 ? "1.40" : "-")
@@ -70,6 +77,9 @@ int main(int argc, char** argv) {
     auto system = e2.MakeSystem(ShermanOptions());
     RunnerOptions ropt = e2.Runner(WorkloadMix::WriteIntensive(), 0.0);
     const RunResult r = RunWorkload(system.get(), ropt);
+    telemetry.AddRun("c/cache" + std::to_string(e2.cache_bytes >> 10) + "kb",
+                     r);
+    telemetry.Metric("fig15c.hit_ratio@" + Fmt(frac, 1), r.cache_hit_ratio);
     table.AddRow({std::to_string(e2.cache_bytes >> 10),
                   Fmt(frac * 100.0, 0) + "%", Fmt(r.mops),
                   Fmt(r.cache_hit_ratio, 3)});

@@ -16,6 +16,9 @@ using namespace sherman::bench;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const bool quick = args.Has("quick");
+  BenchTelemetry telemetry("fig16", args);
+  telemetry.Config("quick", quick);
+  telemetry.Config("seed", args.GetInt("seed", 42));
 
   struct Stage {
     const char* name;
@@ -60,6 +63,11 @@ int main(int argc, char** argv) {
     opt.measure_ns = quick ? 4'000'000 : 10'000'000;
     opt.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
     const LockBenchResult r = RunLockBench(opt);
+    telemetry.Metric(std::string("fig16.mops/") + s.name, r.mops);
+    telemetry.Metric(std::string("fig16.p99_us/") + s.name,
+                     static_cast<double>(r.latency_ns.P99()) / 1000.0);
+    telemetry.CounterMetric(std::string("fig16.handovers/") + s.name,
+                            r.handovers);
     table.AddRow({s.name, Fmt(r.mops), FmtUs(r.latency_ns.P50()),
                   FmtUs(r.latency_ns.P99()), std::to_string(r.handovers),
                   std::to_string(r.cas_failures), s.paper});

@@ -14,6 +14,9 @@ using namespace sherman::bench;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const bool quick = args.Has("quick");
+  BenchTelemetry telemetry("fig2", args);
+  telemetry.Config("quick", quick);
+  telemetry.Config("seed", args.GetInt("seed", 42));
 
   Table table("Figure 2: RDMA exclusive locks vs contention degree");
   table.SetColumns({"zipf", "Mops", "p50(us)", "p99(us)", "paper Mops@0.99"});
@@ -32,6 +35,9 @@ int main(int argc, char** argv) {
     opt.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
 
     const LockBenchResult r = RunLockBench(opt);
+    telemetry.Metric("fig2.mops@zipf" + Fmt(theta, 2), r.mops);
+    telemetry.Metric("fig2.p99_us@zipf" + Fmt(theta, 2),
+                     static_cast<double>(r.latency_ns.P99()) / 1000.0);
     table.AddRow({Fmt(theta, 2), Fmt(r.mops), FmtUs(r.latency_ns.P50()),
                   FmtUs(r.latency_ns.P99()),
                   theta == 0.99 ? "0.494" : "-"});

@@ -70,12 +70,16 @@ double Measure(bool inbound, uint32_t size, sim::SimTime window) {
 int main(int argc, char** argv) {
   Args args(argc, argv);
   const sim::SimTime window = args.Has("quick") ? 2'000'000 : 5'000'000;
+  BenchTelemetry telemetry("fig3", args);
+  telemetry.Config("window_ns", static_cast<uint64_t>(window));
 
   Table table("Figure 3: RDMA_WRITE throughput vs IO size (Mops)");
   table.SetColumns({"io size (B)", "inbound", "outbound", "paper shape"});
   for (uint32_t size : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
     const double in = Measure(true, size, window);
     const double out = Measure(false, size, window);
+    telemetry.Metric("fig3.inbound_mops@" + std::to_string(size), in);
+    telemetry.Metric("fig3.outbound_mops@" + std::to_string(size), out);
     table.AddRow({std::to_string(size), Fmt(in), Fmt(out),
                   size <= 128 ? ">50 Mops" : "bandwidth-bound"});
     std::fprintf(stderr, "[fig3] size=%u done (in=%.1f out=%.1f)\n", size, in,

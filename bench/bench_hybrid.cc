@@ -96,6 +96,7 @@ PolicyResult RunPolicy(const BenchEnv& env, const Scenario& sc,
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("hybrid", args);
   // The hybrid trade-off is most visible at moderate client counts, where
   // the memory threads' capacity is a meaningful fraction of demand.
   if (!args.Has("threads")) env.threads_per_cs = 8;
@@ -106,6 +107,11 @@ int main(int argc, char** argv) {
   const uint64_t drift_ops =
       static_cast<uint64_t>(args.GetInt("drift-ops", 400));
   const bool epoch_log = !args.Has("no-epoch-log");
+
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("shards", num_shards);
+  telemetry.Config("epoch_ns", static_cast<uint64_t>(epoch_ns));
+  telemetry.Config("drift_ops", drift_ops);
 
   std::vector<Scenario> scenarios;
   const std::string mix_name = args.GetString("mix", "");
@@ -146,6 +152,7 @@ int main(int argc, char** argv) {
                               route::RouterOptions::Policy::kAdaptive}) {
       PolicyResult r =
           RunPolicy(env, sc, policy, num_shards, epoch_ns, epoch_log);
+      telemetry.AddRun(sc.name + "/" + r.policy, r.run);
       table.AddRow({sc.name, r.policy, Fmt(r.run.mops), Fmt(r.run.P50Us(), 1),
                     Fmt(r.run.P99Us(), 1), Fmt(r.run.route.RpcShare(), 2),
                     Fmt(r.run.route.AvgOneSidedUs(), 1),

@@ -44,6 +44,7 @@ struct Scenario {
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("pipeline", args);
   // Pipelining is a latency lever: it converts per-op round-trip waits
   // into overlapped waves. At high thread counts the closed loop already
   // saturates the fabric with concurrent singleton ops (the root MS's NIC
@@ -77,6 +78,8 @@ int main(int argc, char** argv) {
     depths = {1};
     if (d > 1) depths.push_back(d);
   }
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("drift_ops", drift_ops);
 
   Table table("pipelined batch ops (" + std::to_string(env.keys) + " keys, " +
               std::to_string(env.threads_per_cs) + " threads/CS)");
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
       r.workload.hotspot_drift_ops = sc.drift_ops;
       r.pipeline_depth = depth;
       const RunResult res = RunWorkload(&system, r);
+      telemetry.AddRun(sc.name + "/depth" + std::to_string(depth), res);
       if (depth == 1) base_mops = res.mops;
       if (sc.name == "uniform-read") {
         if (depth == 1) uniform_read_d1 = res.mops;
@@ -111,9 +115,11 @@ int main(int argc, char** argv) {
   table.Print();
 
   if (uniform_read_d1 > 0 && uniform_read_d8 > 0) {
+    const double speedup = uniform_read_d8 / uniform_read_d1;
     std::printf("\nuniform-read cold-cache: depth 8 = %.2fx over "
                 "op-at-a-time (target >= 1.5x)\n",
-                uniform_read_d8 / uniform_read_d1);
+                speedup);
+    telemetry.Gate("uniform_read_depth8_speedup", speedup >= 1.5, speedup);
   }
   return 0;
 }

@@ -31,6 +31,7 @@
 
 #include "common.h"
 #include "fault/crash_point.h"
+#include "obs/trace.h"
 #include "recover/recoverer.h"
 
 using namespace sherman;
@@ -44,10 +45,14 @@ struct WorkerCtx {
   std::vector<uint64_t> failed_by_cs;  // non-OK/NotFound outcomes
 };
 
-sim::Task<void> MixWorker(TreeClient* client, uint64_t keys, uint64_t seed,
-                          WorkerCtx* ctx) {
+sim::Task<void> MixWorker(TreeClient* client, obs::Tracer* tracer,
+                          uint64_t keys, uint64_t seed, WorkerCtx* ctx) {
   Random rng(seed);
   const int cs = client->cs_id();
+  // Per-worker trace context, same shape as the runner's: a root span per
+  // op so the flight dump around the kill shows what every client was
+  // doing, with lower-layer spans parented under it.
+  obs::TraceCtx trace = obs::TraceCtx::For(tracer, obs::RingId::Client(cs));
   // Updates + lookups over the loaded set, plus fresh-key inserts and
   // deletes so splits and merges run continuously: the kill then lands on
   // clients that are genuinely mid-structural-op, exercising the intent
@@ -56,20 +61,26 @@ sim::Task<void> MixWorker(TreeClient* client, uint64_t keys, uint64_t seed,
   while (!ctx->stop) {
     const uint64_t dice = rng.Uniform(10);
     Status st;
+    OpStats op_stats;
+    op_stats.trace = &trace;
     if (dice < 3) {
       const Key key = WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys));
-      st = co_await client->Insert(key, key * 13 + 1);
+      SHERMAN_TSPAN(&trace, "op.insert", key);
+      st = co_await client->Insert(key, key * 13 + 1, &op_stats);
     } else if (dice < 5) {
       // Odd keys land between the (even) loaded keys and fill leaves.
       const Key key = 1 + 2 * ((seed + fresh++) % (4 * keys));
-      st = co_await client->Insert(key, key);
+      SHERMAN_TSPAN(&trace, "op.insert", key);
+      st = co_await client->Insert(key, key, &op_stats);
     } else if (dice < 6) {
       const Key key = 1 + 2 * rng.Uniform(4 * keys);
-      st = co_await client->Delete(key);
+      SHERMAN_TSPAN(&trace, "op.delete", key);
+      st = co_await client->Delete(key, &op_stats);
     } else {
       const Key key = WorkloadGenerator::LoadedKeyFor(rng.Uniform(keys));
       uint64_t v = 0;
-      st = co_await client->Lookup(key, &v);
+      SHERMAN_TSPAN(&trace, "op.lookup", key);
+      st = co_await client->Lookup(key, &v, &op_stats);
     }
     if (!st.ok() && !st.IsNotFound()) ctx->failed_by_cs[cs]++;
     ctx->ops_by_cs[cs]++;
@@ -81,6 +92,7 @@ sim::Task<void> MixWorker(TreeClient* client, uint64_t keys, uint64_t seed,
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("recover", args);
   env.num_ms = 4;
   env.num_cs = 4;
   if (env.quick) env.threads_per_cs = std::min(env.threads_per_cs, 8);
@@ -93,8 +105,15 @@ int main(int argc, char** argv) {
   fault::Injector().Reset();
   const bool site_kill = fault::Injector().ArmFromEnv();
 
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("kill_frac", kill_frac);
+  telemetry.Config("detect_ns", static_cast<uint64_t>(detect_ns));
+  telemetry.Config("victim_cs", victim_cs);
+  telemetry.Config("site_kill", site_kill);
+
   TreeOptions topt = ShermanOptions();
   auto system = env.MakeSystem(topt);
+  telemetry.SetTracer(&system->tracer());
   sim::Simulator& sim = system->simulator();
 
   WorkerCtx ctx;
@@ -102,7 +121,7 @@ int main(int argc, char** argv) {
   ctx.failed_by_cs.assign(env.num_cs, 0);
   for (int cs = 0; cs < env.num_cs; cs++) {
     for (int t = 0; t < env.threads_per_cs; t++) {
-      sim::Spawn(MixWorker(&system->client(cs), env.keys,
+      sim::Spawn(MixWorker(&system->client(cs), &system->tracer(), env.keys,
                            ClientSeed(env.seed, cs, t), &ctx));
     }
   }
@@ -160,14 +179,7 @@ int main(int argc, char** argv) {
     if (cs == victim_cs) continue;
     survivor_failed += ctx.failed_by_cs[cs];
     lease_steals += system->client(cs).hocl().lease_steals();
-    const recover::RecoverStats& c = system->client(cs).recoverer().stats();
-    rs.recoveries += c.recoveries;
-    rs.partial_recoveries += c.partial_recoveries;
-    rs.intents_replayed += c.intents_replayed;
-    rs.intents_rolled_back += c.intents_rolled_back;
-    rs.lanes_swept += c.lanes_swept;
-    rs.orphans_freed += c.orphans_freed;
-    rs.last_duration_ns = std::max(rs.last_duration_ns, c.last_duration_ns);
+    rs.Merge(system->client(cs).recoverer().stats());
   }
   const int survivor_workers = (env.num_cs - 1) * env.threads_per_cs;
 
@@ -201,6 +213,20 @@ int main(int argc, char** argv) {
        static_cast<double>(rs.last_duration_ns)) /
       1e6;
 
+  telemetry.MergeMetrics(system->registry().Snapshot());
+  {
+    std::vector<std::pair<uint64_t, uint64_t>> pts;
+    for (int i = 0; i <= kIntervals; i++) {
+      pts.emplace_back(env.measure_ns * i / kIntervals, survivor_series[i]);
+    }
+    telemetry.AddSeries("survivor_ops", std::move(pts));
+  }
+  telemetry.Metric("recover.pre_kill_mops", pre);
+  telemetry.Metric("recover.post_recovery_mops", post);
+  telemetry.Metric("recover.dip_mops", dip < 1e17 ? dip : 0);
+  telemetry.Metric("recover.latency_ms", recovery_latency_ms);
+  telemetry.CounterMetric("recover.survivor_lease_steals", lease_steals);
+
   std::printf("\nsurvivors: %d workers, failed ops %llu\n", survivor_workers,
               static_cast<unsigned long long>(survivor_failed));
   std::printf("pre-kill  %.3f Mops   post-recovery %.3f Mops   ratio %.2f\n",
@@ -221,6 +247,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(lease_steals));
 
   // Gates.
+  telemetry.Gate("no_survivor_failures", survivor_failed == 0,
+                 static_cast<double>(survivor_failed));
+  telemetry.Gate("recovery_completed",
+                 recovered && rs.recoveries + rs.partial_recoveries > 0,
+                 static_cast<double>(rs.recoveries + rs.partial_recoveries));
+  telemetry.Gate("post_pre_ratio",
+                 env.quick || pre <= 0 || post / pre >= 0.5,
+                 pre > 0 ? post / pre : 0);
   bool ok = true;
   if (survivor_failed != 0) {
     std::printf("FAIL: %llu survivor ops failed\n",
@@ -238,5 +272,8 @@ int main(int argc, char** argv) {
     ok = false;
   }
   std::printf("%s\n", ok ? "PASS" : "FAIL");
+  // Write while `system` (and its tracer, for --trace-out) is still alive;
+  // the destructor's write would run after the system is gone.
+  telemetry.Write();
   return ok ? 0 : 1;
 }

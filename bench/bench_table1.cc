@@ -24,6 +24,8 @@ using namespace sherman::bench;
 int main(int argc, char** argv) {
   Args args(argc, argv);
   BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("table1", args);
+  AddEnvConfig(&telemetry, env);
 
   struct Cell {
     const char* workload;
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   for (const Cell& c : cells) {
     auto system = env.MakeSystem(FgPlusOptions());
     RunResult r = RunWorkload(system.get(), env.Runner(c.mix, c.theta));
+    telemetry.AddRun(std::string(c.workload) + "/" + c.pop, r);
     table.AddRow({c.workload, c.pop, Fmt(r.mops), Fmt(r.P50Us()),
                   Fmt(r.P90Us()), Fmt(r.P99Us()), Fmt(c.paper_mops),
                   Fmt(c.paper_p99)});

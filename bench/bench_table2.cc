@@ -8,7 +8,9 @@
 using namespace sherman;
 using namespace sherman::bench;
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  BenchTelemetry telemetry("table2", args);
   Table table("Table 2: comparison of RDMA-based distributed tree indexes");
   table.SetColumns({"index", "read perf", "write perf", "no hw mods",
                     "disaggregated memory", "write path"});
@@ -28,16 +30,20 @@ int main(int, char**) {
   env.keys = 50'000;
   env.measure_ns = 2'000'000;
   env.warmup_ns = 500'000;
+  AddEnvConfig(&telemetry, env);
   auto system = env.MakeSystem(ShermanOptions());
   uint64_t rpcs_before = 0;
   for (int ms = 0; ms < env.num_ms; ms++) {
     rpcs_before += system->fabric().ms(ms).rpcs_served();
   }
-  RunWorkload(system.get(), env.Runner(WorkloadMix::WriteIntensive(), 0.0));
+  const RunResult r =
+      RunWorkload(system.get(), env.Runner(WorkloadMix::WriteIntensive(), 0.0));
+  telemetry.AddRun("write-intensive/uniform", r);
   uint64_t rpcs_after = 0;
   for (int ms = 0; ms < env.num_ms; ms++) {
     rpcs_after += system->fabric().ms(ms).rpcs_served();
   }
+  telemetry.CounterMetric("table2.ms_rpcs_during_run", rpcs_after - rpcs_before);
   std::printf(
       "\nVerified: write-intensive run issued %llu memory-thread RPCs, all "
       "for chunk allocation (index ops themselves are purely one-sided).\n",

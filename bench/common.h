@@ -85,6 +85,18 @@ struct BenchEnv {
   }
 };
 
+// Records the shared environment knobs into the telemetry config block.
+inline void AddEnvConfig(BenchTelemetry* t, const BenchEnv& env) {
+  t->Config("keys", env.keys);
+  t->Config("threads_per_cs", env.threads_per_cs);
+  t->Config("num_ms", env.num_ms);
+  t->Config("num_cs", env.num_cs);
+  t->Config("warmup_ns", static_cast<uint64_t>(env.warmup_ns));
+  t->Config("measure_ns", static_cast<uint64_t>(env.measure_ns));
+  t->Config("seed", env.seed);
+  t->Config("quick", env.quick);
+}
+
 }  // namespace sherman::bench
 
 #endif  // SHERMAN_BENCH_COMMON_H_

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json telemetry artifacts against schema v1.
+
+Usage: check_bench_json.py FILE [FILE ...]
+Exits non-zero (listing every violation) if any file fails.
+
+Schema v1 (see src/bench/report.h):
+  schema_version : int == 1
+  bench          : non-empty string
+  config         : object of scalars
+  metrics        : {"counters": {str: int}, "gauges": {str: number},
+                    "histograms": {str: object}}
+  percentiles    : {label: {mops, ops, measured_ns, p50_us, p90_us, p99_us}}
+  series         : {label: [{"t_ns": int, "ops": int}, ...]}
+  tables         : [{"title": str, "columns": [str], "rows": [[str]]}]
+  gates          : {name: {"passed": bool, "value": number}}
+"""
+import json
+import sys
+
+SCALAR = (str, int, float, bool)
+RUN_FIELDS = ("mops", "ops", "measured_ns", "p50_us", "p90_us", "p99_us")
+
+
+def check(path):
+    errs = []
+
+    def err(msg):
+        errs.append(f"{path}: {msg}")
+
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    for key in ("schema_version", "bench", "config", "metrics", "percentiles",
+                "series", "tables", "gates"):
+        if key not in doc:
+            err(f"missing top-level key '{key}'")
+    if errs:
+        return errs
+
+    if doc["schema_version"] != 1:
+        err(f"schema_version is {doc['schema_version']!r}, expected 1")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        err("'bench' must be a non-empty string")
+
+    if not isinstance(doc["config"], dict):
+        err("'config' must be an object")
+    else:
+        for k, v in doc["config"].items():
+            if not isinstance(v, SCALAR):
+                err(f"config['{k}'] is not a scalar")
+
+    m = doc["metrics"]
+    if not isinstance(m, dict):
+        err("'metrics' must be an object")
+    else:
+        for sect in ("counters", "gauges", "histograms"):
+            if sect not in m:
+                err(f"metrics missing '{sect}'")
+            elif not isinstance(m[sect], dict):
+                err(f"metrics['{sect}'] must be an object")
+        for k, v in m.get("counters", {}).items():
+            if not isinstance(v, int) or isinstance(v, bool):
+                err(f"counter '{k}' is not an integer")
+        for k, v in m.get("gauges", {}).items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                err(f"gauge '{k}' is not a number")
+        for k, v in m.get("histograms", {}).items():
+            if not isinstance(v, dict):
+                err(f"histogram '{k}' is not an object")
+
+    if not isinstance(doc["percentiles"], dict):
+        err("'percentiles' must be an object")
+    else:
+        for label, run in doc["percentiles"].items():
+            if not isinstance(run, dict):
+                err(f"percentiles['{label}'] is not an object")
+                continue
+            for f in RUN_FIELDS:
+                if f not in run:
+                    err(f"percentiles['{label}'] missing '{f}'")
+                elif not isinstance(run[f], (int, float)) or \
+                        isinstance(run[f], bool):
+                    err(f"percentiles['{label}']['{f}'] is not a number")
+
+    if not isinstance(doc["series"], dict):
+        err("'series' must be an object")
+    else:
+        for label, pts in doc["series"].items():
+            if not isinstance(pts, list):
+                err(f"series['{label}'] is not an array")
+                continue
+            last_t = -1
+            for i, p in enumerate(pts):
+                if not isinstance(p, dict) or "t_ns" not in p or "ops" not in p:
+                    err(f"series['{label}'][{i}] lacks t_ns/ops")
+                    break
+                if not isinstance(p["t_ns"], int) or not isinstance(
+                        p["ops"], int):
+                    err(f"series['{label}'][{i}] t_ns/ops not integers")
+                    break
+                if p["t_ns"] < last_t:
+                    err(f"series['{label}'] t_ns not monotonic at [{i}]")
+                    break
+                last_t = p["t_ns"]
+
+    if not isinstance(doc["tables"], list):
+        err("'tables' must be an array")
+    else:
+        for i, t in enumerate(doc["tables"]):
+            if not isinstance(t, dict) or not all(
+                    k in t for k in ("title", "columns", "rows")):
+                err(f"tables[{i}] lacks title/columns/rows")
+                continue
+            if not all(isinstance(c, str) for c in t["columns"]):
+                err(f"tables[{i}] columns must be strings")
+            for j, row in enumerate(t["rows"]):
+                if not isinstance(row, list) or not all(
+                        isinstance(c, str) for c in row):
+                    err(f"tables[{i}].rows[{j}] must be an array of strings")
+                    break
+
+    if not isinstance(doc["gates"], dict):
+        err("'gates' must be an object")
+    else:
+        for name, g in doc["gates"].items():
+            if not isinstance(g, dict) or "passed" not in g or "value" not in g:
+                err(f"gates['{name}'] lacks passed/value")
+            elif not isinstance(g["passed"], bool):
+                err(f"gates['{name}'].passed is not a bool")
+
+    return errs
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errs = check(path)
+        if errs:
+            failures += 1
+            for e in errs:
+                print(f"FAIL {e}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

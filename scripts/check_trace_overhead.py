@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Gate the tracing overhead on reported bench throughput.
+
+Usage: check_trace_overhead.py ON.json OFF.json [max_overhead_frac]
+
+Compares the per-label `mops` in two BENCH_*.json artifacts from the same
+bench run with tracing on (SHERMAN_TRACE=1) and off (SHERMAN_TRACE=0).
+Fails if any label's tracing-on throughput is more than `max_overhead_frac`
+(default 0.02) below tracing-off.
+
+Throughput here is simulated Mops: the simulator advances time only
+between events, so tracing cannot slow the simulated clock and identical
+seeded runs must report identical numbers. This gate therefore also
+catches the worse failure mode — tracing perturbing simulation behavior.
+"""
+import json
+import sys
+
+
+def mops(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    return {label: run["mops"] for label, run in doc["percentiles"].items()}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    limit = float(argv[3]) if len(argv) > 3 else 0.02
+    on, off = mops(argv[1]), mops(argv[2])
+    if on.keys() != off.keys():
+        print(f"FAIL label mismatch: on={sorted(on)} off={sorted(off)}",
+              file=sys.stderr)
+        return 1
+    worst = 0.0
+    failed = False
+    for label in sorted(on):
+        if off[label] <= 0:
+            continue
+        overhead = (off[label] - on[label]) / off[label]
+        worst = max(worst, overhead)
+        status = "OK  " if overhead <= limit else "FAIL"
+        if overhead > limit:
+            failed = True
+        print(f"{status} {label}: on={on[label]:.4f} off={off[label]:.4f} "
+              f"Mops, overhead {overhead * 100:.2f}%")
+    print(f"worst overhead {worst * 100:.2f}% (limit {limit * 100:.1f}%)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <cstring>
 
+#include "bench/runner.h"
+#include "obs/bridge.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
 namespace sherman::bench {
 
+namespace {
+BenchTelemetry* g_active = nullptr;
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "telemetry: short write to %s\n", path.c_str());
+  return ok;
+}
+}  // namespace
+
 void Table::Print(FILE* out) const {
+  if (BenchTelemetry::Active() != nullptr) {
+    BenchTelemetry::Active()->RecordTable(title_, columns_, rows_);
+  }
   std::vector<size_t> widths(columns_.size(), 0);
   for (size_t c = 0; c < columns_.size(); c++) {
     widths[c] = columns_[c].size();
@@ -88,6 +113,239 @@ std::string Args::GetString(const std::string& name,
                             const std::string& def) const {
   const std::string* v = FindValue(name);
   return (v == nullptr || v->empty()) ? def : *v;
+}
+
+// --- BenchTelemetry ---------------------------------------------------------
+
+BenchTelemetry::BenchTelemetry(std::string bench_name, const Args& args)
+    : name_(std::move(bench_name)) {
+  enabled_ = !args.Has("no-json");
+  path_ = args.GetString("json-out", "");
+  if (path_.empty()) {
+    std::string dir = args.GetString("json-dir", "");
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    path_ = dir + "BENCH_" + name_ + ".json";
+  }
+  trace_path_ = args.GetString("trace-out", "");
+  if (g_active == nullptr) g_active = this;
+}
+
+BenchTelemetry::~BenchTelemetry() {
+  if (!written_ && recorded_) Write();
+  if (g_active == this) g_active = nullptr;
+}
+
+BenchTelemetry* BenchTelemetry::Active() { return g_active; }
+
+void BenchTelemetry::Config(const std::string& key, const std::string& value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::kString;
+  v.s = value;
+  config_[key] = std::move(v);
+}
+void BenchTelemetry::Config(const std::string& key, const char* value) {
+  Config(key, std::string(value));
+}
+void BenchTelemetry::Config(const std::string& key, uint64_t value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::kUint;
+  v.u = value;
+  config_[key] = v;
+}
+void BenchTelemetry::Config(const std::string& key, int64_t value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::kInt;
+  v.i = value;
+  config_[key] = v;
+}
+void BenchTelemetry::Config(const std::string& key, int value) {
+  Config(key, static_cast<int64_t>(value));
+}
+void BenchTelemetry::Config(const std::string& key, double value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::kDouble;
+  v.d = value;
+  config_[key] = v;
+}
+void BenchTelemetry::Config(const std::string& key, bool value) {
+  ConfigValue v;
+  v.kind = ConfigValue::Kind::kBool;
+  v.b = value;
+  config_[key] = v;
+}
+
+void BenchTelemetry::AddRun(const std::string& label, const RunResult& r) {
+  recorded_ = true;
+  metrics_.Merge(r.metrics);
+  obs::AddToSnapshot(&metrics_, r.stats);
+  RunSummary s;
+  s.mops = r.mops;
+  s.ops = r.stats.ops;
+  s.measured_ns = static_cast<uint64_t>(r.measured_ns);
+  s.p50_us = r.P50Us();
+  s.p90_us = r.P90Us();
+  s.p99_us = r.P99Us();
+  runs_[label] = s;
+  if (!r.series.empty()) {
+    std::vector<std::pair<uint64_t, uint64_t>>& pts = series_[label];
+    pts.clear();
+    for (const SeriesPoint& p : r.series) {
+      pts.emplace_back(static_cast<uint64_t>(p.t_ns), p.ops);
+    }
+  }
+}
+
+void BenchTelemetry::AddSeries(
+    const std::string& label,
+    std::vector<std::pair<uint64_t, uint64_t>> points) {
+  recorded_ = true;
+  series_[label] = std::move(points);
+}
+
+void BenchTelemetry::MergeMetrics(const obs::MetricsSnapshot& s) {
+  recorded_ = true;
+  metrics_.Merge(s);
+}
+
+void BenchTelemetry::Metric(const std::string& name, double value) {
+  recorded_ = true;
+  metrics_.SetGauge(name, value);
+}
+
+void BenchTelemetry::CounterMetric(const std::string& name, uint64_t value) {
+  recorded_ = true;
+  metrics_.AddCounter(name, value);
+}
+
+void BenchTelemetry::Gate(const std::string& name, bool passed, double value) {
+  recorded_ = true;
+  gates_[name] = GateResult{passed, value};
+}
+
+void BenchTelemetry::RecordTable(
+    const std::string& title, const std::vector<std::string>& columns,
+    const std::vector<std::vector<std::string>>& rows) {
+  // A re-Print of the same table replaces the earlier capture.
+  recorded_ = true;
+  for (TableDump& t : tables_) {
+    if (t.title == title) {
+      t.columns = columns;
+      t.rows = rows;
+      return;
+    }
+  }
+  tables_.push_back(TableDump{title, columns, rows});
+}
+
+std::string BenchTelemetry::JsonBody() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("schema_version", static_cast<int64_t>(1));
+  w.Field("bench", name_);
+
+  w.Key("config").BeginObject();
+  for (const auto& [k, v] : config_) {
+    w.Key(k);
+    switch (v.kind) {
+      case ConfigValue::Kind::kString:
+        w.String(v.s);
+        break;
+      case ConfigValue::Kind::kUint:
+        w.Uint(v.u);
+        break;
+      case ConfigValue::Kind::kInt:
+        w.Int(v.i);
+        break;
+      case ConfigValue::Kind::kDouble:
+        w.Double(v.d);
+        break;
+      case ConfigValue::Kind::kBool:
+        w.Bool(v.b);
+        break;
+    }
+  }
+  w.EndObject();
+
+  w.Key("metrics");
+  metrics_.WriteJson(&w);
+
+  w.Key("percentiles").BeginObject();
+  for (const auto& [label, s] : runs_) {
+    w.Key(label).BeginObject();
+    w.Field("mops", s.mops);
+    w.Field("ops", s.ops);
+    w.Field("measured_ns", s.measured_ns);
+    w.Field("p50_us", s.p50_us);
+    w.Field("p90_us", s.p90_us);
+    w.Field("p99_us", s.p99_us);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("series").BeginObject();
+  for (const auto& [label, pts] : series_) {
+    w.Key(label).BeginArray();
+    for (const auto& [t_ns, ops] : pts) {
+      w.BeginObject();
+      w.Field("t_ns", t_ns);
+      w.Field("ops", ops);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+
+  w.Key("tables").BeginArray();
+  for (const TableDump& t : tables_) {
+    w.BeginObject();
+    w.Field("title", t.title);
+    w.Key("columns").BeginArray();
+    for (const std::string& c : t.columns) w.String(c);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : t.rows) {
+      w.BeginArray();
+      for (const std::string& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("gates").BeginObject();
+  for (const auto& [name, g] : gates_) {
+    w.Key(name).BeginObject();
+    w.Field("passed", g.passed);
+    w.Field("value", g.value);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  std::string body = w.Take();
+  body += '\n';
+  return body;
+}
+
+bool BenchTelemetry::Write() {
+  written_ = true;
+  if (!enabled_) return false;
+  bool ok = WriteFile(path_, JsonBody());
+  if (ok) std::fprintf(stderr, "telemetry: wrote %s\n", path_.c_str());
+  if (!trace_path_.empty()) {
+    if (tracer_ == nullptr) {
+      std::fprintf(stderr,
+                   "telemetry: --trace-out ignored (this bench does not "
+                   "export a tracer)\n");
+    } else {
+      ok = WriteFile(trace_path_, tracer_->ChromeTraceJson()) && ok;
+      if (ok) {
+        std::fprintf(stderr, "telemetry: wrote %s\n", trace_path_.c_str());
+      }
+    }
+  }
+  return ok;
 }
 
 }  // namespace sherman::bench

@@ -18,15 +18,34 @@ struct RunContext {
   sim::SimTime measure_end = 0;
   RunStats stats;
   uint64_t live_clients = 0;
+  obs::MetricsSnapshot metrics_before;
+  obs::MetricsSnapshot metrics_after;
+  std::vector<SeriesPoint> series;
 };
+
+[[maybe_unused]] const char* OpSpanName(OpType t) {
+  switch (t) {
+    case OpType::kInsert: return "op.insert";
+    case OpType::kLookup: return "op.lookup";
+    case OpType::kRangeQuery: return "op.range";
+    case OpType::kDelete: return "op.delete";
+  }
+  return "op";
+}
 
 // Works over any client exposing the IndexBackend op signatures
 // (TreeClient, route::HybridClient, ...).
 template <typename Client>
 sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
+                           obs::Tracer* tracer, int cs_id,
                            WorkloadGenerator gen, int pipeline_depth,
                            RunContext* ctx) {
   std::vector<std::pair<Key, uint64_t>> range_buf;
+  // Per-client-coroutine trace context: root spans for each op, threaded
+  // down through OpStats so lower layers parent their spans correctly
+  // even as client coroutines interleave.
+  obs::TraceCtx trace =
+      obs::TraceCtx::For(tracer, obs::RingId::Client(cs_id));
 
   while (!ctx->stop) {
     if (pipeline_depth > 1) {
@@ -56,8 +75,10 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
       }
       if (!get_keys.empty()) {
         OpStats batch_stats;
+        batch_stats.trace = &trace;
         std::vector<MultiGetResult> res;
         const sim::SimTime start = sim->now();
+        SHERMAN_TSPAN(&trace, "op.multiget", get_keys.size());
         Status st = co_await client->MultiGet(get_keys, &res, &batch_stats);
         SHERMAN_CHECK_MSG(st.ok(), "multi-get failed: %s",
                           st.ToString().c_str());
@@ -71,8 +92,10 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
       }
       if (!ins_kvs.empty()) {
         OpStats batch_stats;
+        batch_stats.trace = &trace;
         const size_t ins_n = ins_kvs.size();
         const sim::SimTime start = sim->now();
+        SHERMAN_TSPAN(&trace, "op.multiinsert", ins_n);
         Status st = co_await client->MultiInsert(std::move(ins_kvs),
                                                  &batch_stats);
         SHERMAN_CHECK_MSG(st.ok(), "multi-insert failed: %s",
@@ -87,9 +110,11 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
       }
       if (!del_keys.empty()) {
         OpStats batch_stats;
+        batch_stats.trace = &trace;
         const size_t del_n = del_keys.size();
         std::vector<Status> res;
         const sim::SimTime start = sim->now();
+        SHERMAN_TSPAN(&trace, "op.multidelete", del_n);
         Status st = co_await client->MultiDelete(std::move(del_keys), &res,
                                                  &batch_stats);
         SHERMAN_CHECK_MSG(st.ok(), "multi-delete failed: %s",
@@ -104,7 +129,9 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
       }
       for (const Op& op : rest) {
         OpStats op_stats;
+        op_stats.trace = &trace;
         const sim::SimTime start = sim->now();
+        SHERMAN_TSPAN(&trace, "op.range", op.key, op.range_size);
         Status st = co_await client->RangeQuery(op.key, op.range_size,
                                                 &range_buf, &op_stats);
         SHERMAN_CHECK_MSG(st.ok(), "range failed: %s", st.ToString().c_str());
@@ -118,9 +145,11 @@ sim::Task<void> ClientLoop(Client* client, sim::Simulator* sim,
 
     const Op op = gen.Next();
     OpStats op_stats;
+    op_stats.trace = &trace;
     const sim::SimTime start = sim->now();
     bool is_write = false;
     bool is_read = false;
+    SHERMAN_TSPAN(&trace, OpSpanName(op.type), op.key);
     switch (op.type) {
       case OpType::kInsert: {
         is_write = true;
@@ -184,22 +213,35 @@ RunResult RunWorkloadImpl(ShermanSystem* sherman, GetClient get_client,
     for (int t = 0; t < options.threads_per_cs; t++) {
       const uint64_t seed = ClientSeed(options.seed, cs, t);
       ctx->live_clients++;
-      sim::Spawn(ClientLoop(get_client(cs), &sim,
+      sim::Spawn(ClientLoop(get_client(cs), &sim, &sherman->tracer(), cs,
                             WorkloadGenerator(options.workload, seed),
                             options.pipeline_depth, ctx.get()));
     }
   }
 
   const sim::SimTime t0 = sim.now();
-  sim.At(t0 + options.warmup_ns, [&ctx, &sim, &at_measure_start] {
+  sim.At(t0 + options.warmup_ns, [&ctx, &sim, &at_measure_start, sherman] {
     ctx->measuring = true;
     ctx->measure_start = sim.now();
+    ctx->metrics_before = sherman->registry().Snapshot();
     if (at_measure_start) at_measure_start();
   });
+  // Intra-window throughput series: cumulative measured ops at evenly
+  // spaced sample times.
+  for (int i = 1; i <= options.series_points; i++) {
+    const sim::SimTime at =
+        t0 + options.warmup_ns +
+        options.measure_ns * static_cast<sim::SimTime>(i) /
+            static_cast<sim::SimTime>(options.series_points);
+    sim.At(at, [c = ctx.get(), &sim] {
+      c->series.push_back({sim.now() - c->measure_start, c->stats.ops});
+    });
+  }
   sim.At(t0 + options.warmup_ns + options.measure_ns,
-         [&ctx, &sim, &at_measure_end] {
+         [&ctx, &sim, &at_measure_end, sherman] {
            ctx->measuring = false;
            ctx->measure_end = sim.now();
+           ctx->metrics_after = sherman->registry().Snapshot();
            ctx->stop = true;
            if (at_measure_end) at_measure_end();
          });
@@ -209,6 +251,8 @@ RunResult RunWorkloadImpl(ShermanSystem* sherman, GetClient get_client,
 
   RunResult result;
   result.measured_ns = ctx->measure_end - ctx->measure_start;
+  result.metrics = ctx->metrics_after.Since(ctx->metrics_before);
+  result.series = std::move(ctx->series);
   result.stats = std::move(ctx->stats);
   result.mops = result.measured_ns == 0
                     ? 0

@@ -32,6 +32,15 @@ struct RunnerOptions {
   // doorbell-pipelined. Per-op latency is recorded as the wave elapsed
   // time — what a caller of the batch API actually observes.
   int pipeline_depth = 1;
+  // Number of equally spaced samples of cumulative measured ops taken
+  // across the measurement window (RunResult::series). 0 disables.
+  int series_points = 24;
+};
+
+// One point of the intra-window throughput time series.
+struct SeriesPoint {
+  sim::SimTime t_ns = 0;   // offset from measurement start
+  uint64_t ops = 0;        // cumulative measured ops at t_ns
 };
 
 struct RunResult {
@@ -42,6 +51,11 @@ struct RunResult {
   uint64_t handovers = 0;         // HOCL lock handovers
   uint64_t lock_cas_failures = 0; // failed global CAS attempts
   RouteStats route;               // hybrid runs only: path split + epochs
+  // Registry delta over the measurement window: every component counter
+  // (rdma.*, nic.*, lock.*, cache.*, ...) scoped to the measured ops.
+  obs::MetricsSnapshot metrics;
+  // Intra-window cumulative-ops samples (RunnerOptions::series_points).
+  std::vector<SeriesPoint> series;
 
   double P50Us() const { return stats.latency_ns.P50() / 1000.0; }
   double P90Us() const { return stats.latency_ns.P90() / 1000.0; }

@@ -77,9 +77,11 @@ const ParsedInternal* IndexCache::LookupUpper(Key key) {
     UpperEntry& e = it->second;
     if (key >= e.node.lo && key < e.node.hi) {
       e.last_used = ++tick_;
+      stats_.upper_hits++;
       return &e.node;
     }
   }
+  stats_.upper_misses++;
   return nullptr;
 }
 

@@ -33,10 +33,13 @@
 namespace sherman {
 
 struct IndexCacheStats {
-  uint64_t hits = 0;
+  uint64_t hits = 0;    // type-① (level-1) lookups
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t invalidations = 0;
+  uint64_t upper_hits = 0;   // type-② (level >= 2) lookups, counted
+  uint64_t upper_misses = 0; // separately: they shorten a descent rather
+                             // than replace it
 
   double HitRatio() const {
     const uint64_t total = hits + misses;

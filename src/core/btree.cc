@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <string>
 
 #include "fault/crash_point.h"
 #include "lock/lock_table.h"
+#include "obs/bridge.h"
 #include "recover/recoverer.h"
 #include "util/logging.h"
 
@@ -81,6 +83,8 @@ rdma::Qp& TreeClient::QpFor(rdma::GlobalAddress addr) {
 
 sim::Task<Status> TreeClient::ReadRaw(rdma::GlobalAddress addr, uint8_t* buf,
                                       uint32_t len, OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "rdma.read", len,
+                 addr.node);
   rdma::RdmaResult r =
       co_await QpFor(addr).Post(rdma::WorkRequest::Read(addr, buf, len));
   if (stats != nullptr) stats->round_trips++;
@@ -136,6 +140,8 @@ sim::Task<Status> TreeClient::ReadNodeChecked(rdma::GlobalAddress addr,
     const sim::SimTime duration = sim.now() - start;
     if (!NodeConsistent(buf)) {
       if (stats != nullptr) stats->read_retries++;
+      SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr,
+                       "tree.read_retry");
       continue;
     }
     // 4-bit wraparound guard (§4.4): a read long enough to span a full
@@ -156,6 +162,7 @@ sim::Task<Status> TreeClient::ReadNodeChecked(rdma::GlobalAddress addr,
 }
 
 sim::Task<Status> TreeClient::LoadRoot(OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.load_root");
   uint8_t ptr_buf[8];
   Status st = co_await ReadRaw(rdma::GlobalAddress(0, kRootPointerOffset),
                                ptr_buf, sizeof(ptr_buf), stats);
@@ -291,10 +298,13 @@ sim::Task<StatusOr<TreeClient::LeafRef>> TreeClient::FindLeafAddr(
     const ParsedInternal* p = cache_.LookupLevel1(key);
     if (p != nullptr) {
       if (stats != nullptr) stats->cache_hits++;
+      SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr, "cache.hit");
       co_return LeafRef{p->ChildFor(key), true};
     }
     if (stats != nullptr) stats->cache_misses++;
+    SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr, "cache.miss");
   }
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.descend");
   StatusOr<rdma::GlobalAddress> r = co_await FindNodeAddr(key, 0, stats);
   if (!r.ok()) co_return r.status();
   co_return LeafRef{*r, false};
@@ -304,6 +314,8 @@ sim::Task<StatusOr<TreeClient::Locked>> TreeClient::LockAndRead(
     rdma::GlobalAddress addr, Key key, uint8_t* buf, OpStats* stats,
     uint8_t level) {
   const TreeOptions& o = opt();
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.lock_read",
+                 level);
   for (int chase = 0; chase < kMaxSiblingChase; chase++) {
     LockGuard guard = co_await hocl_.Lock(addr, stats);
     Status st = co_await ReadRaw(addr, buf, node_size(), stats);
@@ -455,6 +467,7 @@ void TreeClient::RecordMergeAbort(rdma::GlobalAddress addr) {
 // entry write-back (the delete itself has already been staged locally).
 sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
                                                uint8_t* buf, OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.merge_leaf");
   const TreeOptions& o = opt();
   NodeView view(buf, &o.shape);
   const Key lo = view.lo_fence();
@@ -703,6 +716,7 @@ sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
                                                  std::vector<uint8_t> buf,
                                                  Key key, uint64_t value,
                                                  OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.split_leaf");
   const TreeOptions& o = opt();
   const rdma::FabricConfig& f = system_->fabric_.config();
   NodeView view(buf.data(), &o.shape);
@@ -974,6 +988,8 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
 
 sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
                                           uint8_t level, OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.new_root",
+                 level);
   const TreeOptions& o = opt();
   const rdma::GlobalAddress old_root = root_addr_;
 
@@ -1324,6 +1340,8 @@ sim::Task<Status> TreeClient::MultiDelete(std::vector<Key> keys,
   std::vector<LeafRef> refs(uniq.size());
   std::vector<Status> plan_st(uniq.size(), Status::OK());
   {
+    SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "batch.plan",
+                  uniq.size());
     sim::CountdownLatch latch(uniq.size());
     for (size_t j = 0; j < uniq.size(); j++) {
       sim::Spawn(PlanLeafInto(uniq[j], &refs[j], &plan_st[j], stats, &latch));
@@ -1346,6 +1364,8 @@ sim::Task<Status> TreeClient::MultiDelete(std::vector<Key> keys,
     }
   }
   if (!groups.empty()) {
+    SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "batch.apply",
+                  groups.size());
     sim::CountdownLatch latch(groups.size());
     for (auto& [addr_u64, idxs] : groups) {
       sim::Spawn(ApplyDeleteGroup(rdma::GlobalAddress::FromU64(addr_u64),
@@ -1550,6 +1570,8 @@ sim::Task<void> TreeClient::PostReadsInto(uint16_t ms_node,
                                           std::vector<rdma::WorkRequest> wrs,
                                           OpStats* stats,
                                           sim::CountdownLatch* latch) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "rdma.read_batch",
+                 wrs.size(), ms_node);
   rdma::RdmaResult r = co_await system_->fabric_.qp(cs_id_, ms_node)
                            .PostReadBatch(std::move(wrs));
   SHERMAN_CHECK(r.status.ok());
@@ -1584,6 +1606,8 @@ sim::Task<Status> TreeClient::MultiGet(std::vector<Key> keys,
   std::vector<LeafRef> refs(uniq.size());
   std::vector<Status> plan_st(uniq.size(), Status::OK());
   {
+    SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "batch.plan",
+                  uniq.size());
     sim::CountdownLatch latch(uniq.size());
     for (size_t j = 0; j < uniq.size(); j++) {
       sim::Spawn(PlanLeafInto(uniq[j], &refs[j], &plan_st[j], stats, &latch));
@@ -1621,6 +1645,8 @@ sim::Task<Status> TreeClient::MultiGet(std::vector<Key> keys,
   }
   const sim::SimTime fetch_start = sim.now();
   if (!rings.empty()) {
+    SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "multiget.fetch",
+                  rings.size());
     sim::CountdownLatch latch(rings.size());
     for (auto& [ms, wrs] : rings) {
       sim::Spawn(PostReadsInto(ms, std::move(wrs), stats, &latch));
@@ -1684,6 +1710,8 @@ sim::Task<Status> TreeClient::MultiGet(std::vector<Key> keys,
 
   // Phase 4 — re-serve the stragglers op-at-a-time (handles splits,
   // sibling chases, and version churn with the full retry machinery).
+  SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr,
+                "multiget.fallback", retry.size());
   Status overall = Status::OK();
   for (size_t i : retry) {
     uint64_t value = 0;
@@ -1781,6 +1809,8 @@ sim::Task<Status> TreeClient::MultiInsert(
   std::vector<LeafRef> refs(uniq.size());
   std::vector<Status> plan_st(uniq.size(), Status::OK());
   {
+    SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "batch.plan",
+                  uniq.size());
     sim::CountdownLatch latch(uniq.size());
     for (size_t j = 0; j < uniq.size(); j++) {
       sim::Spawn(PlanLeafInto(uniq[j], &refs[j], &plan_st[j], stats, &latch));
@@ -1802,6 +1832,8 @@ sim::Task<Status> TreeClient::MultiInsert(
     }
   }
   if (!groups.empty()) {
+    SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "batch.apply",
+                  groups.size());
     sim::CountdownLatch latch(groups.size());
     for (auto& [addr_u64, idxs] : groups) {
       sim::Spawn(ApplyInsertGroup(rdma::GlobalAddress::FromU64(addr_u64),
@@ -1829,12 +1861,139 @@ ShermanSystem::ShermanSystem(rdma::FabricConfig fabric_config,
                              TreeOptions tree_options)
     : options_(tree_options), fabric_(fabric_config) {
   options_.Validate();
+  tracer_ = std::make_unique<obs::Tracer>(&fabric_.simulator());
+  obs::RegisterFatalDumpTracer(tracer_.get());
+  // Flight-record every injected client death (SHERMAN_CRASH_AT kills and
+  // explicit KillClient): the victim's last spans show what it was doing
+  // when it died. Owner-scoped so a newer system's registration wins.
+  fault::Injector().SetDeathObserver(this, [this](int cs) {
+    tracer_->DumpToStderr(
+        "client cs" + std::to_string(cs) + " declared dead (crash injection)",
+        {obs::RingId::Client(cs)});
+  });
   for (int i = 0; i < fabric_.num_memory_servers(); i++) {
     chunks_.push_back(std::make_unique<ChunkManager>(&fabric_.ms(i), &reclaim_));
   }
   for (int i = 0; i < fabric_.num_compute_servers(); i++) {
     clients_.push_back(std::make_unique<TreeClient>(this, i));
   }
+  RegisterCollectors();
+}
+
+ShermanSystem::~ShermanSystem() {
+  fault::Injector().ClearDeathObserver(this);
+}
+
+// One collector per component family. Collectors iterate the LIVE fabric
+// at snapshot time, so servers added later (AddMemoryServer) are included
+// automatically.
+void ShermanSystem::RegisterCollectors() {
+  // rdma.*: every CS->MS QP, summed.
+  registry_.AddCollector([this](obs::MetricsSnapshot* s) {
+    rdma::QpCounters total;
+    for (int c = 0; c < fabric_.num_compute_servers(); c++) {
+      for (int m = 0; m < fabric_.num_memory_servers(); m++) {
+        const rdma::QpCounters& qc = fabric_.qp(c, m).counters();
+        total.batches += qc.batches;
+        total.wrs += qc.wrs;
+        total.reads += qc.reads;
+        total.writes += qc.writes;
+        total.atomics += qc.atomics;
+        total.read_bytes += qc.read_bytes;
+        total.write_bytes += qc.write_bytes;
+        total.rpcs += qc.rpcs;
+      }
+    }
+    s->AddCounter("rdma.batches", total.batches);
+    s->AddCounter("rdma.wrs", total.wrs);
+    s->AddCounter("rdma.reads", total.reads);
+    s->AddCounter("rdma.writes", total.writes);
+    s->AddCounter("rdma.atomics", total.atomics);
+    s->AddCounter("rdma.read_bytes", total.read_bytes);
+    s->AddCounter("rdma.write_bytes", total.write_bytes);
+    s->AddCounter("rdma.rpcs", total.rpcs);
+  });
+
+  // nic.{ms,cs}.*: engine throughput and queueing (token-bucket waits).
+  registry_.AddCollector([this](obs::MetricsSnapshot* s) {
+    auto add = [s](const char* side, const rdma::NicCounters& c) {
+      const std::string p = std::string("nic.") + side + ".";
+      s->AddCounter(p + "tx_msgs", c.tx_msgs);
+      s->AddCounter(p + "rx_msgs", c.rx_msgs);
+      s->AddCounter(p + "tx_bytes", c.tx_bytes);
+      s->AddCounter(p + "rx_bytes", c.rx_bytes);
+      s->AddCounter(p + "atomics", c.atomics);
+      s->AddCounter(p + "atomic_stall_ns", c.atomic_stall_ns);
+      s->AddCounter(p + "tx_stall_ns", c.tx_stall_ns);
+      s->AddCounter(p + "rx_stall_ns", c.rx_stall_ns);
+    };
+    rdma::NicCounters ms_total;
+    for (int m = 0; m < fabric_.num_memory_servers(); m++) {
+      const rdma::NicCounters& c = fabric_.ms(m).nic().counters();
+      ms_total.tx_msgs += c.tx_msgs;
+      ms_total.rx_msgs += c.rx_msgs;
+      ms_total.tx_bytes += c.tx_bytes;
+      ms_total.rx_bytes += c.rx_bytes;
+      ms_total.atomics += c.atomics;
+      ms_total.atomic_stall_ns += c.atomic_stall_ns;
+      ms_total.tx_stall_ns += c.tx_stall_ns;
+      ms_total.rx_stall_ns += c.rx_stall_ns;
+    }
+    add("ms", ms_total);
+    rdma::NicCounters cs_total;
+    for (int c = 0; c < fabric_.num_compute_servers(); c++) {
+      const rdma::NicCounters& n = fabric_.cs(c).nic().counters();
+      cs_total.tx_msgs += n.tx_msgs;
+      cs_total.rx_msgs += n.rx_msgs;
+      cs_total.tx_bytes += n.tx_bytes;
+      cs_total.rx_bytes += n.rx_bytes;
+      cs_total.atomics += n.atomics;
+      cs_total.atomic_stall_ns += n.atomic_stall_ns;
+      cs_total.tx_stall_ns += n.tx_stall_ns;
+      cs_total.rx_stall_ns += n.rx_stall_ns;
+    }
+    add("cs", cs_total);
+  });
+
+  // lock.* / cache.* / reclaim (client side) / recover.*: summed over CSs.
+  registry_.AddCollector([this](obs::MetricsSnapshot* s) {
+    ReclaimStats reclaim_total;
+    recover::RecoverStats recover_total;
+    for (const auto& client : clients_) {
+      const HoclClient& h = client->hocl();
+      s->AddCounter("lock.handovers", h.handovers());
+      s->AddCounter("lock.cas_attempts", h.global_cas_attempts());
+      s->AddCounter("lock.cas_failures", h.global_cas_failures());
+      s->AddCounter("lock.lease_steals", h.lease_steals());
+      const IndexCacheStats& cs = client->cache().stats();
+      s->AddCounter("cache.l1_hits", cs.hits);
+      s->AddCounter("cache.l1_misses", cs.misses);
+      s->AddCounter("cache.upper_hits", cs.upper_hits);
+      s->AddCounter("cache.upper_misses", cs.upper_misses);
+      s->AddCounter("cache.evictions", cs.evictions);
+      s->AddCounter("cache.invalidations", cs.invalidations);
+      s->gauges["cache.bytes_used"] += static_cast<double>(client->cache().bytes_used());
+      reclaim_total.Merge(client->reclaim_stats());
+      recover_total.Merge(client->recoverer().stats());
+    }
+    obs::AddToSnapshot(s, reclaim_total);
+    obs::AddToSnapshot(s, recover_total);
+  });
+
+  // alloc.* + grace-list state: summed over chunk managers; epoch gauges.
+  registry_.AddCollector([this](obs::MetricsSnapshot* s) {
+    uint64_t grace = 0;
+    for (const auto& cm : chunks_) {
+      s->AddCounter("alloc.nodes_freed", cm->nodes_freed());
+      s->AddCounter("alloc.nodes_recycled", cm->nodes_recycled());
+      s->AddCounter("alloc.duplicate_frees", cm->duplicate_frees());
+      grace += cm->grace_pending();
+    }
+    s->SetGauge("alloc.allocated_bytes", static_cast<double>(TotalAllocatedBytes()));
+    s->SetGauge("reclaim.grace_pending", static_cast<double>(grace));
+    s->SetGauge("reclaim.epoch", static_cast<double>(reclaim_.current()));
+    s->SetGauge("reclaim.pinned_ops", static_cast<double>(reclaim_.pinned_ops()));
+  });
 }
 
 rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {

@@ -38,6 +38,8 @@
 #include "core/node_layout.h"
 #include "core/stats.h"
 #include "lock/hocl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdma/fabric.h"
 #include "recover/intent.h"
 #include "sim/sync.h"
@@ -372,6 +374,7 @@ class TreeClient {
 class ShermanSystem {
  public:
   ShermanSystem(rdma::FabricConfig fabric_config, TreeOptions tree_options);
+  ~ShermanSystem();
 
   ShermanSystem(const ShermanSystem&) = delete;
   ShermanSystem& operator=(const ShermanSystem&) = delete;
@@ -379,6 +382,17 @@ class ShermanSystem {
   rdma::Fabric& fabric() { return fabric_; }
   sim::Simulator& simulator() { return fabric_.simulator(); }
   const TreeOptions& options() const { return options_; }
+
+  // Unified metrics registry (obs/metrics.h). The constructor registers
+  // read-side collectors for every component (QPs, NICs, HOCL, index
+  // caches, chunk managers, reclamation epoch, recoverers), so
+  // registry().Snapshot() is one consistent view of the whole deployment.
+  obs::Registry& registry() { return registry_; }
+
+  // Per-op tracer (obs/trace.h). Always constructed; whether spans are
+  // recorded follows TraceOptions/SHERMAN_TRACE, and whether call sites
+  // exist at all follows the SHERMAN_TRACING build option.
+  obs::Tracer& tracer() { return *tracer_; }
 
   TreeClient& client(int cs_id) { return *clients_[cs_id]; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
@@ -427,9 +441,12 @@ class ShermanSystem {
   friend class TreeClient;
 
   rdma::GlobalAddress AllocBulk(uint32_t size);
+  void RegisterCollectors();
 
   TreeOptions options_;
   rdma::Fabric fabric_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
   ReclaimEpoch reclaim_;  // before chunks_: managers hold a pointer to it
   std::vector<std::unique_ptr<ChunkManager>> chunks_;
   std::vector<std::unique_ptr<TreeClient>> clients_;

@@ -1,5 +1,6 @@
 #include "core/hybrid_system.h"
 
+#include "obs/bridge.h"
 #include "util/logging.h"
 
 namespace sherman {
@@ -21,6 +22,15 @@ HybridSystem::HybridSystem(rdma::FabricConfig fabric_config,
     clients_.push_back(std::make_unique<route::HybridClient>(
         &sherman_, &rpc_service_, router_.get(), &tracker_, cs));
   }
+
+  // route.* / rpc.*: the hybrid subsystem's counters join the underlying
+  // ShermanSystem registry so one Snapshot() covers both layers.
+  sherman_.registry().AddCollector([this](obs::MetricsSnapshot* s) {
+    obs::AddToSnapshot(s, router_->stats());
+    s->AddCounter("rpc.served", rpc_service_.served());
+    s->AddCounter("rpc.declined", rpc_service_.declined());
+    s->AddCounter("rpc.leaf_merges", rpc_service_.leaf_merges());
+  });
 }
 
 void HybridSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,

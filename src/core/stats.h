@@ -10,6 +10,10 @@
 
 namespace sherman {
 
+namespace obs {
+struct TraceCtx;
+}  // namespace obs
+
 // Per-key outcome of a batched MultiGet: OK (value filled), NotFound, or —
 // transiently, inside the batch machinery — Retry for keys that must be
 // re-served elsewhere (stale plan, torn leaf, MS-side decline). Public APIs
@@ -30,7 +34,17 @@ struct OpStats {
   uint32_t cache_hits = 0;
   uint32_t cache_misses = 0;
 
-  void Reset() { *this = OpStats(); }
+  // Trace context of the operation this OpStats belongs to (obs/trace.h),
+  // or null when the op is untraced. This is how span causality survives
+  // coroutine interleaving: the context rides with the op through every
+  // layer instead of living in per-CS state.
+  obs::TraceCtx* trace = nullptr;
+
+  void Reset() {
+    obs::TraceCtx* t = trace;
+    *this = OpStats();
+    trace = t;  // the trace ctx outlives individual op resets
+  }
 };
 
 // Aggregated over a measurement window by the bench runner.
@@ -96,6 +110,24 @@ struct MigrationStats {
   uint64_t source_nodes_freed = 0;  // tombstoned sources retired for reuse
   uint64_t flips = 0;            // shard-map version bumps issued
   uint64_t busy_ns = 0;          // simulated time spent inside migration
+
+  // Cross-migrator aggregation (bench_elastic runs one Migrator today, but
+  // per-plan stats still need summing — previously hand-rolled per field,
+  // which silently dropped newly added counters).
+  void Merge(const MigrationStats& other) {
+    shards_migrated += other.shards_migrated;
+    ranges_migrated += other.ranges_migrated;
+    leaves_moved += other.leaves_moved;
+    internals_moved += other.internals_moved;
+    passes += other.passes;
+    bytes_copied += other.bytes_copied;
+    chunk_rpcs += other.chunk_rpcs;
+    sibling_fixes += other.sibling_fixes;
+    residual_leaves += other.residual_leaves;
+    source_nodes_freed += other.source_nodes_freed;
+    flips += other.flips;
+    busy_ns += other.busy_ns;
+  }
 };
 
 // Counters produced by the adaptive hybrid router (route/router.h): how
@@ -123,6 +155,17 @@ struct RouteStats {
     return ops_rpc == 0 ? 0.0
                         : static_cast<double>(lat_rpc_ns) /
                               static_cast<double>(ops_rpc) / 1000.0;
+  }
+
+  // Cross-client aggregation of per-window routing deltas.
+  void Merge(const RouteStats& other) {
+    ops_one_sided += other.ops_one_sided;
+    ops_rpc += other.ops_rpc;
+    rpc_fallbacks += other.rpc_fallbacks;
+    epochs += other.epochs;
+    shard_flips += other.shard_flips;
+    lat_one_sided_ns += other.lat_one_sided_ns;
+    lat_rpc_ns += other.lat_rpc_ns;
   }
 
   RouteStats Since(const RouteStats& baseline) const {

@@ -101,9 +101,11 @@ bool CrashInjector::ShouldFire(int site, int cs) {
 void CrashInjector::MarkDead(int cs) {
   if (cs < 0) return;
   if (static_cast<size_t>(cs) >= dead_.size()) dead_.resize(cs + 1, false);
-  if (!dead_[cs]) deaths_++;
+  const bool fresh = !dead_[cs];
+  if (fresh) deaths_++;
   dead_[cs] = true;
   any_dead_ = true;
+  if (fresh && death_observer_) death_observer_(cs);
 }
 
 }  // namespace sherman::fault

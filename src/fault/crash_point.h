@@ -32,6 +32,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,8 +68,24 @@ class CrashInjector {
 
   // Clears armed state, hit counters, and the dead set for the next test
   // case. Frozen frames from previous cases stay in the graveyard (see
-  // file comment).
+  // file comment). The death observer survives Reset (it is owner-scoped).
   void Reset();
+
+  // Observer fired whenever a client is declared dead (armed crash site or
+  // explicit KillClient) — the tracing layer registers a flight-recorder
+  // dump here. Owner-token guarded: Clear only removes the observer if
+  // `owner` still owns it, so a destroyed system never leaves a dangling
+  // callback and a newer system's registration wins.
+  void SetDeathObserver(void* owner, std::function<void(int cs)> fn) {
+    observer_owner_ = owner;
+    death_observer_ = std::move(fn);
+  }
+  void ClearDeathObserver(void* owner) {
+    if (observer_owner_ == owner) {
+      observer_owner_ = nullptr;
+      death_observer_ = nullptr;
+    }
+  }
 
   bool armed() const { return armed_; }
   bool fired() const { return fired_; }
@@ -135,6 +152,8 @@ class CrashInjector {
   int victim_cs_ = -1;
   int deaths_ = 0;
   std::vector<bool> dead_;
+  void* observer_owner_ = nullptr;
+  std::function<void(int cs)> death_observer_;
   // Frozen frames, kept reachable for the process lifetime (never resumed
   // or destroyed; see file comment).
   std::vector<std::coroutine_handle<>> graveyard_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sherman {
@@ -101,6 +102,8 @@ void HoclClient::ReleaseLocal(LocalLockTable::LocalLock& local) {
 
 sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
                                       OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "lock.acquire",
+                 node_addr.node);
   LockGuard guard;
   guard.ref = LockFor(node_addr, options_.onchip);
 
@@ -113,6 +116,8 @@ sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
       co_await AcquireGlobal(guard.ref, stats, &dead_tag);
       if (dead_tag == 0) co_return guard;
       lease_steals_++;
+      SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr,
+                       "lock.lease_steal", dead_tag);
       co_await recovery_hook_(dead_tag);
     }
   }
@@ -130,6 +135,8 @@ sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
           guard.via_handover = true;
           handovers_++;
           if (stats != nullptr) stats->used_handover = true;
+          SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr,
+                           "lock.handover");
           co_return guard;  // global lock inherited: no remote access needed
         }
       } else {
@@ -152,6 +159,8 @@ sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
     // re-runs (another local thread may legitimately have won meanwhile).
     ReleaseLocal(local);
     lease_steals_++;
+    SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr,
+                     "lock.lease_steal", dead_tag);
     co_await recovery_hook_(dead_tag);
   }
 }
@@ -159,6 +168,8 @@ sim::Task<LockGuard> HoclClient::Lock(rdma::GlobalAddress node_addr,
 sim::Task<Status> HoclClient::TryLock(rdma::GlobalAddress node_addr,
                                       uint32_t max_attempts, LockGuard* guard,
                                       OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "lock.try",
+                 node_addr.node, max_attempts);
   LockGuard g;
   g.ref = LockFor(node_addr, options_.onchip);
 
@@ -237,6 +248,7 @@ sim::Task<void> HoclClient::RenewLease(const LockGuard& guard, OpStats* stats) {
     if (local.lane_stamp == LockLaneStamp(lane)) co_return;
     local.lane_stamp = LockLaneStamp(lane);
   }
+  SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr, "lock.renew");
   rdma::RdmaResult r = co_await fabric_->qp(cs_id_, ref.ms)
                            .Post(rdma::WorkRequest::Write(
                                ref.lane_address(), &lane, sizeof(lane),
@@ -248,6 +260,8 @@ sim::Task<void> HoclClient::RenewLease(const LockGuard& guard, OpStats* stats) {
 sim::Task<void> HoclClient::Unlock(LockGuard guard,
                                    std::vector<rdma::WorkRequest> write_backs,
                                    bool combine, OpStats* stats) {
+  SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "lock.release",
+                 write_backs.size());
   const GlobalLockRef& ref = guard.ref;
   rdma::Qp& qp = fabric_->qp(cs_id_, ref.ms);
 

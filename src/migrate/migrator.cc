@@ -6,6 +6,7 @@
 #include "alloc/layout.h"
 #include "fault/crash_point.h"
 #include "lock/lock_table.h"
+#include "obs/trace.h"
 #include "recover/intent.h"
 #include "util/logging.h"
 
@@ -33,6 +34,7 @@ Migrator::Migrator(ShermanSystem* system, MigratorOptions options,
   SHERMAN_CHECK(options_.cs_id >= 0 &&
                 options_.cs_id < system_->num_clients());
   SHERMAN_CHECK(options_.max_passes > 0 && options_.max_retries > 0);
+  trace_ = obs::TraceCtx::For(&system_->tracer(), obs::RingId::Migrator());
 }
 
 bool Migrator::SameLane(rdma::GlobalAddress a, rdma::GlobalAddress b) const {
@@ -235,6 +237,8 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
                                            rdma::GlobalAddress sibling_hint,
                                            rdma::GlobalAddress* naddr_out,
                                            OpStats* stats) {
+  SHERMAN_TSPAN(stats != nullptr ? stats->trace : nullptr, "migrate.move_node",
+                level, target);
   TreeClient& t = tc();
   const TreeOptions& o = system_->options();
   const bool combine = o.combine_commands;
@@ -363,6 +367,7 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
 
 sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
                                      uint64_t* moved) {
+  SHERMAN_TSPAN(&trace_, "migrate.leaf_pass", lo, hi);
   TreeClient& t = tc();
   const TreeOptions& o = system_->options();
   const bool combine = o.combine_commands;
@@ -380,6 +385,7 @@ sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
     // recycling for the full migration.
     EpochPin pin(&system_->reclaim_epoch(), options_.cs_id);
     OpStats stats;
+    stats.trace = &trace_;
     StatusOr<TreeClient::LeafRef> ref = co_await t.FindLeafAddr(cursor, &stats);
     if (!ref.ok()) {
       if (ref.status().IsRetry()) continue;
@@ -442,6 +448,7 @@ sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
 sim::Task<Status> Migrator::InternalPass(Key lo, Key hi, uint16_t target) {
   // With height 2 the only level-1 node is the root, which never moves.
   if (system_->DebugHeight() < 3) co_return Status::OK();
+  SHERMAN_TSPAN(&trace_, "migrate.internal_pass", lo, hi);
   TreeClient& t = tc();
   const TreeOptions& o = system_->options();
   const bool combine = o.combine_commands;
@@ -456,6 +463,7 @@ sim::Task<Status> Migrator::InternalPass(Key lo, Key hi, uint16_t target) {
     }
     EpochPin pin(&system_->reclaim_epoch(), options_.cs_id);
     OpStats stats;
+    stats.trace = &trace_;
     StatusOr<rdma::GlobalAddress> r = co_await t.FindNodeAddr(cursor, 1, &stats);
     if (!r.ok()) {
       if (r.status().IsRetry()) continue;
@@ -540,6 +548,7 @@ sim::Task<Status> Migrator::MigrateRange(Key lo, Key hi, uint16_t target_ms) {
     co_return Status::InvalidArgument(
         "tree too shallow to migrate (root is a leaf)");
   }
+  SHERMAN_TSPAN(&trace_, "migrate.range", lo, hi);
   const sim::SimTime t0 = system_->simulator().now();
 
   // Bounded copy passes: splits racing ahead of the walk can drop fresh
@@ -575,6 +584,7 @@ sim::Task<Status> Migrator::MigrateShard(int shard, uint16_t target_ms) {
   Status st = co_await MigrateRange(lo, hi, target_ms);
   if (!st.ok()) co_return st;
   map_->Flip(shard, target_ms);
+  SHERMAN_TINSTANT(&trace_, "migrate.flip", shard);
   stats_.flips++;
   stats_.shards_migrated++;
   co_return Status::OK();

@@ -170,6 +170,9 @@ class Migrator {
   uint64_t chunk_used_ = 0;
 
   MigrationStats stats_;
+  // Trace context on the shared migrator ring. A Migrator runs one
+  // migration coroutine chain at a time, so mutating scopes are safe.
+  obs::TraceCtx trace_;
 };
 
 }  // namespace sherman::migrate

@@ -1,0 +1,71 @@
+#include "obs/bridge.h"
+
+#include "recover/recoverer.h"
+
+namespace sherman::obs {
+
+void AddToSnapshot(MetricsSnapshot* s, const OpStats& op) {
+  s->AddCounter("op.round_trips", op.round_trips);
+  s->AddCounter("op.read_retries", op.read_retries);
+  s->AddCounter("op.lock_retries", op.lock_retries);
+  s->AddCounter("op.bytes_written", op.bytes_written);
+  s->AddCounter("op.handovers", op.used_handover ? 1 : 0);
+  s->AddCounter("op.cache_hits", op.cache_hits);
+  s->AddCounter("op.cache_misses", op.cache_misses);
+}
+
+void AddToSnapshot(MetricsSnapshot* s, const RunStats& run) {
+  s->AddCounter("run.ops", run.ops);
+  s->AddCounter("run.lock_retries", run.lock_retries);
+  s->AddCounter("run.handovers", run.handovers);
+  s->AddCounter("run.cache_hits", run.cache_hits);
+  s->AddCounter("run.cache_misses", run.cache_misses);
+  s->histograms["run.latency_ns"].Merge(run.latency_ns);
+  s->histograms["run.round_trips"].Merge(run.round_trips);
+  s->histograms["run.read_retries"].Merge(run.read_retries);
+  s->histograms["run.write_bytes"].Merge(run.write_bytes);
+}
+
+void AddToSnapshot(MetricsSnapshot* s, const RouteStats& route) {
+  s->AddCounter("route.ops_one_sided", route.ops_one_sided);
+  s->AddCounter("route.ops_rpc", route.ops_rpc);
+  s->AddCounter("route.rpc_fallbacks", route.rpc_fallbacks);
+  s->AddCounter("route.epochs", route.epochs);
+  s->AddCounter("route.shard_flips", route.shard_flips);
+  s->AddCounter("route.lat_one_sided_ns", route.lat_one_sided_ns);
+  s->AddCounter("route.lat_rpc_ns", route.lat_rpc_ns);
+}
+
+void AddToSnapshot(MetricsSnapshot* s, const MigrationStats& mig) {
+  s->AddCounter("migrate.shards_migrated", mig.shards_migrated);
+  s->AddCounter("migrate.ranges_migrated", mig.ranges_migrated);
+  s->AddCounter("migrate.leaves_moved", mig.leaves_moved);
+  s->AddCounter("migrate.internals_moved", mig.internals_moved);
+  s->AddCounter("migrate.passes", mig.passes);
+  s->AddCounter("migrate.bytes_copied", mig.bytes_copied);
+  s->AddCounter("migrate.chunk_rpcs", mig.chunk_rpcs);
+  s->AddCounter("migrate.sibling_fixes", mig.sibling_fixes);
+  s->AddCounter("migrate.residual_leaves", mig.residual_leaves);
+  s->AddCounter("migrate.source_nodes_freed", mig.source_nodes_freed);
+  s->AddCounter("migrate.flips", mig.flips);
+  s->AddCounter("migrate.busy_ns", mig.busy_ns);
+}
+
+void AddToSnapshot(MetricsSnapshot* s, const ReclaimStats& rec) {
+  s->AddCounter("reclaim.leaf_merges", rec.leaf_merges);
+  s->AddCounter("reclaim.merge_aborts", rec.merge_aborts);
+  s->AddCounter("reclaim.nodes_freed", rec.nodes_freed);
+}
+
+void AddToSnapshot(MetricsSnapshot* s, const recover::RecoverStats& rec) {
+  s->AddCounter("recover.recoveries", rec.recoveries);
+  s->AddCounter("recover.partial_recoveries", rec.partial_recoveries);
+  s->AddCounter("recover.intents_replayed", rec.intents_replayed);
+  s->AddCounter("recover.intents_rolled_back", rec.intents_rolled_back);
+  s->AddCounter("recover.lanes_swept", rec.lanes_swept);
+  s->AddCounter("recover.orphans_freed", rec.orphans_freed);
+  s->SetGauge("recover.last_duration_ns",
+              static_cast<double>(rec.last_duration_ns));
+}
+
+}  // namespace sherman::obs

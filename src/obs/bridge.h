@@ -1,0 +1,41 @@
+// Bridges the pre-registry stats structs (core/stats.h and
+// recover/recoverer.h) into obs::MetricsSnapshot, so every legacy counter
+// is readable through the one registry/snapshot API and lands in
+// BENCH_*.json under the standard dot-separated names.
+//
+// The structs stay the producer-side representation (they are cheap,
+// typed, and already threaded through the hot paths); this is the
+// read-side unification.
+#ifndef SHERMAN_OBS_BRIDGE_H_
+#define SHERMAN_OBS_BRIDGE_H_
+
+#include "core/stats.h"
+#include "obs/metrics.h"
+
+namespace sherman::recover {
+struct RecoverStats;
+}  // namespace sherman::recover
+
+namespace sherman::obs {
+
+// op.* — a single operation's footprint (mostly useful in tests).
+void AddToSnapshot(MetricsSnapshot* s, const OpStats& op);
+
+// run.* — a measurement window's aggregate, histograms included.
+void AddToSnapshot(MetricsSnapshot* s, const RunStats& run);
+
+// route.* — hybrid router split and flip activity.
+void AddToSnapshot(MetricsSnapshot* s, const RouteStats& route);
+
+// migrate.* — live shard migration volume and convergence.
+void AddToSnapshot(MetricsSnapshot* s, const MigrationStats& mig);
+
+// reclaim.* — delete-path merging and grace-list frees.
+void AddToSnapshot(MetricsSnapshot* s, const ReclaimStats& rec);
+
+// recover.* — crash recovery protocol work.
+void AddToSnapshot(MetricsSnapshot* s, const recover::RecoverStats& rec);
+
+}  // namespace sherman::obs
+
+#endif  // SHERMAN_OBS_BRIDGE_H_

@@ -1,0 +1,148 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace sherman::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.kind == 'O') {
+    SHERMAN_CHECK_MSG(top.key_pending, "JSON object value without a key");
+    top.key_pending = false;
+  } else {
+    if (top.has_value) out_ += ',';
+  }
+  top.has_value = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back({'O'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  SHERMAN_CHECK(!stack_.empty() && stack_.back().kind == 'O' &&
+                !stack_.back().key_pending);
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back({'A'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  SHERMAN_CHECK(!stack_.empty() && stack_.back().kind == 'A');
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  SHERMAN_CHECK(!stack_.empty() && stack_.back().kind == 'O' &&
+                !stack_.back().key_pending);
+  if (stack_.back().has_value) out_ += ',';
+  // has_value is set by the value itself; mark the key as pending.
+  stack_.back().has_value = true;
+  stack_.back().key_pending = true;
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& v) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null keeps the document parseable.
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest representation that round-trips, so common values
+  // print as "0.5" instead of "0.50000000000000000".
+  for (int prec = 1; prec < 17; prec++) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    double back;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) {
+      out_ += probe;
+      return *this;
+    }
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace sherman::obs

@@ -1,0 +1,78 @@
+// Minimal streaming JSON writer shared by the observability exporters
+// (chrome://tracing dumps, metrics snapshots, BENCH_*.json telemetry).
+//
+// Deterministic by construction: no wall-clock, no pointer values, no
+// locale-dependent formatting — identical inputs produce byte-identical
+// output, which is what lets determinism_test diff whole trace and
+// telemetry files across seeded runs.
+#ifndef SHERMAN_OBS_JSON_H_
+#define SHERMAN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sherman::obs {
+
+std::string JsonEscape(const std::string& s);
+
+// Emits one JSON document into an internal string. The writer tracks
+// nesting and comma placement; callers just interleave Key() with value
+// emitters inside objects, or call value emitters directly inside arrays.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.reserve(16); }
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Uint(uint64_t v);
+  // Doubles print with %.17g then trim: shortest round-trippable and
+  // deterministic (the C locale is assumed, as everywhere in the repo).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  // Convenience: Key(name) + value.
+  JsonWriter& Field(const std::string& k, const std::string& v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& Field(const std::string& k, const char* v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& Field(const std::string& k, int64_t v) { return Key(k).Int(v); }
+  JsonWriter& Field(const std::string& k, uint64_t v) { return Key(k).Uint(v); }
+  JsonWriter& Field(const std::string& k, int v) {
+    return Key(k).Int(static_cast<int64_t>(v));
+  }
+  JsonWriter& Field(const std::string& k, double v) { return Key(k).Double(v); }
+  JsonWriter& Field(const std::string& k, bool v) { return Key(k).Bool(v); }
+
+  // The finished document. Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: 'O' (object) / 'A' (array), plus
+  // whether a value has already been written at this level and whether a
+  // key is pending.
+  struct Frame {
+    char kind;
+    bool has_value = false;
+    bool key_pending = false;
+  };
+  std::vector<Frame> stack_;
+};
+
+}  // namespace sherman::obs
+
+#endif  // SHERMAN_OBS_JSON_H_

@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace sherman::obs {
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) gauges[k] += v;
+  for (const auto& [k, h] : other.histograms) histograms[k].Merge(h);
+}
+
+MetricsSnapshot MetricsSnapshot::Since(const MetricsSnapshot& baseline) const {
+  MetricsSnapshot d;
+  for (const auto& [k, v] : counters) {
+    auto it = baseline.counters.find(k);
+    d.counters[k] = v - (it == baseline.counters.end() ? 0 : it->second);
+  }
+  d.gauges = gauges;
+  d.histograms = histograms;
+  return d;
+}
+
+void WriteHistogramJson(JsonWriter* w, const Histogram& h) {
+  w->BeginObject();
+  w->Field("count", h.count());
+  w->Field("mean", h.Mean());
+  w->Field("min", h.min());
+  w->Field("max", h.max());
+  w->Field("p50", h.P50());
+  w->Field("p90", h.P90());
+  w->Field("p99", h.P99());
+  w->Field("p999", h.Percentile(99.9));
+  w->EndObject();
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [k, v] : counters) w->Field(k, v);
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [k, v] : gauges) w->Field(k, v);
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [k, h] : histograms) {
+    w->Key(k);
+    WriteHistogramJson(w, h);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.Take();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [k, c] : counters_) s.counters[k] = c.value();
+  for (const auto& [k, g] : gauges_) s.gauges[k] = g.value();
+  for (const auto& [k, h] : histograms_) s.histograms[k] = h;
+  for (const auto& fn : collectors_) fn(&s);
+  return s;
+}
+
+}  // namespace sherman::obs

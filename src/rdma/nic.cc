@@ -21,6 +21,7 @@ sim::SimTime Nic::ReserveTx(sim::SimTime earliest, uint32_t payload_bytes) {
   tx_free_ = start + MessageCost(payload_bytes, cfg_->nic_tx_ns);
   counters_.tx_msgs++;
   counters_.tx_bytes += payload_bytes;
+  counters_.tx_stall_ns += start - earliest;
   return tx_free_;
 }
 
@@ -29,6 +30,7 @@ sim::SimTime Nic::ReserveRx(sim::SimTime earliest, uint32_t payload_bytes) {
   rx_free_ = start + MessageCost(payload_bytes, cfg_->nic_rx_ns);
   counters_.rx_msgs++;
   counters_.rx_bytes += payload_bytes;
+  counters_.rx_stall_ns += start - earliest;
   return rx_free_;
 }
 

@@ -30,6 +30,8 @@ struct NicCounters {
   uint64_t rx_bytes = 0;
   uint64_t atomics = 0;
   uint64_t atomic_stall_ns = 0;  // total time atomics waited on busy buckets
+  uint64_t tx_stall_ns = 0;      // time messages queued behind a busy TX engine
+  uint64_t rx_stall_ns = 0;      // same for the RX engine
 };
 
 class Nic {

@@ -1,8 +1,10 @@
 #include "recover/recoverer.h"
 
+#include <string>
 #include <utility>
 
 #include "lock/lock_table.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sherman::recover {
@@ -17,7 +19,10 @@ constexpr uint32_t kClaimAttempts = 1 << 16;
 }  // namespace
 
 Recoverer::Recoverer(ShermanSystem* system, TreeClient* client)
-    : system_(system), t_(client) {}
+    : system_(system), t_(client) {
+  trace_ = obs::TraceCtx::For(&system_->tracer(),
+                              obs::RingId::Recoverer(t_->cs_id()));
+}
 
 uint32_t Recoverer::node_size() const {
   return system_->options().shape.node_size;
@@ -74,6 +79,7 @@ sim::Task<uint64_t> Recoverer::ClaimDeadClient(int dead_cs) {
 }
 
 sim::Task<void> Recoverer::SweepLocks(uint16_t dead_tag) {
+  SHERMAN_TEVENT(&trace_, "recover.sweep_locks", dead_tag);
   for (int ms = 0; ms < system_->fabric().num_memory_servers(); ms++) {
     const uint64_t swept = co_await system_->fabric()
                                .qp(t_->cs_id(), ms)
@@ -112,6 +118,15 @@ sim::Task<void> Recoverer::RecoverDeadOwner(uint16_t dead_tag) {
   in_progress_.insert(dead_tag);
   const sim::SimTime t0 = system_->simulator().now();
 
+  // Flight-record the moment of activation: the dead client's last spans
+  // (what it was doing when it died) and this survivor's recent history.
+  system_->tracer().DumpToStderr(
+      "recovery activated: cs" + std::to_string(t_->cs_id()) +
+          " recovering dead owner tag " + std::to_string(dead_tag),
+      {obs::RingId::Client(dead_cs), obs::RingId::Client(t_->cs_id()),
+       obs::RingId::Recoverer(t_->cs_id())});
+  SHERMAN_TSPAN(&trace_, "recover.recover_dead", dead_tag);
+
   uint64_t claim = co_await ClaimDeadClient(dead_cs);
   if (claim != 0) {
     // Read the dead client's whole intent slab in one READ.
@@ -149,6 +164,8 @@ sim::Task<void> Recoverer::RecoverDeadOwner(uint16_t dead_tag) {
         usurped = true;
         break;
       }
+      SHERMAN_TINSTANT(&trace_, "recover.intent",
+                       static_cast<uint64_t>(rec.op));
       Status st = co_await RecoverIntent(rec);
       if (!st.ok()) {
         all_resolved = false;
@@ -315,6 +332,7 @@ sim::Task<Status> Recoverer::RecoverMerge(const IntentRecord& rec) {
   const Key lo = rec.lo;
   const Key hi = rec.hi;
   OpStats stats;
+  stats.trace = &trace_;
 
   // Hold L's lane for the whole resolution (post-sweep it is free; other
   // survivors bounce off the tombstone rather than contend).
@@ -471,6 +489,7 @@ sim::Task<Status> Recoverer::RecoverFlip(const IntentRecord& rec) {
   const bool combine = o.combine_commands;
   const Key lo = rec.lo;
   OpStats stats;
+  stats.trace = &trace_;
 
   LockGuard lg = co_await t_->hocl_.Lock(rec.primary, &stats);
   std::vector<uint8_t> buf(node_size());

@@ -32,6 +32,7 @@
 #ifndef SHERMAN_RECOVER_RECOVERER_H_
 #define SHERMAN_RECOVER_RECOVERER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <vector>
@@ -51,6 +52,18 @@ struct RecoverStats {
   uint64_t lanes_swept = 0;        // lock lanes released across all MSs
   uint64_t orphans_freed = 0;      // nodes retired via the epoch-free path
   sim::SimTime last_duration_ns = 0;  // wall time of the last recovery
+
+  // Cross-survivor aggregation (bench_recover previously hand-summed the
+  // fields and silently dropped any newly added counter).
+  void Merge(const RecoverStats& other) {
+    recoveries += other.recoveries;
+    partial_recoveries += other.partial_recoveries;
+    intents_replayed += other.intents_replayed;
+    intents_rolled_back += other.intents_rolled_back;
+    lanes_swept += other.lanes_swept;
+    orphans_freed += other.orphans_freed;
+    last_duration_ns = std::max(last_duration_ns, other.last_duration_ns);
+  }
 };
 
 class Recoverer {
@@ -113,6 +126,9 @@ class Recoverer {
   TreeClient* t_;
   std::set<uint16_t> in_progress_;
   RecoverStats stats_;
+  // Trace context on this survivor's recoverer ring; RecoverDeadOwner and
+  // its resolvers run as one sequential coroutine chain per activation.
+  obs::TraceCtx trace_;
 };
 
 }  // namespace sherman::recover

@@ -5,6 +5,7 @@
 
 #include "alloc/layout.h"
 #include "lock/lock_table.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sherman::route {
@@ -42,6 +43,11 @@ void TreeRpcService::InstallOn(int ms) {
 
 uint64_t TreeRpcService::Handle(int ms, uint64_t opcode, uint64_t a,
                                 uint64_t b) {
+  // The handler runs atomically at one simulated instant, so a frame-local
+  // mutating scope on the executor's own ring is interleaving-safe.
+  [[maybe_unused]] obs::TraceCtx trace = obs::TraceCtx::For(
+      &system_->tracer(), obs::RingId::RpcExecutor(static_cast<uint16_t>(ms)));
+  SHERMAN_TSPAN(&trace, "rpc.execute", opcode, a);
   switch (opcode) {
     case kOpInsert:
       return DoInsert(a, b);

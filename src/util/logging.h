@@ -5,12 +5,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace sherman {
+// Flight-recorder hook, defined in obs/trace.cc: dumps the last spans of
+// every registered tracer to stderr before a fatal abort, so crashed runs
+// leave a causal record of what the system was doing.
+void FatalDumpHook();
+}  // namespace sherman
+
 // SHERMAN_CHECK(cond): fatal invariant check, enabled in all build types.
 #define SHERMAN_CHECK(cond)                                                  \
   do {                                                                       \
     if (!(cond)) {                                                           \
       std::fprintf(stderr, "SHERMAN_CHECK failed at %s:%d: %s\n", __FILE__,  \
                    __LINE__, #cond);                                         \
+      ::sherman::FatalDumpHook();                                            \
       std::abort();                                                          \
     }                                                                        \
   } while (0)
@@ -22,6 +30,7 @@
                    __LINE__, #cond);                                         \
       std::fprintf(stderr, __VA_ARGS__);                                     \
       std::fprintf(stderr, "\n");                                            \
+      ::sherman::FatalDumpHook();                                            \
       std::abort();                                                          \
     }                                                                        \
   } while (0)

@@ -209,5 +209,28 @@ TEST(DeterminismTest, ElasticMigrationRunsAreByteIdentical) {
   EXPECT_EQ(migs[0], migs[1]);
 }
 
+// Observability replay: the always-on trace rings and the unified metrics
+// registry feed BENCH_*.json and the chrome://tracing export, so both must
+// be byte-identical across identical seeded runs — timestamps are sim-time
+// and every export iterates sorted containers.
+TEST(DeterminismTest, TraceAndMetricsExportsAreByteIdentical) {
+  const uint64_t keys = 20'000;
+  std::string traces[2];
+  std::string flights[2];
+  std::string metrics[2];
+  for (int run = 0; run < 2; run++) {
+    ShermanSystem system(SmallFabric(2, 3), ShermanOptions());
+    system.BulkLoad(bench::MakeLoadKvs(keys), 0.8);
+    bench::RunWorkload(&system, SmallRun(keys, 42));
+    traces[run] = system.tracer().ChromeTraceJson();
+    flights[run] = system.tracer().FlightDumpAll(32);
+    metrics[run] = system.registry().Snapshot().ToJson();
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(flights[0], flights[1]);
+  EXPECT_EQ(metrics[0], metrics[1]);
+  EXPECT_NE(metrics[0].find("rdma.reads"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sherman

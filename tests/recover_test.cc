@@ -251,6 +251,11 @@ bool RunSiteScenario(const std::string& site) {
   EXPECT_TRUE(survivor.done) << site << ": survivor never finished";
   if (!inj.fired()) return false;
 
+  // A SHERMAN_CRASH_AT kill must leave a flight-recorder dump behind (the
+  // death observer fires on MarkDead, recovery activation fires again).
+  EXPECT_FALSE(system.tracer().last_flight_dump().empty())
+      << site << ": no flight dump after crash-point kill";
+
   // Apply the victim's committed ops to the oracle.
   for (const auto& [k, v] : log.committed) expected[k] = v;
   for (Key k : log.deleted) expected.erase(k);
@@ -450,6 +455,11 @@ TEST(CrashRecoveryTest, FailStopKillMidTrafficIsRecoverable) {
   system.DebugCheckInvariants();
   ExpectAllLanesFree(&system, "fail-stop");
   ExpectClientClean(&system, kVictimCs, "fail-stop");
+  // The flight recorder fired twice — on the crash-point kill and on the
+  // Recoverer's activation — and the retained dump must not be empty.
+  EXPECT_FALSE(system.tracer().last_flight_dump().empty());
+  EXPECT_NE(system.tracer().last_flight_dump().find("recovery activated"),
+            std::string::npos);
   inj.Reset();
 }
 
