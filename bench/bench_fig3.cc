@@ -28,7 +28,8 @@ sim::Task<void> Writer(rdma::Fabric* fabric, int cs, int ms, uint32_t size,
     std::vector<rdma::WorkRequest> batch;
     batch.reserve(kBatch);
     for (int i = 0; i < kBatch; i++) {
-      batch.push_back(rdma::WorkRequest::Write(addr, payload.data(), size));
+      batch.push_back(  // protocol-ok: raw fabric microbench, no tree above it
+          rdma::WorkRequest::Write(addr, payload.data(), size));
     }
     co_await fabric->qp(cs, ms).PostBatch(std::move(batch));
     ctx->msgs += kBatch;

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate DMSan's runtime cost: the sanitizer rides every posted work
+request, so its overhead on a bench smoke must stay under 10% (plus a
+small absolute slack so sub-second runs don't gate on timer noise).
+
+The bench reports contain no wall-clock field (simulated time only), so
+this script times the subprocess itself: min of N runs each way, which
+discards scheduler noise rather than averaging it in.
+
+Usage: check_dmsan_overhead.py [bench_binary] [args...]
+Defaults to the CI bench_pipeline smoke. Exit 0 = within budget.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+RUNS = 3
+MAX_RELATIVE = 0.10   # DMSan may cost at most 10%...
+SLACK_SECONDS = 0.25  # ...plus this much absolute timer-noise slack
+
+
+def time_once(cmd, env):
+    t0 = time.monotonic()
+    r = subprocess.run(cmd, env=env, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.STDOUT)
+    elapsed = time.monotonic() - t0
+    if r.returncode != 0:
+        print(f"FAIL: {' '.join(cmd)} exited {r.returncode}", file=sys.stderr)
+        sys.exit(1)
+    return elapsed
+
+
+def best_of(cmd, dmsan, runs=RUNS):
+    env = dict(os.environ)
+    env["SHERMAN_DMSAN"] = "1" if dmsan else "0"
+    return min(time_once(cmd, env) for _ in range(runs))
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    cmd = sys.argv[1:] or [
+        os.path.join(root, "build", "bench_pipeline"),
+        "--quick", "--keys=60000", "--threads=4",
+    ]
+    base = best_of(cmd, dmsan=False)
+    with_dmsan = best_of(cmd, dmsan=True)
+    budget = base * (1.0 + MAX_RELATIVE) + SLACK_SECONDS
+    pct = 100.0 * (with_dmsan - base) / base if base > 0 else 0.0
+    print(f"baseline     : {base:.3f}s  (min of {RUNS})")
+    print(f"with DMSan   : {with_dmsan:.3f}s  ({pct:+.1f}%)")
+    print(f"budget       : {budget:.3f}s  "
+          f"(+{int(MAX_RELATIVE * 100)}% and {SLACK_SECONDS}s slack)")
+    if with_dmsan > budget:
+        print("FAIL: DMSan overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("OK: DMSan overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library sources using the
+# CMake compile database. Requires a configured build dir with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default in CI).
+#
+#   scripts/run_tidy.sh [build_dir]
+#
+# Exit 0 = clean (or tool unavailable and REQUIRE_TIDY unset), 1 =
+# findings, 2 = tool required but missing. Containers without clang-tidy
+# skip with a warning so the script is safe in every pre-commit hook;
+# CI sets REQUIRE_TIDY=1 to make absence a hard failure.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+TIDY=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+done
+
+if [ -z "$TIDY" ]; then
+  if [ -n "${REQUIRE_TIDY:-}" ]; then
+    echo "run_tidy: clang-tidy not found and REQUIRE_TIDY is set" >&2
+    exit 2
+  fi
+  echo "run_tidy: clang-tidy not installed; skipping (set REQUIRE_TIDY=1 to fail)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_tidy: $BUILD/compile_commands.json missing; configure with" >&2
+  echo "  cmake -B $BUILD -S $ROOT -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cc' | sort)
+echo "run_tidy: $TIDY over ${#SOURCES[@]} files ($JOBS jobs)"
+
+printf '%s\n' "${SOURCES[@]}" |
+  xargs -P "$JOBS" -n 4 "$TIDY" -p "$BUILD" --quiet
+status=$?
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy: findings (see above)" >&2
+  exit 1
+fi
+echo "run_tidy: clean"

@@ -1,5 +1,6 @@
 #include "alloc/chunk_manager.h"
 
+#include "sanitizer/dmsan.h"
 #include "util/logging.h"
 
 namespace sherman {
@@ -69,9 +70,14 @@ void ChunkManager::FreeNode(uint64_t offset, uint32_t size) {
     duplicate_frees_++;
     return;
   }
-  grace_.push_back(
-      GraceNode{offset, size, reclaim_ != nullptr ? reclaim_->current() : 0});
+  const uint64_t epoch = reclaim_ != nullptr ? reclaim_->current() : 0;
+  grace_.push_back(GraceNode{offset, size, epoch});
   nodes_freed_++;
+  if (dmsan::Active()) {
+    if (dmsan::Checker* c = dmsan::Find(ms_->simulator())) {
+      c->OnNodeFreed(ms_->id(), offset, size, epoch);
+    }
+  }
 }
 
 void ChunkManager::SweepGraceList() {
@@ -122,6 +128,11 @@ uint64_t ChunkManager::SweepLocks(uint16_t owner_tag) {
   // The scan touches 2 x 256 KB of lock words; charge the wimpy memory
   // thread for the extra work beyond its standard service slot.
   ms_->ChargeMemoryThread(20'000);
+  if (dmsan::Active()) {
+    if (dmsan::Checker* c = dmsan::Find(ms_->simulator())) {
+      c->OnLanesSwept(ms_->id(), owner_tag);
+    }
+  }
   return swept;
 }
 

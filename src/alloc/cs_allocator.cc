@@ -1,5 +1,6 @@
 #include "alloc/cs_allocator.h"
 
+#include "sanitizer/dmsan.h"
 #include "util/logging.h"
 
 namespace sherman {
@@ -13,6 +14,18 @@ namespace {
 // "drain mode" (probe again next time), so while the pool has nodes the
 // chunk footprint is frozen outright.
 constexpr uint32_t kRecycleProbePeriod = 64;
+
+// DMSan feed: a handed-out region is private to the allocating CS until
+// the structural op that writes it publishes it into the tree. Covers the
+// bump path, MS-side recycled nodes (the freed->private transition), and
+// CS-local free-bin reuse alike.
+void DmsanNodeAllocated(rdma::Fabric* fabric, int cs_id,
+                        rdma::GlobalAddress addr, uint32_t size) {
+  if (!dmsan::Active()) return;
+  if (dmsan::Checker* c = dmsan::Find(&fabric->simulator())) {
+    c->OnNodeAllocated(cs_id, addr, size);
+  }
+}
 }  // namespace
 
 CsAllocator::CsAllocator(rdma::Fabric* fabric, int cs_id)
@@ -28,6 +41,7 @@ sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
     if (bin.size == size && !bin.entries.empty()) {
       rdma::GlobalAddress addr = bin.entries.back();
       bin.entries.pop_back();
+      DmsanNodeAllocated(fabric_, cs_id_, addr, size);
       co_return addr;
     }
   }
@@ -42,7 +56,9 @@ sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
     if (off != 0) {
       node_recycle_rpcs_++;
       allocs_since_probe_ = kRecycleProbePeriod;  // drain mode
-      co_return rdma::GlobalAddress(static_cast<uint16_t>(ms), off);
+      const rdma::GlobalAddress addr(static_cast<uint16_t>(ms), off);
+      DmsanNodeAllocated(fabric_, cs_id_, addr, size);
+      co_return addr;
     }
   }
   // Fast path: bump-allocate in the current chunk. The loop handles the
@@ -53,6 +69,7 @@ sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
     if (!chunk_base_.is_null() && chunk_used_ + size <= kChunkSize) {
       rdma::GlobalAddress addr = chunk_base_.Plus(chunk_used_);
       chunk_used_ += size;
+      DmsanNodeAllocated(fabric_, cs_id_, addr, size);
       co_return addr;
     }
     // Slow path: prefer a recycled node over growing the chunk footprint
@@ -65,7 +82,9 @@ sim::Task<rdma::GlobalAddress> CsAllocator::Alloc(uint32_t size) {
         co_await fabric_->qp(cs_id_, ms).Rpc(kRpcAllocNode, size);
     if (recycled != 0) {
       node_recycle_rpcs_++;
-      co_return rdma::GlobalAddress(static_cast<uint16_t>(ms), recycled);
+      const rdma::GlobalAddress addr(static_cast<uint16_t>(ms), recycled);
+      DmsanNodeAllocated(fabric_, cs_id_, addr, size);
+      co_return addr;
     }
     chunk_rpcs_++;
     const uint64_t offset =

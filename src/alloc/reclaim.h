@@ -85,6 +85,17 @@ class ReclaimEpoch {
     return freed_epoch < MinActive();
   }
 
+  // Pins currently held by compute server `cs` (0 if untracked or dead).
+  // DMSan's use-after-free rule keys off this: a read of a node past its
+  // grace window is only safe under a live pin.
+  uint64_t ActivePins(int cs) const {
+    const auto it = by_cs_.find(cs);
+    if (it == by_cs_.end()) return 0;
+    uint64_t n = 0;
+    for (const auto& [epoch, count] : it->second) n += count;
+    return n;
+  }
+
   uint64_t pinned_ops() const {
     uint64_t n = 0;
     for (const auto& [e, c] : active_) n += c;

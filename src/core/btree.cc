@@ -93,10 +93,13 @@ sim::Task<Status> TreeClient::ReadRaw(rdma::GlobalAddress addr, uint8_t* buf,
 
 bool TreeClient::NodeConsistent(const uint8_t* buf) const {
   NodeView view(const_cast<uint8_t*>(buf), &opt().shape);
-  if (opt().consistency == TreeOptions::Consistency::kChecksum) {
-    return view.VerifyChecksum();
-  }
-  return view.NodeVersionsMatch();
+  const bool ok = opt().consistency == TreeOptions::Consistency::kChecksum
+                      ? view.VerifyChecksum()
+                      : view.NodeVersionsMatch();
+  // A passing version/checksum check is exactly what clears DMSan's
+  // torn-read taint (rule V4) on this buffer.
+  if (ok && dmsan::Active()) dmsan::NoteValidatedAll(buf, node_size());
+  return ok;
 }
 
 void TreeClient::SealNode(NodeView& view, bool /*structural_change*/) const {
@@ -599,8 +602,10 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
     view.UpdateChecksum();
   }
   {
-    rdma::RdmaResult w = co_await QpFor(locked.addr).Post(
-        rdma::WorkRequest::Write(locked.addr, buf, node_size()));
+    rdma::WorkRequest tomb =
+        rdma::WorkRequest::Write(locked.addr, buf, node_size());
+    tomb.intent_slot = static_cast<uint8_t>(intent_slot);
+    rdma::RdmaResult w = co_await QpFor(locked.addr).Post(tomb);
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(w.status.ok());
   }
@@ -609,6 +614,7 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
     std::vector<rdma::WorkRequest> wrs;
     wrs.push_back(
         rdma::WorkRequest::Write(par.addr, pbuf.data(), node_size()));
+    wrs.back().intent_slot = static_cast<uint8_t>(intent_slot);
     co_await UnlockSecond(par, std::move(wrs), stats);
   }
   co_await fault::Injector().AtSite(kCrashMergeParent, cs_id_);
@@ -616,6 +622,7 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
     std::vector<rdma::WorkRequest> wrs;
     wrs.push_back(
         rdma::WorkRequest::Write(sib.addr, sbuf.data(), node_size()));
+    wrs.back().intent_slot = static_cast<uint8_t>(intent_slot);
     co_await UnlockSecond(sib, std::move(wrs), stats);
   }
   co_await fault::Injector().AtSite(kCrashMergeSibling, cs_id_);
@@ -816,16 +823,27 @@ sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
   if (sib_addr.node == locked.addr.node) {
     wrs.push_back(
         rdma::WorkRequest::Write(sib_addr, sib_buf.data(), node_size()));
+    wrs.back().intent_slot = static_cast<uint8_t>(intent_slot);
   } else {
-    rdma::RdmaResult r = co_await QpFor(sib_addr).Post(
-        rdma::WorkRequest::Write(sib_addr, sib_buf.data(), node_size()));
+    rdma::WorkRequest sw =
+        rdma::WorkRequest::Write(sib_addr, sib_buf.data(), node_size());
+    sw.intent_slot = static_cast<uint8_t>(intent_slot);
+    rdma::RdmaResult r = co_await QpFor(sib_addr).Post(sw);
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
     co_await fault::Injector().AtSite(kCrashSplitSibling, cs_id_);
   }
   wrs.push_back(rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+  wrs.back().intent_slot = static_cast<uint8_t>(intent_slot);
   co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
                         stats);
+  // The commit write has applied (the await covers it): the sibling is now
+  // reachable through the B-link chain, so its shadow flips private->live.
+  if (dmsan::Active()) {
+    if (dmsan::Checker* dc = dmsan::Find(&system_->fabric_.simulator())) {
+      dc->PublishNode(sib_addr, /*level=*/0);
+    }
+  }
   co_await fault::Injector().AtSite(kCrashSplitLeaf, cs_id_);
 
   // Ascend: insert the separator into the parent level (Figure 7, line 39).
@@ -963,17 +981,26 @@ sim::Task<Status> TreeClient::InsertInternal(Key sep,
     if (right_addr.node == locked.addr.node) {
       wrs.push_back(
           rdma::WorkRequest::Write(right_addr, right_buf.data(), node_size()));
+      wrs.back().intent_slot = static_cast<uint8_t>(intent_slot);
     } else {
-      rdma::RdmaResult r = co_await QpFor(right_addr).Post(
-          rdma::WorkRequest::Write(right_addr, right_buf.data(), node_size()));
+      rdma::WorkRequest rw =
+          rdma::WorkRequest::Write(right_addr, right_buf.data(), node_size());
+      rw.intent_slot = static_cast<uint8_t>(intent_slot);
+      rdma::RdmaResult r = co_await QpFor(right_addr).Post(rw);
       if (stats != nullptr) stats->round_trips++;
       SHERMAN_CHECK(r.status.ok());
       co_await fault::Injector().AtSite(kCrashIsplitRight, cs_id_);
     }
     wrs.push_back(
         rdma::WorkRequest::Write(locked.addr, buf.data(), node_size()));
+    wrs.back().intent_slot = static_cast<uint8_t>(intent_slot);
     co_await hocl_.Unlock(locked.guard, std::move(wrs), o.combine_commands,
                           stats);
+    if (dmsan::Active()) {
+      if (dmsan::Checker* dc = dmsan::Find(&system_->fabric_.simulator())) {
+        dc->PublishNode(right_addr, level);
+      }
+    }
     co_await fault::Injector().AtSite(kCrashIsplitCommit, cs_id_);
 
     Status st = co_await InsertInternal(promote, right_addr,
@@ -1016,17 +1043,22 @@ sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
     view.UpdateChecksum();
   }
 
-  rdma::RdmaResult w = co_await QpFor(addr).Post(
-      rdma::WorkRequest::Write(addr, buf.data(), node_size()));
+  rdma::WorkRequest stage =
+      rdma::WorkRequest::Write(addr, buf.data(), node_size());
+  stage.intent_slot = static_cast<uint8_t>(intent_slot);
+  rdma::RdmaResult w = co_await QpFor(addr).Post(stage);
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(w.status.ok());
   co_await fault::Injector().AtSite(kCrashSplitRoot, cs_id_);
 
   // Publish via CAS on the meta root pointer.
   uint64_t fetched = 0;
-  rdma::RdmaResult c = co_await system_->fabric_.qp(cs_id_, 0).Post(
+  rdma::WorkRequest root_cas =
       rdma::WorkRequest::Cas(rdma::GlobalAddress(0, kRootPointerOffset),
-                             old_root.ToU64(), addr.ToU64(), &fetched));
+                             old_root.ToU64(), addr.ToU64(), &fetched);
+  root_cas.origin = rdma::kWrOriginRoot;  // the blessed root-swap path
+  rdma::RdmaResult c =
+      co_await system_->fabric_.qp(cs_id_, 0).Post(root_cas);
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(c.status.ok());
   if (!c.cas_success) {
@@ -1044,6 +1076,11 @@ sim::Task<Status> TreeClient::MakeNewRoot(Key sep, rdma::GlobalAddress child,
   root_addr_ = addr;
   root_level_ = level;
   root_known_ = true;
+  if (dmsan::Active()) {
+    if (dmsan::Checker* dc = dmsan::Find(&system_->fabric_.simulator())) {
+      dc->PublishNode(addr, level);
+    }
+  }
   if (o.enable_cache) {
     ParsedInternal parsed;
     if (ParseInternal(buf.data(), o.shape, addr, &parsed).ok()) {
@@ -1870,7 +1907,18 @@ ShermanSystem::ShermanSystem(rdma::FabricConfig fabric_config,
     tracer_->DumpToStderr(
         "client cs" + std::to_string(cs) + " declared dead (crash injection)",
         {obs::RingId::Client(cs)});
+    if (dmsan_ != nullptr) dmsan_->OnClientDead(cs);
   });
+  if (dmsan::DefaultEnabled()) {
+    dmsan::Checker::Config dcfg;
+    dcfg.node_size = options_.shape.node_size;
+    dcfg.lock = options_.lock;
+    dcfg.reclaim = &reclaim_;
+    dcfg.tracer = tracer_.get();
+    dcfg.sim = &fabric_.simulator();
+    dmsan_ = std::make_unique<dmsan::Checker>(dcfg);
+    dmsan::Attach(&fabric_.simulator(), dmsan_.get());
+  }
   for (int i = 0; i < fabric_.num_memory_servers(); i++) {
     chunks_.push_back(std::make_unique<ChunkManager>(&fabric_.ms(i), &reclaim_));
   }
@@ -1882,6 +1930,7 @@ ShermanSystem::ShermanSystem(rdma::FabricConfig fabric_config,
 
 ShermanSystem::~ShermanSystem() {
   fault::Injector().ClearDeathObserver(this);
+  if (dmsan_ != nullptr) dmsan::Detach(&fabric_.simulator());
 }
 
 // One collector per component family. Collectors iterate the LIVE fabric

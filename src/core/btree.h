@@ -42,6 +42,7 @@
 #include "obs/trace.h"
 #include "rdma/fabric.h"
 #include "recover/intent.h"
+#include "sanitizer/dmsan.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 
@@ -404,6 +405,12 @@ class ShermanSystem {
   // before the free has retired.
   ReclaimEpoch& reclaim_epoch() { return reclaim_; }
 
+  // DMSan shadow-state checker (sanitizer/dmsan.h). Non-null only when the
+  // sanitizer is switched on (SHERMAN_DMSAN env var or -DSHERMAN_DMSAN
+  // build default); a pure observer of the fabric, so behavior with it on
+  // is simulation-identical to behavior with it off.
+  dmsan::Checker* dmsan_checker() { return dmsan_.get(); }
+
   // Sum over all memory servers of chunk bytes handed out — the footprint
   // metric bench_churn watches for a plateau (node recycling keeps it
   // flat; chunks are never returned once split into nodes).
@@ -448,6 +455,10 @@ class ShermanSystem {
   obs::Registry registry_;
   std::unique_ptr<obs::Tracer> tracer_;
   ReclaimEpoch reclaim_;  // before chunks_: managers hold a pointer to it
+  // Before chunks_ and clients_: both feed shadow events into the checker
+  // and the Qp hooks find it through the simulator registry; it must
+  // outlive everything that can post work requests.
+  std::unique_ptr<dmsan::Checker> dmsan_;
   std::vector<std::unique_ptr<ChunkManager>> chunks_;
   std::vector<std::unique_ptr<TreeClient>> clients_;
 

@@ -82,6 +82,7 @@ void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
     }
     if (sorted_mode) view.set_count(static_cast<uint16_t>(end - begin));
     if (checksum_mode) view.UpdateChecksum();
+    if (dmsan_ != nullptr) dmsan_->PublishNode(addrs[i], /*level=*/0);
     level_nodes.push_back(ChildRec{addrs[i], lo});
   }
 
@@ -121,6 +122,7 @@ void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
       }
       view.set_count(count);
       if (checksum_mode) view.UpdateChecksum();
+      if (dmsan_ != nullptr) dmsan_->PublishNode(naddrs[i], level);
       next.push_back(ChildRec{naddrs[i], lo});
     }
     level_nodes = std::move(next);

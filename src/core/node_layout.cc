@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sanitizer/dmsan.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -331,6 +332,9 @@ Status ParseInternal(const uint8_t* buf, const TreeShape& shape,
     prev = k;
     out->entries.emplace_back(k, view.InternalChild(i));
   }
+  // The node-version match above IS this buffer's torn-read validation;
+  // tell DMSan its taint (if any) is discharged.
+  if (dmsan::Active()) dmsan::NoteValidatedAll(buf, shape.node_size);
   return Status::OK();
 }
 

@@ -3,9 +3,31 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "sanitizer/dmsan.h"
 #include "util/logging.h"
 
 namespace sherman {
+
+namespace {
+// DMSan feed: the acquire CAS's outcome is unknown at post time, so
+// successful acquisitions are reported explicitly at completion — the
+// shadow-held window is then a strict subset of the actual held window.
+void DmsanLockAcquired(rdma::Fabric* fabric, int cs_id,
+                       const GlobalLockRef& ref, uint16_t lane_value) {
+  if (!dmsan::Active()) return;
+  if (dmsan::Checker* c = dmsan::Find(&fabric->simulator())) {
+    c->OnLockAcquired(cs_id, ref, lane_value);
+  }
+}
+
+void DmsanLockReleased(rdma::Fabric* fabric, int cs_id,
+                       const GlobalLockRef& ref) {
+  if (!dmsan::Active()) return;
+  if (dmsan::Checker* c = dmsan::Find(&fabric->simulator())) {
+    c->OnLockReleased(cs_id, ref);
+  }
+}
+}  // namespace
 
 HoclClient::HoclClient(rdma::Fabric* fabric, int cs_id, HoclOptions options)
     : fabric_(fabric), cs_id_(cs_id), options_(options) {
@@ -52,6 +74,7 @@ sim::Task<void> HoclClient::AcquireGlobal(const GlobalLockRef& ref,
         ref.word_address(), 0,
         static_cast<uint64_t>(lane_value) << shift, ref.lane_mask(),
         &fetched, ref.space);
+    wr.origin = rdma::kWrOriginLock;
     rdma::RdmaResult r = co_await qp.Post(wr);
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
@@ -59,6 +82,7 @@ sim::Task<void> HoclClient::AcquireGlobal(const GlobalLockRef& ref,
       if (options_.hierarchical) {
         llt_.Get(ref.ms, ref.index).lane_stamp = LockLaneStamp(lane_value);
       }
+      DmsanLockAcquired(fabric_, cs_id_, ref, lane_value);
       co_return;
     }
     global_cas_failures_++;
@@ -194,11 +218,13 @@ sim::Task<Status> HoclClient::TryLock(rdma::GlobalAddress node_addr,
         g.ref.word_address(), 0,
         static_cast<uint64_t>(lane_value) << shift, g.ref.lane_mask(),
         &fetched, g.ref.space);
+    wr.origin = rdma::kWrOriginLock;
     rdma::RdmaResult r = co_await qp.Post(wr);
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
     if (r.cas_success) {
       if (local != nullptr) local->lane_stamp = LockLaneStamp(lane_value);
+      DmsanLockAcquired(fabric_, cs_id_, g.ref, lane_value);
       acquired = true;
       break;
     }
@@ -249,10 +275,10 @@ sim::Task<void> HoclClient::RenewLease(const LockGuard& guard, OpStats* stats) {
     local.lane_stamp = LockLaneStamp(lane);
   }
   SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr, "lock.renew");
-  rdma::RdmaResult r = co_await fabric_->qp(cs_id_, ref.ms)
-                           .Post(rdma::WorkRequest::Write(
-                               ref.lane_address(), &lane, sizeof(lane),
-                               ref.space));
+  rdma::WorkRequest renew = rdma::WorkRequest::Write(
+      ref.lane_address(), &lane, sizeof(lane), ref.space);
+  renew.origin = rdma::kWrOriginLock;
+  rdma::RdmaResult r = co_await fabric_->qp(cs_id_, ref.ms).Post(renew);
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(r.status.ok());
 }
@@ -291,6 +317,7 @@ sim::Task<void> HoclClient::Unlock(LockGuard guard,
                 nullptr, ref.space)
           : rdma::WorkRequest::Write(ref.lane_address(), &kZero,
                                      sizeof(kZero), ref.space);
+  release.origin = rdma::kWrOriginLock;
 
   if (hand_over) {
     // Keep the global lock; flush pending write-backs, then wake the next
@@ -306,8 +333,10 @@ sim::Task<void> HoclClient::Unlock(LockGuard guard,
         local->lane_stamp != LeaseStampNow()) {
       local->lane_stamp = LeaseStampNow();
       renew_lane = MakeLockLane(OwnerTag(), local->lane_stamp);
-      write_backs.push_back(rdma::WorkRequest::Write(
-          ref.lane_address(), &renew_lane, sizeof(renew_lane), ref.space));
+      rdma::WorkRequest restamp = rdma::WorkRequest::Write(
+          ref.lane_address(), &renew_lane, sizeof(renew_lane), ref.space);
+      restamp.origin = rdma::kWrOriginLock;
+      write_backs.push_back(restamp);
     }
     if (!write_backs.empty()) {
       if (combine) {
@@ -346,6 +375,10 @@ sim::Task<void> HoclClient::Unlock(LockGuard guard,
     if (stats != nullptr) stats->round_trips++;
     SHERMAN_CHECK(r.status.ok());
   }
+
+  // The FAA release is an arithmetic delta, not a lane image, so DMSan
+  // cannot decode it from the posted WR; clear the shadow explicitly.
+  if (options_.release_with_faa) DmsanLockReleased(fabric_, cs_id_, ref);
 
   if (options_.hierarchical) {
     local->handover_depth = 0;

@@ -8,6 +8,7 @@
 #include "lock/lock_table.h"
 #include "obs/trace.h"
 #include "recover/intent.h"
+#include "sanitizer/dmsan.h"
 #include "util/logging.h"
 
 namespace sherman::migrate {
@@ -60,6 +61,13 @@ sim::Task<rdma::GlobalAddress> Migrator::AllocOnTarget(uint16_t ms,
   }
   const rdma::GlobalAddress addr = chunk_base_.Plus(chunk_used_);
   chunk_used_ += size;
+  // The migrator bump-allocates outside CsAllocator, so it feeds DMSan's
+  // allocation shadow itself: the copy target is private until the flip.
+  if (dmsan::Active()) {
+    if (dmsan::Checker* c = system_->dmsan_checker()) {
+      c->OnNodeAllocated(options_.cs_id, addr, size);
+    }
+  }
   co_return addr;
 }
 
@@ -268,10 +276,11 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
   const int intent_slot = co_await t.intents_.Publish(intent, stats);
   co_await fault::Injector().AtSite(kCrashFlipIntent, cs);
 
+  rdma::WorkRequest copy_wr =
+      rdma::WorkRequest::Write(naddr, buf->data(), node_size());
+  copy_wr.intent_slot = static_cast<uint8_t>(intent_slot);
   rdma::RdmaResult w =
-      co_await system_->fabric()
-          .qp(cs, target)
-          .Post(rdma::WorkRequest::Write(naddr, buf->data(), node_size()));
+      co_await system_->fabric().qp(cs, target).Post(copy_wr);
   SHERMAN_CHECK(w.status.ok());
   stats_.bytes_copied += node_size();
   co_await fault::Injector().AtSite(kCrashFlipCopy, cs);
@@ -292,7 +301,10 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
     if (o.consistency == TreeOptions::Consistency::kChecksum) {
       view.UpdateChecksum();
     }
-    return rdma::WorkRequest::Write(locked.addr, buf->data(), node_size());
+    rdma::WorkRequest wr =
+        rdma::WorkRequest::Write(locked.addr, buf->data(), node_size());
+    wr.intent_slot = static_cast<uint8_t>(intent_slot);
+    return wr;
   };
   if (tombstone_first) {
     rdma::RdmaResult tw =
@@ -321,6 +333,12 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
     }
     t.intents_.ClearAsync(intent_slot);
     co_return st;
+  }
+  // The parent's child pointer now names the copy: private -> live.
+  if (dmsan::Active()) {
+    if (dmsan::Checker* c = system_->dmsan_checker()) {
+      c->PublishNode(naddr, level);
+    }
   }
   co_await fault::Injector().AtSite(kCrashFlipFlipped, cs);
   // Repair the B-link chain so sibling chases skip the tombstone. (On a

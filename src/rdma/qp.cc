@@ -6,6 +6,7 @@
 #include "fault/crash_point.h"
 #include "rdma/compute_server.h"
 #include "rdma/memory_server.h"
+#include "sanitizer/dmsan.h"
 #include "util/logging.h"
 
 namespace sherman::rdma {
@@ -85,6 +86,14 @@ sim::Task<RdmaResult> Qp::PostBatch(std::vector<WorkRequest> wrs) {
     const bool is_last = (i + 1 == wrs.size());
     SHERMAN_CHECK_MSG(is_last || wr.verb == Verb::kWrite,
                       "only WRITEs may precede the last WR in a batch");
+
+    // DMSan observes every WR at post time: the simulator is single-
+    // threaded, so post order IS the order protocol decisions were made in.
+    if (dmsan::Active()) {
+      if (dmsan::Checker* checker = dmsan::Find(sim)) {
+        checker->OnWr(cs_->id(), wr);
+      }
+    }
 
     switch (wr.verb) {
       case Verb::kRead:
@@ -274,6 +283,11 @@ sim::Task<RdmaResult> Qp::PostReadBatch(std::vector<WorkRequest> wrs) {
     MemoryRegion& region =
         wr.space == MemorySpace::kHost ? ms_->host() : ms_->device();
     SHERMAN_CHECK(wr.remote.offset + wr.length <= region.size());
+    if (dmsan::Active()) {
+      if (dmsan::Checker* checker = dmsan::Find(sim)) {
+        checker->OnWr(cs_->id(), wr);
+      }
+    }
 
     const sim::SimTime tx_done = cs_nic.ReserveTx(tx_prev, RequestPayload(wr));
     tx_prev = tx_done;

@@ -23,6 +23,15 @@ enum class MemorySpace : uint8_t {
   kDevice,  // NIC on-chip memory (no PCIe transactions)
 };
 
+// DMSan provenance tags (src/sanitizer/dmsan.h). Blessed wrappers mark
+// their requests so the sanitizer can tell an API-mediated lock/root
+// mutation from a rogue one; requests covered by a published intent
+// record carry their slot. Plain data-path requests leave both defaults.
+inline constexpr uint8_t kWrOriginNone = 0;
+inline constexpr uint8_t kWrOriginLock = 1;  // HoclClient lock-table access
+inline constexpr uint8_t kWrOriginRoot = 2;  // root-pointer swap API
+inline constexpr uint8_t kWrNoIntent = 0xff;
+
 struct WorkRequest {
   Verb verb = Verb::kRead;
   MemorySpace space = MemorySpace::kHost;
@@ -39,6 +48,10 @@ struct WorkRequest {
   uint64_t mask = ~0ull;     // kMaskedCas: only masked bits compared/swapped
   // If non-null, receives the pre-operation value at `remote`.
   uint64_t* fetched = nullptr;
+
+  // DMSan provenance (ignored by the fabric itself; see constants above).
+  uint8_t origin = kWrOriginNone;
+  uint8_t intent_slot = kWrNoIntent;
 
   static WorkRequest Read(GlobalAddress addr, void* dst, uint32_t len,
                           MemorySpace space = MemorySpace::kHost) {

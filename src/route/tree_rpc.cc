@@ -6,6 +6,7 @@
 #include "alloc/layout.h"
 #include "lock/lock_table.h"
 #include "obs/trace.h"
+#include "sanitizer/dmsan.h"
 #include "util/logging.h"
 
 namespace sherman::route {
@@ -24,6 +25,16 @@ void SealHostNode(NodeView* node, const TreeOptions& o) {
     node->UpdateChecksum();
   } else {
     node->BumpNodeVersions();
+  }
+}
+
+// DMSan feed: the MS-side executor is about to mutate `node` through host
+// memory. It only reaches this point after NodeLocked declined held lanes,
+// so a shadow-held lane here is a genuine executor-vs-one-sided race.
+void DmsanRpcMutate(ShermanSystem* system, rdma::GlobalAddress node) {
+  if (!dmsan::Active()) return;
+  if (dmsan::Checker* c = system->dmsan_checker()) {
+    c->OnRpcMutate(node.node, node);
   }
 }
 }  // namespace
@@ -114,6 +125,7 @@ uint64_t TreeRpcService::DoInsert(Key key, uint64_t value) {
   }
   const TreeOptions& o = system_->options();
   NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+  DmsanRpcMutate(system_, leaf);
 
   if (o.two_level_versions) {
     const NodeView::SlotResult slot = view.FindLeafSlot(key);
@@ -163,6 +175,7 @@ uint64_t TreeRpcService::DoDelete(Key key) {
   }
   const TreeOptions& o = system_->options();
   NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+  DmsanRpcMutate(system_, leaf);
 
   if (o.two_level_versions) {
     const NodeView::SlotResult slot = view.FindLeafSlot(key);
@@ -231,6 +244,9 @@ void TreeRpcService::TryMergeHost(rdma::GlobalAddress leaf) {
   const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
   if (s_live + live > 3 * cap / 4) return;  // anti-thrash headroom
 
+  DmsanRpcMutate(system_, leaf);
+  DmsanRpcMutate(system_, saddr);
+  DmsanRpcMutate(system_, paddr);
   // Move survivors, widen the sibling, drop the parent entry, tombstone.
   MoveLeafEntries(&sview, view, o.two_level_versions);
   sview.set_hi_fence(hi);
@@ -370,6 +386,7 @@ uint64_t TreeRpcService::DoMultiInsert(int ms, uint64_t token) {
       continue;
     }
     NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+    DmsanRpcMutate(system_, leaf);
     if (o.two_level_versions) {
       const NodeView::SlotResult slot = view.FindLeafSlot(key);
       const uint32_t i = slot.match != UINT32_MAX ? slot.match : slot.empty;
@@ -413,6 +430,7 @@ uint64_t TreeRpcService::DoMultiDelete(int ms, uint64_t token) {
       continue;
     }
     NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+    DmsanRpcMutate(system_, leaf);
     bool removed = false;
     if (o.two_level_versions) {
       const NodeView::SlotResult slot = view.FindLeafSlot(key);

@@ -408,7 +408,7 @@ TEST(LockLeaseTest, LockStealsDeadHoldersLaneViaRecoveryHook) {
     hook_calls++;
     // Stand-in for the Recoverer's lane sweep: release the dead lane.
     static const uint16_t kZero = 0;
-    co_await fabric.qp(0, 0).Post(rdma::WorkRequest::Write(
+    co_await fabric.qp(0, 0).Post(rdma::WorkRequest::Write(  // protocol-ok: test models the recoverer's sweep
         ref.lane_address(), &kZero, sizeof(kZero), ref.space));
   });
 
@@ -446,7 +446,8 @@ TEST(HoclTest, CombinedUnlockOrdersWriteBeforeRelease) {
     LockGuard g = co_await h->Lock(addr, nullptr);
     static const uint64_t kPayload = 0xfeedface;
     std::vector<rdma::WorkRequest> wrs;
-    wrs.push_back(rdma::WorkRequest::Write(addr, &kPayload, 8));
+    wrs.push_back(  // protocol-ok: write-back riding the Unlock under test
+        rdma::WorkRequest::Write(addr, &kPayload, 8));
     co_await h->Unlock(g, std::move(wrs), /*combine=*/true, nullptr);
   }(&fabric, &h0, node));
   sim::Spawn([](rdma::Fabric* f, HoclClient* h, rdma::GlobalAddress addr,
