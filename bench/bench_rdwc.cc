@@ -1,0 +1,133 @@
+// bench_rdwc: hot-key delegation + read/write combining on extreme skew.
+//
+// The workload is the 99/1 hotspot mix ("hotspot" preset): 99% of ops hit
+// a hot set of --hot-keys loaded keys (default 4 — small and ABSOLUTE on
+// purpose, so many clients collide on each hot key and combining windows
+// actually collect followers). Three arms run on identical fresh systems:
+//
+//   adaptive      the PR-4 adaptive router alone (rdwc off) — baseline
+//   +delegation   hot keys promoted, concurrent ops QUEUE behind the
+//                 delegate (serialized CS-side, no remote CAS storm), but
+//                 every op still issues its own remote work
+//   +combining    parked GETs share the delegate's result and parked PUTs
+//                 collapse last-writer-wins into ONE combined locked write
+//
+// The runner CHECK-fails on any non-OK op, so a completing run is itself
+// the zero-failed-ops gate. The combining_speedup gate enforces the
+// headline claim: +combining >= 1.5x adaptive-only throughput (relaxed to
+// >= 1.05x under --quick, whose tiny key count and short window leave the
+// ratio noisy).
+//
+// Flags (beyond bench/common.h): --shards=N --epoch-us=N --theta=F
+//   --hot-keys=N --hot-share=F --promote=N --window-max=N
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/hybrid_system.h"
+
+using namespace sherman;
+using namespace sherman::bench;
+
+namespace {
+
+struct Arm {
+  std::string name;
+  bool delegation = false;
+  bool combining = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  BenchEnv env = BenchEnv::FromArgs(args);
+  BenchTelemetry telemetry("rdwc", args);
+
+  const int num_shards = static_cast<int>(args.GetInt("shards", 64));
+  const sim::SimTime epoch_ns =
+      static_cast<sim::SimTime>(args.GetInt("epoch-us", 1000)) * 1000;
+  const double theta = args.GetDouble("theta", 0.99);
+  const uint64_t hot_keys = static_cast<uint64_t>(args.GetInt("hot-keys", 4));
+  const double hot_share = args.GetDouble("hot-share", 0.99);
+  const uint32_t promote =
+      static_cast<uint32_t>(args.GetInt("promote", 8));
+  const uint32_t window_max =
+      static_cast<uint32_t>(args.GetInt("window-max", 64));
+
+  AddEnvConfig(&telemetry, env);
+  telemetry.Config("shards", num_shards);
+  telemetry.Config("epoch_ns", static_cast<uint64_t>(epoch_ns));
+  telemetry.Config("theta", theta);
+  telemetry.Config("hot_keys", hot_keys);
+  telemetry.Config("hot_share", hot_share);
+  telemetry.Config("promote_threshold", static_cast<uint64_t>(promote));
+  telemetry.Config("window_max_ops", static_cast<uint64_t>(window_max));
+
+  const std::vector<Arm> arms = {
+      {"adaptive", false, false},
+      {"+delegation", true, false},
+      {"+combining", true, true},
+  };
+
+  Table table("hot-key delegation + combining (" + std::to_string(env.keys) +
+              " keys, " + std::to_string(env.threads_per_cs) +
+              " threads/CS, hot set " + std::to_string(hot_keys) + " keys @ " +
+              Fmt(hot_share, 2) + ")");
+  table.SetColumns({"arm", "Mops", "p50(us)", "p99(us)", "windows",
+                    "followers", "gets-shared", "puts-combined",
+                    "combined-wr", "overflow"});
+
+  double adaptive_mops = 0, combining_mops = 0;
+  for (const Arm& arm : arms) {
+    HybridOptions opts;
+    opts.tree = ShermanOptions();
+    opts.tree.cache_bytes = env.cache_bytes;
+    opts.router.policy = route::RouterOptions::Policy::kAdaptive;
+    opts.router.num_shards = num_shards;
+    opts.router.epoch_ns = epoch_ns;
+    opts.rdwc.enable_delegation = arm.delegation;
+    opts.rdwc.enable_combining = arm.combining;
+    opts.rdwc.promote_threshold = promote;
+    opts.rdwc.window_max_ops = window_max;
+
+    HybridSystem system(env.FabricCfg(), opts);
+    system.BulkLoad(MakeLoadKvs(env.keys), 0.8);
+
+    WorkloadOptions parsed;
+    const bool ok = ParseMix("hotspot", &parsed);
+    SHERMAN_CHECK(ok);
+    RunnerOptions r = env.Runner(parsed.mix, theta);
+    r.workload.hotspot_share = hot_share;
+    r.workload.hotspot_keys = hot_keys;
+
+    const RunResult run = RunWorkload(&system, r);
+    telemetry.AddRun(arm.name, run);
+    const obs::MetricsSnapshot& m = run.metrics;
+    table.AddRow({arm.name, Fmt(run.mops), Fmt(run.P50Us(), 1),
+                  Fmt(run.P99Us(), 1),
+                  std::to_string(m.counter("rdwc.windows_opened")),
+                  std::to_string(m.counter("rdwc.followers_queued")),
+                  std::to_string(m.counter("rdwc.gets_shared")),
+                  std::to_string(m.counter("rdwc.puts_combined")),
+                  std::to_string(m.counter("rdwc.combined_writes")),
+                  std::to_string(m.counter("rdwc.bypass_overflow"))});
+    if (arm.name == "adaptive") adaptive_mops = run.mops;
+    if (arm.name == "+combining") combining_mops = run.mops;
+  }
+  table.Print();
+
+  const double speedup =
+      adaptive_mops > 0 ? combining_mops / adaptive_mops : 0;
+  const double bar = env.quick ? 1.05 : 1.5;
+  std::printf("\ncombining speedup over adaptive-only: %.2fx (gate >= %.2fx)\n",
+              speedup, bar);
+  telemetry.Gate("combining_speedup", speedup >= bar, speedup);
+  if (speedup < bar) {
+    std::printf("FAIL: combining speedup %.2fx below the %.2fx gate\n",
+                speedup, bar);
+    return 1;
+  }
+  return 0;
+}

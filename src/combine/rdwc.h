@@ -1,0 +1,228 @@
+// RDWC: hot-key delegation with read/write combining.
+//
+// Sherman's write combining (§4.4) stops at HOCL lock handover: under
+// Zipfian skew every client still pays its own round trips and lock
+// contention for the same handful of hot keys. This layer extends the
+// handover idea from *lock* combining to *op* combining, compute-side
+// (DEX makes the same argument for co-locating responsibility for a hot
+// key at one actor):
+//
+//  - A sharded delegation table tracks per-key traffic with sampled
+//    counters and promotes keys that cross `promote_threshold` hits
+//    within one `hot_window_ns` epoch (demotion after `demote_windows`
+//    cold epochs). Promotion can additionally be gated on the existing
+//    per-shard HotnessTracker signal (`shard_gate_ops`), so only keys in
+//    shards the AdaptiveRouter already sees as busy are candidates.
+//  - The first op on a promoted key becomes the *delegate* and opens a
+//    bounded combining window. Ops on the same key arriving while the
+//    delegate is in flight QUEUE: they park on the window. When the
+//    delegate completes, parked GETs share its result, and parked PUTs
+//    have been folded into ONE combined remote write (last arrival wins)
+//    issued under a single HOCL acquisition — an ordinary V1-legal
+//    locked tree write, so the PR-2 doorbell batching, the intent
+//    protocol, and DMSan all see a write they already understand.
+//  - Everything else BYPASSES: cold keys pay only a hash, a bit test and
+//    (on 1-in-2^sample_shift ops) a sampled counter bump — never a table
+//    lookup; deletes and range queries are never delegated; windows that
+//    reach `window_max_ops` parked ops overflow to the direct path.
+//
+// All ops parked in one window overlap the delegate's in-flight op, so
+// they are mutually concurrent: serving parked GETs the window's final
+// value and collapsing parked PUTs last-writer-wins into one write is a
+// legal linearization.
+//
+// Crash semantics (PR-5): a dying delegate must not strand parked
+// followers. Every window arms a timer; when it fires and the delegate's
+// compute server is dead, the first parked follower on a live CS is
+// re-elected as the new delegate — it re-runs its own op plus the
+// combined write and serves the rest. Parked followers whose own CS died
+// are buried in the injector's graveyard, exactly like any other frozen
+// coroutine. The milestones are covered by the `rdwc.open` / `rdwc.exec`
+// / `rdwc.combine` crash sites (recover_test sweeps them).
+//
+// The table is compute-side state shared by all HybridClients (the
+// simulation abstracts the CS-to-CS delegation hop; followers served
+// from another CS's delegate are charged `cross_cs_hop_ns`).
+#ifndef SHERMAN_COMBINE_RDWC_H_
+#define SHERMAN_COMBINE_RDWC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/node_layout.h"
+#include "core/stats.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace sherman::route {
+class HybridClient;
+class HotnessTracker;
+class AdaptiveRouter;
+}  // namespace sherman::route
+
+namespace sherman::combine {
+
+struct RdwcOptions {
+  // Master switch: off = HybridClient never consults the table.
+  bool enable_delegation = false;
+  // Share the delegate's result with parked GETs and collapse parked
+  // PUTs into one combined write. Off = delegation only QUEUES (parked
+  // ops re-run directly, serialized behind the delegate — a CS-side
+  // hot-key queue that spares the remote lock the CAS storm).
+  bool enable_combining = true;
+
+  // --- promotion / demotion ---
+  uint32_t promote_threshold = 8;   // sampled hits per window to promote
+  uint32_t demote_windows = 2;      // consecutive cold windows to demote
+  sim::SimTime hot_window_ns = 200'000;
+  // Cold-key ops are counted 1 in 2^sample_shift (0 = count every op);
+  // the rest pay only the hash + hot-bit test.
+  uint32_t sample_shift = 2;
+  // Candidate tracking engages only when the key's shard saw at least
+  // this many ops in the HotnessTracker's current epoch window (0 = no
+  // gate). This reuses the router's existing per-shard hotness signal.
+  uint64_t shard_gate_ops = 0;
+
+  // --- combining window ---
+  uint32_t window_max_ops = 16;         // parked ops before overflow
+  sim::SimTime follower_timeout_ns = 100'000;  // delegate-death probe
+  sim::SimTime cross_cs_hop_ns = 600;   // charged to cross-CS followers
+
+  // --- table sizing ---
+  uint32_t table_shards = 64;
+  uint32_t max_tracked_per_shard = 64;  // candidate entries per shard
+};
+
+struct RdwcStats {
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t windows_opened = 0;
+  uint64_t followers_queued = 0;
+  uint64_t gets_shared = 0;      // parked GETs served from the window
+  uint64_t puts_combined = 0;    // parked PUTs folded into one write
+  uint64_t combined_writes = 0;  // the single writes actually issued
+  uint64_t bypass_overflow = 0;  // window full, op went direct
+  uint64_t reelections = 0;      // followers that took over a dead window
+  uint64_t windows_abandoned = 0;
+};
+
+struct RdwcEntry;
+
+// One combining window. The struct lives in the delegate coroutine's
+// frame: if the delegate crashes, the frame is buried (kept reachable
+// forever) by the crash injector, so parked followers' pointers into the
+// window stay valid for the re-election path.
+struct RdwcWindow {
+  Key key = 0;
+  uint64_t gen = 0;       // timer handle: live_ maps gen -> window
+  int delegate_cs = -1;
+  RdwcEntry* entry = nullptr;
+  bool done = false;
+
+  Status result = Status::OK();  // delegate's own op status
+  bool read_valid = false;       // delegate GET produced read_value
+  uint64_t read_value = 0;
+
+  bool write_pending = false;    // >= 1 parked PUT folded in
+  uint64_t write_value = 0;      // last-arrived parked PUT wins
+  Status write_result = Status::OK();
+
+  bool final_valid = false;      // value parked GETs serve
+  uint64_t final_value = 0;
+
+  struct Parked {
+    std::coroutine_handle<> h;
+    int cs = -1;
+    bool elected = false;  // woken as the window's new delegate
+  };
+  std::vector<Parked*> parked;
+};
+
+// One delegation-table entry (hot key or tracked candidate).
+struct RdwcEntry {
+  uint32_t hits = 0;          // sampled hits this hot window
+  uint32_t cold_windows = 0;  // consecutive windows below the bar
+  bool hot = false;
+  RdwcWindow* win = nullptr;  // open combining window, if any
+};
+
+class RdwcLayer {
+ public:
+  RdwcLayer(sim::Simulator* sim, route::HotnessTracker* tracker,
+            route::AdaptiveRouter* router, RdwcOptions options);
+
+  RdwcLayer(const RdwcLayer&) = delete;
+  RdwcLayer& operator=(const RdwcLayer&) = delete;
+
+  const RdwcOptions& options() const { return options_; }
+  const RdwcStats& stats() const { return stats_; }
+
+  // Fast-path admission: returns the hot entry for `key`, bumping its
+  // sampled counter (and possibly promoting it), or nullptr — BYPASS, the
+  // caller dispatches directly. Cold keys whose hot-filter bit is clear
+  // pay no map lookup on unsampled ops.
+  RdwcEntry* Admit(Key key);
+
+  // Runs one op through `key`'s window: opens it as the delegate if none
+  // is in flight, otherwise parks as a follower (QUEUE) or overflows to
+  // the direct path. `get_value` is null for PUTs.
+  sim::Task<Status> RunWindow(route::HybridClient* client, RdwcEntry* e,
+                              Key key, bool is_put, uint64_t put_value,
+                              uint64_t* get_value, OpStats* stats);
+
+  // Test hook: is `key` currently promoted?
+  bool IsHot(Key key) const;
+  size_t open_windows() const { return live_.size(); }
+
+ private:
+  struct Bucket {
+    std::map<Key, RdwcEntry> entries;
+    uint64_t hot_bits = 0;   // coarse filter over promoted keys' hashes
+    uint32_t sample_ctr = 0;
+    sim::SimTime window_start = 0;
+  };
+
+  Bucket& BucketFor(Key key, uint64_t* bit);
+  void RollIfDue(Bucket* b);
+  void Promote(Bucket* b, uint64_t bit, RdwcEntry* e);
+
+  // Delegate body: own op, then the combined write, then wake followers.
+  sim::Task<Status> DelegateRun(route::HybridClient* client, RdwcWindow* w,
+                                bool is_put, uint64_t put_value,
+                                uint64_t* get_value, OpStats* stats);
+  sim::Task<Status> Direct(route::HybridClient* client, Key key, bool is_put,
+                           uint64_t put_value, uint64_t* get_value,
+                           OpStats* stats);
+  void Complete(RdwcWindow* w);
+  void CloseWindow(RdwcWindow* w);
+  void ArmTimer(uint64_t gen);
+  void OnTimeout(uint64_t gen);
+
+  struct ParkAwaiter {
+    RdwcWindow* w;
+    RdwcWindow::Parked* me;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      me->h = h;
+      w->parked.push_back(me);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  sim::Simulator* sim_;
+  route::HotnessTracker* tracker_;
+  route::AdaptiveRouter* router_;
+  RdwcOptions options_;
+  std::vector<Bucket> buckets_;
+  std::map<uint64_t, RdwcWindow*> live_;  // open windows by generation
+  uint64_t next_gen_ = 1;
+  RdwcStats stats_;
+};
+
+}  // namespace sherman::combine
+
+#endif  // SHERMAN_COMBINE_RDWC_H_

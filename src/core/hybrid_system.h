@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "combine/rdwc.h"
 #include "core/btree.h"
 #include "migrate/shard_map.h"
 #include "route/hybrid_client.h"
@@ -31,6 +32,10 @@ namespace sherman {
 struct HybridOptions {
   TreeOptions tree;
   route::RouterOptions router;
+  // Hot-key delegation + read/write combining (src/combine/rdwc.h);
+  // rdwc.enable_delegation = false keeps the layer entirely out of the
+  // op path (the ablation baseline).
+  combine::RdwcOptions rdwc;
 };
 
 class HybridSystem {
@@ -60,6 +65,8 @@ class HybridSystem {
   route::HotnessTracker& tracker() { return tracker_; }
   route::TreeRpcService& rpc_service() { return rpc_service_; }
   migrate::ShardMap& shard_map() { return shard_map_; }
+  // Null when rdwc.enable_delegation is off.
+  combine::RdwcLayer* rdwc() { return rdwc_.get(); }
 
  private:
   ShermanSystem sherman_;
@@ -67,6 +74,7 @@ class HybridSystem {
   route::TreeRpcService rpc_service_;
   migrate::ShardMap shard_map_;
   std::unique_ptr<route::AdaptiveRouter> router_;
+  std::unique_ptr<combine::RdwcLayer> rdwc_;
   std::vector<std::unique_ptr<route::HybridClient>> clients_;
 };
 

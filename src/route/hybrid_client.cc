@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "combine/rdwc.h"
 #include "util/logging.h"
 
 namespace sherman::route {
@@ -113,8 +114,8 @@ void HybridClient::RecordBatch(const std::vector<SlotView>& slots,
   FoldStats(fb_local, stats);
 }
 
-sim::Task<Status> HybridClient::Insert(Key key, uint64_t value,
-                                       OpStats* stats) {
+sim::Task<Status> HybridClient::InsertDirect(Key key, uint64_t value,
+                                             OpStats* stats) {
   return Dispatch(
       key, /*is_write=*/true,
       [this, key, value](uint16_t ms, OpStats* s) {
@@ -124,8 +125,8 @@ sim::Task<Status> HybridClient::Insert(Key key, uint64_t value,
       stats);
 }
 
-sim::Task<Status> HybridClient::Lookup(Key key, uint64_t* value,
-                                       OpStats* stats) {
+sim::Task<Status> HybridClient::LookupDirect(Key key, uint64_t* value,
+                                             OpStats* stats) {
   return Dispatch(
       key, /*is_write=*/false,
       [this, key, value](uint16_t ms, OpStats* s) {
@@ -133,6 +134,35 @@ sim::Task<Status> HybridClient::Lookup(Key key, uint64_t* value,
       },
       [this, key, value](OpStats* s) { return tree_.Lookup(key, value, s); },
       stats);
+}
+
+sim::Task<Status> HybridClient::Insert(Key key, uint64_t value,
+                                       OpStats* stats) {
+  if (rdwc_ != nullptr) {
+    combine::RdwcEntry* e = rdwc_->Admit(key);
+    if (e != nullptr) {
+      return rdwc_->RunWindow(this, e, key, /*is_put=*/true, value,
+                              /*get_value=*/nullptr, stats);
+    }
+  }
+  return InsertDirect(key, value, stats);
+}
+
+sim::Task<Status> HybridClient::Lookup(Key key, uint64_t* value,
+                                       OpStats* stats) {
+  if (rdwc_ != nullptr) {
+    combine::RdwcEntry* e = rdwc_->Admit(key);
+    if (e != nullptr) {
+      return rdwc_->RunWindow(this, e, key, /*is_put=*/false, 0, value, stats);
+    }
+  }
+  return LookupDirect(key, value, stats);
+}
+
+void HybridClient::RecordAbsorbed(Key key, bool is_write, sim::SimTime start,
+                                  OpStats* stats) {
+  Finish(router_->ShardFor(key), Path::kOneSided, is_write, OpStats{},
+         /*fallback=*/false, start, stats);
 }
 
 sim::Task<Status> HybridClient::Delete(Key key, OpStats* stats) {
@@ -159,6 +189,22 @@ sim::Task<Status> HybridClient::RangeQuery(
 sim::Task<Status> HybridClient::MultiGet(std::vector<Key> keys,
                                          std::vector<MultiGetResult>* out,
                                          OpStats* stats) {
+  // Plan-time dedupe: serve each distinct key once, fan the result to
+  // every instance (see the header's duplicate-key semantics).
+  std::map<Key, size_t> first_of;
+  for (Key k : keys) first_of.try_emplace(k, first_of.size());
+  if (first_of.size() != keys.size()) {
+    std::vector<Key> uniq(first_of.size());
+    for (const auto& [k, slot] : first_of) uniq[slot] = k;
+    std::vector<MultiGetResult> uniq_out;
+    Status st = co_await MultiGet(std::move(uniq), &uniq_out, stats);
+    out->assign(keys.size(), MultiGetResult{});
+    for (size_t i = 0; i < keys.size(); i++) {
+      (*out)[i] = uniq_out[first_of[keys[i]]];
+    }
+    co_return st;
+  }
+
   const size_t n = keys.size();
   out->assign(n, MultiGetResult{});
   if (n == 0) co_return Status::OK();
@@ -254,6 +300,28 @@ sim::Task<Status> HybridClient::MultiGet(std::vector<Key> keys,
 
 sim::Task<Status> HybridClient::MultiInsert(
     std::vector<std::pair<Key, uint64_t>> kvs, OpStats* stats) {
+  // Plan-time dedupe, last-writer-wins: keep one instance per key (in
+  // first-occurrence position) carrying the LAST instance's value. This
+  // pins the duplicate order BEFORE the batch fans out, so a declined
+  // earlier instance can never be re-applied by the fallback batch after
+  // a later instance already landed at the MS.
+  {
+    std::map<Key, size_t> slot_of;
+    std::vector<std::pair<Key, uint64_t>> uniq;
+    uniq.reserve(kvs.size());
+    for (const auto& kv : kvs) {
+      auto [it, inserted] = slot_of.try_emplace(kv.first, uniq.size());
+      if (inserted) {
+        uniq.push_back(kv);
+      } else {
+        uniq[it->second].second = kv.second;
+      }
+    }
+    if (uniq.size() != kvs.size()) {
+      co_return co_await MultiInsert(std::move(uniq), stats);
+    }
+  }
+
   const size_t n = kvs.size();
   if (n == 0) co_return Status::OK();
   const sim::SimTime start = sim_->now();
@@ -338,6 +406,28 @@ sim::Task<Status> HybridClient::MultiInsert(
 sim::Task<Status> HybridClient::MultiDelete(std::vector<Key> keys,
                                             std::vector<Status>* out,
                                             OpStats* stats) {
+  // Plan-time dedupe, first-delete-wins: the first instance of each key
+  // gets the real status; later instances of the same key in one batch
+  // report NotFound (the key is already gone within the batch).
+  std::map<Key, size_t> first_of;
+  for (Key k : keys) first_of.try_emplace(k, first_of.size());
+  if (first_of.size() != keys.size()) {
+    std::vector<Key> uniq(first_of.size());
+    for (const auto& [k, slot] : first_of) uniq[slot] = k;
+    std::vector<Status> uniq_out;
+    Status st = co_await MultiDelete(std::move(uniq), &uniq_out, stats);
+    out->assign(keys.size(), Status::NotFound());
+    std::vector<uint8_t> claimed(uniq_out.size(), 0);
+    for (size_t i = 0; i < keys.size(); i++) {
+      const size_t slot = first_of[keys[i]];
+      if (claimed[slot] == 0) {
+        (*out)[i] = uniq_out[slot];
+        claimed[slot] = 1;
+      }
+    }
+    co_return st;
+  }
+
   const size_t n = keys.size();
   out->assign(n, Status::NotFound());
   if (n == 0) co_return Status::OK();

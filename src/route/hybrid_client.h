@@ -15,6 +15,10 @@
 #include "route/router.h"
 #include "route/tree_rpc.h"
 
+namespace sherman::combine {
+class RdwcLayer;
+}  // namespace sherman::combine
+
 namespace sherman::route {
 
 class HybridClient final : public IndexBackend {
@@ -28,6 +32,9 @@ class HybridClient final : public IndexBackend {
         sim_(&sherman->simulator()),
         cs_id_(cs_id) {}
 
+  // Singleton Insert/Lookup consult the RDWC delegation table when one
+  // is installed (hot keys run through a combining window); cold keys and
+  // everything else fall through to the direct paths below.
   sim::Task<Status> Insert(Key key, uint64_t value,
                            OpStats* stats = nullptr) override;
   sim::Task<Status> Lookup(Key key, uint64_t* value,
@@ -42,6 +49,15 @@ class HybridClient final : public IndexBackend {
   // remainder goes through TreeClient's doorbell-batched path, and both
   // halves run concurrently. MS-declined keys transparently fall back to
   // a one-sided batch, like the singleton fallback.
+  //
+  // Duplicate keys in one batch (the degenerate single-client case of
+  // combining) are deduped at plan time, BEFORE the batch fans out
+  // across paths — so the decline->fallback path can never re-apply an
+  // earlier duplicate after a later one landed. Semantics: MultiGet
+  // serves each distinct key once and fans the result to every
+  // instance; MultiInsert applies the LAST instance's value
+  // (last-writer-wins); MultiDelete resolves the FIRST instance (it
+  // gets the real status) and reports NotFound for the rest.
   sim::Task<Status> MultiGet(std::vector<Key> keys,
                              std::vector<MultiGetResult>* out,
                              OpStats* stats = nullptr) override;
@@ -54,6 +70,24 @@ class HybridClient final : public IndexBackend {
 
   int cs_id() const { return cs_id_; }
   TreeClient& tree_client() { return *tree_.client(); }
+
+  // RDWC (src/combine/): installed by HybridSystem when delegation is
+  // enabled; the table is shared by every client of the deployment.
+  // Delete/RangeQuery always BYPASS it.
+  void SetRdwc(combine::RdwcLayer* rdwc) { rdwc_ = rdwc; }
+
+  // The un-delegated dispatch paths. The RDWC delegate (and its combined
+  // write) runs through these; with no layer installed Insert/Lookup are
+  // exactly these.
+  sim::Task<Status> InsertDirect(Key key, uint64_t value, OpStats* stats);
+  sim::Task<Status> LookupDirect(Key key, uint64_t* value, OpStats* stats);
+
+  // Folds one window-served follower op into its shard's hotness window
+  // (an absorbed op is real demand the router must still see) and the
+  // caller's OpStats. No remote work happened, so the OpStats fold is
+  // empty; the latency is the op's true park-to-serve time.
+  void RecordAbsorbed(Key key, bool is_write, sim::SimTime start,
+                      OpStats* stats);
 
  private:
   void Finish(int shard, Path path, bool is_write, const OpStats& local,
@@ -115,6 +149,7 @@ class HybridClient final : public IndexBackend {
   HotnessTracker* tracker_;
   sim::Simulator* sim_;
   int cs_id_;
+  combine::RdwcLayer* rdwc_ = nullptr;
 };
 
 }  // namespace sherman::route

@@ -58,6 +58,16 @@ ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
          (1.0 - zeta2theta_ / zetan_);
 }
 
+void ZipfianGenerator::GrowTo(uint64_t n) {
+  if (n <= n_) return;
+  for (uint64_t i = n_; i < n; i++) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+  }
+  n_ = n;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
 uint64_t ZipfianGenerator::Next(Random& rng) {
   const double u = rng.NextDouble();
   const double uz = u * zetan_;
@@ -69,7 +79,7 @@ uint64_t ZipfianGenerator::Next(Random& rng) {
 }
 
 ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n, double theta)
-    : zipf_(n, theta), n_(n) {}
+    : zipf_(n, theta), base_(n) {}
 
 uint64_t ScrambledZipfianGenerator::FnvHash(uint64_t v) {
   // FNV-1a over the 8 bytes of v (as in YCSB's FNVhash64).
@@ -82,8 +92,13 @@ uint64_t ScrambledZipfianGenerator::FnvHash(uint64_t v) {
   return hash;
 }
 
+void ScrambledZipfianGenerator::GrowTo(uint64_t n) { zipf_.GrowTo(n); }
+
 uint64_t ScrambledZipfianGenerator::Next(Random& rng) {
-  return FnvHash(zipf_.Next(rng)) % n_;
+  const uint64_t r = zipf_.Next(rng);
+  // Fixed-modulus scramble: rank r's key must not move when the space
+  // grows, or the hot set churns on every insert (see GrowTo).
+  return r < base_ ? FnvHash(r) % base_ : r;
 }
 
 }  // namespace sherman

@@ -45,6 +45,13 @@ class ZipfianGenerator {
 
   uint64_t Next(Random& rng);
 
+  // Extends the item space to `n` (no-op if not larger), updating the
+  // zeta sum incrementally — O(n - n()) instead of a full recompute.
+  // This is YCSB's growing-keyspace mode: workloads call it as live
+  // inserts extend the drawable universe, so recently inserted items can
+  // be drawn (and become hot) by later ops.
+  void GrowTo(uint64_t n);
+
   uint64_t n() const { return n_; }
   double theta() const { return theta_; }
 
@@ -68,12 +75,20 @@ class ScrambledZipfianGenerator {
 
   uint64_t Next(Random& rng);
 
+  // See ZipfianGenerator::GrowTo. Ranks inside the construction-time
+  // base keep scrambling with the FIXED base modulus, so a hot rank's
+  // key stays stable as the space grows; grown ranks (>= base) pass
+  // through unscrambled — they are already spread by insertion order.
+  void GrowTo(uint64_t n);
+
+  uint64_t n() const { return zipf_.n(); }
+
   // The hash applied to ranks; exposed for tests.
   static uint64_t FnvHash(uint64_t v);
 
  private:
   ZipfianGenerator zipf_;
-  uint64_t n_;
+  uint64_t base_;  // scramble modulus (construction-time n)
 };
 
 }  // namespace sherman

@@ -20,9 +20,31 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options,
   }
 }
 
+uint64_t WorkloadGenerator::KeyForRank(uint64_t rank) const {
+  if (rank < options_.loaded_keys) return LoadedKeyFor(rank);
+  return fresh_keys_[rank - options_.loaded_keys];
+}
+
 uint64_t WorkloadGenerator::NextRank() {
-  uint64_t rank =
-      zipf_ != nullptr ? zipf_->Next(rng_) : rng_.Uniform(options_.loaded_keys);
+  uint64_t rank;
+  if (options_.hotspot_share > 0 && rng_.Bernoulli(options_.hotspot_share)) {
+    // Hotspot popularity: the hot set is `hotspot_keys` loaded ranks
+    // scattered over the loaded prefix (always-present even keys, so a
+    // hot GET is never a spurious NotFound).
+    const uint64_t hot_n =
+        options_.hotspot_keys > 0
+            ? options_.hotspot_keys
+            : std::max<uint64_t>(1, options_.loaded_keys / 100);
+    rank = ScrambledZipfianGenerator::FnvHash(rng_.Uniform(hot_n)) %
+           options_.loaded_keys;
+  } else {
+    rank = zipf_ != nullptr ? zipf_->Next(rng_) : rng_.Uniform(universe());
+  }
+  if (!options_.track_inserts) {
+    // Frozen key space: the drawn rank must stay inside the loaded
+    // prefix (the pre-fix invariant, kept on request).
+    SHERMAN_CHECK(rank < options_.loaded_keys);
+  }
   if (options_.hotspot_drift_ops > 0) {
     if (++ops_since_drift_ >= options_.hotspot_drift_ops) {
       ops_since_drift_ = 0;
@@ -31,7 +53,11 @@ uint64_t WorkloadGenerator::NextRank() {
                                 : std::max<uint64_t>(1, options_.loaded_keys / 8);
       drift_offset_ = (drift_offset_ + step) % options_.loaded_keys;
     }
-    rank = (rank + drift_offset_) % options_.loaded_keys;
+    // The rotation is defined over the loaded prefix; fresh ranks keep
+    // their identity.
+    if (rank < options_.loaded_keys) {
+      rank = (rank + drift_offset_) % options_.loaded_keys;
+    }
   }
   return rank;
 }
@@ -64,24 +90,37 @@ Op WorkloadGenerator::Next() {
   const double dice = rng_.NextDouble();
   const WorkloadMix& mix = options_.mix;
   const uint64_t rank = NextRank();
-  const uint64_t even_key = LoadedKeyFor(rank);
+  const uint64_t key = KeyForRank(rank);
 
   if (dice < mix.insert) {
     op.type = OpType::kInsert;
-    // ~2/3 of inserts update existing keys (§5.1.3); the rest insert the
-    // adjacent odd key.
-    op.key = rng_.Bernoulli(options_.update_fraction) ? even_key : even_key + 1;
+    // ~2/3 of inserts update existing keys, the rest insert the adjacent
+    // odd key (§5.1.3). A rank drawn from the grown universe folds back
+    // into the loaded prefix so the update/fresh parity is independent
+    // of how many fresh keys exist; with track_inserts the fresh odd key
+    // joins the drawable universe, where read-side ops can reach it (and
+    // re-inserting it again adds popularity weight).
+    const uint64_t irank = rank % options_.loaded_keys;
+    if (rng_.Bernoulli(options_.update_fraction)) {
+      op.key = LoadedKeyFor(irank);
+    } else {
+      op.key = LoadedKeyFor(irank) + 1;
+      if (options_.track_inserts) {
+        fresh_keys_.push_back(op.key);
+        if (zipf_ != nullptr) zipf_->GrowTo(universe());
+      }
+    }
     op.value = ++value_counter_;
   } else if (dice < mix.insert + mix.lookup) {
     op.type = OpType::kLookup;
-    op.key = even_key;
+    op.key = key;
   } else if (dice < mix.insert + mix.lookup + mix.range) {
     op.type = OpType::kRangeQuery;
-    op.key = even_key;
+    op.key = key;
     op.range_size = options_.range_size;
   } else {
     op.type = OpType::kDelete;
-    op.key = even_key;
+    op.key = key;
   }
   return op;
 }
@@ -107,6 +146,13 @@ bool ParseMix(const std::string& name, WorkloadOptions* options) {
   if (name == "hotspot-drift") {
     options->mix = WorkloadMix::WriteIntensive();
     if (options->hotspot_drift_ops == 0) options->hotspot_drift_ops = 400;
+    return true;
+  }
+  if (name == "hotspot") {
+    // 99/1 extreme hotspot: 99% of ops on ~1% of the keys (bench_rdwc's
+    // mix; hotspot_keys can further narrow the hot set).
+    options->mix = WorkloadMix::WriteIntensive();
+    if (options->hotspot_share == 0) options->hotspot_share = 0.99;
     return true;
   }
   if (name == "churn") {

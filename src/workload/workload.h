@@ -13,6 +13,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/random.h"
 
@@ -49,6 +50,25 @@ struct WorkloadOptions {
   // hot go cold and vice versa.
   uint64_t hotspot_drift_ops = 0;
   uint64_t hotspot_drift_step = 0;  // 0 => loaded_keys / 8
+
+  // Live-insert tracking (the frozen-Zipfian-hot-set fix): when true
+  // (default), every fresh insert this generator emits joins its
+  // drawable key space — the popularity universe grows (the Zipfian zeta
+  // sum extends incrementally), so recently inserted keys draw follow-up
+  // updates/lookups/deletes and can become hot. When false the pre-fix
+  // behavior is kept deliberately: the drawn space is frozen over the
+  // loaded prefix (the generator asserts every rank stays inside it) and
+  // post-load inserts never attract traffic — skewed insert-heavy runs
+  // silently degrade toward the loaded keys only.
+  bool track_inserts = true;
+
+  // Hotspot popularity (the 99/1 extreme-skew preset bench_rdwc drives):
+  // with probability `hotspot_share` an op targets a hot set of
+  // `hotspot_keys` loaded keys (0 => 1% of loaded_keys) scattered over
+  // the loaded prefix; other ops draw from the regular popularity
+  // distribution. 0 disables.
+  double hotspot_share = 0;
+  uint64_t hotspot_keys = 0;
 
   // Churn mode (space-reclamation benchmarking): when churn_window > 0
   // the generator ignores `mix` and keeps this client's live insert set
@@ -87,12 +107,23 @@ class WorkloadGenerator {
   // Current rotation of the popularity mapping (see hotspot_drift_ops).
   uint64_t drift_offset() const { return drift_offset_; }
 
+  // The current drawable key-space size: loaded_keys plus (with
+  // track_inserts) the fresh keys this generator has inserted so far.
+  uint64_t universe() const {
+    return options_.loaded_keys + fresh_keys_.size();
+  }
+
+  // The tree key for rank r: a loaded even key below loaded_keys, one of
+  // this generator's fresh inserts above.
+  uint64_t KeyForRank(uint64_t rank) const;
+
  private:
   uint64_t NextRank();
 
   WorkloadOptions options_;
   Random rng_;
   std::unique_ptr<ScrambledZipfianGenerator> zipf_;  // null => uniform
+  std::vector<uint64_t> fresh_keys_;  // post-load inserts, by extended rank
   uint64_t value_counter_;
   uint64_t drift_offset_ = 0;
   uint64_t ops_since_drift_ = 0;
@@ -107,11 +138,13 @@ bool ParseMix(const std::string& name, WorkloadMix* mix);
 
 // Same, writing into full WorkloadOptions; additionally accepts
 // "hotspot-drift" (write-intensive mix with a rotating Zipfian hot set,
-// enabling hotspot_drift_ops if unset) and "churn" (sustained
-// insert+delete at a fixed live-key count, enabling churn_window if
-// unset). The mix-only overload rejects both names on purpose: a caller
-// that cannot apply the extra options would silently run a mislabeled
-// workload.
+// enabling hotspot_drift_ops if unset), "hotspot" (write-intensive 99/1
+// extreme hotspot: 99% of ops on ~1% of the keys, enabling
+// hotspot_share if unset — the mix bench_rdwc drives), and "churn"
+// (sustained insert+delete at a fixed live-key count, enabling
+// churn_window if unset). The mix-only overload rejects these names on
+// purpose: a caller that cannot apply the extra options would silently
+// run a mislabeled workload.
 bool ParseMix(const std::string& name, WorkloadOptions* options);
 
 }  // namespace sherman

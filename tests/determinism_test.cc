@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench/runner.h"
+#include "combine/rdwc.h"
 #include "core/hybrid_system.h"
 #include "core/presets.h"
 #include "migrate/migrator.h"
@@ -132,6 +133,43 @@ TEST(DeterminismTest, HybridRouterRunsAreByteIdentical) {
   }
   EXPECT_EQ(reports[0], reports[1]);
   EXPECT_EQ(epochs[0], epochs[1]);
+}
+
+// RDWC replay: hot-key delegation + combining add timers (window probes),
+// re-entrant window state, and cross-CS wakeup ordering — none of which
+// may introduce a nondeterministic choice point, with combining on or off.
+TEST(DeterminismTest, RdwcDelegationRunsAreByteIdentical) {
+  const uint64_t keys = 20'000;
+  for (const bool combining : {false, true}) {
+    std::string reports[2];
+    std::string rdwc[2];
+    for (int run = 0; run < 2; run++) {
+      HybridOptions opts;
+      opts.tree = ShermanOptions();
+      opts.router.num_shards = 16;
+      opts.router.epoch_ns = 400'000;
+      opts.rdwc.enable_delegation = true;
+      opts.rdwc.enable_combining = combining;
+      opts.rdwc.sample_shift = 0;
+      opts.rdwc.promote_threshold = 2;
+      HybridSystem system(SmallFabric(2, 3), opts);
+      system.BulkLoad(bench::MakeLoadKvs(keys), 0.8);
+      // Hotspot skew keeps combining windows constantly open.
+      bench::RunnerOptions r = SmallRun(keys, 11);
+      r.workload.hotspot_share = 0.9;
+      r.workload.hotspot_keys = 8;
+      reports[run] = Serialize(bench::RunWorkload(&system, r));
+      const combine::RdwcStats& st = system.rdwc()->stats();
+      std::ostringstream os;
+      os << st.promotions << ":" << st.demotions << ":" << st.windows_opened
+         << ":" << st.followers_queued << ":" << st.gets_shared << ":"
+         << st.puts_combined << ":" << st.combined_writes << ":"
+         << st.bypass_overflow << ":" << st.windows_abandoned;
+      rdwc[run] = os.str();
+    }
+    EXPECT_EQ(reports[0], reports[1]) << "combining=" << combining;
+    EXPECT_EQ(rdwc[0], rdwc[1]) << "combining=" << combining;
+  }
 }
 
 // Elastic replay: concurrent traffic + mid-run AddMemoryServer + live

@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "bench/runner.h"
+#include "combine/rdwc.h"
 #include "core/btree.h"
+#include "core/hybrid_system.h"
 #include "core/presets.h"
 #include "fault/crash_point.h"
 #include "migrate/migrator.h"
@@ -55,13 +57,21 @@ class FuzzTest : public ::testing::TestWithParam<FuzzCase> {};
 
 // One client thread's op stream: singleton ops plus batched MultiGet /
 // MultiInsert, all recorded against the shared oracle before issue (so a
-// torn-read check is sound).
-sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
-                           int n_ops, uint64_t space, bool delete_heavy,
-                           Oracle* orc, std::map<Key, uint64_t>* my_last,
-                           int* d) {
-  TreeClient& client = sys->client(tid % sys->num_clients());
+// torn-read check is sound). Works against ShermanSystem (TreeClient) and
+// HybridSystem (HybridClient) alike. `hot_span` > 0 skews the stream:
+// 90% of key draws land in [1, hot_span] — the extreme-skew mix that
+// keeps RDWC combining windows constantly open in the hybrid cases.
+template <typename System>
+sim::Task<void> FuzzWorker(System* sys, int tid, uint64_t seed, int n_ops,
+                           uint64_t space, bool delete_heavy, Oracle* orc,
+                           std::map<Key, uint64_t>* my_last, int* d,
+                           uint64_t hot_span = 0) {
+  auto& client = sys->client(tid % sys->num_clients());
   Random rng(seed);
+  const auto pick_key = [&rng, hot_span, space]() -> Key {
+    if (hot_span > 0 && rng.Bernoulli(0.9)) return 1 + rng.Uniform(hot_span);
+    return 1 + rng.Uniform(space);
+  };
   const auto check_read = [orc](Key key, const Status& st, uint64_t v) {
     testutil::CheckRead(*orc, key, st, v);
   };
@@ -88,7 +98,7 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
   const uint64_t d_del = delete_heavy ? 8 : 10;
   const uint64_t d_mdel = 11;  // both mixes: dice 11 is the range query
   for (int i = 0; i < n_ops; i++) {
-    const Key key = 1 + rng.Uniform(space);
+    const Key key = pick_key();
     const uint64_t dice = rng.Uniform(12);
     if (dice < d_ins) {  // singleton insert
       const uint64_t value = (static_cast<uint64_t>(tid + 1) << 32) | (i + 1);
@@ -103,7 +113,7 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
       std::vector<std::pair<Key, uint64_t>> kvs;
       const int batch = 2 + static_cast<int>(rng.Uniform(5));
       for (int b = 0; b < batch; b++) {
-        const Key k = 1 + rng.Uniform(space);
+        const Key k = pick_key();
         const uint64_t value = (static_cast<uint64_t>(tid + 1) << 32) |
                                (static_cast<uint64_t>(i + 1) << 8) |
                                static_cast<uint64_t>(b);
@@ -125,7 +135,7 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
     } else if (dice < d_mget) {  // batched MultiGet
       std::vector<Key> keys;
       const int batch = 2 + static_cast<int>(rng.Uniform(7));
-      for (int b = 0; b < batch; b++) keys.push_back(1 + rng.Uniform(space));
+      for (int b = 0; b < batch; b++) keys.push_back(pick_key());
       std::vector<MultiGetResult> got;
       Status st = co_await client.MultiGet(keys, &got);
       EXPECT_TRUE(st.ok()) << st.ToString();
@@ -146,7 +156,7 @@ sim::Task<void> FuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
       std::vector<Key> keys;
       const int batch = 2 + static_cast<int>(rng.Uniform(6));
       for (int b = 0; b < batch; b++) {
-        const Key k = 1 + rng.Uniform(space);
+        const Key k = pick_key();
         (*orc)[k].deleted = true;  // unconditional: see singleton delete
         my_last->erase(k);
         keys.push_back(k);
@@ -228,6 +238,9 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
     std::vector<std::string> sites;
     for (const std::string& s : fault::CrashSiteNames()) {
       if (s.rfind("flip.", 0) == 0) continue;  // no migration in kill mixes
+      // rdwc windows only open behind HybridClient; in these ShermanSystem
+      // runs an armed rdwc site would never fire (RdwcFuzzTest covers them).
+      if (s.rfind("rdwc.", 0) == 0) continue;
       sites.push_back(s);
     }
     const std::string site = sites[meta_rng.Uniform(sites.size())];
@@ -301,6 +314,113 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   testutil::CheckOracleAtQuiescence(&system, oracle, last_value_by_thread,
                                     threads);
   fault::Injector().Reset();
+}
+
+// Extreme-skew fuzz over the hybrid system with RDWC delegation +
+// combining on: 90% of every op stream lands in a tiny hot span, so
+// combining windows are constantly open while deletes, batches, and range
+// queries (which always bypass the table) interleave. The kill seeds arm a
+// random rdwc.* crash site — the delegate dies mid-window, a parked
+// follower is re-elected, and the oracle must still hold at quiescence.
+TEST(RdwcFuzzTest, ExtremeSkewWithDelegationAgainstOracle) {
+  const bool long_fuzz = std::getenv("SHERMAN_LONG_FUZZ") != nullptr;
+  const uint64_t seeds = long_fuzz ? 12 : 4;
+  const char* rdwc_sites[] = {"rdwc.open", "rdwc.exec", "rdwc.combine"};
+  for (uint64_t seed = 1; seed <= seeds; seed++) {
+    Random meta_rng(7000 + seed);
+    fault::Injector().Reset();
+    const bool kill = (seed % 2 == 0);  // alternate plain / delegate-death
+
+    HybridOptions opt;
+    opt.tree = ShermanOptions();
+    opt.tree.shape.node_size = 256;
+    opt.router.num_shards = 4 + static_cast<int>(meta_rng.Uniform(8));
+    opt.rdwc.enable_delegation = true;
+    opt.rdwc.enable_combining = true;
+    opt.rdwc.sample_shift = 0;
+    opt.rdwc.promote_threshold = 2;
+    opt.rdwc.hot_window_ns = 50'000'000;
+    opt.rdwc.follower_timeout_ns = 30'000;
+    if (kill) {
+      opt.tree.lock.lease_period_ns = 20'000;
+      opt.tree.lock.lease_expiry_periods = 4;
+    }
+
+    rdma::FabricConfig fcfg;
+    fcfg.num_memory_servers = 1 + static_cast<int>(meta_rng.Uniform(3));
+    fcfg.num_compute_servers = 2 + static_cast<int>(meta_rng.Uniform(3));
+    fcfg.ms_memory_bytes = 32ull << 20;
+
+    HybridSystem system(fcfg, opt);
+    const uint64_t loaded = 300 + meta_rng.Uniform(1'000);
+    system.BulkLoad(bench::MakeLoadKvs(loaded),
+                    0.7 + meta_rng.NextDouble() * 0.3);
+
+    const int threads = 4 + static_cast<int>(meta_rng.Uniform(10));
+    const int ops_per_thread =
+        (100 + static_cast<int>(meta_rng.Uniform(150))) * (long_fuzz ? 4 : 1);
+    const uint64_t key_space = 2 * loaded + 100;
+    const uint64_t hot_span = 1 + meta_rng.Uniform(12);  // the hot keys
+
+    Oracle oracle;
+    std::map<Key, uint64_t> last_value_by_thread[16];
+    testutil::SeedOracle(&oracle, bench::MakeLoadKvs(loaded));
+
+    int victim_cs = -1;
+    if (kill) {
+      victim_cs = 1 + static_cast<int>(
+                          meta_rng.Uniform(fcfg.num_compute_servers - 1));
+      fault::Injector().Arm(rdwc_sites[meta_rng.Uniform(3)],
+                            1 + static_cast<uint32_t>(meta_rng.Uniform(4)),
+                            victim_cs);
+    }
+
+    int done = 0;
+    for (int t = 0; t < threads; t++) {
+      sim::Spawn(FuzzWorker(&system, t, seed * 131 + t, ops_per_thread,
+                            key_space, /*delete_heavy=*/false, &oracle,
+                            &last_value_by_thread[t], &done, hot_span));
+    }
+    system.simulator().Run();
+
+    if (kill && fault::Injector().fired()) {
+      bool recovered = false;
+      sim::Spawn([](HybridSystem* sys, int victim,
+                    bool* flag) -> sim::Task<void> {
+        co_await sys->simulator().Delay(10 * 20'000);
+        co_await sys->sherman().client(0).recoverer().RecoverDeadOwner(
+            static_cast<uint16_t>(victim) + 1);
+        *flag = true;
+      }(&system, victim_cs, &recovered));
+      system.simulator().Run();
+      ASSERT_TRUE(recovered) << "seed " << seed;
+
+      int survivor_workers = 0;
+      for (int t = 0; t < threads; t++) {
+        if (t % fcfg.num_compute_servers == victim_cs) {
+          for (const auto& [k, v] : last_value_by_thread[t]) {
+            oracle[k].deleted = true;  // exempt from the lost-update rule
+          }
+          last_value_by_thread[t].clear();
+        } else {
+          survivor_workers++;
+        }
+      }
+      EXPECT_GE(done, survivor_workers)
+          << "seed " << seed << ": a survivor worker wedged";
+      EXPECT_EQ(system.sherman().reclaim_epoch().pinned_ops(), 0u);
+    } else {
+      ASSERT_EQ(done, threads) << "seed " << seed;
+      // Skew + eager promotion must actually exercise the windows.
+      EXPECT_GT(system.rdwc()->stats().windows_opened, 0u)
+          << "seed " << seed;
+    }
+    EXPECT_EQ(system.rdwc()->open_windows(), 0u) << "seed " << seed;
+
+    testutil::CheckOracleAtQuiescence(&system.sherman(), oracle,
+                                      last_value_by_thread, threads);
+    fault::Injector().Reset();
+  }
 }
 
 std::vector<FuzzCase> MakeCases() {

@@ -361,6 +361,123 @@ TEST(HybridMultiOpTest, BatchStraddlesShardAndPathBoundaries) {
   system.sherman().DebugCheckInvariants();
 }
 
+TEST(HybridMultiOpTest, DuplicateKeysAcrossShardAndPathBoundaries) {
+  HybridSystem system(SmallFabric(), SmallHybrid(8));
+  const uint64_t n = 8'000;
+  system.BulkLoad(bench::MakeLoadKvs(n), 0.8);
+
+  // Mixed paths: the batch splits into per-shard RPC groups plus a
+  // one-sided pool, and the duplicate-key contract must hold across that
+  // scatter (each duplicate's instances can land in DIFFERENT sub-batches
+  // without plan-time dedupe).
+  std::vector<Path> mixed(8);
+  for (int s = 0; s < 8; s++) {
+    mixed[s] = (s % 2 == 0) ? Path::kRpc : Path::kOneSided;
+  }
+  system.router().ForceAssignment(mixed);
+
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, uint64_t n_keys,
+                bool* flag) -> sim::Task<void> {
+    // Eight distinct keys, one per universe eighth (-> one per shard, so
+    // both paths serve instances), each appearing three times in the batch.
+    std::vector<Key> base;
+    for (int i = 0; i < 8; i++) {
+      base.push_back(2 * (1 + (n_keys / 8) * static_cast<uint64_t>(i)));
+    }
+    std::vector<std::pair<Key, uint64_t>> kvs;
+    for (int rep = 0; rep < 3; rep++) {
+      for (size_t b = 0; b < base.size(); b++) {
+        kvs.emplace_back(base[b], 1000 * (rep + 1) + b);
+      }
+    }
+    EXPECT_TRUE((co_await sys->client(0).MultiInsert(kvs, nullptr)).ok());
+    // Last instance wins for every key, observed through the other CS.
+    for (size_t b = 0; b < base.size(); b++) {
+      uint64_t v = 0;
+      EXPECT_TRUE((co_await sys->client(1).Lookup(base[b], &v)).ok());
+      EXPECT_EQ(v, 3000 + b) << "key " << base[b];
+    }
+
+    // MultiGet: every instance of a duplicate reports the same result.
+    std::vector<Key> gets;
+    for (int rep = 0; rep < 3; rep++) {
+      gets.insert(gets.end(), base.begin(), base.end());
+    }
+    gets.push_back(base.front() + 1);  // absent key rides along
+    std::vector<MultiGetResult> got;
+    EXPECT_TRUE((co_await sys->client(0).MultiGet(gets, &got)).ok());
+    for (size_t b = 0; b < base.size(); b++) {
+      for (int rep = 0; rep < 3; rep++) {
+        const MultiGetResult& r = got[rep * base.size() + b];
+        EXPECT_TRUE(r.status.ok()) << "key " << base[b];
+        EXPECT_EQ(r.value, 3000 + b) << "key " << base[b];
+      }
+    }
+    EXPECT_TRUE(got.back().status.IsNotFound());
+
+    // MultiDelete: the FIRST instance of each key deletes it, every later
+    // instance reports NotFound — exactly one OK per distinct key.
+    std::vector<Status> res;
+    EXPECT_TRUE((co_await sys->client(1).MultiDelete(gets, &res)).ok());
+    for (size_t b = 0; b < base.size(); b++) {
+      EXPECT_TRUE(res[b].ok()) << "key " << base[b] << ": "
+                               << res[b].ToString();
+      for (int rep = 1; rep < 3; rep++) {
+        EXPECT_TRUE(res[rep * base.size() + b].IsNotFound())
+            << "key " << base[b] << " instance " << rep;
+      }
+    }
+    EXPECT_TRUE(res.back().IsNotFound());
+    for (Key k : base) {
+      uint64_t v = 0;
+      EXPECT_TRUE((co_await sys->client(0).Lookup(k, &v)).IsNotFound());
+    }
+    *flag = true;
+  }(&system, n, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(system.tracker().totals().ops_rpc, 0u);
+  EXPECT_GT(system.tracker().totals().ops_one_sided, 0u);
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(HybridMultiOpTest, DuplicateKeysSurviveDeclineFallbackReorder) {
+  // The bug this pins down: without plan-time dedupe, duplicate instances
+  // of a key are applied in sub-batch order, not batch order. If the MS
+  // declines the EARLIER instance (full leaf -> split needed) it re-runs
+  // in the one-sided fallback batch AFTER the later instance already
+  // landed via RPC, and the earlier value wins — a reorder the caller can
+  // observe. Dedupe pins last-writer-wins before the fan-out.
+  HybridOptions opt = SmallHybrid(4);
+  opt.tree.shape.node_size = 256;
+  HybridSystem system(SmallFabric(), opt);
+  system.BulkLoad(bench::MakeLoadKvs(400), 1.0);  // full leaves
+
+  system.router().ForceAssignment(
+      std::vector<Path>(system.router().num_shards(), Path::kRpc));
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, bool* flag) -> sim::Task<void> {
+    // Fresh odd keys into full leaves: every instance would be declined
+    // MS-side and complete through the one-sided fallback.
+    std::vector<std::pair<Key, uint64_t>> kvs = {
+        {3, 111}, {5, 222}, {3, 333}, {7, 444}, {3, 555}, {5, 666}};
+    EXPECT_TRUE((co_await sys->client(0).MultiInsert(kvs, nullptr)).ok());
+    uint64_t v = 0;
+    EXPECT_TRUE((co_await sys->client(1).Lookup(3, &v)).ok());
+    EXPECT_EQ(v, 555u);
+    EXPECT_TRUE((co_await sys->client(1).Lookup(5, &v)).ok());
+    EXPECT_EQ(v, 666u);
+    EXPECT_TRUE((co_await sys->client(1).Lookup(7, &v)).ok());
+    EXPECT_EQ(v, 444u);
+    *flag = true;
+  }(&system, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(system.tracker().totals().rpc_fallbacks, 0u);
+  system.sherman().DebugCheckInvariants();
+}
+
 TEST(HybridMultiOpTest, MsDeclinedBatchKeysFallBackOneSided) {
   HybridOptions opt = SmallHybrid(4);
   opt.tree.shape.node_size = 256;

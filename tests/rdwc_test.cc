@@ -1,0 +1,253 @@
+// Tests for hot-key delegation + read/write combining (src/combine/):
+// promotion/demotion mechanics of the sampled delegation table, window
+// sharing (parked GETs adopt the window value, parked PUTs collapse into
+// one combined write, last arrival wins), overflow bypass, the
+// queue-only ablation (combining off), and the off switch being a true
+// no-op. Delegate-death re-election is covered by recover_test's crash
+// sweep (rdwc.* sites); extreme-skew fuzzing with kills by fuzz_test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/runner.h"
+#include "combine/rdwc.h"
+#include "core/hybrid_system.h"
+#include "core/presets.h"
+#include "route/router.h"
+
+namespace sherman {
+namespace {
+
+rdma::FabricConfig SmallFabric(int ms = 2, int cs = 2) {
+  rdma::FabricConfig f;
+  f.num_memory_servers = ms;
+  f.num_compute_servers = cs;
+  f.ms_memory_bytes = 32ull << 20;
+  return f;
+}
+
+HybridOptions RdwcHybrid(bool combining = true) {
+  HybridOptions o;
+  o.tree = ShermanOptions();
+  o.router.num_shards = 8;
+  o.rdwc.enable_delegation = true;
+  o.rdwc.enable_combining = combining;
+  o.rdwc.sample_shift = 0;       // count every op: deterministic promotion
+  o.rdwc.promote_threshold = 1;  // the first op on a key promotes it
+  o.rdwc.hot_window_ns = 100'000'000;
+  return o;
+}
+
+// --- delegation table ------------------------------------------------------
+
+TEST(RdwcTableTest, PromotesAtThresholdAndDemotesAfterColdWindows) {
+  rdma::Fabric fabric(SmallFabric());
+  route::HotnessTracker tracker(8);
+  route::RouterOptions ropt;
+  ropt.num_shards = 8;
+  ropt.universe_lo = 1;
+  ropt.universe_hi = 1'000;
+  route::AdaptiveRouter router(
+      ropt, route::ModelFromFabric(fabric.config(), true), &tracker, &fabric);
+
+  combine::RdwcOptions opt;
+  opt.enable_delegation = true;
+  opt.sample_shift = 0;
+  opt.promote_threshold = 4;
+  opt.demote_windows = 2;
+  opt.hot_window_ns = 1'000;
+  combine::RdwcLayer layer(&fabric.simulator(), &tracker, &router, opt);
+
+  const Key k = 42;
+  for (int i = 0; i < 3; i++) {
+    EXPECT_EQ(layer.Admit(k), nullptr) << "promoted too early at hit " << i;
+  }
+  EXPECT_NE(layer.Admit(k), nullptr);  // 4th sampled hit promotes
+  EXPECT_TRUE(layer.IsHot(k));
+  EXPECT_EQ(layer.stats().promotions, 1u);
+
+  // Three cold epochs: the first roll still sees the promotion burst, the
+  // next two see one sampled hit each (below bar 2) and demote.
+  for (int epoch = 1; epoch <= 3; epoch++) {
+    fabric.simulator().After(1'200, [] {});
+    fabric.simulator().Run();  // now() lands past the epoch boundary
+    layer.Admit(k);
+  }
+  EXPECT_FALSE(layer.IsHot(k));
+  EXPECT_EQ(layer.stats().demotions, 1u);
+}
+
+TEST(RdwcTableTest, SampledColdPathSkipsTheTable) {
+  rdma::Fabric fabric(SmallFabric());
+  route::HotnessTracker tracker(8);
+  route::RouterOptions ropt;
+  ropt.num_shards = 8;
+  ropt.universe_lo = 1;
+  ropt.universe_hi = 1'000;
+  route::AdaptiveRouter router(
+      ropt, route::ModelFromFabric(fabric.config(), true), &tracker, &fabric);
+
+  combine::RdwcOptions opt;
+  opt.enable_delegation = true;
+  opt.sample_shift = 2;  // 1 in 4 ops counted
+  opt.promote_threshold = 2;
+  opt.hot_window_ns = 100'000'000;
+  combine::RdwcLayer layer(&fabric.simulator(), &tracker, &router, opt);
+
+  // 7 ops = 1 sampled hit: stays cold; the 8th samples again and promotes.
+  const Key k = 7;
+  for (int i = 0; i < 7; i++) EXPECT_EQ(layer.Admit(k), nullptr);
+  EXPECT_FALSE(layer.IsHot(k));
+  EXPECT_NE(layer.Admit(k), nullptr);
+  EXPECT_TRUE(layer.IsHot(k));
+}
+
+// --- combining windows -----------------------------------------------------
+
+TEST(RdwcWindowTest, ParkedGetsShareAndPutsCombineLastWins) {
+  HybridSystem system(SmallFabric(), RdwcHybrid());
+  system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+
+  struct Out {
+    Status st;
+    uint64_t v = 0;
+    bool done = false;
+  };
+  Out del, put1, put2, get;
+  // Same tick: the first op opens the window as delegate; the two PUTs
+  // and the GET park while it is in flight.
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(0).Insert(42, 100);
+    o->done = true;
+  }(&system, &del));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).Insert(42, 200);
+    o->done = true;
+  }(&system, &put1));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).Insert(42, 300);  // last arrival wins
+    o->done = true;
+  }(&system, &put2));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).Lookup(42, &o->v);
+    o->done = true;
+  }(&system, &get));
+  system.simulator().Run();
+
+  ASSERT_TRUE(del.done && put1.done && put2.done && get.done);
+  EXPECT_TRUE(del.st.ok() && put1.st.ok() && put2.st.ok() && get.st.ok());
+  // The GET parked in the window shares its final value: the combined
+  // write, which carries the LAST parked PUT's value.
+  EXPECT_EQ(get.v, 300u);
+
+  const combine::RdwcStats& st = system.rdwc()->stats();
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.followers_queued, 3u);
+  EXPECT_EQ(st.puts_combined, 2u);
+  EXPECT_EQ(st.gets_shared, 1u);
+  EXPECT_EQ(st.combined_writes, 1u);
+  EXPECT_EQ(system.rdwc()->open_windows(), 0u);
+
+  // The tree holds the combined value.
+  bool checked = false;
+  sim::Spawn([](HybridSystem* s, bool* flag) -> sim::Task<void> {
+    uint64_t v = 0;
+    Status st = co_await s->client(0).Lookup(42, &v);
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(v, 300u);
+    *flag = true;
+  }(&system, &checked));
+  system.simulator().Run();
+  ASSERT_TRUE(checked);
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(RdwcWindowTest, OverflowBypassesToTheDirectPath) {
+  HybridOptions o = RdwcHybrid();
+  o.rdwc.window_max_ops = 1;
+  HybridSystem system(SmallFabric(), o);
+  system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+
+  std::vector<Status> res(4);
+  int done = 0;
+  for (int i = 0; i < 4; i++) {
+    sim::Spawn([](HybridSystem* s, Status* out, int v,
+                  int* counter) -> sim::Task<void> {
+      *out = co_await s->client(0).Insert(42, 1000 + v);
+      (*counter)++;
+    }(&system, &res[i], i, &done));
+  }
+  system.simulator().Run();
+
+  ASSERT_EQ(done, 4);
+  for (const Status& st : res) EXPECT_TRUE(st.ok()) << st.ToString();
+  const combine::RdwcStats& st = system.rdwc()->stats();
+  // One delegate, one parked follower, two overflowed past the full window.
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.followers_queued, 1u);
+  EXPECT_EQ(st.bypass_overflow, 2u);
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(RdwcWindowTest, QueueOnlyModeSerializesWithoutSharing) {
+  HybridSystem system(SmallFabric(), RdwcHybrid(/*combining=*/false));
+  system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+
+  struct Out {
+    Status st;
+    uint64_t v = 0;
+    bool done = false;
+  };
+  Out del, put, get;
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(0).Insert(42, 100);
+    o->done = true;
+  }(&system, &del));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).Insert(42, 200);
+    o->done = true;
+  }(&system, &put));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).Lookup(42, &o->v);
+    o->done = true;
+  }(&system, &get));
+  system.simulator().Run();
+
+  ASSERT_TRUE(del.done && put.done && get.done);
+  EXPECT_TRUE(del.st.ok() && put.st.ok() && get.st.ok());
+  // Queue-only: followers re-ran their own remote ops after the delegate.
+  const combine::RdwcStats& st = system.rdwc()->stats();
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.followers_queued, 2u);
+  EXPECT_EQ(st.combined_writes, 0u);
+  EXPECT_EQ(st.puts_combined, 0u);
+  EXPECT_EQ(st.gets_shared, 0u);
+  // The GET ran as a real remote read: it saw 100 or 200 depending on
+  // whether it beat the re-run PUT, both legal linearizations.
+  EXPECT_TRUE(get.v == 100u || get.v == 200u) << get.v;
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(RdwcWindowTest, DisabledLayerIsAbsentAndOpsStillWork) {
+  HybridOptions o = RdwcHybrid();
+  o.rdwc.enable_delegation = false;
+  HybridSystem system(SmallFabric(), o);
+  system.BulkLoad(bench::MakeLoadKvs(1'000), 0.8);
+  EXPECT_EQ(system.rdwc(), nullptr);
+
+  bool done = false;
+  sim::Spawn([](HybridSystem* s, bool* flag) -> sim::Task<void> {
+    for (int i = 0; i < 50; i++) {
+      EXPECT_TRUE((co_await s->client(0).Insert(42, 7000 + i)).ok());
+    }
+    uint64_t v = 0;
+    EXPECT_TRUE((co_await s->client(1).Lookup(42, &v)).ok());
+    EXPECT_EQ(v, 7049u);
+    *flag = true;
+  }(&system, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace sherman

@@ -2,7 +2,8 @@
 //
 // For EVERY named crash site registered by the structural-op code (leaf /
 // internal / root splits in core/btree.cc, leaf merges, migration flips in
-// src/migrate/), a scenario kills a victim client exactly at that site,
+// src/migrate/, hot-key combining windows in src/combine/), a scenario
+// kills a victim client exactly at that site,
 // lets a survivor recover the dead client (lease steal + intent
 // replay/rollback), and verifies:
 //  - the tree equals the shadow oracle: every op the victim COMPLETED is
@@ -29,6 +30,7 @@
 
 #include "bench/runner.h"
 #include "core/btree.h"
+#include "core/hybrid_system.h"
 #include "core/presets.h"
 #include "fault/crash_point.h"
 #include "lock/lock_table.h"
@@ -42,6 +44,11 @@ namespace {
 constexpr sim::SimTime kLeasePeriodNs = 20'000;
 constexpr int kVictimCs = 1;
 constexpr uint16_t kVictimTag = kVictimCs + 1;
+
+// rdwc sweep scenario: the hot key and the parked PUT's value (the
+// combined write's last-writer-wins result).
+constexpr Key kHot = 42;
+constexpr uint64_t kPutVal = 0xF00D;
 
 TreeOptions RecoverOptions(double merge_threshold = 0.4) {
   TreeOptions t = ShermanOptions();
@@ -191,8 +198,137 @@ sim::Task<void> SurvivorRecoverAndVerify(
 
 // --- the sweep --------------------------------------------------------------
 
+// rdwc.* sites live in the hot-key delegation layer (src/combine/): the
+// victim is a combining-window DELEGATE. The scenario promotes one key,
+// lets a victim-CS op open a window and die exactly at the site, parks
+// survivor followers in the still-open window, and verifies the
+// re-election path end to end: the window's timer detects the dead
+// delegate, hands the window to the first live parked follower, the
+// followers' last-writer-wins combined write lands, parked GETs share
+// it, and the tree ends oracle-identical with every lock lane free.
+// Operator recovery afterwards is an idempotent no-op (the rdwc
+// milestones sit between locked tree writes, so the victim holds no
+// lane at any of them).
+bool RunRdwcSiteScenario(const std::string& site) {
+  fault::CrashInjector& inj = fault::Injector();
+  inj.Reset();
+
+  HybridOptions o;
+  o.tree = RecoverOptions();
+  o.router.num_shards = 4;
+  o.rdwc.enable_delegation = true;
+  o.rdwc.enable_combining = true;
+  o.rdwc.sample_shift = 0;     // count every op: deterministic promotion
+  o.rdwc.promote_threshold = 2;
+  o.rdwc.hot_window_ns = 100'000'000;  // one epoch for the whole test
+  o.rdwc.follower_timeout_ns = 30'000;
+  HybridSystem system(RecoverFabric(), o);
+  const uint64_t loaded = 120;
+  const auto kvs = bench::MakeLoadKvs(loaded);
+  system.BulkLoad(kvs, 0.9);
+
+  struct Follower {
+    Status st;
+    uint64_t v = 0;
+    bool done = false;
+  };
+  bool done = false;
+  sim::Spawn([](HybridSystem* sys, const std::string* s,
+                bool* flag) -> sim::Task<void> {
+    sim::Simulator& sim = sys->simulator();
+    route::HybridClient& c0 = sys->client(0);
+
+    // Promote the key (sample_shift 0 + threshold 2: two ops suffice).
+    for (int i = 0; i < 2; i++) {
+      Status st = co_await c0.Insert(kHot, 0xAA00ull + i);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    EXPECT_TRUE(sys->rdwc()->IsHot(kHot));
+
+    // The victim's op opens the next window as delegate and dies at the
+    // armed site, leaving the window open and the timer probing.
+    fault::Injector().Arm(*s, /*nth=*/1, kVictimCs);
+    sim::Spawn([](HybridSystem* h) -> sim::Task<void> {
+      co_await h->client(kVictimCs).Insert(kHot, 0xDEADull);
+      ADD_FAILURE() << "victim delegate returned from its crash site";
+    }(sys));
+    for (int i = 0; i < 4096 && !fault::Injector().fired(); i++) {
+      co_await sim.Delay(500);
+    }
+    EXPECT_TRUE(fault::Injector().fired()) << *s << " never fired";
+    if (!fault::Injector().fired()) {
+      *flag = true;
+      co_return;
+    }
+    EXPECT_EQ(sys->rdwc()->open_windows(), 1u)
+        << *s << ": the dead delegate's window should still be open";
+
+    // Survivor followers park in the dead delegate's window: one PUT
+    // (folds into the combined write) and one GET (shares its value).
+    Follower put, get;
+    sim::Spawn([](HybridSystem* h, Follower* out) -> sim::Task<void> {
+      out->st = co_await h->client(0).Insert(kHot, kPutVal);
+      out->done = true;
+    }(sys, &put));
+    sim::Spawn([](HybridSystem* h, Follower* out) -> sim::Task<void> {
+      out->st = co_await h->client(0).Lookup(kHot, &out->v);
+      out->done = true;
+    }(sys, &get));
+
+    for (int i = 0; i < 4096 && !(put.done && get.done); i++) {
+      co_await sim.Delay(5'000);
+    }
+    EXPECT_TRUE(put.done && get.done)
+        << *s << ": followers stranded by the dead delegate";
+    EXPECT_TRUE(put.st.ok()) << put.st.ToString();
+    EXPECT_TRUE(get.st.ok()) << get.st.ToString();
+    EXPECT_EQ(get.v, kPutVal) << *s << ": GET did not see the combined write";
+    EXPECT_GE(sys->rdwc()->stats().reelections, 1u)
+        << *s << ": followers completed without taking over the window";
+    EXPECT_EQ(sys->rdwc()->open_windows(), 0u);
+
+    // Operator-initiated recovery stays idempotent on top of this.
+    co_await sim.Delay(8 * kLeasePeriodNs);
+    co_await sys->sherman().client(0).recoverer().RecoverDeadOwner(kVictimTag);
+
+    uint64_t v = 0;
+    Status st = co_await c0.Lookup(kHot, &v);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(v, kPutVal);
+    *flag = true;
+  }(&system, &site, &done));
+  system.simulator().Run();
+
+  EXPECT_TRUE(done) << site << ": orchestrator never finished";
+  if (!inj.fired()) return false;
+
+  EXPECT_FALSE(system.sherman().tracer().last_flight_dump().empty())
+      << site << ": no flight dump after crash-point kill";
+
+  // Oracle: the bulkload with the hot key ending at the combined write's
+  // last-writer-wins value, nothing else disturbed.
+  system.sherman().DebugCheckInvariants();
+  const auto scan = system.sherman().DebugScanLeaves();
+  std::map<Key, uint64_t> final_map(scan.begin(), scan.end());
+  for (const auto& [k, want] : kvs) {
+    auto it = final_map.find(k);
+    EXPECT_NE(it, final_map.end()) << site << ": loaded key " << k << " lost";
+    if (it != final_map.end()) {
+      EXPECT_EQ(it->second, k == kHot ? kPutVal : want)
+          << site << ": wrong value for key " << k;
+    }
+  }
+  EXPECT_EQ(final_map.size(), kvs.size()) << site << ": phantom keys";
+
+  ExpectAllLanesFree(&system.sherman(), site);
+  ExpectClientClean(&system.sherman(), kVictimCs, site);
+  return true;
+}
+
 // Runs the scenario for `site` and returns true if the site fired.
 bool RunSiteScenario(const std::string& site) {
+  if (site.rfind("rdwc.", 0) == 0) return RunRdwcSiteScenario(site);
+
   fault::CrashInjector& inj = fault::Injector();
   inj.Reset();
 
@@ -309,6 +445,7 @@ TEST(CrashSweepTest, EveryRegisteredCrashPointRecoversToOracle) {
       "isplit.linked", "merge.intent",  "merge.tombstone", "merge.parent",
       "merge.sibling", "merge.freed",   "flip.intent",   "flip.copy",
       "flip.tombstone", "flip.flipped", "flip.sibfixed", "flip.freed",
+      "rdwc.open",     "rdwc.exec",     "rdwc.combine",
   };
   EXPECT_EQ(sites.size(), kKnown.size());
   for (const std::string& s : sites) {

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "alloc/layout.h"
+#include "combine/rdwc.h"
 #include "core/btree.h"
+#include "core/hybrid_system.h"
 #include "core/presets.h"
 #include "util/random.h"
 
@@ -347,6 +349,63 @@ TEST_F(DmsanTest, NegativeMixedChurnIsClean) {
   EXPECT_TRUE(checker->findings().empty());
   EXPECT_GT(checker->checked_wrs(), 1000u);
   system.DebugCheckInvariants();
+}
+
+// Negative: hot-key churn through RDWC delegation + combining, hard-abort
+// LEFT ON. The combined write is an ordinary locked tree insert issued by
+// whichever client is the current delegate, so every protocol rule the
+// sanitizer enforces (lock-before-write, tagged CAS, intent coverage)
+// must hold for writes the delegate issues on other clients' behalf.
+TEST_F(DmsanTest, NegativeRdwcCombiningChurnIsClean) {
+  HybridOptions opt;
+  opt.tree = ShermanOptions();
+  opt.tree.shape.node_size = 256;  // force splits and merges
+  opt.router.num_shards = 4;
+  opt.rdwc.enable_delegation = true;
+  opt.rdwc.enable_combining = true;
+  opt.rdwc.sample_shift = 0;
+  opt.rdwc.promote_threshold = 2;
+  HybridSystem system(SmallFabric(2, 2), opt);
+  system.BulkLoad(SeedKvs(128), 0.8);
+  dmsan::Checker* checker = system.sherman().dmsan_checker();
+  ASSERT_NE(checker, nullptr);
+
+  int done = 0;
+  for (int cs = 0; cs < 2; cs++) {
+    for (int t = 0; t < 3; t++) {
+      sim::Spawn([](route::HybridClient* c, uint64_t seed,
+                    int* n) -> sim::Task<void> {
+        Random rng(seed);
+        for (int i = 0; i < 600; i++) {
+          // 80% of traffic on 8 hot keys: windows open constantly and the
+          // delegate's combined writes dominate the write traffic.
+          const Key k = rng.Bernoulli(0.8) ? 10 * (1 + rng.Uniform(8))
+                                           : 1 + rng.Uniform(400);
+          const int action = static_cast<int>(rng.Uniform(4));
+          if (action <= 1) {
+            EXPECT_TRUE((co_await c->Insert(k, rng.Next())).ok());
+          } else if (action == 2) {
+            uint64_t v = 0;
+            Status st = co_await c->Lookup(k, &v);
+            EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+          } else {
+            Status st = co_await c->Delete(k);
+            EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+          }
+        }
+        (*n)++;
+      }(&system.client(cs), 2000 + cs * 3 + t, &done));
+    }
+  }
+  system.simulator().Run();
+  ASSERT_EQ(done, 6);
+
+  EXPECT_TRUE(checker->findings().empty());
+  EXPECT_GT(checker->checked_wrs(), 1000u);
+  // The skew actually drove the combining machinery.
+  EXPECT_GT(system.rdwc()->stats().combined_writes, 0u);
+  EXPECT_EQ(system.rdwc()->open_windows(), 0u);
+  system.sherman().DebugCheckInvariants();
 }
 
 }  // namespace
