@@ -2,7 +2,12 @@
 """Validate BENCH_*.json telemetry artifacts against schema v1.
 
 Usage: check_bench_json.py FILE [FILE ...]
+       check_bench_json.py --dir DIR
 Exits non-zero (listing every violation) if any file fails.
+
+--dir validates every BENCH_*.json in DIR and additionally requires the
+FULL reference set (one artifact per bench binary) to be present, so a
+bench that silently stopped emitting telemetry fails the check.
 
 Schema v1 (see src/bench/report.h):
   schema_version : int == 1
@@ -15,11 +20,17 @@ Schema v1 (see src/bench/report.h):
   tables         : [{"title": str, "columns": [str], "rows": [[str]]}]
   gates          : {name: {"passed": bool, "value": number}}
 """
+import glob
 import json
+import os
 import sys
 
 SCALAR = (str, int, float, bool)
 RUN_FIELDS = ("mops", "ops", "measured_ns", "p50_us", "p90_us", "p99_us")
+
+# The CI reference set: every smoke-run bench must leave its artifact.
+FULL_SET = ("churn", "elastic", "hybrid", "pipeline", "rdwc", "recover",
+            "varlen")
 
 
 def check(path):
@@ -143,7 +154,20 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failures = 0
-    for path in argv[1:]:
+    paths = argv[1:]
+    if paths[0] == "--dir":
+        if len(paths) != 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        d = paths[1]
+        paths = sorted(glob.glob(os.path.join(d, "BENCH_*.json")))
+        for bench in FULL_SET:
+            expect = os.path.join(d, f"BENCH_{bench}.json")
+            if expect not in paths:
+                failures += 1
+                print(f"FAIL {expect}: missing from the reference set",
+                      file=sys.stderr)
+    for path in paths:
         errs = check(path)
         if errs:
             failures += 1

@@ -29,6 +29,19 @@ ChunkManager::ChunkManager(rdma::MemoryServer* ms, const ReclaimEpoch* reclaim)
         return AllocNode(static_cast<uint32_t>(arg));
       case kRpcSweepLocks:
         return SweepLocks(static_cast<uint16_t>(arg));
+      case kRpcVlogRegister:
+        VlogRegister(arg, static_cast<uint32_t>(arg2 & 0xff),
+                     static_cast<uint32_t>(arg2 >> 8));
+        return uint64_t{0};
+      case kRpcVlogRetire:
+        return VlogRetire(arg);
+      case kRpcVlogSeal:
+        VlogSeal(arg, static_cast<uint32_t>(arg2));
+        return uint64_t{0};
+      case kRpcVlogVictim:
+        return VlogVictim(arg);
+      case kRpcVlogMask:
+        return VlogMaskWord(arg, static_cast<uint32_t>(arg2));
       default:
         SHERMAN_CHECK_MSG(false, "unknown RPC opcode %llu",
                           static_cast<unsigned long long>(opcode));
@@ -100,6 +113,106 @@ uint64_t ChunkManager::AllocNode(uint32_t size) {
   nodes_recycled_++;
   parked_.erase(offset);
   return offset;
+}
+
+void ChunkManager::VlogRegister(uint64_t base, uint32_t cls,
+                                uint32_t seg_bytes) {
+  SHERMAN_CHECK(base >= kChunkAreaOffset && base + seg_bytes <= end_);
+  SHERMAN_CHECK(cls < 8 && seg_bytes > 0);
+  const uint32_t extent = 64u << cls;
+  SHERMAN_CHECK(seg_bytes >= extent);
+  VlogSegment seg;
+  seg.cls = cls;
+  seg.seg_bytes = seg_bytes;
+  seg.capacity = seg_bytes / extent;
+  seg.dead.assign((seg.capacity + 63) / 64, 0);
+  SHERMAN_CHECK(vlog_.emplace(base, std::move(seg)).second);
+}
+
+uint64_t ChunkManager::VlogRetire(uint64_t addr) {
+  // Containing-segment lookup (addr may point anywhere inside the extent).
+  auto it = vlog_.upper_bound(addr);
+  if (it == vlog_.begin()) return 0;
+  --it;
+  VlogSegment& seg = it->second;
+  if (addr >= it->first + seg.seg_bytes) return 0;  // freed/stale segment
+  const uint32_t slot =
+      static_cast<uint32_t>((addr - it->first) / (64u << seg.cls));
+  uint64_t& word = seg.dead[slot / 64];
+  const uint64_t bit = 1ull << (slot % 64);
+  if (word & bit) return 0;  // idempotent (GC + delete can race benignly)
+  word |= bit;
+  seg.dead_count++;
+  vlog_retires_++;
+  if (dmsan::Active()) {
+    if (dmsan::Checker* c = dmsan::Find(ms_->simulator())) {
+      const uint64_t ext_base =
+          it->first + static_cast<uint64_t>(slot) * (64u << seg.cls);
+      c->OnVlogRetire(ms_->id(), ext_base,
+                      reclaim_ != nullptr ? reclaim_->current() : 0);
+    }
+  }
+  VlogMaybeFree(it->first);
+  return 1;
+}
+
+void ChunkManager::VlogSeal(uint64_t base, uint32_t used) {
+  auto it = vlog_.find(base);
+  SHERMAN_CHECK(it != vlog_.end());
+  SHERMAN_CHECK(used <= it->second.capacity);
+  it->second.sealed = true;
+  it->second.used = used;
+  // Stamp the epoch: an extent appended to this segment belongs to an op
+  // whose pin predates the seal, so once every pin at or below this epoch
+  // drains, each record here is either leaf-referenced or permanently
+  // orphaned — never install-in-flight. Victim selection keys off this.
+  it->second.sealed_epoch = reclaim_ != nullptr ? reclaim_->current() : 0;
+  VlogMaybeFree(base);
+}
+
+void ChunkManager::VlogMaybeFree(uint64_t base) {
+  auto it = vlog_.find(base);
+  if (it == vlog_.end()) return;
+  const VlogSegment& seg = it->second;
+  if (!seg.sealed || seg.dead_count < seg.used) return;
+  // Every written extent is dead: the whole segment goes back through the
+  // node grace list (epoch-protected, recyclable for any same-size alloc).
+  const uint32_t seg_bytes = seg.seg_bytes;
+  vlog_.erase(it);
+  vlog_segments_freed_++;
+  FreeNode(base, seg_bytes);
+}
+
+uint64_t ChunkManager::VlogVictim(uint64_t min_dead_permille) {
+  for (auto& [base, seg] : vlog_) {
+    if (!seg.sealed || seg.claimed || seg.used == 0) continue;
+    // Grace gate: a record is appended BEFORE its leaf slot is published
+    // (the extent is private until then), and the segment can be sealed
+    // in that window by a concurrent rotation or a GC pre-seal. Handing
+    // such a segment to GC would let the "no leaf references this record"
+    // check retire an extent whose install is merely in flight — a
+    // dangling pointer once the segment drains and recycles. Only offer
+    // segments whose seal predates every live pin: then every record is
+    // either referenced or a true orphan.
+    if (reclaim_ != nullptr && !reclaim_->SafeToRecycle(seg.sealed_epoch)) {
+      continue;
+    }
+    if (static_cast<uint64_t>(seg.dead_count) * 1000 <
+        min_dead_permille * seg.used) {
+      continue;
+    }
+    seg.claimed = true;
+    vlog_victims_++;
+    return base | (static_cast<uint64_t>(seg.used) << 40) |
+           (static_cast<uint64_t>(seg.cls) << 56);
+  }
+  return 0;
+}
+
+uint64_t ChunkManager::VlogMaskWord(uint64_t base, uint32_t word) const {
+  auto it = vlog_.find(base);
+  if (it == vlog_.end() || word >= it->second.dead.size()) return 0;
+  return it->second.dead[word];
 }
 
 uint64_t ChunkManager::SweepLocks(uint16_t owner_tag) {

@@ -54,6 +54,28 @@ class ChunkManager {
   // released.
   uint64_t SweepLocks(uint16_t owner_tag);
 
+  // --- value-log segment bookkeeping (src/vlog/) ---
+  // Segments are carved out of this MS's chunk area by compute servers;
+  // the MS is the single liveness authority, so owner and foreign clients
+  // cannot race an extent retire against a segment free. A sealed segment
+  // whose extents are all dead is freed straight onto the node grace list
+  // (same epoch protection as merged leaves).
+  void VlogRegister(uint64_t base, uint32_t cls, uint32_t seg_bytes);
+  uint64_t VlogRetire(uint64_t addr);  // any offset inside the extent
+  void VlogSeal(uint64_t base, uint32_t used);
+  // base | (used << 40) | (cls << 56) of a sealed, unclaimed segment with
+  // dead permille >= `min_dead_permille` (marks it claimed); 0 if none.
+  // Segment bases are chunk-area offsets (< 2^40) and `used` <= 65535
+  // extents (TreeOptions::Validate bounds vlog_segment_bytes), so the
+  // packing is lossless.
+  uint64_t VlogVictim(uint64_t min_dead_permille);
+  uint64_t VlogMaskWord(uint64_t base, uint32_t word) const;
+
+  uint64_t vlog_live_segments() const { return vlog_.size(); }
+  uint64_t vlog_retired_extents() const { return vlog_retires_; }
+  uint64_t vlog_segments_freed() const { return vlog_segments_freed_; }
+  uint64_t vlog_victims_claimed() const { return vlog_victims_; }
+
   uint64_t total_chunks() const { return total_chunks_; }
   uint64_t allocated_chunks() const { return allocated_; }
   uint64_t allocated_bytes() const { return allocated_ * kChunkSize; }
@@ -85,6 +107,21 @@ class ChunkManager {
   uint64_t allocated_ = 0;
   std::vector<uint64_t> free_list_;
 
+  struct VlogSegment {
+    uint32_t cls = 0;        // extent size = 64 << cls bytes
+    uint32_t seg_bytes = 0;
+    uint32_t capacity = 0;   // extents the segment can hold
+    uint32_t used = 0;       // set at seal; 0 while the owner appends
+    uint32_t dead_count = 0;
+    uint64_t sealed_epoch = 0;  // reclaim epoch current at seal time
+    bool sealed = false;
+    bool claimed = false;    // a GC pass owns relocation
+    std::vector<uint64_t> dead;  // bitmap, one bit per extent slot
+  };
+
+  // Frees a fully-dead sealed segment onto the grace list.
+  void VlogMaybeFree(uint64_t base);
+
   std::deque<GraceNode> grace_;
   std::map<uint32_t, std::vector<uint64_t>> pool_;  // size -> offsets
   std::set<uint64_t> parked_;  // offsets in grace_ or pool_ (dup-free guard)
@@ -92,6 +129,11 @@ class ChunkManager {
   uint64_t nodes_freed_ = 0;
   uint64_t nodes_recycled_ = 0;
   uint64_t duplicate_frees_ = 0;
+
+  std::map<uint64_t, VlogSegment> vlog_;  // base offset -> segment
+  uint64_t vlog_retires_ = 0;
+  uint64_t vlog_segments_freed_ = 0;
+  uint64_t vlog_victims_ = 0;
 };
 
 }  // namespace sherman

@@ -72,6 +72,27 @@ inline constexpr uint64_t kRpcAllocNode = 4;  // arg = size; 0 if none ready
 // dead client's in-doubt intents have been read (the MS-side memory
 // thread scans its on-chip table far cheaper than 131072 remote READs).
 inline constexpr uint64_t kRpcSweepLocks = 5;
+// Value-log segment bookkeeping (src/vlog/): segments are CS-allocated
+// (via the ordinary chunk/node path) but the OWNING MS is the liveness
+// authority — every extent retire lands here, so owner and foreign
+// clients cannot race a free.
+//  - Register: announce a fresh segment. arg = base offset,
+//    arg2 = size-class index.
+//  - Retire: mark the extent holding `arg` (any offset inside it) dead.
+//    A sealed segment whose extents are all dead is freed to the grace
+//    list by the MS itself. Idempotent. Returns 1 if a slot went dead.
+//  - Seal: the appender is done with the segment. arg = base,
+//    arg2 = extents written.
+//  - Victim: returns base | (class << 56) of a sealed segment whose dead
+//    fraction >= arg permille (0 = none); the segment is marked claimed
+//    so concurrent GC passes do not double-relocate.
+//  - Mask: arg = base, arg2 = word index; returns the 64-bit dead bitmap
+//    word (GC reads liveness cheaply instead of guessing).
+inline constexpr uint64_t kRpcVlogRegister = 6;
+inline constexpr uint64_t kRpcVlogRetire = 7;
+inline constexpr uint64_t kRpcVlogSeal = 8;
+inline constexpr uint64_t kRpcVlogVictim = 9;
+inline constexpr uint64_t kRpcVlogMask = 10;
 
 }  // namespace sherman
 

@@ -1,5 +1,7 @@
 #include "bench/report.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstring>
 
@@ -13,7 +15,18 @@ namespace sherman::bench {
 namespace {
 BenchTelemetry* g_active = nullptr;
 
+// Creates every missing directory on the way to `path`'s parent (the
+// default artifact location telemetry/ need not pre-exist in a fresh
+// checkout or build directory).
+void EnsureParentDirs(const std::string& path) {
+  for (size_t i = 1; i < path.size(); i++) {
+    if (path[i] != '/') continue;
+    ::mkdir(path.substr(0, i).c_str(), 0777);  // EEXIST is fine
+  }
+}
+
 bool WriteFile(const std::string& path, const std::string& body) {
+  EnsureParentDirs(path);
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "telemetry: cannot open %s for writing\n",
@@ -122,7 +135,10 @@ BenchTelemetry::BenchTelemetry(std::string bench_name, const Args& args)
   enabled_ = !args.Has("no-json");
   path_ = args.GetString("json-out", "");
   if (path_.empty()) {
-    std::string dir = args.GetString("json-dir", "");
+    // Every artifact lands under ONE directory by default (telemetry/,
+    // where the committed reference artifacts live); --json-dir redirects
+    // the whole set, --json-out a single file.
+    std::string dir = args.GetString("json-dir", "telemetry");
     if (!dir.empty() && dir.back() != '/') dir += '/';
     path_ = dir + "BENCH_" + name_ + ".json";
   }

@@ -10,6 +10,7 @@
 #include "obs/bridge.h"
 #include "recover/recoverer.h"
 #include "util/logging.h"
+#include "vlog/vlog.h"
 
 namespace sherman {
 
@@ -51,6 +52,26 @@ void TreeOptions::Validate() const {
   }
   SHERMAN_CHECK_MSG(merge_threshold >= 0 && merge_threshold <= 0.9,
                     "merge_threshold must be in [0, 0.9]");
+  if (shape.varlen) {
+    // Slotted leaves are whole-node write-back with node-level validation;
+    // per-entry version pairs cannot cover a variable region.
+    SHERMAN_CHECK_MSG(!two_level_versions,
+                      "varlen requires two_level_versions=false");
+    SHERMAN_CHECK_MSG(shape.node_size <= 65535,
+                      "varlen slots store u16 offsets");
+    SHERMAN_CHECK(shape.max_key_len >= 1 && shape.max_key_len <= 255);
+    SHERMAN_CHECK_MSG(inline_threshold >= 8 && inline_threshold <= 4096,
+                      "inline_threshold out of range");
+    // A leaf must hold at least two maximal entries, or a single oversize
+    // routing group could wedge the split path.
+    SHERMAN_CHECK_MSG(
+        shape.var_usable_bytes() >=
+            2 * (kVarSlotSize + shape.max_key_len + inline_threshold),
+        "node too small for two maximal varlen entries");
+    SHERMAN_CHECK_MSG(vlog_segment_bytes >= (64u << 7) &&
+                          vlog_segment_bytes / 64 <= 65535,
+                      "vlog_segment_bytes out of range");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -71,6 +92,11 @@ TreeClient::TreeClient(ShermanSystem* system, int cs_id)
   // through this client's Recoverer before re-contending the lane.
   hocl_.set_recovery_hook(
       [this](uint16_t dead_tag) { return recoverer_->RecoverDeadOwner(dead_tag); });
+  if (system->options().shape.varlen) {
+    vlog_ = std::make_unique<vlog::VlogClient>(
+        &system->fabric(), &allocator_, cs_id,
+        system->options().vlog_segment_bytes);
+  }
 }
 
 TreeClient::~TreeClient() = default;
@@ -417,6 +443,11 @@ bool TreeClient::MergeCandidate(const NodeView& view, uint32_t live) const {
   // The leftmost leaf (lo fence 0) has no left sibling; a root leaf has
   // lo 0 too. Both are excluded, so merging never shrinks the tree height.
   if (!view.is_leaf() || view.is_free() || view.lo_fence() == 0) return false;
+  if (o.shape.varlen) {
+    // Byte-budget underflow: slotted leaves have no fixed entry capacity.
+    return static_cast<double>(view.VarLiveBytes()) <
+           o.merge_threshold * static_cast<double>(o.shape.var_usable_bytes());
+  }
   return static_cast<double>(live) <
          o.merge_threshold * static_cast<double>(o.shape.leaf_capacity());
 }
@@ -524,12 +555,18 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
   bool ok = sview.is_leaf() && !sview.is_free() && sview.hi_fence() == lo &&
             sview.sibling() == locked.addr;
   if (ok) {
-    const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
     // Anti-thrash headroom: a merge whose result is nearly full would be
     // split right back apart by the next inserts, paying both structural
     // ops for nothing. Require the merged leaf to keep a quarter of its
     // capacity free; drained chains (the reclamation target) pass easily.
-    ok = s_live + l_live <= 3 * o.shape.leaf_capacity() / 4;
+    if (o.shape.varlen) {
+      ok = VarLeafFits(sview, view) &&
+           (sview.VarLiveBytes() + view.VarLiveBytes()) * 4 <=
+               3 * o.shape.var_usable_bytes();
+    } else {
+      const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
+      ok = s_live + l_live <= 3 * o.shape.leaf_capacity() / 4;
+    }
   }
   if (!ok) {
     co_await UnlockSecond(sib, {}, stats);
@@ -540,7 +577,11 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
   // 3. Stage the widened sibling.
   const rdma::FabricConfig& f = system_->fabric_.config();
   co_await system_->fabric_.simulator().Delay(f.cpu_node_sort_ns);
-  MoveLeafEntries(&sview, view, o.two_level_versions);
+  if (o.shape.varlen) {
+    MoveVarLeafEntries(&sview, view);
+  } else {
+    MoveLeafEntries(&sview, view, o.two_level_versions);
+  }
   sview.set_hi_fence(hi);
   sview.set_sibling(view.sibling());
   SealNode(sview, /*structural_change=*/true);
@@ -2043,6 +2084,40 @@ void ShermanSystem::RegisterCollectors() {
     s->SetGauge("reclaim.epoch", static_cast<double>(reclaim_.current()));
     s->SetGauge("reclaim.pinned_ops", static_cast<double>(reclaim_.pinned_ops()));
   });
+
+  // vlog.*: client-side append/read/GC traffic + MS-side segment liveness.
+  if (options_.shape.varlen) {
+    registry_.AddCollector([this](obs::MetricsSnapshot* s) {
+      vlog::VlogStats total;
+      for (const auto& client : clients_) {
+        const vlog::VlogStats& v = client->vlog().stats();
+        total.appends += v.appends;
+        total.append_bytes += v.append_bytes;
+        total.reads += v.reads;
+        total.retires += v.retires;
+        total.segments_opened += v.segments_opened;
+        total.gc_passes += v.gc_passes;
+        total.gc_relocated += v.gc_relocated;
+        total.gc_stale += v.gc_stale;
+      }
+      s->AddCounter("vlog.appends", total.appends);
+      s->AddCounter("vlog.append_bytes", total.append_bytes);
+      s->AddCounter("vlog.reads", total.reads);
+      s->AddCounter("vlog.retires", total.retires);
+      s->AddCounter("vlog.segments_opened", total.segments_opened);
+      s->AddCounter("vlog.gc_passes", total.gc_passes);
+      s->AddCounter("vlog.gc_relocated", total.gc_relocated);
+      s->AddCounter("vlog.gc_stale", total.gc_stale);
+      uint64_t live = 0;
+      for (const auto& cm : chunks_) {
+        live += cm->vlog_live_segments();
+        s->AddCounter("vlog.retired_extents", cm->vlog_retired_extents());
+        s->AddCounter("vlog.segments_freed", cm->vlog_segments_freed());
+        s->AddCounter("vlog.victims_claimed", cm->vlog_victims_claimed());
+      }
+      s->SetGauge("vlog.live_segments", static_cast<double>(live));
+    });
+  }
 }
 
 rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {

@@ -88,6 +88,20 @@ struct TreeOptions {
   // only null the slot and leaves are never reclaimed).
   double merge_threshold = 0.25;
 
+  // --- variable-length records (shape.varlen mode) ---
+  // Values longer than this go OUT-OF-LINE into the per-MS value log
+  // (src/vlog/): the leaf slot keeps an 8-byte packed pointer and the
+  // bytes live in a log extent. Values at or below it stay inline in the
+  // leaf heap.
+  uint32_t inline_threshold = 64;
+  // Segment size the value log carves from the chunk allocator (one open
+  // segment per size class per client). Must hold at least one extent of
+  // the largest class (8 KB) and at most 65535 of the smallest (64 B).
+  uint32_t vlog_segment_bytes = 64 << 10;
+  // GC victim threshold: a sealed segment with at least this many dead
+  // extents per thousand written is eligible for VlogGcOnce relocation.
+  uint32_t vlog_gc_dead_permille = 250;
+
   // 4-bit version wraparound guard (§4.4): re-read when a READ took longer
   // than this.
   sim::SimTime version_wrap_retry_ns = 8000;
@@ -101,6 +115,16 @@ struct TreeOptions {
 };
 
 class ShermanSystem;
+
+namespace vlog {
+class VlogClient;
+}
+
+// Per-key answer of MultiGetVar.
+struct VarGetResult {
+  Status status = Status::NotFound();
+  std::string value;
+};
 
 // Per-compute-server tree handle, shared by that CS's client threads
 // (coroutines). All operations are coroutines driven by the fabric's
@@ -162,6 +186,49 @@ class TreeClient {
   sim::Task<Status> MultiDelete(std::vector<Key> keys,
                                 std::vector<Status>* out,
                                 OpStats* stats = nullptr);
+
+  // --- variable-length operations (shape.varlen mode only) ---
+  // Keys are byte strings (1..shape.max_key_len bytes) routed through the
+  // fixed u64 tree on RoutingKeyFor(key); values are byte strings up to
+  // 64 KB. Values above inline_threshold live in the value log (src/vlog/).
+
+  // Inserts or updates `key`. An update that crosses the inline threshold
+  // in either direction relocates the value and retires the old extent.
+  sim::Task<Status> InsertVar(const Slice& key, const Slice& value,
+                              OpStats* stats = nullptr);
+  // Point lookup; NotFound if absent. Out-of-line values cost one extra
+  // READ, except on the swizzle fast path (cached leaf + cached pointer:
+  // the leaf READ and the value READ are issued together and the leaf
+  // validates the speculation).
+  sim::Task<Status> LookupVar(const Slice& key, std::string* value,
+                              OpStats* stats = nullptr);
+  // Deletes `key`; retires its extent if out-of-line. NotFound if absent.
+  sim::Task<Status> DeleteVar(const Slice& key, OpStats* stats = nullptr);
+  // Up to `count` key-ordered pairs with key >= from (byte order). Not
+  // atomic with concurrent writes, like RangeQuery.
+  sim::Task<Status> ScanVar(const Slice& from, uint32_t count,
+                            std::vector<std::pair<std::string, std::string>>* out,
+                            OpStats* stats = nullptr);
+  // Batched variable-length lookups: plans/fetches distinct leaves with
+  // doorbell-batched READ lists (like MultiGet), then resolves out-of-line
+  // values concurrently. out->at(i) answers keys[i].
+  sim::Task<Status> MultiGetVar(std::vector<std::string> keys,
+                                std::vector<VarGetResult>* out,
+                                OpStats* stats = nullptr);
+  // Batched variable-length inserts: appends out-of-line values up front,
+  // then groups keys by target leaf and applies each group under one lock
+  // (like MultiInsert). Unservable keys fall back to InsertVar.
+  sim::Task<Status> MultiInsertVar(
+      std::vector<std::pair<std::string, std::string>> kvs,
+      OpStats* stats = nullptr);
+  // One segment-GC pass: seals this client's open segments, claims at most
+  // one victim per MS above vlog_gc_dead_permille, and relocates each live
+  // record copy-then-flip (append fresh -> repoint the leaf under its lock
+  // -> retire the old extent). `relocated` (optional) counts moved records.
+  sim::Task<Status> VlogGcOnce(uint64_t* relocated = nullptr,
+                               OpStats* stats = nullptr);
+  // This client's value-log handle (valid only in varlen mode).
+  vlog::VlogClient& vlog() { return *vlog_; }
 
   // Per-client reclamation counters (leaf merges, aborted attempts,
   // freed nodes).
@@ -355,6 +422,46 @@ class TreeClient {
                                    std::vector<uint8_t>* defer, OpStats* stats,
                                    sim::CountdownLatch* latch);
 
+  // --- varlen plumbing (btree_varlen.cc) ---
+
+  // Rejects malformed varlen keys and computes the routing key.
+  Status CheckVarKey(const Slice& key, Key* rk) const;
+  // Leaf split for slotted pages: re-distributes by BYTE budget, cutting
+  // only at a routing-key boundary (keys sharing a routing key must share
+  // a leaf); reuses the kSplit intent + InsertInternal ascent. `payload`
+  // is the staged heap payload of the pending insert (inline bytes or
+  // packed pointer).
+  sim::Task<Status> SplitVarLeafAndUnlock(Locked locked,
+                                          std::vector<uint8_t> buf,
+                                          const Slice& key,
+                                          const uint8_t* payload,
+                                          uint32_t payload_len, uint16_t vlen,
+                                          bool outline, OpStats* stats);
+  // Resolves slot `i` of a validated leaf view to value bytes (inline copy
+  // or one vlog READ). Corruption = the extent was concurrently relocated;
+  // the caller re-reads the leaf.
+  sim::Task<Status> ResolveVarValue(const NodeView& view, uint32_t i,
+                                    const Slice& key, std::string* value,
+                                    OpStats* stats);
+  // Concurrent out-of-line resolution step for MultiGetVar/ScanVar.
+  sim::Task<void> ResolveVarInto(uint64_t ptr, const std::string* key,
+                                 uint16_t vlen, VarGetResult* out,
+                                 OpStats* stats, sim::CountdownLatch* latch);
+  // MultiInsertVar group apply (one lock, whole-node write-back).
+  sim::Task<void> ApplyVarInsertGroup(
+      rdma::GlobalAddress addr, std::vector<size_t> idxs,
+      const std::vector<std::pair<std::string, std::string>>* kvs,
+      const std::vector<uint64_t>* vptrs, std::vector<uint8_t>* defer,
+      std::vector<uint64_t>* retired, OpStats* stats,
+      sim::CountdownLatch* latch);
+  // GC of one claimed victim segment on `ms`.
+  sim::Task<Status> GcVictimSegment(uint16_t ms, uint64_t base, uint32_t cls,
+                                    uint32_t used, uint64_t* relocated,
+                                    OpStats* stats);
+  // Bounded key -> (vlog ptr, vlen) map behind the swizzle fast path.
+  void RememberVptr(const std::string& key, uint64_t ptr, uint16_t vlen);
+  void ForgetVptr(const std::string& key);
+
   ShermanSystem* system_;
   int cs_id_;
   HoclClient hocl_;
@@ -365,6 +472,16 @@ class TreeClient {
   ReclaimStats reclaim_stats_;
   uint64_t delete_ops_ = 0;  // clock for the merge-abort backoff
   std::map<uint64_t, uint64_t> merge_backoff_;  // leaf addr -> retry deadline
+
+  // Varlen mode only: the value-log client and the pointer-swizzle cache
+  // (key -> last observed out-of-line pointer + value length; speculative,
+  // validated against the leaf on every use).
+  std::unique_ptr<vlog::VlogClient> vlog_;
+  struct VptrHint {
+    uint64_t ptr = 0;
+    uint16_t vlen = 0;
+  };
+  std::map<std::string, VptrHint> vptr_cache_;
 
   bool root_known_ = false;
   rdma::GlobalAddress root_addr_;
@@ -422,8 +539,18 @@ class ShermanSystem {
 
   // Builds the tree directly in MS memory (no simulated traffic) from
   // sorted, unique-key pairs; leaves are `fill` full. Installs the root
-  // pointer. Call once, before running clients.
+  // pointer. Call once, before running clients. In varlen mode only an
+  // EMPTY bulk load is allowed (one empty slotted leaf as the root);
+  // string records go through BulkLoadVar or client inserts.
   void BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs, double fill);
+
+  // Varlen bulk load from sorted, unique string pairs. Values must fit
+  // inline (<= inline_threshold): the value log is client-owned state and
+  // cannot be staged offline; longer values load through InsertVar.
+  // Leaves are filled to ~`fill` of their byte budget, never splitting a
+  // routing-key group across leaves.
+  void BulkLoadVar(const std::vector<std::pair<std::string, std::string>>& kvs,
+                   double fill);
 
   // Elastic scale-out: brings one more memory server online (QPs from every
   // CS, chunk manager installed) and returns its id. The new MS serves
@@ -436,6 +563,9 @@ class ShermanSystem {
   uint32_t DebugHeight() const;
   // All live entries in key order, by walking the leaf sibling chain.
   std::vector<std::pair<Key, uint64_t>> DebugScanLeaves() const;
+  // Varlen edition: full string keys -> value bytes (out-of-line values
+  // are materialized by reading MS memory directly).
+  std::vector<std::pair<std::string, std::string>> DebugScanLeavesVar() const;
   // Length of the live leaf chain — the node-granular footprint metric
   // (chunk accounting hides node-level leaks; without reclamation the
   // chain grows with every delete-churn generation).
@@ -448,6 +578,11 @@ class ShermanSystem {
   friend class TreeClient;
 
   rdma::GlobalAddress AllocBulk(uint32_t size);
+  // Builds the internal levels bottom-up over `children` ((addr, lo) pairs
+  // in key order) and returns the root address. Shared by BulkLoad and
+  // BulkLoadVar.
+  rdma::GlobalAddress BuildUpperLevels(
+      std::vector<std::pair<rdma::GlobalAddress, Key>> children, double fill);
   void RegisterCollectors();
 
   TreeOptions options_;

@@ -3,9 +3,13 @@
 // before measuring, and tests use the scans to verify invariants.
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/btree.h"
 #include "util/logging.h"
+#include "vlog/vlog.h"
 
 namespace sherman {
 
@@ -35,6 +39,54 @@ rdma::GlobalAddress ShermanSystem::AllocBulk(uint32_t size) {
   return rdma::kNullAddress;
 }
 
+rdma::GlobalAddress ShermanSystem::BuildUpperLevels(
+    std::vector<std::pair<rdma::GlobalAddress, Key>> children, double fill) {
+  const TreeShape& shape = options_.shape;
+  const bool checksum_mode =
+      options_.consistency == TreeOptions::Consistency::kChecksum;
+  const uint32_t per_internal = std::max<uint32_t>(
+      2, std::min<uint32_t>(
+             shape.internal_capacity(),
+             static_cast<uint32_t>(shape.internal_capacity() * fill)));
+  uint8_t level = 1;
+  while (children.size() > 1) {
+    // Each node takes one leftmost child plus up to per_internal keyed
+    // children.
+    const size_t group = static_cast<size_t>(per_internal) + 1;
+    const size_t num_nodes = (children.size() + group - 1) / group;
+    std::vector<rdma::GlobalAddress> naddrs(num_nodes);
+    for (size_t i = 0; i < num_nodes; i++) {
+      naddrs[i] = AllocBulk(shape.node_size);
+    }
+    std::vector<std::pair<rdma::GlobalAddress, Key>> next;
+    next.reserve(num_nodes);
+    for (size_t i = 0; i < num_nodes; i++) {
+      const size_t begin = i * group;
+      const size_t end = std::min(children.size(), begin + group);
+      const Key lo = (i == 0) ? 0 : children[begin].second;
+      const Key hi = (i + 1 == num_nodes) ? kMaxKey : children[end].second;
+      const rdma::GlobalAddress sibling =
+          (i + 1 == num_nodes) ? rdma::kNullAddress : naddrs[i + 1];
+
+      NodeView view(fabric_.HostRaw(naddrs[i]), &shape);
+      view.InitInternal(level, lo, hi, sibling,
+                        /*leftmost=*/children[begin].first);
+      uint16_t count = 0;
+      for (size_t j = begin + 1; j < end; j++) {
+        view.SetInternalEntry(count, children[j].second, children[j].first);
+        count++;
+      }
+      view.set_count(count);
+      if (checksum_mode) view.UpdateChecksum();
+      if (dmsan_ != nullptr) dmsan_->PublishNode(naddrs[i], level);
+      next.emplace_back(naddrs[i], lo);
+    }
+    children = std::move(next);
+    level++;
+  }
+  return children[0].first;
+}
+
 void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
                              double fill) {
   SHERMAN_CHECK(fill > 0 && fill <= 1.0);
@@ -42,17 +94,16 @@ void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
   const bool sorted_mode = !options_.two_level_versions;
   const bool checksum_mode =
       options_.consistency == TreeOptions::Consistency::kChecksum;
+  // Varlen leaves are slotted pages; fixed 16-byte records cannot be
+  // staged into them. An empty load (the root bootstrap) is fine.
+  SHERMAN_CHECK_MSG(!shape.varlen || kvs.empty(),
+                    "varlen trees bulk load via BulkLoadVar");
 
   for (size_t i = 0; i < kvs.size(); i++) {
     SHERMAN_CHECK(kvs[i].first != kNullKey && kvs[i].first != kMaxKey);
     if (i > 0) SHERMAN_CHECK_MSG(kvs[i - 1].first < kvs[i].first,
                                  "bulk load keys must be sorted and unique");
   }
-
-  struct ChildRec {
-    rdma::GlobalAddress addr;
-    Key lo;
-  };
 
   // --- Leaves ---
   const uint32_t per_leaf = std::max<uint32_t>(
@@ -61,7 +112,7 @@ void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
   const size_t num_leaves =
       kvs.empty() ? 1 : (kvs.size() + per_leaf - 1) / per_leaf;
 
-  std::vector<ChildRec> level_nodes;
+  std::vector<std::pair<rdma::GlobalAddress, Key>> level_nodes;
   level_nodes.reserve(num_leaves);
   std::vector<rdma::GlobalAddress> addrs(num_leaves);
   for (size_t i = 0; i < num_leaves; i++) addrs[i] = AllocBulk(shape.node_size);
@@ -83,60 +134,109 @@ void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
     if (sorted_mode) view.set_count(static_cast<uint16_t>(end - begin));
     if (checksum_mode) view.UpdateChecksum();
     if (dmsan_ != nullptr) dmsan_->PublishNode(addrs[i], /*level=*/0);
-    level_nodes.push_back(ChildRec{addrs[i], lo});
+    level_nodes.emplace_back(addrs[i], lo);
   }
 
-  // --- Internal levels, bottom-up ---
-  const uint32_t per_internal = std::max<uint32_t>(
-      2, std::min<uint32_t>(
-             shape.internal_capacity(),
-             static_cast<uint32_t>(shape.internal_capacity() * fill)));
-  uint8_t level = 1;
-  while (level_nodes.size() > 1) {
-    // Each node takes one leftmost child plus up to per_internal keyed
-    // children.
-    const size_t group = static_cast<size_t>(per_internal) + 1;
-    const size_t num_nodes = (level_nodes.size() + group - 1) / group;
-    std::vector<rdma::GlobalAddress> naddrs(num_nodes);
-    for (size_t i = 0; i < num_nodes; i++) {
-      naddrs[i] = AllocBulk(shape.node_size);
-    }
-    std::vector<ChildRec> next;
-    next.reserve(num_nodes);
-    for (size_t i = 0; i < num_nodes; i++) {
-      const size_t begin = i * group;
-      const size_t end = std::min(level_nodes.size(), begin + group);
-      const Key lo = (i == 0) ? 0 : level_nodes[begin].lo;
-      const Key hi =
-          (i + 1 == num_nodes) ? kMaxKey : level_nodes[end].lo;
-      const rdma::GlobalAddress sibling =
-          (i + 1 == num_nodes) ? rdma::kNullAddress : naddrs[i + 1];
-
-      NodeView view(fabric_.HostRaw(naddrs[i]), &shape);
-      view.InitInternal(level, lo, hi, sibling,
-                        /*leftmost=*/level_nodes[begin].addr);
-      uint16_t count = 0;
-      for (size_t j = begin + 1; j < end; j++) {
-        view.SetInternalEntry(count, level_nodes[j].lo, level_nodes[j].addr);
-        count++;
-      }
-      view.set_count(count);
-      if (checksum_mode) view.UpdateChecksum();
-      if (dmsan_ != nullptr) dmsan_->PublishNode(naddrs[i], level);
-      next.push_back(ChildRec{naddrs[i], lo});
-    }
-    level_nodes = std::move(next);
-    level++;
-  }
+  const rdma::GlobalAddress root = BuildUpperLevels(std::move(level_nodes),
+                                                    fill);
 
   // --- Publish the root pointer in MS 0's meta region ---
-  const uint64_t packed = level_nodes[0].addr.ToU64();
+  const uint64_t packed = root.ToU64();
+  std::memcpy(fabric_.ms(0).host().raw(kRootPointerOffset), &packed, 8);
+}
+
+void ShermanSystem::BulkLoadVar(
+    const std::vector<std::pair<std::string, std::string>>& kvs, double fill) {
+  SHERMAN_CHECK(fill > 0 && fill <= 1.0);
+  const TreeShape& shape = options_.shape;
+  SHERMAN_CHECK_MSG(shape.varlen, "BulkLoadVar on a fixed-size tree");
+  const bool checksum_mode =
+      options_.consistency == TreeOptions::Consistency::kChecksum;
+
+  std::vector<VarEntry> entries;
+  entries.reserve(kvs.size());
+  for (size_t i = 0; i < kvs.size(); i++) {
+    const std::string& k = kvs[i].first;
+    const std::string& v = kvs[i].second;
+    SHERMAN_CHECK_MSG(!k.empty() && k.size() <= shape.max_key_len,
+                      "bulk key length out of range");
+    const Key rk = RoutingKeyFor(k);
+    SHERMAN_CHECK_MSG(rk != kNullKey && rk != kMaxKey,
+                      "bulk key routes to a reserved sentinel");
+    if (i > 0) SHERMAN_CHECK_MSG(kvs[i - 1].first < k,
+                                 "bulk load keys must be sorted and unique");
+    // The offline loader has no value-log appender; longer values go
+    // through InsertVar on a running client.
+    SHERMAN_CHECK_MSG(v.size() <= options_.inline_threshold,
+                      "BulkLoadVar values must be inline-sized");
+    VarEntry e;
+    e.key = k;
+    e.payload.assign(v.begin(), v.end());
+    e.vlen = static_cast<uint16_t>(v.size());
+    e.outline = false;
+    entries.push_back(std::move(e));
+  }
+
+  // Greedy byte-budget packing: leaves close at ~`fill` of the usable
+  // byte budget, and a routing-key group (keys sharing the first 8 bytes)
+  // never splits across leaves — splits can only cut at routing
+  // boundaries, so neither can the loader.
+  const uint64_t budget = shape.var_usable_bytes();
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(budget) * fill));
+  std::vector<std::vector<VarEntry>> leaf_groups;
+  std::vector<VarEntry> cur;
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i;
+    const Key rk = RoutingKeyFor(entries[i].key);
+    while (j < entries.size() && RoutingKeyFor(entries[j].key) == rk) j++;
+    std::vector<VarEntry> cand = cur;
+    cand.insert(cand.end(), entries.begin() + i, entries.begin() + j);
+    const uint64_t need = VarBytesNeeded(cand, VarCommonPrefix(cand));
+    if (!cur.empty() && need > target) {
+      leaf_groups.push_back(std::move(cur));
+      cur.clear();
+      continue;  // retry this routing group against a fresh leaf
+    }
+    SHERMAN_CHECK_MSG(need <= budget,
+                      "routing-key group exceeds leaf capacity");
+    cur = std::move(cand);
+    i = j;
+  }
+  if (!cur.empty() || leaf_groups.empty()) leaf_groups.push_back(std::move(cur));
+
+  const size_t num_leaves = leaf_groups.size();
+  std::vector<rdma::GlobalAddress> addrs(num_leaves);
+  for (size_t l = 0; l < num_leaves; l++) addrs[l] = AllocBulk(shape.node_size);
+
+  std::vector<std::pair<rdma::GlobalAddress, Key>> level_nodes;
+  level_nodes.reserve(num_leaves);
+  for (size_t l = 0; l < num_leaves; l++) {
+    const Key lo = (l == 0) ? 0 : RoutingKeyFor(leaf_groups[l].front().key);
+    const Key hi = (l + 1 == num_leaves)
+                       ? kMaxKey
+                       : RoutingKeyFor(leaf_groups[l + 1].front().key);
+    const rdma::GlobalAddress sibling =
+        (l + 1 == num_leaves) ? rdma::kNullAddress : addrs[l + 1];
+    NodeView view(fabric_.HostRaw(addrs[l]), &shape);
+    view.InitLeaf(lo, hi, sibling);
+    SHERMAN_CHECK(BuildVarLeaf(&view, leaf_groups[l]));
+    if (checksum_mode) view.UpdateChecksum();
+    if (dmsan_ != nullptr) dmsan_->PublishNode(addrs[l], /*level=*/0);
+    level_nodes.emplace_back(addrs[l], lo);
+  }
+
+  const rdma::GlobalAddress root = BuildUpperLevels(std::move(level_nodes),
+                                                    fill);
+  const uint64_t packed = root.ToU64();
   std::memcpy(fabric_.ms(0).host().raw(kRootPointerOffset), &packed, 8);
 }
 
 std::vector<std::pair<Key, uint64_t>> ShermanSystem::DebugScanLeaves() const {
   auto* self = const_cast<ShermanSystem*>(this);
   const TreeShape& shape = options_.shape;
+  SHERMAN_CHECK_MSG(!shape.varlen, "varlen trees scan via DebugScanLeavesVar");
 
   // Descend leftmost pointers to the leftmost leaf.
   rdma::GlobalAddress addr = DebugRootAddr();
@@ -163,6 +263,53 @@ std::vector<std::pair<Key, uint64_t>> ShermanSystem::DebugScanLeaves() const {
       }
     }
     for (const auto& kv : leaf_entries) out.push_back(kv);
+    addr = view.sibling();
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ShermanSystem::DebugScanLeavesVar() const {
+  auto* self = const_cast<ShermanSystem*>(this);
+  const TreeShape& shape = options_.shape;
+  SHERMAN_CHECK_MSG(shape.varlen, "DebugScanLeavesVar on a fixed-size tree");
+
+  rdma::GlobalAddress addr = DebugRootAddr();
+  while (true) {
+    NodeView view(self->fabric_.HostRaw(addr), &shape);
+    if (view.is_leaf()) break;
+    addr = view.leftmost_child();
+  }
+
+  std::vector<std::pair<std::string, std::string>> out;
+  while (!addr.is_null()) {
+    NodeView view(self->fabric_.HostRaw(addr), &shape);
+    SHERMAN_CHECK(view.is_leaf());
+    for (uint32_t i = 0; i < view.count(); i++) {
+      std::string k = view.VarFullKey(i);
+      std::string v;
+      if (view.VarOutline(i)) {
+        // Materialize out-of-line values by reading the extent directly.
+        const uint64_t ptr = view.VarVlogPtr(i);
+        const uint8_t* rec = self->fabric_.HostRaw(vlog::VlogPtr::Addr(ptr));
+        uint16_t klen = 0;
+        uint16_t vlen = 0;
+        std::memcpy(&klen, rec, 2);
+        std::memcpy(&vlen, rec + 2, 2);
+        SHERMAN_CHECK_MSG(klen == k.size() &&
+                              std::memcmp(rec + vlog::kRecordHeader, k.data(),
+                                          klen) == 0,
+                          "leaf slot points at a foreign vlog record");
+        SHERMAN_CHECK(vlen == view.VarVlen(i));
+        v.assign(reinterpret_cast<const char*>(rec) + vlog::kRecordHeader +
+                     klen,
+                 vlen);
+      } else {
+        const Slice iv = view.VarInlineValue(i);
+        v.assign(iv.data(), iv.size());
+      }
+      out.emplace_back(std::move(k), std::move(v));
+    }
     addr = view.sibling();
   }
   return out;
@@ -215,7 +362,19 @@ void ShermanSystem::DebugCheckInvariants() const {
       SHERMAN_CHECK(view.lo_fence() < view.hi_fence());
       SHERMAN_CHECK(view.NodeVersionsMatch());
       if (level == 0) {
-        if (options_.two_level_versions) {
+        if (shape.varlen) {
+          // Slotted leaf: byte keys strictly sorted, every ROUTING key in
+          // fence, heap accounting within budget.
+          std::string prev;
+          for (uint32_t i = 0; i < view.count(); i++) {
+            const std::string k = view.VarFullKey(i);
+            SHERMAN_CHECK(!k.empty() && k.size() <= shape.max_key_len);
+            SHERMAN_CHECK(view.InFence(RoutingKeyFor(k)));
+            SHERMAN_CHECK(i == 0 || k > prev);
+            prev = k;
+          }
+          SHERMAN_CHECK(view.VarLiveBytes() <= shape.var_usable_bytes());
+        } else if (options_.two_level_versions) {
           for (uint32_t i = 0; i < shape.leaf_capacity(); i++) {
             const Key k = view.LeafKey(i);
             if (k == kNullKey) continue;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "sanitizer/dmsan.h"
 #include "util/crc32.h"
@@ -15,6 +16,20 @@ uint32_t TreeShape::leaf_capacity() const {
 
 uint32_t TreeShape::internal_capacity() const {
   return (node_size - kOffLeftmostChild - 8 - 1) / internal_entry_size();
+}
+
+uint32_t TreeShape::var_usable_bytes() const {
+  return node_size - kHeaderSize - 1;
+}
+
+Key RoutingKeyFor(const Slice& key) {
+  uint64_t rk = 0;
+  for (size_t i = 0; i < 8; i++) {
+    const uint8_t b =
+        i < key.size() ? static_cast<uint8_t>(key.data()[i]) : 0;
+    rk = (rk << 8) | b;
+  }
+  return rk;
 }
 
 uint64_t NodeView::Load64(uint32_t off) const {
@@ -165,6 +180,384 @@ uint32_t NodeView::LiveLeafEntries(bool two_level) const {
   return live;
 }
 
+// --- varlen slotted leaves ---
+
+uint16_t NodeView::heap_watermark() const {
+  uint16_t w;
+  std::memcpy(&w, data_ + kOffHeapWatermark, 2);
+  return w;
+}
+
+void NodeView::set_heap_watermark(uint16_t w) {
+  std::memcpy(data_ + kOffHeapWatermark, &w, 2);
+}
+
+uint16_t NodeView::dead_bytes() const {
+  uint16_t d;
+  std::memcpy(&d, data_ + kOffDeadBytes, 2);
+  return d;
+}
+
+void NodeView::set_dead_bytes(uint16_t d) {
+  std::memcpy(data_ + kOffDeadBytes, &d, 2);
+}
+
+uint16_t NodeView::VarEntryOff(uint32_t i) const {
+  uint16_t off;
+  std::memcpy(&off, data_ + VarSlotOffset(i), 2);
+  return off;
+}
+
+uint16_t NodeView::VarVlen(uint32_t i) const {
+  uint16_t v;
+  std::memcpy(&v, data_ + VarSlotOffset(i) + 4, 2);
+  return v;
+}
+
+std::string NodeView::VarFullKey(uint32_t i) const {
+  std::string k;
+  const Slice p = VarPrefix();
+  const Slice s = VarSuffix(i);
+  k.reserve(p.size() + s.size());
+  k.append(p.data(), p.size());
+  k.append(s.data(), s.size());
+  return k;
+}
+
+uint64_t NodeView::VarVlogPtr(uint32_t i) const {
+  return Load64(VarEntryOff(i) + VarSuffixLen(i));
+}
+
+void NodeView::VarSetVlogPtr(uint32_t i, uint64_t ptr) {
+  Store64(VarEntryOff(i) + VarSuffixLen(i), ptr);
+}
+
+uint32_t NodeView::VarLiveBytes() const {
+  const uint32_t n = count();
+  uint32_t bytes = n * kVarSlotSize + prefix_len();
+  for (uint32_t i = 0; i < n; i++) bytes += VarEntryBytes(i);
+  return bytes;
+}
+
+uint32_t NodeView::VarFreeBytes() const {
+  const uint32_t slots_end = kHeaderSize + count() * kVarSlotSize;
+  const uint32_t w = heap_watermark();
+  return w > slots_end ? w - slots_end : 0;
+}
+
+namespace {
+
+// memcmp order with shorter-is-smaller ties (Slice::compare semantics,
+// restated here so slot searches cannot drift from Slice's contract).
+int CompareBytes(const char* a, size_t alen, const char* b, size_t blen) {
+  const size_t n = alen < blen ? alen : blen;
+  const int c = n == 0 ? 0 : std::memcmp(a, b, n);
+  if (c != 0) return c;
+  if (alen == blen) return 0;
+  return alen < blen ? -1 : 1;
+}
+
+}  // namespace
+
+uint32_t NodeView::VarLowerBound(const Slice& key) const {
+  const uint32_t n = count();
+  const uint32_t p = prefix_len();
+  // Compare the query against the shared page prefix first.
+  const Slice pfx = VarPrefix();
+  const size_t head = key.size() < p ? key.size() : p;
+  const int c = head == 0 ? 0 : std::memcmp(key.data(), pfx.data(), head);
+  if (c < 0) return 0;
+  if (c > 0) return n;
+  if (key.size() < p) return 0;  // strict prefix of the page prefix
+  const char* suffix = key.data() + p;
+  const size_t slen = key.size() - p;
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    const Slice s = VarSuffix(mid);
+    if (CompareBytes(s.data(), s.size(), suffix, slen) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t NodeView::VarFind(const Slice& key) const {
+  const uint32_t i = VarLowerBound(key);
+  if (i >= count()) return UINT32_MAX;
+  const uint32_t p = prefix_len();
+  if (key.size() < p ||
+      (p > 0 && std::memcmp(key.data(), VarPrefix().data(), p) != 0)) {
+    return UINT32_MAX;
+  }
+  const Slice s = VarSuffix(i);
+  if (s.size() != key.size() - p) return UINT32_MAX;
+  if (s.size() > 0 && std::memcmp(s.data(), key.data() + p, s.size()) != 0) {
+    return UINT32_MAX;
+  }
+  return i;
+}
+
+uint8_t NodeView::VarFingerprint(const Slice& key) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the full key
+  for (size_t i = 0; i < key.size(); i++) {
+    h ^= static_cast<uint8_t>(key.data()[i]);
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<uint8_t>(h);
+}
+
+bool NodeView::VarRebuildWithPrefix(uint32_t new_p) {
+  SHERMAN_CHECK(new_p <= prefix_len());
+  std::vector<VarEntry> entries = ExtractVarEntries(*this);
+  if (VarBytesNeeded(entries, new_p) > shape_->var_usable_bytes()) {
+    return false;
+  }
+  const uint32_t top = shape_->node_size - 1 - new_p;
+  if (new_p > 0) {
+    // All keys share the first new_p bytes; take them from any entry.
+    std::memcpy(data_ + top, entries.front().key.data(), new_p);
+  }
+  uint32_t w = top;
+  for (uint32_t i = 0; i < entries.size(); i++) {
+    const VarEntry& e = entries[i];
+    const uint32_t slen = static_cast<uint32_t>(e.key.size()) - new_p;
+    const uint32_t eb = slen + static_cast<uint32_t>(e.payload.size());
+    w -= eb;
+    std::memcpy(data_ + w, e.key.data() + new_p, slen);
+    std::memcpy(data_ + w + slen, e.payload.data(), e.payload.size());
+    uint8_t* slot = data_ + VarSlotOffset(i);
+    const uint16_t off16 = static_cast<uint16_t>(w);
+    std::memcpy(slot, &off16, 2);
+    slot[2] = static_cast<uint8_t>(slen);
+    slot[3] = VarFingerprint(Slice(e.key.data(), e.key.size()));
+    std::memcpy(slot + 4, &e.vlen, 2);
+    slot[6] = e.outline ? kVarFlagOutline : 0;
+    slot[7] = 0;
+  }
+  set_prefix_len(static_cast<uint8_t>(new_p));
+  set_heap_watermark(static_cast<uint16_t>(w));
+  set_dead_bytes(0);
+  return true;
+}
+
+void NodeView::VarCompact() {
+  // Defragment under the CURRENT prefix: a mid-insert compaction must not
+  // grow the prefix out from under a key that shares less of it.
+  SHERMAN_CHECK(VarRebuildWithPrefix(prefix_len()));
+}
+
+bool NodeView::VarInsert(const Slice& key, const uint8_t* payload,
+                         uint32_t payload_len, uint16_t vlen, bool outline) {
+  SHERMAN_CHECK(key.size() > 0 && key.size() <= shape_->max_key_len);
+  uint32_t p = prefix_len();
+  if (count() == 0) {
+    if (p != 0) {
+      set_prefix_len(0);
+      set_heap_watermark(static_cast<uint16_t>(shape_->node_size - 1));
+      p = 0;
+    }
+  } else if (p > 0) {
+    // Shrink the page prefix to what the new key shares with it.
+    uint32_t shared = 0;
+    const Slice pfx = VarPrefix();
+    while (shared < p && shared < key.size() &&
+           key.data()[shared] == pfx.data()[shared]) {
+      shared++;
+    }
+    if (shared < p) {
+      if (!VarRebuildWithPrefix(shared)) return false;
+      p = shared;
+    }
+  }
+  const uint32_t slen = static_cast<uint32_t>(key.size()) - p;
+  SHERMAN_CHECK(slen <= 255);
+  const uint32_t eb = slen + payload_len;
+  const uint32_t i = VarFind(key);
+  if (i != UINT32_MAX) {
+    // Update. Same-size payload rewrites in place; otherwise the old heap
+    // entry goes dead and a fresh one is carved.
+    const uint32_t old_payload = VarEntryBytes(i) - VarSuffixLen(i);
+    uint8_t* slot = data_ + VarSlotOffset(i);
+    if (old_payload == payload_len) {
+      std::memcpy(data_ + VarEntryOff(i) + slen, payload, payload_len);
+      std::memcpy(slot + 4, &vlen, 2);
+      slot[6] = outline ? kVarFlagOutline : 0;
+      return true;
+    }
+    const uint32_t dead = VarEntryBytes(i);
+    if (VarFreeBytes() < eb) {
+      if (VarFreeBytes() + dead_bytes() + dead < eb) return false;
+      set_dead_bytes(static_cast<uint16_t>(dead_bytes() + dead));
+      // Park the slot's length so compaction skips the old entry bytes:
+      // compaction rebuilds from full keys + payloads, so just compact
+      // after re-pointing the slot at a zero-length payload is unsound —
+      // instead drop the slot and fall through to a fresh insert.
+      VarRemoveAt(i);
+      VarCompact();
+      return VarInsert(key, payload, payload_len, vlen, outline);
+    }
+    set_dead_bytes(static_cast<uint16_t>(dead_bytes() + dead));
+    const uint16_t w = static_cast<uint16_t>(heap_watermark() - eb);
+    std::memcpy(data_ + w, key.data() + p, slen);
+    std::memcpy(data_ + w + slen, payload, payload_len);
+    std::memcpy(slot, &w, 2);
+    slot[2] = static_cast<uint8_t>(slen);
+    std::memcpy(slot + 4, &vlen, 2);
+    slot[6] = outline ? kVarFlagOutline : 0;
+    set_heap_watermark(w);
+    return true;
+  }
+  // Fresh insert: needs a slot + a heap entry.
+  const uint32_t need = kVarSlotSize + eb;
+  if (VarFreeBytes() < need) {
+    if (VarFreeBytes() + dead_bytes() < need) return false;
+    VarCompact();
+    if (VarFreeBytes() < need) return false;
+  }
+  const uint32_t pos = VarLowerBound(key);
+  const uint32_t n = count();
+  const uint16_t w = static_cast<uint16_t>(heap_watermark() - eb);
+  std::memcpy(data_ + w, key.data() + p, slen);
+  std::memcpy(data_ + w + slen, payload, payload_len);
+  std::memmove(data_ + VarSlotOffset(pos + 1), data_ + VarSlotOffset(pos),
+               static_cast<size_t>(n - pos) * kVarSlotSize);
+  uint8_t* slot = data_ + VarSlotOffset(pos);
+  std::memcpy(slot, &w, 2);
+  slot[2] = static_cast<uint8_t>(slen);
+  slot[3] = VarFingerprint(key);
+  std::memcpy(slot + 4, &vlen, 2);
+  slot[6] = outline ? kVarFlagOutline : 0;
+  slot[7] = 0;
+  set_heap_watermark(w);
+  set_count(static_cast<uint16_t>(n + 1));
+  return true;
+}
+
+void NodeView::VarRemoveAt(uint32_t i) {
+  const uint32_t n = count();
+  SHERMAN_CHECK(i < n);
+  set_dead_bytes(static_cast<uint16_t>(dead_bytes() + VarEntryBytes(i)));
+  std::memmove(data_ + VarSlotOffset(i), data_ + VarSlotOffset(i + 1),
+               static_cast<size_t>(n - i - 1) * kVarSlotSize);
+  set_count(static_cast<uint16_t>(n - 1));
+}
+
+std::vector<VarEntry> ExtractVarEntries(const NodeView& v) {
+  std::vector<VarEntry> out;
+  const uint32_t n = v.count();
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    VarEntry e;
+    e.key = v.VarFullKey(i);
+    const uint32_t payload = v.VarEntryBytes(i) - v.VarSuffixLen(i);
+    const uint8_t* base = v.data() + v.VarEntryOff(i) + v.VarSuffixLen(i);
+    e.payload.assign(base, base + payload);
+    e.vlen = v.VarVlen(i);
+    e.outline = v.VarOutline(i);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+uint32_t VarCommonPrefix(const std::vector<VarEntry>& entries) {
+  if (entries.empty()) return 0;
+  const std::string& a = entries.front().key;
+  const std::string& b = entries.back().key;
+  uint32_t p = 0;
+  const uint32_t max =
+      static_cast<uint32_t>(a.size() < b.size() ? a.size() : b.size());
+  while (p < max && a[p] == b[p]) p++;
+  return p < 255 ? p : 255;
+}
+
+uint32_t VarBytesNeeded(const std::vector<VarEntry>& entries, uint32_t p) {
+  uint32_t bytes = p;
+  for (const VarEntry& e : entries) bytes += kVarSlotSize + e.heap_bytes(p);
+  return bytes;
+}
+
+bool BuildVarLeaf(NodeView* v, const std::vector<VarEntry>& entries) {
+  const uint32_t p = VarCommonPrefix(entries);
+  if (VarBytesNeeded(entries, p) > v->shape().var_usable_bytes()) {
+    return false;
+  }
+  for (const VarEntry& e : entries) {
+    // Per-entry suffixes must respect the u8 length field even before the
+    // maximal prefix is installed (first insert runs under prefix 0).
+    if (e.key.size() > 255) return false;
+  }
+  v->set_count(0);
+  v->set_prefix_len(0);
+  v->set_dead_bytes(0);
+  v->set_heap_watermark(static_cast<uint16_t>(v->shape().node_size - 1));
+  for (const VarEntry& e : entries) {
+    if (!v->VarInsert(Slice(e.key.data(), e.key.size()), e.payload.data(),
+                      static_cast<uint32_t>(e.payload.size()), e.vlen,
+                      e.outline)) {
+      return false;
+    }
+  }
+  // Re-truncate to the maximal shared prefix (inserts ran under prefix 0).
+  std::vector<VarEntry> all = ExtractVarEntries(*v);
+  const uint32_t maximal = VarCommonPrefix(all);
+  if (maximal > 0 && v->count() > 0) {
+    const uint32_t top = v->shape().node_size - 1 - maximal;
+    std::memcpy(v->data() + top, all.front().key.data(), maximal);
+    v->set_prefix_len(static_cast<uint8_t>(maximal));
+    uint32_t w = top;
+    for (uint32_t i = 0; i < all.size(); i++) {
+      const VarEntry& e = all[i];
+      const uint32_t slen = static_cast<uint32_t>(e.key.size()) - maximal;
+      const uint32_t eb = slen + static_cast<uint32_t>(e.payload.size());
+      w -= eb;
+      std::memcpy(v->data() + w, e.key.data() + maximal, slen);
+      std::memcpy(v->data() + w + slen, e.payload.data(), e.payload.size());
+      uint8_t* slot = v->data() + v->VarSlotOffset(i);
+      const uint16_t off16 = static_cast<uint16_t>(w);
+      std::memcpy(slot, &off16, 2);
+      slot[2] = static_cast<uint8_t>(slen);
+    }
+    v->set_heap_watermark(static_cast<uint16_t>(w));
+    v->set_dead_bytes(0);
+  }
+  return true;
+}
+
+bool VarLeafFits(const NodeView& dst, const NodeView& src) {
+  if (dst.count() == 0) return src.VarLiveBytes() <= src.shape().var_usable_bytes();
+  if (src.count() == 0) return true;
+  // Merged prefix = LCP(dst's first key, src's last key); exact total
+  // under that prefix (suffixes grow when the prefix shrinks).
+  const std::string lo = dst.VarFullKey(0);
+  const std::string hi = src.VarFullKey(src.count() - 1);
+  uint32_t p = 0;
+  const uint32_t max =
+      static_cast<uint32_t>(lo.size() < hi.size() ? lo.size() : hi.size());
+  while (p < max && lo[p] == hi[p]) p++;
+  if (p > 255) p = 255;
+  uint64_t bytes = p;
+  for (uint32_t i = 0; i < dst.count(); i++) {
+    bytes += kVarSlotSize + dst.VarFullKey(i).size() - p +
+             (dst.VarEntryBytes(i) - dst.VarSuffixLen(i));
+  }
+  for (uint32_t i = 0; i < src.count(); i++) {
+    bytes += kVarSlotSize + src.VarFullKey(i).size() - p +
+             (src.VarEntryBytes(i) - src.VarSuffixLen(i));
+  }
+  return bytes <= dst.shape().var_usable_bytes();
+}
+
+void MoveVarLeafEntries(NodeView* dst, const NodeView& src) {
+  std::vector<VarEntry> merged = ExtractVarEntries(*dst);
+  std::vector<VarEntry> tail = ExtractVarEntries(src);
+  merged.insert(merged.end(), std::make_move_iterator(tail.begin()),
+                std::make_move_iterator(tail.end()));
+  SHERMAN_CHECK(BuildVarLeaf(dst, merged));
+}
+
 void NodeView::SetInternalEntry(uint32_t i, Key key,
                                 rdma::GlobalAddress child) {
   const uint32_t off = InternalEntryOffset(i);
@@ -230,6 +623,10 @@ void NodeView::InitLeaf(Key lo, Key hi, rdma::GlobalAddress sibling) {
   set_lo_fence(lo);
   set_hi_fence(hi);
   set_sibling(sibling);
+  if (shape_->varlen) {
+    // Empty slotted page: heap starts at the RNV byte, no prefix yet.
+    set_heap_watermark(static_cast<uint16_t>(shape_->node_size - 1));
+  }
 }
 
 void NodeView::InitInternal(uint8_t level, Key lo, Key hi,

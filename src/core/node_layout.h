@@ -29,13 +29,34 @@
 // key field; key_size > 8 pads with zeros (only the moved bytes matter for
 // the Figure 15 key-size sensitivity study). Key 0 (kNullKey) marks an
 // empty leaf slot; kMaxKey is reserved as +infinity.
+//
+// Varlen mode (TreeShape::varlen): leaves become SLOTTED PAGES.
+//   [34,36)  heap watermark (u16: offset of the lowest used heap byte)
+//   [36]     page key prefix length (u8)
+//   [38,40)  dead heap bytes (u16: reclaimable by compaction)
+//   [48...)  slot array growing up: 8-byte slots, sorted by full key
+//   ...free space...
+//   [watermark, size-1-plen)  entry heap growing down
+//   [size-1-plen, size-1)     the shared key prefix bytes
+//   [size-1] rear node version RNV (unchanged)
+// Each slot: [0,2) entry offset (u16, absolute), [2] key-suffix length,
+// [3] key fingerprint (FNV-1a low byte), [4,6) full value length,
+// [6] flags (bit0: value stored out-of-line), [7] reserved. A heap entry
+// is [suffix bytes][inline value bytes | 8-byte vlog pointer]. Every key
+// in the page shares the prefix; traversal routes on RoutingKeyFor (the
+// first 8 key bytes, big-endian), so internal nodes keep fixed u64
+// separators and stay one READ. Torn reads over the variable region are
+// caught by the same node-level FNV/RNV pair (whole-node write-back, as
+// in FG sorted mode) or the checksum.
 #ifndef SHERMAN_CORE_NODE_LAYOUT_H_
 #define SHERMAN_CORE_NODE_LAYOUT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rdma/global_address.h"
+#include "util/slice.h"
 #include "util/status.h"
 
 namespace sherman {
@@ -49,10 +70,21 @@ struct TreeShape {
   uint32_t key_size = 8;    // serialized bytes per key (>= 8)
   uint32_t value_size = 8;  // serialized bytes per value (>= 8)
 
+  // Variable-length mode: leaves become slotted pages (slot indirection
+  // array growing from the front, prefix-truncated keys in a heap growing
+  // from the back); internal nodes keep fixed u64 separators over the
+  // routing key, so traversal stays one READ. When false the original
+  // fixed u64 layout is byte-identical to pre-varlen builds — the fast
+  // path every existing bench/test runs on.
+  bool varlen = false;
+  uint32_t max_key_len = 64;  // varlen only; <= 255 (slots store u8 lengths)
+
   uint32_t leaf_entry_size() const { return 2 + key_size + value_size; }
   uint32_t internal_entry_size() const { return key_size + 8; }
   uint32_t leaf_capacity() const;
   uint32_t internal_capacity() const;
+  // Varlen leaves: bytes available to slots + heap entries + prefix.
+  uint32_t var_usable_bytes() const;
 };
 
 // Header field offsets.
@@ -64,11 +96,28 @@ inline constexpr uint32_t kOffLoFence = 8;
 inline constexpr uint32_t kOffHiFence = 16;
 inline constexpr uint32_t kOffSibling = 24;
 inline constexpr uint32_t kOffCount = 32;
+// Varlen slotted-leaf header fields (inside the [34,48) reserved range,
+// so fixed-layout nodes are untouched).
+inline constexpr uint32_t kOffHeapWatermark = 34;  // u16
+inline constexpr uint32_t kOffPrefixLen = 36;      // u8
+inline constexpr uint32_t kOffDeadBytes = 38;      // u16
 inline constexpr uint32_t kHeaderSize = 48;
 inline constexpr uint32_t kOffLeftmostChild = kHeaderSize;  // internal only
 
 inline constexpr uint8_t kFlagLeaf = 0x1;
 inline constexpr uint8_t kFlagFree = 0x2;
+
+// Varlen slot layout.
+inline constexpr uint32_t kVarSlotSize = 8;
+inline constexpr uint8_t kVarFlagOutline = 0x1;  // value lives in the vlog
+
+// Routing key for a variable-length key: its first 8 bytes, big-endian,
+// zero-padded. Monotone w.r.t. lexicographic key order, so the fixed u64
+// separators/fences of internal nodes route string keys correctly. Keys
+// sharing a routing key must share a leaf (splits only cut at routing-key
+// boundaries). Keys routing to kNullKey or kMaxKey are rejected up front
+// (both u64s are reserved sentinels).
+Key RoutingKeyFor(const Slice& key);
 
 // A typed view over a node buffer (a local staging copy or raw MS memory).
 // The view does not own the buffer.
@@ -188,6 +237,79 @@ class NodeView {
   // parent (the preceding child then covers the merged range).
   bool InternalRemove(Key key, rdma::GlobalAddress child);
 
+  // --- varlen slotted leaves (shape.varlen mode) ---
+  // count() doubles as the live slot count.
+  uint16_t heap_watermark() const;
+  void set_heap_watermark(uint16_t w);
+  uint8_t prefix_len() const { return data_[kOffPrefixLen]; }
+  void set_prefix_len(uint8_t p) { data_[kOffPrefixLen] = p; }
+  uint16_t dead_bytes() const;
+  void set_dead_bytes(uint16_t d);
+  // One past the top usable heap byte (the shared prefix sits above it,
+  // just under the RNV byte).
+  uint32_t VarHeapTop() const {
+    return shape_->node_size - 1 - prefix_len();
+  }
+  Slice VarPrefix() const {
+    return Slice(reinterpret_cast<const char*>(data_ + VarHeapTop()),
+                 prefix_len());
+  }
+  uint32_t VarSlotOffset(uint32_t i) const {
+    return kHeaderSize + i * kVarSlotSize;
+  }
+  uint16_t VarEntryOff(uint32_t i) const;
+  uint8_t VarSuffixLen(uint32_t i) const {
+    return data_[VarSlotOffset(i) + 2];
+  }
+  uint8_t VarFp(uint32_t i) const { return data_[VarSlotOffset(i) + 3]; }
+  uint16_t VarVlen(uint32_t i) const;
+  bool VarOutline(uint32_t i) const {
+    return data_[VarSlotOffset(i) + 6] & kVarFlagOutline;
+  }
+  Slice VarSuffix(uint32_t i) const {
+    return Slice(reinterpret_cast<const char*>(data_ + VarEntryOff(i)),
+                 VarSuffixLen(i));
+  }
+  std::string VarFullKey(uint32_t i) const;
+  // Inline value bytes (valid only when !VarOutline(i); vlen may be 0).
+  Slice VarInlineValue(uint32_t i) const {
+    return Slice(reinterpret_cast<const char*>(data_ + VarEntryOff(i) +
+                                               VarSuffixLen(i)),
+                 VarVlen(i));
+  }
+  // Packed vlog pointer (valid only when VarOutline(i)).
+  uint64_t VarVlogPtr(uint32_t i) const;
+  // Rewrites the vlog pointer in place (GC relocation; entry size is
+  // unchanged, so no heap motion).
+  void VarSetVlogPtr(uint32_t i, uint64_t ptr);
+  // Heap bytes entry i occupies: suffix + inline value (or 8-byte ptr).
+  uint32_t VarEntryBytes(uint32_t i) const {
+    return VarSuffixLen(i) +
+           (VarOutline(i) ? 8u : static_cast<uint32_t>(VarVlen(i)));
+  }
+  // Live payload bytes: slots + heap entries + prefix (the merge/split
+  // byte-budget metric).
+  uint32_t VarLiveBytes() const;
+  // Contiguous free gap between the slot array and the heap.
+  uint32_t VarFreeBytes() const;
+  // First slot whose full key >= key.
+  uint32_t VarLowerBound(const Slice& key) const;
+  // Slot holding exactly `key`, or UINT32_MAX.
+  uint32_t VarFind(const Slice& key) const;
+  // Inserts or updates `key`. payload is the heap payload: the inline
+  // value bytes (outline=false) or the 8-byte packed vlog pointer
+  // (outline=true); vlen is the FULL value length either way. Shrinks the
+  // page prefix and/or compacts in place as needed; returns false when the
+  // entry cannot fit even after compaction (caller splits).
+  bool VarInsert(const Slice& key, const uint8_t* payload,
+                 uint32_t payload_len, uint16_t vlen, bool outline);
+  // Removes slot i (shifting the slot array; the heap entry goes dead).
+  void VarRemoveAt(uint32_t i);
+  // In-place defragmentation: rewrites the heap densely under the CURRENT
+  // prefix and zeroes dead_bytes.
+  void VarCompact();
+  static uint8_t VarFingerprint(const Slice& key);
+
   // --- init ---
   void InitLeaf(Key lo, Key hi, rdma::GlobalAddress sibling);
   void InitInternal(uint8_t level, Key lo, Key hi, rdma::GlobalAddress sibling,
@@ -196,10 +318,49 @@ class NodeView {
  private:
   uint64_t Load64(uint32_t off) const;
   void Store64(uint32_t off, uint64_t v);
+  // Rewrites all live entries under prefix length new_p (<= current).
+  // Returns false (page unchanged) if the grown suffixes do not fit.
+  bool VarRebuildWithPrefix(uint32_t new_p);
 
   uint8_t* data_;
   const TreeShape* shape_;
 };
+
+// A materialized varlen leaf entry (split/merge/bulk-load staging form).
+struct VarEntry {
+  std::string key;                   // full key
+  std::vector<uint8_t> payload;      // inline value or 8-byte vlog pointer
+  uint16_t vlen = 0;                 // full value length
+  bool outline = false;
+
+  uint32_t heap_bytes(uint32_t prefix) const {
+    return static_cast<uint32_t>(key.size()) - prefix +
+           static_cast<uint32_t>(payload.size());
+  }
+};
+
+// All live entries of a varlen leaf, in key order.
+std::vector<VarEntry> ExtractVarEntries(const NodeView& v);
+
+// Longest common prefix over a sorted entry run (= LCP of first and last),
+// capped at 255.
+uint32_t VarCommonPrefix(const std::vector<VarEntry>& entries);
+
+// Total bytes `entries` need in a leaf under prefix p (slots + heap +
+// prefix bytes).
+uint32_t VarBytesNeeded(const std::vector<VarEntry>& entries, uint32_t p);
+
+// Populates an InitLeaf-fresh varlen leaf from sorted entries, computing
+// the maximal shared prefix. Returns false if they do not fit.
+bool BuildVarLeaf(NodeView* v, const std::vector<VarEntry>& entries);
+
+// Would src's entries (all keys > dst's) fit into dst under the merged
+// prefix? Exact (accounts for suffix growth when the prefix shrinks).
+bool VarLeafFits(const NodeView& dst, const NodeView& src);
+
+// Appends every entry of `src` to `dst` (varlen leaf merge; src keys all
+// exceed dst keys). Caller guarantees VarLeafFits.
+void MoveVarLeafEntries(NodeView* dst, const NodeView& src);
 
 // Moves every live entry of `src` into `dst` (two-level: fills empty
 // slots, bumping entry versions; sorted: appends with fresh entry

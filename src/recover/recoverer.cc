@@ -390,9 +390,13 @@ sim::Task<Status> Recoverer::RecoverMerge(const IntentRecord& rec) {
       // the free.
       co_await t_->UnlockSecond(sib, {}, &stats);
     } else {
-      const uint32_t l_live = view.LiveLeafEntries(o.two_level_versions);
-      const uint32_t s_live = sview.LiveLeafEntries(o.two_level_versions);
-      if (s_live + l_live > o.shape.leaf_capacity()) {
+      const bool fits =
+          o.shape.varlen
+              ? VarLeafFits(sview, view)
+              : sview.LiveLeafEntries(o.two_level_versions) +
+                        view.LiveLeafEntries(o.two_level_versions) <=
+                    o.shape.leaf_capacity();
+      if (!fits) {
         // Undo: survivors refilled the neighbor; the survivors no longer
         // fit. Revive L — the chain (neighbor.sibling == L) serves
         // [lo, hi) again the moment the free flag clears — then restore
@@ -455,7 +459,11 @@ sim::Task<Status> Recoverer::RecoverMerge(const IntentRecord& rec) {
     }
 
     if (chain_intact) {
-      MoveLeafEntries(&sview, view, o.two_level_versions);
+      if (o.shape.varlen) {
+        MoveVarLeafEntries(&sview, view);
+      } else {
+        MoveLeafEntries(&sview, view, o.two_level_versions);
+      }
       sview.set_hi_fence(hi);
       sview.set_sibling(view.sibling());
       t_->SealNode(sview, /*structural_change=*/true);

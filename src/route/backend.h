@@ -12,6 +12,7 @@
 #define SHERMAN_ROUTE_BACKEND_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -83,6 +84,57 @@ class IndexBackend {
     co_return overall;
   }
 
+  // --- varlen (slotted-leaf) records ---------------------------------------
+  // Byte-string keys and values, served only when the underlying tree was
+  // built with shape.varlen. Backends without a varlen path keep these
+  // defaults, which reject the op (the caller picked the wrong backend, not
+  // a transient condition — hence InvalidArgument, not Retry).
+  virtual sim::Task<Status> InsertVar(const Slice& key, const Slice& value,
+                                      OpStats* stats = nullptr) {
+    (void)key;
+    (void)value;
+    (void)stats;
+    co_return Status::InvalidArgument("backend lacks varlen support");
+  }
+  virtual sim::Task<Status> LookupVar(const Slice& key, std::string* value,
+                                      OpStats* stats = nullptr) {
+    (void)key;
+    (void)value;
+    (void)stats;
+    co_return Status::InvalidArgument("backend lacks varlen support");
+  }
+  virtual sim::Task<Status> DeleteVar(const Slice& key,
+                                      OpStats* stats = nullptr) {
+    (void)key;
+    (void)stats;
+    co_return Status::InvalidArgument("backend lacks varlen support");
+  }
+  virtual sim::Task<Status> ScanVar(
+      const Slice& from, uint32_t count,
+      std::vector<std::pair<std::string, std::string>>* out,
+      OpStats* stats = nullptr) {
+    (void)from;
+    (void)count;
+    (void)out;
+    (void)stats;
+    co_return Status::InvalidArgument("backend lacks varlen support");
+  }
+  virtual sim::Task<Status> MultiGetVar(std::vector<std::string> keys,
+                                        std::vector<VarGetResult>* out,
+                                        OpStats* stats = nullptr) {
+    (void)keys;
+    (void)out;
+    (void)stats;
+    co_return Status::InvalidArgument("backend lacks varlen support");
+  }
+  virtual sim::Task<Status> MultiInsertVar(
+      std::vector<std::pair<std::string, std::string>> kvs,
+      OpStats* stats = nullptr) {
+    (void)kvs;
+    (void)stats;
+    co_return Status::InvalidArgument("backend lacks varlen support");
+  }
+
   virtual const char* name() const = 0;
 };
 
@@ -119,6 +171,33 @@ class TreeBackend final : public IndexBackend {
                                 std::vector<Status>* out,
                                 OpStats* stats) override {
     return client_->MultiDelete(std::move(keys), out, stats);
+  }
+  sim::Task<Status> InsertVar(const Slice& key, const Slice& value,
+                              OpStats* stats) override {
+    return client_->InsertVar(key, value, stats);
+  }
+  sim::Task<Status> LookupVar(const Slice& key, std::string* value,
+                              OpStats* stats) override {
+    return client_->LookupVar(key, value, stats);
+  }
+  sim::Task<Status> DeleteVar(const Slice& key, OpStats* stats) override {
+    return client_->DeleteVar(key, stats);
+  }
+  sim::Task<Status> ScanVar(const Slice& from, uint32_t count,
+                            std::vector<std::pair<std::string, std::string>>*
+                                out,
+                            OpStats* stats) override {
+    return client_->ScanVar(from, count, out, stats);
+  }
+  sim::Task<Status> MultiGetVar(std::vector<std::string> keys,
+                                std::vector<VarGetResult>* out,
+                                OpStats* stats) override {
+    return client_->MultiGetVar(std::move(keys), out, stats);
+  }
+  sim::Task<Status> MultiInsertVar(
+      std::vector<std::pair<std::string, std::string>> kvs,
+      OpStats* stats) override {
+    return client_->MultiInsertVar(std::move(kvs), stats);
   }
   const char* name() const override { return "one-sided"; }
 

@@ -1,6 +1,9 @@
 #include "route/hybrid_client.h"
 
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "combine/rdwc.h"
 #include "util/logging.h"
@@ -57,6 +60,39 @@ sim::Task<void> OsMdel(TreeBackend* tree, std::vector<Key> keys,
                        std::vector<Status>* per_key, Status* overall,
                        OpStats* stats, sim::CountdownLatch* latch) {
   *overall = co_await tree->MultiDelete(std::move(keys), per_key, stats);
+  latch->Arrive();
+}
+
+sim::Task<void> RpcMvgetShard(TreeRpcClient* rpc, uint16_t ms,
+                              std::vector<std::string> keys,
+                              std::vector<VarGetResult>* res, OpStats* stats,
+                              sim::CountdownLatch* latch) {
+  Status st = co_await rpc->MultiGetVar(ms, std::move(keys), res, stats);
+  SHERMAN_CHECK(st.ok());
+  latch->Arrive();
+}
+
+sim::Task<void> OsMvget(TreeBackend* tree, std::vector<std::string> keys,
+                        std::vector<VarGetResult>* res, Status* overall,
+                        OpStats* stats, sim::CountdownLatch* latch) {
+  *overall = co_await tree->MultiGetVar(std::move(keys), res, stats);
+  latch->Arrive();
+}
+
+sim::Task<void> RpcMvinsShard(
+    TreeRpcClient* rpc, uint16_t ms,
+    std::vector<std::pair<std::string, std::string>> kvs,
+    std::vector<Status>* per_key, OpStats* stats, sim::CountdownLatch* latch) {
+  Status st = co_await rpc->MultiInsertVar(ms, std::move(kvs), per_key, stats);
+  SHERMAN_CHECK(st.ok());
+  latch->Arrive();
+}
+
+sim::Task<void> OsMvins(TreeBackend* tree,
+                        std::vector<std::pair<std::string, std::string>> kvs,
+                        Status* overall, OpStats* stats,
+                        sim::CountdownLatch* latch) {
+  *overall = co_await tree->MultiInsertVar(std::move(kvs), stats);
   latch->Arrive();
 }
 
@@ -508,6 +544,283 @@ sim::Task<Status> HybridClient::MultiDelete(std::vector<Key> keys,
     for (size_t i : fb_idx) ks.push_back(keys[i]);
     fb_st = co_await tree_.MultiDelete(std::move(ks), &fb_res, &fb_local);
     for (size_t j = 0; j < fb_idx.size(); j++) (*out)[fb_idx[j]] = fb_res[j];
+  }
+
+  std::vector<SlotView> views;
+  views.reserve(slots.size());
+  for (const RpcSlot& s : slots) {
+    views.push_back(SlotView{&s.idxs, &s.local});
+  }
+  RecordBatch(views, shard_of, is_fb, os_idx, os_local, fb_local,
+              /*is_write=*/true, (sim_->now() - start) / n, stats);
+
+  if (!os_st.ok()) co_return os_st;
+  co_return fb_st;
+}
+
+// --- varlen dispatch --------------------------------------------------------
+// These own string copies of their operands in the coroutine frame so the
+// Dispatch lambdas (and the inner coroutines their Slices point into) stay
+// valid across suspension.
+
+sim::Task<Status> HybridClient::InsertVar(const Slice& key, const Slice& value,
+                                          OpStats* stats) {
+  const std::string k(key.data(), key.size());
+  const std::string v(value.data(), value.size());
+  const Slice ks(k);
+  const Slice vs(v);
+  co_return co_await Dispatch(
+      RoutingKeyFor(ks), /*is_write=*/true,
+      [this, &ks, &vs](uint16_t ms, OpStats* s) {
+        return rpc_.InsertVar(ms, ks, vs, s);
+      },
+      [this, &ks, &vs](OpStats* s) { return tree_.InsertVar(ks, vs, s); },
+      stats);
+}
+
+sim::Task<Status> HybridClient::LookupVar(const Slice& key, std::string* value,
+                                          OpStats* stats) {
+  const std::string k(key.data(), key.size());
+  const Slice ks(k);
+  co_return co_await Dispatch(
+      RoutingKeyFor(ks), /*is_write=*/false,
+      [this, &ks, value](uint16_t ms, OpStats* s) {
+        return rpc_.LookupVar(ms, ks, value, s);
+      },
+      [this, &ks, value](OpStats* s) { return tree_.LookupVar(ks, value, s); },
+      stats);
+}
+
+sim::Task<Status> HybridClient::DeleteVar(const Slice& key, OpStats* stats) {
+  const std::string k(key.data(), key.size());
+  const Slice ks(k);
+  co_return co_await Dispatch(
+      RoutingKeyFor(ks), /*is_write=*/true,
+      [this, &ks](uint16_t ms, OpStats* s) {
+        return rpc_.DeleteVar(ms, ks, s);
+      },
+      [this, &ks](OpStats* s) { return tree_.DeleteVar(ks, s); }, stats);
+}
+
+sim::Task<Status> HybridClient::ScanVar(
+    const Slice& from, uint32_t count,
+    std::vector<std::pair<std::string, std::string>>* out, OpStats* stats) {
+  const std::string f(from.data(), from.size());
+  const Slice fs(f);
+  co_return co_await Dispatch(
+      RoutingKeyFor(fs), /*is_write=*/false,
+      [this, &fs, count, out](uint16_t ms, OpStats* s) {
+        return rpc_.ScanVar(ms, fs, count, out, s);
+      },
+      [this, &fs, count, out](OpStats* s) {
+        return tree_.ScanVar(fs, count, out, s);
+      },
+      stats);
+}
+
+sim::Task<Status> HybridClient::MultiGetVar(std::vector<std::string> keys,
+                                            std::vector<VarGetResult>* out,
+                                            OpStats* stats) {
+  // Plan-time dedupe on the FULL byte key (routing keys may collide
+  // without the keys being equal): serve each distinct key once, fan out.
+  std::map<std::string, size_t> first_of;
+  for (const std::string& k : keys) first_of.try_emplace(k, first_of.size());
+  if (first_of.size() != keys.size()) {
+    std::vector<std::string> uniq(first_of.size());
+    for (const auto& [k, slot] : first_of) uniq[slot] = k;
+    std::vector<VarGetResult> uniq_out;
+    Status st = co_await MultiGetVar(std::move(uniq), &uniq_out, stats);
+    out->assign(keys.size(), VarGetResult{});
+    for (size_t i = 0; i < keys.size(); i++) {
+      (*out)[i] = uniq_out[first_of[keys[i]]];
+    }
+    co_return st;
+  }
+
+  const size_t n = keys.size();
+  out->assign(n, VarGetResult{});
+  if (n == 0) co_return Status::OK();
+  const sim::SimTime start = sim_->now();
+
+  std::vector<int> shard_of(n);
+  std::map<int, std::vector<size_t>> rpc_groups;
+  std::vector<size_t> os_idx;
+  for (size_t i = 0; i < n; i++) {
+    shard_of[i] = router_->ShardFor(RoutingKeyFor(keys[i]));
+    if (router_->PathOfShard(shard_of[i]) == Path::kRpc) {
+      rpc_groups[shard_of[i]].push_back(i);
+    } else {
+      os_idx.push_back(i);
+    }
+  }
+
+  struct RpcSlot {
+    int shard = 0;
+    std::vector<size_t> idxs;
+    std::vector<VarGetResult> res;
+    OpStats local;
+  };
+  std::vector<RpcSlot> slots;
+  slots.reserve(rpc_groups.size());
+  for (auto& [shard, idxs] : rpc_groups) {
+    slots.push_back(RpcSlot{shard, std::move(idxs), {}, {}});
+  }
+
+  std::vector<VarGetResult> os_res;
+  OpStats os_local;
+  Status os_st = Status::OK();
+  {
+    sim::CountdownLatch latch(slots.size() + (os_idx.empty() ? 0 : 1));
+    for (RpcSlot& slot : slots) {
+      std::vector<std::string> ks;
+      ks.reserve(slot.idxs.size());
+      for (size_t i : slot.idxs) ks.push_back(keys[i]);
+      sim::Spawn(RpcMvgetShard(&rpc_, router_->HomeMsFor(slot.shard),
+                               std::move(ks), &slot.res, &slot.local, &latch));
+    }
+    if (!os_idx.empty()) {
+      std::vector<std::string> ks;
+      ks.reserve(os_idx.size());
+      for (size_t i : os_idx) ks.push_back(keys[i]);
+      sim::Spawn(
+          OsMvget(&tree_, std::move(ks), &os_res, &os_st, &os_local, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // Scatter; MS-declined keys (foreign extent, structural anomaly) fall
+  // back to one one-sided batch.
+  std::vector<size_t> fb_idx;
+  for (const RpcSlot& slot : slots) {
+    for (size_t j = 0; j < slot.idxs.size(); j++) {
+      if (slot.res[j].status.IsRetry()) {
+        fb_idx.push_back(slot.idxs[j]);
+      } else {
+        (*out)[slot.idxs[j]] = slot.res[j];
+      }
+    }
+  }
+  for (size_t j = 0; j < os_idx.size(); j++) (*out)[os_idx[j]] = os_res[j];
+
+  OpStats fb_local;
+  Status fb_st = Status::OK();
+  std::vector<uint8_t> is_fb(n, 0);
+  if (!fb_idx.empty()) {
+    std::vector<std::string> ks;
+    std::vector<VarGetResult> fb_res;
+    ks.reserve(fb_idx.size());
+    for (size_t i : fb_idx) {
+      ks.push_back(keys[i]);
+      is_fb[i] = 1;
+    }
+    fb_st = co_await tree_.MultiGetVar(std::move(ks), &fb_res, &fb_local);
+    for (size_t j = 0; j < fb_idx.size(); j++) {
+      (*out)[fb_idx[j]] = fb_res[j];
+    }
+  }
+
+  std::vector<SlotView> views;
+  views.reserve(slots.size());
+  for (const RpcSlot& s : slots) {
+    views.push_back(SlotView{&s.idxs, &s.local});
+  }
+  RecordBatch(views, shard_of, is_fb, os_idx, os_local, fb_local,
+              /*is_write=*/false, (sim_->now() - start) / n, stats);
+
+  if (!os_st.ok()) co_return os_st;
+  co_return fb_st;
+}
+
+sim::Task<Status> HybridClient::MultiInsertVar(
+    std::vector<std::pair<std::string, std::string>> kvs, OpStats* stats) {
+  // Plan-time dedupe, last-writer-wins on the FULL byte key (same rule as
+  // the fixed batch).
+  {
+    std::map<std::string, size_t> slot_of;
+    std::vector<std::pair<std::string, std::string>> uniq;
+    uniq.reserve(kvs.size());
+    for (auto& kv : kvs) {
+      auto [it, inserted] = slot_of.try_emplace(kv.first, uniq.size());
+      if (inserted) {
+        uniq.push_back(std::move(kv));
+      } else {
+        uniq[it->second].second = std::move(kv.second);
+      }
+    }
+    if (uniq.size() != kvs.size()) {
+      co_return co_await MultiInsertVar(std::move(uniq), stats);
+    }
+    kvs = std::move(uniq);
+  }
+
+  const size_t n = kvs.size();
+  if (n == 0) co_return Status::OK();
+  const sim::SimTime start = sim_->now();
+
+  std::vector<int> shard_of(n);
+  std::map<int, std::vector<size_t>> rpc_groups;
+  std::vector<size_t> os_idx;
+  for (size_t i = 0; i < n; i++) {
+    shard_of[i] = router_->ShardFor(RoutingKeyFor(kvs[i].first));
+    if (router_->PathOfShard(shard_of[i]) == Path::kRpc) {
+      rpc_groups[shard_of[i]].push_back(i);
+    } else {
+      os_idx.push_back(i);
+    }
+  }
+
+  struct RpcSlot {
+    int shard = 0;
+    std::vector<size_t> idxs;
+    std::vector<Status> per_key;
+    OpStats local;
+  };
+  std::vector<RpcSlot> slots;
+  slots.reserve(rpc_groups.size());
+  for (auto& [shard, idxs] : rpc_groups) {
+    slots.push_back(RpcSlot{shard, std::move(idxs), {}, {}});
+  }
+
+  OpStats os_local;
+  Status os_st = Status::OK();
+  {
+    sim::CountdownLatch latch(slots.size() + (os_idx.empty() ? 0 : 1));
+    for (RpcSlot& slot : slots) {
+      std::vector<std::pair<std::string, std::string>> group;
+      group.reserve(slot.idxs.size());
+      for (size_t i : slot.idxs) group.push_back(kvs[i]);
+      sim::Spawn(RpcMvinsShard(&rpc_, router_->HomeMsFor(slot.shard),
+                               std::move(group), &slot.per_key, &slot.local,
+                               &latch));
+    }
+    if (!os_idx.empty()) {
+      std::vector<std::pair<std::string, std::string>> group;
+      group.reserve(os_idx.size());
+      for (size_t i : os_idx) group.push_back(kvs[i]);
+      sim::Spawn(OsMvins(&tree_, std::move(group), &os_st, &os_local, &latch));
+    }
+    co_await latch.Wait();
+  }
+
+  // MS-declined keys (locked/full leaf, outline value or slot) fall back
+  // one-sided.
+  std::vector<size_t> fb_idx;
+  std::vector<uint8_t> is_fb(n, 0);
+  for (const RpcSlot& slot : slots) {
+    for (size_t j = 0; j < slot.idxs.size(); j++) {
+      if (slot.per_key[j].IsRetry()) {
+        fb_idx.push_back(slot.idxs[j]);
+        is_fb[slot.idxs[j]] = 1;
+      }
+    }
+  }
+  OpStats fb_local;
+  Status fb_st = Status::OK();
+  if (!fb_idx.empty()) {
+    std::vector<std::pair<std::string, std::string>> group;
+    group.reserve(fb_idx.size());
+    for (size_t i : fb_idx) group.push_back(kvs[i]);
+    fb_st = co_await tree_.MultiInsertVar(std::move(group), &fb_local);
   }
 
   std::vector<SlotView> views;

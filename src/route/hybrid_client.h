@@ -66,6 +66,29 @@ class HybridClient final : public IndexBackend {
   sim::Task<Status> MultiDelete(std::vector<Key> keys,
                                 std::vector<Status>* out,
                                 OpStats* stats = nullptr) override;
+
+  // Varlen ops (shape.varlen trees): dispatched on the ROUTING key's
+  // shard, with the same decline->one-sided fallback as the fixed ops.
+  // The RDWC delegation table is always bypassed — it combines fixed u64
+  // records, and a varlen record can change size (and inline/outline
+  // placement) between writes.
+  sim::Task<Status> InsertVar(const Slice& key, const Slice& value,
+                              OpStats* stats = nullptr) override;
+  sim::Task<Status> LookupVar(const Slice& key, std::string* value,
+                              OpStats* stats = nullptr) override;
+  sim::Task<Status> DeleteVar(const Slice& key,
+                              OpStats* stats = nullptr) override;
+  sim::Task<Status> ScanVar(
+      const Slice& from, uint32_t count,
+      std::vector<std::pair<std::string, std::string>>* out,
+      OpStats* stats = nullptr) override;
+  sim::Task<Status> MultiGetVar(std::vector<std::string> keys,
+                                std::vector<VarGetResult>* out,
+                                OpStats* stats = nullptr) override;
+  sim::Task<Status> MultiInsertVar(
+      std::vector<std::pair<std::string, std::string>> kvs,
+      OpStats* stats = nullptr) override;
+
   const char* name() const override { return "hybrid"; }
 
   int cs_id() const { return cs_id_; }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <utility>
 
 #include "alloc/layout.h"
+#include "vlog/vlog.h"
 #include "lock/lock_table.h"
 #include "obs/trace.h"
 #include "sanitizer/dmsan.h"
@@ -46,7 +49,7 @@ TreeRpcService::TreeRpcService(ShermanSystem* system) : system_(system) {
 
 void TreeRpcService::InstallOn(int ms) {
   system_->fabric().ms(ms).ChainRpcHandler(
-      kOpInsert, kOpMultiDelete,
+      kOpInsert, kOpMultiVarInsert,
       [this, ms](uint64_t opcode, uint64_t a, uint64_t b, uint16_t) {
         return Handle(ms, opcode, a, b);
       });
@@ -74,6 +77,18 @@ uint64_t TreeRpcService::Handle(int ms, uint64_t opcode, uint64_t a,
       return DoMultiInsert(ms, a);
     case kOpMultiDelete:
       return DoMultiDelete(ms, a);
+    case kOpVarInsert:
+      return DoVarInsert(ms, a);
+    case kOpVarLookup:
+      return DoVarLookup(ms, a);
+    case kOpVarDelete:
+      return DoVarDelete(ms, a);
+    case kOpVarScan:
+      return DoVarScan(ms, a);
+    case kOpMultiVarGet:
+      return DoMultiVarGet(ms, a);
+    case kOpMultiVarInsert:
+      return DoMultiVarInsert(ms, a);
     default:
       SHERMAN_CHECK(false);
       return 0;
@@ -463,6 +478,297 @@ uint64_t TreeRpcService::DoMultiDelete(int ms, uint64_t token) {
   return kAckOk;
 }
 
+// --- varlen executors -------------------------------------------------------
+
+bool TreeRpcService::HostVarValue(int ms, const NodeView& view, uint32_t i,
+                                  const std::string& key,
+                                  std::string* value) const {
+  if (!view.VarOutline(i)) {
+    const Slice v = view.VarInlineValue(i);
+    value->assign(v.data(), v.size());
+    return true;
+  }
+  const uint64_t ptr = view.VarVlogPtr(i);
+  // Near-memory means THIS server's memory: a record whose extent lives on
+  // a foreign MS would need a remote read the wimpy core doesn't have.
+  if (vlog::VlogPtr::Ms(ptr) != ms) return false;
+  const uint8_t* rec = system_->fabric().HostRaw(vlog::VlogPtr::Addr(ptr));
+  uint16_t klen = 0;
+  uint16_t vlen = 0;
+  std::memcpy(&klen, rec, 2);
+  std::memcpy(&vlen, rec + 2, 2);
+  // The handler runs atomically at one simulated instant and the slot
+  // references this extent, so the record must parse back to the key.
+  SHERMAN_CHECK(klen == key.size() &&
+                std::memcmp(rec + vlog::kRecordHeader, key.data(), klen) == 0);
+  value->assign(reinterpret_cast<const char*>(rec) + vlog::kRecordHeader +
+                    klen,
+                vlen);
+  return true;
+}
+
+Status TreeRpcService::HostVarLookup(int ms, const std::string& key,
+                                     std::string* value) {
+  const rdma::GlobalAddress leaf = FindLeaf(RoutingKeyFor(key));
+  if (leaf.is_null()) return Status::Retry("ms-side var lookup declined");
+  NodeView view(system_->fabric().HostRaw(leaf), &system_->options().shape);
+  const uint32_t i = view.VarFind(key);
+  if (i == UINT32_MAX) return Status::NotFound();
+  if (!HostVarValue(ms, view, i, key, value)) {
+    return Status::Retry("ms-side var lookup: foreign extent");
+  }
+  return Status::OK();
+}
+
+Status TreeRpcService::HostVarInsert(int /*ms*/, const std::string& key,
+                                     const std::string& value) {
+  const TreeOptions& o = system_->options();
+  // Values above the threshold need the client's value-log appender.
+  if (value.size() > o.inline_threshold) {
+    return Status::Retry("ms-side var insert: outline value");
+  }
+  const rdma::GlobalAddress leaf = FindLeaf(RoutingKeyFor(key));
+  if (leaf.is_null() || NodeLocked(leaf)) {
+    return Status::Retry("ms-side var insert declined");
+  }
+  NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+  {
+    // Replacing an out-of-line record retires its extent — possibly on a
+    // foreign MS, and always a liveness transition the client's vlog path
+    // owns. Decline; the one-sided insert handles it.
+    const uint32_t at = view.VarFind(key);
+    if (at != UINT32_MAX && view.VarOutline(at)) {
+      return Status::Retry("ms-side var insert: outline slot");
+    }
+  }
+  DmsanRpcMutate(system_, leaf);
+  if (!view.VarInsert(key, reinterpret_cast<const uint8_t*>(value.data()),
+                      static_cast<uint32_t>(value.size()),
+                      static_cast<uint16_t>(value.size()),
+                      /*outline=*/false)) {
+    return Status::Retry("ms-side var insert: leaf full");
+  }
+  SealHostNode(&view, o);
+  return Status::OK();
+}
+
+uint64_t TreeRpcService::DoVarInsert(int ms, uint64_t token) {
+  const auto in = vins_in_.find(token);
+  SHERMAN_CHECK(in != vins_in_.end());
+  const Status st = HostVarInsert(ms, in->second.first, in->second.second);
+  vins_in_.erase(in);
+  if (st.IsRetry()) {
+    declined_++;
+    return kAckDeclined;
+  }
+  served_++;
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoVarLookup(int ms, uint64_t token) {
+  const auto in = vkey_in_.find(token);
+  SHERMAN_CHECK(in != vkey_in_.end());
+  std::string value;
+  const Status st = HostVarLookup(ms, in->second, &value);
+  vkey_in_.erase(in);
+  if (st.IsRetry()) {
+    declined_++;
+    return kAckDeclined;
+  }
+  served_++;
+  if (st.IsNotFound()) return kAckNotFound;
+  vget_out_[token] = std::move(value);
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoVarDelete(int ms, uint64_t token) {
+  const auto in = vkey_in_.find(token);
+  SHERMAN_CHECK(in != vkey_in_.end());
+  const std::string key = std::move(in->second);
+  vkey_in_.erase(in);
+
+  const rdma::GlobalAddress leaf = FindLeaf(RoutingKeyFor(key));
+  if (leaf.is_null() || NodeLocked(leaf)) {
+    declined_++;
+    return kAckDeclined;
+  }
+  const TreeOptions& o = system_->options();
+  NodeView view(system_->fabric().HostRaw(leaf), &o.shape);
+  const uint32_t at = view.VarFind(key);
+  if (at == UINT32_MAX) {
+    served_++;
+    return kAckNotFound;
+  }
+  uint64_t ptr = 0;
+  if (view.VarOutline(at)) {
+    ptr = view.VarVlogPtr(at);
+    if (vlog::VlogPtr::Ms(ptr) != ms) {
+      // The extent's dead-bit lives on another MS; retiring it here would
+      // be a remote call. One-sided delete owns that.
+      declined_++;
+      return kAckDeclined;
+    }
+  }
+  DmsanRpcMutate(system_, leaf);
+  view.VarRemoveAt(at);
+  SealHostNode(&view, o);
+  if (ptr != 0) {
+    system_->chunk_manager(ms).VlogRetire(vlog::VlogPtr::Off(ptr));
+  }
+  // No MS-side merge for slotted leaves: byte-budget merges run through
+  // the one-sided delete path's locked three-node protocol.
+  served_++;
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoVarScan(int ms, uint64_t token) {
+  const auto in = vscan_in_.find(token);
+  SHERMAN_CHECK(in != vscan_in_.end());
+  const std::string from = std::move(in->second.first);
+  const uint32_t count = in->second.second;
+  vscan_in_.erase(in);
+
+  rdma::GlobalAddress addr = FindLeaf(RoutingKeyFor(from));
+  if (addr.is_null() || count == 0) {
+    declined_++;
+    return kAckDeclined;
+  }
+  const TreeOptions& o = system_->options();
+  rdma::Fabric& fabric = system_->fabric();
+  std::vector<std::pair<std::string, std::string>>& out = vscan_out_[token];
+  out.clear();
+
+  uint32_t leaves = 0;
+  bool end_of_tree = false;
+  bool anomaly = false;
+  while (!addr.is_null() && out.size() < count && leaves < kMaxScanLeaves) {
+    NodeView view(fabric.HostRaw(addr), &o.shape);
+    if (view.is_free() || !view.is_leaf()) {
+      anomaly = true;
+      break;
+    }
+    leaves++;
+    const uint32_t n = view.count();
+    for (uint32_t i = 0; i < n && out.size() < count; i++) {
+      std::string k = view.VarFullKey(i);
+      if (k < from) continue;
+      std::string v;
+      if (!HostVarValue(ms, view, i, k, &v)) {
+        // Foreign extent: the remainder must resolve one-sided; partial
+        // results decline below.
+        anomaly = true;
+        break;
+      }
+      out.emplace_back(std::move(k), std::move(v));
+    }
+    if (anomaly) break;
+    if (view.hi_fence() == kMaxKey) {
+      end_of_tree = true;
+      break;
+    }
+    addr = view.sibling();
+    if (addr.is_null()) {
+      end_of_tree = true;
+      break;
+    }
+  }
+
+  if (leaves > 1) {
+    fabric.ms(ms).ChargeMemoryThread(
+        (leaves - 1) * fabric.config().rpc_service_ns / 2);
+  }
+  if (out.size() < count && (anomaly || !end_of_tree)) {
+    vscan_out_.erase(token);
+    declined_++;
+    return kAckDeclined;
+  }
+  served_++;
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoMultiVarGet(int ms, uint64_t token) {
+  const auto in = mvget_in_.find(token);
+  SHERMAN_CHECK(in != mvget_in_.end());
+  std::vector<VarGetResult>& out = mvget_out_[token];
+  out.reserve(in->second.size());
+  for (const std::string& key : in->second) {
+    VarGetResult r;
+    r.status = HostVarLookup(ms, key, &r.value);
+    if (r.status.IsRetry()) {
+      declined_++;
+    } else {
+      served_++;
+    }
+    out.push_back(std::move(r));
+  }
+  if (in->second.size() > 1) {
+    system_->fabric().ms(ms).ChargeMemoryThread(
+        static_cast<sim::SimTime>(in->second.size() - 1) *
+        system_->fabric().config().rpc_service_ns / 2);
+  }
+  mvget_in_.erase(in);
+  return kAckOk;
+}
+
+uint64_t TreeRpcService::DoMultiVarInsert(int ms, uint64_t token) {
+  const auto in = mvins_in_.find(token);
+  SHERMAN_CHECK(in != mvins_in_.end());
+  std::vector<Status>& out = mvins_out_[token];
+  out.reserve(in->second.size());
+  for (const auto& [key, value] : in->second) {
+    Status st = HostVarInsert(ms, key, value);
+    if (st.IsRetry()) {
+      declined_++;
+    } else {
+      served_++;
+    }
+    out.push_back(std::move(st));
+  }
+  if (in->second.size() > 1) {
+    system_->fabric().ms(ms).ChargeMemoryThread(
+        static_cast<sim::SimTime>(in->second.size() - 1) *
+        system_->fabric().config().rpc_service_ns / 2);
+  }
+  mvins_in_.erase(in);
+  return kAckOk;
+}
+
+std::string TreeRpcService::TakeVarLookupResult(uint64_t token) {
+  auto it = vget_out_.find(token);
+  SHERMAN_CHECK(it != vget_out_.end());
+  std::string v = std::move(it->second);
+  vget_out_.erase(it);
+  return v;
+}
+
+std::vector<std::pair<std::string, std::string>>
+TreeRpcService::TakeVarScanResult(uint64_t token) {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = vscan_out_.find(token);
+  if (it != vscan_out_.end()) {
+    out = std::move(it->second);
+    vscan_out_.erase(it);
+  }
+  return out;
+}
+
+std::vector<VarGetResult> TreeRpcService::TakeMultiVarGetResult(
+    uint64_t token) {
+  auto it = mvget_out_.find(token);
+  SHERMAN_CHECK(it != mvget_out_.end());
+  std::vector<VarGetResult> out = std::move(it->second);
+  mvget_out_.erase(it);
+  return out;
+}
+
+std::vector<Status> TreeRpcService::TakeMultiVarInsertResult(uint64_t token) {
+  auto it = mvins_out_.find(token);
+  SHERMAN_CHECK(it != mvins_out_.end());
+  std::vector<Status> out = std::move(it->second);
+  mvins_out_.erase(it);
+  return out;
+}
+
 std::vector<MultiGetResult> TreeRpcService::TakeMultiGetResult(
     uint64_t token) {
   std::vector<MultiGetResult> out;
@@ -623,6 +929,102 @@ sim::Task<Status> TreeRpcClient::MultiDelete(uint16_t ms,
   if (stats != nullptr) stats->round_trips++;
   SHERMAN_CHECK(r == TreeRpcService::kAckOk);
   *per_key = service_->TakeMultiDeleteResult(token);
+  SHERMAN_CHECK(per_key->size() == n);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::InsertVar(uint16_t ms, const Slice& key,
+                                           const Slice& value,
+                                           OpStats* stats) {
+  const uint64_t token = service_->NewToken();
+  service_->StageVarInsert(token, std::string(key.data(), key.size()),
+                           std::string(value.data(), value.size()));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpVarInsert, token, 0);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side var insert declined");
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::LookupVar(uint16_t ms, const Slice& key,
+                                           std::string* value,
+                                           OpStats* stats) {
+  const uint64_t token = service_->NewToken();
+  service_->StageVarKey(token, std::string(key.data(), key.size()));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpVarLookup, token, 0);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side var lookup declined");
+  }
+  if (r == TreeRpcService::kAckNotFound) co_return Status::NotFound();
+  *value = service_->TakeVarLookupResult(token);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::DeleteVar(uint16_t ms, const Slice& key,
+                                           OpStats* stats) {
+  const uint64_t token = service_->NewToken();
+  service_->StageVarKey(token, std::string(key.data(), key.size()));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpVarDelete, token, 0);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side var delete declined");
+  }
+  co_return r == TreeRpcService::kAckOk ? Status::OK() : Status::NotFound();
+}
+
+sim::Task<Status> TreeRpcClient::ScanVar(
+    uint16_t ms, const Slice& from, uint32_t count,
+    std::vector<std::pair<std::string, std::string>>* out, OpStats* stats) {
+  out->clear();
+  if (count == 0) co_return Status::OK();
+  const uint64_t token = service_->NewToken();
+  service_->StageVarScan(token, std::string(from.data(), from.size()), count);
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpVarScan, token, 0);
+  if (stats != nullptr) stats->round_trips++;
+  if (r == TreeRpcService::kAckDeclined) {
+    co_return Status::Retry("ms-side var scan declined");
+  }
+  *out = service_->TakeVarScanResult(token);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::MultiGetVar(uint16_t ms,
+                                             std::vector<std::string> keys,
+                                             std::vector<VarGetResult>* out,
+                                             OpStats* stats) {
+  out->assign(keys.size(), VarGetResult{});
+  if (keys.empty()) co_return Status::OK();
+  const size_t n = keys.size();
+  const uint64_t token = service_->NewToken();
+  service_->StageMultiVarGet(token, std::move(keys));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpMultiVarGet, token);
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r == TreeRpcService::kAckOk);
+  *out = service_->TakeMultiVarGetResult(token);
+  SHERMAN_CHECK(out->size() == n);
+  co_return Status::OK();
+}
+
+sim::Task<Status> TreeRpcClient::MultiInsertVar(
+    uint16_t ms, std::vector<std::pair<std::string, std::string>> kvs,
+    std::vector<Status>* per_key, OpStats* stats) {
+  per_key->assign(kvs.size(), Status::OK());
+  if (kvs.empty()) co_return Status::OK();
+  const size_t n = kvs.size();
+  const uint64_t token = service_->NewToken();
+  service_->StageMultiVarInsert(token, std::move(kvs));
+  const uint64_t r = co_await service_->system()->fabric().qp(cs_id_, ms).Rpc(
+      TreeRpcService::kOpMultiVarInsert, token);
+  if (stats != nullptr) stats->round_trips++;
+  SHERMAN_CHECK(r == TreeRpcService::kAckOk);
+  *per_key = service_->TakeMultiVarInsertResult(token);
   SHERMAN_CHECK(per_key->size() == n);
   co_return Status::OK();
 }

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,18 @@ class TreeRpcService {
   static constexpr uint64_t kOpMultiGet = 204;
   static constexpr uint64_t kOpMultiInsert = 205;
   static constexpr uint64_t kOpMultiDelete = 206;
+  // Varlen (slotted-leaf) ops. Byte keys/values cannot ride the fixed-size
+  // RPC words, so EVERY var op stages its operands under a token like the
+  // coalesced batches. The executor serves inline records only: values
+  // above inline_threshold need the client's value-log appender, and
+  // out-of-line values whose extent lives on a FOREIGN MS are not
+  // near-memory — both decline to the one-sided path.
+  static constexpr uint64_t kOpVarInsert = 207;
+  static constexpr uint64_t kOpVarLookup = 208;
+  static constexpr uint64_t kOpVarDelete = 209;
+  static constexpr uint64_t kOpVarScan = 210;
+  static constexpr uint64_t kOpMultiVarGet = 211;
+  static constexpr uint64_t kOpMultiVarInsert = 212;
 
   // Response words for write ops; lookups/scans return found counts and
   // stage values out-of-band under a token (the sim's RPC messages are
@@ -97,6 +110,29 @@ class TreeRpcService {
   std::vector<Status> TakeMultiInsertResult(uint64_t token);
   std::vector<Status> TakeMultiDeleteResult(uint64_t token);
 
+  // Varlen staging (client side of the var RPCs).
+  void StageVarInsert(uint64_t token, std::string key, std::string value) {
+    vins_in_[token] = {std::move(key), std::move(value)};
+  }
+  void StageVarKey(uint64_t token, std::string key) {
+    vkey_in_[token] = std::move(key);
+  }
+  void StageVarScan(uint64_t token, std::string from, uint32_t count) {
+    vscan_in_[token] = {std::move(from), count};
+  }
+  void StageMultiVarGet(uint64_t token, std::vector<std::string> keys) {
+    mvget_in_[token] = std::move(keys);
+  }
+  void StageMultiVarInsert(
+      uint64_t token, std::vector<std::pair<std::string, std::string>> kvs) {
+    mvins_in_[token] = std::move(kvs);
+  }
+  std::string TakeVarLookupResult(uint64_t token);
+  std::vector<std::pair<std::string, std::string>> TakeVarScanResult(
+      uint64_t token);
+  std::vector<VarGetResult> TakeMultiVarGetResult(uint64_t token);
+  std::vector<Status> TakeMultiVarInsertResult(uint64_t token);
+
   uint64_t served() const { return served_; }
   uint64_t declined() const { return declined_; }
   // Leaves merged + reclaimed by the MS-side delete executor (same merge
@@ -121,6 +157,25 @@ class TreeRpcService {
   uint64_t DoMultiGet(int ms, uint64_t token);
   uint64_t DoMultiInsert(int ms, uint64_t token);
   uint64_t DoMultiDelete(int ms, uint64_t token);
+  uint64_t DoVarInsert(int ms, uint64_t token);
+  uint64_t DoVarLookup(int ms, uint64_t token);
+  uint64_t DoVarDelete(int ms, uint64_t token);
+  uint64_t DoVarScan(int ms, uint64_t token);
+  uint64_t DoMultiVarGet(int ms, uint64_t token);
+  uint64_t DoMultiVarInsert(int ms, uint64_t token);
+
+  // One inline-record var insert against the leaf covering `key` on the
+  // host path; shared by the singleton and coalesced executors. Returns
+  // OK, or Retry naming the decline reason.
+  Status HostVarInsert(int ms, const std::string& key,
+                       const std::string& value);
+  // One var point read; OK/NotFound, or Retry when the record's extent
+  // lives on a foreign MS.
+  Status HostVarLookup(int ms, const std::string& key, std::string* value);
+  // Materializes slot `i` of `view` into *value. False when the record is
+  // out-of-line on a foreign MS (caller declines).
+  bool HostVarValue(int ms, const NodeView& view, uint32_t i,
+                    const std::string& key, std::string* value) const;
 
   // Opportunistic MS-side mirror of TreeClient::TryMergeLeafLocked: the
   // handler runs atomically at one simulated instant, so instead of taking
@@ -138,6 +193,17 @@ class TreeRpcService {
   std::map<uint64_t, std::vector<Status>> mins_out_;
   std::map<uint64_t, std::vector<Key>> mdel_in_;
   std::map<uint64_t, std::vector<Status>> mdel_out_;
+  std::map<uint64_t, std::pair<std::string, std::string>> vins_in_;
+  std::map<uint64_t, std::string> vkey_in_;
+  std::map<uint64_t, std::string> vget_out_;
+  std::map<uint64_t, std::pair<std::string, uint32_t>> vscan_in_;
+  std::map<uint64_t, std::vector<std::pair<std::string, std::string>>>
+      vscan_out_;
+  std::map<uint64_t, std::vector<std::string>> mvget_in_;
+  std::map<uint64_t, std::vector<VarGetResult>> mvget_out_;
+  std::map<uint64_t, std::vector<std::pair<std::string, std::string>>>
+      mvins_in_;
+  std::map<uint64_t, std::vector<Status>> mvins_out_;
   uint64_t next_token_ = 1;
   uint64_t served_ = 0;
   uint64_t declined_ = 0;
@@ -171,6 +237,23 @@ class TreeRpcClient {
                                 std::vector<Status>* per_key, OpStats* stats);
   sim::Task<Status> MultiDelete(uint16_t ms, std::vector<Key> keys,
                                 std::vector<Status>* per_key, OpStats* stats);
+
+  // Varlen ops against one MS; operands stage under a token (the RPC
+  // words carry only the token). Retry = declined, retry one-sided.
+  sim::Task<Status> InsertVar(uint16_t ms, const Slice& key,
+                              const Slice& value, OpStats* stats);
+  sim::Task<Status> LookupVar(uint16_t ms, const Slice& key,
+                              std::string* value, OpStats* stats);
+  sim::Task<Status> DeleteVar(uint16_t ms, const Slice& key, OpStats* stats);
+  sim::Task<Status> ScanVar(
+      uint16_t ms, const Slice& from, uint32_t count,
+      std::vector<std::pair<std::string, std::string>>* out, OpStats* stats);
+  sim::Task<Status> MultiGetVar(uint16_t ms, std::vector<std::string> keys,
+                                std::vector<VarGetResult>* out,
+                                OpStats* stats);
+  sim::Task<Status> MultiInsertVar(
+      uint16_t ms, std::vector<std::pair<std::string, std::string>> kvs,
+      std::vector<Status>* per_key, OpStats* stats);
 
  private:
   TreeRpcService* service_;

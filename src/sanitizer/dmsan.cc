@@ -114,6 +114,20 @@ void Checker::OnNodeAllocated(int cs, rdma::GlobalAddress addr,
   s.owner_cs = cs;
   s.size = size;
   per_ms[addr.offset] = s;
+  // A recycled vlog segment can re-enter circulation as anything; its
+  // extent/segment shadows are stale the moment the region is re-handed.
+  if (!vexts_.empty() || !vsegs_.empty()) {
+    auto drop = [&](auto& per_ms_map) {
+      auto mit = per_ms_map.find(addr.node);
+      if (mit == per_ms_map.end()) return;
+      auto vit = mit->second.lower_bound(addr.offset);
+      while (vit != mit->second.end() && vit->first < addr.offset + size) {
+        vit = mit->second.erase(vit);
+      }
+    };
+    drop(vexts_);
+    drop(vsegs_);
+  }
 }
 
 void Checker::PublishNode(rdma::GlobalAddress addr, uint8_t level) {
@@ -141,6 +155,54 @@ void Checker::OnNodeFreed(int ms, uint64_t offset, uint32_t size,
   n->state = NodeState::kFreed;
   n->freed_epoch = epoch;
   n->owner_cs = -1;
+}
+
+Checker::VExtShadow* Checker::FindVExtent(uint16_t ms, uint64_t offset) {
+  auto mit = vexts_.find(ms);
+  if (mit == vexts_.end()) return nullptr;
+  auto it = mit->second.upper_bound(offset);
+  if (it == mit->second.begin()) return nullptr;
+  --it;
+  if (offset >= it->first + it->second.size) return nullptr;
+  return &it->second;
+}
+
+void Checker::OnVlogSegment(int cs, rdma::GlobalAddress base,
+                            uint32_t seg_bytes, uint32_t cls) {
+  // A recycled region may carry stale extent shadows from its previous
+  // life as a segment; drop anything overlapping.
+  auto& per_ms = vexts_[base.node];
+  auto it = per_ms.lower_bound(base.offset);
+  while (it != per_ms.end() && it->first < base.offset + seg_bytes) {
+    it = per_ms.erase(it);
+  }
+  VSegShadow s;
+  s.seg_bytes = seg_bytes;
+  s.cls = cls;
+  s.owner_cs = cs;
+  vsegs_[base.node][base.offset] = s;
+}
+
+void Checker::OnVlogAppend(int cs, rdma::GlobalAddress addr, uint32_t bytes) {
+  VExtShadow s;
+  s.state = VExtState::kAppending;
+  s.owner_cs = cs;
+  s.size = bytes;
+  vexts_[addr.node][addr.offset] = s;
+}
+
+void Checker::OnVlogPublish(rdma::GlobalAddress addr) {
+  VExtShadow* e = FindVExtent(addr.node, addr.offset);
+  if (e == nullptr) return;
+  e->state = VExtState::kLive;
+  e->owner_cs = -1;
+}
+
+void Checker::OnVlogRetire(int ms, uint64_t offset, uint64_t epoch) {
+  VExtShadow* e = FindVExtent(static_cast<uint16_t>(ms), offset);
+  if (e == nullptr) return;
+  e->state = VExtState::kDead;
+  e->dead_epoch = epoch;
 }
 
 void Checker::OnLockAcquired(int cs, const GlobalLockRef& ref,
@@ -304,6 +366,37 @@ void Checker::CheckWrite(int cs, const rdma::WorkRequest& wr) {
 
   if (wr.remote.offset < kChunkAreaOffset) return;  // meta / claim words
 
+  // Value-log extents are write-once: private to the appender until the
+  // publish, immutable afterwards, dead after retire.
+  if (VExtShadow* e = FindVExtent(wr.remote.node, wr.remote.offset)) {
+    switch (e->state) {
+      case VExtState::kAppending:
+        if (e->owner_cs != cs) {
+          std::ostringstream os;
+          os << "cs " << cs << " writes vlog extent " << wr.remote.node << ":"
+             << wr.remote.offset << " still private to cs " << e->owner_cs;
+          Report(1, wr.remote, cs, e->owner_cs, os.str());
+        }
+        return;
+      case VExtState::kLive: {
+        std::ostringstream os;
+        os << "cs " << cs << " writes PUBLISHED vlog extent " << wr.remote.node
+           << ":" << wr.remote.offset << " (extents are immutable)";
+        Report(1, wr.remote, cs, -1, os.str());
+        return;
+      }
+      case VExtState::kDead: {
+        std::ostringstream os;
+        os << "cs " << cs << " writes retired vlog extent " << wr.remote.node
+           << ":" << wr.remote.offset << " (dead at epoch " << e->dead_epoch
+           << ")";
+        Report(2, wr.remote, cs, -1, os.str());
+        return;
+      }
+    }
+    return;
+  }
+
   NodeShadow* n = FindNode(wr.remote.node, wr.remote.offset);
   if (n == nullptr) return;  // not a tracked node region
 
@@ -388,6 +481,22 @@ void Checker::CheckWrite(int cs, const rdma::WorkRequest& wr) {
 void Checker::CheckRead(int cs, const rdma::WorkRequest& wr) {
   if (wr.space != rdma::MemorySpace::kHost) return;
   if (wr.remote.offset < kChunkAreaOffset) return;
+
+  // Dead vlog extents past their grace window need an epoch pin, exactly
+  // like freed nodes (V2 use-after-free over value extents).
+  if (VExtShadow* e = FindVExtent(wr.remote.node, wr.remote.offset)) {
+    if (e->state == VExtState::kDead && cfg_.reclaim != nullptr &&
+        cfg_.reclaim->SafeToRecycle(e->dead_epoch) &&
+        cfg_.reclaim->ActivePins(cs) == 0) {
+      std::ostringstream os;
+      os << "cs " << cs << " reads vlog extent " << wr.remote.node << ":"
+         << wr.remote.offset << " retired at epoch " << e->dead_epoch
+         << " past its grace window while holding no epoch pin";
+      Report(2, wr.remote, cs, -1, os.str());
+    }
+    return;
+  }
+
   NodeShadow* n = FindNode(wr.remote.node, wr.remote.offset);
   if (n == nullptr) return;
 

@@ -117,6 +117,20 @@ class Checker {
   // can be recycled at any address).
   void OnClientDead(int cs);
 
+  // --- feed: value-log extents (src/vlog/) ----------------------------------
+  // `cs` registered a vlog segment at [base, base+seg_bytes) on `ms`.
+  // (The region's node shadow already exists via OnNodeAllocated; this
+  // routes accesses inside it through the extent rules below.)
+  void OnVlogSegment(int cs, rdma::GlobalAddress base, uint32_t seg_bytes,
+                     uint32_t cls);
+  // `cs` is about to write the extent [addr, addr+bytes) (private append).
+  void OnVlogAppend(int cs, rdma::GlobalAddress addr, uint32_t bytes);
+  // The append landed: the extent is immutable and readable fabric-wide.
+  void OnVlogPublish(rdma::GlobalAddress addr);
+  // The extent went dead at `epoch` (delete/update/GC relocation); reads
+  // past the grace window without an epoch pin are V2, writes are V2.
+  void OnVlogRetire(int ms, uint64_t offset, uint64_t epoch);
+
   // --- feed: MS-side executor ---------------------------------------------
   // The RPC executor on `ms` is about to mutate `node` through host memory
   // (it declines locked nodes, so a shadow-held lane here is a real race).
@@ -156,9 +170,22 @@ class Checker {
     uintptr_t end = 0;
     uint64_t at = 0;  // sim time of the read post
   };
+  enum class VExtState : uint8_t { kAppending, kLive, kDead };
+  struct VExtShadow {
+    VExtState state = VExtState::kAppending;
+    int owner_cs = -1;
+    uint32_t size = 0;
+    uint64_t dead_epoch = 0;
+  };
+  struct VSegShadow {
+    uint32_t seg_bytes = 0;
+    uint32_t cls = 0;
+    int owner_cs = -1;
+  };
 
   // Shadow lookups.
   NodeShadow* FindNode(uint16_t ms, uint64_t offset);
+  VExtShadow* FindVExtent(uint16_t ms, uint64_t offset);
   uint64_t NodeBase(uint16_t ms, const NodeShadow* n) const;
   uint64_t LaneKey(const GlobalLockRef& ref) const {
     return (static_cast<uint64_t>(ref.ms) << 33) |
@@ -188,6 +215,9 @@ class Checker {
 
   // ms -> (node base offset -> shadow). Ranges never overlap.
   std::map<uint16_t, std::map<uint64_t, NodeShadow>> nodes_;
+  // ms -> (segment base -> shadow) and (extent offset -> shadow).
+  std::map<uint16_t, std::map<uint64_t, VSegShadow>> vsegs_;
+  std::map<uint16_t, std::map<uint64_t, VExtShadow>> vexts_;
   std::map<uint64_t, LaneShadow> lanes_;
   // cs -> bitmap of published intent slots (decoded from slab writes).
   std::map<int, uint32_t> intent_live_;

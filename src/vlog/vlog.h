@@ -1,0 +1,154 @@
+// Per-MS log-structured value store (the FlexKV-style index/value split).
+//
+// Values above TreeOptions::inline_threshold are written OUT-OF-LINE: the
+// leaf slot keeps an 8-byte packed pointer (fingerprint + size class +
+// location) and the bytes live in a value-log extent on a memory server.
+//
+// Space management is log-structured. A compute server carves SEGMENTS
+// (vlog_segment_bytes, one open segment per size class) out of the
+// ordinary chunk allocator, registers each with its owning MS, and bump-
+// allocates fixed-size extents inside them — appends cost zero extra
+// round trips beyond the value WRITE itself. The MS is the single
+// liveness authority: every extent retire (delete, update, GC relocation)
+// is an RPC to the owner MS, which tracks a per-segment dead bitmap and
+// frees a sealed, fully-dead segment onto the PR-4 epoch-protected grace
+// list itself — so owner frees and foreign retires cannot race, and
+// readers pinned before a retire finish safely. Segment-level GC
+// (TreeClient::VlogGcOnce) claims a sealed victim above a dead-fraction
+// threshold, re-reads each live record, and relocates it tree-guided
+// under the leaf lock (copy-then-flip, the migration ordering): append
+// fresh extent -> repoint the leaf slot -> retire the old extent.
+//
+// Extent record: [klen u16][vlen u16][key bytes][value bytes], within a
+// 64<<class byte extent (classes 0..7: 64 B .. 8 KB). The key rides along
+// so GC can find the owning leaf without an index scan.
+#ifndef SHERMAN_VLOG_VLOG_H_
+#define SHERMAN_VLOG_VLOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/cs_allocator.h"
+#include "core/stats.h"
+#include "rdma/fabric.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace sherman {
+namespace vlog {
+
+inline constexpr uint32_t kNumClasses = 8;     // 64 B << c, c in [0,8)
+inline constexpr uint32_t kMinExtentBytes = 64;
+inline constexpr uint32_t kRecordHeader = 4;   // [klen u16][vlen u16]
+
+// Packed value-log pointer, as stored in a leaf slot:
+//   [63:56] key fingerprint   [55:48] size class
+//   [47:40] memory server id  [39:0]  byte offset on that MS
+struct VlogPtr {
+  static uint64_t Pack(uint8_t fp, uint8_t cls, uint16_t ms, uint64_t off) {
+    return (static_cast<uint64_t>(fp) << 56) |
+           (static_cast<uint64_t>(cls) << 48) |
+           (static_cast<uint64_t>(ms & 0xff) << 40) | (off & 0xffffffffffull);
+  }
+  static uint8_t Fp(uint64_t p) { return static_cast<uint8_t>(p >> 56); }
+  static uint8_t Cls(uint64_t p) { return static_cast<uint8_t>(p >> 48); }
+  static uint16_t Ms(uint64_t p) { return static_cast<uint16_t>((p >> 40) & 0xff); }
+  static uint64_t Off(uint64_t p) { return p & 0xffffffffffull; }
+  static uint32_t ExtentBytes(uint64_t p) { return kMinExtentBytes << Cls(p); }
+  static rdma::GlobalAddress Addr(uint64_t p) {
+    rdma::GlobalAddress a;
+    a.node = Ms(p);
+    a.offset = Off(p);
+    return a;
+  }
+};
+
+// Smallest class whose extent holds `record_bytes`, or kNumClasses if the
+// record is too large even for the biggest class.
+uint32_t SizeClassFor(uint32_t record_bytes);
+
+struct VlogStats {
+  uint64_t appends = 0;
+  uint64_t append_bytes = 0;
+  uint64_t reads = 0;
+  uint64_t retires = 0;
+  uint64_t segments_opened = 0;
+  uint64_t gc_passes = 0;
+  uint64_t gc_relocated = 0;
+  uint64_t gc_stale = 0;  // victim extents already unreferenced
+
+  void Merge(const VlogStats& o) {
+    appends += o.appends;
+    append_bytes += o.append_bytes;
+    reads += o.reads;
+    retires += o.retires;
+    segments_opened += o.segments_opened;
+    gc_passes += o.gc_passes;
+    gc_relocated += o.gc_relocated;
+    gc_stale += o.gc_stale;
+  }
+};
+
+// The compute-server side of the value log. One instance per TreeClient;
+// owns an open segment per size class.
+class VlogClient {
+ public:
+  VlogClient(rdma::Fabric* fabric, CsAllocator* allocator, int cs_id,
+             uint32_t segment_bytes);
+
+  // Appends [key|value] as one record and returns the packed pointer
+  // (fingerprint = fp). May cost a segment allocation + register RPC on
+  // rotation; the append itself is one WRITE.
+  sim::Task<StatusOr<uint64_t>> Append(const Slice& key, const Slice& value,
+                                       uint8_t fp, OpStats* stats);
+
+  // Reads the record behind `ptr` (klen/vlen known from the leaf slot:
+  // the read covers exactly the record) and returns the value bytes.
+  // Fails with Corruption when the record header or key does not match —
+  // the caller re-reads the leaf (the extent was concurrently relocated).
+  sim::Task<Status> Read(uint64_t ptr, const Slice& expect_key, uint16_t vlen,
+                         std::string* value, OpStats* stats);
+
+  // Marks the extent dead at its owning MS (idempotent).
+  sim::Task<void> Retire(uint64_t ptr, OpStats* stats);
+
+  // Seals every open segment at its MS so GC victim queries can see it.
+  sim::Task<void> SealOpen(OpStats* stats);
+
+  // Builds the on-extent record for (key, value). Exposed for GC, which
+  // re-appends records it read back from a victim segment.
+  static uint32_t RecordBytes(const Slice& key, const Slice& value) {
+    return kRecordHeader + static_cast<uint32_t>(key.size()) +
+           static_cast<uint32_t>(value.size());
+  }
+
+  const VlogStats& stats() const { return stats_; }
+  VlogStats& mutable_stats() { return stats_; }
+
+ private:
+  struct OpenSegment {
+    rdma::GlobalAddress base = rdma::kNullAddress;
+    uint32_t used = 0;      // extents handed out
+    uint32_t capacity = 0;  // extents per segment for this class
+    // Rotation-in-flight flag. Coroutines sharing one client (worker
+    // threads of a CS) may Append the same class concurrently; two
+    // overlapping rotations would double-seal with a stale `used` (the MS
+    // then frees a segment that still has an append landing) and leak one
+    // of the two fresh segments. Appends wait this flag out and re-check.
+    bool rotating = false;
+  };
+
+  sim::Task<Status> Rotate(uint32_t cls, OpStats* stats);
+
+  rdma::Fabric* fabric_;
+  CsAllocator* allocator_;
+  int cs_id_;
+  uint32_t segment_bytes_;
+  OpenSegment open_[kNumClasses];
+  VlogStats stats_;
+};
+
+}  // namespace vlog
+}  // namespace sherman
+
+#endif  // SHERMAN_VLOG_VLOG_H_

@@ -18,6 +18,67 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options,
     zipf_ = std::make_unique<ScrambledZipfianGenerator>(options.loaded_keys,
                                                         options.zipf_theta);
   }
+  if (options.string_keys) {
+    SHERMAN_CHECK_MSG(options.string_key_min >= 16,
+                      "string keys need the 16-byte hex stem");
+    SHERMAN_CHECK(options.string_key_max >= options.string_key_min);
+    SHERMAN_CHECK(options.string_value_min > 0);
+    SHERMAN_CHECK(options.string_value_max >= options.string_value_min);
+  }
+}
+
+std::string WorkloadGenerator::StringKeyFor(uint64_t key, uint32_t min_len,
+                                            uint32_t max_len) {
+  static const char kHex[] = "0123456789abcdef";
+  // The stem: 16 hex digits of the scrambled key. Hex bytes are plain
+  // ASCII, so the first 8 bytes can never collide with the routing-key
+  // sentinels, and the FNV scramble spreads routing prefixes uniformly
+  // regardless of how dense the u64 key space is.
+  const uint64_t h = ScrambledZipfianGenerator::FnvHash(key);
+  std::string s(16, '0');
+  for (int i = 0; i < 16; i++) s[i] = kHex[(h >> (60 - 4 * i)) & 0xf];
+  uint32_t len = min_len;
+  if (max_len > min_len) {
+    len += static_cast<uint32_t>(
+        ScrambledZipfianGenerator::FnvHash(key ^ 0x9e3779b97f4a7c15ull) %
+        (max_len - min_len + 1));
+  }
+  uint64_t filler = ScrambledZipfianGenerator::FnvHash(h);
+  while (s.size() < len) {
+    s.push_back(kHex[filler & 0xf]);
+    filler = (filler >> 4) | (filler << 60);
+  }
+  return s;
+}
+
+uint32_t WorkloadGenerator::DrawValueLen() {
+  const uint32_t lo = options_.string_value_min;
+  const uint32_t hi = options_.string_value_max;
+  if (hi <= lo) return lo;
+  // Geometric ladder lo, 2*lo, 4*lo, ..., capped at hi: small inline
+  // values and multi-KB outline values are both common, instead of the
+  // uniform draw's mean sitting far above the inline threshold.
+  uint32_t steps = 0;
+  while ((lo << (steps + 1)) <= hi && steps < 30) steps++;
+  const uint32_t e = static_cast<uint32_t>(rng_.Uniform(steps + 1));
+  return std::min(hi, lo << e);
+}
+
+void WorkloadGenerator::FillStrings(Op* op) {
+  if (!options_.string_keys) return;
+  op->skey = StringKeyFor(op->key, options_.string_key_min,
+                          options_.string_key_max);
+  if (op->type == OpType::kInsert) {
+    // Value bytes are a cheap deterministic pattern of op->value so an
+    // oracle can recompute them; the LENGTH is the interesting part — a
+    // re-draw per op makes updates cross the inline threshold both ways.
+    const uint32_t len = DrawValueLen();
+    op->svalue.resize(len);
+    uint64_t x = ScrambledZipfianGenerator::FnvHash(op->value);
+    for (uint32_t i = 0; i < len; i++) {
+      op->svalue[i] = static_cast<char>('a' + ((x >> ((i & 7) * 8)) + i) % 26);
+    }
+  }
 }
 
 uint64_t WorkloadGenerator::KeyForRank(uint64_t rank) const {
@@ -85,6 +146,7 @@ Op WorkloadGenerator::Next() {
       op.value = ++value_counter_;
       churn_fifo_.push_back(op.key);
     }
+    FillStrings(&op);
     return op;
   }
   const double dice = rng_.NextDouble();
@@ -122,6 +184,7 @@ Op WorkloadGenerator::Next() {
     op.type = OpType::kDelete;
     op.key = key;
   }
+  FillStrings(&op);
   return op;
 }
 
@@ -158,6 +221,14 @@ bool ParseMix(const std::string& name, WorkloadOptions* options) {
   if (name == "churn") {
     options->mix = WorkloadMix::WriteOnly();  // informational; churn ignores it
     if (options->churn_window == 0) options->churn_window = 256;
+    return true;
+  }
+  if (name == "ycsb-string") {
+    // The varlen tree's YCSB-style string preset: write-intensive mix,
+    // string keys with the default length spreads (16-40B keys, 16B-4KB
+    // geometric values).
+    options->mix = WorkloadMix::WriteIntensive();
+    options->string_keys = true;
     return true;
   }
   return ParseMix(name, &options->mix);

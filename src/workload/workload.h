@@ -70,6 +70,22 @@ struct WorkloadOptions {
   double hotspot_share = 0;
   uint64_t hotspot_keys = 0;
 
+  // String-key mode (the "ycsb-string" preset): every op additionally
+  // carries a byte-string key (and value, for inserts) for varlen trees.
+  // The string key is a DETERMINISTIC function of the op's u64 key — a
+  // 16-hex-digit FNV scramble plus hash-derived filler up to a per-key
+  // length in [string_key_min, string_key_max] — so updates and deletes
+  // land on the same record, any client can recompute the key, and the
+  // scramble spreads routing prefixes uniformly. Insert VALUE lengths are
+  // drawn per op on a geometric ladder over [string_value_min,
+  // string_value_max], so updates cross the vlog inline threshold in both
+  // directions.
+  bool string_keys = false;
+  uint32_t string_key_min = 16;  // >= 16 (the hex stem)
+  uint32_t string_key_max = 40;
+  uint32_t string_value_min = 16;
+  uint32_t string_value_max = 4096;
+
   // Churn mode (space-reclamation benchmarking): when churn_window > 0
   // the generator ignores `mix` and keeps this client's live insert set
   // at exactly churn_window keys — each op inserts the next odd key of a
@@ -90,6 +106,10 @@ struct Op {
   uint64_t key = 0;
   uint64_t value = 0;      // for inserts
   uint32_t range_size = 0; // for range queries
+  // String-key mode only (empty otherwise): the byte key, and for
+  // inserts the byte value.
+  std::string skey;
+  std::string svalue;
 };
 
 // Deterministic per-client stream of operations.
@@ -101,6 +121,12 @@ class WorkloadGenerator {
 
   // The even tree key for popularity rank r.
   static uint64_t LoadedKeyFor(uint64_t rank) { return 2 * (rank + 1); }
+
+  // The deterministic string key for u64 key `key` (string-key mode):
+  // 16 hex digits of an FNV scramble, extended with hash filler to a
+  // per-key length in [min_len, max_len]. min_len must be >= 16.
+  static std::string StringKeyFor(uint64_t key, uint32_t min_len,
+                                  uint32_t max_len);
 
   const WorkloadOptions& options() const { return options_; }
 
@@ -119,6 +145,10 @@ class WorkloadGenerator {
 
  private:
   uint64_t NextRank();
+  // String-key mode: attaches skey (and svalue for inserts) to *op.
+  void FillStrings(Op* op);
+  // One insert-value length off the geometric ladder.
+  uint32_t DrawValueLen();
 
   WorkloadOptions options_;
   Random rng_;
@@ -142,9 +172,12 @@ bool ParseMix(const std::string& name, WorkloadMix* mix);
 // extreme hotspot: 99% of ops on ~1% of the keys, enabling
 // hotspot_share if unset — the mix bench_rdwc drives), and "churn"
 // (sustained insert+delete at a fixed live-key count, enabling
-// churn_window if unset). The mix-only overload rejects these names on
-// purpose: a caller that cannot apply the extra options would silently
-// run a mislabeled workload.
+// churn_window if unset), and "ycsb-string" (write-intensive mix over a
+// string keyspace: enables string_keys with the default 16-40 byte keys
+// and 16B-4KB geometric values — the varlen tree's YCSB-style preset).
+// The mix-only overload rejects these names on purpose: a caller that
+// cannot apply the extra options would silently run a mislabeled
+// workload.
 bool ParseMix(const std::string& name, WorkloadOptions* options);
 
 }  // namespace sherman

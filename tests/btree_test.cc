@@ -12,6 +12,7 @@
 #include "core/btree.h"
 #include "core/presets.h"
 #include "util/random.h"
+#include "vlog/vlog.h"
 
 namespace sherman {
 namespace {
@@ -641,6 +642,220 @@ TEST(RangeBoundaryTest, ScanCrossesMsBoundaries) {
   }(&system.client(0), n, &done));
   system.simulator().Run();
   ASSERT_TRUE(done);
+}
+
+// --- variable-length records (slotted leaves + value log) -------------------
+
+TreeOptions VarOptions(uint32_t node_size = 512) {
+  TreeOptions t = ShermanOptions();
+  t.two_level_versions = false;  // varlen requires sorted leaves
+  t.shape.varlen = true;
+  t.shape.node_size = node_size;
+  return t;
+}
+
+std::string VarKey(uint64_t rank) {
+  return WorkloadGenerator::StringKeyFor(rank, 16, 40);
+}
+
+// Single-coroutine random string ops mirrored into std::map. Value lengths
+// are redrawn per write across {empty, inline, threshold, out-of-line}, so
+// updates cross the inline threshold in both directions; small leaves make
+// heap exhaustion (not slot count) the split trigger.
+TEST(VarTreeTest, RandomVarOpsMatchStdMap) {
+  ShermanSystem system(SmallFabric(), VarOptions());
+  system.BulkLoad({}, 0.8);  // empty start: root growth from a slotted leaf
+
+  std::map<std::string, std::string> model;
+  bool done = false;
+  sim::Spawn([](TreeClient* c, std::map<std::string, std::string>* model,
+                bool* flag) -> sim::Task<void> {
+    Random rng(177);
+    for (int i = 0; i < 2'500; i++) {
+      const std::string key = VarKey(1 + rng.Uniform(400));
+      const int action = static_cast<int>(rng.Uniform(4));
+      if (action <= 1) {
+        const uint64_t d = rng.Uniform(8);
+        const uint32_t len =
+            d == 0 ? 0
+                   : (d < 4 ? 8 + static_cast<uint32_t>(rng.Uniform(56))
+                            : (d == 4 ? 64
+                                      : 65 + static_cast<uint32_t>(
+                                                 rng.Uniform(150))));
+        std::string value = "v" + std::to_string(i) + ":";
+        if (value.size() > len) value.resize(len);
+        value.resize(len, 'x');
+        Status st = co_await c->InsertVar(Slice(key), Slice(value));
+        EXPECT_TRUE(st.ok()) << st.ToString();
+        (*model)[key] = value;
+      } else if (action == 2) {
+        std::string value;
+        Status st = co_await c->LookupVar(Slice(key), &value);
+        auto it = model->find(key);
+        if (it == model->end()) {
+          EXPECT_TRUE(st.IsNotFound()) << key << ": " << st.ToString();
+        } else {
+          EXPECT_TRUE(st.ok()) << st.ToString();
+          EXPECT_EQ(value, it->second) << "key " << key;
+        }
+      } else {
+        Status st = co_await c->DeleteVar(Slice(key));
+        if (model->erase(key) > 0) {
+          EXPECT_TRUE(st.ok()) << st.ToString();
+        } else {
+          EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+        }
+      }
+    }
+    *flag = true;
+  }(&system.client(0), &model, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+
+  system.DebugCheckInvariants();
+  const auto scan = system.DebugScanLeavesVar();
+  ASSERT_EQ(scan.size(), model.size());
+  auto it = model.begin();
+  for (size_t i = 0; i < scan.size(); i++, ++it) {
+    EXPECT_EQ(scan[i].first, it->first);
+    EXPECT_EQ(scan[i].second, it->second);
+  }
+  EXPECT_GT(system.DebugHeight(), 1u) << "run too small to split";
+}
+
+// One key updated across the inline threshold in both directions: each
+// transition must read back the fresh value, and every out-of-line
+// predecessor must be retired (no extent leaks from repeated crossings).
+TEST(VarTreeTest, UpdatesCrossInlineThresholdBothWays) {
+  ShermanSystem system(SmallFabric(), VarOptions());
+  system.BulkLoad({}, 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    const std::string key = VarKey(7);
+    uint64_t out_writes = 0;
+    for (int round = 0; round < 10; round++) {
+      const bool big = (round % 2 == 0);  // out-of-line on even rounds
+      const uint32_t len = big ? 150 + round : 8 + round;
+      if (big) out_writes++;
+      const std::string value(len, static_cast<char>('a' + round));
+      EXPECT_TRUE((co_await c->InsertVar(Slice(key), Slice(value))).ok());
+      std::string got;
+      Status st = co_await c->LookupVar(Slice(key), &got);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(got, value) << "round " << round;
+    }
+    const vlog::VlogStats& vs = c->vlog().stats();
+    EXPECT_EQ(vs.appends, out_writes);
+    // The final round wrote inline, so every out-of-line extent ever
+    // appended was retired by a later crossing — no extent leaks.
+    EXPECT_EQ(vs.retires, out_writes);
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
+}
+
+// BulkLoadVar stages sorted string records into slotted leaves; every key
+// must round-trip through LookupVar and the ordered ScanVar cursor must
+// walk leaf chains (prefix-truncated suffixes rehydrated) exactly.
+TEST(VarTreeTest, BulkLoadVarRoundTripsAndScans) {
+  ShermanSystem system(SmallFabric(), VarOptions());
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (uint64_t r = 1; r <= 3'000; r++) {
+    kvs.emplace_back(VarKey(r), "blv:" + VarKey(r));
+  }
+  std::sort(kvs.begin(), kvs.end());
+  kvs.erase(std::unique(kvs.begin(), kvs.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first == b.first;
+                        }),
+            kvs.end());
+  system.BulkLoadVar(kvs, 0.8);
+  system.DebugCheckInvariants();
+  EXPECT_GT(system.DebugCountLeaves(), 1u);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c,
+                const std::vector<std::pair<std::string, std::string>>* kvs,
+                bool* flag) -> sim::Task<void> {
+    Random rng(31);
+    for (int i = 0; i < 200; i++) {
+      const auto& [k, v] = (*kvs)[rng.Uniform(kvs->size())];
+      std::string got;
+      Status st = co_await c->LookupVar(Slice(k), &got);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(got, v);
+    }
+    // An ordered scan from a random interior key crosses leaf boundaries.
+    const size_t at = 500;
+    std::vector<std::pair<std::string, std::string>> out;
+    Status st = co_await c->ScanVar(Slice((*kvs)[at].first), 300, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(out.size(), 300u);
+    for (size_t i = 0; i < out.size() && at + i < kvs->size(); i++) {
+      EXPECT_EQ(out[i].first, (*kvs)[at + i].first);
+      EXPECT_EQ(out[i].second, (*kvs)[at + i].second);
+    }
+    *flag = true;
+  }(&system.client(0), &kvs, &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+
+  const auto scan = system.DebugScanLeavesVar();
+  ASSERT_EQ(scan.size(), kvs.size());
+  for (size_t i = 0; i < scan.size(); i++) {
+    EXPECT_EQ(scan[i].first, kvs[i].first);
+    EXPECT_EQ(scan[i].second, kvs[i].second);
+  }
+}
+
+// Batched varlen paths: MultiInsertVar with an in-batch duplicate (the
+// later write must win and the superseded extent retire), MultiGetVar
+// answering present and absent keys positionally.
+TEST(VarTreeTest, MultiInsertVarAndMultiGetVarRoundTrip) {
+  ShermanSystem system(SmallFabric(), VarOptions());
+  system.BulkLoad({}, 0.8);
+
+  bool done = false;
+  sim::Spawn([](TreeClient* c, bool* flag) -> sim::Task<void> {
+    std::vector<std::pair<std::string, std::string>> kvs;
+    for (uint64_t r = 1; r <= 40; r++) {
+      kvs.emplace_back(VarKey(r), std::string(r % 2 == 0 ? 120 : 24,
+                                              static_cast<char>('a' + r % 26)));
+    }
+    kvs.emplace_back(VarKey(5), std::string(200, 'Z'));  // duplicate: wins
+    EXPECT_TRUE((co_await c->MultiInsertVar(kvs)).ok());
+
+    std::vector<std::string> keys;
+    for (uint64_t r = 1; r <= 40; r++) keys.push_back(VarKey(r));
+    keys.push_back(VarKey(9'999));  // absent
+    std::vector<VarGetResult> got;
+    Status st = co_await c->MultiGetVar(keys, &got);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(got.size(), keys.size());
+    if (got.size() != keys.size()) {
+      *flag = true;
+      co_return;
+    }
+    for (uint64_t r = 1; r <= 40; r++) {
+      const VarGetResult& g = got[r - 1];
+      EXPECT_TRUE(g.status.ok()) << "rank " << r << ": "
+                                 << g.status.ToString();
+      if (r == 5) {
+        EXPECT_EQ(g.value, std::string(200, 'Z'));
+      } else {
+        EXPECT_EQ(g.value, std::string(r % 2 == 0 ? 120 : 24,
+                                       static_cast<char>('a' + r % 26)));
+      }
+    }
+    EXPECT_TRUE(got.back().status.IsNotFound());
+    *flag = true;
+  }(&system.client(0), &done));
+  system.simulator().Run();
+  ASSERT_TRUE(done);
+  system.DebugCheckInvariants();
 }
 
 }  // namespace

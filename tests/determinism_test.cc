@@ -12,6 +12,7 @@
 
 #include "bench/runner.h"
 #include "combine/rdwc.h"
+#include "vlog/vlog.h"
 #include "core/hybrid_system.h"
 #include "core/presets.h"
 #include "migrate/migrator.h"
@@ -245,6 +246,108 @@ TEST(DeterminismTest, ElasticMigrationRunsAreByteIdentical) {
   }
   EXPECT_EQ(scans[0], scans[1]);
   EXPECT_EQ(migs[0], migs[1]);
+}
+
+// Varlen replay: slotted-leaf inserts with prefix recompaction, value-log
+// appends/rotations/retires, swizzle-cache reads, and segment GC add many
+// new choice points — all must replay bit-for-bit, including the final
+// byte content of every record and the vlog counters.
+TEST(DeterminismTest, VarlenRunsAreByteIdentical) {
+  const uint64_t keys = 4'000;
+  std::string reports[2];
+  for (int run = 0; run < 2; run++) {
+    TreeOptions topt = ShermanOptions();
+    topt.two_level_versions = false;  // varlen requires sorted leaves
+    topt.shape.varlen = true;
+    topt.vlog_segment_bytes = 8 << 10;
+    rdma::FabricConfig fab = SmallFabric(2, 3);
+    // Outline-value churn with only one mid-run GC pass holds far more
+    // dead extents than the 32 MB default fits.
+    fab.ms_memory_bytes = 256ull << 20;
+    ShermanSystem system(fab, topt);
+
+    std::vector<std::pair<std::string, std::string>> load;
+    for (uint64_t r = 1; r <= keys; r++) {
+      const std::string k = WorkloadGenerator::StringKeyFor(r, 16, 40);
+      load.emplace_back(k, "load:" + k);
+    }
+    std::sort(load.begin(), load.end());
+    load.erase(std::unique(load.begin(), load.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               load.end());
+    system.BulkLoadVar(load, 0.8);
+
+    WorkloadOptions wl;
+    ASSERT_TRUE(ParseMix("ycsb-string", &wl));
+    wl.mix.del = 0.05;
+    wl.mix.range = 0.05;
+    wl.mix.lookup = 0.4;
+    wl.loaded_keys = keys;
+    wl.string_value_max = 256;  // both sides of the inline threshold
+
+    uint64_t total_ops = 0;
+    bool stop = false;
+    int live = 0;
+    for (int cs = 0; cs < 3; cs++) {
+      for (int t = 0; t < 4; t++) {
+        live++;
+        sim::Spawn([](TreeClient* c, WorkloadOptions wl_opts, uint64_t seed,
+                      bool* stop_flag, uint64_t* ops,
+                      int* live_count) -> sim::Task<void> {
+          WorkloadGenerator gen(wl_opts, seed);
+          while (!*stop_flag) {
+            const Op op = gen.Next();
+            if (op.type == OpType::kInsert) {
+              Status st = co_await c->InsertVar(Slice(op.skey),
+                                                Slice(op.svalue));
+              EXPECT_TRUE(st.ok()) << st.ToString();
+            } else if (op.type == OpType::kDelete) {
+              Status st = co_await c->DeleteVar(Slice(op.skey));
+              EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+            } else if (op.type == OpType::kRangeQuery) {
+              std::vector<std::pair<std::string, std::string>> out;
+              Status st = co_await c->ScanVar(Slice(op.skey), 16, &out);
+              EXPECT_TRUE(st.ok()) << st.ToString();
+            } else {
+              std::string v;
+              Status st = co_await c->LookupVar(Slice(op.skey), &v);
+              EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+            }
+            (*ops)++;
+          }
+          (*live_count)--;
+        }(&system.client(cs), wl, bench::ClientSeed(13, cs, t), &stop,
+          &total_ops, &live));
+      }
+    }
+    // A mid-run GC pass races the op streams, like the churn bench.
+    system.simulator().At(1'500'000, [&system] {
+      sim::Spawn([](TreeClient* c) -> sim::Task<void> {
+        Status st = co_await c->VlogGcOnce();
+        EXPECT_TRUE(st.ok() || st.IsOutOfMemory()) << st.ToString();
+      }(&system.client(0)));
+    });
+    system.simulator().At(3'000'000, [&stop] { stop = true; });
+    system.simulator().Run();
+    ASSERT_EQ(live, 0);
+
+    vlog::VlogStats vs;
+    for (int cs = 0; cs < 3; cs++) vs.Merge(system.client(cs).vlog().stats());
+    std::ostringstream os;
+    os << "ops=" << total_ops << " steps=" << system.simulator().steps()
+       << " now=" << system.simulator().now() << " appends=" << vs.appends
+       << " append_bytes=" << vs.append_bytes << " reads=" << vs.reads
+       << " retires=" << vs.retires << " segs=" << vs.segments_opened
+       << " gc_passes=" << vs.gc_passes << " gc_moved=" << vs.gc_relocated
+       << " gc_stale=" << vs.gc_stale << " scan:";
+    for (const auto& [k, v] : system.DebugScanLeavesVar()) {
+      os << k << "=" << v << ";";
+    }
+    reports[run] = os.str();
+  }
+  EXPECT_EQ(reports[0], reports[1]);
 }
 
 // Observability replay: the always-on trace rings and the unified metrics

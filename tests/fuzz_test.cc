@@ -23,6 +23,7 @@
 // each run (see .github/workflows/nightly.yml); the PR gate stays small.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <set>
@@ -420,6 +421,216 @@ TEST(RdwcFuzzTest, ExtremeSkewWithDelegationAgainstOracle) {
     testutil::CheckOracleAtQuiescence(&system.sherman(), oracle,
                                       last_value_by_thread, threads);
     fault::Injector().Reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Variable-length fuzz: string keys (16-40 bytes, the ycsb-string mapping)
+// and values whose length is redrawn on every update — empty, inline
+// (< 64 B), exactly at the threshold, and out-of-line — so updates cross
+// the inline threshold in both directions constantly. Tiny vlog segments
+// keep sealing + GC running mid-mix, and a dice slot calls VlogGcOnce
+// concurrently with the op streams, so copy-then-flip relocation races
+// every reader and writer. Checked against the string-key oracle.
+
+// A unique, deterministic value of exactly `len` bytes (len 0 = empty).
+std::string VarFuzzValue(int tid, int i, int b, uint32_t len) {
+  if (len == 0) return std::string();
+  std::string v = "t" + std::to_string(tid) + "." + std::to_string(i) + "." +
+                  std::to_string(b) + ":";
+  v.resize(len, 'a' + static_cast<char>((tid + i + b) % 23));
+  return v;
+}
+
+sim::Task<void> VarFuzzWorker(ShermanSystem* sys, int tid, uint64_t seed,
+                              int n_ops, uint64_t space, bool delete_heavy,
+                              testutil::VarOracle* orc,
+                              std::map<std::string, std::string>* my_last,
+                              int* d) {
+  auto& client = sys->client(tid % sys->num_clients());
+  Random rng(seed);
+  const auto pick_key = [&rng, space]() -> std::string {
+    return WorkloadGenerator::StringKeyFor(1 + rng.Uniform(space), 16, 40);
+  };
+  // Redraw a length on every write: empty, inline, the exact threshold
+  // boundary, or out-of-line — successive updates to one key cross the
+  // inline threshold both ways.
+  const auto draw_len = [&rng]() -> uint32_t {
+    const uint64_t d2 = rng.Uniform(8);
+    if (d2 == 0) return 0;
+    if (d2 < 4) return 8 + static_cast<uint32_t>(rng.Uniform(56));   // inline
+    if (d2 == 4) return 64;                        // exactly at the threshold
+    return 65 + static_cast<uint32_t>(rng.Uniform(160));       // out-of-line
+  };
+  const auto record_write = [&](const std::string& key,
+                                const std::string& value) {
+    (*orc)[key].written_values.insert(value);
+    (*orc)[key].writers.insert(tid);
+    (*my_last)[key] = value;
+  };
+  const auto exempt = [&](const std::string& key) {
+    (*orc)[key].deleted = true;
+    my_last->erase(key);
+  };
+
+  const uint64_t d_ins = delete_heavy ? 2 : 3;
+  const uint64_t d_mins = delete_heavy ? 3 : 5;
+  const uint64_t d_look = delete_heavy ? 4 : 8;
+  const uint64_t d_mget = delete_heavy ? 5 : 9;
+  const uint64_t d_del = 10;  // churn mix gets 5 delete slots, plain gets 1
+  for (int i = 0; i < n_ops; i++) {
+    const uint64_t dice = rng.Uniform(13);
+    if (dice < d_ins) {  // singleton insert/update
+      const std::string key = pick_key();
+      const std::string value = VarFuzzValue(tid, i, 0, draw_len());
+      record_write(key, value);
+      Status st = co_await client.InsertVar(Slice(key), Slice(value));
+      if (st.IsOutOfMemory()) {
+        exempt(key);
+        continue;
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    } else if (dice < d_mins) {  // batched MultiInsertVar
+      std::vector<std::pair<std::string, std::string>> kvs;
+      const int batch = 2 + static_cast<int>(rng.Uniform(4));
+      for (int b = 0; b < batch; b++) {
+        const std::string k = pick_key();
+        const std::string value = VarFuzzValue(tid, i, 1 + b, draw_len());
+        record_write(k, value);
+        kvs.emplace_back(k, value);
+      }
+      std::vector<std::pair<std::string, std::string>> issued = kvs;
+      Status st = co_await client.MultiInsertVar(std::move(issued));
+      if (st.IsOutOfMemory()) {
+        for (const auto& [k, v] : kvs) exempt(k);
+        continue;
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    } else if (dice < d_look) {  // singleton lookup
+      const std::string key = pick_key();
+      std::string v;
+      Status st = co_await client.LookupVar(Slice(key), &v);
+      testutil::CheckVarRead(*orc, key, st, v);
+    } else if (dice < d_mget) {  // batched MultiGetVar
+      std::vector<std::string> keys;
+      const int batch = 2 + static_cast<int>(rng.Uniform(6));
+      for (int b = 0; b < batch; b++) keys.push_back(pick_key());
+      std::vector<VarGetResult> got;
+      Status st = co_await client.MultiGetVar(keys, &got);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_EQ(got.size(), keys.size());
+      for (size_t b = 0; b < got.size() && b < keys.size(); b++) {
+        testutil::CheckVarRead(*orc, keys[b], got[b].status, got[b].value);
+      }
+    } else if (dice < d_del) {  // delete (unconditional mark: see FuzzWorker)
+      const std::string key = pick_key();
+      (*orc)[key].deleted = true;
+      my_last->erase(key);
+      Status st = co_await client.DeleteVar(Slice(key));
+      EXPECT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    } else if (dice < 12) {  // ordered scan
+      const std::string from = pick_key();
+      std::vector<std::pair<std::string, std::string>> out;
+      Status st = co_await client.ScanVar(
+          Slice(from), 1 + static_cast<uint32_t>(rng.Uniform(30)), &out);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      for (size_t j = 1; j < out.size(); j++) {
+        EXPECT_LT(out[j - 1].first, out[j].first) << "unsorted scan";
+      }
+      for (const auto& [k2, v2] : out) {
+        testutil::CheckVarRead(*orc, k2, Status::OK(), v2);
+      }
+    } else {  // concurrent segment GC: copy-then-flip races every other op
+      Status st = co_await client.VlogGcOnce();
+      // Tiny fabrics can run out of chunks mid-relocation; the pass aborts
+      // cleanly (victim stays claimed) and that's fine.
+      EXPECT_TRUE(st.ok() || st.IsOutOfMemory()) << st.ToString();
+    }
+  }
+  (*d)++;
+}
+
+TEST(VarFuzzTest, StringKeysVariableValuesAgainstOracle) {
+  const bool long_fuzz = std::getenv("SHERMAN_LONG_FUZZ") != nullptr;
+  const uint64_t seeds = long_fuzz ? 16 : 6;
+  for (uint64_t seed = 1; seed <= seeds; seed++) {
+    Random meta_rng(9000 + seed);
+    const bool delete_heavy = (seed % 2 == 0);
+
+    TreeOptions topt = ShermanOptions();
+    topt.two_level_versions = false;  // varlen requires sorted leaves
+    topt.shape.varlen = true;
+    const uint32_t node_sizes[] = {512, 1024};
+    topt.shape.node_size = node_sizes[meta_rng.Uniform(2)];
+    topt.cache_bytes = (64 << 10) << meta_rng.Uniform(3);
+    // Tiny segments (the 8 KB floor): constant sealing, rotation, and
+    // GC-victim pressure.
+    topt.vlog_segment_bytes = 8 << 10;
+
+    rdma::FabricConfig fcfg;
+    fcfg.num_memory_servers = 1 + static_cast<int>(meta_rng.Uniform(3));
+    fcfg.num_compute_servers = 1 + static_cast<int>(meta_rng.Uniform(3));
+    fcfg.ms_memory_bytes = 32ull << 20;
+
+    ShermanSystem system(fcfg, topt);
+    const uint64_t loaded = 100 + meta_rng.Uniform(700);
+    std::vector<std::pair<std::string, std::string>> load;
+    for (uint64_t r = 1; r <= loaded; r++) {
+      const std::string k = WorkloadGenerator::StringKeyFor(r, 16, 40);
+      load.emplace_back(k, "load:" + k);  // inline-sized, unique per key
+    }
+    std::sort(load.begin(), load.end());
+    load.erase(std::unique(load.begin(), load.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               load.end());
+    system.BulkLoadVar(load, 0.7 + meta_rng.NextDouble() * 0.3);
+
+    testutil::VarOracle oracle;
+    testutil::SeedVarOracle(&oracle, load);
+    std::map<std::string, std::string> last_value_by_thread[16];
+
+    const int threads = 2 + static_cast<int>(meta_rng.Uniform(8));
+    const int ops_per_thread =
+        (80 + static_cast<int>(meta_rng.Uniform(140))) * (long_fuzz ? 4 : 1);
+    const uint64_t key_space = 2 * loaded + 100;
+
+    int done = 0;
+    for (int t = 0; t < threads; t++) {
+      sim::Spawn(VarFuzzWorker(&system, t, seed * 211 + t, ops_per_thread,
+                               key_space, delete_heavy, &oracle,
+                               &last_value_by_thread[t], &done));
+    }
+    system.simulator().Run();
+    ASSERT_EQ(done, threads) << "seed " << seed;
+
+    testutil::CheckVarOracleAtQuiescence(&system, oracle,
+                                         last_value_by_thread, threads);
+
+    // GC to a fixpoint at quiescence: relocation (copy fresh extent, flip
+    // the leaf pointer, retire the old extent) must not change one byte of
+    // tree content.
+    const auto before = system.DebugScanLeavesVar();
+    bool gc_done = false;
+    sim::Spawn([](ShermanSystem* sys, bool* flag) -> sim::Task<void> {
+      for (int pass = 0; pass < 8; pass++) {
+        uint64_t moved = 0;
+        for (int cs = 0; cs < sys->num_clients(); cs++) {
+          uint64_t m = 0;
+          Status st = co_await sys->client(cs).VlogGcOnce(&m);
+          EXPECT_TRUE(st.ok() || st.IsOutOfMemory()) << st.ToString();
+          moved += m;
+        }
+        if (moved == 0) break;
+      }
+      *flag = true;
+    }(&system, &gc_done));
+    system.simulator().Run();
+    ASSERT_TRUE(gc_done) << "seed " << seed;
+    EXPECT_EQ(before, system.DebugScanLeavesVar())
+        << "seed " << seed << ": GC changed tree content";
+    system.DebugCheckInvariants();
   }
 }
 

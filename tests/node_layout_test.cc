@@ -378,5 +378,205 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.key_size);
     });
 
+// --- varlen slotted leaves ---
+
+TreeShape VarShape(uint32_t node_size = 1024) {
+  TreeShape s{node_size, 8, 8};
+  s.varlen = true;
+  return s;
+}
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+bool VarInsertInline(NodeView* v, const std::string& key,
+                     const std::string& value) {
+  return v->VarInsert(key, Bytes(value),
+                      static_cast<uint32_t>(value.size()),
+                      static_cast<uint16_t>(value.size()),
+                      /*outline=*/false);
+}
+
+TEST(RoutingKeyTest, LexMonotoneOverByteKeys) {
+  const std::string keys[] = {"a", "ab", "abc", "abd", "b",
+                              "longer-than-8-bytes-1",
+                              "longer-than-8-bytes-2", "zzzzzzzzz"};
+  for (size_t i = 0; i + 1 < std::size(keys); i++) {
+    EXPECT_LE(RoutingKeyFor(keys[i]), RoutingKeyFor(keys[i + 1]))
+        << keys[i] << " vs " << keys[i + 1];
+  }
+  // Keys sharing their first 8 bytes share a routing key.
+  EXPECT_EQ(RoutingKeyFor("longer-than-8-bytes-1"),
+            RoutingKeyFor("longer-than-8-bytes-2"));
+  EXPECT_NE(RoutingKeyFor("abc"), RoutingKeyFor("abd"));
+}
+
+TEST(VarLeafTest, InsertFindRemoveRoundTrip) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  ASSERT_TRUE(VarInsertInline(&v, "bravo", "BB"));
+  ASSERT_TRUE(VarInsertInline(&v, "alpha", "A"));
+  ASSERT_TRUE(VarInsertInline(&v, "charlie", "CCC"));
+  EXPECT_EQ(v.count(), 3u);
+  // Slots sort by full key.
+  EXPECT_EQ(v.VarFullKey(0), "alpha");
+  EXPECT_EQ(v.VarFullKey(1), "bravo");
+  EXPECT_EQ(v.VarFullKey(2), "charlie");
+  const uint32_t i = v.VarFind("bravo");
+  ASSERT_NE(i, UINT32_MAX);
+  EXPECT_EQ(v.VarInlineValue(i).ToString(), "BB");
+  EXPECT_EQ(v.VarFind("delta"), UINT32_MAX);
+  // Update in place (shorter value): same slot count, new bytes.
+  ASSERT_TRUE(VarInsertInline(&v, "bravo", "x"));
+  EXPECT_EQ(v.count(), 3u);
+  EXPECT_EQ(v.VarInlineValue(v.VarFind("bravo")).ToString(), "x");
+  v.VarRemoveAt(v.VarFind("bravo"));
+  EXPECT_EQ(v.count(), 2u);
+  EXPECT_EQ(v.VarFind("bravo"), UINT32_MAX);
+  EXPECT_GT(v.dead_bytes(), 0u);
+  v.VarCompact();
+  EXPECT_EQ(v.dead_bytes(), 0u);
+  EXPECT_EQ(v.VarFullKey(0), "alpha");
+  EXPECT_EQ(v.VarInlineValue(v.VarFind("charlie")).ToString(), "CCC");
+}
+
+TEST(VarLeafTest, ZeroLengthValueRoundTrips) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  ASSERT_TRUE(VarInsertInline(&v, "empty-value-key", ""));
+  const uint32_t i = v.VarFind("empty-value-key");
+  ASSERT_NE(i, UINT32_MAX);
+  EXPECT_EQ(v.VarVlen(i), 0u);
+  EXPECT_FALSE(v.VarOutline(i));
+  EXPECT_EQ(v.VarInlineValue(i).size(), 0u);
+  // A zero-length value next to a real one: neither bleeds into the other.
+  ASSERT_TRUE(VarInsertInline(&v, "empty-value-kez", "neighbor"));
+  EXPECT_EQ(v.VarInlineValue(v.VarFind("empty-value-key")).size(), 0u);
+  EXPECT_EQ(v.VarInlineValue(v.VarFind("empty-value-kez")).ToString(),
+            "neighbor");
+}
+
+TEST(VarLeafTest, MaxKeyLengthRoundTrips) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  std::string k(s.max_key_len, 'k');
+  k[0] = 'a';  // keep the routing key off the sentinels
+  ASSERT_TRUE(VarInsertInline(&v, k, "v"));
+  const uint32_t i = v.VarFind(k);
+  ASSERT_NE(i, UINT32_MAX);
+  EXPECT_EQ(v.VarFullKey(i), k);
+  EXPECT_EQ(v.VarInlineValue(i).ToString(), "v");
+}
+
+TEST(VarLeafTest, HeapExhaustsBeforeSlotCapacity) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  // 200-byte inline values: the byte budget (< node_size) admits only a
+  // handful of entries even though the slot array alone could hold dozens.
+  const std::string big(200, 'v');
+  uint32_t n = 0;
+  while (VarInsertInline(&v, "key-" + std::to_string(n), big)) n++;
+  EXPECT_GE(n, 2u);
+  EXPECT_LT(n, 6u) << "byte budget should bound far below slot capacity";
+  // The failed insert must leave the page intact.
+  EXPECT_EQ(v.count(), n);
+  for (uint32_t i = 0; i < n; i++) {
+    EXPECT_EQ(v.VarInlineValue(i).size(), big.size());
+  }
+  // A small entry still fits (the reject was about the BIG payload).
+  EXPECT_TRUE(VarInsertInline(&v, "tiny", "t"));
+}
+
+TEST(VarLeafTest, TornReadDetectableAcrossVariableRegion) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  ASSERT_TRUE(VarInsertInline(&v, "shared/prefix/aaa", "111"));
+  ASSERT_TRUE(VarInsertInline(&v, "shared/prefix/bbb", "222"));
+  v.UpdateChecksum();
+  ASSERT_TRUE(v.VerifyChecksum());
+  // Flip one heap byte (the variable region grows down from the tail):
+  // the whole-node checksum must catch it.
+  buf[v.heap_watermark() + 1] ^= 0xff;
+  EXPECT_FALSE(v.VerifyChecksum());
+  buf[v.heap_watermark() + 1] ^= 0xff;
+  EXPECT_TRUE(v.VerifyChecksum());
+  // A torn whole-node write (front version bumped, rear stale) is caught
+  // by the node version pair, exactly as in fixed sorted mode.
+  buf[kOffFnv] = (v.front_version() + 1) & 0xf;
+  EXPECT_FALSE(v.NodeVersionsMatch());
+}
+
+TEST(VarLeafTest, PrefixShrinksWhenDivergentKeyArrives) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  std::vector<VarEntry> entries;
+  for (const char* k : {"app/metrics/cpu", "app/metrics/mem"}) {
+    VarEntry e;
+    e.key = k;
+    e.payload = {'v'};
+    e.vlen = 1;
+    entries.push_back(e);
+  }
+  ASSERT_TRUE(BuildVarLeaf(&v, entries));
+  EXPECT_GT(v.prefix_len(), 0u);  // "app/metrics/" shared
+  // Diverging key: the page prefix must shrink and old keys survive.
+  ASSERT_TRUE(VarInsertInline(&v, "app/logs/x", "L"));
+  EXPECT_EQ(v.VarFullKey(v.VarFind("app/metrics/cpu")), "app/metrics/cpu");
+  EXPECT_EQ(v.VarInlineValue(v.VarFind("app/logs/x")).ToString(), "L");
+  EXPECT_LE(v.prefix_len(), 4u);
+}
+
+TEST(VarLeafTest, OutlinePointerRoundTrip) {
+  const TreeShape s = VarShape();
+  auto buf = Buf(s);
+  NodeView v(buf.data(), &s);
+  v.InitLeaf(0, kMaxKey, rdma::kNullAddress);
+  const uint64_t ptr = 0xabcdef0123456789ull;
+  uint8_t payload[8];
+  std::memcpy(payload, &ptr, 8);
+  ASSERT_TRUE(v.VarInsert("outlined", payload, 8, /*vlen=*/4096,
+                          /*outline=*/true));
+  const uint32_t i = v.VarFind("outlined");
+  ASSERT_NE(i, UINT32_MAX);
+  EXPECT_TRUE(v.VarOutline(i));
+  EXPECT_EQ(v.VarVlen(i), 4096u);
+  EXPECT_EQ(v.VarVlogPtr(i), ptr);
+  v.VarSetVlogPtr(i, ptr + 1);  // GC repoint: in place, no heap motion
+  EXPECT_EQ(v.VarVlogPtr(i), ptr + 1);
+  EXPECT_EQ(v.VarEntryBytes(i), 8u + 8u);  // suffix + pointer, not vlen
+}
+
+TEST(VarLeafTest, BuildExtractMoveRoundTrip) {
+  const TreeShape s = VarShape();
+  auto lbuf = Buf(s), rbuf = Buf(s);
+  NodeView left(lbuf.data(), &s), right(rbuf.data(), &s);
+  left.InitLeaf(0, 1000, rdma::kNullAddress);
+  right.InitLeaf(1000, kMaxKey, rdma::kNullAddress);
+  ASSERT_TRUE(VarInsertInline(&left, "m-aaa", "1"));
+  ASSERT_TRUE(VarInsertInline(&left, "m-bbb", "2"));
+  ASSERT_TRUE(VarInsertInline(&right, "m-ccc", "3"));
+  const auto before = ExtractVarEntries(left);
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before[0].key, "m-aaa");
+  ASSERT_TRUE(VarLeafFits(left, right));
+  MoveVarLeafEntries(&left, right);
+  EXPECT_EQ(left.count(), 3u);
+  EXPECT_EQ(left.VarFullKey(2), "m-ccc");
+  EXPECT_EQ(left.VarInlineValue(left.VarFind("m-ccc")).ToString(), "3");
+}
+
 }  // namespace
 }  // namespace sherman

@@ -134,6 +134,73 @@ inline void CheckOracleAtQuiescence(
   }
 }
 
+// ---------------------------------------------------------------------------
+// Variable-length edition: full byte-string keys, byte-string values. The
+// rules are the same as the fixed oracle's; only the key/value domain
+// changes. Values routinely cross the inline threshold between updates, so
+// a torn read here would surface either a stale inline image or a stale
+// vlog extent — both fail the written-values membership check.
+
+struct VarKeyOracle {
+  std::set<std::string> written_values;
+  std::set<int> writers;  // -1 marks the bulkload
+  bool deleted = false;   // any delete (or oracle exemption) ever issued
+};
+using VarOracle = std::map<std::string, VarKeyOracle>;
+
+inline void SeedVarOracle(
+    VarOracle* oracle,
+    const std::vector<std::pair<std::string, std::string>>& kvs) {
+  for (const auto& [k, v] : kvs) {
+    (*oracle)[k].written_values.insert(v);
+    (*oracle)[k].writers.insert(-1);
+  }
+}
+
+inline void CheckVarRead(const VarOracle& oracle, const std::string& key,
+                         const Status& st, const std::string& v) {
+  auto it = oracle.find(key);
+  if (st.ok()) {
+    EXPECT_NE(it, oracle.end()) << "phantom key " << key;
+    if (it != oracle.end()) {
+      EXPECT_TRUE(it->second.written_values.count(v))
+          << "torn value (" << v.size() << "B) for key " << key;
+    }
+  } else {
+    EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  }
+}
+
+// Quiescent check of a varlen tree against the oracle, via the full
+// string scan (which resolves every out-of-line value through the vlog).
+inline void CheckVarOracleAtQuiescence(
+    ShermanSystem* system, const VarOracle& oracle,
+    const std::map<std::string, std::string> last_by_thread[], int threads) {
+  system->DebugCheckInvariants();
+  const auto scan = system->DebugScanLeavesVar();
+  std::map<std::string, std::string> final_map(scan.begin(), scan.end());
+  EXPECT_EQ(final_map.size(), scan.size()) << "duplicate keys in scan";
+  for (const auto& [k, v] : final_map) {
+    auto it = oracle.find(k);
+    ASSERT_NE(it, oracle.end()) << "scan surfaced unwritten key " << k;
+    EXPECT_TRUE(it->second.written_values.count(v))
+        << "final value (" << v.size() << "B) for key " << k
+        << " was never written";
+  }
+  for (int t = 0; t < threads; t++) {
+    for (const auto& [k, v] : last_by_thread[t]) {
+      const VarKeyOracle& o = oracle.at(k);
+      if (o.deleted) continue;
+      std::set<int> real_writers = o.writers;
+      real_writers.erase(-1);  // bulkload
+      if (real_writers.size() != 1) continue;
+      auto it = final_map.find(k);
+      ASSERT_NE(it, final_map.end()) << "lost key " << k;
+      EXPECT_EQ(it->second, v) << "lost update on key " << k;
+    }
+  }
+}
+
 }  // namespace sherman::testutil
 
 #endif  // SHERMAN_TESTS_TEST_ORACLE_H_

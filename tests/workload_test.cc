@@ -154,6 +154,92 @@ TEST(WorkloadTest, ParseMixOptionsOverload) {
   EXPECT_DOUBLE_EQ(untouched.mix.insert, before);
 }
 
+TEST(WorkloadTest, YcsbStringPreset) {
+  // The mix-only overload must reject the preset (it cannot enable
+  // string_keys); the options overload enables it with the defaults.
+  WorkloadMix m;
+  EXPECT_FALSE(ParseMix("ycsb-string", &m));
+  WorkloadOptions o;
+  ASSERT_TRUE(ParseMix("ycsb-string", &o));
+  EXPECT_TRUE(o.string_keys);
+  EXPECT_DOUBLE_EQ(o.mix.insert, 0.5);
+  EXPECT_EQ(o.string_key_min, 16u);
+  EXPECT_EQ(o.string_key_max, 40u);
+  EXPECT_EQ(o.string_value_min, 16u);
+  EXPECT_EQ(o.string_value_max, 4096u);
+}
+
+TEST(WorkloadTest, StringKeysDeterministicAndBounded) {
+  WorkloadOptions o = Opt(WorkloadMix::WriteIntensive());
+  ASSERT_TRUE(ParseMix("ycsb-string", &o));
+  o.loaded_keys = 10'000;
+  WorkloadGenerator gen(o, 11);
+  for (int i = 0; i < 10'000; i++) {
+    const Op op = gen.Next();
+    // Every op carries a string key derived ONLY from the u64 key, so
+    // updates/deletes hit the record the insert wrote.
+    EXPECT_EQ(op.skey, WorkloadGenerator::StringKeyFor(
+                           op.key, o.string_key_min, o.string_key_max));
+    EXPECT_GE(op.skey.size(), o.string_key_min);
+    EXPECT_LE(op.skey.size(), o.string_key_max);
+    if (op.type == OpType::kInsert) {
+      EXPECT_GE(op.svalue.size(), o.string_value_min);
+      EXPECT_LE(op.svalue.size(), o.string_value_max);
+    } else {
+      EXPECT_TRUE(op.svalue.empty());
+    }
+  }
+}
+
+TEST(WorkloadTest, StringKeyMappingIsInjectiveOverLoadedKeys) {
+  std::set<std::string> seen;
+  for (uint64_t rank = 0; rank < 50'000; rank++) {
+    const uint64_t key = WorkloadGenerator::LoadedKeyFor(rank);
+    EXPECT_TRUE(seen.insert(WorkloadGenerator::StringKeyFor(key, 16, 40))
+                    .second)
+        << "string-key collision at rank " << rank;
+  }
+}
+
+TEST(WorkloadTest, StringValueLengthsCrossTheInlineThreshold) {
+  // The geometric value ladder must emit both inline (<= 64B, the
+  // default vlog threshold) and out-of-line (> 64B) values.
+  WorkloadOptions o = Opt(WorkloadMix::WriteOnly());
+  ASSERT_TRUE(ParseMix("ycsb-string", &o));
+  o.mix = WorkloadMix::WriteOnly();
+  WorkloadGenerator gen(o, 12);
+  int inline_n = 0, outline_n = 0;
+  for (int i = 0; i < 2'000; i++) {
+    const Op op = gen.Next();
+    ASSERT_EQ(op.type, OpType::kInsert);
+    (op.svalue.size() <= 64 ? inline_n : outline_n)++;
+  }
+  EXPECT_GT(inline_n, 100);
+  EXPECT_GT(outline_n, 100);
+}
+
+TEST(WorkloadTest, StringChurnReusesDeleteKeys) {
+  // Churn + string keys: the delete of a churned key must carry the SAME
+  // string key its insert used (FIFO expiry by byte key).
+  WorkloadOptions o = Opt(WorkloadMix::WriteOnly());
+  ASSERT_TRUE(ParseMix("ycsb-string", &o));
+  o.churn_window = 16;
+  WorkloadGenerator gen(o, 13);
+  std::map<uint64_t, std::string> inserted;
+  for (int i = 0; i < 1'000; i++) {
+    const Op op = gen.Next();
+    EXPECT_FALSE(op.skey.empty());
+    if (op.type == OpType::kInsert) {
+      inserted[op.key] = op.skey;
+    } else {
+      ASSERT_EQ(op.type, OpType::kDelete);
+      auto it = inserted.find(op.key);
+      ASSERT_NE(it, inserted.end());
+      EXPECT_EQ(op.skey, it->second);
+    }
+  }
+}
+
 TEST(WorkloadTest, HotspotDriftRotatesTheHotSet) {
   WorkloadOptions opt = Opt(WorkloadMix::WriteIntensive());
   opt.loaded_keys = 10'000;
