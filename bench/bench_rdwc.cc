@@ -18,14 +18,21 @@
 // >= 1.05x under --quick, whose tiny key count and short window leave the
 // ratio noisy).
 //
+// A fourth segment re-runs the hotspot shape through the STRING API on a
+// varlen tree (slotted leaves) with delegation + combining on: varlen
+// windows pin the full byte key, and the gate asserts combining actually
+// engages there (combined writes > 0) with zero failed ops.
+//
 // Flags (beyond bench/common.h): --shards=N --epoch-us=N --theta=F
 //   --hot-keys=N --hot-share=F --promote=N --window-max=N
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common.h"
 #include "core/hybrid_system.h"
+#include "util/random.h"
 
 using namespace sherman;
 using namespace sherman::bench;
@@ -37,6 +44,47 @@ struct Arm {
   bool delegation = false;
   bool combining = false;
 };
+
+struct VarCtx {
+  bool stop = false;
+  bool measuring = false;
+  uint64_t ops = 0;
+  uint64_t failed = 0;
+};
+
+// 7-digit decimal keys: every rank gets a DISTINCT routing key (first 8
+// bytes), so each hot key promotes its own delegation entry and windows
+// collect same-full-key followers instead of mismatch-bypassing.
+std::string VarKeyFor(uint64_t rank) {
+  char kb[16];
+  std::snprintf(kb, sizeof(kb), "k%07llu",
+                static_cast<unsigned long long>(rank));
+  return std::string(kb);
+}
+
+sim::Task<void> VarHotLoop(route::HybridClient* c, uint64_t seed,
+                           uint64_t keys, uint64_t hot, double hot_share,
+                           VarCtx* ctx) {
+  Random rng(seed);
+  uint64_t i = 0;
+  while (!ctx->stop) {
+    const uint64_t rank = rng.NextDouble() < hot_share
+                              ? rng.Uniform(hot)
+                              : rng.Uniform(keys);
+    const std::string key = VarKeyFor(rank);
+    Status st;
+    if (rng.Uniform(2) == 0) {
+      const std::string v = "w" + std::to_string(i++);
+      st = co_await c->InsertVar(Slice(key), Slice(v));
+    } else {
+      std::string v;
+      st = co_await c->LookupVar(Slice(key), &v);
+      if (st.IsNotFound()) st = Status::OK();  // cold key not yet written
+    }
+    if (!st.ok()) ctx->failed++;
+    if (ctx->measuring) ctx->ops++;
+  }
+}
 
 }  // namespace
 
@@ -118,15 +166,88 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // --- varlen hot-key segment: string API, delegation + combining on ---
+  uint64_t var_failed = 0;
+  double var_mops = 0;
+  combine::RdwcStats var_stats;
+  {
+    HybridOptions opts;
+    opts.tree = ShermanOptions();
+    opts.tree.cache_bytes = env.cache_bytes;
+    opts.tree.two_level_versions = false;  // varlen requires sorted leaves
+    opts.tree.shape.varlen = true;
+    opts.router.policy = route::RouterOptions::Policy::kAdaptive;
+    opts.router.num_shards = num_shards;
+    opts.router.epoch_ns = epoch_ns;
+    opts.rdwc.enable_delegation = true;
+    opts.rdwc.enable_combining = true;
+    opts.rdwc.promote_threshold = promote;
+    opts.rdwc.window_max_ops = window_max;
+
+    HybridSystem system(env.FabricCfg(), opts);
+    // String kvs are heavier to stage than u64 pairs; cap the loaded set.
+    const uint64_t vkeys = std::min<uint64_t>(env.keys, 200'000);
+    std::vector<std::pair<std::string, std::string>> kvs;
+    kvs.reserve(vkeys);
+    for (uint64_t i = 0; i < vkeys; i++) {
+      kvs.emplace_back(VarKeyFor(i), "val" + std::to_string(i));
+    }
+    system.BulkLoadVar(kvs, 0.8);
+
+    VarCtx ctx;
+    for (int cs = 0; cs < system.num_clients(); cs++) {
+      for (int t = 0; t < env.threads_per_cs; t++) {
+        sim::Spawn(VarHotLoop(&system.client(cs), ClientSeed(env.seed, cs, t),
+                              vkeys, hot_keys, hot_share, &ctx));
+      }
+    }
+    sim::Simulator& sim = system.simulator();
+    const sim::SimTime t0 = sim.now();
+    sim.At(t0 + env.warmup_ns, [&ctx] { ctx.measuring = true; });
+    sim.At(t0 + env.warmup_ns + env.measure_ns, [&ctx] { ctx.stop = true; });
+    sim.Run();
+
+    var_failed = ctx.failed;
+    var_mops = static_cast<double>(ctx.ops) * 1000.0 /
+               static_cast<double>(env.measure_ns);
+    var_stats = system.rdwc()->stats();
+    system.sherman().DebugCheckInvariants();
+  }
+  std::printf(
+      "\nvarlen hot-key segment: %.2f Mops, %llu failed, windows %llu, "
+      "followers %llu, puts-combined %llu, combined-wr %llu, "
+      "key-mismatch %llu\n",
+      var_mops, static_cast<unsigned long long>(var_failed),
+      static_cast<unsigned long long>(var_stats.windows_opened),
+      static_cast<unsigned long long>(var_stats.followers_queued),
+      static_cast<unsigned long long>(var_stats.puts_combined),
+      static_cast<unsigned long long>(var_stats.combined_writes),
+      static_cast<unsigned long long>(var_stats.var_key_mismatch));
+  telemetry.Metric("varlen_mops", var_mops);
+  telemetry.CounterMetric("varlen_failed_ops", var_failed);
+  telemetry.CounterMetric("varlen_windows_opened", var_stats.windows_opened);
+  telemetry.CounterMetric("varlen_combined_writes", var_stats.combined_writes);
+  telemetry.CounterMetric("varlen_key_mismatch", var_stats.var_key_mismatch);
+
   const double speedup =
       adaptive_mops > 0 ? combining_mops / adaptive_mops : 0;
   const double bar = env.quick ? 1.05 : 1.5;
   std::printf("\ncombining speedup over adaptive-only: %.2fx (gate >= %.2fx)\n",
               speedup, bar);
   telemetry.Gate("combining_speedup", speedup >= bar, speedup);
+  const bool var_ok = var_stats.combined_writes > 0 && var_failed == 0;
+  telemetry.Gate("varlen_combining_engaged", var_ok,
+                 static_cast<double>(var_stats.combined_writes));
   if (speedup < bar) {
     std::printf("FAIL: combining speedup %.2fx below the %.2fx gate\n",
                 speedup, bar);
+    return 1;
+  }
+  if (!var_ok) {
+    std::printf("FAIL: varlen combining gate (combined writes %llu, "
+                "failed ops %llu)\n",
+                static_cast<unsigned long long>(var_stats.combined_writes),
+                static_cast<unsigned long long>(var_failed));
     return 1;
   }
   return 0;

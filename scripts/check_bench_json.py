@@ -7,7 +7,10 @@ Exits non-zero (listing every violation) if any file fails.
 
 --dir validates every BENCH_*.json in DIR and additionally requires the
 FULL reference set (one artifact per bench binary) to be present, so a
-bench that silently stopped emitting telemetry fails the check.
+bench that silently stopped emitting telemetry fails the check. It also
+fails on any stray BENCH_*.json OUTSIDE DIR (in DIR's parent tree, up to
+two levels): DIR is the single canonical home for bench artifacts, and a
+stray copy at e.g. the repo root silently goes stale.
 
 Schema v1 (see src/bench/report.h):
   schema_version : int == 1
@@ -29,8 +32,8 @@ SCALAR = (str, int, float, bool)
 RUN_FIELDS = ("mops", "ops", "measured_ns", "p50_us", "p90_us", "p99_us")
 
 # The CI reference set: every smoke-run bench must leave its artifact.
-FULL_SET = ("churn", "elastic", "hybrid", "pipeline", "rdwc", "recover",
-            "varlen")
+FULL_SET = ("churn", "elastic", "hybrid", "lookup1rtt", "pipeline", "rdwc",
+            "recover", "varlen")
 
 
 def check(path):
@@ -149,6 +152,28 @@ def check(path):
     return errs
 
 
+def find_strays(canonical_dir):
+    """BENCH_*.json files outside the canonical dir (walked from its parent).
+
+    Hidden dirs and build trees are skipped: those hold transient local
+    artifacts (benches run from a build cwd write ./telemetry there), not
+    committed copies.
+    """
+    root = os.path.dirname(os.path.abspath(canonical_dir)) or "."
+    canon = os.path.abspath(canonical_dir)
+    strays = []
+    for cur, dirs, files in os.walk(root):
+        dirs[:] = [
+            x for x in dirs
+            if not x.startswith(".") and not x.startswith("build")
+            and os.path.join(cur, x) != canon
+        ]
+        for f in files:
+            if f.startswith("BENCH_") and f.endswith(".json"):
+                strays.append(os.path.join(cur, f))
+    return strays
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -167,6 +192,11 @@ def main(argv):
                 failures += 1
                 print(f"FAIL {expect}: missing from the reference set",
                       file=sys.stderr)
+        for stray in sorted(find_strays(d)):
+            failures += 1
+            print(f"FAIL {stray}: bench JSON outside the canonical "
+                  f"telemetry dir '{d}' (stale copy? move or delete it)",
+                  file=sys.stderr)
     for path in paths:
         errs = check(path)
         if errs:

@@ -48,8 +48,30 @@ inline constexpr uint64_t kRecoveryClaimOffset =
     kIntentSlabOffset + kIntentSlabBytes;
 inline constexpr uint64_t kRecoveryClaimBytes = 8 * kMaxIntentClients;
 
+// LEAF-HINT SIDECAR (per MS, host DRAM): a compact sorted table mapping
+// lo fence key -> (packed leaf address, fingerprint) for leaves homed on
+// this MS. Clients RDMA-READ the header + entry array into a local mirror
+// and serve cold point lookups with ONE fingerprint-validated leaf READ,
+// falling back to full B-tree traversal on miss/stale entries — hints are
+// purely advisory, never trusted for correctness (src/cache/leaf_hints.h).
+//   header (64 B): [0,8) generation, [8,16) live entry count
+//   entries:       kHintSlots x 24 B {lo key, packed addr, fingerprint}
+inline constexpr uint64_t kHintAreaOffset =
+    (kRecoveryClaimOffset + kRecoveryClaimBytes + 63) & ~uint64_t{63};
+inline constexpr uint64_t kHintHeaderBytes = 64;
+inline constexpr uint64_t kHintSlotBytes = 24;
+// Sized for the bench-scale tree: 4 M keys pack into ~90 K leaves spread
+// over the MS fleet, so 64 K slots per MS keeps the directory complete
+// (a client refresh only READs the live prefix, not the whole area).
+// Overflow is tolerated — entries drop (dropped_full) and lookups fall
+// back to traversal — but every dropped entry turns the mirror
+// predecessor left of it into a wrong hint, costing a wasted READ.
+inline constexpr uint32_t kHintSlots = 65536;
+inline constexpr uint64_t kHintAreaBytes =
+    kHintHeaderBytes + kHintSlotBytes * kHintSlots;  // 1.5 MB + 64 B
+
 inline constexpr uint64_t kChunkAreaOffset =
-    (kRecoveryClaimOffset + kRecoveryClaimBytes + 4095) & ~uint64_t{4095};
+    (kHintAreaOffset + kHintAreaBytes + 4095) & ~uint64_t{4095};
 
 // Chunk granularity of the two-stage allocator (§4.2.4).
 inline constexpr uint64_t kChunkSize = 8ull << 20;
@@ -93,6 +115,17 @@ inline constexpr uint64_t kRpcVlogRetire = 7;
 inline constexpr uint64_t kRpcVlogSeal = 8;
 inline constexpr uint64_t kRpcVlogVictim = 9;
 inline constexpr uint64_t kRpcVlogMask = 10;
+// Leaf-hint sidecar maintenance (src/cache/leaf_hints.h). Structural ops
+// publish a leaf's (lo fence, address) to the leaf's HOME MS and must
+// invalidate BEFORE the leaf's kRpcFreeNode lands (DMSan enforces the
+// ordering: a node may never be freed while a hint still maps to it).
+//  - Publish: arg = lo fence key, arg2 = packed leaf GlobalAddress.
+//    Returns 1 if stored, 0 if the table was full (entry dropped —
+//    advisory, so dropping is safe).
+//  - Invalidate: arg = packed leaf GlobalAddress. Removes every entry
+//    pointing at that address; returns the number removed. Idempotent.
+inline constexpr uint64_t kRpcHintPublish = 11;
+inline constexpr uint64_t kRpcHintInvalidate = 12;
 
 }  // namespace sherman
 

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/node_layout.h"
@@ -108,6 +109,9 @@ struct RdwcStats {
   uint64_t bypass_overflow = 0;  // window full, op went direct
   uint64_t reelections = 0;      // followers that took over a dead window
   uint64_t windows_abandoned = 0;
+  // Varlen: ops admitted on a hot ROUTING key whose full byte key differs
+  // from the open window's — sharing would be wrong, so they go direct.
+  uint64_t var_key_mismatch = 0;
 };
 
 struct RdwcEntry;
@@ -133,6 +137,17 @@ struct RdwcWindow {
 
   bool final_valid = false;      // value parked GETs serve
   uint64_t final_value = 0;
+
+  // Varlen windows (RunWindowVar): delegation is keyed on the ROUTING key
+  // (that is the contention unit — keys sharing it share a leaf), but
+  // results may only be shared between ops on the SAME full byte key, so
+  // the window pins it. The u64 value fields above are unused; these
+  // string twins carry the payloads.
+  bool varlen = false;
+  std::string var_key;          // full byte key the window serves
+  std::string var_read_value;   // read_valid guards this
+  std::string var_write_value;  // write_pending guards this
+  std::string var_final_value;  // final_valid guards this
 
   struct Parked {
     std::coroutine_handle<> h;
@@ -174,6 +189,15 @@ class RdwcLayer {
                               Key key, bool is_put, uint64_t put_value,
                               uint64_t* get_value, OpStats* stats);
 
+  // Varlen twin: one op on the hot routing key `rk` whose full byte key is
+  // `key`. Opens a varlen window or parks on one serving the same full
+  // key; a full-key mismatch (or a fixed/varlen kind mismatch) bypasses to
+  // the direct path. `get_value` is null for PUTs.
+  sim::Task<Status> RunWindowVar(route::HybridClient* client, RdwcEntry* e,
+                                 Key rk, const std::string& key, bool is_put,
+                                 const std::string& put_value,
+                                 std::string* get_value, OpStats* stats);
+
   // Test hook: is `key` currently promoted?
   bool IsHot(Key key) const;
   size_t open_windows() const { return live_.size(); }
@@ -197,6 +221,13 @@ class RdwcLayer {
   sim::Task<Status> Direct(route::HybridClient* client, Key key, bool is_put,
                            uint64_t put_value, uint64_t* get_value,
                            OpStats* stats);
+  sim::Task<Status> DelegateRunVar(route::HybridClient* client, RdwcWindow* w,
+                                   bool is_put, const std::string& put_value,
+                                   std::string* get_value, OpStats* stats);
+  sim::Task<Status> DirectVar(route::HybridClient* client,
+                              const std::string& key, bool is_put,
+                              const std::string& put_value,
+                              std::string* get_value, OpStats* stats);
   void Complete(RdwcWindow* w);
   void CloseWindow(RdwcWindow* w);
   void ArmTimer(uint64_t gen);

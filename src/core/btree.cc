@@ -320,7 +320,7 @@ sim::Task<StatusOr<rdma::GlobalAddress>> TreeClient::FindNodeAddr(
 }
 
 sim::Task<StatusOr<TreeClient::LeafRef>> TreeClient::FindLeafAddr(
-    Key key, OpStats* stats) {
+    Key key, OpStats* stats, bool allow_hint) {
   const rdma::FabricConfig& f = system_->fabric_.config();
   co_await system_->fabric_.simulator().Delay(f.cpu_cache_lookup_ns);
   if (opt().enable_cache) {
@@ -332,6 +332,13 @@ sim::Task<StatusOr<TreeClient::LeafRef>> TreeClient::FindLeafAddr(
     }
     if (stats != nullptr) stats->cache_misses++;
     SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr, "cache.miss");
+  }
+  if (opt().enable_leaf_hints && allow_hint) {
+    rdma::GlobalAddress hinted;
+    if (co_await HintLeafAddr(key, &hinted, stats)) {
+      SHERMAN_TINSTANT(stats != nullptr ? stats->trace : nullptr, "hint.hit");
+      co_return LeafRef{hinted, false, true};
+    }
   }
   SHERMAN_TEVENT(stats != nullptr ? stats->trace : nullptr, "tree.descend");
   StatusOr<rdma::GlobalAddress> r = co_await FindNodeAddr(key, 0, stats);
@@ -669,9 +676,12 @@ sim::Task<bool> TreeClient::TryMergeLeafLocked(const Locked& locked,
   co_await fault::Injector().AtSite(kCrashMergeSibling, cs_id_);
   if (stats != nullptr) stats->bytes_written += 3ull * node_size();
 
-  // 6. Park the leaf on its MS's grace list (recycled only after every
+  // 6. Drop any hint entry pointing at the doomed leaf BEFORE the free
+  // (same RPC lane, so the MS orders them; DMSan rule V6 enforces it),
+  // then park the leaf on its MS's grace list (recycled only after every
   // op pinned at or before this free has retired), clear the intent, and
   // only then release L's lane.
+  co_await HintInvalidate(locked.addr, stats);
   co_await system_->fabric_.qp(cs_id_, locked.addr.node)
       .Rpc(kRpcFreeNode, locked.addr.offset, node_size());
   if (stats != nullptr) stats->round_trips++;
@@ -702,7 +712,8 @@ sim::Task<Status> TreeClient::Insert(Key key, uint64_t value, OpStats* stats) {
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(key, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) co_return leaf_r.status();
 
     std::vector<uint8_t> buf(node_size());
@@ -710,6 +721,9 @@ sim::Task<Status> TreeClient::Insert(Key key, uint64_t value, OpStats* stats) {
         co_await LockAndRead(leaf_r->addr, key, buf.data(), stats);
     if (!locked_r.ok()) {
       if (locked_r.status().IsRetry()) {
+        // A hinted address that went dead-end must leave the mirror, or
+        // every subsequent restart re-serves it.
+        if (leaf_r->via_hint) NoteHintStale(key);
         // Repeated dead ends mean even a fresh resolution keeps steering
         // here — the classic case is a cached root that was still a leaf
         // (or since-merged node) when this client loaded it, which
@@ -893,6 +907,11 @@ sim::Task<Status> TreeClient::SplitLeafAndUnlock(Locked locked,
                                       stats);
   co_await fault::Injector().AtSite(kCrashSplitLinked, cs_id_);
   intents_.ClearAsync(intent_slot);
+  // Advertise the new sibling to the hint sidecar. Purely advisory and
+  // after the intent clears: a crash mid-publish leaves a fully committed
+  // split whose sibling is simply not hinted yet. The left leaf's entry
+  // stays valid (same address, same lo fence).
+  co_await HintPublish(sib_addr, split_key, stats);
   co_return st;
 }
 
@@ -1145,7 +1164,8 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
   std::vector<uint8_t> buf(node_size());
   rdma::GlobalAddress probe_addr;  // last tombstone this lookup bounced off
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(key, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) co_return leaf_r.status();
     rdma::GlobalAddress addr = leaf_r->addr;
 
@@ -1157,6 +1177,10 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
       NodeView view(buf.data(), &o.shape);
       if (view.is_free() || !view.is_leaf() || key < view.lo_fence()) {
         cache_.InvalidateLevel1Covering(key);
+        // A hinted leaf that was merged, migrated, or recycled into a
+        // different role: drop the mirror entry and fall back to a full
+        // traversal — the hint is never trusted past validation.
+        if (leaf_r->via_hint && chase == 0) NoteHintStale(key);
         if (view.is_free()) probe_addr = addr;
         if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         restart = true;
@@ -1164,6 +1188,9 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
       }
       if (key >= view.hi_fence()) {
         cache_.InvalidateLevel1Covering(key);
+        // Valid hinted leaf, but the key split off to its right since the
+        // mirror was fetched; the B-link chase below still serves it.
+        if (leaf_r->via_hint && chase == 0) NoteHintChase();
         if (view.sibling().is_null()) {
           restart = true;
           break;
@@ -1197,7 +1224,13 @@ sim::Task<Status> TreeClient::Lookup(Key key, uint64_t* value,
     // the key (heavy split/merge churn since it was cached). The chase
     // already invalidated it, so a restart resolves freshly — failing the
     // op here would surface a spurious error for a live key.
-    if (!restart && attempt >= 2) root_known_ = false;
+    if (!restart) {
+      // A hinted start that needed > kMaxSiblingChase hops was not the
+      // key's leaf at all (mirror predecessor across a hint-table hole):
+      // drop the entry so later ops stop re-serving it.
+      if (leaf_r->via_hint) NoteHintStale(key);
+      if (attempt >= 2) root_known_ = false;
+    }
     // Repeated bounces off the same tombstone mean the structural op that
     // planted it may have died with its client; probe its lock so a dead
     // holder's lease expiry is noticed and recovered (see
@@ -1220,7 +1253,8 @@ sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
   co_await system_->fabric_.simulator().Delay(f.cpu_op_overhead_ns);
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(key, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(key, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) co_return leaf_r.status();
 
     std::vector<uint8_t> buf(node_size());
@@ -1228,6 +1262,7 @@ sim::Task<Status> TreeClient::Delete(Key key, OpStats* stats) {
         co_await LockAndRead(leaf_r->addr, key, buf.data(), stats);
     if (!locked_r.ok()) {
       if (locked_r.status().IsRetry()) {
+        if (leaf_r->via_hint) NoteHintStale(key);  // see Insert
         if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         continue;
       }
@@ -1524,7 +1559,8 @@ sim::Task<Status> TreeClient::RangeQuery(
       }
     }
     if (leaves.empty()) {
-      StatusOr<LeafRef> r = co_await FindLeafAddr(cursor, stats);
+      StatusOr<LeafRef> r =
+          co_await FindLeafAddr(cursor, stats, /*allow_hint=*/attempt == 0);
       if (!r.ok()) co_return r.status();
       leaves.push_back(r->addr);
     }
@@ -1962,6 +1998,12 @@ ShermanSystem::ShermanSystem(rdma::FabricConfig fabric_config,
   }
   for (int i = 0; i < fabric_.num_memory_servers(); i++) {
     chunks_.push_back(std::make_unique<ChunkManager>(&fabric_.ms(i), &reclaim_));
+    if (options_.enable_leaf_hints) {
+      // After the ChunkManager: the directory chains its RPC handler in
+      // front of the manager's (which aborts on unknown opcodes).
+      hints_.push_back(std::make_unique<LeafHintDirectory>(&fabric_.ms(i),
+                                                           dmsan_.get()));
+    }
   }
   for (int i = 0; i < fabric_.num_compute_servers(); i++) {
     clients_.push_back(std::make_unique<TreeClient>(this, i));
@@ -2118,6 +2160,39 @@ void ShermanSystem::RegisterCollectors() {
       s->SetGauge("vlog.live_segments", static_cast<double>(live));
     });
   }
+
+  // hint.*: leaf-hint sidecar — MS-side directory churn + client-side
+  // mirror outcomes (consult/serve/stale/chase/refresh).
+  if (options_.enable_leaf_hints) {
+    registry_.AddCollector([this](obs::MetricsSnapshot* s) {
+      uint64_t live = 0;
+      for (const auto& dir : hints_) {
+        live += dir->live_entries();
+        s->AddCounter("hint.published", dir->published());
+        s->AddCounter("hint.invalidated", dir->invalidated());
+        s->AddCounter("hint.dropped_full", dir->dropped_full());
+      }
+      s->SetGauge("hint.live_entries", static_cast<double>(live));
+      TreeClient::HintStats total;
+      for (const auto& client : clients_) {
+        const TreeClient::HintStats& h = client->hint_stats();
+        total.consults += h.consults;
+        total.served += h.served;
+        total.stale += h.stale;
+        total.chases += h.chases;
+        total.refreshes += h.refreshes;
+        total.publishes += h.publishes;
+        total.invalidates += h.invalidates;
+      }
+      s->AddCounter("hint.consults", total.consults);
+      s->AddCounter("hint.served", total.served);
+      s->AddCounter("hint.stale", total.stale);
+      s->AddCounter("hint.chases", total.chases);
+      s->AddCounter("hint.refreshes", total.refreshes);
+      s->AddCounter("hint.publish_rpcs", total.publishes);
+      s->AddCounter("hint.invalidate_rpcs", total.invalidates);
+    });
+  }
 }
 
 rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {
@@ -2131,6 +2206,10 @@ rdma::GlobalAddress ShermanSystem::DebugRootAddr() const {
 int ShermanSystem::AddMemoryServer() {
   rdma::MemoryServer& ms = fabric_.AddMemoryServer();
   chunks_.push_back(std::make_unique<ChunkManager>(&ms, &reclaim_));
+  if (options_.enable_leaf_hints) {
+    hints_.push_back(
+        std::make_unique<LeafHintDirectory>(&ms, dmsan_.get()));
+  }
   return ms.id();
 }
 

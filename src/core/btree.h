@@ -35,6 +35,7 @@
 #include "alloc/cs_allocator.h"
 #include "alloc/reclaim.h"
 #include "cache/index_cache.h"
+#include "cache/leaf_hints.h"
 #include "core/node_layout.h"
 #include "core/stats.h"
 #include "lock/hocl.h"
@@ -78,6 +79,16 @@ struct TreeOptions {
   // Index cache (§4.2.3).
   bool enable_cache = true;
   uint64_t cache_bytes = 4ull << 20;
+
+  // Leaf-hint sidecar (src/cache/leaf_hints.h): per-MS hint tables that
+  // let a client with no cached path serve a cold point lookup with ONE
+  // fingerprint-validated leaf READ. Advisory only — a stale or missing
+  // hint falls back to full traversal; correctness never depends on it.
+  bool enable_leaf_hints = false;
+  // After this many stale/chased hints since the last mirror fetch, the
+  // client refetches the MS tables (cheap: one header READ per MS plus
+  // the entry array of any MS whose generation moved).
+  uint32_t hint_refresh_miss_threshold = 8;
 
   // Space reclamation under delete churn: when a delete leaves a leaf with
   // fewer than merge_threshold * leaf_capacity live entries, the deleter
@@ -234,6 +245,18 @@ class TreeClient {
   // freed nodes).
   const ReclaimStats& reclaim_stats() const { return reclaim_stats_; }
 
+  // Leaf-hint sidecar counters (enable_leaf_hints mode).
+  struct HintStats {
+    uint64_t consults = 0;     // the mirror was asked for a leaf address
+    uint64_t served = 0;       // it supplied one
+    uint64_t stale = 0;        // a hinted leaf failed validation
+    uint64_t chases = 0;       // hinted leaf valid, key split off right
+    uint64_t refreshes = 0;    // mirror fetches from the MS tables
+    uint64_t publishes = 0;    // structural publishes issued
+    uint64_t invalidates = 0;  // structural invalidates issued
+  };
+  const HintStats& hint_stats() const { return hint_stats_; }
+
   int cs_id() const { return cs_id_; }
   IndexCache& cache() { return cache_; }
   HoclClient& hocl() { return hocl_; }
@@ -255,6 +278,7 @@ class TreeClient {
   struct LeafRef {
     rdma::GlobalAddress addr;
     bool via_cache = false;
+    bool via_hint = false;  // served by the leaf-hint mirror (advisory)
   };
   struct Locked {
     rdma::GlobalAddress addr;
@@ -309,8 +333,15 @@ class TreeClient {
   sim::Task<StatusOr<rdma::GlobalAddress>> FindNodeAddr(Key key,
                                                         uint8_t target_level,
                                                         OpStats* stats);
-  // Leaf address via the index cache, falling back to traversal.
-  sim::Task<StatusOr<LeafRef>> FindLeafAddr(Key key, OpStats* stats);
+  // Leaf address via the index cache, falling back to the leaf-hint
+  // mirror, falling back to traversal. Ops pass allow_hint=false on retry
+  // attempts: a hint that already misled this op (validation failure,
+  // sibling-chase exhaustion) must not be re-consulted, or an incomplete
+  // hint table (entries dropped when full) livelocks the restart loop —
+  // every re-resolution re-serves a mirror "predecessor" that is really
+  // the entry left of a table hole.
+  sim::Task<StatusOr<LeafRef>> FindLeafAddr(Key key, OpStats* stats,
+                                            bool allow_hint = true);
 
   // Locks `addr`, reads it into `buf`, and chases siblings until the node's
   // fence interval contains `key` AND the node is at the expected `level`
@@ -462,6 +493,29 @@ class TreeClient {
   void RememberVptr(const std::string& key, uint64_t ptr, uint16_t vlen);
   void ForgetVptr(const std::string& key);
 
+  // --- leaf-hint sidecar (cache/leaf_hints.cc) ---
+
+  // Consults the local hint mirror (refetching the MS tables when never
+  // fetched or gone stale); true + *out when a hinted leaf address is
+  // available for `key`. The caller MUST validate the leaf it reads there
+  // and fall back to traversal on failure — hints are advisory.
+  sim::Task<bool> HintLeafAddr(Key key, rdma::GlobalAddress* out,
+                               OpStats* stats);
+  // Refetches every MS's hint table whose generation moved.
+  sim::Task<void> HintRefresh(OpStats* stats);
+  // Publishes (lo fence -> leaf) to the leaf's home MS. Called after a
+  // structural commit (split sibling, migration copy, bulk-load seed).
+  sim::Task<void> HintPublish(rdma::GlobalAddress leaf, Key lo,
+                              OpStats* stats);
+  // Removes every hint entry pointing at `leaf` on its home MS. MUST
+  // complete before the leaf's kRpcFreeNode (DMSan rule V6). Idempotent.
+  sim::Task<void> HintInvalidate(rdma::GlobalAddress leaf, OpStats* stats);
+  // A hinted leaf failed validation: drop the mirror entry covering `key`
+  // so restart loops do not re-serve it.
+  void NoteHintStale(Key key);
+  // A hinted leaf was valid but the key had split off to its right.
+  void NoteHintChase();
+
   ShermanSystem* system_;
   int cs_id_;
   HoclClient hocl_;
@@ -482,6 +536,15 @@ class TreeClient {
     uint16_t vlen = 0;
   };
   std::map<std::string, VptrHint> vptr_cache_;
+
+  // Leaf-hint mirror (enable_leaf_hints mode): merged lo fence -> leaf
+  // address across every MS table, plus the per-MS generation observed at
+  // the last fetch. hint_staleness_ counts stale/chased hints since then.
+  std::map<Key, rdma::GlobalAddress> hint_mirror_;
+  std::vector<uint64_t> hint_gen_;
+  bool hint_fetched_ = false;
+  uint32_t hint_staleness_ = 0;
+  HintStats hint_stats_;
 
   bool root_known_ = false;
   rdma::GlobalAddress root_addr_;
@@ -516,6 +579,11 @@ class ShermanSystem {
   int num_clients() const { return static_cast<int>(clients_.size()); }
   ChunkManager& chunk_manager(int ms_id) { return *chunks_[ms_id]; }
   int num_chunk_managers() const { return static_cast<int>(chunks_.size()); }
+  // Leaf-hint directory of `ms_id`, or null when enable_leaf_hints is off.
+  LeafHintDirectory* hint_directory(int ms_id) {
+    return ms_id < static_cast<int>(hints_.size()) ? hints_[ms_id].get()
+                                                   : nullptr;
+  }
 
   // Fabric-wide reclamation epoch: every index operation pins it for its
   // duration; freed nodes recycle only once every operation pinned at or
@@ -595,6 +663,8 @@ class ShermanSystem {
   // outlive everything that can post work requests.
   std::unique_ptr<dmsan::Checker> dmsan_;
   std::vector<std::unique_ptr<ChunkManager>> chunks_;
+  // Per-MS leaf-hint directories (empty when enable_leaf_hints is off).
+  std::vector<std::unique_ptr<LeafHintDirectory>> hints_;
   std::vector<std::unique_ptr<TreeClient>> clients_;
 
   // Bulk-load cursors: nodes are spread round-robin over MSs (§4.2), each

@@ -115,7 +115,8 @@ sim::Task<Status> TreeClient::InsertVar(const Slice& key, const Slice& value,
 
   const std::string key_str(key.data(), key.size());
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(rk, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(rk, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) {
       if (outline) co_await vlog_->Retire(vptr, stats);
       co_return leaf_r.status();
@@ -125,6 +126,7 @@ sim::Task<Status> TreeClient::InsertVar(const Slice& key, const Slice& value,
         co_await LockAndRead(leaf_r->addr, rk, buf.data(), stats);
     if (!locked_r.ok()) {
       if (locked_r.status().IsRetry()) {
+        if (leaf_r->via_hint) NoteHintStale(rk);
         if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         continue;
       }
@@ -333,6 +335,10 @@ sim::Task<Status> TreeClient::SplitVarLeafAndUnlock(
                                       stats);
   co_await fault::Injector().AtSite(kCrashSplitLinked, cs_id_);
   intents_.ClearAsync(intent_slot);
+  // Advisory hint for the new sibling, after the intent clears (mirrors
+  // the fixed-size split; a crash mid-publish leaves the committed split
+  // merely unhinted).
+  co_await HintPublish(sib_addr, split_key, stats);
   co_return st;
 }
 
@@ -446,7 +452,8 @@ sim::Task<Status> TreeClient::LookupVar(const Slice& key, std::string* value,
 
   rdma::GlobalAddress probe_addr;  // last tombstone this lookup bounced off
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(rk, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(rk, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) co_return leaf_r.status();
     rdma::GlobalAddress addr = leaf_r->addr;
 
@@ -458,6 +465,7 @@ sim::Task<Status> TreeClient::LookupVar(const Slice& key, std::string* value,
       NodeView view(buf.data(), &o.shape);
       if (view.is_free() || !view.is_leaf() || rk < view.lo_fence()) {
         cache_.InvalidateLevel1Covering(rk);
+        if (leaf_r->via_hint && chase == 0) NoteHintStale(rk);
         if (view.is_free()) probe_addr = addr;
         if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         restart = true;
@@ -465,6 +473,7 @@ sim::Task<Status> TreeClient::LookupVar(const Slice& key, std::string* value,
       }
       if (rk >= view.hi_fence()) {
         cache_.InvalidateLevel1Covering(rk);
+        if (leaf_r->via_hint && chase == 0) NoteHintChase();
         if (view.sibling().is_null()) {
           restart = true;
           break;
@@ -488,7 +497,12 @@ sim::Task<Status> TreeClient::LookupVar(const Slice& key, std::string* value,
       }
       co_return rst;
     }
-    if (!restart && attempt >= 2) root_known_ = false;
+    if (!restart) {
+      // Chase bound exhausted from a hinted start: the mirror predecessor
+      // was across a hint-table hole, not this key's leaf (see Lookup).
+      if (leaf_r->via_hint) NoteHintStale(rk);
+      if (attempt >= 2) root_known_ = false;
+    }
     if (!probe_addr.is_null() && (attempt & 7) == 7) {
       co_await ProbeLockForRecovery(probe_addr, stats);
       probe_addr = rdma::GlobalAddress();
@@ -510,7 +524,8 @@ sim::Task<Status> TreeClient::DeleteVar(const Slice& key, OpStats* stats) {
   const std::string key_str(key.data(), key.size());
 
   for (uint32_t attempt = 0; attempt < o.max_restarts; attempt++) {
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(rk, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(rk, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) co_return leaf_r.status();
 
     std::vector<uint8_t> buf(node_size());
@@ -518,6 +533,7 @@ sim::Task<Status> TreeClient::DeleteVar(const Slice& key, OpStats* stats) {
         co_await LockAndRead(leaf_r->addr, rk, buf.data(), stats);
     if (!locked_r.ok()) {
       if (locked_r.status().IsRetry()) {
+        if (leaf_r->via_hint) NoteHintStale(rk);
         if (attempt >= 2) root_known_ = false;  // stale root (see Insert)
         continue;
       }
@@ -588,7 +604,8 @@ sim::Task<Status> TreeClient::ScanVar(
     }
     Key rk = RoutingKeyFor(cursor);
     if (rk == kMaxKey) co_return Status::OK();  // nothing can sort >= cursor
-    StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(rk, stats);
+    StatusOr<LeafRef> leaf_r =
+        co_await FindLeafAddr(rk, stats, /*allow_hint=*/attempt == 0);
     if (!leaf_r.ok()) co_return leaf_r.status();
     rdma::GlobalAddress addr = leaf_r->addr;
 
@@ -1079,12 +1096,14 @@ sim::Task<Status> TreeClient::GcVictimSegment(uint16_t ms, uint64_t base,
     // Tree-guided relocation, copy-then-flip under the leaf lock.
     bool done = false;
     for (uint32_t attempt = 0; attempt < o.max_restarts && !done; attempt++) {
-      StatusOr<LeafRef> leaf_r = co_await FindLeafAddr(rk, stats);
+      StatusOr<LeafRef> leaf_r =
+          co_await FindLeafAddr(rk, stats, /*allow_hint=*/attempt == 0);
       if (!leaf_r.ok()) co_return leaf_r.status();
       StatusOr<Locked> locked_r =
           co_await LockAndRead(leaf_r->addr, rk, leaf_buf.data(), stats);
       if (!locked_r.ok()) {
         if (locked_r.status().IsRetry()) {
+          if (leaf_r->via_hint) NoteHintStale(rk);
           if (attempt >= 2) root_known_ = false;
           continue;
         }

@@ -134,6 +134,7 @@ void ShermanSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
     if (sorted_mode) view.set_count(static_cast<uint16_t>(end - begin));
     if (checksum_mode) view.UpdateChecksum();
     if (dmsan_ != nullptr) dmsan_->PublishNode(addrs[i], /*level=*/0);
+    if (!hints_.empty()) hints_[addrs[i].node]->SeedDirect(lo, addrs[i]);
     level_nodes.emplace_back(addrs[i], lo);
   }
 
@@ -224,6 +225,7 @@ void ShermanSystem::BulkLoadVar(
     SHERMAN_CHECK(BuildVarLeaf(&view, leaf_groups[l]));
     if (checksum_mode) view.UpdateChecksum();
     if (dmsan_ != nullptr) dmsan_->PublishNode(addrs[l], /*level=*/0);
+    if (!hints_.empty()) hints_[addrs[l].node]->SeedDirect(lo, addrs[l]);
     level_nodes.emplace_back(addrs[l], lo);
   }
 

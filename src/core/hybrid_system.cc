@@ -48,6 +48,7 @@ HybridSystem::HybridSystem(rdma::FabricConfig fabric_config,
       s->AddCounter("rdwc.bypass_overflow", r.bypass_overflow);
       s->AddCounter("rdwc.reelections", r.reelections);
       s->AddCounter("rdwc.windows_abandoned", r.windows_abandoned);
+      s->AddCounter("rdwc.var_key_mismatch", r.var_key_mismatch);
     }
   });
 }
@@ -71,6 +72,27 @@ void HybridSystem::BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs,
     // Cover the loaded keys and the odd insert keys between/after them.
     router_->SetUniverse(std::max<Key>(1, kvs.front().first),
                          kvs.back().first + 2);
+  }
+  router_->SetTreeHeight(static_cast<double>(sherman_.DebugHeight()));
+}
+
+void HybridSystem::BulkLoadVar(
+    const std::vector<std::pair<std::string, std::string>>& kvs, double fill) {
+  sherman_.BulkLoadVar(kvs, fill);
+  const int n = router_->num_shards();
+  if (static_cast<int>(kvs.size()) >= n && !kvs.empty()) {
+    // Shards partition the ROUTING-key space (see BulkLoad): cut the
+    // loaded keys' routing projections into equal-population shards.
+    std::vector<Key> cuts;
+    cuts.reserve(n - 1);
+    for (int s = 1; s < n; s++) {
+      cuts.push_back(RoutingKeyFor(Slice(kvs[kvs.size() * s / n].first)));
+    }
+    router_->SetBoundaries(std::move(cuts));
+  } else if (router_->options().universe_hi == 0 && !kvs.empty()) {
+    router_->SetUniverse(
+        std::max<Key>(1, RoutingKeyFor(Slice(kvs.front().first))),
+        RoutingKeyFor(Slice(kvs.back().first)) + 2);
   }
   router_->SetTreeHeight(static_cast<double>(sherman_.DebugHeight()));
 }

@@ -49,6 +49,11 @@ class HybridSystem {
   // loaded keys (plus the adjacent odd insert keys the workloads target).
   void BulkLoad(const std::vector<std::pair<Key, uint64_t>>& kvs, double fill);
 
+  // Varlen twin: loads string records and cuts shards over the keys'
+  // ROUTING projections (shards partition routing-key space).
+  void BulkLoadVar(const std::vector<std::pair<std::string, std::string>>& kvs,
+                   double fill);
+
   route::HybridClient& client(int cs_id) { return *clients_[cs_id]; }
   int num_clients() const { return static_cast<int>(clients_.size()); }
 

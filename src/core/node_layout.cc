@@ -484,45 +484,42 @@ bool BuildVarLeaf(NodeView* v, const std::vector<VarEntry>& entries) {
   if (VarBytesNeeded(entries, p) > v->shape().var_usable_bytes()) {
     return false;
   }
-  for (const VarEntry& e : entries) {
-    // Per-entry suffixes must respect the u8 length field even before the
-    // maximal prefix is installed (first insert runs under prefix 0).
+  for (size_t i = 0; i < entries.size(); i++) {
+    const VarEntry& e = entries[i];
+    // Per-entry suffixes must respect the u8 length field, including after
+    // a later diverging insert shrinks the prefix back to 0.
     if (e.key.size() > 255) return false;
+    // Direct construction below assumes sorted unique input (every caller
+    // passes extracted-in-slot-order or loader-verified entries).
+    if (i > 0 && !(entries[i - 1].key < e.key)) return false;
   }
-  v->set_count(0);
-  v->set_prefix_len(0);
+  // Write the final compressed layout directly under the maximal prefix.
+  // Staging through VarInsert (prefix 0, full keys) can overflow a page
+  // whose entries only fit WITH the shared prefix factored out — the
+  // budget check above is against the compressed size.
+  const uint32_t top = v->shape().node_size - 1 - p;
+  if (p > 0) std::memcpy(v->data() + top, entries.front().key.data(), p);
+  v->set_prefix_len(static_cast<uint8_t>(p));
   v->set_dead_bytes(0);
-  v->set_heap_watermark(static_cast<uint16_t>(v->shape().node_size - 1));
-  for (const VarEntry& e : entries) {
-    if (!v->VarInsert(Slice(e.key.data(), e.key.size()), e.payload.data(),
-                      static_cast<uint32_t>(e.payload.size()), e.vlen,
-                      e.outline)) {
-      return false;
-    }
+  uint32_t w = top;
+  for (uint32_t i = 0; i < entries.size(); i++) {
+    const VarEntry& e = entries[i];
+    const uint32_t slen = static_cast<uint32_t>(e.key.size()) - p;
+    const uint32_t eb = slen + static_cast<uint32_t>(e.payload.size());
+    w -= eb;
+    std::memcpy(v->data() + w, e.key.data() + p, slen);
+    std::memcpy(v->data() + w + slen, e.payload.data(), e.payload.size());
+    uint8_t* slot = v->data() + v->VarSlotOffset(i);
+    const uint16_t off16 = static_cast<uint16_t>(w);
+    std::memcpy(slot, &off16, 2);
+    slot[2] = static_cast<uint8_t>(slen);
+    slot[3] = NodeView::VarFingerprint(Slice(e.key.data(), e.key.size()));
+    std::memcpy(slot + 4, &e.vlen, 2);
+    slot[6] = e.outline ? kVarFlagOutline : 0;
+    slot[7] = 0;
   }
-  // Re-truncate to the maximal shared prefix (inserts ran under prefix 0).
-  std::vector<VarEntry> all = ExtractVarEntries(*v);
-  const uint32_t maximal = VarCommonPrefix(all);
-  if (maximal > 0 && v->count() > 0) {
-    const uint32_t top = v->shape().node_size - 1 - maximal;
-    std::memcpy(v->data() + top, all.front().key.data(), maximal);
-    v->set_prefix_len(static_cast<uint8_t>(maximal));
-    uint32_t w = top;
-    for (uint32_t i = 0; i < all.size(); i++) {
-      const VarEntry& e = all[i];
-      const uint32_t slen = static_cast<uint32_t>(e.key.size()) - maximal;
-      const uint32_t eb = slen + static_cast<uint32_t>(e.payload.size());
-      w -= eb;
-      std::memcpy(v->data() + w, e.key.data() + maximal, slen);
-      std::memcpy(v->data() + w + slen, e.payload.data(), e.payload.size());
-      uint8_t* slot = v->data() + v->VarSlotOffset(i);
-      const uint16_t off16 = static_cast<uint16_t>(w);
-      std::memcpy(slot, &off16, 2);
-      slot[2] = static_cast<uint8_t>(slen);
-    }
-    v->set_heap_watermark(static_cast<uint16_t>(w));
-    v->set_dead_bytes(0);
-  }
+  v->set_count(static_cast<uint16_t>(entries.size()));
+  v->set_heap_watermark(static_cast<uint16_t>(w));
   return true;
 }
 

@@ -193,7 +193,7 @@ sim::Task<Status> Migrator::FixLeftSibling(Key lo, uint8_t level,
     if (start.is_null()) {
       if (level == 0) {
         StatusOr<TreeClient::LeafRef> r =
-            co_await t.FindLeafAddr(lo - 1, stats);
+            co_await t.FindLeafAddr(lo - 1, stats, /*allow_hint=*/false);
         if (!r.ok()) {
           if (r.status().IsRetry()) continue;
           co_return r.status();
@@ -340,6 +340,11 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
       c->PublishNode(naddr, level);
     }
   }
+  // Re-home the leaf hint: same lo fence, new address. The publish lands
+  // on the copy's MS; the overwrite path in the source MS's directory (if
+  // source and target share an MS) or the invalidate below (if not)
+  // drops the old mapping before the source is freed.
+  if (level == 0) co_await t.HintPublish(naddr, node_lo, stats);
   co_await fault::Injector().AtSite(kCrashFlipFlipped, cs);
   // Repair the B-link chain so sibling chases skip the tombstone. (On a
   // sibling-fix failure the flipped parent is authoritative and chain
@@ -371,6 +376,7 @@ sim::Task<Status> Migrator::MoveLockedNode(TreeClient::Locked locked,
   // is recycled into fresh allocations. Free and intent-clear precede the
   // unlock so every crash window leaves a held lane or an intent (or
   // both) for a survivor to find.
+  if (level == 0) co_await t.HintInvalidate(locked.addr, stats);
   co_await system_->fabric()
       .qp(cs, locked.addr.node)
       .Rpc(kRpcFreeNode, locked.addr.offset, node_size());
@@ -404,7 +410,12 @@ sim::Task<Status> Migrator::LeafPass(Key lo, Key hi, uint16_t target,
     EpochPin pin(&system_->reclaim_epoch(), options_.cs_id);
     OpStats stats;
     stats.trace = &trace_;
-    StatusOr<TreeClient::LeafRef> ref = co_await t.FindLeafAddr(cursor, &stats);
+    // Never via the leaf-hint mirror: the migration pass itself is what
+    // makes hints stale, and this locate-lock-validate loop has no
+    // stale-entry feedback — a wrong hint would re-serve until the
+    // stuck bound trips.
+    StatusOr<TreeClient::LeafRef> ref =
+        co_await t.FindLeafAddr(cursor, &stats, /*allow_hint=*/false);
     if (!ref.ok()) {
       if (ref.status().IsRetry()) continue;
       co_return ref.status();

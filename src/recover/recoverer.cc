@@ -99,6 +99,10 @@ sim::Task<void> Recoverer::ClearRemoteSlot(int dead_cs, int slot) {
 }
 
 sim::Task<void> Recoverer::FreeNodeRemote(rdma::GlobalAddress addr) {
+  // Replayed/rolled-back structural ops may retire a leaf the hint
+  // sidecar still maps; drop the mapping before the free (DMSan V6).
+  // Single chokepoint: every recovery free funnels through here.
+  co_await t_->HintInvalidate(addr, nullptr);
   co_await system_->fabric()
       .qp(t_->cs_id(), addr.node)
       .Rpc(kRpcFreeNode, addr.offset, node_size());
@@ -363,8 +367,8 @@ sim::Task<Status> Recoverer::RecoverMerge(const IntentRecord& rec) {
     // crash are chased like any other fence move.
     rdma::GlobalAddress start = rec.second;
     if (attempt > 0 || start.is_null()) {
-      StatusOr<TreeClient::LeafRef> r = co_await t_->FindLeafAddr(lo - 1,
-                                                                  &stats);
+      StatusOr<TreeClient::LeafRef> r =
+          co_await t_->FindLeafAddr(lo - 1, &stats, /*allow_hint=*/false);
       if (!r.ok()) continue;
       start = r->addr;
     }
@@ -556,7 +560,7 @@ sim::Task<Status> Recoverer::RecoverFlip(const IntentRecord& rec) {
       rdma::GlobalAddress start;
       if (rec.level == 0) {
         StatusOr<TreeClient::LeafRef> r =
-            co_await t_->FindLeafAddr(lo - 1, &stats);
+            co_await t_->FindLeafAddr(lo - 1, &stats, /*allow_hint=*/false);
         if (!r.ok()) continue;
         start = r->addr;
       } else {

@@ -563,8 +563,9 @@ sim::Task<Status> HybridClient::MultiDelete(std::vector<Key> keys,
 // Dispatch lambdas (and the inner coroutines their Slices point into) stay
 // valid across suspension.
 
-sim::Task<Status> HybridClient::InsertVar(const Slice& key, const Slice& value,
-                                          OpStats* stats) {
+sim::Task<Status> HybridClient::InsertVarDirect(const Slice& key,
+                                                const Slice& value,
+                                                OpStats* stats) {
   const std::string k(key.data(), key.size());
   const std::string v(value.data(), value.size());
   const Slice ks(k);
@@ -578,8 +579,9 @@ sim::Task<Status> HybridClient::InsertVar(const Slice& key, const Slice& value,
       stats);
 }
 
-sim::Task<Status> HybridClient::LookupVar(const Slice& key, std::string* value,
-                                          OpStats* stats) {
+sim::Task<Status> HybridClient::LookupVarDirect(const Slice& key,
+                                                std::string* value,
+                                                OpStats* stats) {
   const std::string k(key.data(), key.size());
   const Slice ks(k);
   co_return co_await Dispatch(
@@ -589,6 +591,37 @@ sim::Task<Status> HybridClient::LookupVar(const Slice& key, std::string* value,
       },
       [this, &ks, value](OpStats* s) { return tree_.LookupVar(ks, value, s); },
       stats);
+}
+
+sim::Task<Status> HybridClient::InsertVar(const Slice& key, const Slice& value,
+                                          OpStats* stats) {
+  if (rdwc_ != nullptr) {
+    const Key rk = RoutingKeyFor(key);
+    combine::RdwcEntry* e = rdwc_->Admit(rk);
+    if (e != nullptr) {
+      // Own copies: RunWindowVar holds references across suspension.
+      const std::string k(key.data(), key.size());
+      const std::string v(value.data(), value.size());
+      co_return co_await rdwc_->RunWindowVar(this, e, rk, k, /*is_put=*/true,
+                                             v, /*get_value=*/nullptr, stats);
+    }
+  }
+  co_return co_await InsertVarDirect(key, value, stats);
+}
+
+sim::Task<Status> HybridClient::LookupVar(const Slice& key, std::string* value,
+                                          OpStats* stats) {
+  if (rdwc_ != nullptr) {
+    const Key rk = RoutingKeyFor(key);
+    combine::RdwcEntry* e = rdwc_->Admit(rk);
+    if (e != nullptr) {
+      const std::string k(key.data(), key.size());
+      static const std::string kNoPut;
+      co_return co_await rdwc_->RunWindowVar(this, e, rk, k, /*is_put=*/false,
+                                             kNoPut, value, stats);
+    }
+  }
+  co_return co_await LookupVarDirect(key, value, stats);
 }
 
 sim::Task<Status> HybridClient::DeleteVar(const Slice& key, OpStats* stats) {

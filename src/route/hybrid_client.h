@@ -69,9 +69,11 @@ class HybridClient final : public IndexBackend {
 
   // Varlen ops (shape.varlen trees): dispatched on the ROUTING key's
   // shard, with the same decline->one-sided fallback as the fixed ops.
-  // The RDWC delegation table is always bypassed — it combines fixed u64
-  // records, and a varlen record can change size (and inline/outline
-  // placement) between writes.
+  // InsertVar/LookupVar consult the RDWC table on the routing key exactly
+  // like the fixed singletons (hot-key contention is per leaf, and leaves
+  // group by routing key); the combining window additionally pins the
+  // FULL byte key, so results are never shared across distinct keys that
+  // collide on one routing key. DeleteVar/ScanVar always bypass.
   sim::Task<Status> InsertVar(const Slice& key, const Slice& value,
                               OpStats* stats = nullptr) override;
   sim::Task<Status> LookupVar(const Slice& key, std::string* value,
@@ -104,6 +106,10 @@ class HybridClient final : public IndexBackend {
   // exactly these.
   sim::Task<Status> InsertDirect(Key key, uint64_t value, OpStats* stats);
   sim::Task<Status> LookupDirect(Key key, uint64_t* value, OpStats* stats);
+  sim::Task<Status> InsertVarDirect(const Slice& key, const Slice& value,
+                                    OpStats* stats);
+  sim::Task<Status> LookupVarDirect(const Slice& key, std::string* value,
+                                    OpStats* stats);
 
   // Folds one window-served follower op into its shard's hotness window
   // (an absorbed op is real demand the router must still see) and the

@@ -27,6 +27,7 @@ const char* RuleName(int rule) {
     case 3: return "V3 crash-window (intent) violation";
     case 4: return "V4 unvalidated torn read consumed";
     case 5: return "V5 lock/root mutation bypassing blessed API";
+    case 6: return "V6 node freed while a leaf hint maps to it";
     default: return "V? unknown";
   }
 }
@@ -152,9 +153,37 @@ void Checker::OnNodeFreed(int ms, uint64_t offset, uint32_t size,
     nodes_[static_cast<uint16_t>(ms)][offset] = s;
     n = FindNode(static_cast<uint16_t>(ms), offset);
   }
+  if (n->hinted) {
+    const rdma::GlobalAddress addr(static_cast<uint16_t>(ms), offset);
+    std::ostringstream os;
+    os << "node " << addr.ToString()
+       << " freed while a leaf-hint entry still maps to it (the hint "
+          "sidecar must invalidate before the free)";
+    n->hinted = false;
+    Report(6, addr, -1, -1, os.str());
+  }
   n->state = NodeState::kFreed;
   n->freed_epoch = epoch;
   n->owner_cs = -1;
+}
+
+void Checker::OnHintPublished(rdma::GlobalAddress addr) {
+  NodeShadow* n = FindNode(addr.node, addr.offset);
+  if (n == nullptr) {
+    // Bulk-load seeding can run before the loader's PublishNode feed on
+    // configurations without a checker-visible allocation; track lazily.
+    NodeShadow s;
+    s.state = NodeState::kLive;
+    s.size = cfg_.node_size;
+    nodes_[addr.node][addr.offset] = s;
+    n = FindNode(addr.node, addr.offset);
+  }
+  n->hinted = true;
+}
+
+void Checker::OnHintInvalidated(rdma::GlobalAddress addr) {
+  NodeShadow* n = FindNode(addr.node, addr.offset);
+  if (n != nullptr) n->hinted = false;
 }
 
 Checker::VExtShadow* Checker::FindVExtent(uint16_t ms, uint64_t offset) {

@@ -31,7 +31,10 @@
 //   V4  a torn/versioned lock-free read whose buffer is consumed as a
 //       remote-write source without version re-validation;
 //   V5  a mutation of a lock-table word or the root pointer that
-//       bypasses the HoclClient / root-swap APIs.
+//       bypasses the HoclClient / root-swap APIs;
+//   V6  a node freed while a leaf-hint entry still maps to it (the hint
+//       sidecar must invalidate BEFORE the free, or a hinted lookup could
+//       land a READ on recycled memory without fence/role protection).
 //
 // DMSan never touches simulated state: runs with the checker attached are
 // simulation-identical to runs without it (determinism_test relies on
@@ -99,7 +102,13 @@ class Checker {
   void PublishNode(rdma::GlobalAddress addr, uint8_t level);
   // A node parked on `ms`'s grace list at `epoch` (kRpcFreeNode or the
   // MS-side merge); stays kFreed until recycled via OnNodeAllocated.
+  // Reports V6 if a leaf-hint entry still maps to the node.
   void OnNodeFreed(int ms, uint64_t offset, uint32_t size, uint64_t epoch);
+
+  // --- feed: leaf-hint sidecar (src/cache/leaf_hints.h) --------------------
+  // The MS directory published / dropped a hint entry pointing at `addr`.
+  void OnHintPublished(rdma::GlobalAddress addr);
+  void OnHintInvalidated(rdma::GlobalAddress addr);
 
   // --- feed: lock state ----------------------------------------------------
   // The masked-CAS acquire succeeded (called at completion, so the shadow
@@ -158,6 +167,7 @@ class Checker {
     NodeState state = NodeState::kPrivate;
     int owner_cs = -1;       // kPrivate: owning CS
     uint8_t level = 0;       // kLive
+    bool hinted = false;     // a leaf-hint entry maps to this node
     uint32_t size = 0;
     uint64_t freed_epoch = 0;  // kFreed
   };

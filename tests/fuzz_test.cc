@@ -201,6 +201,10 @@ TEST_P(FuzzTest, ConcurrentMixedOpsAgainstOracle) {
   const uint32_t node_sizes[] = {256, 512, 1024};
   topt.shape.node_size = node_sizes[meta_rng.Uniform(3)];
   topt.cache_bytes = (64 << 10) << meta_rng.Uniform(4);
+  // Nightly hint arm (SHERMAN_FUZZ_HINTS=1): the leaf-hint sidecar rides
+  // every geometry, so hinted lookups race splits, merges, migration,
+  // random kills, and recovery replay — the oracle must still hold.
+  topt.enable_leaf_hints = std::getenv("SHERMAN_FUZZ_HINTS") != nullptr;
   if (fc.kill) {
     // Tighten the lease clock so the seeded crash is detected, stolen,
     // and recovered well inside the run.
@@ -563,6 +567,7 @@ TEST(VarFuzzTest, StringKeysVariableValuesAgainstOracle) {
     const uint32_t node_sizes[] = {512, 1024};
     topt.shape.node_size = node_sizes[meta_rng.Uniform(2)];
     topt.cache_bytes = (64 << 10) << meta_rng.Uniform(3);
+    topt.enable_leaf_hints = std::getenv("SHERMAN_FUZZ_HINTS") != nullptr;
     // Tiny segments (the 8 KB floor): constant sealing, rotation, and
     // GC-victim pressure.
     topt.vlog_segment_bytes = 8 << 10;

@@ -7,6 +7,9 @@
 // sweep (rdwc.* sites); extreme-skew fuzzing with kills by fuzz_test.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/runner.h"
@@ -225,6 +228,129 @@ TEST(RdwcWindowTest, QueueOnlyModeSerializesWithoutSharing) {
   // The GET ran as a real remote read: it saw 100 or 200 depending on
   // whether it beat the re-run PUT, both legal linearizations.
   EXPECT_TRUE(get.v == 100u || get.v == 200u) << get.v;
+  system.sherman().DebugCheckInvariants();
+}
+
+// --- varlen combining windows ----------------------------------------------
+
+HybridOptions RdwcVarHybrid() {
+  HybridOptions o = RdwcHybrid();
+  o.tree.two_level_versions = false;  // varlen requires sorted leaves
+  o.tree.shape.varlen = true;
+  o.tree.shape.node_size = 512;
+  return o;
+}
+
+std::vector<std::pair<std::string, std::string>> VarLoadKvs(int n) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(n);
+  for (int i = 0; i < n; i++) {
+    char k[16];
+    std::snprintf(k, sizeof(k), "k%06d", i + 1);
+    kvs.emplace_back(k, "val" + std::to_string(i));
+  }
+  return kvs;
+}
+
+TEST(RdwcVarWindowTest, ParkedVarGetsShareAndPutsCombineLastWins) {
+  HybridSystem system(SmallFabric(), RdwcVarHybrid());
+  system.BulkLoadVar(VarLoadKvs(200), 0.8);
+
+  struct Out {
+    Status st;
+    std::string v;
+    bool done = false;
+  };
+  Out del, put1, put2, get;
+  // Same tick on one hot string key: the first InsertVar opens the window
+  // as delegate; two PUTs and a GET park while it is in flight.
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(0).InsertVar(Slice("hotkey00"), Slice("d100"));
+    o->done = true;
+  }(&system, &del));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).InsertVar(Slice("hotkey00"), Slice("d200"));
+    o->done = true;
+  }(&system, &put1));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).InsertVar(Slice("hotkey00"), Slice("d300"));
+    o->done = true;
+  }(&system, &put2));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).LookupVar(Slice("hotkey00"), &o->v);
+    o->done = true;
+  }(&system, &get));
+  system.simulator().Run();
+
+  ASSERT_TRUE(del.done && put1.done && put2.done && get.done);
+  EXPECT_TRUE(del.st.ok() && put1.st.ok() && put2.st.ok() && get.st.ok());
+  // The parked GET shares the combined write's value (last parked PUT).
+  EXPECT_EQ(get.v, "d300");
+
+  const combine::RdwcStats& st = system.rdwc()->stats();
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.followers_queued, 3u);
+  EXPECT_EQ(st.puts_combined, 2u);
+  EXPECT_EQ(st.gets_shared, 1u);
+  EXPECT_EQ(st.combined_writes, 1u);
+  EXPECT_EQ(st.var_key_mismatch, 0u);
+  EXPECT_EQ(system.rdwc()->open_windows(), 0u);
+
+  bool checked = false;
+  sim::Spawn([](HybridSystem* s, bool* flag) -> sim::Task<void> {
+    std::string v;
+    Status st = co_await s->client(0).LookupVar(Slice("hotkey00"), &v);
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(v, "d300");
+    *flag = true;
+  }(&system, &checked));
+  system.simulator().Run();
+  ASSERT_TRUE(checked);
+  system.sherman().DebugCheckInvariants();
+}
+
+TEST(RdwcVarWindowTest, FullKeyMismatchOnHotRoutingKeyBypasses) {
+  HybridSystem system(SmallFabric(), RdwcVarHybrid());
+  system.BulkLoadVar(VarLoadKvs(200), 0.8);
+
+  // Both keys share the first 8 bytes (one routing key, one delegation
+  // entry) but are distinct records: the second op must NOT share the
+  // first's window.
+  struct Out {
+    Status st;
+    bool done = false;
+  };
+  Out a, b;
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(0).InsertVar(Slice("hotkey00_a"), Slice("va"));
+    o->done = true;
+  }(&system, &a));
+  sim::Spawn([](HybridSystem* s, Out* o) -> sim::Task<void> {
+    o->st = co_await s->client(1).InsertVar(Slice("hotkey00_b"), Slice("vb"));
+    o->done = true;
+  }(&system, &b));
+  system.simulator().Run();
+
+  ASSERT_TRUE(a.done && b.done);
+  EXPECT_TRUE(a.st.ok() && b.st.ok());
+  const combine::RdwcStats& st = system.rdwc()->stats();
+  EXPECT_EQ(st.windows_opened, 1u);
+  EXPECT_EQ(st.var_key_mismatch, 1u);
+  EXPECT_EQ(st.followers_queued, 0u);
+
+  bool checked = false;
+  sim::Spawn([](HybridSystem* s, bool* flag) -> sim::Task<void> {
+    std::string v;
+    EXPECT_TRUE(
+        (co_await s->client(0).LookupVar(Slice("hotkey00_a"), &v)).ok());
+    EXPECT_EQ(v, "va");
+    EXPECT_TRUE(
+        (co_await s->client(0).LookupVar(Slice("hotkey00_b"), &v)).ok());
+    EXPECT_EQ(v, "vb");
+    *flag = true;
+  }(&system, &checked));
+  system.simulator().Run();
+  ASSERT_TRUE(checked);
   system.sherman().DebugCheckInvariants();
 }
 

@@ -334,14 +334,21 @@ bool RunSiteScenario(const std::string& site) {
 
   const bool is_split = site.rfind("split.", 0) == 0;
   const bool is_isplit = site.rfind("isplit.", 0) == 0;
-  const bool is_merge = site.rfind("merge.", 0) == 0;
+  // hint.publish rides the split scenario (leaf splits publish hints);
+  // hint.invalidate rides the merge scenario (merges invalidate before
+  // the free). Both run with the sidecar enabled.
+  const bool is_hint = site.rfind("hint.", 0) == 0;
+  const bool is_merge =
+      site.rfind("merge.", 0) == 0 || site == "hint.invalidate";
   const bool is_flip = site.rfind("flip.", 0) == 0;
   const bool is_root = site == "split.root";
-  EXPECT_TRUE(is_split || is_isplit || is_merge || is_flip)
+  EXPECT_TRUE(is_split || is_isplit || is_merge || is_flip || is_hint)
       << "crash site " << site << " has no scenario mapping — extend "
       << "recover_test to cover it";
 
-  ShermanSystem system(RecoverFabric(), RecoverOptions());
+  TreeOptions opts = RecoverOptions();
+  if (is_hint) opts.enable_leaf_hints = true;
+  ShermanSystem system(RecoverFabric(), opts);
   // Shadow oracle: the committed state. Starts as the bulkload.
   std::map<Key, uint64_t> expected;
   VictimLog log;
@@ -446,6 +453,7 @@ TEST(CrashSweepTest, EveryRegisteredCrashPointRecoversToOracle) {
       "merge.sibling", "merge.freed",   "flip.intent",   "flip.copy",
       "flip.tombstone", "flip.flipped", "flip.sibfixed", "flip.freed",
       "rdwc.open",     "rdwc.exec",     "rdwc.combine",
+      "hint.publish",  "hint.invalidate",
   };
   EXPECT_EQ(sites.size(), kKnown.size());
   for (const std::string& s : sites) {

@@ -1,4 +1,4 @@
-// DMSan detection tests: each rule class V1..V5 is triggered deliberately
+// DMSan detection tests: each rule class V1..V6 is triggered deliberately
 // with a hand-built work request and must surface as a recorded finding
 // with the right rule id, actor, and fault address — and a clean mixed
 // workload must surface NOTHING (with hard-abort left on, so any false
@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "alloc/layout.h"
+#include "cache/leaf_hints.h"
 #include "combine/rdwc.h"
 #include "core/btree.h"
 #include "core/hybrid_system.h"
@@ -310,6 +311,38 @@ TEST_F(DmsanTest, V5_LockTableAndRootPointerBypass) {
   EXPECT_NE(checker->findings()[1].message.find("lock table"),
             std::string::npos)
       << checker->findings()[1].message;
+}
+
+TEST_F(DmsanTest, V6_NodeFreedWhileHinted) {
+  TreeOptions topt = ShermanOptions();
+  topt.enable_leaf_hints = true;
+  ShermanSystem system(SmallFabric(), topt);
+  system.BulkLoad(SeedKvs(64), 0.8);
+  dmsan::Checker* checker = system.dmsan_checker();
+  ASSERT_NE(checker, nullptr);
+  checker->set_abort_on_violation(false);
+  LeafHintDirectory* dir = system.hint_directory(0);
+  ASSERT_NE(dir, nullptr);
+
+  const uint32_t node_size = system.options().shape.node_size;
+
+  // Correct ordering first: invalidate, THEN free — must stay silent.
+  const rdma::GlobalAddress a(0, kChunkAreaOffset);
+  dir->Publish(/*lo=*/100, a.ToU64());
+  dir->Invalidate(a.ToU64());
+  system.chunk_manager(0).FreeNode(a.offset, node_size);
+  EXPECT_TRUE(checker->findings().empty());
+
+  // Broken ordering: the hint entry still maps to the node at free time.
+  const rdma::GlobalAddress b(0, kChunkAreaOffset + node_size);
+  dir->Publish(/*lo=*/200, b.ToU64());
+  system.chunk_manager(0).FreeNode(b.offset, node_size);
+
+  ASSERT_EQ(checker->findings().size(), 1u);
+  const dmsan::Violation& v = checker->findings()[0];
+  EXPECT_EQ(v.rule, 6);
+  EXPECT_EQ(v.addr, b);
+  EXPECT_NE(v.message.find("leaf-hint entry"), std::string::npos) << v.message;
 }
 
 // Negative: a multi-client churn workload (splits, merges, reclamation)
